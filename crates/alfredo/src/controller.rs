@@ -1,0 +1,371 @@
+//! The declarative controller program.
+//!
+//! "The AlfredOEngine generates the application's Controller based on the
+//! service requirements specified in the descriptor. The Controller
+//! defines how events generated through the UI (View) can affect the state
+//! of the application … The Controller, for instance, may periodically
+//! poll a certain service method provided by the remote device and react
+//! to its changes" (§3.2).
+//!
+//! A [`ControllerProgram`] is pure data — rules mapping triggers (UI
+//! events, remote events, polls) to actions (service invocations, UI state
+//! updates, acquiring additional services, emitting events). Being data,
+//! it ships inside the service descriptor and runs interpreted on the
+//! phone, preserving the sandbox property: the target device never sends
+//! executable code for the default interaction.
+
+use serde::{Deserialize, Serialize};
+
+use alfredo_osgi::Value;
+
+/// Where an action's argument value comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgSource {
+    /// A constant baked into the rule.
+    Const(Value),
+    /// The triggering event's primary value (text, index, slider value).
+    EventValue,
+    /// The triggering pointer event's horizontal delta.
+    EventDx,
+    /// The triggering pointer event's vertical delta.
+    EventDy,
+    /// The current primary state value of a control.
+    State {
+        /// Control id.
+        control: String,
+    },
+    /// The selected *item text* of a list control.
+    SelectedItem {
+        /// List control id.
+        control: String,
+    },
+}
+
+/// A service method invocation recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodCall {
+    /// Target service interface (looked up in the phone's local registry,
+    /// where the proxy lives).
+    pub service: String,
+    /// Method name.
+    pub method: String,
+    /// Argument sources, in order.
+    pub args: Vec<ArgSource>,
+}
+
+impl MethodCall {
+    /// Creates a call recipe.
+    pub fn new(service: impl Into<String>, method: impl Into<String>, args: Vec<ArgSource>) -> Self {
+        MethodCall {
+            service: service.into(),
+            method: method.into(),
+            args,
+        }
+    }
+}
+
+/// Where to store an invocation result in the UI state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Target control id.
+    pub control: String,
+    /// Optional auxiliary slot (e.g. `"items"` for list contents).
+    pub slot: Option<String>,
+}
+
+impl Binding {
+    /// Binds to a control's primary value.
+    pub fn to(control: impl Into<String>) -> Self {
+        Binding {
+            control: control.into(),
+            slot: None,
+        }
+    }
+
+    /// Binds to a control's auxiliary slot.
+    pub fn to_slot(control: impl Into<String>, slot: impl Into<String>) -> Self {
+        Binding {
+            control: control.into(),
+            slot: Some(slot.into()),
+        }
+    }
+}
+
+/// What fires a rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// A click on a control.
+    UiClick {
+        /// Control id.
+        control: String,
+    },
+    /// A selection change on a list.
+    UiSelected {
+        /// Control id.
+        control: String,
+    },
+    /// A text change.
+    UiText {
+        /// Control id.
+        control: String,
+    },
+    /// A slider change.
+    UiSlider {
+        /// Control id.
+        control: String,
+    },
+    /// Pointer movement routed to a control.
+    UiPointer {
+        /// Control id.
+        control: String,
+    },
+    /// A (forwarded) EventAdmin event whose topic matches the pattern.
+    RemoteEvent {
+        /// Topic pattern (see [`alfredo_osgi::events::topic_matches`]).
+        topic_pattern: String,
+    },
+    /// Fires every `interval_ms` of interaction time.
+    Poll {
+        /// Period in milliseconds.
+        interval_ms: u64,
+    },
+}
+
+/// What a fired rule does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Invoke a service method, optionally binding the result into the UI
+    /// state.
+    Invoke {
+        /// The call recipe.
+        call: MethodCall,
+        /// Where the result goes, if anywhere.
+        bind: Option<Binding>,
+    },
+    /// Write a value into the UI state directly.
+    Update {
+        /// Destination.
+        bind: Binding,
+        /// Value source.
+        value: ArgSource,
+    },
+    /// Acquire an additional remote service at runtime — the paper's "at
+    /// some point of the interaction, the client can decide to acquire
+    /// additional services currently running on remote devices".
+    AcquireService {
+        /// Interface to fetch from the connected target device.
+        interface: String,
+    },
+    /// Post an event on the local bus (forwarded to the peer if it
+    /// subscribed).
+    EmitEvent {
+        /// Topic.
+        topic: String,
+        /// Property key receiving the trigger's value, if any.
+        value_key: Option<String>,
+    },
+}
+
+/// One declarative rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// What fires the rule.
+    pub trigger: Trigger,
+    /// What it does, in order.
+    pub actions: Vec<Action>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(trigger: Trigger, actions: Vec<Action>) -> Self {
+        Rule { trigger, actions }
+    }
+
+    /// Convenience: on click of `control`, invoke `call`.
+    pub fn on_click(control: impl Into<String>, call: MethodCall, bind: Option<Binding>) -> Self {
+        Rule::new(
+            Trigger::UiClick {
+                control: control.into(),
+            },
+            vec![Action::Invoke { call, bind }],
+        )
+    }
+}
+
+/// The complete controller: an ordered rule list.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_core::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
+///
+/// let program = ControllerProgram::new(vec![Rule::on_click(
+///     "refresh",
+///     MethodCall::new("shop.Catalog", "list_products", vec![]),
+///     Some(Binding::to_slot("products", "items")),
+/// )]);
+/// assert_eq!(program.rules().len(), 1);
+/// let json = serde_json::to_string(&program).unwrap();
+/// let back: ControllerProgram = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back, program);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControllerProgram {
+    rules: Vec<Rule>,
+}
+
+impl ControllerProgram {
+    /// Creates a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        ControllerProgram { rules }
+    }
+
+    /// The rules, in order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Rules fired by a UI event on `control` of the given kind.
+    pub fn matching_ui<'a>(
+        &'a self,
+        control: &'a str,
+        kind: UiTriggerKind,
+    ) -> impl Iterator<Item = &'a Rule> {
+        self.rules.iter().filter(move |r| match (&r.trigger, kind) {
+            (Trigger::UiClick { control: c }, UiTriggerKind::Click) => c == control,
+            (Trigger::UiSelected { control: c }, UiTriggerKind::Selected) => c == control,
+            (Trigger::UiText { control: c }, UiTriggerKind::Text) => c == control,
+            (Trigger::UiSlider { control: c }, UiTriggerKind::Slider) => c == control,
+            (Trigger::UiPointer { control: c }, UiTriggerKind::Pointer) => c == control,
+            _ => false,
+        })
+    }
+
+    /// Rules fired by a remote event on `topic`.
+    pub fn matching_event<'a>(&'a self, topic: &'a str) -> impl Iterator<Item = &'a Rule> {
+        self.rules.iter().filter(move |r| {
+            matches!(&r.trigger, Trigger::RemoteEvent { topic_pattern }
+                if alfredo_osgi::events::topic_matches(topic_pattern, topic))
+        })
+    }
+
+    /// The poll rules with their periods.
+    pub fn poll_rules(&self) -> impl Iterator<Item = (u64, &Rule)> {
+        self.rules.iter().filter_map(|r| match &r.trigger {
+            Trigger::Poll { interval_ms } => Some((*interval_ms, r)),
+            _ => None,
+        })
+    }
+}
+
+/// The kind of UI trigger being matched (implementation detail of the
+/// interpreter, public for the session module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UiTriggerKind {
+    /// Click.
+    Click,
+    /// Selection.
+    Selected,
+    /// Text change.
+    Text,
+    /// Slider change.
+    Slider,
+    /// Pointer movement.
+    Pointer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> ControllerProgram {
+        ControllerProgram::new(vec![
+            Rule::on_click(
+                "refresh",
+                MethodCall::new("shop.Catalog", "list_products", vec![]),
+                Some(Binding::to_slot("products", "items")),
+            ),
+            Rule::new(
+                Trigger::UiSelected {
+                    control: "products".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        "shop.Catalog",
+                        "details",
+                        vec![ArgSource::SelectedItem {
+                            control: "products".into(),
+                        }],
+                    ),
+                    bind: Some(Binding::to("detail")),
+                }],
+            ),
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: "shop/*".into(),
+                },
+                vec![Action::Update {
+                    bind: Binding::to("status"),
+                    value: ArgSource::Const(Value::from("updated")),
+                }],
+            ),
+            Rule::new(
+                Trigger::Poll { interval_ms: 500 },
+                vec![Action::Invoke {
+                    call: MethodCall::new("shop.Catalog", "heartbeat", vec![]),
+                    bind: None,
+                }],
+            ),
+        ])
+    }
+
+    #[test]
+    fn ui_matching_respects_kind_and_control() {
+        let p = program();
+        assert_eq!(p.matching_ui("refresh", UiTriggerKind::Click).count(), 1);
+        assert_eq!(p.matching_ui("refresh", UiTriggerKind::Selected).count(), 0);
+        assert_eq!(p.matching_ui("products", UiTriggerKind::Selected).count(), 1);
+        assert_eq!(p.matching_ui("other", UiTriggerKind::Click).count(), 0);
+    }
+
+    #[test]
+    fn event_matching_uses_topic_patterns() {
+        let p = program();
+        assert_eq!(p.matching_event("shop/update").count(), 1);
+        assert_eq!(p.matching_event("mouse/snapshot").count(), 0);
+    }
+
+    #[test]
+    fn poll_rules_enumerated() {
+        let p = program();
+        let polls: Vec<u64> = p.poll_rules().map(|(ms, _)| ms).collect();
+        assert_eq!(polls, vec![500]);
+    }
+
+    #[test]
+    fn program_is_serializable_data() {
+        // The controller ships inside the descriptor: it must round-trip
+        // losslessly as pure data.
+        let p = program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ControllerProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut p = ControllerProgram::default();
+        assert!(p.rules().is_empty());
+        p.push(Rule::on_click(
+            "x",
+            MethodCall::new("s", "m", vec![]),
+            None,
+        ));
+        assert_eq!(p.rules().len(), 1);
+    }
+}

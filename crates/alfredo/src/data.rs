@@ -1,0 +1,540 @@
+//! Data-tier distribution with transparent synchronization (the paper's
+//! future work, §7).
+//!
+//! "Future work on AlfredO includes … an automatic distribution mechanism
+//! of the data tiers to provide transparent synchronization." In the
+//! base system the data tier always stays on the target device; this
+//! module adds the missing piece: a versioned key-value [`DataStore`] on
+//! the device and a [`DataReplica`] on the phone that keeps a read cache
+//! transparently synchronized through R-OSGi remote events.
+//!
+//! Consistency model: single-writer-wins per key by version number
+//! (the device assigns monotonically increasing versions); reads on the
+//! replica are local and may lag by event-propagation time; writes go
+//! through to the device (write-through) and update the replica with the
+//! authoritative version from the response.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use alfredo_osgi::{
+    Event, EventAdmin, Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
+    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+};
+use alfredo_rosgi::RemoteEndpoint;
+
+use crate::engine::EngineError;
+
+/// Topic prefix for change events: `data/<store>/changed`.
+pub const DATA_CHANGED_TOPIC_PREFIX: &str = "data";
+
+fn changed_topic(store: &str) -> String {
+    format!("{DATA_CHANGED_TOPIC_PREFIX}/{store}/changed")
+}
+
+fn store_interface_name(store: &str) -> String {
+    format!("alfredo.data.{store}")
+}
+
+/// The device-side versioned key-value data tier.
+///
+/// Every mutation bumps a global version and posts a change event on the
+/// device's bus; R-OSGi forwards it to any phone whose replica
+/// subscribed.
+pub struct DataStore {
+    name: String,
+    entries: Mutex<BTreeMap<String, (Value, u64)>>,
+    version: Mutex<u64>,
+    events: EventAdmin,
+}
+
+impl DataStore {
+    /// Creates an empty store named `name`, publishing changes on
+    /// `events`.
+    pub fn new(name: impl Into<String>, events: EventAdmin) -> Self {
+        DataStore {
+            name: name.into(),
+            entries: Mutex::new(BTreeMap::new()),
+            version: Mutex::new(0),
+            events,
+        }
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interface name the store registers under.
+    pub fn interface_name(&self) -> String {
+        store_interface_name(&self.name)
+    }
+
+    /// Current global version.
+    pub fn version(&self) -> u64 {
+        *self.version.lock()
+    }
+
+    /// Reads a value with its version.
+    pub fn get(&self, key: &str) -> Option<(Value, u64)> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    /// Writes a value; returns the new version. Publishes a change event.
+    pub fn put(&self, key: impl Into<String>, value: Value) -> u64 {
+        let key = key.into();
+        let version = {
+            let mut v = self.version.lock();
+            *v += 1;
+            let version = *v;
+            self.entries.lock().insert(key.clone(), (value.clone(), version));
+            version
+        };
+        self.publish_change(&key, Some(value), version);
+        version
+    }
+
+    /// Removes a key; returns the new version (even if absent, to keep
+    /// tombstone ordering simple). Publishes a change event.
+    pub fn remove(&self, key: &str) -> u64 {
+        let version = {
+            let mut v = self.version.lock();
+            *v += 1;
+            self.entries.lock().remove(key);
+            *v
+        };
+        self.publish_change(key, None, version);
+        version
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn publish_change(&self, key: &str, value: Option<Value>, version: u64) {
+        let mut props = Properties::new()
+            .with("key", key)
+            .with("version", version as i64);
+        match value {
+            Some(v) => {
+                props.insert("value", v);
+            }
+            None => {
+                props.insert("removed", true);
+            }
+        }
+        self.events.post(&Event::new(changed_topic(&self.name), props));
+    }
+
+    /// The shippable interface description.
+    pub fn interface(&self) -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            self.interface_name(),
+            vec![
+                MethodSpec::new(
+                    "get",
+                    vec![ParamSpec::new("key", TypeHint::Str)],
+                    TypeHint::Any,
+                    "Read a value (unit if absent).",
+                ),
+                MethodSpec::new(
+                    "put",
+                    vec![
+                        ParamSpec::new("key", TypeHint::Str),
+                        ParamSpec::new("value", TypeHint::Any),
+                    ],
+                    TypeHint::I64,
+                    "Write a value; returns the new version.",
+                ),
+                MethodSpec::new(
+                    "remove",
+                    vec![ParamSpec::new("key", TypeHint::Str)],
+                    TypeHint::I64,
+                    "Remove a key; returns the new version.",
+                ),
+                MethodSpec::new(
+                    "snapshot",
+                    vec![],
+                    TypeHint::Map,
+                    "The whole store with per-key versions.",
+                ),
+                MethodSpec::new("version", vec![], TypeHint::I64, "The global version."),
+            ],
+        )
+    }
+}
+
+impl Service for DataStore {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        let key_arg = || -> Result<&str, ServiceCallError> {
+            args.first().and_then(Value::as_str).ok_or_else(|| {
+                ServiceCallError::BadArguments("first argument must be a string key".into())
+            })
+        };
+        match method {
+            "get" => Ok(self
+                .get(key_arg()?)
+                .map(|(v, _)| v)
+                .unwrap_or(Value::Unit)),
+            "put" => {
+                let key = key_arg()?.to_owned();
+                let value = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| ServiceCallError::BadArguments("put needs a value".into()))?;
+                Ok(Value::I64(self.put(key, value) as i64))
+            }
+            "remove" => Ok(Value::I64(self.remove(key_arg()?) as i64)),
+            "snapshot" => {
+                let entries = self.entries.lock();
+                let map: BTreeMap<String, Value> = entries
+                    .iter()
+                    .map(|(k, (v, ver))| {
+                        (
+                            k.clone(),
+                            Value::map([
+                                ("value", v.clone()),
+                                ("version", Value::I64(*ver as i64)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                Ok(Value::Map(map))
+            }
+            "version" => Ok(Value::I64(self.version() as i64)),
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(self.interface())
+    }
+}
+
+impl fmt::Debug for DataStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataStore")
+            .field("name", &self.name)
+            .field("entries", &self.len())
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+/// Registers a [`DataStore`] on a device framework.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_data_store(
+    framework: &Framework,
+    name: impl Into<String>,
+) -> Result<(Arc<DataStore>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let store = Arc::new(DataStore::new(name, framework.event_admin().clone()));
+    let registration = framework.system_context().register_service(
+        &[&store.interface_name()],
+        Arc::clone(&store) as Arc<dyn Service>,
+        Properties::new().with("alfredo.data.store", store.name()),
+    )?;
+    Ok((store, registration))
+}
+
+/// The phone-side synchronized replica: local reads, write-through
+/// writes, event-driven updates.
+pub struct DataReplica {
+    framework: Framework,
+    endpoint: Arc<RemoteEndpoint>,
+    store_name: String,
+    interface: String,
+    cache: Arc<Mutex<BTreeMap<String, (Value, u64)>>>,
+    subscription: alfredo_osgi::events::SubscriptionId,
+    detached: Mutex<bool>,
+}
+
+impl DataReplica {
+    /// Attaches to the remote store named `store_name` through
+    /// `endpoint`: fetches the service proxy, seeds the cache from a
+    /// snapshot, and subscribes to change events.
+    ///
+    /// # Errors
+    ///
+    /// Returns fetch/invocation errors.
+    pub fn attach(
+        framework: Framework,
+        endpoint: Arc<RemoteEndpoint>,
+        store_name: &str,
+    ) -> Result<DataReplica, EngineError> {
+        let interface = store_interface_name(store_name);
+        endpoint.fetch_service(&interface)?;
+
+        let cache: Arc<Mutex<BTreeMap<String, (Value, u64)>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+
+        // Subscribe before snapshotting so no change is missed; version
+        // ordering makes replayed/raced events harmless.
+        let cache2 = Arc::clone(&cache);
+        let subscription =
+            framework
+                .event_admin()
+                .subscribe(changed_topic(store_name), move |event| {
+                    let Some(key) = event.properties.get_str("key") else {
+                        return;
+                    };
+                    let Some(version) = event.properties.get_i64("version") else {
+                        return;
+                    };
+                    let version = version as u64;
+                    let mut cache = cache2.lock();
+                    let stale = cache.get(key).is_some_and(|(_, v)| *v >= version);
+                    if stale {
+                        return;
+                    }
+                    if event.properties.get_bool("removed").unwrap_or(false) {
+                        cache.remove(key);
+                    } else if let Some(value) = event.properties.get("value") {
+                        cache.insert(key.to_owned(), (value.clone(), version));
+                    }
+                });
+
+        let replica = DataReplica {
+            framework,
+            endpoint,
+            store_name: store_name.to_owned(),
+            interface,
+            cache,
+            subscription,
+            detached: Mutex::new(false),
+        };
+        replica.resync()?;
+        Ok(replica)
+    }
+
+    /// The replica's store name.
+    pub fn store_name(&self) -> &str {
+        &self.store_name
+    }
+
+    /// Re-seeds the cache from a full snapshot (also the recovery path
+    /// after a reconnect).
+    ///
+    /// # Errors
+    ///
+    /// Returns invocation errors.
+    pub fn resync(&self) -> Result<(), EngineError> {
+        let snapshot = self.invoke_store("snapshot", &[])?;
+        if let Value::Map(entries) = snapshot {
+            let mut cache = self.cache.lock();
+            for (key, entry) in entries {
+                let value = entry.field("value").cloned().unwrap_or(Value::Unit);
+                let version = entry
+                    .field("version")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0) as u64;
+                let newer = cache.get(&key).is_none_or(|(_, v)| *v < version);
+                if newer {
+                    cache.insert(key, (value, version));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Local read (no network).
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.cache.lock().get(key).map(|(v, _)| v.clone())
+    }
+
+    /// The locally known version of `key`.
+    pub fn local_version(&self, key: &str) -> Option<u64> {
+        self.cache.lock().get(key).map(|(_, v)| *v)
+    }
+
+    /// Write-through: the device applies the write and assigns the
+    /// version; the replica applies it locally immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns invocation errors; on error the cache is untouched.
+    pub fn put(&self, key: &str, value: Value) -> Result<u64, EngineError> {
+        let out = self.invoke_store("put", &[Value::from(key), value.clone()])?;
+        let version = out.as_i64().unwrap_or(0) as u64;
+        let mut cache = self.cache.lock();
+        let newer = cache.get(key).is_none_or(|(_, v)| *v < version);
+        if newer {
+            cache.insert(key.to_owned(), (value, version));
+        }
+        Ok(version)
+    }
+
+    /// Write-through removal.
+    ///
+    /// # Errors
+    ///
+    /// Returns invocation errors.
+    pub fn remove(&self, key: &str) -> Result<u64, EngineError> {
+        let out = self.invoke_store("remove", &[Value::from(key)])?;
+        let version = out.as_i64().unwrap_or(0) as u64;
+        self.cache.lock().remove(key);
+        Ok(version)
+    }
+
+    /// Number of locally cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+
+    /// Waits until the replica has observed at least `version` for `key`
+    /// (test/synchronization helper).
+    pub fn wait_for(&self, key: &str, version: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.local_version(key).is_some_and(|v| v >= version) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Detaches: unsubscribes and releases the store proxy. Idempotent.
+    pub fn detach(&self) {
+        let mut detached = self.detached.lock();
+        if *detached {
+            return;
+        }
+        *detached = true;
+        self.framework.event_admin().unsubscribe(self.subscription);
+        let _ = self.endpoint.release_service(&self.interface);
+    }
+
+    fn invoke_store(&self, method: &str, args: &[Value]) -> Result<Value, EngineError> {
+        let svc = self
+            .framework
+            .registry()
+            .get_service(&self.interface)
+            .ok_or(ServiceCallError::ServiceGone)?;
+        Ok(svc.invoke(method, args)?)
+    }
+}
+
+impl Drop for DataReplica {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+impl fmt::Debug for DataReplica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataReplica")
+            .field("store", &self.store_name)
+            .field("cached", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_versions_are_monotonic() {
+        let store = DataStore::new("t", EventAdmin::new());
+        assert!(store.is_empty());
+        let v1 = store.put("a", Value::I64(1));
+        let v2 = store.put("b", Value::I64(2));
+        let v3 = store.put("a", Value::I64(3));
+        assert!(v1 < v2 && v2 < v3);
+        assert_eq!(store.version(), v3);
+        assert_eq!(store.get("a").unwrap().0, Value::I64(3));
+        assert_eq!(store.get("a").unwrap().1, v3);
+        let v4 = store.remove("a");
+        assert!(v4 > v3);
+        assert!(store.get("a").is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_service_facade() {
+        let store = DataStore::new("t", EventAdmin::new());
+        let v = store
+            .invoke("put", &[Value::from("k"), Value::from("val")])
+            .unwrap();
+        assert_eq!(v, Value::I64(1));
+        assert_eq!(store.invoke("get", &[Value::from("k")]).unwrap(), Value::from("val"));
+        assert_eq!(store.invoke("get", &[Value::from("nope")]).unwrap(), Value::Unit);
+        let snap = store.invoke("snapshot", &[]).unwrap();
+        assert_eq!(snap.as_map().unwrap().len(), 1);
+        assert_eq!(store.invoke("version", &[]).unwrap(), Value::I64(1));
+        assert!(matches!(
+            store.invoke("get", &[]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        assert!(matches!(
+            store.invoke("nope", &[]),
+            Err(ServiceCallError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn store_publishes_change_events() {
+        let events = EventAdmin::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        events.subscribe("data/t/changed", move |e| {
+            s.lock().push((
+                e.properties.get_str("key").unwrap().to_owned(),
+                e.properties.get_i64("version").unwrap(),
+                e.properties.get_bool("removed").unwrap_or(false),
+            ));
+        });
+        let store = DataStore::new("t", events);
+        store.put("x", Value::I64(1));
+        store.remove("x");
+        let log = seen.lock();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], ("x".into(), 1, false));
+        assert_eq!(log[1], ("x".into(), 2, true));
+    }
+
+    #[test]
+    fn interface_is_complete() {
+        let store = DataStore::new("shopdb", EventAdmin::new());
+        let iface = store.interface();
+        assert_eq!(iface.name, "alfredo.data.shopdb");
+        for m in ["get", "put", "remove", "snapshot", "version"] {
+            assert!(iface.method(m).is_some(), "{m}");
+        }
+        assert_eq!(store.describe().unwrap(), iface);
+    }
+
+    #[test]
+    fn registration_helper() {
+        let fw = Framework::new();
+        let (store, _reg) = register_data_store(&fw, "prices").unwrap();
+        assert!(fw
+            .registry()
+            .get_service("alfredo.data.prices")
+            .is_some());
+        store.put("bed", Value::I64(49_900));
+        let svc = fw.registry().get_service("alfredo.data.prices").unwrap();
+        assert_eq!(
+            svc.invoke("get", &[Value::from("bed")]).unwrap(),
+            Value::I64(49_900)
+        );
+    }
+}

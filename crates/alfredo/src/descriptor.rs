@@ -1,0 +1,390 @@
+//! The AlfredO service descriptor.
+//!
+//! "Initially, the target device provides the mobile phone with two
+//! elements: the interface of the service of interest and a service
+//! descriptor. The service descriptor consists of three parts. First, it
+//! contains an abstract description of the user interface … Second, it
+//! includes a list of services on which the service of interest depends.
+//! Third, for each service in the dependency list it includes an abstract
+//! description of its requirements (e.g., other service dependencies,
+//! memory and CPU lower boundaries, etc.)." (§3.2)
+//!
+//! The descriptor also carries the declarative controller program (the
+//! rules from which the AlfredOEngine generates the application's
+//! Controller). Everything in it is pure data — shipping it grants the
+//! phone no executable code.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use alfredo_ui::{CapabilityInterface, UiDescription};
+
+use crate::controller::ControllerProgram;
+use crate::tier::Tier;
+
+/// Errors for descriptor encoding/decoding/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// The descriptor failed to decode.
+    Malformed(String),
+    /// The descriptor's UI failed validation.
+    InvalidUi(String),
+    /// A dependency is listed twice.
+    DuplicateDependency(String),
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::Malformed(m) => write!(f, "malformed descriptor: {m}"),
+            DescriptorError::InvalidUi(m) => write!(f, "invalid UI description: {m}"),
+            DescriptorError::DuplicateDependency(d) => {
+                write!(f, "duplicate dependency: {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+/// Abstract lower bounds a component needs from its host.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceRequirements {
+    /// Minimum free memory in bytes.
+    pub min_memory_bytes: u64,
+    /// Minimum CPU clock in MHz.
+    pub min_cpu_mhz: u32,
+    /// Capability interfaces that must be available.
+    pub capabilities: Vec<CapabilityInterface>,
+}
+
+impl ResourceRequirements {
+    /// No requirements.
+    pub fn none() -> Self {
+        ResourceRequirements::default()
+    }
+
+    /// Builder-style memory bound.
+    pub fn with_memory(mut self, bytes: u64) -> Self {
+        self.min_memory_bytes = bytes;
+        self
+    }
+
+    /// Builder-style CPU bound.
+    pub fn with_cpu_mhz(mut self, mhz: u32) -> Self {
+        self.min_cpu_mhz = mhz;
+        self
+    }
+
+    /// Builder-style capability requirement.
+    pub fn with_capability(mut self, cap: CapabilityInterface) -> Self {
+        if !self.capabilities.contains(&cap) {
+            self.capabilities.push(cap);
+        }
+        self
+    }
+
+    /// Whether a host with the given resources satisfies these bounds.
+    pub fn satisfied_by(&self, free_memory_bytes: u64, cpu_mhz: u32) -> bool {
+        free_memory_bytes >= self.min_memory_bytes && cpu_mhz >= self.min_cpu_mhz
+    }
+}
+
+/// One entry of the descriptor's dependency list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependencySpec {
+    /// The depended-on service's interface.
+    pub interface: String,
+    /// The tier the dependency belongs to (logic components are the
+    /// candidates for offloading).
+    pub tier: Tier,
+    /// Whether the target device is willing to ship this component to the
+    /// client at all.
+    pub offloadable: bool,
+    /// Lower bounds the client must meet to host it.
+    pub requirements: ResourceRequirements,
+}
+
+impl DependencySpec {
+    /// Creates a non-offloadable logic dependency.
+    pub fn fixed(interface: impl Into<String>) -> Self {
+        DependencySpec {
+            interface: interface.into(),
+            tier: Tier::Logic,
+            offloadable: false,
+            requirements: ResourceRequirements::none(),
+        }
+    }
+
+    /// Creates an offloadable logic dependency with requirements.
+    pub fn offloadable(interface: impl Into<String>, requirements: ResourceRequirements) -> Self {
+        DependencySpec {
+            interface: interface.into(),
+            tier: Tier::Logic,
+            offloadable: true,
+            requirements,
+        }
+    }
+}
+
+/// The complete service descriptor shipped to the phone.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_core::{ControllerProgram, DependencySpec, ResourceRequirements, ServiceDescriptor};
+/// use alfredo_ui::{Control, UiDescription};
+///
+/// # fn main() -> Result<(), alfredo_core::DescriptorError> {
+/// let descriptor = ServiceDescriptor::new(
+///     "shop.Catalog",
+///     UiDescription::new("shop").with_control(Control::label("t", "Products")),
+/// )
+/// .with_dependency(DependencySpec::offloadable(
+///     "shop.Compare",
+///     ResourceRequirements::none().with_memory(1 << 20),
+/// ));
+/// descriptor.validate()?;
+/// let bytes = descriptor.encode();
+/// assert_eq!(ServiceDescriptor::decode(&bytes)?, descriptor);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDescriptor {
+    /// The main service's interface name.
+    pub service: String,
+    /// The abstract UI description (part one of the descriptor).
+    pub ui: UiDescription,
+    /// The dependency list (part two) with requirements (part three).
+    pub dependencies: Vec<DependencySpec>,
+    /// Requirements of the presentation tier itself on the phone.
+    pub presentation_requirements: ResourceRequirements,
+    /// The declarative controller program.
+    pub controller: ControllerProgram,
+}
+
+impl ServiceDescriptor {
+    /// Creates a descriptor with no dependencies and an empty controller.
+    pub fn new(service: impl Into<String>, ui: UiDescription) -> Self {
+        ServiceDescriptor {
+            service: service.into(),
+            ui,
+            dependencies: Vec::new(),
+            presentation_requirements: ResourceRequirements::none(),
+            controller: ControllerProgram::default(),
+        }
+    }
+
+    /// Builder-style: adds a dependency.
+    pub fn with_dependency(mut self, dep: DependencySpec) -> Self {
+        self.dependencies.push(dep);
+        self
+    }
+
+    /// Builder-style: sets presentation-tier requirements.
+    pub fn with_presentation_requirements(mut self, req: ResourceRequirements) -> Self {
+        self.presentation_requirements = req;
+        self
+    }
+
+    /// Builder-style: sets the controller program.
+    pub fn with_controller(mut self, controller: ControllerProgram) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// The offloadable logic dependencies.
+    pub fn offloadable_dependencies(&self) -> Vec<&DependencySpec> {
+        self.dependencies
+            .iter()
+            .filter(|d| d.offloadable && d.tier == Tier::Logic)
+            .collect()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::InvalidUi`] or
+    /// [`DescriptorError::DuplicateDependency`].
+    pub fn validate(&self) -> Result<(), DescriptorError> {
+        self.ui
+            .validate()
+            .map_err(|e| DescriptorError::InvalidUi(e.to_string()))?;
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &self.dependencies {
+            if !seen.insert(&d.interface) {
+                return Err(DescriptorError::DuplicateDependency(d.interface.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the descriptor for shipping (rides in the R-OSGi
+    /// `ServiceBundle` message as the opaque descriptor payload). The
+    /// encoding reuses the serde data model via JSON for the controller
+    /// and requirements — human-inspectable, and its byte length is what
+    /// the footprint experiments report — but frames it with the compact
+    /// wire format so it is one self-delimiting blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = alfredo_net::ByteWriter::new();
+        w.put_str(&self.service);
+        w.put_bytes(&self.ui.encode());
+        let meta = serde_json::to_vec(&DescriptorMeta {
+            dependencies: self.dependencies.clone(),
+            presentation_requirements: self.presentation_requirements.clone(),
+            controller: self.controller.clone(),
+        })
+        .expect("descriptor meta serializes");
+        w.put_bytes(&meta);
+        w.into_bytes()
+    }
+
+    /// Decodes a shipped descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::Malformed`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, DescriptorError> {
+        let mut r = alfredo_net::ByteReader::new(bytes);
+        let malformed = |e: String| DescriptorError::Malformed(e);
+        let service = r
+            .str()
+            .map_err(|e| malformed(e.to_string()))?
+            .to_owned();
+        let ui_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
+        let ui = UiDescription::decode(ui_bytes).map_err(|e| malformed(e.to_string()))?;
+        let meta_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
+        let meta: DescriptorMeta =
+            serde_json::from_slice(meta_bytes).map_err(|e| malformed(e.to_string()))?;
+        if !r.is_empty() {
+            return Err(DescriptorError::Malformed(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(ServiceDescriptor {
+            service,
+            ui,
+            dependencies: meta.dependencies,
+            presentation_requirements: meta.presentation_requirements,
+            controller: meta.controller,
+        })
+    }
+
+    /// The shipped size in bytes.
+    pub fn footprint(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct DescriptorMeta {
+    dependencies: Vec<DependencySpec>,
+    presentation_requirements: ResourceRequirements,
+    controller: ControllerProgram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Binding, MethodCall, Rule};
+    use alfredo_ui::Control;
+
+    fn sample() -> ServiceDescriptor {
+        ServiceDescriptor::new(
+            "shop.Catalog",
+            UiDescription::new("shop")
+                .with_control(Control::label("title", "Products"))
+                .with_control(Control::list("products", ["Bed", "Sofa"])),
+        )
+        .with_dependency(DependencySpec::offloadable(
+            "shop.Compare",
+            ResourceRequirements::none()
+                .with_memory(1 << 20)
+                .with_cpu_mhz(100),
+        ))
+        .with_dependency(DependencySpec::fixed("shop.Inventory"))
+        .with_presentation_requirements(ResourceRequirements::none().with_memory(64 << 10))
+        .with_controller(ControllerProgram::new(vec![Rule::on_click(
+            "refresh",
+            MethodCall::new("shop.Catalog", "list_products", vec![]),
+            Some(Binding::to_slot("products", "items")),
+        )]))
+    }
+
+    #[test]
+    fn round_trips_through_wire() {
+        let d = sample();
+        let bytes = d.encode();
+        assert_eq!(ServiceDescriptor::decode(&bytes).unwrap(), d);
+        assert_eq!(d.footprint(), bytes.len());
+    }
+
+    #[test]
+    fn descriptor_is_about_the_papers_size() {
+        // Table 1: roughly 2 kB ships per application (interface +
+        // descriptor). Our realistic descriptor should be the same order
+        // of magnitude.
+        let size = sample().footprint();
+        assert!((200..4096).contains(&size), "descriptor size {size}");
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        sample().validate().unwrap();
+        let dup = sample().with_dependency(DependencySpec::fixed("shop.Inventory"));
+        assert!(matches!(
+            dup.validate(),
+            Err(DescriptorError::DuplicateDependency(_))
+        ));
+        let bad_ui = ServiceDescriptor::new(
+            "x",
+            UiDescription::new("x")
+                .with_control(Control::label("a", "1"))
+                .with_control(Control::label("a", "2")),
+        );
+        assert!(matches!(
+            bad_ui.validate(),
+            Err(DescriptorError::InvalidUi(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample().encode();
+        assert!(ServiceDescriptor::decode(&bytes[..bytes.len() / 2]).is_err());
+        let mut extended = bytes;
+        extended.push(1);
+        assert!(ServiceDescriptor::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn offloadable_dependencies_filtered() {
+        let d = sample();
+        let off = d.offloadable_dependencies();
+        assert_eq!(off.len(), 1);
+        assert_eq!(off[0].interface, "shop.Compare");
+    }
+
+    #[test]
+    fn requirements_satisfaction() {
+        let req = ResourceRequirements::none()
+            .with_memory(1 << 20)
+            .with_cpu_mhz(150);
+        assert!(req.satisfied_by(2 << 20, 150));
+        assert!(!req.satisfied_by(1 << 19, 300));
+        assert!(!req.satisfied_by(2 << 20, 100));
+        assert!(ResourceRequirements::none().satisfied_by(0, 0));
+    }
+
+    #[test]
+    fn capability_requirements_dedupe() {
+        let req = ResourceRequirements::none()
+            .with_capability(CapabilityInterface::ScreenDevice)
+            .with_capability(CapabilityInterface::ScreenDevice);
+        assert_eq!(req.capabilities.len(), 1);
+    }
+}

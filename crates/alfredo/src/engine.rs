@@ -1,0 +1,495 @@
+//! The AlfredOEngine: the phone-side runtime and the target-device host.
+//!
+//! The engine drives the full interaction of §3.2: discover (or be
+//! invited by) a target device, connect and exchange leases, pick a
+//! service, lease its presentation tier (interface + descriptor), let the
+//! distribution policy decide the tier assignment, optionally pull
+//! offloadable logic-tier components, generate the View (renderer) and the
+//! Controller (rule interpreter), and hand back a live
+//! [`AlfredOSession`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use alfredo_net::{InMemoryNetwork, PeerAddr, Transport};
+use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError};
+use alfredo_rosgi::endpoint::{PROP_DESCRIPTOR, PROP_SMART_PROXY_KEY, PROP_SMART_PROXY_METHODS};
+use alfredo_rosgi::{
+    DiscoveryDirectory, EndpointConfig, RemoteEndpoint, RemoteServiceInfo, RosgiError, ServiceUrl,
+};
+use alfredo_ui::render::select_renderer;
+use alfredo_ui::{DeviceCapabilities, UiError, UiState};
+
+use crate::descriptor::{DescriptorError, ServiceDescriptor};
+use crate::policy::{ClientContext, DistributionPolicy, ThinClientPolicy};
+use crate::security::{SecurityError, SecurityPolicy};
+use crate::session::AlfredOSession;
+use crate::tier::Placement;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The remote-service layer failed.
+    Rosgi(RosgiError),
+    /// The shipped descriptor was missing or malformed.
+    Descriptor(DescriptorError),
+    /// The target service shipped no descriptor at all.
+    MissingDescriptor(String),
+    /// The UI could not be rendered on this device.
+    Ui(UiError),
+    /// The security policy refused the interaction.
+    Security(SecurityError),
+    /// A service invocation failed.
+    Call(ServiceCallError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rosgi(e) => write!(f, "remote service error: {e}"),
+            EngineError::Descriptor(e) => write!(f, "descriptor error: {e}"),
+            EngineError::MissingDescriptor(s) => {
+                write!(f, "service {s} shipped no AlfredO descriptor")
+            }
+            EngineError::Ui(e) => write!(f, "ui error: {e}"),
+            EngineError::Security(e) => write!(f, "security policy violation: {e}"),
+            EngineError::Call(e) => write!(f, "service call failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RosgiError> for EngineError {
+    fn from(e: RosgiError) -> Self {
+        EngineError::Rosgi(e)
+    }
+}
+
+impl From<DescriptorError> for EngineError {
+    fn from(e: DescriptorError) -> Self {
+        EngineError::Descriptor(e)
+    }
+}
+
+impl From<UiError> for EngineError {
+    fn from(e: UiError) -> Self {
+        EngineError::Ui(e)
+    }
+}
+
+impl From<SecurityError> for EngineError {
+    fn from(e: SecurityError) -> Self {
+        EngineError::Security(e)
+    }
+}
+
+impl From<ServiceCallError> for EngineError {
+    fn from(e: ServiceCallError) -> Self {
+        EngineError::Call(e)
+    }
+}
+
+/// Phone-side engine configuration.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// The phone's network name.
+    pub device_name: String,
+    /// The phone's input/output capabilities (drives rendering).
+    pub capabilities: DeviceCapabilities,
+    /// The phone's execution context (drives tier distribution).
+    pub context: ClientContext,
+    /// The sandbox policy.
+    pub security: SecurityPolicy,
+    /// Factories for smart-proxy local halves (trusted mode).
+    pub code_registry: CodeRegistry,
+    /// Remote invocation timeout.
+    pub invoke_timeout: Duration,
+}
+
+impl EngineConfig {
+    /// A phone in an untrusted environment with the given capabilities.
+    pub fn phone(device_name: impl Into<String>, capabilities: DeviceCapabilities) -> Self {
+        EngineConfig {
+            device_name: device_name.into(),
+            capabilities,
+            context: ClientContext::untrusted_phone(),
+            security: SecurityPolicy::sandbox(),
+            code_registry: CodeRegistry::new(),
+            invoke_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Builder-style: marks the environment trusted and provides the code
+    /// registry for smart proxies.
+    pub fn trusted(mut self, code_registry: CodeRegistry) -> Self {
+        self.context = ClientContext {
+            trust: crate::security::TrustLevel::Trusted,
+            ..self.context
+        };
+        self.code_registry = code_registry;
+        self
+    }
+
+    /// Builder-style: overrides the client context.
+    pub fn with_context(mut self, context: ClientContext) -> Self {
+        self.context = context;
+        self
+    }
+}
+
+impl fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("device_name", &self.device_name)
+            .field("device", &self.capabilities.device)
+            .field("trust", &self.context.trust)
+            .finish()
+    }
+}
+
+/// The phone-side AlfredO runtime.
+pub struct AlfredOEngine {
+    framework: Framework,
+    network: InMemoryNetwork,
+    discovery: DiscoveryDirectory,
+    config: EngineConfig,
+    policy: Arc<dyn DistributionPolicy>,
+}
+
+impl AlfredOEngine {
+    /// Creates an engine with the default [`ThinClientPolicy`].
+    pub fn new(
+        framework: Framework,
+        network: InMemoryNetwork,
+        discovery: DiscoveryDirectory,
+        config: EngineConfig,
+    ) -> Self {
+        AlfredOEngine {
+            framework,
+            network,
+            discovery,
+            config,
+            policy: Arc::new(ThinClientPolicy),
+        }
+    }
+
+    /// Builder-style: replaces the distribution policy.
+    pub fn with_policy(mut self, policy: impl DistributionPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// The phone's framework.
+    pub fn framework(&self) -> &Framework {
+        &self.framework
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Discovers target devices advertising `service_type` (SLP-style).
+    pub fn discover(&self, service_type: &str, now: u64) -> Vec<ServiceUrl> {
+        self.discovery.find(service_type, now)
+    }
+
+    /// All advertised devices (the "information about new devices" shown
+    /// to the user).
+    pub fn nearby_devices(&self, now: u64) -> Vec<ServiceUrl> {
+        self.discovery.all(now)
+    }
+
+    /// Connects to a target device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rosgi`] on connection or handshake failure.
+    pub fn connect(&self, target: &PeerAddr) -> Result<AlfredOConnection, EngineError> {
+        let transport = self
+            .network
+            .connect(PeerAddr::new(self.config.device_name.clone()), target.clone())
+            .map_err(RosgiError::Transport)?;
+        self.connect_transport(Box::new(transport))
+    }
+
+    /// Connects over an already-established transport (any medium).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rosgi`] on handshake failure.
+    pub fn connect_transport(
+        &self,
+        transport: Box<dyn Transport>,
+    ) -> Result<AlfredOConnection, EngineError> {
+        let mut ep_config = EndpointConfig::named(self.config.device_name.clone())
+            .with_invoke_timeout(self.config.invoke_timeout);
+        if self
+            .config
+            .security
+            .permits_smart_proxies(self.config.context.trust)
+        {
+            ep_config = ep_config.with_smart_proxies(self.config.code_registry.clone());
+        }
+        let endpoint = RemoteEndpoint::establish(transport, self.framework.clone(), ep_config)?;
+        Ok(AlfredOConnection {
+            endpoint: Arc::new(endpoint),
+            framework: self.framework.clone(),
+            config: self.config.clone(),
+            policy: Arc::clone(&self.policy),
+        })
+    }
+}
+
+impl fmt::Debug for AlfredOEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlfredOEngine")
+            .field("device", &self.config.device_name)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// A live connection from the phone to one target device.
+pub struct AlfredOConnection {
+    endpoint: Arc<RemoteEndpoint>,
+    framework: Framework,
+    config: EngineConfig,
+    policy: Arc<dyn DistributionPolicy>,
+}
+
+impl AlfredOConnection {
+    /// The services the target device offers (from the symmetric lease).
+    pub fn available_services(&self) -> Vec<RemoteServiceInfo> {
+        self.endpoint.remote_services()
+    }
+
+    /// Raw access to the underlying endpoint.
+    pub fn endpoint(&self) -> &RemoteEndpoint {
+        &self.endpoint
+    }
+
+    /// A shared handle to the underlying endpoint (for components that
+    /// outlive a borrow, e.g. [`crate::DataReplica`]).
+    pub fn endpoint_handle(&self) -> Arc<RemoteEndpoint> {
+        Arc::clone(&self.endpoint)
+    }
+
+    /// Leases `interface` and turns the phone into its tailored client:
+    /// fetches interface + descriptor, lets the policy place the tiers,
+    /// pulls offloaded logic components, renders the UI, and builds the
+    /// controller. This is the paper's "a phone is capable of turning in
+    /// a fully operational client of a target service provider in a few
+    /// seconds" path, end to end.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`EngineError`] variants, depending on the failing
+    /// stage.
+    pub fn acquire(&self, interface: &str) -> Result<AlfredOSession, EngineError> {
+        // 1. Presentation tier: interface + descriptor.
+        let fetched = self.endpoint.fetch_service(interface)?;
+        let descriptor_bytes = fetched
+            .descriptor
+            .as_deref()
+            .ok_or_else(|| EngineError::MissingDescriptor(interface.to_owned()))?;
+        let descriptor = ServiceDescriptor::decode(descriptor_bytes)?;
+        descriptor.validate()?;
+
+        // 2. Security: the main fetch may only carry code if trusted.
+        self.config.security.admit_artifact(
+            fetched.smart,
+            self.config.context.trust,
+            &self.endpoint.remote_peer(),
+        )?;
+
+        // 3. Tier distribution.
+        let assignment = self.policy.decide(&descriptor, &self.config.context);
+        let mut fetched_interfaces = vec![interface.to_owned()];
+        for (dep, placement) in assignment.logic() {
+            if *placement == Placement::Client {
+                let dep_fetch = self.endpoint.fetch_service(dep)?;
+                self.config.security.admit_artifact(
+                    dep_fetch.smart,
+                    self.config.context.trust,
+                    &self.endpoint.remote_peer(),
+                )?;
+                fetched_interfaces.push(dep.clone());
+            }
+        }
+
+        // 4. View: render for this device.
+        let renderer = select_renderer(&self.config.capabilities);
+        let rendered = renderer.render(&descriptor.ui, &self.config.capabilities)?;
+        let state = UiState::from_description(&descriptor.ui);
+
+        // 5. Controller: interpreted from the descriptor's rule program.
+        Ok(AlfredOSession::new(
+            self.framework.clone(),
+            Arc::clone(&self.endpoint),
+            descriptor,
+            assignment,
+            rendered,
+            self.config.capabilities.clone(),
+            state,
+            fetched_interfaces,
+            fetched.transferred_bytes,
+            fetched.proxy_footprint,
+        ))
+    }
+
+    /// Closes the connection; all proxies are uninstalled.
+    pub fn close(&self) {
+        self.endpoint.close();
+    }
+}
+
+impl fmt::Debug for AlfredOConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlfredOConnection")
+            .field("remote", &self.endpoint.remote_peer())
+            .field("closed", &self.endpoint.is_closed())
+            .finish()
+    }
+}
+
+/// Registers an AlfredO service on a target device's framework: the
+/// service object plus its descriptor (and optional smart-proxy offer) as
+/// registration properties that R-OSGi ships on fetch.
+///
+/// # Errors
+///
+/// Returns the registration error if the interface list is empty.
+pub fn host_service(
+    framework: &Framework,
+    interface: &str,
+    service: Arc<dyn Service>,
+    descriptor: &ServiceDescriptor,
+    smart_proxy: Option<(&str, Vec<String>)>,
+    extra_props: Properties,
+) -> Result<alfredo_osgi::ServiceRegistration, alfredo_osgi::OsgiError> {
+    let mut props = extra_props.with(PROP_DESCRIPTOR, descriptor.encode());
+    if let Some((key, methods)) = smart_proxy {
+        props.insert(PROP_SMART_PROXY_KEY, key);
+        props.insert(
+            PROP_SMART_PROXY_METHODS,
+            alfredo_osgi::Value::List(
+                methods.into_iter().map(alfredo_osgi::Value::Str).collect(),
+            ),
+        );
+    }
+    framework
+        .system_context()
+        .register_service(&[interface], service, props)
+}
+
+/// A running target device: accepts connections until stopped.
+pub struct ServedDevice {
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    addr: PeerAddr,
+}
+
+impl ServedDevice {
+    /// The address the device listens on.
+    pub fn addr(&self) -> &PeerAddr {
+        &self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServedDevice {
+    fn drop(&mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for ServedDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServedDevice").field("addr", &self.addr).finish()
+    }
+}
+
+/// Runs a target device: binds `addr` on `network` and serves every
+/// incoming connection with a fresh endpoint over `framework` until
+/// stopped.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Rosgi`] if the address is already bound.
+pub fn serve_device(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+) -> Result<ServedDevice, EngineError> {
+    let listener = network
+        .bind(addr.clone())
+        .map_err(RosgiError::Transport)?;
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let name = addr.as_str().to_owned();
+    let handle = std::thread::Builder::new()
+        .name(format!("alfredo-device-{name}"))
+        .spawn(move || {
+            while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+                match listener.accept_timeout(Duration::from_millis(50)) {
+                    Ok(conn) => {
+                        let fw = framework.clone();
+                        let cfg = EndpointConfig::named(name.clone());
+                        std::thread::spawn(move || {
+                            if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw, cfg) {
+                                ep.join();
+                            }
+                        });
+                    }
+                    Err(alfredo_net::TransportError::Timeout) => continue,
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn device accept loop");
+    Ok(ServedDevice {
+        shutdown,
+        handle: Some(handle),
+        addr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_error_conversions_display() {
+        let e: EngineError = RosgiError::Closed.into();
+        assert!(e.to_string().contains("remote service"));
+        let e: EngineError = DescriptorError::Malformed("x".into()).into();
+        assert!(e.to_string().contains("descriptor"));
+        let e = EngineError::MissingDescriptor("a.B".into());
+        assert!(e.to_string().contains("a.B"));
+        let e: EngineError = ServiceCallError::ServiceGone.into();
+        assert!(e.to_string().contains("call"));
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i());
+        assert_eq!(
+            cfg.context.trust,
+            crate::security::TrustLevel::Untrusted
+        );
+        let cfg = cfg.trusted(CodeRegistry::new());
+        assert_eq!(cfg.context.trust, crate::security::TrustLevel::Trusted);
+    }
+}

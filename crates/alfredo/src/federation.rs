@@ -1,0 +1,279 @@
+//! Device federation: implementing a UI's capabilities across devices.
+//!
+//! "In principle, multiple devices can be federated to implement the
+//! abstract specifications of the given UI. … For example, the phone may
+//! decide to use a notebook's screen with larger resolution; in this
+//! case, the ScreenDevice service would be implemented remotely by the
+//! notebook platform and invoked on the phone through a local proxy."
+//! (§3.3)
+//!
+//! This module makes that concrete: a device exports a
+//! [`ScreenService`] under the `ui.ScreenDevice` interface; the phone
+//! calls [`project_ui`] to resolve the UI's capability plan across its
+//! own hardware plus the remote screen, render for the *remote*
+//! resolution, and push frames through the fetched proxy.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use alfredo_osgi::{
+    Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
+    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+};
+use alfredo_rosgi::RemoteEndpoint;
+use alfredo_ui::capability::{Assignment, CapabilityPlan, ConcreteCapability};
+use alfredo_ui::render::{RenderedUi, Renderer, WidgetRenderer};
+use alfredo_ui::{CapabilityInterface, DeviceCapabilities, UiDescription};
+
+use crate::engine::EngineError;
+
+/// The interface name a federated screen registers under.
+pub const SCREEN_INTERFACE: &str = "ui.ScreenDevice";
+
+/// A device-side screen: accepts rendered frames for display.
+pub struct ScreenService {
+    device: String,
+    width: u32,
+    height: u32,
+    last_frame: Mutex<Option<String>>,
+    frames: Mutex<u64>,
+}
+
+impl ScreenService {
+    /// Creates a screen of the given pixel size on `device`.
+    pub fn new(device: impl Into<String>, width: u32, height: u32) -> Self {
+        ScreenService {
+            device: device.into(),
+            width,
+            height,
+            last_frame: Mutex::new(None),
+            frames: Mutex::new(0),
+        }
+    }
+
+    /// The most recently displayed frame.
+    pub fn last_frame(&self) -> Option<String> {
+        self.last_frame.lock().clone()
+    }
+
+    /// Number of frames displayed.
+    pub fn frames_displayed(&self) -> u64 {
+        *self.frames.lock()
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            SCREEN_INTERFACE,
+            vec![
+                MethodSpec::new(
+                    "dimensions",
+                    vec![],
+                    TypeHint::Struct,
+                    "The screen's pixel dimensions.",
+                ),
+                MethodSpec::new(
+                    "display",
+                    vec![ParamSpec::new("frame", TypeHint::Str)],
+                    TypeHint::Unit,
+                    "Show a rendered frame.",
+                ),
+                MethodSpec::new("clear", vec![], TypeHint::Unit, "Blank the screen."),
+            ],
+        )
+    }
+}
+
+impl Service for ScreenService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "dimensions" => Ok(Value::structure(
+                "ui.Dimensions",
+                [
+                    ("width", Value::from(i64::from(self.width))),
+                    ("height", Value::from(i64::from(self.height))),
+                    ("device", Value::from(self.device.as_str())),
+                ],
+            )),
+            "display" => {
+                let frame = args.first().and_then(Value::as_str).ok_or_else(|| {
+                    ServiceCallError::BadArguments("display expects a frame string".into())
+                })?;
+                *self.last_frame.lock() = Some(frame.to_owned());
+                *self.frames.lock() += 1;
+                Ok(Value::Unit)
+            }
+            "clear" => {
+                *self.last_frame.lock() = None;
+                Ok(Value::Unit)
+            }
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(ScreenService::interface())
+    }
+}
+
+impl fmt::Debug for ScreenService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScreenService")
+            .field("device", &self.device)
+            .field("size", &(self.width, self.height))
+            .field("frames", &self.frames_displayed())
+            .finish()
+    }
+}
+
+/// Registers a [`ScreenService`] on a device's framework.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_screen(
+    framework: &Framework,
+    device: impl Into<String>,
+    width: u32,
+    height: u32,
+) -> Result<(Arc<ScreenService>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let screen = Arc::new(ScreenService::new(device, width, height));
+    let registration = framework.system_context().register_service(
+        &[SCREEN_INTERFACE],
+        Arc::clone(&screen) as Arc<dyn Service>,
+        Properties::new().with("ui.screen.width", i64::from(width)),
+    )?;
+    Ok((screen, registration))
+}
+
+/// The outcome of projecting a UI onto a federated screen.
+#[derive(Debug)]
+pub struct Projection {
+    /// The capability plan that was resolved.
+    pub plan: CapabilityPlan,
+    /// The UI as rendered for the remote screen.
+    pub rendered: RenderedUi,
+    /// The remote screen's advertised capabilities.
+    pub remote_caps: DeviceCapabilities,
+}
+
+impl Projection {
+    /// The assignment chosen for the screen interface.
+    pub fn screen_assignment(&self) -> Option<&Assignment> {
+        self.plan.assignment(CapabilityInterface::ScreenDevice)
+    }
+}
+
+/// Projects `ui` onto the peer's screen: fetches the `ui.ScreenDevice`
+/// proxy, queries its dimensions, resolves the capability plan with the
+/// remote screen federated in, renders for whichever screen won, and — if
+/// the remote screen won — pushes the frame through the proxy.
+///
+/// # Errors
+///
+/// Returns fetch/invoke errors, or [`EngineError::Ui`] if the UI cannot
+/// be satisfied even with federation.
+pub fn project_ui(
+    framework: &Framework,
+    endpoint: &RemoteEndpoint,
+    ui: &UiDescription,
+    local_caps: &DeviceCapabilities,
+) -> Result<Projection, EngineError> {
+    endpoint.fetch_service(SCREEN_INTERFACE)?;
+    let proxy = framework
+        .registry()
+        .get_service(SCREEN_INTERFACE)
+        .ok_or(ServiceCallError::ServiceGone)?;
+    let dims = proxy.invoke("dimensions", &[])?;
+    let width = dims.field("width").and_then(Value::as_i64).unwrap_or(0) as u32;
+    let height = dims.field("height").and_then(Value::as_i64).unwrap_or(0) as u32;
+    let device = dims
+        .field("device")
+        .and_then(Value::as_str)
+        .unwrap_or("remote screen")
+        .to_owned();
+    let remote_caps = DeviceCapabilities::new(
+        device,
+        vec![ConcreteCapability::Screen { width, height }],
+    );
+
+    // Resolve with federation: input stays local, the bigger screen wins.
+    let mut required = ui.required_capabilities();
+    if !required.contains(&CapabilityInterface::ScreenDevice) {
+        required.push(CapabilityInterface::ScreenDevice);
+    }
+    let plan = CapabilityPlan::resolve(&required, local_caps, &[&remote_caps])?;
+
+    // Render for whichever screen the plan chose.
+    let target_caps = match plan.assignment(CapabilityInterface::ScreenDevice) {
+        Some(a) if a.remote => {
+            // Remote screen, local inputs.
+            let mut caps = local_caps.capabilities.clone();
+            caps.retain(|c| !matches!(c, ConcreteCapability::Screen { .. }));
+            caps.push(ConcreteCapability::Screen { width, height });
+            DeviceCapabilities::new(local_caps.device.clone(), caps)
+        }
+        _ => local_caps.clone(),
+    };
+    let rendered = WidgetRenderer::default().render(ui, &target_caps)?;
+
+    if plan
+        .assignment(CapabilityInterface::ScreenDevice)
+        .is_some_and(|a| a.remote)
+    {
+        proxy.invoke("display", &[Value::from(rendered.as_text())])?;
+    }
+
+    Ok(Projection {
+        plan,
+        rendered,
+        remote_caps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screen_service_stores_frames() {
+        let screen = ScreenService::new("Notebook", 1280, 800);
+        assert_eq!(screen.last_frame(), None);
+        let dims = screen.invoke("dimensions", &[]).unwrap();
+        assert_eq!(dims.field("width").and_then(Value::as_i64), Some(1280));
+        screen
+            .invoke("display", &[Value::from("frame-1")])
+            .unwrap();
+        assert_eq!(screen.last_frame(), Some("frame-1".into()));
+        assert_eq!(screen.frames_displayed(), 1);
+        screen.invoke("clear", &[]).unwrap();
+        assert_eq!(screen.last_frame(), None);
+        assert!(matches!(
+            screen.invoke("display", &[]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn interface_is_shippable() {
+        let iface = ScreenService::interface();
+        assert_eq!(iface.name, SCREEN_INTERFACE);
+        assert!(iface.method("display").is_some());
+        let bytes = iface.encode();
+        assert_eq!(
+            ServiceInterfaceDesc::decode(&bytes).unwrap().name,
+            SCREEN_INTERFACE
+        );
+    }
+
+    #[test]
+    fn registration_helper() {
+        let fw = Framework::new();
+        let (screen, _reg) = register_screen(&fw, "Notebook", 1024, 768).unwrap();
+        let svc = fw.registry().get_service(SCREEN_INTERFACE).unwrap();
+        svc.invoke("display", &[Value::from("x")]).unwrap();
+        assert_eq!(screen.frames_displayed(), 1);
+    }
+}

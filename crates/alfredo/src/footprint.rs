@@ -1,0 +1,145 @@
+//! Footprint accounting (§4.1, "Resource Consumption").
+//!
+//! The paper reports the *file footprint* of the deployable stack (core
+//! platform ≈ 290 kB, renderers ≈ 40 kB each, proxy bundles 6–7 kB) and
+//! the *runtime memory* of the two prototype applications. In this
+//! reproduction the deployable units are measured as follows:
+//!
+//! * shipped artifacts (interfaces, descriptors, UI descriptions, proxy
+//!   bundles) — exact encoded byte counts;
+//! * the platform itself — the size of a compiled minimal client binary,
+//!   measured by the benchmark harness via the filesystem;
+//! * runtime memory — [`alfredo_osgi::Value::memory_footprint`] sums over
+//!   live session state.
+
+use std::fmt;
+
+/// One measured item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintItem {
+    /// What was measured.
+    pub name: String,
+    /// Its size in bytes.
+    pub bytes: u64,
+    /// The paper's corresponding figure in bytes, if reported (for the
+    /// side-by-side table in EXPERIMENTS.md).
+    pub paper_bytes: Option<u64>,
+}
+
+impl FootprintItem {
+    /// Creates an item without a paper reference value.
+    pub fn new(name: impl Into<String>, bytes: u64) -> Self {
+        FootprintItem {
+            name: name.into(),
+            bytes,
+            paper_bytes: None,
+        }
+    }
+
+    /// Creates an item with the paper's reported value.
+    pub fn with_paper(name: impl Into<String>, bytes: u64, paper_bytes: u64) -> Self {
+        FootprintItem {
+            name: name.into(),
+            bytes,
+            paper_bytes: Some(paper_bytes),
+        }
+    }
+}
+
+/// A collection of footprint measurements, printable as the experiment's
+/// output table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FootprintReport {
+    items: Vec<FootprintItem>,
+}
+
+impl FootprintReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        FootprintReport::default()
+    }
+
+    /// Adds an item.
+    pub fn push(&mut self, item: FootprintItem) {
+        self.items.push(item);
+    }
+
+    /// The items, in insertion order.
+    pub fn items(&self) -> &[FootprintItem] {
+        &self.items
+    }
+
+    /// Total measured bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.bytes).sum()
+    }
+
+    /// Looks up an item by name.
+    pub fn get(&self, name: &str) -> Option<&FootprintItem> {
+        self.items.iter().find(|i| i.name == name)
+    }
+}
+
+impl fmt::Display for FootprintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<44} {:>12} {:>14}", "item", "measured", "paper")?;
+        for item in &self.items {
+            let paper = item
+                .paper_bytes
+                .map(format_bytes)
+                .unwrap_or_else(|| "-".into());
+            writeln!(
+                f,
+                "{:<44} {:>12} {:>14}",
+                item.name,
+                format_bytes(item.bytes),
+                paper
+            )?;
+        }
+        write!(f, "{:<44} {:>12}", "TOTAL", format_bytes(self.total_bytes()))
+    }
+}
+
+/// Formats a byte count the way the paper does (kBytes).
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1_048_576 {
+        format!("{:.1} MB", bytes as f64 / 1_048_576.0)
+    } else if bytes >= 1024 {
+        format!("{:.1} kB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_totals() {
+        let mut r = FootprintReport::new();
+        r.push(FootprintItem::with_paper("core platform", 1_000_000, 290_000));
+        r.push(FootprintItem::new("proxy bundle", 512));
+        assert_eq!(r.items().len(), 2);
+        assert_eq!(r.total_bytes(), 1_000_512);
+        assert_eq!(r.get("proxy bundle").unwrap().bytes, 512);
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let mut r = FootprintReport::new();
+        r.push(FootprintItem::with_paper("core platform", 2 << 20, 290_000));
+        let text = r.to_string();
+        assert!(text.contains("core platform"));
+        assert!(text.contains("283.2 kB"), "{text}");
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(10), "10 B");
+        assert_eq!(format_bytes(2048), "2.0 kB");
+        assert_eq!(format_bytes(3 << 20), "3.0 MB");
+    }
+}

@@ -1,0 +1,245 @@
+//! Online distribution optimization (the paper's future work, §7).
+//!
+//! "Future work on AlfredO includes an online optimization mechanism to
+//! customize service distribution at runtime." This module implements
+//! it: a [`LatencyMonitor`] observes per-service invocation latencies
+//! during a session, and a [`RuntimeOptimizer`] recommends moving
+//! offloadable logic-tier components to the phone when their observed
+//! remote latency exceeds a threshold — provided the environment is
+//! trusted and the phone meets the component's resource requirements.
+//! [`crate::AlfredOSession::optimize`] applies the recommendation by
+//! leasing the components mid-interaction.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::descriptor::ServiceDescriptor;
+use crate::policy::ClientContext;
+use crate::security::TrustLevel;
+use crate::tier::{Placement, TierAssignment};
+
+/// A sliding-window record of observed invocation latencies per service.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyMonitor {
+    window: usize,
+    samples: HashMap<String, VecDeque<f64>>,
+}
+
+impl LatencyMonitor {
+    /// Default sliding-window length.
+    pub const DEFAULT_WINDOW: usize = 32;
+
+    /// Creates a monitor with the default window.
+    pub fn new() -> Self {
+        LatencyMonitor::with_window(Self::DEFAULT_WINDOW)
+    }
+
+    /// Creates a monitor keeping the last `window` samples per service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        LatencyMonitor {
+            window,
+            samples: HashMap::new(),
+        }
+    }
+
+    /// Records one observed invocation latency for `service`.
+    pub fn record(&mut self, service: &str, latency_ms: f64) {
+        let q = self.samples.entry(service.to_owned()).or_default();
+        if q.len() == self.window {
+            q.pop_front();
+        }
+        q.push_back(latency_ms);
+    }
+
+    /// Number of samples recorded for `service`.
+    pub fn count(&self, service: &str) -> usize {
+        self.samples.get(service).map_or(0, VecDeque::len)
+    }
+
+    /// Mean observed latency for `service`, if any samples exist.
+    pub fn mean(&self, service: &str) -> Option<f64> {
+        let q = self.samples.get(service)?;
+        if q.is_empty() {
+            return None;
+        }
+        Some(q.iter().sum::<f64>() / q.len() as f64)
+    }
+
+    /// Clears the samples for `service` (after its placement changed, old
+    /// observations no longer describe the current configuration).
+    pub fn reset(&mut self, service: &str) {
+        self.samples.remove(service);
+    }
+}
+
+/// The online optimization policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptimizer {
+    /// Mean observed latency (ms) above which offloading is recommended.
+    pub latency_threshold_ms: f64,
+    /// Minimum samples before a recommendation is made.
+    pub min_samples: usize,
+}
+
+impl Default for RuntimeOptimizer {
+    fn default() -> Self {
+        RuntimeOptimizer {
+            latency_threshold_ms: 50.0,
+            min_samples: 8,
+        }
+    }
+}
+
+impl RuntimeOptimizer {
+    /// Returns the offloadable logic components that are currently placed
+    /// on the target, have enough slow observations, and whose
+    /// requirements the phone satisfies. Empty in untrusted environments
+    /// (moving code requires trust, exactly as at session start).
+    pub fn recommend(
+        &self,
+        descriptor: &ServiceDescriptor,
+        assignment: &TierAssignment,
+        monitor: &LatencyMonitor,
+        ctx: &ClientContext,
+    ) -> Vec<String> {
+        if ctx.trust != TrustLevel::Trusted {
+            return Vec::new();
+        }
+        descriptor
+            .offloadable_dependencies()
+            .into_iter()
+            .filter(|dep| assignment.logic_placement(&dep.interface) == Placement::Target)
+            .filter(|dep| {
+                dep.requirements
+                    .satisfied_by(ctx.free_memory_bytes, ctx.cpu_mhz)
+            })
+            .filter(|dep| {
+                monitor.count(&dep.interface) >= self.min_samples
+                    && monitor
+                        .mean(&dep.interface)
+                        .is_some_and(|m| m > self.latency_threshold_ms)
+            })
+            .map(|dep| dep.interface.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{DependencySpec, ResourceRequirements};
+    use alfredo_ui::UiDescription;
+
+    fn descriptor() -> ServiceDescriptor {
+        ServiceDescriptor::new("svc.Main", UiDescription::new("ui"))
+            .with_dependency(DependencySpec::offloadable(
+                "svc.Slow",
+                ResourceRequirements::none().with_memory(1 << 20),
+            ))
+            .with_dependency(DependencySpec::offloadable(
+                "svc.Heavy",
+                ResourceRequirements::none().with_memory(1 << 40), // never fits
+            ))
+            .with_dependency(DependencySpec::fixed("svc.Pinned"))
+    }
+
+    fn slow_monitor(service: &str, n: usize, ms: f64) -> LatencyMonitor {
+        let mut m = LatencyMonitor::new();
+        for _ in 0..n {
+            m.record(service, ms);
+        }
+        m
+    }
+
+    #[test]
+    fn recommends_slow_offloadable_components() {
+        let d = descriptor();
+        let a = TierAssignment::thin_client(["svc.Slow", "svc.Heavy", "svc.Pinned"]);
+        let m = slow_monitor("svc.Slow", 10, 120.0);
+        let recs = RuntimeOptimizer::default().recommend(
+            &d,
+            &a,
+            &m,
+            &ClientContext::trusted_phone(),
+        );
+        assert_eq!(recs, vec!["svc.Slow"]);
+    }
+
+    #[test]
+    fn respects_trust_samples_threshold_and_requirements() {
+        let d = descriptor();
+        let a = TierAssignment::thin_client(["svc.Slow", "svc.Heavy", "svc.Pinned"]);
+        let opt = RuntimeOptimizer::default();
+
+        // Untrusted: never.
+        let m = slow_monitor("svc.Slow", 10, 120.0);
+        assert!(opt
+            .recommend(&d, &a, &m, &ClientContext::untrusted_phone())
+            .is_empty());
+
+        // Too few samples.
+        let m = slow_monitor("svc.Slow", 3, 120.0);
+        assert!(opt
+            .recommend(&d, &a, &m, &ClientContext::trusted_phone())
+            .is_empty());
+
+        // Fast enough: no action.
+        let m = slow_monitor("svc.Slow", 20, 10.0);
+        assert!(opt
+            .recommend(&d, &a, &m, &ClientContext::trusted_phone())
+            .is_empty());
+
+        // Requirements not satisfiable (svc.Heavy needs 1 TB).
+        let m = slow_monitor("svc.Heavy", 20, 500.0);
+        assert!(opt
+            .recommend(&d, &a, &m, &ClientContext::trusted_phone())
+            .is_empty());
+
+        // Pinned components are never recommended.
+        let m = slow_monitor("svc.Pinned", 20, 500.0);
+        assert!(opt
+            .recommend(&d, &a, &m, &ClientContext::trusted_phone())
+            .is_empty());
+    }
+
+    #[test]
+    fn already_offloaded_components_are_skipped() {
+        let d = descriptor();
+        let a = TierAssignment::from_placements(vec![(
+            "svc.Slow".into(),
+            Placement::Client,
+        )]);
+        let m = slow_monitor("svc.Slow", 20, 500.0);
+        assert!(RuntimeOptimizer::default()
+            .recommend(&d, &a, &m, &ClientContext::trusted_phone())
+            .is_empty());
+    }
+
+    #[test]
+    fn monitor_window_slides() {
+        let mut m = LatencyMonitor::with_window(4);
+        for v in [100.0, 100.0, 100.0, 100.0] {
+            m.record("s", v);
+        }
+        assert_eq!(m.mean("s"), Some(100.0));
+        // Four fast samples push the slow ones out entirely.
+        for _ in 0..4 {
+            m.record("s", 10.0);
+        }
+        assert_eq!(m.count("s"), 4);
+        assert_eq!(m.mean("s"), Some(10.0));
+        m.reset("s");
+        assert_eq!(m.count("s"), 0);
+        assert_eq!(m.mean("s"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_rejected() {
+        LatencyMonitor::with_window(0);
+    }
+}

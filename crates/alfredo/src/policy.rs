@@ -1,0 +1,235 @@
+//! Tier distribution policies.
+//!
+//! "Typically, at the beginning of an interaction, the phone and the
+//! target device agree on the distribution configuration. This decision
+//! may depend on the phone's capabilities as well as its current execution
+//! context. For example, if a phone has low free memory, only the
+//! presentation tier is shipped to the phone, whereas if the communication
+//! link is unstable also the logic tier is shipped, thus reducing the
+//! communication overhead." (§3.2)
+
+use std::fmt;
+
+use crate::descriptor::ServiceDescriptor;
+use crate::security::TrustLevel;
+use crate::tier::{Placement, TierAssignment};
+
+/// The phone's execution context at negotiation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientContext {
+    /// Free memory available for offloaded components, in bytes.
+    pub free_memory_bytes: u64,
+    /// The phone's CPU clock in MHz.
+    pub cpu_mhz: u32,
+    /// Measured link round-trip latency in milliseconds.
+    pub link_rtt_ms: f64,
+    /// Whether the target device is trusted enough to run its code.
+    pub trust: TrustLevel,
+}
+
+impl ClientContext {
+    /// A typical 2008 phone in an untrusted environment (the AlfredO
+    /// default): modest memory, sandbox only.
+    pub fn untrusted_phone() -> Self {
+        ClientContext {
+            free_memory_bytes: 16 << 20,
+            cpu_mhz: 150,
+            link_rtt_ms: 25.0,
+            trust: TrustLevel::Untrusted,
+        }
+    }
+
+    /// The same phone in a trusted environment (e.g. the user's own
+    /// notebook).
+    pub fn trusted_phone() -> Self {
+        ClientContext {
+            trust: TrustLevel::Trusted,
+            ..ClientContext::untrusted_phone()
+        }
+    }
+}
+
+/// Decides where each tier component runs.
+pub trait DistributionPolicy: Send + Sync {
+    /// The policy's name (for logs and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Computes the assignment for `descriptor` given the phone's
+    /// context.
+    fn decide(&self, descriptor: &ServiceDescriptor, ctx: &ClientContext) -> TierAssignment;
+}
+
+impl fmt::Debug for dyn DistributionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DistributionPolicy({})", self.name())
+    }
+}
+
+/// The default: only the presentation tier moves; all computation and
+/// data stay on the target device. "We envision this will be the case for
+/// most interactions as they are likely to occur in unknown and untrusted
+/// environments."
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThinClientPolicy;
+
+impl DistributionPolicy for ThinClientPolicy {
+    fn name(&self) -> &'static str {
+        "thin-client"
+    }
+
+    fn decide(&self, descriptor: &ServiceDescriptor, _ctx: &ClientContext) -> TierAssignment {
+        TierAssignment::thin_client(descriptor.dependencies.iter().map(|d| d.interface.clone()))
+    }
+}
+
+/// Offloads every offloadable logic component whose requirements the phone
+/// meets — but only in trusted environments; otherwise it degrades to the
+/// thin client.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogicOffloadPolicy;
+
+impl DistributionPolicy for LogicOffloadPolicy {
+    fn name(&self) -> &'static str {
+        "logic-offload"
+    }
+
+    fn decide(&self, descriptor: &ServiceDescriptor, ctx: &ClientContext) -> TierAssignment {
+        if ctx.trust != TrustLevel::Trusted {
+            return ThinClientPolicy.decide(descriptor, ctx);
+        }
+        let mut remaining_memory = ctx.free_memory_bytes;
+        let placements = descriptor
+            .dependencies
+            .iter()
+            .map(|d| {
+                let fits = d.offloadable
+                    && d.requirements.satisfied_by(remaining_memory, ctx.cpu_mhz);
+                let placement = if fits {
+                    remaining_memory =
+                        remaining_memory.saturating_sub(d.requirements.min_memory_bytes);
+                    Placement::Client
+                } else {
+                    Placement::Target
+                };
+                (d.interface.clone(), placement)
+            })
+            .collect();
+        TierAssignment::from_placements(placements)
+    }
+}
+
+/// Offloads logic only when the link is slow enough to justify it: the
+/// paper's "if the communication link is unstable also the logic tier is
+/// shipped". Below the latency threshold it behaves as the thin client.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePolicy {
+    /// RTT above which offloading engages, in milliseconds.
+    pub latency_threshold_ms: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            latency_threshold_ms: 50.0,
+        }
+    }
+}
+
+impl DistributionPolicy for AdaptivePolicy {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn decide(&self, descriptor: &ServiceDescriptor, ctx: &ClientContext) -> TierAssignment {
+        if ctx.link_rtt_ms > self.latency_threshold_ms {
+            LogicOffloadPolicy.decide(descriptor, ctx)
+        } else {
+            ThinClientPolicy.decide(descriptor, ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{DependencySpec, ResourceRequirements};
+    use alfredo_ui::UiDescription;
+
+    fn descriptor() -> ServiceDescriptor {
+        ServiceDescriptor::new("svc.Main", UiDescription::new("ui"))
+            .with_dependency(DependencySpec::offloadable(
+                "svc.Light",
+                ResourceRequirements::none().with_memory(1 << 20).with_cpu_mhz(100),
+            ))
+            .with_dependency(DependencySpec::offloadable(
+                "svc.Heavy",
+                ResourceRequirements::none().with_memory(1 << 30),
+            ))
+            .with_dependency(DependencySpec::fixed("svc.Pinned"))
+    }
+
+    #[test]
+    fn thin_client_keeps_everything_on_target() {
+        let a = ThinClientPolicy.decide(&descriptor(), &ClientContext::trusted_phone());
+        assert!(!a.is_two_tier());
+        assert_eq!(a.logic().len(), 3);
+    }
+
+    #[test]
+    fn offload_requires_trust() {
+        let a = LogicOffloadPolicy.decide(&descriptor(), &ClientContext::untrusted_phone());
+        assert!(!a.is_two_tier(), "untrusted environments stay thin");
+    }
+
+    #[test]
+    fn offload_respects_requirements() {
+        let a = LogicOffloadPolicy.decide(&descriptor(), &ClientContext::trusted_phone());
+        // Light fits (1 MB of 16 MB, 150 >= 100 MHz); Heavy needs 1 GB;
+        // Pinned is not offloadable.
+        assert_eq!(a.offloaded(), vec!["svc.Light"]);
+        assert_eq!(a.logic_placement("svc.Heavy"), Placement::Target);
+        assert_eq!(a.logic_placement("svc.Pinned"), Placement::Target);
+    }
+
+    #[test]
+    fn offload_respects_cpu_floor() {
+        let mut ctx = ClientContext::trusted_phone();
+        ctx.cpu_mhz = 50; // below svc.Light's 100 MHz floor
+        let a = LogicOffloadPolicy.decide(&descriptor(), &ctx);
+        assert!(!a.is_two_tier());
+    }
+
+    #[test]
+    fn offload_budget_is_consumed() {
+        // Two components each needing 12 MB on a 16 MB phone: only the
+        // first fits after budget accounting.
+        let d = ServiceDescriptor::new("s", UiDescription::new("u"))
+            .with_dependency(DependencySpec::offloadable(
+                "a.A",
+                ResourceRequirements::none().with_memory(12 << 20),
+            ))
+            .with_dependency(DependencySpec::offloadable(
+                "b.B",
+                ResourceRequirements::none().with_memory(12 << 20),
+            ));
+        let a = LogicOffloadPolicy.decide(&d, &ClientContext::trusted_phone());
+        assert_eq!(a.offloaded(), vec!["a.A"]);
+    }
+
+    #[test]
+    fn adaptive_switches_on_latency() {
+        let policy = AdaptivePolicy::default();
+        let mut ctx = ClientContext::trusted_phone();
+        ctx.link_rtt_ms = 10.0;
+        assert!(!policy.decide(&descriptor(), &ctx).is_two_tier());
+        ctx.link_rtt_ms = 120.0;
+        assert!(policy.decide(&descriptor(), &ctx).is_two_tier());
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ThinClientPolicy.name(), "thin-client");
+        assert_eq!(LogicOffloadPolicy.name(), "logic-offload");
+        assert_eq!(AdaptivePolicy::default().name(), "adaptive");
+    }
+}

@@ -1,0 +1,214 @@
+//! AlfredO's security model.
+//!
+//! Two complementary mechanisms from the paper:
+//!
+//! * **Sandboxed presentation** — "if only a stateless description of the
+//!   UI is shipped to the mobile phone the configuration provides the
+//!   security benefits of a sandbox model" (§3.2). Data-only artifacts are
+//!   always admissible; code-bearing artifacts (smart proxies) require the
+//!   environment to be trusted.
+//! * **Capability exposure control** — "the device can decide which
+//!   capabilities to expose to the target device in order to support the
+//!   interaction".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use alfredo_ui::CapabilityInterface;
+
+/// How much the phone trusts the target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrustLevel {
+    /// An unknown device casually encountered in the environment — the
+    /// common case.
+    Untrusted,
+    /// A device the user explicitly trusts (own notebook, home
+    /// appliances).
+    Trusted,
+}
+
+/// Security violations reported by [`SecurityPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityError {
+    /// Executable logic was offered but the environment is untrusted.
+    CodeFromUntrustedSource {
+        /// The offering device.
+        source: String,
+    },
+    /// The interaction requested a capability the policy does not expose.
+    CapabilityNotExposed(CapabilityInterface),
+}
+
+impl fmt::Display for SecurityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityError::CodeFromUntrustedSource { source } => {
+                write!(f, "refusing executable logic from untrusted device {source}")
+            }
+            SecurityError::CapabilityNotExposed(c) => {
+                write!(f, "capability {c} is not exposed to target devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecurityError {}
+
+/// The phone-side security policy.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_core::{SecurityPolicy, TrustLevel};
+///
+/// let policy = SecurityPolicy::sandbox();
+/// assert!(policy.admit_artifact(false, TrustLevel::Untrusted, "kiosk").is_ok());
+/// assert!(policy.admit_artifact(true, TrustLevel::Untrusted, "kiosk").is_err());
+/// assert!(policy.admit_artifact(true, TrustLevel::Trusted, "notebook").is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityPolicy {
+    /// Whether trusted devices may ship executable logic (smart proxies).
+    pub allow_code_from_trusted: bool,
+    /// The capability interfaces the phone exposes to target devices.
+    pub exposed_capabilities: Vec<CapabilityInterface>,
+}
+
+impl SecurityPolicy {
+    /// The default sandbox: descriptions only from strangers, code from
+    /// trusted devices, and only input/screen capabilities exposed.
+    pub fn sandbox() -> Self {
+        SecurityPolicy {
+            allow_code_from_trusted: true,
+            exposed_capabilities: vec![
+                CapabilityInterface::KeyboardDevice,
+                CapabilityInterface::PointingDevice,
+                CapabilityInterface::ScreenDevice,
+            ],
+        }
+    }
+
+    /// A paranoid policy: never any code, minimal exposure.
+    pub fn lockdown() -> Self {
+        SecurityPolicy {
+            allow_code_from_trusted: false,
+            exposed_capabilities: vec![CapabilityInterface::ScreenDevice],
+        }
+    }
+
+    /// Decides whether a shipped artifact may be installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::CodeFromUntrustedSource`] when
+    /// `code_bearing` and the source is not sufficiently trusted.
+    pub fn admit_artifact(
+        &self,
+        code_bearing: bool,
+        trust: TrustLevel,
+        source: &str,
+    ) -> Result<(), SecurityError> {
+        if !code_bearing {
+            return Ok(()); // stateless descriptions are always sandbox-safe
+        }
+        match trust {
+            TrustLevel::Trusted if self.allow_code_from_trusted => Ok(()),
+            _ => Err(SecurityError::CodeFromUntrustedSource {
+                source: source.to_owned(),
+            }),
+        }
+    }
+
+    /// Whether smart proxies should even be negotiated for this trust
+    /// level.
+    pub fn permits_smart_proxies(&self, trust: TrustLevel) -> bool {
+        self.allow_code_from_trusted && trust == TrustLevel::Trusted
+    }
+
+    /// Checks that a capability the interaction wants is exposed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::CapabilityNotExposed`].
+    pub fn check_exposed(&self, cap: CapabilityInterface) -> Result<(), SecurityError> {
+        if self.exposed_capabilities.contains(&cap) {
+            Ok(())
+        } else {
+            Err(SecurityError::CapabilityNotExposed(cap))
+        }
+    }
+
+    /// Filters a requested capability list down to the exposed subset.
+    pub fn filter_exposed(&self, requested: &[CapabilityInterface]) -> Vec<CapabilityInterface> {
+        requested
+            .iter()
+            .copied()
+            .filter(|c| self.exposed_capabilities.contains(c))
+            .collect()
+    }
+}
+
+impl Default for SecurityPolicy {
+    fn default() -> Self {
+        SecurityPolicy::sandbox()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_always_admitted() {
+        for policy in [SecurityPolicy::sandbox(), SecurityPolicy::lockdown()] {
+            for trust in [TrustLevel::Untrusted, TrustLevel::Trusted] {
+                assert!(policy.admit_artifact(false, trust, "any").is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn code_needs_trust_and_permission() {
+        let sandbox = SecurityPolicy::sandbox();
+        assert!(sandbox
+            .admit_artifact(true, TrustLevel::Untrusted, "kiosk")
+            .is_err());
+        assert!(sandbox
+            .admit_artifact(true, TrustLevel::Trusted, "notebook")
+            .is_ok());
+        let lockdown = SecurityPolicy::lockdown();
+        assert!(lockdown
+            .admit_artifact(true, TrustLevel::Trusted, "notebook")
+            .is_err());
+        assert!(!lockdown.permits_smart_proxies(TrustLevel::Trusted));
+        assert!(sandbox.permits_smart_proxies(TrustLevel::Trusted));
+        assert!(!sandbox.permits_smart_proxies(TrustLevel::Untrusted));
+    }
+
+    #[test]
+    fn capability_exposure() {
+        let sandbox = SecurityPolicy::sandbox();
+        assert!(sandbox
+            .check_exposed(CapabilityInterface::PointingDevice)
+            .is_ok());
+        assert!(sandbox
+            .check_exposed(CapabilityInterface::CameraDevice)
+            .is_err());
+        let filtered = sandbox.filter_exposed(&[
+            CapabilityInterface::CameraDevice,
+            CapabilityInterface::ScreenDevice,
+        ]);
+        assert_eq!(filtered, vec![CapabilityInterface::ScreenDevice]);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SecurityError::CodeFromUntrustedSource {
+            source: "kiosk-7".into(),
+        };
+        assert!(e.to_string().contains("kiosk-7"));
+        let e = SecurityError::CapabilityNotExposed(CapabilityInterface::CameraDevice);
+        assert!(e.to_string().contains("Camera"));
+    }
+}

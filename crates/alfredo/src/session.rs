@@ -1,0 +1,520 @@
+//! A live AlfredO interaction: View state + Controller interpreter.
+//!
+//! The session owns the rendered UI, the mutable [`UiState`], and the
+//! interpreted controller. UI events flow in through
+//! [`AlfredOSession::handle_event`]; remote events are queued by an
+//! EventAdmin subscription and drained by [`AlfredOSession::pump_events`];
+//! poll rules fire from [`AlfredOSession::advance_time`]. Closing the
+//! session releases every leased service — proxies are uninstalled
+//! immediately, "therefore, an AlfredO client does not store outdated
+//! data over time" (§4.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use alfredo_osgi::events::SubscriptionId;
+use alfredo_osgi::{Event, Framework, Properties, ServiceCallError, Value};
+use alfredo_rosgi::RemoteEndpoint;
+use alfredo_ui::render::{select_renderer, RenderedUi};
+use alfredo_ui::{DeviceCapabilities, UiEvent, UiState};
+
+use crate::controller::{Action, ArgSource, Binding, MethodCall, Rule, UiTriggerKind};
+use crate::descriptor::ServiceDescriptor;
+use crate::engine::EngineError;
+use crate::optimizer::{LatencyMonitor, RuntimeOptimizer};
+use crate::policy::ClientContext;
+use crate::tier::{Placement, TierAssignment};
+
+/// What a controller action did (returned for observability and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionOutcome {
+    /// A service method was invoked.
+    Invoked {
+        /// Service interface.
+        service: String,
+        /// Method.
+        method: String,
+        /// The result value (already bound into state if requested).
+        result: Value,
+    },
+    /// A state entry was written.
+    Updated {
+        /// Control id.
+        control: String,
+    },
+    /// An additional remote service was leased mid-interaction.
+    Acquired {
+        /// The interface fetched.
+        interface: String,
+    },
+    /// An event was posted on the local bus.
+    Emitted {
+        /// The topic.
+        topic: String,
+    },
+}
+
+/// One live interaction between the phone and a target service.
+pub struct AlfredOSession {
+    framework: Framework,
+    endpoint: Arc<RemoteEndpoint>,
+    descriptor: ServiceDescriptor,
+    assignment: Mutex<TierAssignment>,
+    rendered: RenderedUi,
+    capabilities: DeviceCapabilities,
+    state: Mutex<UiState>,
+    fetched_interfaces: Mutex<Vec<String>>,
+    /// (elapsed virtual ms, last-fire ms per poll-rule index)
+    clock_ms: Mutex<(u64, HashMap<usize, u64>)>,
+    event_rx: Receiver<(String, Properties)>,
+    _event_tx: Sender<(String, Properties)>,
+    monitor: Mutex<LatencyMonitor>,
+    subscription: Option<SubscriptionId>,
+    transferred_bytes: usize,
+    proxy_footprint: usize,
+    closed: AtomicBool,
+}
+
+impl AlfredOSession {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        framework: Framework,
+        endpoint: Arc<RemoteEndpoint>,
+        descriptor: ServiceDescriptor,
+        assignment: TierAssignment,
+        rendered: RenderedUi,
+        capabilities: DeviceCapabilities,
+        state: UiState,
+        fetched_interfaces: Vec<String>,
+        transferred_bytes: usize,
+        proxy_footprint: usize,
+    ) -> Self {
+        let (tx, rx) = channel::unbounded();
+        // Queue every bus event whose topic any RemoteEvent rule matches.
+        let patterns: Vec<String> = descriptor
+            .controller
+            .rules()
+            .iter()
+            .filter_map(|r| match &r.trigger {
+                crate::controller::Trigger::RemoteEvent { topic_pattern } => {
+                    Some(topic_pattern.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let subscription = if patterns.is_empty() {
+            None
+        } else {
+            let tx2 = tx.clone();
+            Some(framework.event_admin().subscribe("*", move |event| {
+                if patterns
+                    .iter()
+                    .any(|p| alfredo_osgi::events::topic_matches(p, &event.topic))
+                {
+                    let _ = tx2.send((event.topic.clone(), event.properties.clone()));
+                }
+            }))
+        };
+        AlfredOSession {
+            framework,
+            endpoint,
+            descriptor,
+            assignment: Mutex::new(assignment),
+            rendered,
+            capabilities,
+            state: Mutex::new(state),
+            fetched_interfaces: Mutex::new(fetched_interfaces),
+            clock_ms: Mutex::new((0, HashMap::new())),
+            event_rx: rx,
+            _event_tx: tx,
+            monitor: Mutex::new(LatencyMonitor::new()),
+            subscription,
+            transferred_bytes,
+            proxy_footprint,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The shipped descriptor.
+    pub fn descriptor(&self) -> &ServiceDescriptor {
+        &self.descriptor
+    }
+
+    /// The current tier assignment (may change via [`Self::optimize`]).
+    pub fn assignment(&self) -> TierAssignment {
+        self.assignment.lock().clone()
+    }
+
+    /// The View as rendered at acquisition time.
+    pub fn rendered(&self) -> &RenderedUi {
+        &self.rendered
+    }
+
+    /// Re-renders the View with the *current* UI state projected onto the
+    /// description (live labels, list contents, selections…). Used by the
+    /// servlet gateway so a browser refresh shows the latest state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Ui`] if rendering fails.
+    pub fn rerender(&self) -> Result<RenderedUi, EngineError> {
+        let live = self.state.lock().project_onto(&self.descriptor.ui);
+        let renderer = select_renderer(&self.capabilities);
+        Ok(renderer.render(&live, &self.capabilities)?)
+    }
+
+    /// Bytes that travelled to acquire the presentation tier.
+    pub fn transferred_bytes(&self) -> usize {
+        self.transferred_bytes
+    }
+
+    /// File footprint of the generated proxy bundle.
+    pub fn proxy_footprint(&self) -> usize {
+        self.proxy_footprint
+    }
+
+    /// Runs `f` over the current UI state.
+    pub fn with_state<R>(&self, f: impl FnOnce(&UiState) -> R) -> R {
+        f(&self.state.lock())
+    }
+
+    /// Clones the current UI state.
+    pub fn state_snapshot(&self) -> UiState {
+        self.state.lock().clone()
+    }
+
+    /// Approximate runtime memory of the session's application state in
+    /// bytes (UI state values + rendered artifact), the quantity §4.1
+    /// compares between MouseController and AlfredOShop.
+    pub fn memory_footprint(&self) -> usize {
+        let state = self.state.lock();
+        let mut total = self.rendered.memory_footprint();
+        // Sum the state's value footprints through the public API.
+        for control in self
+            .descriptor
+            .ui
+            .all_controls()
+            .iter()
+            .map(|c| c.id.clone())
+        {
+            if let Some(v) = state.get(&control) {
+                total += v.memory_footprint();
+            }
+            for slot in ["items", "selected", "source", "data"] {
+                if let Some(v) = state.get_slot(&control, slot) {
+                    total += v.memory_footprint();
+                }
+            }
+        }
+        total
+    }
+
+    /// Feeds a UI event through the controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first action error; earlier outcomes are lost (the
+    /// interaction is expected to be retried at UI level).
+    pub fn handle_event(&self, event: &UiEvent) -> Result<Vec<ActionOutcome>, EngineError> {
+        self.state.lock().apply(event);
+        let (kind, value): (UiTriggerKind, Value) = match event {
+            UiEvent::Click { .. } => (UiTriggerKind::Click, Value::Unit),
+            UiEvent::TextChanged { text, .. } => {
+                (UiTriggerKind::Text, Value::from(text.as_str()))
+            }
+            UiEvent::Selected { index, .. } => {
+                (UiTriggerKind::Selected, Value::from(*index as i64))
+            }
+            UiEvent::SliderChanged { value, .. } => {
+                (UiTriggerKind::Slider, Value::from(*value))
+            }
+            UiEvent::PointerMoved { .. } => (UiTriggerKind::Pointer, Value::Unit),
+            UiEvent::Key { ch, .. } => (UiTriggerKind::Text, Value::from(ch.to_string())),
+        };
+        let (dx, dy) = match event {
+            UiEvent::PointerMoved { dx, dy, .. } => (*dx, *dy),
+            _ => (0, 0),
+        };
+        let rules: Vec<Rule> = self
+            .descriptor
+            .controller
+            .matching_ui(event.control(), kind)
+            .cloned()
+            .collect();
+        let mut outcomes = Vec::new();
+        for rule in rules {
+            outcomes.extend(self.run_actions(&rule.actions, &value, dx, dy)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Drains queued remote events through the controller. Returns the
+    /// outcomes of all fired rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first action error.
+    pub fn pump_events(&self) -> Result<Vec<ActionOutcome>, EngineError> {
+        let mut outcomes = Vec::new();
+        while let Ok((topic, props)) = self.event_rx.try_recv() {
+            let rules: Vec<Rule> = self
+                .descriptor
+                .controller
+                .matching_event(&topic)
+                .cloned()
+                .collect();
+            let value = props
+                .get("value")
+                .cloned()
+                .unwrap_or(Value::Str(topic.clone()));
+            for rule in rules {
+                outcomes.extend(self.run_actions(&rule.actions, &value, 0, 0)?);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Advances the interaction clock by `delta_ms`, firing due poll
+    /// rules ("the Controller may periodically poll a certain service
+    /// method provided by the remote device").
+    ///
+    /// # Errors
+    ///
+    /// Returns the first action error.
+    pub fn advance_time(&self, delta_ms: u64) -> Result<Vec<ActionOutcome>, EngineError> {
+        let due: Vec<Rule> = {
+            let mut clock = self.clock_ms.lock();
+            clock.0 += delta_ms;
+            let now = clock.0;
+            let mut due = Vec::new();
+            for (idx, rule) in self.descriptor.controller.rules().iter().enumerate() {
+                if let crate::controller::Trigger::Poll { interval_ms } = &rule.trigger {
+                    let last = clock.1.entry(idx).or_insert(0);
+                    if now.saturating_sub(*last) >= *interval_ms {
+                        *last = now;
+                        due.push(rule.clone());
+                    }
+                }
+            }
+            due
+        };
+        let mut outcomes = Vec::new();
+        for rule in due {
+            outcomes.extend(self.run_actions(&rule.actions, &Value::Unit, 0, 0)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Directly invokes a method on the leased service (or any locally
+    /// visible service), bypassing the rule program. Useful for apps with
+    /// imperative needs on top of the declarative controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Call`].
+    pub fn invoke(
+        &self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, EngineError> {
+        let svc = self
+            .framework
+            .registry()
+            .get_service(service)
+            .ok_or(ServiceCallError::ServiceGone)?;
+        let start = std::time::Instant::now();
+        let out = svc.invoke(method, args)?;
+        self.monitor
+            .lock()
+            .record(service, start.elapsed().as_secs_f64() * 1e3);
+        Ok(out)
+    }
+
+    /// Mean observed invocation latency for `service` in this session.
+    pub fn observed_latency_ms(&self, service: &str) -> Option<f64> {
+        self.monitor.lock().mean(service)
+    }
+
+    /// Records an externally measured latency observation (for callers
+    /// that invoke services directly rather than through
+    /// [`Self::invoke`]).
+    pub fn record_latency(&self, service: &str, latency_ms: f64) {
+        self.monitor.lock().record(service, latency_ms);
+    }
+
+    /// Online re-distribution (the paper's future work, §7): applies the
+    /// [`RuntimeOptimizer`]'s recommendation — every offloadable
+    /// component whose observed remote latency exceeds the threshold is
+    /// leased to the phone now. Returns the interfaces that moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fetch failure; components moved before the
+    /// failure remain moved.
+    pub fn optimize(
+        &self,
+        optimizer: &RuntimeOptimizer,
+        ctx: &ClientContext,
+    ) -> Result<Vec<String>, EngineError> {
+        let recommendations = {
+            let assignment = self.assignment.lock();
+            let monitor = self.monitor.lock();
+            optimizer.recommend(&self.descriptor, &assignment, &monitor, ctx)
+        };
+        for interface in &recommendations {
+            self.endpoint.fetch_service(interface)?;
+            self.fetched_interfaces.lock().push(interface.clone());
+            self.assignment
+                .lock()
+                .set_logic_placement(interface, Placement::Client);
+            // Old observations describe the remote configuration.
+            self.monitor.lock().reset(interface);
+        }
+        Ok(recommendations)
+    }
+
+    /// Ends the interaction: releases every leased service (proxy bundles
+    /// are uninstalled immediately) and unsubscribes from the bus.
+    /// Idempotent.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(sub) = self.subscription {
+            self.framework.event_admin().unsubscribe(sub);
+        }
+        for iface in self.fetched_interfaces.lock().drain(..) {
+            let _ = self.endpoint.release_service(&iface);
+        }
+    }
+
+    /// Whether the session has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    fn run_actions(
+        &self,
+        actions: &[Action],
+        event_value: &Value,
+        dx: i64,
+        dy: i64,
+    ) -> Result<Vec<ActionOutcome>, EngineError> {
+        let mut outcomes = Vec::with_capacity(actions.len());
+        for action in actions {
+            match action {
+                Action::Invoke { call, bind } => {
+                    let result = self.execute_call(call, event_value, dx, dy)?;
+                    if let Some(b) = bind {
+                        self.bind_value(b, result.clone());
+                    }
+                    outcomes.push(ActionOutcome::Invoked {
+                        service: call.service.clone(),
+                        method: call.method.clone(),
+                        result,
+                    });
+                }
+                Action::Update { bind, value } => {
+                    let v = self.resolve_arg(value, event_value, dx, dy);
+                    self.bind_value(bind, v);
+                    outcomes.push(ActionOutcome::Updated {
+                        control: bind.control.clone(),
+                    });
+                }
+                Action::AcquireService { interface } => {
+                    self.endpoint.fetch_service(interface)?;
+                    self.fetched_interfaces.lock().push(interface.clone());
+                    outcomes.push(ActionOutcome::Acquired {
+                        interface: interface.clone(),
+                    });
+                }
+                Action::EmitEvent { topic, value_key } => {
+                    let mut props = Properties::new();
+                    if let Some(key) = value_key {
+                        props.insert(key.clone(), event_value.clone());
+                    }
+                    self.framework
+                        .event_admin()
+                        .post(&Event::new(topic.clone(), props));
+                    outcomes.push(ActionOutcome::Emitted {
+                        topic: topic.clone(),
+                    });
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    fn execute_call(
+        &self,
+        call: &MethodCall,
+        event_value: &Value,
+        dx: i64,
+        dy: i64,
+    ) -> Result<Value, EngineError> {
+        let args: Vec<Value> = call
+            .args
+            .iter()
+            .map(|a| self.resolve_arg(a, event_value, dx, dy))
+            .collect();
+        let svc = self
+            .framework
+            .registry()
+            .get_service(&call.service)
+            .ok_or(ServiceCallError::ServiceGone)?;
+        Ok(svc.invoke(&call.method, &args)?)
+    }
+
+    fn resolve_arg(&self, source: &ArgSource, event_value: &Value, dx: i64, dy: i64) -> Value {
+        match source {
+            ArgSource::Const(v) => v.clone(),
+            ArgSource::EventValue => event_value.clone(),
+            ArgSource::EventDx => Value::I64(dx),
+            ArgSource::EventDy => Value::I64(dy),
+            ArgSource::State { control } => {
+                self.state.lock().get(control).cloned().unwrap_or(Value::Unit)
+            }
+            ArgSource::SelectedItem { control } => {
+                let state = self.state.lock();
+                let selected = state.selected(control);
+                let items = state.items(control);
+                match (selected, items) {
+                    (Some(i), Some(items)) if i < items.len() => {
+                        Value::from(items[i].as_str())
+                    }
+                    _ => Value::Unit,
+                }
+            }
+        }
+    }
+
+    fn bind_value(&self, bind: &Binding, value: Value) {
+        let mut state = self.state.lock();
+        match &bind.slot {
+            Some(slot) => state.set_slot(&bind.control, slot, value),
+            None => state.set(&bind.control, value),
+        }
+    }
+}
+
+impl Drop for AlfredOSession {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl fmt::Debug for AlfredOSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlfredOSession")
+            .field("service", &self.descriptor.service)
+            .field("assignment", &*self.assignment.lock())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}

@@ -1,0 +1,179 @@
+//! The multi-tier service model.
+//!
+//! "Services are built using a multi-tier software architecture consisting
+//! of a presentation tier (i.e., the user interface), a logic tier (i.e.,
+//! computational processes), and a data tier (i.e., data storage). Tiers
+//! can be distributed according to different distribution logics and the
+//! boundaries of distribution can be adjusted dynamically." (§3.2)
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three tiers of an AlfredO service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// The user interface.
+    Presentation,
+    /// Computational processes.
+    Logic,
+    /// Data storage.
+    Data,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Presentation => "presentation",
+            Tier::Logic => "logic",
+            Tier::Data => "data",
+        })
+    }
+}
+
+/// Where a tier (or a logic-tier component) executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// On the interacting phone.
+    Client,
+    /// On the target device.
+    Target,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::Client => "client",
+            Placement::Target => "target",
+        })
+    }
+}
+
+/// The negotiated distribution of one service's tiers.
+///
+/// Invariants of the current implementation, as in the paper: "the data
+/// tier always resides on the target device, while the presentation tier
+/// always resides on the client"; logic-tier components are placed
+/// individually.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierAssignment {
+    /// Per-dependency placement of logic-tier components, by interface.
+    logic: Vec<(String, Placement)>,
+}
+
+impl TierAssignment {
+    /// The fully thin-client assignment: every logic component stays on
+    /// the target (AlfredO's default).
+    pub fn thin_client<I, S>(logic_interfaces: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TierAssignment {
+            logic: logic_interfaces
+                .into_iter()
+                .map(|i| (i.into(), Placement::Target))
+                .collect(),
+        }
+    }
+
+    /// Builds an assignment from explicit placements.
+    pub fn from_placements(logic: Vec<(String, Placement)>) -> Self {
+        TierAssignment { logic }
+    }
+
+    /// Where the presentation tier runs: always the client.
+    pub fn presentation(&self) -> Placement {
+        Placement::Client
+    }
+
+    /// Where the data tier runs: always the target device.
+    pub fn data(&self) -> Placement {
+        Placement::Target
+    }
+
+    /// Placement of a logic component (unlisted components default to the
+    /// target device).
+    pub fn logic_placement(&self, interface: &str) -> Placement {
+        self.logic
+            .iter()
+            .find(|(i, _)| i == interface)
+            .map(|(_, p)| *p)
+            .unwrap_or(Placement::Target)
+    }
+
+    /// The logic components assigned to the client, in order.
+    pub fn offloaded(&self) -> Vec<&str> {
+        self.logic
+            .iter()
+            .filter(|(_, p)| *p == Placement::Client)
+            .map(|(i, _)| i.as_str())
+            .collect()
+    }
+
+    /// All logic placements.
+    pub fn logic(&self) -> &[(String, Placement)] {
+        &self.logic
+    }
+
+    /// Re-places a logic component (used by the online optimizer when a
+    /// component moves mid-session). Unknown interfaces are appended.
+    pub fn set_logic_placement(&mut self, interface: &str, placement: Placement) {
+        match self.logic.iter_mut().find(|(i, _)| i == interface) {
+            Some((_, p)) => *p = placement,
+            None => self.logic.push((interface.to_owned(), placement)),
+        }
+    }
+
+    /// Whether any logic runs on the client (a "two-tier" configuration
+    /// in the paper's terminology).
+    pub fn is_two_tier(&self) -> bool {
+        !self.offloaded().is_empty()
+    }
+}
+
+impl fmt::Display for TierAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "presentation@client, data@target")?;
+        for (i, p) in &self.logic {
+            write!(f, ", {i}@{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariants_match_paper() {
+        let a = TierAssignment::thin_client(["shop.Logic"]);
+        assert_eq!(a.presentation(), Placement::Client);
+        assert_eq!(a.data(), Placement::Target);
+        assert_eq!(a.logic_placement("shop.Logic"), Placement::Target);
+        assert!(!a.is_two_tier());
+    }
+
+    #[test]
+    fn offloading_listed_per_component() {
+        let a = TierAssignment::from_placements(vec![
+            ("shop.Compare".into(), Placement::Client),
+            ("shop.Search".into(), Placement::Target),
+        ]);
+        assert!(a.is_two_tier());
+        assert_eq!(a.offloaded(), vec!["shop.Compare"]);
+        assert_eq!(a.logic_placement("shop.Search"), Placement::Target);
+        // Unknown components default to the target.
+        assert_eq!(a.logic_placement("shop.Unknown"), Placement::Target);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = TierAssignment::from_placements(vec![("l.X".into(), Placement::Client)]);
+        let s = a.to_string();
+        assert!(s.contains("presentation@client"));
+        assert!(s.contains("l.X@client"));
+        assert_eq!(Tier::Logic.to_string(), "logic");
+    }
+}

@@ -1,0 +1,277 @@
+//! The servlet-renderer gateway: driving a session from a real browser.
+//!
+//! "For phone platforms that do not support any graphical toolkit, it is
+//! possible to use a web browser that is fed by a servlet renderer. …
+//! In this case, the web browser can serve as a graphical environment to
+//! interact with the headless AlfredO platform." (§3.3; Figure 9 shows
+//! the iPhone driving AlfredOShop this way.)
+//!
+//! [`HttpGateway`] is that servlet layer: a minimal HTTP/1.1 server that
+//! serves the session's HTML rendering at `/`, the live UI state as JSON
+//! at `/state`, and accepts the `postEvent` AJAX calls the
+//! [`alfredo_ui::HtmlRenderer`] emits at `/event`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use alfredo_osgi::Value;
+use alfredo_ui::UiEvent;
+
+use crate::session::AlfredOSession;
+
+/// A running HTTP gateway for one session.
+pub struct HttpGateway {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+}
+
+impl HttpGateway {
+    /// Serves `session` over HTTP at `addr` (use port 0 for ephemeral).
+    ///
+    /// Routes:
+    /// * `GET /` — the session's rendered HTML (AJAX-enabled).
+    /// * `GET /state` — the current UI state as a JSON object.
+    /// * `POST /event` — `{"control": "...", "kind": "click|text|select|slider", "value": ...}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding fails.
+    pub fn serve(
+        session: Arc<AlfredOSession>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<HttpGateway> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&shutdown);
+        let counter = Arc::clone(&requests);
+        let handle = std::thread::Builder::new()
+            .name("alfredo-http".into())
+            .spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            let session = Arc::clone(&session);
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &session);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(HttpGateway {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+            requests,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of connections accepted.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops the gateway.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpGateway {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for HttpGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpGateway").field("addr", &self.addr).finish()
+    }
+}
+
+fn handle_connection(stream: TcpStream, session: &AlfredOSession) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("/").to_owned();
+
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v.min(1 << 20);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+
+    let mut out = stream;
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/") => {
+            // Serve the *live* rendering: the current UI state projected
+            // onto the description, so a browser refresh shows the latest
+            // lists, labels, and selections.
+            let page = session
+                .rerender()
+                .map(|r| r.text)
+                .unwrap_or_else(|_| session.rendered().as_text().to_owned());
+            respond(&mut out, 200, "text/html; charset=utf-8", &page)
+        }
+        ("GET", "/state") => {
+            let state: BTreeMap<String, Value> = session.with_state(|s| {
+                s.iter().map(|(k, v)| (k.to_owned(), v.clone())).collect()
+            });
+            let json = serde_json::to_string(&state).unwrap_or_else(|_| "{}".into());
+            respond(&mut out, 200, "application/json", &json)
+        }
+        ("POST", "/event") => match parse_event(&body) {
+            Some(event) => match session.handle_event(&event) {
+                Ok(outcomes) => respond(
+                    &mut out,
+                    200,
+                    "application/json",
+                    &format!("{{\"ok\":true,\"actions\":{}}}", outcomes.len()),
+                ),
+                Err(e) => respond(
+                    &mut out,
+                    500,
+                    "application/json",
+                    &format!("{{\"ok\":false,\"error\":{:?}}}", e.to_string()),
+                ),
+            },
+            None => respond(&mut out, 400, "application/json", "{\"ok\":false}"),
+        },
+        _ => respond(&mut out, 404, "text/plain", "not found"),
+    }
+}
+
+fn parse_event(body: &[u8]) -> Option<UiEvent> {
+    let json: serde_json::Value = serde_json::from_slice(body).ok()?;
+    let control = json.get("control")?.as_str()?.to_owned();
+    let kind = json.get("kind")?.as_str()?;
+    let value = json.get("value");
+    Some(match kind {
+        "click" => UiEvent::Click { control },
+        "text" => UiEvent::TextChanged {
+            control,
+            text: value?.as_str()?.to_owned(),
+        },
+        "select" => UiEvent::Selected {
+            control,
+            index: value?.as_u64()? as usize,
+        },
+        "slider" => UiEvent::SliderChanged {
+            control,
+            value: value
+                .and_then(|v| v.as_i64().or_else(|| v.as_str()?.parse().ok()))?,
+        },
+        "pointer" => UiEvent::PointerMoved {
+            control,
+            dx: value?.get("dx")?.as_i64()?,
+            dy: value?.get("dy")?.as_i64()?,
+        },
+        _ => return None,
+    })
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_parsing() {
+        assert_eq!(
+            parse_event(br#"{"control":"ok","kind":"click","value":null}"#),
+            Some(UiEvent::Click { control: "ok".into() })
+        );
+        assert_eq!(
+            parse_event(br#"{"control":"q","kind":"text","value":"bed"}"#),
+            Some(UiEvent::TextChanged {
+                control: "q".into(),
+                text: "bed".into()
+            })
+        );
+        assert_eq!(
+            parse_event(br#"{"control":"l","kind":"select","value":2}"#),
+            Some(UiEvent::Selected {
+                control: "l".into(),
+                index: 2
+            })
+        );
+        assert_eq!(
+            parse_event(br#"{"control":"s","kind":"slider","value":"7"}"#),
+            Some(UiEvent::SliderChanged {
+                control: "s".into(),
+                value: 7
+            })
+        );
+        assert_eq!(
+            parse_event(br#"{"control":"p","kind":"pointer","value":{"dx":3,"dy":-1}}"#),
+            Some(UiEvent::PointerMoved {
+                control: "p".into(),
+                dx: 3,
+                dy: -1
+            })
+        );
+        assert_eq!(parse_event(b"not json"), None);
+        assert_eq!(parse_event(br#"{"kind":"click"}"#), None);
+        assert_eq!(parse_event(br#"{"control":"x","kind":"warp"}"#), None);
+    }
+}

@@ -1,0 +1,424 @@
+//! CoffeeMachine: the paper's canonical appliance.
+//!
+//! The paper repeatedly reaches for the coffee machine as the archetypal
+//! target device — "a service running on a coffee machine … may need to
+//! support an average of 2-3 concurrent users" (§4.3) — and uses its
+//! *knob* as the example of capability mapping: "the mouse of a desktop
+//! computer is equivalent to the joystick of a phone or the knob of a
+//! coffee machine" (§3.3). This application makes that concrete: the
+//! machine's strength knob becomes an abstract slider that each phone
+//! implements with whatever pointing hardware it has, and brewing
+//! progress flows back through poll rules and a completion event.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use alfredo_core::{
+    host_service, Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule,
+    ServiceDescriptor, Trigger,
+};
+use alfredo_osgi::{
+    Event, EventAdmin, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
+    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+};
+use alfredo_ui::control::{ControlKind, RelationKind};
+use alfredo_ui::{Control, Relation, UiDescription};
+
+/// The service interface name.
+pub const COFFEE_INTERFACE: &str = "apps.CoffeeMachine";
+
+/// Topic announced when a brew completes.
+pub const READY_TOPIC: &str = "coffee/ready";
+
+/// Progress gained per poll of `progress()` while brewing, in percent.
+const PROGRESS_PER_POLL: u8 = 20;
+
+#[derive(Debug)]
+struct MachineState {
+    water_pct: i64,
+    beans_pct: i64,
+    strength: i64,
+    brewing: Option<u8>, // progress percent
+    brews_completed: u64,
+    last_kind: String,
+}
+
+/// The appliance-side coffee machine service.
+pub struct CoffeeMachineService {
+    state: Mutex<MachineState>,
+    events: EventAdmin,
+}
+
+impl CoffeeMachineService {
+    /// Creates a full machine.
+    pub fn new(events: EventAdmin) -> Self {
+        CoffeeMachineService {
+            state: Mutex::new(MachineState {
+                water_pct: 100,
+                beans_pct: 100,
+                strength: 5,
+                brewing: None,
+                brews_completed: 0,
+                last_kind: String::new(),
+            }),
+            events,
+        }
+    }
+
+    /// Completed brews so far.
+    pub fn brews_completed(&self) -> u64 {
+        self.state.lock().brews_completed
+    }
+
+    /// The knob position (1–10).
+    pub fn strength(&self) -> i64 {
+        self.state.lock().strength
+    }
+
+    /// Remaining water percentage.
+    pub fn water_pct(&self) -> i64 {
+        self.state.lock().water_pct
+    }
+
+    /// Whether a brew is in progress.
+    pub fn is_brewing(&self) -> bool {
+        self.state.lock().brewing.is_some()
+    }
+
+    fn status_value(state: &MachineState) -> Value {
+        Value::structure(
+            "coffee.Status",
+            [
+                ("water_pct", Value::I64(state.water_pct)),
+                ("beans_pct", Value::I64(state.beans_pct)),
+                ("strength", Value::I64(state.strength)),
+                (
+                    "brewing",
+                    Value::Bool(state.brewing.is_some()),
+                ),
+                ("brews_completed", Value::I64(state.brews_completed as i64)),
+            ],
+        )
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            COFFEE_INTERFACE,
+            vec![
+                MethodSpec::new("status", vec![], TypeHint::Struct, "Machine status."),
+                MethodSpec::new(
+                    "set_strength",
+                    vec![ParamSpec::new("strength", TypeHint::I64)],
+                    TypeHint::I64,
+                    "Turn the strength knob (1-10); returns the clamped value.",
+                ),
+                MethodSpec::new(
+                    "brew",
+                    vec![ParamSpec::new("kind", TypeHint::Str)],
+                    TypeHint::Unit,
+                    "Start brewing; fails if water/beans are exhausted or busy.",
+                ),
+                MethodSpec::new(
+                    "progress",
+                    vec![],
+                    TypeHint::I64,
+                    "Brew progress 0-100; polling it advances the brew.",
+                ),
+                MethodSpec::new("refill", vec![], TypeHint::Unit, "Refill water and beans."),
+            ],
+        )
+    }
+
+    /// The AlfredO descriptor: knob-as-slider, brew button, progress bar,
+    /// poll-driven progress, and the ready event.
+    pub fn descriptor() -> ServiceDescriptor {
+        let ui = UiDescription::new("CoffeeMachine")
+            .with_control(Control::label("title", "Coffee machine"))
+            .with_control(Control::label("status", "ready"))
+            .with_control(
+                Control::new(
+                    "strength",
+                    ControlKind::Slider {
+                        min: 1,
+                        max: 10,
+                        value: 5,
+                    },
+                )
+                .requiring(alfredo_ui::CapabilityInterface::PointingDevice),
+            )
+            .with_control(Control::panel(
+                "actions",
+                false,
+                vec![
+                    Control::button("espresso", "Espresso"),
+                    Control::button("lungo", "Lungo"),
+                ],
+            ))
+            .with_control(Control::new("progress", ControlKind::Progress { value: 0 }))
+            .with_relation(Relation::new("strength", RelationKind::Triggers, "progress"))
+            .with_relation(Relation::new("status", RelationKind::LabelFor, "progress"));
+
+        let brew_rule = |control: &str, kind: &str| {
+            Rule::new(
+                Trigger::UiClick {
+                    control: control.into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        COFFEE_INTERFACE,
+                        "brew",
+                        vec![ArgSource::Const(Value::from(kind))],
+                    ),
+                    bind: None,
+                }],
+            )
+        };
+        let controller = ControllerProgram::new(vec![
+            // The knob: slider changes set the machine's strength.
+            Rule::new(
+                Trigger::UiSlider {
+                    control: "strength".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        COFFEE_INTERFACE,
+                        "set_strength",
+                        vec![ArgSource::EventValue],
+                    ),
+                    bind: None,
+                }],
+            ),
+            brew_rule("espresso", "espresso"),
+            brew_rule("lungo", "lungo"),
+            // Poll progress twice a second while the UI is up.
+            Rule::new(
+                Trigger::Poll { interval_ms: 500 },
+                vec![Action::Invoke {
+                    call: MethodCall::new(COFFEE_INTERFACE, "progress", vec![]),
+                    bind: Some(Binding::to("progress")),
+                }],
+            ),
+            // The machine announces completion.
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: READY_TOPIC.into(),
+                },
+                vec![Action::Update {
+                    bind: Binding::to("status"),
+                    value: ArgSource::EventValue,
+                }],
+            ),
+        ]);
+        ServiceDescriptor::new(COFFEE_INTERFACE, ui).with_controller(controller)
+    }
+}
+
+impl Service for CoffeeMachineService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "status" => Ok(Self::status_value(&self.state.lock())),
+            "set_strength" => {
+                let v = args.first().and_then(Value::as_i64).ok_or_else(|| {
+                    ServiceCallError::BadArguments("set_strength expects an integer".into())
+                })?;
+                let clamped = v.clamp(1, 10);
+                self.state.lock().strength = clamped;
+                Ok(Value::I64(clamped))
+            }
+            "brew" => {
+                let kind = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .unwrap_or("espresso")
+                    .to_owned();
+                let mut s = self.state.lock();
+                if s.brewing.is_some() {
+                    return Err(ServiceCallError::Failed("already brewing".into()));
+                }
+                if s.water_pct < 10 {
+                    return Err(ServiceCallError::Failed("refill water".into()));
+                }
+                if s.beans_pct < 5 {
+                    return Err(ServiceCallError::Failed("refill beans".into()));
+                }
+                s.water_pct -= 10;
+                s.beans_pct -= 5;
+                s.brewing = Some(0);
+                s.last_kind = kind;
+                Ok(Value::Unit)
+            }
+            "progress" => {
+                let (value, finished_kind) = {
+                    let mut s = self.state.lock();
+                    match s.brewing {
+                        None => (100, None),
+                        Some(p) => {
+                            let next = p.saturating_add(PROGRESS_PER_POLL).min(100);
+                            if next >= 100 {
+                                s.brewing = None;
+                                s.brews_completed += 1;
+                                (100, Some(s.last_kind.clone()))
+                            } else {
+                                s.brewing = Some(next);
+                                (i64::from(next), None)
+                            }
+                        }
+                    }
+                };
+                if let Some(kind) = finished_kind {
+                    self.events.post(&Event::new(
+                        READY_TOPIC,
+                        Properties::new()
+                            .with("value", format!("your {kind} is ready"))
+                            .with("kind", kind),
+                    ));
+                }
+                Ok(Value::I64(value))
+            }
+            "refill" => {
+                let mut s = self.state.lock();
+                s.water_pct = 100;
+                s.beans_pct = 100;
+                Ok(Value::Unit)
+            }
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(CoffeeMachineService::interface())
+    }
+}
+
+impl std::fmt::Debug for CoffeeMachineService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("CoffeeMachineService")
+            .field("water_pct", &s.water_pct)
+            .field("strength", &s.strength)
+            .field("brewing", &s.brewing)
+            .finish()
+    }
+}
+
+/// Registers the coffee machine on an appliance framework.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_coffee_machine(
+    framework: &alfredo_osgi::Framework,
+) -> Result<(Arc<CoffeeMachineService>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let service = Arc::new(CoffeeMachineService::new(framework.event_admin().clone()));
+    let registration = host_service(
+        framework,
+        COFFEE_INTERFACE,
+        Arc::clone(&service) as Arc<dyn Service>,
+        &CoffeeMachineService::descriptor(),
+        None,
+        Properties::new().with("device.kind", "appliance"),
+    )?;
+    Ok((service, registration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> CoffeeMachineService {
+        CoffeeMachineService::new(EventAdmin::new())
+    }
+
+    #[test]
+    fn knob_clamps_strength() {
+        let m = machine();
+        assert_eq!(m.invoke("set_strength", &[Value::I64(7)]).unwrap(), Value::I64(7));
+        assert_eq!(m.invoke("set_strength", &[Value::I64(99)]).unwrap(), Value::I64(10));
+        assert_eq!(m.invoke("set_strength", &[Value::I64(-3)]).unwrap(), Value::I64(1));
+        assert_eq!(m.strength(), 1);
+        assert!(matches!(
+            m.invoke("set_strength", &[Value::from("max")]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn brew_lifecycle_with_polled_progress() {
+        let m = machine();
+        m.invoke("brew", &[Value::from("espresso")]).unwrap();
+        assert!(m.is_brewing());
+        assert_eq!(m.water_pct(), 90);
+        // Busy: a second brew is refused.
+        assert!(matches!(
+            m.invoke("brew", &[Value::from("lungo")]),
+            Err(ServiceCallError::Failed(_))
+        ));
+        // Progress advances per poll and finishes at 100.
+        let mut last = 0;
+        for _ in 0..5 {
+            last = m.invoke("progress", &[]).unwrap().as_i64().unwrap();
+        }
+        assert_eq!(last, 100);
+        assert!(!m.is_brewing());
+        assert_eq!(m.brews_completed(), 1);
+        // Idle progress stays at 100.
+        assert_eq!(m.invoke("progress", &[]).unwrap(), Value::I64(100));
+    }
+
+    #[test]
+    fn resources_deplete_and_refill() {
+        let m = machine();
+        for _ in 0..10 {
+            m.invoke("brew", &[Value::from("espresso")]).unwrap();
+            while m.is_brewing() {
+                m.invoke("progress", &[]).unwrap();
+            }
+        }
+        // Water exhausted after 10 brews (10% each).
+        let err = m.invoke("brew", &[Value::from("espresso")]).unwrap_err();
+        assert!(err.to_string().contains("water"), "{err}");
+        m.invoke("refill", &[]).unwrap();
+        m.invoke("brew", &[Value::from("espresso")]).unwrap();
+    }
+
+    #[test]
+    fn completion_event_is_published() {
+        let events = EventAdmin::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        events.subscribe(READY_TOPIC, move |e| {
+            g.lock()
+                .push(e.properties.get_str("kind").unwrap().to_owned());
+        });
+        let m = CoffeeMachineService::new(events);
+        m.invoke("brew", &[Value::from("lungo")]).unwrap();
+        while m.is_brewing() {
+            m.invoke("progress", &[]).unwrap();
+        }
+        assert_eq!(*got.lock(), vec!["lungo"]);
+    }
+
+    #[test]
+    fn status_reports_everything() {
+        let m = machine();
+        let st = m.invoke("status", &[]).unwrap();
+        assert_eq!(st.field("water_pct").and_then(Value::as_i64), Some(100));
+        assert_eq!(st.field("brewing").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn descriptor_wires_the_knob() {
+        let d = CoffeeMachineService::descriptor();
+        d.validate().unwrap();
+        // The knob is an abstract slider requiring a pointing device.
+        let knob = d.ui.find("strength").unwrap();
+        assert!(matches!(knob.kind, ControlKind::Slider { .. }));
+        assert!(knob
+            .requires
+            .contains(&alfredo_ui::CapabilityInterface::PointingDevice));
+        assert_eq!(d.controller.rules().len(), 5);
+        assert_eq!(ServiceDescriptor::decode(&d.encode()).unwrap(), d);
+    }
+}

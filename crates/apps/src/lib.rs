@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # alfredo-apps
+//!
+//! The two prototype applications from §5 of the AlfredO paper, built
+//! entirely on the public APIs of the lower crates:
+//!
+//! * [`mouse`] — **MouseController**: the phone becomes a universal remote
+//!   controller for a notebook's mouse pointer. Pointer input maps through
+//!   the phone's best `PointingDevice` capability (cursor keys on the
+//!   Nokia 9300i, accelerometer on the iPhone); a periodically updated
+//!   screen snapshot flows back to the phone as asynchronous events under
+//!   a bandwidth budget.
+//! * [`shop`] — **AlfredOShop**: the phone controls a shop-window
+//!   information screen, browsing and comparing products even when the
+//!   shop is closed. The product catalogue (data tier) stays on the
+//!   screen; the comparison logic is offloadable to trusted clients as a
+//!   smart proxy; the rich UI adapts to each phone's screen and input
+//!   devices.
+//!
+//! * [`coffee`] — **CoffeeMachine**: the paper's archetypal appliance;
+//!   its strength *knob* is an abstract slider each phone implements with
+//!   its own pointing hardware, and brew progress flows back through poll
+//!   rules and a completion event.
+//!
+//! Each module provides the target-device side (`register_*` — service
+//! implementation + descriptor) and helpers the examples and benchmarks
+//! share.
+
+pub mod coffee;
+pub mod mouse;
+pub mod shop;
+
+pub use coffee::{register_coffee_machine, CoffeeMachineService, COFFEE_INTERFACE};
+pub use mouse::{register_mouse_controller, MouseControllerService, MOUSE_INTERFACE};
+pub use shop::{
+    register_shop, sample_catalog, ComparisonLogic, ProductCatalog, ShopService, COMPARE_INTERFACE,
+    SHOP_INTERFACE,
+};

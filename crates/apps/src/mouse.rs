@@ -1,0 +1,445 @@
+//! MouseController (§5.1): the phone as a universal remote controller.
+//!
+//! "This is a very simple but very powerful service that allows a mobile
+//! phone to control the movement of the mouse on a notebook's screen. …
+//! On the phone's screen a small snapshot of the notebook's screen is
+//! displayed. Since the interactions causing the mouse to move are
+//! typically occurring at a high update rate, there is often not enough
+//! network bandwidth left to send the large updates of the snapshot back
+//! to the phone. Therefore, the application uses asynchronous events
+//! between the service and the phone and sends updates whenever there is
+//! enough bandwidth."
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use alfredo_core::{
+    host_service, Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule,
+    ServiceDescriptor, Trigger,
+};
+use alfredo_osgi::{
+    Event, EventAdmin, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
+    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+};
+use alfredo_ui::{Control, Relation, UiDescription};
+use alfredo_ui::control::RelationKind;
+
+/// The service interface name.
+pub const MOUSE_INTERFACE: &str = "apps.MouseController";
+
+/// Topic on which snapshot events are published.
+pub const SNAPSHOT_TOPIC: &str = "mouse/snapshot";
+
+/// Snapshot dimensions: 320×200 RGB ⇒ 192 000 bytes, reproducing the
+/// paper's observation that "the MouseController consumes about 200
+/// kBytes of memory … due to application-generated data (the RGB bitmap
+/// image)".
+pub const SNAPSHOT_WIDTH: usize = 320;
+/// See [`SNAPSHOT_WIDTH`].
+pub const SNAPSHOT_HEIGHT: usize = 200;
+
+struct PointerState {
+    x: i64,
+    y: i64,
+    clicks: u64,
+    moves: u64,
+    snapshot_seq: u64,
+    last_snapshot_ms: u64,
+}
+
+/// The notebook-side service: owns the pointer and renders snapshots.
+pub struct MouseControllerService {
+    screen_w: i64,
+    screen_h: i64,
+    state: Mutex<PointerState>,
+    events: EventAdmin,
+}
+
+impl MouseControllerService {
+    /// Creates the service for a notebook screen of the given size,
+    /// publishing snapshot events on `events`.
+    pub fn new(screen_w: i64, screen_h: i64, events: EventAdmin) -> Self {
+        MouseControllerService {
+            screen_w,
+            screen_h,
+            state: Mutex::new(PointerState {
+                x: screen_w / 2,
+                y: screen_h / 2,
+                clicks: 0,
+                moves: 0,
+                snapshot_seq: 0,
+                last_snapshot_ms: 0,
+            }),
+            events,
+        }
+    }
+
+    /// The current pointer position.
+    pub fn position(&self) -> (i64, i64) {
+        let s = self.state.lock();
+        (s.x, s.y)
+    }
+
+    /// Total clicks so far.
+    pub fn clicks(&self) -> u64 {
+        self.state.lock().clicks
+    }
+
+    /// Total pointer moves so far.
+    pub fn moves(&self) -> u64 {
+        self.state.lock().moves
+    }
+
+    /// Renders the synthetic notebook screen: a gradient background with
+    /// a crosshair at the pointer — enough structure that snapshots
+    /// change as the pointer moves.
+    pub fn render_snapshot(&self) -> Vec<u8> {
+        let (px, py) = self.position();
+        let mut rgb = vec![0u8; SNAPSHOT_WIDTH * SNAPSHOT_HEIGHT * 3];
+        let sx = px as f64 / self.screen_w as f64 * SNAPSHOT_WIDTH as f64;
+        let sy = py as f64 / self.screen_h as f64 * SNAPSHOT_HEIGHT as f64;
+        for y in 0..SNAPSHOT_HEIGHT {
+            for x in 0..SNAPSHOT_WIDTH {
+                let idx = (y * SNAPSHOT_WIDTH + x) * 3;
+                rgb[idx] = (x * 255 / SNAPSHOT_WIDTH) as u8;
+                rgb[idx + 1] = (y * 255 / SNAPSHOT_HEIGHT) as u8;
+                let on_cross =
+                    (x as f64 - sx).abs() < 2.0 || (y as f64 - sy).abs() < 2.0;
+                rgb[idx + 2] = if on_cross { 255 } else { 32 };
+            }
+        }
+        rgb
+    }
+
+    /// Publishes a snapshot event if at least `min_interval_ms` of
+    /// bandwidth-budget time has passed since the last one — the paper's
+    /// "sends updates whenever there is enough bandwidth". Returns whether
+    /// an event was published.
+    pub fn maybe_publish_snapshot(&self, now_ms: u64, min_interval_ms: u64) -> bool {
+        {
+            let mut s = self.state.lock();
+            if now_ms.saturating_sub(s.last_snapshot_ms) < min_interval_ms && s.snapshot_seq > 0 {
+                return false;
+            }
+            s.last_snapshot_ms = now_ms;
+            s.snapshot_seq += 1;
+        }
+        let seq = self.state.lock().snapshot_seq;
+        let bytes = self.render_snapshot();
+        self.events.post(&Event::new(
+            SNAPSHOT_TOPIC,
+            Properties::new()
+                .with("seq", seq as i64)
+                .with("value", Value::Bytes(bytes)),
+        ));
+        true
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            MOUSE_INTERFACE,
+            vec![
+                MethodSpec::new(
+                    "move",
+                    vec![
+                        ParamSpec::new("dx", TypeHint::I64),
+                        ParamSpec::new("dy", TypeHint::I64),
+                    ],
+                    TypeHint::Unit,
+                    "Move the pointer by a relative offset.",
+                ),
+                MethodSpec::new("click", vec![], TypeHint::Unit, "Press the primary button."),
+                MethodSpec::new(
+                    "position",
+                    vec![],
+                    TypeHint::Struct,
+                    "Current pointer position.",
+                ),
+                MethodSpec::new(
+                    "screenshot",
+                    vec![],
+                    TypeHint::Bytes,
+                    "A downscaled RGB snapshot of the screen.",
+                ),
+            ],
+        )
+    }
+
+    /// The AlfredO descriptor: movement pad UI + controller rules wiring
+    /// pointer input to `move`, the click button to `click`, and snapshot
+    /// events into the image control.
+    pub fn descriptor() -> ServiceDescriptor {
+        let ui = UiDescription::new("MouseController")
+            .with_control(Control::label("title", "MouseController"))
+            .with_control(Control::image(
+                "snapshot",
+                SNAPSHOT_WIDTH as u32,
+                SNAPSHOT_HEIGHT as u32,
+                SNAPSHOT_TOPIC,
+            ))
+            .with_control(Control::panel(
+                "pad",
+                true,
+                vec![
+                    Control::button("up", "▲"),
+                    Control::panel(
+                        "mid",
+                        false,
+                        vec![
+                            Control::button("left", "◀"),
+                            Control::button("click", "●"),
+                            Control::button("right", "▶"),
+                        ],
+                    ),
+                    Control::button("down", "▼"),
+                ],
+            ))
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "snapshot"))
+            .with_relation(Relation::new("pad", RelationKind::Triggers, "snapshot"));
+
+        let step = 10i64;
+        let move_rule = |control: &str, dx: i64, dy: i64| {
+            Rule::on_click(
+                control,
+                MethodCall::new(
+                    MOUSE_INTERFACE,
+                    "move",
+                    vec![
+                        ArgSource::Const(Value::I64(dx)),
+                        ArgSource::Const(Value::I64(dy)),
+                    ],
+                ),
+                None,
+            )
+        };
+        let controller = ControllerProgram::new(vec![
+            move_rule("up", 0, -step),
+            move_rule("down", 0, step),
+            move_rule("left", -step, 0),
+            move_rule("right", step, 0),
+            Rule::on_click(
+                "click",
+                MethodCall::new(MOUSE_INTERFACE, "click", vec![]),
+                None,
+            ),
+            // Raw pointer input (trackpoint/accelerometer) routed to the pad.
+            Rule::new(
+                Trigger::UiPointer {
+                    control: "pad".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        MOUSE_INTERFACE,
+                        "move",
+                        vec![ArgSource::EventDx, ArgSource::EventDy],
+                    ),
+                    bind: None,
+                }],
+            ),
+            // Asynchronous snapshot events update the image control.
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: SNAPSHOT_TOPIC.into(),
+                },
+                vec![Action::Update {
+                    bind: Binding::to_slot("snapshot", "data"),
+                    value: ArgSource::EventValue,
+                }],
+            ),
+        ]);
+
+        ServiceDescriptor::new(MOUSE_INTERFACE, ui).with_controller(controller)
+    }
+}
+
+impl Service for MouseControllerService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "move" => {
+                let (dx, dy) = match args {
+                    [a, b] => (
+                        a.as_i64().ok_or_else(|| {
+                            ServiceCallError::BadArguments("dx must be an integer".into())
+                        })?,
+                        b.as_i64().ok_or_else(|| {
+                            ServiceCallError::BadArguments("dy must be an integer".into())
+                        })?,
+                    ),
+                    _ => {
+                        return Err(ServiceCallError::BadArguments(
+                            "move expects (dx, dy)".into(),
+                        ))
+                    }
+                };
+                let mut s = self.state.lock();
+                s.x = (s.x + dx).clamp(0, self.screen_w - 1);
+                s.y = (s.y + dy).clamp(0, self.screen_h - 1);
+                s.moves += 1;
+                Ok(Value::Unit)
+            }
+            "click" => {
+                self.state.lock().clicks += 1;
+                Ok(Value::Unit)
+            }
+            "position" => {
+                let s = self.state.lock();
+                Ok(Value::structure(
+                    "mouse.Position",
+                    [("x", Value::I64(s.x)), ("y", Value::I64(s.y))],
+                ))
+            }
+            "screenshot" => Ok(Value::Bytes(self.render_snapshot())),
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(MouseControllerService::interface())
+    }
+}
+
+impl std::fmt::Debug for MouseControllerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (x, y) = self.position();
+        f.debug_struct("MouseControllerService")
+            .field("pointer", &(x, y))
+            .finish()
+    }
+}
+
+/// Registers the MouseController on a notebook's framework and returns
+/// the service handle and registration.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_mouse_controller(
+    framework: &alfredo_osgi::Framework,
+    screen_w: i64,
+    screen_h: i64,
+) -> Result<(Arc<MouseControllerService>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let service = Arc::new(MouseControllerService::new(
+        screen_w,
+        screen_h,
+        framework.event_admin().clone(),
+    ));
+    let registration = host_service(
+        framework,
+        MOUSE_INTERFACE,
+        Arc::clone(&service) as Arc<dyn Service>,
+        &MouseControllerService::descriptor(),
+        None,
+        Properties::new().with("device.kind", "notebook"),
+    )?;
+    Ok((service, registration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> MouseControllerService {
+        MouseControllerService::new(1280, 800, EventAdmin::new())
+    }
+
+    #[test]
+    fn moves_are_applied_and_clamped() {
+        let svc = service();
+        assert_eq!(svc.position(), (640, 400));
+        svc.invoke("move", &[Value::I64(10), Value::I64(-20)]).unwrap();
+        assert_eq!(svc.position(), (650, 380));
+        // Clamp at the screen edge.
+        svc.invoke("move", &[Value::I64(100_000), Value::I64(100_000)])
+            .unwrap();
+        assert_eq!(svc.position(), (1279, 799));
+        svc.invoke("move", &[Value::I64(-100_000), Value::I64(0)]).unwrap();
+        assert_eq!(svc.position(), (0, 799));
+        assert_eq!(svc.moves(), 3);
+    }
+
+    #[test]
+    fn click_and_position() {
+        let svc = service();
+        svc.invoke("click", &[]).unwrap();
+        svc.invoke("click", &[]).unwrap();
+        assert_eq!(svc.clicks(), 2);
+        let pos = svc.invoke("position", &[]).unwrap();
+        assert_eq!(pos.field("x").and_then(Value::as_i64), Some(640));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let svc = service();
+        assert!(matches!(
+            svc.invoke("move", &[Value::I64(1)]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        assert!(matches!(
+            svc.invoke("move", &[Value::from("a"), Value::I64(1)]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        assert!(matches!(
+            svc.invoke("warp", &[]),
+            Err(ServiceCallError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_rgb_bitmap_of_paper_size() {
+        let svc = service();
+        let snap = svc.invoke("screenshot", &[]).unwrap();
+        let bytes = snap.as_bytes().unwrap();
+        // 320x200x3 = 192,000 bytes ≈ the paper's ~200 kB runtime memory.
+        assert_eq!(bytes.len(), SNAPSHOT_WIDTH * SNAPSHOT_HEIGHT * 3);
+        assert!((150_000..250_000).contains(&bytes.len()));
+    }
+
+    #[test]
+    fn snapshot_tracks_pointer() {
+        let svc = service();
+        let before = svc.render_snapshot();
+        svc.invoke("move", &[Value::I64(300), Value::I64(150)]).unwrap();
+        let after = svc.render_snapshot();
+        assert_ne!(before, after, "crosshair must follow the pointer");
+    }
+
+    #[test]
+    fn bandwidth_budget_limits_snapshot_events() {
+        let events = EventAdmin::new();
+        let svc = MouseControllerService::new(800, 600, events.clone());
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c = std::sync::Arc::clone(&counter);
+        events.subscribe(SNAPSHOT_TOPIC, move |_| {
+            c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(svc.maybe_publish_snapshot(0, 100));
+        assert!(!svc.maybe_publish_snapshot(50, 100), "budget exhausted");
+        assert!(svc.maybe_publish_snapshot(150, 100));
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn descriptor_is_valid_and_wired() {
+        let d = MouseControllerService::descriptor();
+        d.validate().unwrap();
+        assert_eq!(d.service, MOUSE_INTERFACE);
+        assert!(d.ui.find("pad").is_some());
+        // All four direction rules plus click, pointer, and snapshot rules.
+        assert_eq!(d.controller.rules().len(), 7);
+        // Round-trips for shipping.
+        let bytes = d.encode();
+        assert_eq!(ServiceDescriptor::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn interface_describes_all_methods() {
+        let iface = MouseControllerService::interface();
+        for m in ["move", "click", "position", "screenshot"] {
+            assert!(iface.method(m).is_some(), "{m}");
+        }
+        let svc = service();
+        assert_eq!(svc.describe().unwrap(), iface);
+    }
+}

@@ -1,0 +1,721 @@
+//! AlfredOShop (§5.2): controlling a shop-window information screen.
+//!
+//! "By interacting with an information screen placed behind a shop window,
+//! a user can browse and compare shop's products even when the shop is
+//! closed. … On the customer side, the application can contribute
+//! increasing the shop's revenue by making the shop accessible 24 hours a
+//! day. Furthermore, a shop's owner does not incur in any security risk
+//! because AlfredO provides him a full control on which information to
+//! display."
+//!
+//! Tiers: the [`ProductCatalog`] is the **data tier** and never leaves the
+//! information screen; [`ShopService`] is the service facade; the
+//! [`ComparisonLogic`] is an **offloadable logic-tier component** shipped
+//! to trusted clients as a smart proxy (factory key
+//! [`COMPARE_FACTORY_KEY`]).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use alfredo_core::{
+    host_service, Action, ArgSource, Binding, ControllerProgram, DependencySpec, MethodCall,
+    ResourceRequirements, Rule, ServiceDescriptor, Trigger,
+};
+use alfredo_osgi::{
+    MethodSpec, ParamSpec, Properties, Service, ServiceCallError, ServiceInterfaceDesc,
+    ServiceRegistration, TypeHint, Value,
+};
+use alfredo_rosgi::endpoint::{encode_type_descriptors, PROP_INJECTED_TYPES};
+use alfredo_rosgi::TypeDescriptor;
+use alfredo_ui::control::RelationKind;
+use alfredo_ui::{Control, Relation, UiDescription};
+
+/// The shop facade's interface name.
+pub const SHOP_INTERFACE: &str = "apps.AlfredOShop";
+
+/// The offloadable comparison component's interface name.
+pub const COMPARE_INTERFACE: &str = "apps.shop.Comparison";
+
+/// Code-registry key for the comparison smart proxy's local half.
+pub const COMPARE_FACTORY_KEY: &str = "apps.shop.comparison/v1";
+
+/// One product in the catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Product {
+    /// Unique product name.
+    pub name: String,
+    /// Category, e.g. `"Beds"`.
+    pub category: String,
+    /// Price in cents.
+    pub price_cents: i64,
+    /// Free-text description.
+    pub description: String,
+    /// (width, depth, height) in centimetres.
+    pub dimensions_cm: (i64, i64, i64),
+    /// Units in stock.
+    pub stock: i64,
+}
+
+impl Product {
+    /// The injected wire type for products.
+    pub fn type_descriptor() -> TypeDescriptor {
+        TypeDescriptor::new("shop.Product")
+            .with_field("name", TypeHint::Str)
+            .with_field("category", TypeHint::Str)
+            .with_field("price_cents", TypeHint::I64)
+            .with_field("description", TypeHint::Str)
+            .with_field("dimensions_cm", TypeHint::List)
+            .with_field("stock", TypeHint::I64)
+    }
+
+    /// Converts to the wire value (a `shop.Product` struct).
+    pub fn to_value(&self) -> Value {
+        Value::structure(
+            "shop.Product",
+            [
+                ("name", Value::from(self.name.as_str())),
+                ("category", Value::from(self.category.as_str())),
+                ("price_cents", Value::from(self.price_cents)),
+                ("description", Value::from(self.description.as_str())),
+                (
+                    "dimensions_cm",
+                    Value::from(vec![
+                        self.dimensions_cm.0,
+                        self.dimensions_cm.1,
+                        self.dimensions_cm.2,
+                    ]),
+                ),
+                ("stock", Value::from(self.stock)),
+            ],
+        )
+    }
+}
+
+/// The data tier: an in-memory product database that never leaves the
+/// information screen.
+#[derive(Debug, Default)]
+pub struct ProductCatalog {
+    products: Mutex<BTreeMap<String, Product>>,
+}
+
+impl ProductCatalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Self {
+        ProductCatalog::default()
+    }
+
+    /// Inserts (or replaces) a product.
+    pub fn insert(&self, product: Product) {
+        self.products.lock().insert(product.name.clone(), product);
+    }
+
+    /// The distinct categories, sorted.
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> = self
+            .products
+            .lock()
+            .values()
+            .map(|p| p.category.clone())
+            .collect();
+        cats.sort();
+        cats.dedup();
+        cats
+    }
+
+    /// Product names in a category, sorted.
+    pub fn products_in(&self, category: &str) -> Vec<String> {
+        self.products
+            .lock()
+            .values()
+            .filter(|p| p.category == category)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Looks up a product.
+    pub fn get(&self, name: &str) -> Option<Product> {
+        self.products.lock().get(name).cloned()
+    }
+
+    /// Case-insensitive substring search over names and descriptions.
+    pub fn search(&self, query: &str) -> Vec<String> {
+        let q = query.to_lowercase();
+        self.products
+            .lock()
+            .values()
+            .filter(|p| {
+                p.name.to_lowercase().contains(&q) || p.description.to_lowercase().contains(&q)
+            })
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.products.lock().len()
+    }
+
+    /// Returns `true` if the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.products.lock().is_empty()
+    }
+}
+
+/// A realistic furniture catalogue for examples, tests, and benchmarks.
+pub fn sample_catalog() -> Arc<ProductCatalog> {
+    let catalog = ProductCatalog::new();
+    let items = [
+        ("Queen Bed 'Aurora'", "Beds", 49_900, "Solid oak queen-size bed with slatted base.", (160, 200, 45), 4),
+        ("King Bed 'Borealis'", "Beds", 74_900, "King-size bed, upholstered headboard.", (180, 200, 110), 2),
+        ("Single Bed 'Cub'", "Beds", 19_900, "Compact single bed for kids' rooms.", (90, 200, 40), 9),
+        ("Bunk Bed 'Duo'", "Beds", 39_900, "Space-saving bunk bed with ladder.", (97, 205, 160), 3),
+        ("Sofa 'Ease' 3-seat", "Sofas", 89_900, "Three-seat sofa, washable linen cover.", (228, 95, 83), 5),
+        ("Sofa 'Ease' 2-seat", "Sofas", 64_900, "Two-seat version of the Ease family.", (165, 95, 83), 6),
+        ("Corner Sofa 'Fjord'", "Sofas", 129_900, "Corner sofa with chaise longue.", (280, 160, 85), 1),
+        ("Sofa Bed 'Guest'", "Sofas", 74_900, "Converts to a double bed in seconds.", (200, 100, 90), 4),
+        ("Armchair 'Haven'", "Chairs", 34_900, "Wingback armchair, velvet.", (80, 85, 105), 7),
+        ("Office Chair 'Ion'", "Chairs", 24_900, "Ergonomic office chair, lumbar support.", (60, 60, 120), 12),
+        ("Dining Chair 'Juno'", "Chairs", 8_900, "Stackable dining chair, beech.", (45, 52, 80), 24),
+        ("Rocking Chair 'Koa'", "Chairs", 27_900, "Classic rocking chair, walnut finish.", (66, 90, 98), 3),
+        ("Dining Table 'Lago'", "Tables", 59_900, "Extendable dining table for 6-10.", (180, 90, 74), 2),
+        ("Coffee Table 'Mesa'", "Tables", 19_900, "Low coffee table with storage shelf.", (110, 60, 45), 8),
+        ("Desk 'Nook'", "Tables", 29_900, "Writing desk with cable grommet.", (120, 60, 74), 6),
+        ("Side Table 'Orb'", "Tables", 9_900, "Round side table, powder-coated steel.", (45, 45, 50), 15),
+    ];
+    for (name, cat, price, desc, dims, stock) in items {
+        catalog.insert(Product {
+            name: name.to_owned(),
+            category: cat.to_owned(),
+            price_cents: price,
+            description: desc.to_owned(),
+            dimensions_cm: dims,
+            stock,
+        });
+    }
+    Arc::new(catalog)
+}
+
+/// The pure comparison logic — the offloadable logic-tier component.
+///
+/// It operates on `shop.Product` values only (no catalogue access), which
+/// is what makes it safe and useful to run client-side: once the client
+/// has two product values, comparisons are local and instant even on a
+/// slow link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComparisonLogic;
+
+impl ComparisonLogic {
+    /// Compares two product values, returning a human-readable verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceCallError::BadArguments`] if either value is not a
+    /// product struct.
+    pub fn compare(a: &Value, b: &Value) -> Result<Value, ServiceCallError> {
+        let get = |v: &Value, field: &str| -> Result<i64, ServiceCallError> {
+            v.field(field).and_then(Value::as_i64).ok_or_else(|| {
+                ServiceCallError::BadArguments(format!("missing product field '{field}'"))
+            })
+        };
+        let name = |v: &Value| -> Result<String, ServiceCallError> {
+            v.field("name")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ServiceCallError::BadArguments("missing product name".into()))
+        };
+        let (na, nb) = (name(a)?, name(b)?);
+        let (pa, pb) = (get(a, "price_cents")?, get(b, "price_cents")?);
+        let (sa, sb) = (get(a, "stock")?, get(b, "stock")?);
+        let cheaper = if pa <= pb { &na } else { &nb };
+        let diff = (pa - pb).abs();
+        let availability = if sa > 0 && sb > 0 {
+            "both in stock".to_owned()
+        } else if sa > 0 {
+            format!("only {na} in stock")
+        } else if sb > 0 {
+            format!("only {nb} in stock")
+        } else {
+            "neither in stock".to_owned()
+        };
+        Ok(Value::from(format!(
+            "{cheaper} is cheaper by {}.{:02} ({availability})",
+            diff / 100,
+            diff % 100
+        )))
+    }
+
+    /// The component's shippable interface.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            COMPARE_INTERFACE,
+            vec![MethodSpec::new(
+                "compare",
+                vec![
+                    ParamSpec::new("a", TypeHint::Struct),
+                    ParamSpec::new("b", TypeHint::Struct),
+                ],
+                TypeHint::Str,
+                "Compare two products by price and availability.",
+            )],
+        )
+    }
+}
+
+impl Service for ComparisonLogic {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "compare" => match args {
+                [a, b] => ComparisonLogic::compare(a, b),
+                _ => Err(ServiceCallError::BadArguments(
+                    "compare expects two products".into(),
+                )),
+            },
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(ComparisonLogic::interface())
+    }
+}
+
+/// The shop facade: the service the phone leases.
+#[derive(Debug)]
+pub struct ShopService {
+    catalog: Arc<ProductCatalog>,
+}
+
+impl ShopService {
+    /// Creates the facade over a catalogue.
+    pub fn new(catalog: Arc<ProductCatalog>) -> Self {
+        ShopService { catalog }
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            SHOP_INTERFACE,
+            vec![
+                MethodSpec::new("categories", vec![], TypeHint::List, "List categories."),
+                MethodSpec::new(
+                    "products",
+                    vec![ParamSpec::new("category", TypeHint::Str)],
+                    TypeHint::List,
+                    "List product names in a category.",
+                ),
+                MethodSpec::new(
+                    "details",
+                    vec![ParamSpec::new("name", TypeHint::Str)],
+                    TypeHint::Struct,
+                    "Full details for one product.",
+                ),
+                MethodSpec::new(
+                    "search",
+                    vec![ParamSpec::new("query", TypeHint::Str)],
+                    TypeHint::List,
+                    "Search products by name or description.",
+                ),
+                MethodSpec::new(
+                    "compare",
+                    vec![
+                        ParamSpec::new("a", TypeHint::Str),
+                        ParamSpec::new("b", TypeHint::Str),
+                    ],
+                    TypeHint::Str,
+                    "Compare two products by name (server-side convenience).",
+                ),
+            ],
+        )
+    }
+
+    /// The AlfredO descriptor: browsing UI + controller rules, with the
+    /// comparison component listed as an offloadable dependency.
+    pub fn descriptor() -> ServiceDescriptor {
+        let ui = UiDescription::new("AlfredOShop")
+            .with_control(Control::label("title", "AlfredO Shop"))
+            .with_control(Control::text_input("search", "search products…"))
+            .with_control(Control::list("categories", Vec::<String>::new()))
+            .with_control(Control::list("products", Vec::<String>::new()))
+            .with_control(Control::panel(
+                "detail_panel",
+                true,
+                vec![
+                    Control::label("detail", ""),
+                    Control::label("price", "select a product for pricing"),
+                    Control::label("stock", ""),
+                    Control::label("dimensions", ""),
+                ],
+            ))
+            .with_control(Control::label("verdict", ""))
+            .with_control(Control::panel(
+                "actions",
+                false,
+                vec![
+                    Control::button("refresh", "Refresh"),
+                    Control::button("compare", "Compare top two"),
+                    Control::button("clear", "Clear"),
+                ],
+            ))
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "categories"))
+            .with_relation(Relation::new(
+                "detail",
+                RelationKind::DisplaysResultOf,
+                "products",
+            ))
+            .with_relation(Relation::new(
+                "products",
+                RelationKind::Adjacent,
+                "categories",
+            ));
+
+        let controller = ControllerProgram::new(vec![
+            Rule::on_click(
+                "refresh",
+                MethodCall::new(SHOP_INTERFACE, "categories", vec![]),
+                Some(Binding::to_slot("categories", "items")),
+            ),
+            Rule::new(
+                Trigger::UiSelected {
+                    control: "categories".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        SHOP_INTERFACE,
+                        "products",
+                        vec![ArgSource::SelectedItem {
+                            control: "categories".into(),
+                        }],
+                    ),
+                    bind: Some(Binding::to_slot("products", "items")),
+                }],
+            ),
+            Rule::new(
+                Trigger::UiSelected {
+                    control: "products".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        SHOP_INTERFACE,
+                        "details",
+                        vec![ArgSource::SelectedItem {
+                            control: "products".into(),
+                        }],
+                    ),
+                    bind: Some(Binding::to("detail")),
+                }],
+            ),
+            Rule::new(
+                Trigger::UiText {
+                    control: "search".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        SHOP_INTERFACE,
+                        "search",
+                        vec![ArgSource::EventValue],
+                    ),
+                    bind: Some(Binding::to_slot("products", "items")),
+                }],
+            ),
+            // "Compare top two": server-side convenience compare of the
+            // selected product against the current detail view.
+            Rule::new(
+                Trigger::UiClick {
+                    control: "compare".into(),
+                },
+                vec![Action::Invoke {
+                    call: MethodCall::new(
+                        SHOP_INTERFACE,
+                        "compare",
+                        vec![
+                            ArgSource::SelectedItem {
+                                control: "products".into(),
+                            },
+                            ArgSource::State {
+                                control: "compare_with".into(),
+                            },
+                        ],
+                    ),
+                    bind: Some(Binding::to("verdict")),
+                }],
+            ),
+            // Remember the previously selected product for comparisons.
+            Rule::new(
+                Trigger::UiSelected {
+                    control: "products".into(),
+                },
+                vec![Action::Update {
+                    bind: Binding::to("compare_with"),
+                    value: ArgSource::SelectedItem {
+                        control: "products".into(),
+                    },
+                }],
+            ),
+            Rule::new(
+                Trigger::UiClick {
+                    control: "clear".into(),
+                },
+                vec![
+                    Action::Update {
+                        bind: Binding::to("detail"),
+                        value: ArgSource::Const(Value::Unit),
+                    },
+                    Action::Update {
+                        bind: Binding::to("verdict"),
+                        value: ArgSource::Const(Value::Unit),
+                    },
+                ],
+            ),
+            // Shop-screen updates (price changes) refresh the verdict line.
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: "shop/*".into(),
+                },
+                vec![Action::Update {
+                    bind: Binding::to("verdict"),
+                    value: ArgSource::EventValue,
+                }],
+            ),
+        ]);
+
+        ServiceDescriptor::new(SHOP_INTERFACE, ui)
+            .with_dependency(DependencySpec::offloadable(
+                COMPARE_INTERFACE,
+                ResourceRequirements::none()
+                    .with_memory(256 << 10)
+                    .with_cpu_mhz(100),
+            ))
+            .with_presentation_requirements(ResourceRequirements::none().with_memory(64 << 10))
+            .with_controller(controller)
+    }
+}
+
+impl Service for ShopService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        let str_arg = |i: usize| -> Result<&str, ServiceCallError> {
+            args.get(i).and_then(Value::as_str).ok_or_else(|| {
+                ServiceCallError::BadArguments(format!("argument {i} must be a string"))
+            })
+        };
+        match method {
+            "categories" => Ok(Value::from(self.catalog.categories())),
+            "products" => Ok(Value::from(self.catalog.products_in(str_arg(0)?))),
+            "details" => {
+                let name = str_arg(0)?;
+                self.catalog
+                    .get(name)
+                    .map(|p| p.to_value())
+                    .ok_or_else(|| ServiceCallError::Failed(format!("no such product: {name}")))
+            }
+            "search" => Ok(Value::from(self.catalog.search(str_arg(0)?))),
+            "compare" => {
+                let a = self.catalog.get(str_arg(0)?).ok_or_else(|| {
+                    ServiceCallError::Failed(format!("no such product: {}", str_arg(0).unwrap()))
+                })?;
+                let b = self.catalog.get(str_arg(1)?).ok_or_else(|| {
+                    ServiceCallError::Failed(format!("no such product: {}", str_arg(1).unwrap()))
+                })?;
+                ComparisonLogic::compare(&a.to_value(), &b.to_value())
+            }
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(ShopService::interface())
+    }
+}
+
+/// Registers the shop (facade + offloadable comparison component) on the
+/// information screen's framework.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_shop(
+    framework: &alfredo_osgi::Framework,
+    catalog: Arc<ProductCatalog>,
+) -> Result<(ServiceRegistration, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let injected = encode_type_descriptors(&[Product::type_descriptor()]);
+    let shop = host_service(
+        framework,
+        SHOP_INTERFACE,
+        Arc::new(ShopService::new(Arc::clone(&catalog))) as Arc<dyn Service>,
+        &ShopService::descriptor(),
+        None,
+        Properties::new()
+            .with("device.kind", "information-screen")
+            .with(PROP_INJECTED_TYPES, injected),
+    )?;
+    // The comparison component: offered with a smart-proxy key so trusted
+    // clients can run it locally; untrusted clients call it remotely.
+    let compare_descriptor = ServiceDescriptor::new(
+        COMPARE_INTERFACE,
+        UiDescription::new("comparison"), // headless component
+    );
+    let compare = host_service(
+        framework,
+        COMPARE_INTERFACE,
+        Arc::new(ComparisonLogic) as Arc<dyn Service>,
+        &compare_descriptor,
+        Some((COMPARE_FACTORY_KEY, vec!["compare".to_owned()])),
+        Properties::new(),
+    )?;
+    Ok((shop, compare))
+}
+
+/// Registers the comparison smart proxy's local half in a phone's code
+/// registry (linking the "shipped" logic, per the substitution in
+/// `DESIGN.md` §2).
+pub fn link_comparison_logic(code: &alfredo_osgi::CodeRegistry) {
+    code.register_service(COMPARE_FACTORY_KEY, || Arc::new(ComparisonLogic));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_queries() {
+        let c = sample_catalog();
+        assert_eq!(c.len(), 16);
+        assert!(!c.is_empty());
+        assert_eq!(c.categories(), vec!["Beds", "Chairs", "Sofas", "Tables"]);
+        assert_eq!(c.products_in("Beds").len(), 4);
+        assert!(c.get("Queen Bed 'Aurora'").is_some());
+        assert!(c.get("Nonexistent").is_none());
+        let hits = c.search("bed");
+        assert!(hits.len() >= 5, "{hits:?}"); // 4 beds + sofa bed
+        assert!(c.search("BED").len() >= 5, "case-insensitive");
+        assert!(c.search("zzz").is_empty());
+    }
+
+    #[test]
+    fn shop_service_methods() {
+        let svc = ShopService::new(sample_catalog());
+        let cats = svc.invoke("categories", &[]).unwrap();
+        assert_eq!(cats.as_list().unwrap().len(), 4);
+        let products = svc
+            .invoke("products", &[Value::from("Sofas")])
+            .unwrap();
+        assert_eq!(products.as_list().unwrap().len(), 4);
+        let details = svc
+            .invoke("details", &[Value::from("Desk 'Nook'")])
+            .unwrap();
+        assert_eq!(details.field("price_cents").and_then(Value::as_i64), Some(29_900));
+        // The details value conforms to the injected type.
+        let mut types = alfredo_rosgi::TypeRegistry::new();
+        types.inject(Product::type_descriptor());
+        types.validate_deep(&details).unwrap();
+        assert!(matches!(
+            svc.invoke("details", &[Value::from("missing")]),
+            Err(ServiceCallError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn comparison_logic_is_pure_and_correct() {
+        let c = sample_catalog();
+        let a = c.get("Dining Chair 'Juno'").unwrap().to_value();
+        let b = c.get("Armchair 'Haven'").unwrap().to_value();
+        let verdict = ComparisonLogic::compare(&a, &b).unwrap();
+        let text = verdict.as_str().unwrap();
+        assert!(text.contains("Juno"), "{text}");
+        assert!(text.contains("260.00"), "{text}"); // 34900-8900 = 26000 cents
+        assert!(text.contains("both in stock"), "{text}");
+    }
+
+    #[test]
+    fn comparison_handles_stock_cases() {
+        let mut a = sample_catalog().get("Side Table 'Orb'").unwrap();
+        a.stock = 0;
+        let b = sample_catalog().get("Desk 'Nook'").unwrap();
+        let verdict = ComparisonLogic::compare(&a.to_value(), &b.to_value()).unwrap();
+        assert!(verdict.as_str().unwrap().contains("only Desk 'Nook' in stock"));
+        let mut b0 = b.clone();
+        b0.stock = 0;
+        let verdict = ComparisonLogic::compare(&a.to_value(), &b0.to_value()).unwrap();
+        assert!(verdict.as_str().unwrap().contains("neither"));
+    }
+
+    #[test]
+    fn comparison_rejects_non_products() {
+        assert!(matches!(
+            ComparisonLogic::compare(&Value::I64(1), &Value::I64(2)),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        let svc = ComparisonLogic;
+        assert!(matches!(
+            svc.invoke("compare", &[Value::Unit]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn server_side_compare_convenience() {
+        let svc = ShopService::new(sample_catalog());
+        let verdict = svc
+            .invoke(
+                "compare",
+                &[
+                    Value::from("Sofa 'Ease' 2-seat"),
+                    Value::from("Sofa 'Ease' 3-seat"),
+                ],
+            )
+            .unwrap();
+        assert!(verdict.as_str().unwrap().contains("2-seat"));
+    }
+
+    #[test]
+    fn descriptor_is_valid_and_offloadable() {
+        let d = ShopService::descriptor();
+        d.validate().unwrap();
+        let off = d.offloadable_dependencies();
+        assert_eq!(off.len(), 1);
+        assert_eq!(off[0].interface, COMPARE_INTERFACE);
+        // Ships and returns intact.
+        assert_eq!(ServiceDescriptor::decode(&d.encode()).unwrap(), d);
+        // The shipped payload is in the paper's "about 2 kB" regime.
+        let size = d.footprint();
+        assert!((500..6000).contains(&size), "descriptor {size} bytes");
+    }
+
+    #[test]
+    fn registration_attaches_descriptor_and_smart_proxy_props() {
+        let fw = alfredo_osgi::Framework::new();
+        register_shop(&fw, sample_catalog()).unwrap();
+        let shop_ref = fw.registry().get_reference(SHOP_INTERFACE).unwrap();
+        assert!(shop_ref
+            .properties()
+            .get(alfredo_rosgi::endpoint::PROP_DESCRIPTOR)
+            .is_some());
+        let cmp_ref = fw.registry().get_reference(COMPARE_INTERFACE).unwrap();
+        assert_eq!(
+            cmp_ref
+                .properties()
+                .get_str(alfredo_rosgi::endpoint::PROP_SMART_PROXY_KEY),
+            Some(COMPARE_FACTORY_KEY)
+        );
+    }
+
+    #[test]
+    fn link_comparison_registers_factory() {
+        let code = alfredo_osgi::CodeRegistry::new();
+        link_comparison_logic(&code);
+        assert!(code.contains_service(COMPARE_FACTORY_KEY));
+        let svc = code.instantiate_service(COMPARE_FACTORY_KEY).unwrap();
+        let c = sample_catalog();
+        let out = svc
+            .invoke(
+                "compare",
+                &[
+                    c.get("Side Table 'Orb'").unwrap().to_value(),
+                    c.get("Desk 'Nook'").unwrap().to_value(),
+                ],
+            )
+            .unwrap();
+        assert!(out.as_str().is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the prototype applications' invariants.
+
+use alfredo_apps::shop::{ComparisonLogic, Product, ProductCatalog};
+use alfredo_apps::{sample_catalog, MouseControllerService};
+use alfredo_osgi::{EventAdmin, Service, Value};
+use proptest::prelude::*;
+
+fn product_strategy() -> impl Strategy<Value = Product> {
+    (
+        "[A-Za-z '\\-]{1,24}",
+        "[A-Za-z]{1,10}",
+        0i64..10_000_000,
+        ".{0,40}",
+        (1i64..500, 1i64..500, 1i64..500),
+        0i64..1000,
+    )
+        .prop_map(
+            |(name, category, price_cents, description, dimensions_cm, stock)| Product {
+                name,
+                category,
+                price_cents,
+                description,
+                dimensions_cm,
+                stock,
+            },
+        )
+}
+
+proptest! {
+    /// Search results always match the query (case-insensitively) in the
+    /// name or description, and every matching product is found.
+    #[test]
+    fn search_is_sound_and_complete(
+        products in prop::collection::vec(product_strategy(), 0..20),
+        query in "[a-zA-Z]{1,6}",
+    ) {
+        let catalog = ProductCatalog::new();
+        for p in &products {
+            catalog.insert(p.clone());
+        }
+        let hits = catalog.search(&query);
+        let q = query.to_lowercase();
+        // Soundness: each hit names a product matching the query.
+        for hit in &hits {
+            let p = catalog.get(hit).expect("hit exists");
+            prop_assert!(
+                p.name.to_lowercase().contains(&q)
+                    || p.description.to_lowercase().contains(&q)
+            );
+        }
+        // Completeness over the *deduplicated* name space (the catalog is
+        // keyed by name; later inserts replace earlier ones).
+        let matching = catalog
+            .categories()
+            .iter()
+            .flat_map(|c| catalog.products_in(c))
+            .filter(|name| {
+                let p = catalog.get(name).unwrap();
+                p.name.to_lowercase().contains(&q)
+                    || p.description.to_lowercase().contains(&q)
+            })
+            .count();
+        prop_assert_eq!(hits.len(), matching);
+    }
+
+    /// Comparison is symmetric in its verdict about which is cheaper and
+    /// never panics on conforming products.
+    #[test]
+    fn comparison_is_consistent(a in product_strategy(), b in product_strategy()) {
+        prop_assume!(a.name != b.name);
+        let ab = ComparisonLogic::compare(&a.to_value(), &b.to_value()).unwrap();
+        let ba = ComparisonLogic::compare(&b.to_value(), &a.to_value()).unwrap();
+        let cheaper = if a.price_cents <= b.price_cents { &a.name } else { &b.name };
+        // Ties break toward the first argument; when prices differ the
+        // verdict must name the cheaper product in both orders.
+        if a.price_cents != b.price_cents {
+            prop_assert!(ab.as_str().unwrap().starts_with(cheaper.as_str()), "{ab}");
+            prop_assert!(ba.as_str().unwrap().starts_with(cheaper.as_str()), "{ba}");
+        }
+    }
+
+    /// Products round-trip through the wire value and validate against the
+    /// injected type descriptor.
+    #[test]
+    fn product_values_conform_to_injected_type(p in product_strategy()) {
+        let v = p.to_value();
+        let mut types = alfredo_rosgi::TypeRegistry::new();
+        types.inject(Product::type_descriptor());
+        types.validate_deep(&v).unwrap();
+        prop_assert_eq!(v.field("name").and_then(Value::as_str), Some(p.name.as_str()));
+        prop_assert_eq!(v.field("price_cents").and_then(Value::as_i64), Some(p.price_cents));
+    }
+
+    /// The mouse pointer is always clamped inside the screen, whatever the
+    /// move sequence.
+    #[test]
+    fn pointer_never_leaves_the_screen(moves in prop::collection::vec((-5000i64..5000, -5000i64..5000), 0..50)) {
+        let svc = MouseControllerService::new(800, 600, EventAdmin::new());
+        for (dx, dy) in moves {
+            svc.invoke("move", &[Value::I64(dx), Value::I64(dy)]).unwrap();
+            let (x, y) = svc.position();
+            prop_assert!((0..800).contains(&x), "x={x}");
+            prop_assert!((0..600).contains(&y), "y={y}");
+        }
+    }
+}
+
+#[test]
+fn sample_catalog_is_stable() {
+    // The experiments depend on the sample data staying deterministic.
+    let a = sample_catalog();
+    let b = sample_catalog();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.categories(), b.categories());
+    for cat in a.categories() {
+        assert_eq!(a.products_in(&cat), b.products_in(&cat));
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion benchmarks of live invocation paths: local registry calls,
+//! remote calls through a real threaded endpoint (the microscopic version
+//! of Figures 3–6), and the full fetch/install/start pipeline (the
+//! microscopic version of Tables 1 and 2, without the modelled phone CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
+use alfredo_net::{InMemoryNetwork, PeerAddr};
+use alfredo_osgi::{FnService, Framework, Properties, Value};
+use alfredo_rosgi::{EndpointConfig, RemoteEndpoint};
+
+fn bench_local_registry(c: &mut Criterion) {
+    let fw = Framework::new();
+    fw.system_context()
+        .register_service(
+            &["bench.Echo"],
+            Arc::new(FnService::new(|_, args| {
+                Ok(args.first().cloned().unwrap_or(Value::Unit))
+            })),
+            Properties::new(),
+        )
+        .unwrap();
+    c.bench_function("registry_lookup", |b| {
+        b.iter(|| fw.registry().get_service(black_box("bench.Echo")).unwrap())
+    });
+    let svc = fw.registry().get_service("bench.Echo").unwrap();
+    let args = [Value::I64(7)];
+    c.bench_function("local_invoke", |b| {
+        b.iter(|| svc.invoke(black_box("echo"), black_box(&args)).unwrap())
+    });
+}
+
+struct RemoteRig {
+    phone_fw: Framework,
+    endpoint: RemoteEndpoint,
+    _device: std::thread::JoinHandle<()>,
+}
+
+fn remote_rig(name: &str) -> RemoteRig {
+    let net = InMemoryNetwork::new();
+    let device_fw = Framework::new();
+    register_mouse_controller(&device_fw, 1280, 800).unwrap();
+    let listener = net.bind(PeerAddr::new(name.to_owned())).unwrap();
+    let fw2 = device_fw.clone();
+    let label = name.to_owned();
+    let device = std::thread::spawn(move || {
+        if let Ok(conn) = listener.accept() {
+            if let Ok(ep) =
+                RemoteEndpoint::establish(Box::new(conn), fw2, EndpointConfig::named(label))
+            {
+                ep.join();
+            }
+        }
+    });
+    let phone_fw = Framework::new();
+    let conn = net
+        .connect(PeerAddr::new("bench-phone"), PeerAddr::new(name.to_owned()))
+        .unwrap();
+    let endpoint = RemoteEndpoint::establish(
+        Box::new(conn),
+        phone_fw.clone(),
+        EndpointConfig::named("bench-phone"),
+    )
+    .unwrap();
+    RemoteRig {
+        phone_fw,
+        endpoint,
+        _device: device,
+    }
+}
+
+fn bench_remote_invoke(c: &mut Criterion) {
+    let rig = remote_rig("bench-dev-invoke");
+    rig.endpoint.fetch_service(MOUSE_INTERFACE).unwrap();
+    let svc = rig.phone_fw.registry().get_service(MOUSE_INTERFACE).unwrap();
+    let args = [Value::I64(1), Value::I64(-1)];
+    c.bench_function("remote_invoke_roundtrip", |b| {
+        b.iter(|| svc.invoke(black_box("move"), black_box(&args)).unwrap())
+    });
+    rig.endpoint.close();
+}
+
+fn bench_fetch_pipeline(c: &mut Criterion) {
+    // fetch + build proxy + install + start + release, repeatedly — the
+    // real-code analogue of the Table 1 pipeline.
+    let rig = remote_rig("bench-dev-fetch");
+    c.bench_function("fetch_install_start_release", |b| {
+        b.iter(|| {
+            let fetched = rig.endpoint.fetch_service(black_box(MOUSE_INTERFACE)).unwrap();
+            black_box(fetched.proxy_footprint);
+            rig.endpoint.release_service(MOUSE_INTERFACE).unwrap();
+        })
+    });
+    rig.endpoint.close();
+}
+
+criterion_group!(
+    benches,
+    bench_local_registry,
+    bench_remote_invoke,
+    bench_fetch_pipeline
+);
+criterion_main!(benches);

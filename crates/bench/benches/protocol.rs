@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the protocol substrate: the codec, the
+//! LDAP filter engine, and shippable artifact encoding. These are the
+//! constant factors behind every experiment in the paper's §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alfredo_apps::{MouseControllerService, ShopService};
+use alfredo_osgi::{BundleArtifact, Filter, Manifest, Properties, Value};
+use alfredo_rosgi::codec::{value_from_bytes, value_to_bytes};
+use alfredo_rosgi::Message;
+
+fn sample_value() -> Value {
+    Value::structure(
+        "shop.Product",
+        [
+            ("name", Value::from("Queen Bed 'Aurora'")),
+            ("price_cents", Value::from(49_900i64)),
+            ("tags", Value::from(vec!["oak", "queen", "slatted"])),
+            (
+                "dims",
+                Value::map([("w", Value::I64(160)), ("d", Value::I64(200))]),
+            ),
+        ],
+    )
+}
+
+fn bench_value_codec(c: &mut Criterion) {
+    let value = sample_value();
+    let bytes = value_to_bytes(&value);
+    c.bench_function("value_encode", |b| {
+        b.iter(|| value_to_bytes(black_box(&value)))
+    });
+    c.bench_function("value_decode", |b| {
+        b.iter(|| value_from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let invoke = Message::Invoke {
+        call_id: 42,
+        interface: "apps.MouseController".into(),
+        method: "move".into(),
+        args: vec![Value::I64(10), Value::I64(-5)],
+    };
+    let frame = invoke.encode();
+    c.bench_function("invoke_encode", |b| b.iter(|| black_box(&invoke).encode()));
+    c.bench_function("invoke_decode", |b| {
+        b.iter(|| Message::decode(black_box(&frame)).unwrap())
+    });
+
+    let bundle = Message::ServiceBundle {
+        interface: ShopService::interface(),
+        injected_types: vec![],
+        smart_proxy: None,
+        descriptor: Some(ShopService::descriptor().encode()),
+    };
+    let bundle_frame = bundle.encode();
+    c.bench_function("service_bundle_encode", |b| {
+        b.iter(|| black_box(&bundle).encode())
+    });
+    c.bench_function("service_bundle_decode", |b| {
+        b.iter(|| Message::decode(black_box(&bundle_frame)).unwrap())
+    });
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let text = "(&(objectClass=ui.PointingDevice)(|(resolution>=100)(precise=true))(!(vendor=Acme*)))";
+    let filter = Filter::parse(text).unwrap();
+    let props = Properties::new()
+        .with("objectClass", "ui.PointingDevice")
+        .with("resolution", 160i64)
+        .with("vendor", "Nokia");
+    c.bench_function("filter_parse", |b| {
+        b.iter(|| Filter::parse(black_box(text)).unwrap())
+    });
+    c.bench_function("filter_match", |b| {
+        b.iter(|| black_box(&filter).matches(black_box(&props)))
+    });
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    let descriptor = MouseControllerService::descriptor();
+    c.bench_function("descriptor_encode", |b| {
+        b.iter(|| black_box(&descriptor).encode())
+    });
+    let artifact = BundleArtifact::new(Manifest::new("rosgi.proxy.bench", "1.0", "bench"))
+        .with_data("interface.bin", MouseControllerService::interface().encode())
+        .with_data("descriptor.bin", descriptor.encode());
+    let encoded = artifact.encode();
+    c.bench_function("artifact_encode", |b| b.iter(|| black_box(&artifact).encode()));
+    c.bench_function("artifact_decode", |b| {
+        b.iter(|| BundleArtifact::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_value_codec,
+    bench_message_codec,
+    bench_filter,
+    bench_artifacts
+);
+criterion_main!(benches);

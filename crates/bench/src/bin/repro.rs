@@ -1,0 +1,108 @@
+//! Regenerates every table and figure of the AlfredO paper's evaluation.
+//!
+//! ```text
+//! cargo run -p alfredo-bench --release --bin repro            # everything
+//! cargo run -p alfredo-bench --release --bin repro -- fig4    # one experiment
+//! cargo run -p alfredo-bench --release --bin repro -- --full  # paper-length 90 s windows
+//! cargo run -p alfredo-bench --release --bin repro -- fig5 --csv  # machine-readable output
+//! ```
+//!
+//! Experiments: `footprint`, `table1`, `table2`, `fig3`, `fig4`, `fig5`,
+//! `fig6`, `ablate`. By default the scalability figures use 20-second
+//! measurement windows (the paper uses ≥90 s; pass `--full` for that —
+//! the means differ by well under the run-to-run noise).
+
+use alfredo_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
+    let window_secs = if full { 90 } else { 20 };
+
+    if !csv {
+        println!("AlfredO reproduction — regenerating the paper's evaluation");
+        println!(
+            "(simulated testbed; {window_secs} s measurement windows{})\n",
+            if full { "" } else { ", pass --full for 90 s" }
+        );
+    }
+
+    let emit = |text: String, csv_text: String| {
+        if csv {
+            print!("{csv_text}");
+        } else {
+            println!("{text}");
+        }
+    };
+    if want("footprint") {
+        let r = experiments::footprint();
+        emit(r.render(), r.csv());
+    }
+    if want("table1") {
+        let r = experiments::table1();
+        emit(r.render(), r.csv());
+    }
+    if want("table2") {
+        let r = experiments::table2();
+        emit(r.render(), r.csv());
+    }
+    if want("fig3") {
+        let r = experiments::fig3(window_secs);
+        emit(r.render(), r.csv());
+    }
+    if want("fig4") {
+        let r = experiments::fig4(window_secs);
+        emit(r.render(), r.csv());
+    }
+    if want("fig5") {
+        let r = experiments::fig5();
+        emit(r.render(), r.csv());
+    }
+    if want("fig6") {
+        let r = experiments::fig6();
+        emit(r.render(), r.csv());
+    }
+    if want("ablate") {
+        let r = experiments::ablations();
+        if csv {
+            let mut out = String::from("ablation,link,a,b\n");
+            for (l, a, b) in &r.proxy_cache {
+                out.push_str(&format!("proxy_cache,{l},{a:.1},{b:.1}\n"));
+            }
+            for (l, a, b) in &r.offload {
+                out.push_str(&format!("offload,{l},{a:.2},{b:.2}\n"));
+            }
+            for (l, a, b) in &r.presentation {
+                out.push_str(&format!("presentation,{l},{a:.2},{b:.2}\n"));
+            }
+            for (l, a, b) in &r.data_replica {
+                out.push_str(&format!("data_replica,{l},{a:.3},{b:.4}\n"));
+            }
+            print!("{out}");
+        } else {
+            println!("{}", r.render());
+        }
+    }
+
+    if !all
+        && !selected.iter().all(|s| {
+            [
+                "footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "ablate",
+            ]
+            .contains(s)
+        })
+    {
+        eprintln!(
+            "unknown experiment in {selected:?}; choose from footprint, table1, table2, fig3, fig4, fig5, fig6, ablate"
+        );
+        std::process::exit(2);
+    }
+}

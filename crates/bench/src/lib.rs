@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # alfredo-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of
+//! the AlfredO paper's evaluation (§4) on the simulated testbed:
+//!
+//! | Experiment | Paper artifact | Module |
+//! |---|---|---|
+//! | `footprint` | §4.1 resource consumption | [`experiments::footprint`] |
+//! | `table1` | Table 1 — start-up latency, Nokia 9300i over WLAN | [`experiments::table1`] |
+//! | `table2` | Table 2 — start-up latency, SE M600i over Bluetooth | [`experiments::table2`] |
+//! | `fig3` | Fig. 3 — invocation time vs. concurrent clients (one machine) | [`experiments::fig3`] |
+//! | `fig4` | Fig. 4 — invocation time vs. clients on six cluster nodes | [`experiments::fig4`] |
+//! | `fig5` | Fig. 5 — invocation time vs. #services, Nokia over WLAN | [`experiments::fig5`] |
+//! | `fig6` | Fig. 6 — invocation time vs. #services, M600i over Bluetooth | [`experiments::fig6`] |
+//! | `ablate` | design-choice ablations (DESIGN.md §4) | [`experiments::ablations`] |
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p alfredo-bench --release --bin repro
+//! ```
+//!
+//! The harness mixes two levels of fidelity:
+//!
+//! * **Real protocol artifacts** — every byte count fed into the network
+//!   model is the size of a genuinely encoded message produced by
+//!   `alfredo-rosgi`/`alfredo-apps` (service bundles, invocations,
+//!   responses, descriptors).
+//! * **Modelled time** — CPU work and link delays run on the
+//!   `alfredo-sim` discrete-event testbed with the device and link
+//!   calibration in [`calib`] (each constant is justified there and in
+//!   `EXPERIMENTS.md`).
+
+pub mod calib;
+pub mod experiments;
+pub mod model;
+pub mod report;

@@ -1,0 +1,590 @@
+//! The modelled testbed: real protocol bytes + simulated time.
+//!
+//! Three models cover the paper's evaluation:
+//!
+//! * [`StartupModel`] — the four start-up phases of Tables 1 and 2
+//!   (acquire / build / install / start). No contention is involved, so
+//!   the phases are closed-form over the device's [`CpuModel`] and the
+//!   link profile.
+//! * [`InvocationLoadSim`] — Figures 3 and 4: open-loop clients invoking
+//!   every 100 ms against one server, with FIFO CPU queueing on every
+//!   machine and FIFO serialization on every link. The reported number is
+//!   the mean invocation latency of the last-started client over its
+//!   measurement window, exactly as the paper measures.
+//! * [`PhoneLoopSim`] — Figures 5 and 6: a phone sequentially invoking
+//!   one method on each of its acquired services (a closed loop — one
+//!   outstanding invocation at a time, which is why the paper's curves
+//!   stay flat as the service count grows).
+
+use alfredo_net::{LinkProfile, SimLink};
+use alfredo_osgi::{Properties, ServiceCallError, Value};
+use alfredo_rosgi::Message;
+use alfredo_sim::{CpuModel, DeviceProfile, SimDuration, SimRng, SimTime, Simulation, Summary};
+
+use crate::calib;
+
+/// Real wire sizes for one application's protocol exchanges, computed by
+/// encoding genuine messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppWireSizes {
+    /// The `ServiceBundle` reply (interface + types + descriptor).
+    pub service_bundle: usize,
+    /// The `FetchService` request.
+    pub fetch_request: usize,
+    /// A typical `Invoke` frame.
+    pub invoke: usize,
+    /// A typical `Response` frame.
+    pub response: usize,
+}
+
+/// Computes the real wire sizes for the MouseController.
+pub fn mouse_wire_sizes() -> AppWireSizes {
+    use alfredo_apps::MouseControllerService;
+    let bundle = Message::ServiceBundle {
+        interface: MouseControllerService::interface(),
+        injected_types: vec![],
+        smart_proxy: None,
+        descriptor: Some(MouseControllerService::descriptor().encode()),
+    };
+    AppWireSizes {
+        service_bundle: bundle.wire_size(),
+        fetch_request: Message::FetchService {
+            interface: alfredo_apps::MOUSE_INTERFACE.into(),
+        }
+        .wire_size(),
+        invoke: Message::Invoke {
+            call_id: 42,
+            interface: alfredo_apps::MOUSE_INTERFACE.into(),
+            method: "move".into(),
+            args: vec![Value::I64(10), Value::I64(-5)],
+        }
+        .wire_size(),
+        response: Message::Response {
+            call_id: 42,
+            result: Ok(Value::Unit),
+        }
+        .wire_size(),
+    }
+}
+
+/// Computes the real wire sizes for AlfredOShop.
+pub fn shop_wire_sizes() -> AppWireSizes {
+    use alfredo_apps::shop::Product;
+    use alfredo_apps::ShopService;
+    let bundle = Message::ServiceBundle {
+        interface: ShopService::interface(),
+        injected_types: vec![Product::type_descriptor()],
+        smart_proxy: None,
+        descriptor: Some(ShopService::descriptor().encode()),
+    };
+    AppWireSizes {
+        service_bundle: bundle.wire_size(),
+        fetch_request: Message::FetchService {
+            interface: alfredo_apps::SHOP_INTERFACE.into(),
+        }
+        .wire_size(),
+        invoke: Message::Invoke {
+            call_id: 42,
+            interface: alfredo_apps::SHOP_INTERFACE.into(),
+            method: "products".into(),
+            args: vec![Value::from("Beds")],
+        }
+        .wire_size(),
+        response: Message::Response {
+            call_id: 42,
+            result: Ok(Value::from(vec!["Queen Bed 'Aurora'", "King Bed 'Borealis'"])),
+        }
+        .wire_size(),
+    }
+}
+
+/// A generic small invocation (used by the scalability figures, which
+/// invoke "the same service method" repeatedly).
+pub fn generic_invoke_sizes() -> (usize, usize) {
+    let invoke = Message::Invoke {
+        call_id: 7,
+        interface: "bench.Echo".into(),
+        method: "poke".into(),
+        args: vec![Value::I64(1)],
+    }
+    .wire_size();
+    let response = Message::Response {
+        call_id: 7,
+        result: Ok(Value::I64(1)),
+    }
+    .wire_size();
+    (invoke, response)
+}
+
+/// An encoded invocation-failure frame (used by failure-path tests).
+pub fn error_response_size() -> usize {
+    Message::Response {
+        call_id: 7,
+        result: Err(ServiceCallError::ServiceGone),
+    }
+    .wire_size()
+}
+
+/// A remote event frame carrying a small payload.
+pub fn event_size() -> usize {
+    Message::RemoteEvent {
+        topic: "mouse/snapshot".into(),
+        properties: Properties::new().with("seq", 1i64),
+    }
+    .wire_size()
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 & 2
+// ---------------------------------------------------------------------
+
+/// The modelled start-up phases for one app on one phone over one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartupBreakdown {
+    /// "Acquire service interface".
+    pub acquire: SimDuration,
+    /// "Build proxy bundle".
+    pub build: SimDuration,
+    /// "Install proxy bundle".
+    pub install: SimDuration,
+    /// "Start proxy bundle".
+    pub start: SimDuration,
+}
+
+impl StartupBreakdown {
+    /// "Total start time".
+    pub fn total(&self) -> SimDuration {
+        self.acquire + self.build + self.install + self.start
+    }
+}
+
+/// Closed-form model of the Table 1/2 pipeline.
+#[derive(Debug, Clone)]
+pub struct StartupModel {
+    /// The phone.
+    pub phone: DeviceProfile,
+    /// The link to the target device.
+    pub link: LinkProfile,
+}
+
+impl StartupModel {
+    /// Models one acquisition of an app whose `ServiceBundle` weighs
+    /// `sizes.service_bundle` bytes and whose proxy start costs
+    /// `start_cycles`.
+    pub fn run(&self, sizes: AppWireSizes, start_cycles: u64) -> StartupBreakdown {
+        let cpu = self.phone.cpu();
+        // Acquire: connection setup + the fetch round trips + shipping
+        // the bundle + parsing it.
+        let network = self.link.connection_setup()
+            + self.link.latency() * 2 * u64::from(calib::ACQUIRE_ROUND_TRIPS)
+            + self.link.transmission_time(sizes.fetch_request)
+            + self.link.transmission_time(sizes.service_bundle);
+        let acquire = network + cpu.service_time(calib::PARSE_BUNDLE_CYCLES);
+        StartupBreakdown {
+            acquire,
+            build: cpu.service_time(calib::BUILD_PROXY_CYCLES),
+            install: cpu.service_time(calib::INSTALL_PROXY_CYCLES),
+            start: cpu.service_time(start_cycles),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 3 & 4
+// ---------------------------------------------------------------------
+
+/// Configuration of the open-loop invocation load simulation.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total concurrent clients.
+    pub clients: usize,
+    /// Number of physical client machines (clients are spread
+    /// round-robin).
+    pub client_machines: usize,
+    /// The client machines' device class.
+    pub client_profile: DeviceProfile,
+    /// The server's device class.
+    pub server_profile: DeviceProfile,
+    /// The network between machines.
+    pub link: LinkProfile,
+    /// Gap between successive client start-ups (paper: 1 s).
+    pub client_start_interval: SimDuration,
+    /// How long the last client is measured for (paper: ≥ 90 s).
+    pub measure_window: SimDuration,
+    /// Invocation period per client (paper: 100 ms).
+    pub invoke_period: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// Figure 3's setup: one P4 client machine, P4 server, 100 Mb
+    /// Ethernet.
+    pub fn fig3(clients: usize) -> Self {
+        LoadConfig {
+            clients,
+            client_machines: 1,
+            client_profile: calib::pentium4_desktop(),
+            server_profile: calib::pentium4_desktop(),
+            link: calib::lan_100(),
+            client_start_interval: SimDuration::from_millis(100),
+            measure_window: SimDuration::from_secs(90),
+            invoke_period: SimDuration::from_millis(100),
+            seed: 0x0f16_0003,
+        }
+    }
+
+    /// Figure 4's setup: six Opteron client machines, Opteron server,
+    /// 1 Gb Ethernet.
+    pub fn fig4(clients: usize) -> Self {
+        LoadConfig {
+            clients,
+            client_machines: 6,
+            client_profile: calib::opteron_node(),
+            server_profile: calib::opteron_node(),
+            link: calib::lan_1000(),
+            client_start_interval: SimDuration::from_millis(100),
+            measure_window: SimDuration::from_secs(90),
+            invoke_period: SimDuration::from_millis(100),
+            seed: 0x0f16_0004,
+        }
+    }
+}
+
+struct LoadWorld {
+    server_cpu: CpuModel,
+    client_cpus: Vec<CpuModel>,
+    up_links: Vec<SimLink>,
+    down_links: Vec<SimLink>,
+    rng: SimRng,
+    measured: Summary,
+    measure_from: SimTime,
+    measure_until: SimTime,
+    invoke_size: usize,
+    response_size: usize,
+    client_cycles: u64,
+    server_cycles: u64,
+    period: SimDuration,
+    total_invocations: u64,
+}
+
+/// The open-loop load simulation of Figures 3 and 4.
+#[derive(Debug)]
+pub struct InvocationLoadSim {
+    config: LoadConfig,
+}
+
+impl InvocationLoadSim {
+    /// Creates the simulation.
+    pub fn new(config: LoadConfig) -> Self {
+        InvocationLoadSim { config }
+    }
+
+    /// Runs it; returns the measured client's latency summary (ms).
+    pub fn run(&self) -> Summary {
+        let cfg = &self.config;
+        assert!(cfg.clients > 0, "need at least one client");
+        let (invoke_size, response_size) = generic_invoke_sizes();
+        let machines = cfg.client_machines;
+        let last_start =
+            SimTime::ZERO + cfg.client_start_interval * (cfg.clients as u64 - 1);
+        // Warm-up: give the last client 2 s before measuring it.
+        let measure_from = last_start + SimDuration::from_secs(2);
+        let measure_until = measure_from + cfg.measure_window;
+
+        let world = LoadWorld {
+            server_cpu: cfg.server_profile.cpu(),
+            client_cpus: (0..machines).map(|_| cfg.client_profile.cpu()).collect(),
+            up_links: (0..machines)
+                .map(|i| {
+                    SimLink::with_jitter(cfg.link.clone(), SimRng::seed_from(cfg.seed ^ i as u64))
+                })
+                .collect(),
+            down_links: (0..machines)
+                .map(|i| {
+                    SimLink::with_jitter(
+                        cfg.link.clone(),
+                        SimRng::seed_from(cfg.seed ^ (0x1000 + i as u64)),
+                    )
+                })
+                .collect(),
+            rng: SimRng::seed_from(cfg.seed),
+            measured: Summary::new(),
+            measure_from,
+            measure_until,
+            invoke_size,
+            response_size,
+            client_cycles: calib::DESKTOP_CLIENT_INVOKE_CYCLES,
+            server_cycles: calib::SERVER_INVOKE_CYCLES,
+            period: cfg.invoke_period,
+            total_invocations: 0,
+        };
+        let mut sim = Simulation::new(world);
+        let measured_client = cfg.clients - 1;
+        for client in 0..cfg.clients {
+            let machine = client % machines;
+            let start = cfg.client_start_interval * client as u64;
+            let is_measured = client == measured_client;
+            sim.schedule(start, move |w: &mut LoadWorld, ctx| {
+                schedule_invocation(w, ctx, machine, is_measured);
+            });
+        }
+        sim.run_until(measure_until + SimDuration::from_secs(1));
+        sim.into_state().measured
+    }
+}
+
+/// One invocation chain: client CPU → up link → server CPU → down link →
+/// client CPU, then the next period is scheduled.
+fn schedule_invocation(
+    w: &mut LoadWorld,
+    ctx: &mut alfredo_sim::Ctx<LoadWorld>,
+    machine: usize,
+    is_measured: bool,
+) {
+    let issued = ctx.now();
+    if issued > w.measure_until {
+        return; // experiment over for this client
+    }
+    w.total_invocations += 1;
+
+    // Open loop: the next invocation is timer-driven — it fires one
+    // period after this one was *issued*, whether or not this one has
+    // completed. Overload therefore builds real queues (the blowup past
+    // the knee in Figure 4).
+    let jitter = SimDuration::from_nanos(w.rng.next_below(2_000_000));
+    ctx.schedule_at(issued + w.period + jitter, move |w: &mut LoadWorld, ctx| {
+        schedule_invocation(w, ctx, machine, is_measured);
+    });
+
+    // Phase 1: client-side marshalling on the shared machine CPU.
+    let marshal_done = w.client_cpus[machine].submit(issued, w.client_cycles);
+    ctx.schedule_at(marshal_done, move |w: &mut LoadWorld, ctx| {
+        // Phase 2: request over the machine's uplink.
+        let at_server = w.up_links[machine].send(ctx.now(), w.invoke_size);
+        ctx.schedule_at(at_server, move |w: &mut LoadWorld, ctx| {
+            // Phase 3: service execution on the server.
+            let served = w.server_cpu.submit(ctx.now(), w.server_cycles);
+            ctx.schedule_at(served, move |w: &mut LoadWorld, ctx| {
+                // Phase 4: response over the downlink.
+                let at_client = w.down_links[machine].send(ctx.now(), w.response_size);
+                ctx.schedule_at(at_client, move |w: &mut LoadWorld, ctx| {
+                    // Phase 5: unmarshal on the client machine.
+                    let done = w.client_cpus[machine].submit(ctx.now(), w.client_cycles / 2);
+                    ctx.schedule_at(done, move |w: &mut LoadWorld, ctx| {
+                        let latency = ctx.now().duration_since(issued);
+                        if is_measured && ctx.now() >= w.measure_from {
+                            w.measured.record_duration(latency);
+                        }
+                    });
+                });
+            });
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 & 6
+// ---------------------------------------------------------------------
+
+/// Configuration of the phone-side closed-loop experiment.
+#[derive(Debug, Clone)]
+pub struct PhoneLoopConfig {
+    /// The phone.
+    pub phone: DeviceProfile,
+    /// The phone's link to the server.
+    pub link: LinkProfile,
+    /// The server's device class.
+    pub server_profile: DeviceProfile,
+    /// Invocations measured per service-count step.
+    pub invocations_per_step: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PhoneLoopConfig {
+    /// Figure 5's setup: Nokia 9300i over WLAN against a desktop.
+    pub fn fig5() -> Self {
+        PhoneLoopConfig {
+            phone: calib::nokia_9300i(),
+            link: calib::phone_wlan(),
+            server_profile: calib::pentium4_desktop(),
+            invocations_per_step: 200,
+            seed: 0x0f16_0005,
+        }
+    }
+
+    /// Figure 6's setup: SE M600i over Bluetooth against a desktop.
+    pub fn fig6() -> Self {
+        PhoneLoopConfig {
+            phone: calib::sony_ericsson_m600i(),
+            link: calib::phone_bluetooth(),
+            server_profile: calib::pentium4_desktop(),
+            invocations_per_step: 200,
+            seed: 0x0f16_0006,
+        }
+    }
+}
+
+/// The closed-loop phone simulation of Figures 5 and 6.
+#[derive(Debug)]
+pub struct PhoneLoopSim {
+    config: PhoneLoopConfig,
+}
+
+impl PhoneLoopSim {
+    /// Creates the simulation.
+    pub fn new(config: PhoneLoopConfig) -> Self {
+        PhoneLoopSim { config }
+    }
+
+    /// Mean invocation latency with `services` acquired services.
+    ///
+    /// The phone invokes one method on each acquired service in turn
+    /// (sequentially — one outstanding call, as a single-threaded phone
+    /// client does), so per-invocation latency is essentially flat in the
+    /// service count; the per-service registry bookkeeping adds a small
+    /// linear term.
+    pub fn run(&self, services: usize) -> Summary {
+        let cfg = &self.config;
+        let phone_cpu = cfg.phone.cpu();
+        let server_cpu = cfg.server_profile.cpu();
+        let (invoke_size, response_size) = generic_invoke_sizes();
+        let mut rng = SimRng::seed_from(cfg.seed ^ services as u64);
+        let mut link = SimLink::with_jitter(cfg.link.clone(), rng.split());
+        let mut summary = Summary::new();
+        let mut now = SimTime::ZERO;
+        // Proxy table lookup grows (mildly) with the number of installed
+        // proxies: ~40k cycles per additional service.
+        let lookup_cycles = 40_000u64 * services as u64;
+        for _ in 0..cfg.invocations_per_step {
+            let issued = now;
+            let marshal =
+                phone_cpu.service_time(calib::PHONE_INVOKE_CYCLES + lookup_cycles);
+            now += marshal;
+            let at_server = link.send(now, invoke_size);
+            let served = server_cpu
+                .service_time(calib::SERVER_INVOKE_CYCLES)
+                + SimDuration::from_nanos(rng.next_below(100_000));
+            let back = at_server + served;
+            let delivered = link.send(back, response_size);
+            let unmarshal = phone_cpu.service_time(calib::PHONE_INVOKE_CYCLES / 4);
+            now = delivered + unmarshal;
+            summary.record_duration(now.duration_since(issued));
+        }
+        summary
+    }
+
+    /// The ICMP ping baseline (the dotted line of Figures 5 and 6).
+    pub fn ping_baseline(&self) -> SimDuration {
+        self.config.link.ping_rtt(56)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_realistic() {
+        let mouse = mouse_wire_sizes();
+        let shop = shop_wire_sizes();
+        // "The amount of data transferred to the phone accounts for about
+        // 2 kBytes for each application."
+        assert!(
+            (800..4000).contains(&mouse.service_bundle),
+            "mouse bundle {} bytes",
+            mouse.service_bundle
+        );
+        assert!(
+            (800..6000).contains(&shop.service_bundle),
+            "shop bundle {} bytes",
+            shop.service_bundle
+        );
+        // The shop ships a bigger descriptor (richer UI + types), as in
+        // Table 1 (110 ms vs 94 ms acquire).
+        assert!(shop.service_bundle > mouse.service_bundle);
+        // Invocations are tiny.
+        assert!(mouse.invoke < 100);
+        assert!(shop.response < 200);
+        assert!(event_size() < 100);
+        assert!(error_response_size() < 50);
+    }
+
+    #[test]
+    fn startup_model_reproduces_table1_shape() {
+        let model = StartupModel {
+            phone: calib::nokia_9300i(),
+            link: calib::phone_wlan(),
+        };
+        let b = model.run(mouse_wire_sizes(), calib::START_MOUSE_CYCLES);
+        // Build dominates; network only matters in acquire.
+        assert!(b.build > b.install + b.start + b.acquire);
+        assert!(b.acquire < b.install);
+        // Totals land in the paper's "a few seconds" regime.
+        let total_s = b.total().as_secs_f64();
+        assert!((3.0..7.0).contains(&total_s), "total {total_s} s");
+    }
+
+    #[test]
+    fn load_sim_single_client_is_around_a_millisecond() {
+        let summary = InvocationLoadSim::new(LoadConfig {
+            measure_window: SimDuration::from_secs(10),
+            ..LoadConfig::fig3(1)
+        })
+        .run();
+        assert!(summary.count() > 50);
+        let mean = summary.mean();
+        assert!((0.4..2.0).contains(&mean), "mean {mean} ms vs paper ~1 ms");
+    }
+
+    #[test]
+    fn load_sim_latency_rises_with_clients() {
+        let short = |n| {
+            InvocationLoadSim::new(LoadConfig {
+                measure_window: SimDuration::from_secs(10),
+                ..LoadConfig::fig3(n)
+            })
+            .run()
+            .mean()
+        };
+        let one = short(1);
+        let many = short(64);
+        assert!(many >= one, "latency must not drop with load");
+        assert!(many < 5.0, "still below saturation at 64 clients");
+    }
+
+    #[test]
+    fn phone_loop_is_flat_in_service_count() {
+        let sim = PhoneLoopSim::new(PhoneLoopConfig::fig5());
+        let low = sim.run(5).mean();
+        let high = sim.run(40).mean();
+        assert!((60.0..160.0).contains(&low), "{low} ms vs paper ~100");
+        assert!(
+            (high - low).abs() < 0.35 * low,
+            "flat-ish: {low} -> {high} ms"
+        );
+        // Above the ping baseline.
+        assert!(low > sim.ping_baseline().as_millis_f64());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = PhoneLoopSim::new(PhoneLoopConfig::fig5()).run(10).mean();
+        let b = PhoneLoopSim::new(PhoneLoopConfig::fig5()).run(10).mean();
+        assert_eq!(a, b);
+        let c = InvocationLoadSim::new(LoadConfig {
+            measure_window: SimDuration::from_secs(5),
+            ..LoadConfig::fig3(4)
+        })
+        .run()
+        .mean();
+        let d = InvocationLoadSim::new(LoadConfig {
+            measure_window: SimDuration::from_secs(5),
+            ..LoadConfig::fig3(4)
+        })
+        .run()
+        .mean();
+        assert_eq!(c, d);
+    }
+}

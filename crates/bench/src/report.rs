@@ -1,0 +1,168 @@
+//! Plain-text rendering of experiment results: tables in the paper's row
+//! format, and series as ASCII plots so figures are inspectable straight
+//! from the terminal.
+
+use std::fmt::Write as _;
+
+/// A labelled table (Tables 1 and 2 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table heading.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label + one value per column.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<String>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths = vec![self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0)];
+        widths[0] = widths[0].max(4);
+        for (i, col) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .filter_map(|(_, vals)| vals.get(i).map(String::len))
+                .max()
+                .unwrap_or(0)
+                .max(col.len());
+            widths.push(w);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<w$}", "", w = widths[0] + 2);
+        for (i, col) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", col, w = widths[i + 1]);
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{:<w$}  ", label, w = widths[0]);
+            for (i, v) in vals.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", v, w = widths[i + 1]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A measured series (the figures): x values with y means.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series heading.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+    /// An optional horizontal baseline (Figure 5/6's ping line).
+    pub baseline: Option<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Series {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+            baseline: None,
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Sets the baseline.
+    pub fn with_baseline(mut self, label: impl Into<String>, y: f64) -> Self {
+        self.baseline = Some((label.into(), y));
+        self
+    }
+
+    /// Renders the series as a value table plus an ASCII bar plot.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = writeln!(out, "{:>12}  {:>12}", self.x_label, self.y_label);
+        let max_y = self
+            .points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(self.baseline.as_ref().map(|(_, y)| *y).unwrap_or(0.0));
+        let scale = if max_y > 0.0 { 48.0 / max_y } else { 0.0 };
+        for (x, y) in &self.points {
+            let bar = "#".repeat(((y * scale).round() as usize).min(60));
+            let _ = writeln!(out, "{x:>12.0}  {y:>12.3}  {bar}");
+        }
+        if let Some((label, y)) = &self.baseline {
+            let marks = ".".repeat(((y * scale).round() as usize).min(60));
+            let _ = writeln!(out, "{label:>12}  {y:>12.3}  {marks}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let mut t = Table::new(
+            "Initial delay (ms)",
+            vec!["MouseController".into(), "AlfredOShop".into()],
+        );
+        t.row("Acquire service interface", vec!["94".into(), "110".into()]);
+        t.row("Total start time", vec!["4922".into(), "4282".into()]);
+        let text = t.render();
+        assert!(text.contains("Initial delay"));
+        assert!(text.contains("Acquire service interface"));
+        assert!(text.contains("4922"));
+        // Header line contains both column names.
+        assert!(text.lines().nth(1).unwrap().contains("AlfredOShop"));
+    }
+
+    #[test]
+    fn series_renders_points_and_baseline() {
+        let mut s = Series::new("Invocation time", "services", "ms").with_baseline("ping", 30.0);
+        s.push(5.0, 95.0);
+        s.push(40.0, 102.0);
+        let text = s.render();
+        assert!(text.contains("95.000"));
+        assert!(text.contains("ping"));
+        assert!(text.contains('#'));
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let s = Series::new("empty", "x", "y");
+        assert!(s.render().contains("empty"));
+    }
+}

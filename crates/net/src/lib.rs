@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # alfredo-net
+//!
+//! The network substrate for the AlfredO reproduction.
+//!
+//! The paper runs R-OSGi over TCP across 802.11b WLAN, Bluetooth 2.0, and
+//! switched Ethernet. This crate provides the equivalent plumbing in two
+//! forms:
+//!
+//! * A **threaded in-memory network** ([`InMemoryNetwork`]) — real
+//!   connection-oriented transports backed by channels, used by the
+//!   functional tests, the examples, and the prototype applications. It
+//!   behaves like loopback TCP: reliable, ordered, connection-scoped.
+//! * **Link profiles** ([`LinkProfile`]) and a **simulated link**
+//!   ([`SimLink`]) — analytic latency/bandwidth/queueing models of the
+//!   paper's physical links, used by the benchmark harness together with
+//!   `alfredo-sim` to regenerate the paper's tables and figures.
+//!
+//! A real **TCP transport** ([`TcpTransport`]) with the same framing is
+//! available for deployments spanning actual machines.
+//!
+//! It also defines the **wire encoding** helpers ([`ByteWriter`],
+//! [`ByteReader`]) used by `alfredo-rosgi` to serialize protocol messages,
+//! so that every "bytes on the wire" number reported by the benchmarks is
+//! the size of a real encoded message.
+
+pub mod profile;
+pub mod tcp;
+pub mod simnet;
+pub mod transport;
+pub mod wire;
+
+pub use profile::LinkProfile;
+pub use simnet::SimLink;
+pub use tcp::{TcpNetListener, TcpTransport};
+pub use transport::{
+    ChannelTransport, InMemoryNetwork, Listener, PeerAddr, Transport, TransportError,
+};
+pub use wire::{ByteReader, ByteWriter, WireError};

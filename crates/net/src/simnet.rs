@@ -1,0 +1,155 @@
+//! Simulated links with queueing.
+//!
+//! [`SimLink`] wraps a [`LinkProfile`] with a serialization queue: a message
+//! cannot begin transmission until the previous one has left the sender, so
+//! bursts of messages experience head-of-line delay exactly as on a real
+//! half-duplex radio or a single TCP connection. The benchmark harness uses
+//! one `SimLink` per direction per connection.
+
+use alfredo_sim::{SimDuration, SimRng, SimTime};
+
+use crate::profile::LinkProfile;
+
+/// A directed link with FIFO serialization and the delay model of a
+/// [`LinkProfile`].
+///
+/// # Example
+///
+/// ```
+/// use alfredo_net::{LinkProfile, SimLink};
+/// use alfredo_sim::SimTime;
+///
+/// let mut link = SimLink::new(LinkProfile::ethernet_100());
+/// let a = link.send(SimTime::ZERO, 1000);
+/// let b = link.send(SimTime::ZERO, 1000);
+/// // The second message queues behind the first on the wire.
+/// assert!(b > a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimLink {
+    profile: LinkProfile,
+    wire_free: SimTime,
+    messages: u64,
+    bytes: u64,
+    rng: Option<SimRng>,
+}
+
+impl SimLink {
+    /// Creates a link with no jitter applied (deterministic delays).
+    pub fn new(profile: LinkProfile) -> Self {
+        SimLink {
+            profile,
+            wire_free: SimTime::ZERO,
+            messages: 0,
+            bytes: 0,
+            rng: None,
+        }
+    }
+
+    /// Creates a link that applies the profile's jitter using `rng`.
+    pub fn with_jitter(profile: LinkProfile, rng: SimRng) -> Self {
+        SimLink {
+            rng: Some(rng),
+            ..SimLink::new(profile)
+        }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Sends `payload_bytes` at `now`; returns the delivery time at the
+    /// receiver. Transmission starts when the wire is free (FIFO).
+    pub fn send(&mut self, now: SimTime, payload_bytes: usize) -> SimTime {
+        let start = self.wire_free.max(now);
+        let tx = self.profile.transmission_time(payload_bytes);
+        self.wire_free = start + tx;
+        let prop = match &mut self.rng {
+            Some(rng) => {
+                // Jitter applies to propagation (interference, retries).
+                let base = self.profile.latency();
+                let factor = 1.0 + rng.next_f64() * self.profile.jitter_frac();
+                SimDuration::from_secs_f64(base.as_secs_f64() * factor)
+            }
+            None => self.profile.latency(),
+        };
+        self.messages += 1;
+        self.bytes += payload_bytes as u64;
+        self.wire_free + prop
+    }
+
+    /// Number of messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Time at which the wire becomes free for the next transmission.
+    pub fn wire_free_at(&self) -> SimTime {
+        self.wire_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_message_matches_profile() {
+        let profile = LinkProfile::ethernet_100();
+        let mut link = SimLink::new(profile.clone());
+        let delivered = link.send(SimTime::ZERO, 2048);
+        let expect = profile.transfer_time(2048);
+        assert_eq!(delivered.duration_since(SimTime::ZERO), expect);
+    }
+
+    #[test]
+    fn burst_queues_on_the_wire() {
+        let profile = LinkProfile::bluetooth_2_0();
+        let mut link = SimLink::new(profile.clone());
+        let first = link.send(SimTime::ZERO, 10_000);
+        let second = link.send(SimTime::ZERO, 10_000);
+        let gap = second.duration_since(first);
+        // The second message waits a full transmission time behind the first.
+        assert_eq!(gap, profile.transmission_time(10_000));
+    }
+
+    #[test]
+    fn idle_link_does_not_queue() {
+        let profile = LinkProfile::wlan_802_11b();
+        let mut link = SimLink::new(profile.clone());
+        let t1 = link.send(SimTime::ZERO, 100);
+        // Send long after the first transmission completed.
+        let later = SimTime::from_nanos(10_000_000_000);
+        let t2 = link.send(later, 100);
+        assert_eq!(t2.duration_since(later), profile.transfer_time(100));
+        assert!(t1 < later);
+    }
+
+    #[test]
+    fn accounting_tracks_traffic() {
+        let mut link = SimLink::new(LinkProfile::loopback());
+        link.send(SimTime::ZERO, 10);
+        link.send(SimTime::ZERO, 20);
+        assert_eq!(link.messages(), 2);
+        assert_eq!(link.bytes(), 30);
+    }
+
+    #[test]
+    fn jittered_link_is_deterministic_per_seed() {
+        let profile = LinkProfile::wlan_802_11b();
+        let mut a = SimLink::with_jitter(profile.clone(), SimRng::seed_from(3));
+        let mut b = SimLink::with_jitter(profile, SimRng::seed_from(3));
+        for i in 0..20 {
+            assert_eq!(
+                a.send(SimTime::ZERO, 100 * i),
+                b.send(SimTime::ZERO, 100 * i)
+            );
+        }
+    }
+}

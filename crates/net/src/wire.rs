@@ -1,0 +1,480 @@
+//! Compact binary wire encoding.
+//!
+//! R-OSGi ships small messages (the paper: a whole service interface is
+//! about 2 kBytes), so the codec favours compactness: LEB128 varints for
+//! lengths and integers, length-prefixed UTF-8 strings and byte blobs.
+//! `alfredo-rosgi` builds its message and value codecs on these primitives,
+//! and the benchmark harness measures *actual encoded sizes* when it
+//! reproduces the paper's footprint and transfer numbers.
+
+use std::fmt;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes wanted by the decoder.
+        wanted: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum/message tag byte was not recognized.
+    InvalidTag {
+        /// The context in which the tag appeared (e.g. a type name).
+        context: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A declared length exceeds the decoder's sanity limit.
+    LengthTooLarge(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { wanted, remaining } => {
+                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} remain")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {context}")
+            }
+            WireError::LengthTooLarge(len) => {
+                write!(f, "declared length {len} exceeds sanity limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length accepted for any single string/blob, as a guard against
+/// corrupt frames (16 MiB, far above anything AlfredO ships).
+pub const MAX_LENGTH: u64 = 16 << 20;
+
+/// An append-only encoder over a growable byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_net::{ByteReader, ByteWriter};
+///
+/// # fn main() -> Result<(), alfredo_net::WireError> {
+/// let mut w = ByteWriter::new();
+/// w.put_varint(300);
+/// w.put_str("MouseController");
+/// let bytes = w.into_bytes();
+///
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.varint()?, 300);
+/// assert_eq!(r.str()?, "MouseController");
+/// assert!(r.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with preallocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a signed integer with zigzag encoding.
+    pub fn put_svarint(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a varint length prefix followed by UTF-8 string bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A cursor-based decoder over a byte slice.
+///
+/// All read methods return [`WireError`] on malformed input; see
+/// [`ByteWriter`] for a round-trip example.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` if all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if the input is exhausted.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice of 8")))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("slice of 8")))
+    }
+
+    /// Reads an LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::VarintOverflow`] if the encoding exceeds 64 bits
+    /// and [`WireError::UnexpectedEof`] if the input ends mid-varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a zigzag-encoded signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::varint`] errors.
+    pub fn svarint(&mut self) -> Result<i64, WireError> {
+        let raw = self.varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Reads a boolean byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if the input is exhausted.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthTooLarge`] if the prefix exceeds
+    /// [`MAX_LENGTH`], or an EOF/varint error.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.varint()?;
+        if len > MAX_LENGTH {
+            return Err(WireError::LengthTooLarge(len));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::bytes`], plus [`WireError::InvalidUtf8`].
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(2.5);
+        w.put_bool(true);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert!(r.bool().unwrap());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut w = ByteWriter::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.varint().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_is_compact() {
+        let mut w = ByteWriter::new();
+        w.put_varint(100);
+        assert_eq!(w.len(), 1);
+        let mut w = ByteWriter::new();
+        w.put_varint(300);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn svarint_round_trip() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut w = ByteWriter::new();
+            w.put_svarint(v);
+            let bytes = w.into_bytes();
+            assert_eq!(ByteReader::new(&bytes).svarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn strings_and_blobs() {
+        let mut w = ByteWriter::new();
+        w.put_str("héllo wörld");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "héllo wörld");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "");
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = ByteReader::new(&[0x01]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.u32(), Err(WireError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn truncated_string_is_eof() {
+        let mut w = ByteWriter::new();
+        w.put_str("hello");
+        let mut bytes = w.into_bytes();
+        bytes.truncate(3);
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(WireError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).str().unwrap_err(),
+            WireError::InvalidUtf8
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_varint(MAX_LENGTH + 1);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).bytes(),
+            Err(WireError::LengthTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // 10 continuation bytes of 0xff overflow 64 bits.
+        let bytes = [0xffu8; 10];
+        assert_eq!(
+            ByteReader::new(&bytes).varint().unwrap_err(),
+            WireError::VarintOverflow
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WireError::InvalidTag {
+            context: "Message",
+            tag: 0x7f,
+        };
+        assert!(e.to_string().contains("Message"));
+        assert!(!WireError::InvalidUtf8.to_string().is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the wire codec and link models.
+
+use alfredo_net::{ByteReader, ByteWriter, LinkProfile, SimLink};
+use alfredo_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut w = ByteWriter::new();
+        w.put_varint(v);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.varint().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn svarint_round_trips(v in any::<i64>()) {
+        let mut w = ByteWriter::new();
+        w.put_svarint(v);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(ByteReader::new(&bytes).svarint().unwrap(), v);
+    }
+
+    #[test]
+    fn string_round_trips(s in ".*") {
+        let mut w = ByteWriter::new();
+        w.put_str(&s);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(ByteReader::new(&bytes).str().unwrap(), s);
+    }
+
+    #[test]
+    fn mixed_sequence_round_trips(
+        ints in prop::collection::vec(any::<u64>(), 0..20),
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..10),
+    ) {
+        let mut w = ByteWriter::new();
+        w.put_varint(ints.len() as u64);
+        for i in &ints {
+            w.put_varint(*i);
+        }
+        w.put_varint(blobs.len() as u64);
+        for b in &blobs {
+            w.put_bytes(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let n = r.varint().unwrap() as usize;
+        prop_assert_eq!(n, ints.len());
+        for i in &ints {
+            prop_assert_eq!(r.varint().unwrap(), *i);
+        }
+        let m = r.varint().unwrap() as usize;
+        prop_assert_eq!(m, blobs.len());
+        for b in &blobs {
+            prop_assert_eq!(r.bytes().unwrap(), b.as_slice());
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.varint();
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.str();
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.bytes();
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.f64();
+    }
+
+    /// Link delivery time is monotone in payload size and never earlier
+    /// than the propagation latency.
+    #[test]
+    fn link_delay_monotone(a in 0usize..100_000, b in 0usize..100_000) {
+        let profile = LinkProfile::wlan_802_11b();
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(profile.transfer_time(small) <= profile.transfer_time(large));
+        prop_assert!(profile.transfer_time(small) >= profile.latency());
+    }
+
+    /// Messages on a SimLink are delivered in send order (FIFO wire).
+    #[test]
+    fn simlink_fifo(sizes in prop::collection::vec(0usize..10_000, 1..40)) {
+        let mut link = SimLink::new(LinkProfile::bluetooth_2_0());
+        let mut last = SimTime::ZERO;
+        for s in sizes {
+            let d = link.send(SimTime::ZERO, s);
+            prop_assert!(d >= last, "delivery went backwards");
+            last = d;
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Bundles: the unit of modularity and lifecycle.
+//!
+//! A bundle encapsulates part of an application's functionality; its
+//! lifecycle is controlled individually at runtime so that "each single
+//! functional module can be updated with a newer version without restarting
+//! the application" (paper, §2). AlfredO leans on the lifecycle heavily:
+//! proxy bundles for leased services are installed on the fly and
+//! uninstalled the moment an interaction ends.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::OsgiError;
+use crate::events::EventAdmin;
+use crate::framework::Framework;
+use crate::properties::Properties;
+use crate::registry::{ServiceRegistration, ServiceRegistry};
+use crate::service::Service;
+
+/// A framework-unique bundle identifier. Bundle 0 is the system bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BundleId(u64);
+
+impl BundleId {
+    /// The system bundle (the framework itself).
+    pub const SYSTEM: BundleId = BundleId(0);
+
+    /// Constructs an id from its raw value.
+    pub const fn from_raw(raw: u64) -> Self {
+        BundleId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BundleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bundle#{}", self.0)
+    }
+}
+
+/// The OSGi bundle lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BundleState {
+    /// Installed but dependencies not yet checked.
+    Installed,
+    /// Dependencies satisfied; ready to start.
+    Resolved,
+    /// The activator's `start` hook is running.
+    Starting,
+    /// Running.
+    Active,
+    /// The activator's `stop` hook is running.
+    Stopping,
+    /// Removed from the framework; terminal.
+    Uninstalled,
+}
+
+impl BundleState {
+    /// Whether a bundle in this state may be started.
+    pub fn can_start(self) -> bool {
+        matches!(self, BundleState::Installed | BundleState::Resolved)
+    }
+
+    /// Whether a bundle in this state may be stopped.
+    pub fn can_stop(self) -> bool {
+        self == BundleState::Active
+    }
+
+    /// Whether the state is terminal.
+    pub fn is_uninstalled(self) -> bool {
+        self == BundleState::Uninstalled
+    }
+}
+
+impl fmt::Display for BundleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BundleState::Installed => "INSTALLED",
+            BundleState::Resolved => "RESOLVED",
+            BundleState::Starting => "STARTING",
+            BundleState::Active => "ACTIVE",
+            BundleState::Stopping => "STOPPING",
+            BundleState::Uninstalled => "UNINSTALLED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The start/stop hooks of a bundle.
+///
+/// In the JVM original, the activator class is loaded dynamically from the
+/// bundle JAR. Here activators are statically compiled and reached through
+/// the [`crate::CodeRegistry`] by symbolic key when a bundle arrives as a
+/// serialized artifact (see `DESIGN.md` §2 for why this substitution
+/// preserves the observable behaviour).
+pub trait BundleActivator: Send {
+    /// Called when the bundle starts; typically registers services.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts the start; the bundle falls back to
+    /// `Resolved` and the error surfaces as
+    /// [`OsgiError::ActivatorFailed`].
+    fn start(&mut self, ctx: &BundleContext) -> Result<(), String>;
+
+    /// Called when the bundle stops; services registered by the bundle are
+    /// swept by the framework afterwards regardless.
+    ///
+    /// # Errors
+    ///
+    /// Errors are reported as framework events but do not block the stop.
+    fn stop(&mut self, ctx: &BundleContext) -> Result<(), String>;
+}
+
+/// A no-op activator for bundles that only carry data entries.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopActivator;
+
+impl BundleActivator for NoopActivator {
+    fn start(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// The execution context handed to a bundle's activator: its identity plus
+/// access to the framework's registry and event bus.
+#[derive(Clone)]
+pub struct BundleContext {
+    framework: Framework,
+    bundle: BundleId,
+}
+
+impl BundleContext {
+    pub(crate) fn new(framework: Framework, bundle: BundleId) -> Self {
+        BundleContext { framework, bundle }
+    }
+
+    /// The bundle this context belongs to.
+    pub fn bundle_id(&self) -> BundleId {
+        self.bundle
+    }
+
+    /// The owning framework.
+    pub fn framework(&self) -> &Framework {
+        &self.framework
+    }
+
+    /// The framework's service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        self.framework.registry()
+    }
+
+    /// The framework's event bus.
+    pub fn event_admin(&self) -> &EventAdmin {
+        self.framework.event_admin()
+    }
+
+    /// Registers a service owned by this bundle. It is unregistered
+    /// automatically when the bundle stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoInterfaces`] if `interfaces` is empty.
+    pub fn register_service(
+        &self,
+        interfaces: &[&str],
+        service: Arc<dyn Service>,
+        properties: Properties,
+    ) -> Result<ServiceRegistration, OsgiError> {
+        self.framework
+            .registry()
+            .register(self.bundle, interfaces, service, properties)
+    }
+
+    /// Convenience lookup of the best service for `interface`.
+    pub fn get_service(&self, interface: &str) -> Option<Arc<dyn Service>> {
+        self.framework.registry().get_service(interface)
+    }
+}
+
+impl fmt::Debug for BundleContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BundleContext")
+            .field("bundle", &self.bundle)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(BundleState::Installed.can_start());
+        assert!(BundleState::Resolved.can_start());
+        assert!(!BundleState::Active.can_start());
+        assert!(BundleState::Active.can_stop());
+        assert!(!BundleState::Resolved.can_stop());
+        assert!(BundleState::Uninstalled.is_uninstalled());
+    }
+
+    #[test]
+    fn ids_and_display() {
+        assert_eq!(BundleId::SYSTEM.as_raw(), 0);
+        assert_eq!(BundleId::from_raw(4).to_string(), "bundle#4");
+        assert_eq!(BundleState::Active.to_string(), "ACTIVE");
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types for the module framework.
+
+use std::fmt;
+
+use crate::bundle::{BundleId, BundleState};
+
+/// Errors produced by framework and registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsgiError {
+    /// A bundle id did not resolve to an installed bundle.
+    NoSuchBundle(BundleId),
+    /// A lifecycle operation was attempted in an incompatible state.
+    InvalidStateTransition {
+        /// The bundle involved.
+        bundle: BundleId,
+        /// Its current state.
+        from: BundleState,
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
+    /// A bundle activator's `start` or `stop` hook failed.
+    ActivatorFailed {
+        /// The bundle involved.
+        bundle: BundleId,
+        /// The activator's error message.
+        message: String,
+    },
+    /// A service id did not resolve to a registered service.
+    NoSuchService(u64),
+    /// An LDAP filter string failed to parse.
+    FilterSyntax {
+        /// Byte offset of the error in the filter string.
+        position: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// A bundle artifact referenced an activator key that is not present in
+    /// the local [`crate::CodeRegistry`].
+    UnknownActivatorKey(String),
+    /// A bundle artifact failed to decode.
+    MalformedArtifact(String),
+    /// Registration was attempted with an empty interface list.
+    NoInterfaces,
+}
+
+impl fmt::Display for OsgiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsgiError::NoSuchBundle(id) => write!(f, "no such bundle: {id}"),
+            OsgiError::InvalidStateTransition {
+                bundle,
+                from,
+                operation,
+            } => write!(
+                f,
+                "cannot {operation} bundle {bundle} in state {from}"
+            ),
+            OsgiError::ActivatorFailed { bundle, message } => {
+                write!(f, "activator of bundle {bundle} failed: {message}")
+            }
+            OsgiError::NoSuchService(id) => write!(f, "no such service: {id}"),
+            OsgiError::FilterSyntax { position, expected } => {
+                write!(f, "filter syntax error at byte {position}: expected {expected}")
+            }
+            OsgiError::UnknownActivatorKey(key) => {
+                write!(f, "unknown activator key: {key}")
+            }
+            OsgiError::MalformedArtifact(msg) => write!(f, "malformed bundle artifact: {msg}"),
+            OsgiError::NoInterfaces => {
+                write!(f, "service registration requires at least one interface")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OsgiError {}
+
+/// Errors produced when invoking a service method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceCallError {
+    /// The method name is not part of the service.
+    NoSuchMethod(String),
+    /// Arguments did not match the method's expectations.
+    BadArguments(String),
+    /// The service implementation failed.
+    Failed(String),
+    /// The service has been unregistered (e.g. remote peer disconnected).
+    ServiceGone,
+    /// A remote invocation could not complete (transport failure/timeout).
+    Remote(String),
+}
+
+impl fmt::Display for ServiceCallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceCallError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+            ServiceCallError::BadArguments(msg) => write!(f, "bad arguments: {msg}"),
+            ServiceCallError::Failed(msg) => write!(f, "service failed: {msg}"),
+            ServiceCallError::ServiceGone => write!(f, "service has been unregistered"),
+            ServiceCallError::Remote(msg) => write!(f, "remote invocation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceCallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_payloads() {
+        let e = OsgiError::ActivatorFailed {
+            bundle: BundleId::from_raw(3),
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("boom"), "{s}");
+
+        let e = ServiceCallError::NoSuchMethod("frob".into());
+        assert!(e.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<OsgiError>();
+        assert_err::<ServiceCallError>();
+    }
+}

@@ -1,0 +1,423 @@
+//! Framework, bundle, and service events, plus the EventAdmin topic bus.
+//!
+//! OSGi applications are written to react to dynamism — services coming and
+//! going, bundles starting and stopping. R-OSGi leans on exactly this: a
+//! network disconnection is delivered to the application as ordinary
+//! service-unregistration and bundle-stop events, so "the potentially
+//! harmful side effect of introducing a network link does not break the
+//! application model" (paper, §2.1). [`EventAdmin`] is the topic-based bus
+//! whose events R-OSGi forwards transparently between machines.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bundle::{BundleId, BundleState};
+use crate::properties::Properties;
+use crate::service::ServiceReference;
+
+/// Service lifecycle events delivered to registry listeners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceEvent {
+    /// A service was registered.
+    Registered(ServiceReference),
+    /// A service's properties changed.
+    Modified(ServiceReference),
+    /// A service is about to be unregistered.
+    Unregistering(ServiceReference),
+}
+
+impl ServiceEvent {
+    /// The reference the event concerns.
+    pub fn reference(&self) -> &ServiceReference {
+        match self {
+            ServiceEvent::Registered(r)
+            | ServiceEvent::Modified(r)
+            | ServiceEvent::Unregistering(r) => r,
+        }
+    }
+}
+
+/// Bundle lifecycle events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleEvent {
+    /// The bundle concerned.
+    pub bundle: BundleId,
+    /// The state it transitioned to.
+    pub state: BundleState,
+}
+
+/// Framework-level events (errors, warnings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkEvent {
+    /// The framework finished starting.
+    Started,
+    /// An activator or listener failed; the framework keeps running.
+    Error {
+        /// The bundle at fault, if attributable.
+        bundle: Option<BundleId>,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A topic-addressed event (the OSGi EventAdmin model).
+///
+/// Topics are `/`-separated paths, e.g. `"mouse/snapshot/updated"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The topic path.
+    pub topic: String,
+    /// Event payload.
+    pub properties: Properties,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(topic: impl Into<String>, properties: Properties) -> Self {
+        Event {
+            topic: topic.into(),
+            properties,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.topic, self.properties)
+    }
+}
+
+/// Identifier of an EventAdmin subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+type Handler = Arc<dyn Fn(&Event) + Send + Sync>;
+
+struct Subscription {
+    id: SubscriptionId,
+    pattern: String,
+    handler: Handler,
+}
+
+/// A synchronous topic-based publish/subscribe bus.
+///
+/// Topic patterns match exactly, or by prefix with a trailing `*` segment:
+/// `"mouse/*"` matches `"mouse/snapshot"` and `"mouse/snapshot/updated"`.
+/// `"*"` matches everything.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::{Event, EventAdmin, Properties};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let bus = EventAdmin::new();
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let h = Arc::clone(&hits);
+/// bus.subscribe("mouse/*", move |_event| {
+///     h.fetch_add(1, Ordering::SeqCst);
+/// });
+/// bus.post(&Event::new("mouse/snapshot", Properties::new()));
+/// bus.post(&Event::new("shop/update", Properties::new()));
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct EventAdmin {
+    inner: Arc<Mutex<AdminInner>>,
+}
+
+type ChangeListener = Arc<dyn Fn() + Send + Sync>;
+
+#[derive(Default)]
+struct AdminInner {
+    subs: Vec<Subscription>,
+    taps: Vec<(u64, Handler)>,
+    change_listeners: Vec<(u64, ChangeListener)>,
+    next_id: u64,
+    posted: u64,
+}
+
+impl EventAdmin {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        EventAdmin::default()
+    }
+
+    /// Subscribes `handler` to topics matching `pattern`.
+    pub fn subscribe<F>(&self, pattern: impl Into<String>, handler: F) -> SubscriptionId
+    where
+        F: Fn(&Event) + Send + Sync + 'static,
+    {
+        let id = {
+            let mut inner = self.inner.lock();
+            let id = SubscriptionId(inner.next_id);
+            inner.next_id += 1;
+            inner.subs.push(Subscription {
+                id,
+                pattern: pattern.into(),
+                handler: Arc::new(handler),
+            });
+            id
+        };
+        self.notify_change();
+        id
+    }
+
+    /// Removes a subscription. Unknown ids are ignored.
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        self.inner.lock().subs.retain(|s| s.id != id);
+        self.notify_change();
+    }
+
+    /// Registers a hook invoked whenever the subscription set changes.
+    /// R-OSGi uses this to keep the peer's event-interest view current.
+    /// Returns a token for [`Self::remove_change_listener`].
+    pub fn on_subscriptions_changed<F>(&self, listener: F) -> u64
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.change_listeners.push((id, Arc::new(listener)));
+        id
+    }
+
+    /// Removes a change hook.
+    pub fn remove_change_listener(&self, id: u64) {
+        self.inner
+            .lock()
+            .change_listeners
+            .retain(|(i, _)| *i != id);
+    }
+
+    fn notify_change(&self) {
+        let listeners: Vec<ChangeListener> = self
+            .inner
+            .lock()
+            .change_listeners
+            .iter()
+            .map(|(_, l)| Arc::clone(l))
+            .collect();
+        for l in listeners {
+            l();
+        }
+    }
+
+    /// Delivers `event` synchronously to every matching subscriber.
+    /// Handlers run without the bus lock held, so they may re-enter the
+    /// bus (post, subscribe, unsubscribe).
+    pub fn post(&self, event: &Event) {
+        let handlers: Vec<Handler> = {
+            let mut inner = self.inner.lock();
+            inner.posted += 1;
+            inner
+                .subs
+                .iter()
+                .filter(|s| topic_matches(&s.pattern, &event.topic))
+                .map(|s| Arc::clone(&s.handler))
+                .chain(inner.taps.iter().map(|(_, h)| Arc::clone(h)))
+                .collect()
+        };
+        for h in handlers {
+            h(event);
+        }
+    }
+
+    /// Registers an infrastructure *tap*: invoked for **every** posted
+    /// event, but not counted as a subscription (absent from
+    /// [`Self::patterns`]). R-OSGi's event forwarder is a tap — it relays
+    /// events without representing application interest. Returns a token
+    /// for [`Self::remove_tap`].
+    pub fn add_tap<F>(&self, handler: F) -> u64
+    where
+        F: Fn(&Event) + Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.taps.push((id, Arc::new(handler)));
+        id
+    }
+
+    /// Removes a tap.
+    pub fn remove_tap(&self, id: u64) {
+        self.inner.lock().taps.retain(|(i, _)| *i != id);
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+
+    /// Total events posted.
+    pub fn posted_count(&self) -> u64 {
+        self.inner.lock().posted
+    }
+
+    /// Returns the patterns of all active subscriptions (used by R-OSGi to
+    /// decide which remote events are worth forwarding).
+    pub fn patterns(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .subs
+            .iter()
+            .map(|s| s.pattern.clone())
+            .collect()
+    }
+}
+
+impl fmt::Debug for EventAdmin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventAdmin")
+            .field("subscriptions", &self.subscription_count())
+            .finish()
+    }
+}
+
+/// Whether a subscription `pattern` matches a concrete `topic`.
+pub fn topic_matches(pattern: &str, topic: &str) -> bool {
+    if pattern == "*" || pattern == topic {
+        return true;
+    }
+    if let Some(prefix) = pattern.strip_suffix("/*") {
+        return topic == prefix || topic.starts_with(&format!("{prefix}/"));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn topic_matching_rules() {
+        assert!(topic_matches("*", "anything/here"));
+        assert!(topic_matches("a/b", "a/b"));
+        assert!(!topic_matches("a/b", "a/b/c"));
+        assert!(topic_matches("a/*", "a/b"));
+        assert!(topic_matches("a/*", "a/b/c"));
+        assert!(topic_matches("a/*", "a"));
+        assert!(!topic_matches("a/*", "ab"));
+        assert!(!topic_matches("a/*", "b/a"));
+    }
+
+    #[test]
+    fn post_reaches_matching_subscribers_only() {
+        let bus = EventAdmin::new();
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let (ac, bc) = (Arc::clone(&a), Arc::clone(&b));
+        bus.subscribe("x/*", move |_| {
+            ac.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.subscribe("y/*", move |_| {
+            bc.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.post(&Event::new("x/1", Properties::new()));
+        bus.post(&Event::new("x/2", Properties::new()));
+        bus.post(&Event::new("y/1", Properties::new()));
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+        assert_eq!(bus.posted_count(), 3);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let bus = EventAdmin::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let id = bus.subscribe("*", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.post(&Event::new("t", Properties::new()));
+        bus.unsubscribe(id);
+        bus.post(&Event::new("t", Properties::new()));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(bus.subscription_count(), 0);
+    }
+
+    #[test]
+    fn handlers_may_reenter_the_bus() {
+        let bus = EventAdmin::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let bus2 = bus.clone();
+        bus.subscribe("first", move |_| {
+            bus2.post(&Event::new("second", Properties::new()));
+        });
+        bus.subscribe("second", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.post(&Event::new("first", Properties::new()));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn taps_see_everything_but_are_not_subscriptions() {
+        let bus = EventAdmin::new();
+        let tapped = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&tapped);
+        let tap = bus.add_tap(move |_| {
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+        // Taps don't appear in patterns() and don't fire change hooks as
+        // subscriptions would.
+        assert!(bus.patterns().is_empty());
+        assert_eq!(bus.subscription_count(), 0);
+        bus.post(&Event::new("any/topic", Properties::new()));
+        bus.post(&Event::new("other", Properties::new()));
+        assert_eq!(tapped.load(Ordering::SeqCst), 2);
+        bus.remove_tap(tap);
+        bus.post(&Event::new("any/topic", Properties::new()));
+        assert_eq!(tapped.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn subscription_change_hooks_fire() {
+        let bus = EventAdmin::new();
+        let changes = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&changes);
+        let hook = bus.on_subscriptions_changed(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let sub = bus.subscribe("a/*", |_| {});
+        assert_eq!(changes.load(Ordering::SeqCst), 1);
+        bus.unsubscribe(sub);
+        assert_eq!(changes.load(Ordering::SeqCst), 2);
+        // Taps do not count as subscription changes.
+        let tap = bus.add_tap(|_| {});
+        bus.remove_tap(tap);
+        assert_eq!(changes.load(Ordering::SeqCst), 2);
+        bus.remove_change_listener(hook);
+        bus.subscribe("b/*", |_| {});
+        assert_eq!(changes.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn event_payload_accessible() {
+        let e = Event::new("a/b", Properties::new().with("k", 3i64));
+        assert_eq!(e.properties.get_i64("k"), Some(3));
+        assert!(e.to_string().contains("a/b"));
+    }
+
+    #[test]
+    fn service_event_reference_accessor() {
+        let r = ServiceReference::new(
+            crate::service::ServiceId::from_raw(1),
+            vec!["a.B".into()],
+            Properties::new(),
+        );
+        for e in [
+            ServiceEvent::Registered(r.clone()),
+            ServiceEvent::Modified(r.clone()),
+            ServiceEvent::Unregistering(r.clone()),
+        ] {
+            assert_eq!(e.reference(), &r);
+        }
+    }
+}

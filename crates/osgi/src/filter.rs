@@ -1,0 +1,579 @@
+//! RFC 1960 LDAP search filters.
+//!
+//! OSGi uses LDAP filter strings to select services by property, e.g.
+//! `(&(objectClass=ui.PointingDevice)(resolution>=100))`. This module
+//! implements a full parser and evaluator for the grammar used by the OSGi
+//! core specification: `=`, `>=`, `<=`, `~=` (approximate match), presence
+//! (`=*`), substring patterns (`a*b*c`), and the `&`, `|`, `!` combinators.
+
+use std::fmt;
+
+use crate::error::OsgiError;
+use crate::properties::Properties;
+use crate::value::Value;
+
+/// A parsed LDAP filter.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::{Filter, Properties};
+///
+/// # fn main() -> Result<(), alfredo_osgi::OsgiError> {
+/// let filter: Filter = "(&(kind=screen)(width>=640)(!(disabled=true)))".parse()?;
+/// let props = Properties::new().with("kind", "screen").with("width", 800i64);
+/// assert!(filter.matches(&props));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Conjunction: all sub-filters must match.
+    And(Vec<Filter>),
+    /// Disjunction: at least one sub-filter must match.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+    /// `(attr=value)` — equality.
+    Equals {
+        /// Attribute name.
+        attr: String,
+        /// Literal to compare against.
+        value: String,
+    },
+    /// `(attr~=value)` — case/whitespace-insensitive equality.
+    Approx {
+        /// Attribute name.
+        attr: String,
+        /// Literal to compare against.
+        value: String,
+    },
+    /// `(attr>=value)`.
+    GreaterEq {
+        /// Attribute name.
+        attr: String,
+        /// Literal to compare against.
+        value: String,
+    },
+    /// `(attr<=value)`.
+    LessEq {
+        /// Attribute name.
+        attr: String,
+        /// Literal to compare against.
+        value: String,
+    },
+    /// `(attr=*)` — attribute presence.
+    Present {
+        /// Attribute name.
+        attr: String,
+    },
+    /// `(attr=ab*cd*ef)` — substring match.
+    Substring {
+        /// Attribute name.
+        attr: String,
+        /// Leading literal (before the first `*`), may be empty.
+        initial: String,
+        /// Literals between `*`s.
+        middles: Vec<String>,
+        /// Trailing literal (after the last `*`), may be empty.
+        finale: String,
+    },
+}
+
+impl Filter {
+    /// Parses a filter string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::FilterSyntax`] with the byte position of the
+    /// first problem.
+    pub fn parse(input: &str) -> Result<Filter, OsgiError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let f = p.filter()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(OsgiError::FilterSyntax {
+                position: p.pos,
+                expected: "end of input",
+            });
+        }
+        Ok(f)
+    }
+
+    /// Evaluates the filter against a property dictionary.
+    pub fn matches(&self, props: &Properties) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(props)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(props)),
+            Filter::Not(f) => !f.matches(props),
+            Filter::Equals { attr, value } => {
+                props.get(attr).is_some_and(|v| value_eq(v, value))
+            }
+            Filter::Approx { attr, value } => props.get(attr).is_some_and(|v| {
+                let Some(actual) = value_to_string(v) else {
+                    return false;
+                };
+                normalize(&actual) == normalize(value)
+            }),
+            Filter::GreaterEq { attr, value } => props
+                .get(attr)
+                .is_some_and(|v| value_cmp(v, value).is_some_and(|o| o.is_ge())),
+            Filter::LessEq { attr, value } => props
+                .get(attr)
+                .is_some_and(|v| value_cmp(v, value).is_some_and(|o| o.is_le())),
+            Filter::Present { attr } => props.contains_key(attr),
+            Filter::Substring {
+                attr,
+                initial,
+                middles,
+                finale,
+            } => props.get(attr).is_some_and(|v| {
+                let Some(s) = value_to_string(v) else {
+                    return false;
+                };
+                substring_match(&s, initial, middles, finale)
+            }),
+        }
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+fn value_to_string(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::I64(i) => Some(i.to_string()),
+        Value::F64(f) => Some(f.to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        _ => None,
+    }
+}
+
+fn value_eq(v: &Value, literal: &str) -> bool {
+    match v {
+        Value::Str(s) => s == literal,
+        Value::I64(i) => literal.parse::<i64>().map(|l| *i == l).unwrap_or(false),
+        Value::F64(f) => literal.parse::<f64>().map(|l| *f == l).unwrap_or(false),
+        Value::Bool(b) => literal.parse::<bool>().map(|l| *b == l).unwrap_or(false),
+        // A list property matches if any element matches (OSGi semantics).
+        Value::List(items) => items.iter().any(|i| value_eq(i, literal)),
+        _ => false,
+    }
+}
+
+fn value_cmp(v: &Value, literal: &str) -> Option<std::cmp::Ordering> {
+    match v {
+        Value::I64(i) => literal.parse::<i64>().ok().map(|l| i.cmp(&l)),
+        Value::F64(f) => literal
+            .parse::<f64>()
+            .ok()
+            .and_then(|l| f.partial_cmp(&l)),
+        Value::Str(s) => Some(s.as_str().cmp(literal)),
+        _ => None,
+    }
+}
+
+fn substring_match(s: &str, initial: &str, middles: &[String], finale: &str) -> bool {
+    let Some(mut rest) = s.strip_prefix(initial) else {
+        return false;
+    };
+    for mid in middles {
+        match rest.find(mid.as_str()) {
+            Some(idx) => rest = &rest[idx + mid.len()..],
+            None => return false,
+        }
+    }
+    rest.ends_with(finale) && rest.len() >= finale.len()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, expected: &'static str) -> OsgiError {
+        OsgiError::FilterSyntax {
+            position: self.pos,
+            expected,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8, expected: &'static str) -> Result<(), OsgiError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn filter(&mut self) -> Result<Filter, OsgiError> {
+        self.expect(b'(', "'('")?;
+        let f = match self.peek() {
+            Some(b'&') => {
+                self.bump();
+                Filter::And(self.filter_list()?)
+            }
+            Some(b'|') => {
+                self.bump();
+                Filter::Or(self.filter_list()?)
+            }
+            Some(b'!') => {
+                self.bump();
+                self.skip_ws();
+                Filter::Not(Box::new(self.filter()?))
+            }
+            Some(_) => self.comparison()?,
+            None => return Err(self.err("filter operator or attribute")),
+        };
+        self.skip_ws();
+        self.expect(b')', "')'")?;
+        Ok(f)
+    }
+
+    fn filter_list(&mut self) -> Result<Vec<Filter>, OsgiError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                out.push(self.filter()?);
+            } else if out.is_empty() {
+                return Err(self.err("at least one sub-filter"));
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Filter, OsgiError> {
+        let attr = self.attribute()?;
+        match self.bump() {
+            Some(b'=') => self.equals_or_substring(attr),
+            Some(b'>') => {
+                self.expect(b'=', "'=' after '>'")?;
+                let value = self.literal()?;
+                Ok(Filter::GreaterEq { attr, value })
+            }
+            Some(b'<') => {
+                self.expect(b'=', "'=' after '<'")?;
+                let value = self.literal()?;
+                Ok(Filter::LessEq { attr, value })
+            }
+            Some(b'~') => {
+                self.expect(b'=', "'=' after '~'")?;
+                let value = self.literal()?;
+                Ok(Filter::Approx { attr, value })
+            }
+            _ => Err(self.err("comparison operator")),
+        }
+    }
+
+    fn equals_or_substring(&mut self, attr: String) -> Result<Filter, OsgiError> {
+        // Parse the right side as segments separated by '*'.
+        let mut segments: Vec<String> = vec![String::new()];
+        loop {
+            match self.peek() {
+                Some(b')') | None => break,
+                Some(b'*') => {
+                    self.bump();
+                    segments.push(String::new());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let escaped = self.bump().ok_or_else(|| self.err("escaped character"))?;
+                    segments
+                        .last_mut()
+                        .expect("segments nonempty")
+                        .push(escaped as char);
+                }
+                Some(b) => {
+                    self.bump();
+                    segments
+                        .last_mut()
+                        .expect("segments nonempty")
+                        .push(b as char);
+                }
+            }
+        }
+        if segments.len() == 1 {
+            return Ok(Filter::Equals {
+                attr,
+                value: segments.pop().expect("one segment"),
+            });
+        }
+        if segments.len() == 2 && segments[0].is_empty() && segments[1].is_empty() {
+            return Ok(Filter::Present { attr });
+        }
+        let finale = segments.pop().expect("nonempty");
+        let initial = segments.remove(0);
+        Ok(Filter::Substring {
+            attr,
+            initial,
+            middles: segments,
+            finale,
+        })
+    }
+
+    fn attribute(&mut self) -> Result<String, OsgiError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'=' | b'>' | b'<' | b'~' | b'(' | b')' | b'*') {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("UTF-8 attribute name"))?
+            .trim();
+        if raw.is_empty() {
+            return Err(self.err("attribute name"));
+        }
+        Ok(raw.to_owned())
+    }
+
+    fn literal(&mut self) -> Result<String, OsgiError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b')') | None => return Ok(out),
+                Some(b'\\') => {
+                    self.bump();
+                    let escaped = self.bump().ok_or_else(|| self.err("escaped character"))?;
+                    out.push(escaped as char);
+                }
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Filter {
+    type Err = OsgiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Filter::parse(s)
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                write!(f, "(&")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Or(fs) => {
+                write!(f, "(|")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Not(sub) => write!(f, "(!{sub})"),
+            Filter::Equals { attr, value } => write!(f, "({attr}={})", escape(value)),
+            Filter::Approx { attr, value } => write!(f, "({attr}~={})", escape(value)),
+            Filter::GreaterEq { attr, value } => write!(f, "({attr}>={})", escape(value)),
+            Filter::LessEq { attr, value } => write!(f, "({attr}<={})", escape(value)),
+            Filter::Present { attr } => write!(f, "({attr}=*)"),
+            Filter::Substring {
+                attr,
+                initial,
+                middles,
+                finale,
+            } => {
+                write!(f, "({attr}={}", escape(initial))?;
+                for m in middles {
+                    write!(f, "*{}", escape(m))?;
+                }
+                write!(f, "*{})", escape(finale))
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '(' | ')' | '*' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props() -> Properties {
+        Properties::new()
+            .with("objectClass", "ui.PointingDevice")
+            .with("resolution", 160i64)
+            .with("vendor", "Nokia Research")
+            .with("precise", true)
+            .with("weight", 1.5)
+    }
+
+    fn check(filter: &str, expect: bool) {
+        let f = Filter::parse(filter).unwrap_or_else(|e| panic!("parse {filter}: {e}"));
+        assert_eq!(f.matches(&props()), expect, "filter {filter}");
+    }
+
+    #[test]
+    fn equality() {
+        check("(objectClass=ui.PointingDevice)", true);
+        check("(objectClass=ui.KeyboardDevice)", false);
+        check("(resolution=160)", true);
+        check("(resolution=161)", false);
+        check("(precise=true)", true);
+        check("(weight=1.5)", true);
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        check("(resolution>=100)", true);
+        check("(resolution>=160)", true);
+        check("(resolution>=161)", false);
+        check("(resolution<=160)", true);
+        check("(resolution<=159)", false);
+        check("(weight>=1.0)", true);
+        check("(vendor>=Nokia)", true); // lexicographic on strings
+    }
+
+    #[test]
+    fn presence() {
+        check("(resolution=*)", true);
+        check("(missing=*)", false);
+    }
+
+    #[test]
+    fn substring_patterns() {
+        check("(vendor=Nokia*)", true);
+        check("(vendor=*Research)", true);
+        check("(vendor=*kia*sear*)", true);
+        check("(vendor=*Ericsson*)", false);
+        check("(vendor=N*a R*h)", true);
+    }
+
+    #[test]
+    fn approx_ignores_case_and_space() {
+        check("(vendor~=nokiaresearch)", true);
+        check("(vendor~=NOKIA RESEARCH)", true);
+        check("(vendor~=nokia labs)", false);
+    }
+
+    #[test]
+    fn combinators() {
+        check("(&(objectClass=ui.PointingDevice)(resolution>=100))", true);
+        check("(&(objectClass=ui.PointingDevice)(resolution>=500))", false);
+        check("(|(resolution>=500)(precise=true))", true);
+        check("(!(precise=false))", true);
+        check(
+            "(&(|(vendor=Nokia*)(vendor=Sony*))(!(resolution<=100)))",
+            true,
+        );
+    }
+
+    #[test]
+    fn missing_attribute_never_matches() {
+        check("(nope=1)", false);
+        check("(nope>=1)", false);
+        check("(!(nope=1))", true); // negation of a non-match
+    }
+
+    #[test]
+    fn list_valued_properties_match_any_element() {
+        let p = Properties::new().with(
+            "objectClass",
+            Value::from(vec!["a.B", "c.D"]),
+        );
+        let f = Filter::parse("(objectClass=c.D)").unwrap();
+        assert!(f.matches(&p));
+        let f = Filter::parse("(objectClass=x.Y)").unwrap();
+        assert!(!f.matches(&p));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let f = Filter::parse(r"(name=a\*b\(c\))").unwrap();
+        assert_eq!(
+            f,
+            Filter::Equals {
+                attr: "name".into(),
+                value: "a*b(c)".into()
+            }
+        );
+        let p = Properties::new().with("name", "a*b(c)");
+        assert!(f.matches(&p));
+        // Display re-escapes; reparse yields the same AST.
+        let redisplayed = f.to_string();
+        assert_eq!(Filter::parse(&redisplayed).unwrap(), f);
+    }
+
+    #[test]
+    fn display_round_trips_structures() {
+        for s in [
+            "(&(a=1)(b=2))",
+            "(|(a=1)(!(b=2)))",
+            "(a=*)",
+            "(a=x*y*z)",
+            "(a>=5)",
+            "(a<=5)",
+            "(a~=x)",
+        ] {
+            let f = Filter::parse(s).unwrap();
+            assert_eq!(Filter::parse(&f.to_string()).unwrap(), f, "{s}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_report_position() {
+        for bad in ["", "(", "(a=1", "(a=1))", "()", "(&)", "(a>1)", "x"] {
+            let err = Filter::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, OsgiError::FilterSyntax { .. }),
+                "{bad} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_between_filters() {
+        let f = Filter::parse("(& (a=1) (b=2) )").unwrap();
+        let p = Properties::new().with("a", 1i64).with("b", 2i64);
+        assert!(f.matches(&p));
+    }
+}

@@ -1,0 +1,759 @@
+//! The framework: bundle management and lifecycle driving.
+//!
+//! A [`Framework`] owns the set of installed bundles, the service registry,
+//! and the event bus. It is the Rust counterpart of the paper's Concierge
+//! instance: one framework runs on the phone, one on each target device.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bundle::{BundleActivator, BundleContext, BundleId, BundleState};
+use crate::error::OsgiError;
+use crate::events::{BundleEvent, EventAdmin, FrameworkEvent};
+use crate::registry::ServiceRegistry;
+
+/// Static metadata of an installed bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bundle {
+    /// The bundle's id.
+    pub id: BundleId,
+    /// Reverse-domain symbolic name, e.g. `"ch.ethz.alfredo.core"`.
+    pub symbolic_name: String,
+    /// Version string.
+    pub version: String,
+    /// Current lifecycle state.
+    pub state: BundleState,
+}
+
+struct BundleRecord {
+    meta: Bundle,
+    activator: Option<Box<dyn BundleActivator>>,
+    /// Named data entries carried by the bundle's artifact (descriptor
+    /// files, UI descriptions…).
+    entries: BTreeMap<String, Vec<u8>>,
+}
+
+type BundleListener = Arc<dyn Fn(&BundleEvent) + Send + Sync>;
+type FrameworkListener = Arc<dyn Fn(&FrameworkEvent) + Send + Sync>;
+
+struct Inner {
+    bundles: Mutex<BTreeMap<BundleId, BundleRecord>>,
+    next_bundle: Mutex<u64>,
+    registry: ServiceRegistry,
+    event_admin: EventAdmin,
+    bundle_listeners: Mutex<Vec<(u64, BundleListener)>>,
+    framework_listeners: Mutex<Vec<(u64, FrameworkListener)>>,
+    next_listener: Mutex<u64>,
+}
+
+/// A running module framework. Cloning yields another handle to the same
+/// instance.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::{BundleActivator, BundleContext, BundleState, Framework};
+///
+/// struct Hello;
+/// impl BundleActivator for Hello {
+///     fn start(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+///         Ok(())
+///     }
+///     fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), alfredo_osgi::OsgiError> {
+/// let fw = Framework::new();
+/// let id = fw.install("demo.hello", "1.0", Box::new(Hello));
+/// fw.start_bundle(id)?;
+/// assert_eq!(fw.bundle(id).unwrap().state, BundleState::Active);
+/// fw.stop_bundle(id)?;
+/// fw.uninstall(id)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Framework {
+    inner: Arc<Inner>,
+}
+
+impl Default for Framework {
+    fn default() -> Self {
+        Framework::new()
+    }
+}
+
+impl Framework {
+    /// Creates a framework with an empty registry; bundle 0 (the system
+    /// bundle) is installed and active.
+    pub fn new() -> Self {
+        let fw = Framework {
+            inner: Arc::new(Inner {
+                bundles: Mutex::new(BTreeMap::new()),
+                next_bundle: Mutex::new(1),
+                registry: ServiceRegistry::new(),
+                event_admin: EventAdmin::new(),
+                bundle_listeners: Mutex::new(Vec::new()),
+                framework_listeners: Mutex::new(Vec::new()),
+                next_listener: Mutex::new(0),
+            }),
+        };
+        fw.inner.bundles.lock().insert(
+            BundleId::SYSTEM,
+            BundleRecord {
+                meta: Bundle {
+                    id: BundleId::SYSTEM,
+                    symbolic_name: "system.bundle".into(),
+                    version: env!("CARGO_PKG_VERSION").into(),
+                    state: BundleState::Active,
+                },
+                activator: None,
+                entries: BTreeMap::new(),
+            },
+        );
+        fw
+    }
+
+    /// The framework's service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.inner.registry
+    }
+
+    /// The framework's event bus.
+    pub fn event_admin(&self) -> &EventAdmin {
+        &self.inner.event_admin
+    }
+
+    /// A context acting on behalf of the system bundle.
+    pub fn system_context(&self) -> BundleContext {
+        BundleContext::new(self.clone(), BundleId::SYSTEM)
+    }
+
+    /// A context acting on behalf of `bundle`.
+    pub fn context_for(&self, bundle: BundleId) -> BundleContext {
+        BundleContext::new(self.clone(), bundle)
+    }
+
+    /// Installs a bundle with the given activator; it starts in
+    /// [`BundleState::Installed`].
+    pub fn install(
+        &self,
+        symbolic_name: impl Into<String>,
+        version: impl Into<String>,
+        activator: Box<dyn BundleActivator>,
+    ) -> BundleId {
+        self.install_with_entries(symbolic_name, version, activator, BTreeMap::new())
+    }
+
+    /// Installs a bundle carrying named data entries (the contents of a
+    /// shipped [`crate::BundleArtifact`]).
+    pub fn install_with_entries(
+        &self,
+        symbolic_name: impl Into<String>,
+        version: impl Into<String>,
+        activator: Box<dyn BundleActivator>,
+        entries: BTreeMap<String, Vec<u8>>,
+    ) -> BundleId {
+        let id = {
+            let mut next = self.inner.next_bundle.lock();
+            let id = BundleId::from_raw(*next);
+            *next += 1;
+            id
+        };
+        self.inner.bundles.lock().insert(
+            id,
+            BundleRecord {
+                meta: Bundle {
+                    id,
+                    symbolic_name: symbolic_name.into(),
+                    version: version.into(),
+                    state: BundleState::Installed,
+                },
+                activator: Some(activator),
+                entries,
+            },
+        );
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: BundleState::Installed,
+        });
+        id
+    }
+
+    /// Returns a snapshot of a bundle's metadata.
+    pub fn bundle(&self, id: BundleId) -> Option<Bundle> {
+        self.inner.bundles.lock().get(&id).map(|r| r.meta.clone())
+    }
+
+    /// Looks up a bundle by symbolic name.
+    pub fn bundle_by_name(&self, symbolic_name: &str) -> Option<Bundle> {
+        self.inner
+            .bundles
+            .lock()
+            .values()
+            .find(|r| r.meta.symbolic_name == symbolic_name)
+            .map(|r| r.meta.clone())
+    }
+
+    /// Snapshots of all installed bundles, in id order.
+    pub fn bundles(&self) -> Vec<Bundle> {
+        self.inner
+            .bundles
+            .lock()
+            .values()
+            .map(|r| r.meta.clone())
+            .collect()
+    }
+
+    /// Reads a named data entry from a bundle's artifact contents.
+    pub fn bundle_entry(&self, id: BundleId, name: &str) -> Option<Vec<u8>> {
+        self.inner
+            .bundles
+            .lock()
+            .get(&id)
+            .and_then(|r| r.entries.get(name).cloned())
+    }
+
+    /// Resolves a bundle: `Installed` → `Resolved`. (Dependency checking is
+    /// a no-op here; artifacts validate their requirements at install.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchBundle`] or
+    /// [`OsgiError::InvalidStateTransition`].
+    pub fn resolve(&self, id: BundleId) -> Result<(), OsgiError> {
+        let mut bundles = self.inner.bundles.lock();
+        let rec = bundles.get_mut(&id).ok_or(OsgiError::NoSuchBundle(id))?;
+        match rec.meta.state {
+            BundleState::Installed => {
+                rec.meta.state = BundleState::Resolved;
+                let ev = BundleEvent {
+                    bundle: id,
+                    state: BundleState::Resolved,
+                };
+                drop(bundles);
+                self.emit_bundle(ev);
+                Ok(())
+            }
+            BundleState::Resolved => Ok(()),
+            from => Err(OsgiError::InvalidStateTransition {
+                bundle: id,
+                from,
+                operation: "resolve",
+            }),
+        }
+    }
+
+    /// Starts a bundle: `Installed`/`Resolved` → `Starting` → `Active`.
+    /// On activator failure the bundle falls back to `Resolved`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchBundle`],
+    /// [`OsgiError::InvalidStateTransition`], or
+    /// [`OsgiError::ActivatorFailed`].
+    pub fn start_bundle(&self, id: BundleId) -> Result<(), OsgiError> {
+        // Phase 1: transition to Starting and take the activator out, so
+        // the activator runs without the bundle table locked.
+        let mut activator = {
+            let mut bundles = self.inner.bundles.lock();
+            let rec = bundles.get_mut(&id).ok_or(OsgiError::NoSuchBundle(id))?;
+            if !rec.meta.state.can_start() {
+                return Err(OsgiError::InvalidStateTransition {
+                    bundle: id,
+                    from: rec.meta.state,
+                    operation: "start",
+                });
+            }
+            rec.meta.state = BundleState::Starting;
+            rec.activator.take()
+        };
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: BundleState::Starting,
+        });
+
+        let ctx = self.context_for(id);
+        let result = match activator.as_mut() {
+            Some(act) => act.start(&ctx),
+            None => Ok(()),
+        };
+
+        // Phase 2: restore the activator and finalize the state.
+        let final_state = if result.is_ok() {
+            BundleState::Active
+        } else {
+            BundleState::Resolved
+        };
+        {
+            let mut bundles = self.inner.bundles.lock();
+            if let Some(rec) = bundles.get_mut(&id) {
+                rec.activator = activator;
+                rec.meta.state = final_state;
+            }
+        }
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: final_state,
+        });
+        result.map_err(|message| {
+            let err = OsgiError::ActivatorFailed {
+                bundle: id,
+                message: message.clone(),
+            };
+            self.emit_framework(FrameworkEvent::Error {
+                bundle: Some(id),
+                message,
+            });
+            err
+        })
+    }
+
+    /// Stops a bundle: `Active` → `Stopping` → `Resolved`. All services
+    /// registered by the bundle are unregistered, even if the activator's
+    /// stop hook fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchBundle`] or
+    /// [`OsgiError::InvalidStateTransition`]. Activator stop failures are
+    /// reported as framework events, not errors.
+    pub fn stop_bundle(&self, id: BundleId) -> Result<(), OsgiError> {
+        let mut activator = {
+            let mut bundles = self.inner.bundles.lock();
+            let rec = bundles.get_mut(&id).ok_or(OsgiError::NoSuchBundle(id))?;
+            if !rec.meta.state.can_stop() {
+                return Err(OsgiError::InvalidStateTransition {
+                    bundle: id,
+                    from: rec.meta.state,
+                    operation: "stop",
+                });
+            }
+            rec.meta.state = BundleState::Stopping;
+            rec.activator.take()
+        };
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: BundleState::Stopping,
+        });
+
+        let ctx = self.context_for(id);
+        if let Some(act) = activator.as_mut() {
+            if let Err(message) = act.stop(&ctx) {
+                self.emit_framework(FrameworkEvent::Error {
+                    bundle: Some(id),
+                    message,
+                });
+            }
+        }
+        // Sweep services owned by the bundle (OSGi does this for leaked
+        // registrations).
+        self.inner.registry.unregister_bundle(id);
+        {
+            let mut bundles = self.inner.bundles.lock();
+            if let Some(rec) = bundles.get_mut(&id) {
+                rec.activator = activator;
+                rec.meta.state = BundleState::Resolved;
+            }
+        }
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: BundleState::Resolved,
+        });
+        Ok(())
+    }
+
+    /// Updates a bundle in place: if active, it is stopped (services
+    /// swept), its activator and version are replaced, and it is started
+    /// again — "each single functional module can be updated with a newer
+    /// version without restarting the application" (paper §2). If the
+    /// bundle was not active it is only replaced, not started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchBundle`], or start/stop errors from the
+    /// old or new activator. On a failed restart the bundle is left
+    /// `Resolved` with the *new* activator installed.
+    pub fn update_bundle(
+        &self,
+        id: BundleId,
+        version: impl Into<String>,
+        activator: Box<dyn BundleActivator>,
+    ) -> Result<(), OsgiError> {
+        let was_active = self
+            .bundle(id)
+            .ok_or(OsgiError::NoSuchBundle(id))?
+            .state
+            == BundleState::Active;
+        if was_active {
+            self.stop_bundle(id)?;
+        }
+        {
+            let mut bundles = self.inner.bundles.lock();
+            let rec = bundles.get_mut(&id).ok_or(OsgiError::NoSuchBundle(id))?;
+            rec.activator = Some(activator);
+            rec.meta.version = version.into();
+        }
+        if was_active {
+            self.start_bundle(id)?;
+        }
+        Ok(())
+    }
+
+    /// Uninstalls a bundle, stopping it first if active. Terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchBundle`] if unknown, or an error from the
+    /// implicit stop.
+    pub fn uninstall(&self, id: BundleId) -> Result<(), OsgiError> {
+        let state = self
+            .bundle(id)
+            .ok_or(OsgiError::NoSuchBundle(id))?
+            .state;
+        if state == BundleState::Active {
+            self.stop_bundle(id)?;
+        }
+        // Sweep any services registered while not Active, then remove.
+        self.inner.registry.unregister_bundle(id);
+        self.inner.bundles.lock().remove(&id);
+        self.emit_bundle(BundleEvent {
+            bundle: id,
+            state: BundleState::Uninstalled,
+        });
+        Ok(())
+    }
+
+    /// Registers a bundle lifecycle listener; returns a token for removal.
+    pub fn add_bundle_listener<F>(&self, listener: F) -> u64
+    where
+        F: Fn(&BundleEvent) + Send + Sync + 'static,
+    {
+        let mut next = self.inner.next_listener.lock();
+        let id = *next;
+        *next += 1;
+        self.inner
+            .bundle_listeners
+            .lock()
+            .push((id, Arc::new(listener)));
+        id
+    }
+
+    /// Removes a bundle lifecycle listener.
+    pub fn remove_bundle_listener(&self, id: u64) {
+        self.inner.bundle_listeners.lock().retain(|(i, _)| *i != id);
+    }
+
+    /// Registers a framework event listener; returns a token for removal.
+    pub fn add_framework_listener<F>(&self, listener: F) -> u64
+    where
+        F: Fn(&FrameworkEvent) + Send + Sync + 'static,
+    {
+        let mut next = self.inner.next_listener.lock();
+        let id = *next;
+        *next += 1;
+        self.inner
+            .framework_listeners
+            .lock()
+            .push((id, Arc::new(listener)));
+        id
+    }
+
+    /// Removes a framework event listener.
+    pub fn remove_framework_listener(&self, id: u64) {
+        self.inner
+            .framework_listeners
+            .lock()
+            .retain(|(i, _)| *i != id);
+    }
+
+    fn emit_bundle(&self, event: BundleEvent) {
+        let listeners: Vec<BundleListener> = self
+            .inner
+            .bundle_listeners
+            .lock()
+            .iter()
+            .map(|(_, l)| Arc::clone(l))
+            .collect();
+        for l in listeners {
+            l(&event);
+        }
+    }
+
+    /// Delivers a framework event to the registered listeners. Public so
+    /// that higher layers (e.g. the remote-service layer) can report
+    /// framework-level errors through the standard channel.
+    pub fn emit_framework(&self, event: FrameworkEvent) {
+        let listeners: Vec<FrameworkListener> = self
+            .inner
+            .framework_listeners
+            .lock()
+            .iter()
+            .map(|(_, l)| Arc::clone(l))
+            .collect();
+        for l in listeners {
+            l(&event);
+        }
+    }
+}
+
+impl fmt::Debug for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Framework")
+            .field("bundles", &self.inner.bundles.lock().len())
+            .field("services", &self.inner.registry.service_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::Properties;
+    use crate::service::FnService;
+    use crate::value::Value;
+    use parking_lot::Mutex as PlMutex;
+
+    struct Recorder {
+        log: Arc<PlMutex<Vec<String>>>,
+        fail_start: bool,
+        register: bool,
+    }
+
+    impl BundleActivator for Recorder {
+        fn start(&mut self, ctx: &BundleContext) -> Result<(), String> {
+            self.log.lock().push("start".into());
+            if self.fail_start {
+                return Err("refusing to start".into());
+            }
+            if self.register {
+                ctx.register_service(
+                    &["rec.Service"],
+                    Arc::new(FnService::new(|_, _| Ok(Value::Unit))),
+                    Properties::new(),
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+
+        fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+            self.log.lock().push("stop".into());
+            Ok(())
+        }
+    }
+
+    fn recorder(
+        fw: &Framework,
+        fail_start: bool,
+        register: bool,
+    ) -> (BundleId, Arc<PlMutex<Vec<String>>>) {
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let id = fw.install(
+            "test.recorder",
+            "1.0",
+            Box::new(Recorder {
+                log: Arc::clone(&log),
+                fail_start,
+                register,
+            }),
+        );
+        (id, log)
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let fw = Framework::new();
+        let (id, log) = recorder(&fw, false, false);
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Installed);
+        fw.resolve(id).unwrap();
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Resolved);
+        fw.start_bundle(id).unwrap();
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Active);
+        fw.stop_bundle(id).unwrap();
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Resolved);
+        fw.uninstall(id).unwrap();
+        assert!(fw.bundle(id).is_none());
+        assert_eq!(*log.lock(), vec!["start", "stop"]);
+    }
+
+    #[test]
+    fn start_from_installed_skips_explicit_resolve() {
+        let fw = Framework::new();
+        let (id, _) = recorder(&fw, false, false);
+        fw.start_bundle(id).unwrap();
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Active);
+    }
+
+    #[test]
+    fn failed_start_falls_back_to_resolved() {
+        let fw = Framework::new();
+        let errors = Arc::new(PlMutex::new(Vec::new()));
+        let e = Arc::clone(&errors);
+        fw.add_framework_listener(move |ev| {
+            if let FrameworkEvent::Error { message, .. } = ev {
+                e.lock().push(message.clone());
+            }
+        });
+        let (id, _) = recorder(&fw, true, false);
+        let err = fw.start_bundle(id).unwrap_err();
+        assert!(matches!(err, OsgiError::ActivatorFailed { .. }));
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Resolved);
+        assert_eq!(errors.lock().len(), 1);
+    }
+
+    #[test]
+    fn stop_sweeps_bundle_services() {
+        let fw = Framework::new();
+        let (id, _) = recorder(&fw, false, true);
+        fw.start_bundle(id).unwrap();
+        assert!(fw.registry().get_service("rec.Service").is_some());
+        fw.stop_bundle(id).unwrap();
+        assert!(fw.registry().get_service("rec.Service").is_none());
+    }
+
+    #[test]
+    fn uninstall_active_bundle_stops_it_first() {
+        let fw = Framework::new();
+        let (id, log) = recorder(&fw, false, true);
+        fw.start_bundle(id).unwrap();
+        fw.uninstall(id).unwrap();
+        assert!(fw.registry().get_service("rec.Service").is_none());
+        assert_eq!(*log.lock(), vec!["start", "stop"]);
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let fw = Framework::new();
+        let (id, _) = recorder(&fw, false, false);
+        // Stop before start.
+        assert!(matches!(
+            fw.stop_bundle(id),
+            Err(OsgiError::InvalidStateTransition { .. })
+        ));
+        fw.start_bundle(id).unwrap();
+        // Double start.
+        assert!(matches!(
+            fw.start_bundle(id),
+            Err(OsgiError::InvalidStateTransition { .. })
+        ));
+        // Unknown bundle.
+        assert!(matches!(
+            fw.start_bundle(BundleId::from_raw(999)),
+            Err(OsgiError::NoSuchBundle(_))
+        ));
+    }
+
+    #[test]
+    fn bundle_events_trace_lifecycle() {
+        let fw = Framework::new();
+        let states = Arc::new(PlMutex::new(Vec::new()));
+        let s = Arc::clone(&states);
+        fw.add_bundle_listener(move |e| s.lock().push(e.state));
+        let (id, _) = recorder(&fw, false, false);
+        fw.start_bundle(id).unwrap();
+        fw.stop_bundle(id).unwrap();
+        fw.uninstall(id).unwrap();
+        assert_eq!(
+            *states.lock(),
+            vec![
+                BundleState::Installed,
+                BundleState::Starting,
+                BundleState::Active,
+                BundleState::Stopping,
+                BundleState::Resolved,
+                BundleState::Uninstalled,
+            ]
+        );
+    }
+
+    #[test]
+    fn update_replaces_activator_without_framework_restart() {
+        let fw = Framework::new();
+        let (id, _) = recorder(&fw, false, true);
+        fw.start_bundle(id).unwrap();
+        assert!(fw.registry().get_service("rec.Service").is_some());
+        assert_eq!(fw.bundle(id).unwrap().version, "1.0");
+
+        // v2 registers a different service.
+        fw.update_bundle(id, "2.0", Box::new(RegisterOther)).unwrap();
+        let meta = fw.bundle(id).unwrap();
+        assert_eq!(meta.version, "2.0");
+        assert_eq!(meta.state, BundleState::Active, "restarted after update");
+        // The old service is gone, the new one is live; other bundles and
+        // the framework itself never stopped.
+        assert!(fw.registry().get_service("rec.Service").is_none());
+        assert!(fw.registry().get_service("rec.ServiceV2").is_some());
+    }
+
+    struct RegisterOther;
+
+    impl BundleActivator for RegisterOther {
+        fn start(&mut self, ctx: &BundleContext) -> Result<(), String> {
+            ctx.register_service(
+                &["rec.ServiceV2"],
+                Arc::new(FnService::new(|_, _| Ok(Value::Unit))),
+                Properties::new(),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+
+        fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn update_of_inactive_bundle_does_not_start_it() {
+        let fw = Framework::new();
+        let (id, _) = recorder(&fw, false, false);
+        fw.update_bundle(id, "2.0", Box::new(RegisterOther)).unwrap();
+        assert_eq!(fw.bundle(id).unwrap().state, BundleState::Installed);
+        assert!(fw.registry().get_service("rec.ServiceV2").is_none());
+        // It starts with the new activator on demand.
+        fw.start_bundle(id).unwrap();
+        assert!(fw.registry().get_service("rec.ServiceV2").is_some());
+    }
+
+    #[test]
+    fn update_of_unknown_bundle_fails() {
+        let fw = Framework::new();
+        assert!(matches!(
+            fw.update_bundle(BundleId::from_raw(404), "2.0", Box::new(RegisterOther)),
+            Err(OsgiError::NoSuchBundle(_))
+        ));
+    }
+
+    #[test]
+    fn system_bundle_exists_and_is_active() {
+        let fw = Framework::new();
+        let sys = fw.bundle(BundleId::SYSTEM).unwrap();
+        assert_eq!(sys.state, BundleState::Active);
+        assert_eq!(fw.bundles().len(), 1);
+    }
+
+    #[test]
+    fn bundle_lookup_by_name() {
+        let fw = Framework::new();
+        let (_id, _) = recorder(&fw, false, false);
+        assert!(fw.bundle_by_name("test.recorder").is_some());
+        assert!(fw.bundle_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn listener_removal() {
+        let fw = Framework::new();
+        let count = Arc::new(PlMutex::new(0u32));
+        let c = Arc::clone(&count);
+        let token = fw.add_bundle_listener(move |_| *c.lock() += 1);
+        fw.remove_bundle_listener(token);
+        let (_id, _) = recorder(&fw, false, false);
+        assert_eq!(*count.lock(), 0);
+    }
+}

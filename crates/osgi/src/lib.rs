@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! # alfredo-osgi
+//!
+//! An OSGi-style module framework, reproducing the substrate AlfredO runs
+//! on (the paper uses the Concierge OSGi implementation underneath R-OSGi).
+//!
+//! OSGi decomposes an application into **bundles** whose lifecycle is
+//! controlled individually at runtime, communicating through **services**
+//! published in a central **service registry** under service interfaces and
+//! properties. This crate reproduces those mechanics in Rust:
+//!
+//! * [`Framework`] — owns bundles and the service registry; bundle 0 is the
+//!   system bundle.
+//! * [`Bundle`]/[`BundleState`] — the full OSGi lifecycle
+//!   (Installed → Resolved → Starting → Active → Stopping → Uninstalled)
+//!   with [`BundleActivator`] start/stop hooks.
+//! * [`ServiceRegistry`] — interface-keyed registration with properties,
+//!   [service ranking](Properties), LDAP-style [`Filter`] queries
+//!   (RFC 1960), and service event listeners.
+//! * [`EventAdmin`] — the topic-based publish/subscribe bus that R-OSGi
+//!   forwards across the network.
+//! * [`BundleArtifact`]/[`CodeRegistry`] — the stand-in for JVM dynamic
+//!   class loading: a bundle is shipped as serialized data whose executable
+//!   parts are symbolic *activator keys* resolved against statically
+//!   compiled factories on the receiving side (see `DESIGN.md` §2).
+//!
+//! Services are dynamically typed at the framework boundary — methods are
+//! invoked by name with [`Value`] arguments — mirroring Java's
+//! reflection-based dispatch and making remote proxying (in
+//! `alfredo-rosgi`) possible without code generation.
+//!
+//! # Example
+//!
+//! ```
+//! use alfredo_osgi::{Framework, Properties, Service, ServiceCallError, Value};
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+//!         match method {
+//!             "echo" => Ok(args.first().cloned().unwrap_or(Value::Unit)),
+//!             _ => Err(ServiceCallError::NoSuchMethod(method.to_owned())),
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), alfredo_osgi::OsgiError> {
+//! let fw = Framework::new();
+//! fw.system_context()
+//!     .register_service(&["test.Echo"], Arc::new(Echo), Properties::new())?;
+//! let svc = fw.registry().get_service("test.Echo").expect("registered");
+//! let out = svc.invoke("echo", &[Value::from("hi")]).unwrap();
+//! assert_eq!(out, Value::from("hi"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod artifact;
+pub mod bundle;
+pub mod error;
+pub mod events;
+pub mod filter;
+pub mod framework;
+pub mod properties;
+pub mod registry;
+pub mod service;
+pub mod value;
+
+pub use artifact::{ArtifactEntry, BundleArtifact, CodeRegistry, Manifest};
+pub use bundle::{BundleActivator, BundleContext, BundleId, BundleState};
+pub use error::{OsgiError, ServiceCallError};
+pub use events::{BundleEvent, Event, EventAdmin, FrameworkEvent, ServiceEvent};
+pub use filter::Filter;
+pub use framework::{Bundle, Framework};
+pub use properties::Properties;
+pub use registry::{ListenerId, ServiceRegistration, ServiceRegistry};
+pub use service::{
+    FnService, MethodSpec, ParamSpec, Service, ServiceId, ServiceInterfaceDesc, ServiceReference,
+    TypeHint,
+};
+pub use value::Value;

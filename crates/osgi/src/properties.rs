@@ -1,0 +1,201 @@
+//! Service properties.
+//!
+//! Every service registration carries a property dictionary used for
+//! filter-based lookup ([`crate::Filter`]), service ranking, and transport
+//! of metadata in R-OSGi leases. Well-known keys mirror the OSGi spec:
+//! [`Properties::SERVICE_ID`], [`Properties::SERVICE_RANKING`], and
+//! [`Properties::OBJECT_CLASS`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// An ordered string-keyed property dictionary.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::Properties;
+///
+/// let props = Properties::new()
+///     .with("device.kind", "touchscreen")
+///     .with_ranking(10);
+/// assert_eq!(props.get_str("device.kind"), Some("touchscreen"));
+/// assert_eq!(props.ranking(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Properties {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Properties {
+    /// The framework-assigned unique service id.
+    pub const SERVICE_ID: &'static str = "service.id";
+    /// Integer ranking; higher ranked services win `get_service`.
+    pub const SERVICE_RANKING: &'static str = "service.ranking";
+    /// Interfaces the service is registered under.
+    pub const OBJECT_CLASS: &'static str = "objectClass";
+    /// Marker property set on proxies created by `alfredo-rosgi`.
+    pub const REMOTE_PROXY: &'static str = "service.remote.proxy";
+
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Properties::default()
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.entries.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style ranking insert.
+    pub fn with_ranking(self, ranking: i64) -> Self {
+        self.with(Properties::SERVICE_RANKING, ranking)
+    }
+
+    /// Inserts a property, returning the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Removes a property.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// Looks up a property.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a string property.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Looks up an integer property.
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(Value::as_i64)
+    }
+
+    /// Looks up a boolean property.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(Value::as_bool)
+    }
+
+    /// The service ranking (defaults to 0, as in OSGi).
+    pub fn ranking(&self) -> i64 {
+        self.get_i64(Properties::SERVICE_RANKING).unwrap_or(0)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges `other` into `self`, overwriting duplicate keys.
+    pub fn merge(&mut self, other: &Properties) {
+        for (k, v) in other.iter() {
+            self.entries.insert(k.to_owned(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for Properties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for Properties {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Properties {
+            entries: iter
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> Extend<(K, V)> for Properties {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.entries.insert(k.into(), v.into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut p = Properties::new();
+        assert!(p.is_empty());
+        p.insert("a", 1i64);
+        assert_eq!(p.get_i64("a"), Some(1));
+        assert_eq!(p.insert("a", 2i64), Some(Value::I64(1)));
+        assert_eq!(p.remove("a"), Some(Value::I64(2)));
+        assert!(p.get("a").is_none());
+    }
+
+    #[test]
+    fn ranking_defaults_to_zero() {
+        assert_eq!(Properties::new().ranking(), 0);
+        assert_eq!(Properties::new().with_ranking(-5).ranking(), -5);
+    }
+
+    #[test]
+    fn typed_getters_reject_wrong_types() {
+        let p = Properties::new().with("s", "text");
+        assert_eq!(p.get_str("s"), Some("text"));
+        assert_eq!(p.get_i64("s"), None);
+        assert_eq!(p.get_bool("s"), None);
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = Properties::new().with("x", 1i64).with("y", 1i64);
+        let b = Properties::new().with("y", 2i64).with("z", 3i64);
+        a.merge(&b);
+        assert_eq!(a.get_i64("x"), Some(1));
+        assert_eq!(a.get_i64("y"), Some(2));
+        assert_eq!(a.get_i64("z"), Some(3));
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let p: Properties = [("b", 2i64), ("a", 1i64)].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        // BTreeMap ordering: keys sorted.
+        assert_eq!(p.to_string(), "{a=1, b=2}");
+    }
+}

@@ -1,0 +1,595 @@
+//! The central service registry.
+//!
+//! Bundles publish service objects under interface names; consumers look
+//! them up directly and receive a reference to the service object — the
+//! "very lightweight communication model that avoids performance-adverse
+//! indirections known from container systems such as EJB" (paper, §1).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bundle::BundleId;
+use crate::error::OsgiError;
+use crate::events::ServiceEvent;
+use crate::filter::Filter;
+use crate::properties::Properties;
+use crate::service::{Service, ServiceId, ServiceInterfaceDesc, ServiceReference};
+use crate::value::Value;
+
+/// Identifier of a registered service listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListenerId(u64);
+
+type ListenerFn = Arc<dyn Fn(&ServiceEvent) + Send + Sync>;
+
+struct Registration {
+    interfaces: Vec<String>,
+    properties: Properties,
+    service: Arc<dyn Service>,
+    owner: BundleId,
+}
+
+struct Listener {
+    id: ListenerId,
+    filter: Option<Filter>,
+    callback: ListenerFn,
+}
+
+#[derive(Default)]
+struct Inner {
+    services: BTreeMap<ServiceId, Registration>,
+    by_interface: HashMap<String, Vec<ServiceId>>,
+    listeners: Vec<Listener>,
+    next_service: u64,
+    next_listener: u64,
+}
+
+/// The service registry. Cloning yields another handle to the same
+/// registry.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::{BundleId, FnService, Properties, ServiceRegistry, Value};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), alfredo_osgi::OsgiError> {
+/// let registry = ServiceRegistry::new();
+/// let svc = Arc::new(FnService::new(|_, _| Ok(Value::I64(1))));
+/// registry.register(BundleId::SYSTEM, &["math.One"], svc, Properties::new())?;
+/// assert!(registry.get_service("math.One").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Registers `service` under `interfaces` on behalf of `owner`.
+    ///
+    /// The registry adds the standard `service.id` and `objectClass`
+    /// properties. Listeners observe a [`ServiceEvent::Registered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoInterfaces`] if `interfaces` is empty.
+    pub fn register(
+        &self,
+        owner: BundleId,
+        interfaces: &[&str],
+        service: Arc<dyn Service>,
+        mut properties: Properties,
+    ) -> Result<ServiceRegistration, OsgiError> {
+        if interfaces.is_empty() {
+            return Err(OsgiError::NoInterfaces);
+        }
+        let names: Vec<String> = interfaces.iter().map(|s| (*s).to_owned()).collect();
+        let (id, event) = {
+            let mut inner = self.inner.lock();
+            let id = ServiceId::from_raw(inner.next_service);
+            inner.next_service += 1;
+            properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
+            properties.insert(
+                Properties::OBJECT_CLASS,
+                Value::List(names.iter().cloned().map(Value::Str).collect()),
+            );
+            for name in &names {
+                inner.by_interface.entry(name.clone()).or_default().push(id);
+            }
+            let reference = ServiceReference::new(id, names.clone(), properties.clone());
+            inner.services.insert(
+                id,
+                Registration {
+                    interfaces: names,
+                    properties,
+                    service,
+                    owner,
+                },
+            );
+            (id, ServiceEvent::Registered(reference))
+        };
+        self.dispatch(&event);
+        Ok(ServiceRegistration {
+            registry: self.clone(),
+            id,
+        })
+    }
+
+    /// Unregisters a service by id. Listeners observe a
+    /// [`ServiceEvent::Unregistering`] before removal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchService`] if the id is unknown.
+    pub fn unregister(&self, id: ServiceId) -> Result<(), OsgiError> {
+        let event = {
+            let inner = self.inner.lock();
+            let reg = inner
+                .services
+                .get(&id)
+                .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
+            ServiceEvent::Unregistering(ServiceReference::new(
+                id,
+                reg.interfaces.clone(),
+                reg.properties.clone(),
+            ))
+        };
+        self.dispatch(&event);
+        let mut inner = self.inner.lock();
+        if let Some(reg) = inner.services.remove(&id) {
+            for name in &reg.interfaces {
+                if let Some(ids) = inner.by_interface.get_mut(name) {
+                    ids.retain(|i| *i != id);
+                    if ids.is_empty() {
+                        inner.by_interface.remove(name);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unregisters every service owned by `bundle`; returns how many were
+    /// removed. Used when a bundle stops or a remote peer disconnects.
+    pub fn unregister_bundle(&self, bundle: BundleId) -> usize {
+        let ids: Vec<ServiceId> = {
+            let inner = self.inner.lock();
+            inner
+                .services
+                .iter()
+                .filter(|(_, r)| r.owner == bundle)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        let count = ids.len();
+        for id in ids {
+            let _ = self.unregister(id);
+        }
+        count
+    }
+
+    /// Replaces a service's properties (preserving `service.id` and
+    /// `objectClass`). Listeners observe a [`ServiceEvent::Modified`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchService`] if the id is unknown.
+    pub fn set_properties(&self, id: ServiceId, mut properties: Properties) -> Result<(), OsgiError> {
+        let event = {
+            let mut inner = self.inner.lock();
+            let reg = inner
+                .services
+                .get_mut(&id)
+                .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
+            properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
+            properties.insert(
+                Properties::OBJECT_CLASS,
+                Value::List(reg.interfaces.iter().cloned().map(Value::Str).collect()),
+            );
+            reg.properties = properties.clone();
+            ServiceEvent::Modified(ServiceReference::new(
+                id,
+                reg.interfaces.clone(),
+                properties,
+            ))
+        };
+        self.dispatch(&event);
+        Ok(())
+    }
+
+    /// Returns the best reference for `interface`: highest ranking first,
+    /// then lowest service id (the OSGi tie-break).
+    pub fn get_reference(&self, interface: &str) -> Option<ServiceReference> {
+        self.get_references(interface, None).into_iter().next()
+    }
+
+    /// Returns all references for `interface`, optionally filtered, sorted
+    /// best-first.
+    pub fn get_references(&self, interface: &str, filter: Option<&Filter>) -> Vec<ServiceReference> {
+        let inner = self.inner.lock();
+        let mut refs: Vec<ServiceReference> = inner
+            .by_interface
+            .get(interface)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| {
+                let reg = inner.services.get(id)?;
+                if let Some(f) = filter {
+                    if !f.matches(&reg.properties) {
+                        return None;
+                    }
+                }
+                Some(ServiceReference::new(
+                    *id,
+                    reg.interfaces.clone(),
+                    reg.properties.clone(),
+                ))
+            })
+            .collect();
+        refs.sort_by(|a, b| b.ranking().cmp(&a.ranking()).then(a.id().cmp(&b.id())));
+        refs
+    }
+
+    /// Returns references for every registered service, optionally
+    /// filtered, in id order.
+    pub fn all_references(&self, filter: Option<&Filter>) -> Vec<ServiceReference> {
+        let inner = self.inner.lock();
+        inner
+            .services
+            .iter()
+            .filter(|(_, reg)| filter.is_none_or(|f| f.matches(&reg.properties)))
+            .map(|(id, reg)| {
+                ServiceReference::new(*id, reg.interfaces.clone(), reg.properties.clone())
+            })
+            .collect()
+    }
+
+    /// Returns the best service object for `interface`.
+    pub fn get_service(&self, interface: &str) -> Option<Arc<dyn Service>> {
+        let reference = self.get_reference(interface)?;
+        self.get_service_by_id(reference.id())
+    }
+
+    /// Returns the service object for a reference id.
+    pub fn get_service_by_id(&self, id: ServiceId) -> Option<Arc<dyn Service>> {
+        self.inner
+            .lock()
+            .services
+            .get(&id)
+            .map(|r| Arc::clone(&r.service))
+    }
+
+    /// The interface description for `interface`, if the best-ranked
+    /// provider can describe itself.
+    pub fn describe(&self, interface: &str) -> Option<ServiceInterfaceDesc> {
+        self.get_service(interface)?.describe()
+    }
+
+    /// Registers a service listener; `filter` (over service properties)
+    /// restricts which events are delivered.
+    pub fn add_listener<F>(&self, filter: Option<Filter>, callback: F) -> ListenerId
+    where
+        F: Fn(&ServiceEvent) + Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock();
+        let id = ListenerId(inner.next_listener);
+        inner.next_listener += 1;
+        inner.listeners.push(Listener {
+            id,
+            filter,
+            callback: Arc::new(callback),
+        });
+        id
+    }
+
+    /// Removes a service listener. Unknown ids are ignored.
+    pub fn remove_listener(&self, id: ListenerId) {
+        self.inner.lock().listeners.retain(|l| l.id != id);
+    }
+
+    /// Number of currently registered services.
+    pub fn service_count(&self) -> usize {
+        self.inner.lock().services.len()
+    }
+
+    /// The interface names currently present, sorted.
+    pub fn interfaces(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.by_interface.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn dispatch(&self, event: &ServiceEvent) {
+        let callbacks: Vec<ListenerFn> = {
+            let inner = self.inner.lock();
+            inner
+                .listeners
+                .iter()
+                .filter(|l| {
+                    l.filter
+                        .as_ref()
+                        .is_none_or(|f| f.matches(event.reference().properties()))
+                })
+                .map(|l| Arc::clone(&l.callback))
+                .collect()
+        };
+        for cb in callbacks {
+            cb(event);
+        }
+    }
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ServiceRegistry")
+            .field("services", &inner.services.len())
+            .field("listeners", &inner.listeners.len())
+            .finish()
+    }
+}
+
+/// A handle returned from [`ServiceRegistry::register`], used to update or
+/// unregister the service. Dropping the handle does **not** unregister the
+/// service (as in OSGi, where registrations outlive local handles until
+/// explicitly removed or their bundle stops).
+pub struct ServiceRegistration {
+    registry: ServiceRegistry,
+    id: ServiceId,
+}
+
+impl ServiceRegistration {
+    /// The registered service's id.
+    pub fn id(&self) -> ServiceId {
+        self.id
+    }
+
+    /// Replaces the service's properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchService`] if already unregistered.
+    pub fn set_properties(&self, properties: Properties) -> Result<(), OsgiError> {
+        self.registry.set_properties(self.id, properties)
+    }
+
+    /// Unregisters the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsgiError::NoSuchService`] if already unregistered.
+    pub fn unregister(self) -> Result<(), OsgiError> {
+        self.registry.unregister(self.id)
+    }
+}
+
+impl fmt::Debug for ServiceRegistration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRegistration")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::FnService;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn constant(v: i64) -> Arc<dyn Service> {
+        Arc::new(FnService::new(move |_, _| Ok(Value::I64(v))))
+    }
+
+    #[test]
+    fn register_lookup_invoke() {
+        let reg = ServiceRegistry::new();
+        reg.register(BundleId::SYSTEM, &["t.A"], constant(7), Properties::new())
+            .unwrap();
+        let svc = reg.get_service("t.A").unwrap();
+        assert_eq!(svc.invoke("anything", &[]).unwrap(), Value::I64(7));
+        assert_eq!(reg.service_count(), 1);
+        assert_eq!(reg.interfaces(), vec!["t.A".to_owned()]);
+    }
+
+    #[test]
+    fn empty_interface_list_rejected() {
+        let reg = ServiceRegistry::new();
+        assert_eq!(
+            reg.register(BundleId::SYSTEM, &[], constant(0), Properties::new())
+                .unwrap_err(),
+            OsgiError::NoInterfaces
+        );
+    }
+
+    #[test]
+    fn ranking_selects_best_service() {
+        let reg = ServiceRegistry::new();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(1),
+            Properties::new().with_ranking(1),
+        )
+        .unwrap();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(2),
+            Properties::new().with_ranking(5),
+        )
+        .unwrap();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(3),
+            Properties::new().with_ranking(5),
+        )
+        .unwrap();
+        // Highest ranking wins; among equals, the lowest service id.
+        let best = reg.get_service("t.A").unwrap();
+        assert_eq!(best.invoke("x", &[]).unwrap(), Value::I64(2));
+        let refs = reg.get_references("t.A", None);
+        assert_eq!(refs.len(), 3);
+        assert!(refs[0].ranking() >= refs[1].ranking());
+    }
+
+    #[test]
+    fn filtered_lookup() {
+        let reg = ServiceRegistry::new();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(1),
+            Properties::new().with("zone", "eu"),
+        )
+        .unwrap();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(2),
+            Properties::new().with("zone", "us"),
+        )
+        .unwrap();
+        let f = Filter::parse("(zone=us)").unwrap();
+        let refs = reg.get_references("t.A", Some(&f));
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].properties().get_str("zone"), Some("us"));
+    }
+
+    #[test]
+    fn standard_properties_are_set() {
+        let reg = ServiceRegistry::new();
+        let registration = reg
+            .register(
+                BundleId::SYSTEM,
+                &["t.A", "t.B"],
+                constant(1),
+                Properties::new(),
+            )
+            .unwrap();
+        let r = reg.get_reference("t.B").unwrap();
+        assert_eq!(r.id(), registration.id());
+        assert_eq!(
+            r.properties().get_i64(Properties::SERVICE_ID),
+            Some(registration.id().as_raw() as i64)
+        );
+        let classes = r.properties().get(Properties::OBJECT_CLASS).unwrap();
+        assert_eq!(
+            classes.as_list().unwrap().len(),
+            2,
+            "objectClass lists both interfaces"
+        );
+    }
+
+    #[test]
+    fn unregister_removes_and_notifies() {
+        let reg = ServiceRegistry::new();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let ev = Arc::clone(&events);
+        reg.add_listener(None, move |e| {
+            ev.lock().push(match e {
+                ServiceEvent::Registered(_) => "reg",
+                ServiceEvent::Modified(_) => "mod",
+                ServiceEvent::Unregistering(_) => "unreg",
+            });
+        });
+        let registration = reg
+            .register(BundleId::SYSTEM, &["t.A"], constant(1), Properties::new())
+            .unwrap();
+        registration.set_properties(Properties::new().with("x", 1i64)).unwrap();
+        let id = registration.id();
+        registration.unregister().unwrap();
+        assert!(reg.get_service("t.A").is_none());
+        assert!(reg.get_service_by_id(id).is_none());
+        assert_eq!(*events.lock(), vec!["reg", "mod", "unreg"]);
+        // Double unregister fails cleanly.
+        assert!(matches!(reg.unregister(id), Err(OsgiError::NoSuchService(_))));
+    }
+
+    #[test]
+    fn listener_filter_restricts_events() {
+        let reg = ServiceRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        reg.add_listener(Some(Filter::parse("(kind=ui)").unwrap()), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(1),
+            Properties::new().with("kind", "ui"),
+        )
+        .unwrap();
+        reg.register(BundleId::SYSTEM, &["t.B"], constant(2), Properties::new())
+            .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn remove_listener_stops_events() {
+        let reg = ServiceRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let id = reg.add_listener(None, move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        reg.remove_listener(id);
+        reg.register(BundleId::SYSTEM, &["t.A"], constant(1), Properties::new())
+            .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unregister_bundle_sweeps_owned_services() {
+        let reg = ServiceRegistry::new();
+        let b1 = BundleId::from_raw(1);
+        let b2 = BundleId::from_raw(2);
+        reg.register(b1, &["t.A"], constant(1), Properties::new())
+            .unwrap();
+        reg.register(b1, &["t.B"], constant(2), Properties::new())
+            .unwrap();
+        reg.register(b2, &["t.C"], constant(3), Properties::new())
+            .unwrap();
+        assert_eq!(reg.unregister_bundle(b1), 2);
+        assert_eq!(reg.service_count(), 1);
+        assert!(reg.get_service("t.C").is_some());
+    }
+
+    #[test]
+    fn all_references_supports_filters() {
+        let reg = ServiceRegistry::new();
+        reg.register(
+            BundleId::SYSTEM,
+            &["t.A"],
+            constant(1),
+            Properties::new().with("remote", true),
+        )
+        .unwrap();
+        reg.register(BundleId::SYSTEM, &["t.B"], constant(2), Properties::new())
+            .unwrap();
+        assert_eq!(reg.all_references(None).len(), 2);
+        let f = Filter::parse("(remote=true)").unwrap();
+        assert_eq!(reg.all_references(Some(&f)).len(), 1);
+    }
+
+    #[test]
+    fn lookup_of_absent_interface_is_none() {
+        let reg = ServiceRegistry::new();
+        assert!(reg.get_reference("nope").is_none());
+        assert!(reg.get_service("nope").is_none());
+        assert!(reg.get_references("nope", None).is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! The dynamic value type flowing through service invocations.
+//!
+//! OSGi services in Java exchange arbitrary objects via reflection; the
+//! closest faithful analogue in Rust is a self-describing value tree. Every
+//! service method in this framework takes and returns [`Value`]s, which is
+//! also what makes transparent remote proxying possible: `alfredo-rosgi`
+//! serializes `Value`s onto the wire without knowing anything about the
+//! service.
+//!
+//! Struct-shaped values carry a type name, which is what R-OSGi *type
+//! injection* validates against shipped type descriptors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A self-describing dynamic value.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::Value;
+///
+/// let v = Value::structure(
+///     "shop.Product",
+///     [("name", Value::from("bed")), ("price", Value::from(499i64))],
+/// );
+/// assert_eq!(v.type_name(), "struct shop.Product");
+/// assert_eq!(v.field("price").and_then(Value::as_i64), Some(499));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Value {
+    /// The absence of a value (Java `void`/`null`).
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (covers Java's integral types).
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An opaque byte array (bitmaps, file contents…).
+    Bytes(Vec<u8>),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A string-keyed map.
+    Map(BTreeMap<String, Value>),
+    /// A named record: the analogue of a Java object of an injected type.
+    Struct {
+        /// The injected type's name, e.g. `"shop.Product"`.
+        type_name: String,
+        /// Field values by name.
+        fields: BTreeMap<String, Value>,
+    },
+}
+
+impl Value {
+    /// Builds a struct value from a type name and field pairs.
+    pub fn structure<K, V, I>(type_name: impl Into<String>, fields: I) -> Value
+    where
+        K: Into<String>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        Value::Struct {
+            type_name: type_name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Builds a map value from key/value pairs.
+    pub fn map<K, V, I>(entries: I) -> Value
+    where
+        K: Into<String>,
+        V: Into<Value>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// A short name for the value's runtime type, for error messages.
+    pub fn type_name(&self) -> String {
+        match self {
+            Value::Unit => "unit".into(),
+            Value::Bool(_) => "bool".into(),
+            Value::I64(_) => "i64".into(),
+            Value::F64(_) => "f64".into(),
+            Value::Str(_) => "str".into(),
+            Value::Bytes(_) => "bytes".into(),
+            Value::List(_) => "list".into(),
+            Value::Map(_) => "map".into(),
+            Value::Struct { type_name, .. } => format!("struct {type_name}"),
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is an `F64` (or a lossless `I64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the entries if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of a `Struct` (or a key of a `Map`).
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Struct { fields, .. } => fields.get(name),
+            Value::Map(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Unit`.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the §4.1
+    /// resource-consumption experiment (e.g. the MouseController's RGB
+    /// snapshot dominating its runtime memory).
+    pub fn memory_footprint(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Unit | Value::Bool(_) | Value::I64(_) | Value::F64(_) => inline,
+            Value::Str(s) => inline + s.len(),
+            Value::Bytes(b) => inline + b.len(),
+            Value::List(items) => {
+                inline + items.iter().map(Value::memory_footprint).sum::<usize>()
+            }
+            Value::Map(m) => {
+                inline
+                    + m.iter()
+                        .map(|(k, v)| k.len() + v.memory_footprint())
+                        .sum::<usize>()
+            }
+            Value::Struct { type_name, fields } => {
+                inline
+                    + type_name.len()
+                    + fields
+                        .iter()
+                        .map(|(k, v)| k.len() + v.memory_footprint())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Struct { type_name, fields } => {
+                write!(f, "{type_name} {{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<()> for Value {
+    fn from((): ()) -> Self {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_produce_expected_variants() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(42i64), Value::I64(42));
+        assert_eq!(Value::from(42i32), Value::I64(42));
+        assert_eq!(Value::from(2.5), Value::F64(2.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(()), Value::Unit);
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::List(vec![Value::I64(1), Value::I64(2)])
+        );
+    }
+
+    #[test]
+    fn accessors_are_type_checked() {
+        let v = Value::from(7i64);
+        assert_eq!(v.as_i64(), Some(7));
+        assert_eq!(v.as_f64(), Some(7.0));
+        assert_eq!(v.as_str(), None);
+        assert!(!v.is_unit());
+        assert!(Value::Unit.is_unit());
+    }
+
+    #[test]
+    fn struct_fields_accessible() {
+        let v = Value::structure("t.T", [("a", 1i64), ("b", 2i64)]);
+        assert_eq!(v.field("a"), Some(&Value::I64(1)));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(v.type_name(), "struct t.T");
+    }
+
+    #[test]
+    fn map_builder_and_lookup() {
+        let v = Value::map([("k", "v")]);
+        assert_eq!(v.field("k").and_then(Value::as_str), Some("v"));
+        assert_eq!(v.as_map().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memory_footprint_counts_payload() {
+        let small = Value::from(1i64).memory_footprint();
+        let big = Value::Bytes(vec![0; 10_000]).memory_footprint();
+        assert!(big > small + 9_000);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::structure("p.Point", [("x", 1i64), ("y", 2i64)]);
+        assert_eq!(v.to_string(), "p.Point {x: 1, y: 2}");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::Bytes(vec![0; 3]).to_string(), "<3 bytes>");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::structure(
+            "t.T",
+            [
+                ("list", Value::from(vec![1i64, 2, 3])),
+                ("nested", Value::map([("k", Value::Bytes(vec![9, 9]))])),
+            ],
+        );
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrency stress tests: the registry, event bus, and framework are
+//! shared across every bundle and every R-OSGi connection thread, so they
+//! must stay consistent under parallel mutation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use alfredo_osgi::{
+    BundleActivator, BundleContext, BundleId, Event, EventAdmin, FnService, Framework, Properties,
+    ServiceRegistry, Value,
+};
+
+fn constant(v: i64) -> Arc<dyn alfredo_osgi::Service> {
+    Arc::new(FnService::new(move |_, _| Ok(Value::I64(v))))
+}
+
+#[test]
+fn registry_survives_parallel_register_unregister_lookup() {
+    let registry = ServiceRegistry::new();
+    let mut handles = Vec::new();
+
+    // Writers: register + unregister in tight loops on distinct interfaces.
+    for t in 0..4i64 {
+        let registry = registry.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200 {
+                let iface = format!("stress.T{t}");
+                let reg = registry
+                    .register(
+                        BundleId::from_raw(t as u64 + 1),
+                        &[&iface],
+                        constant(t * 1000 + i),
+                        Properties::new(),
+                    )
+                    .unwrap();
+                if i % 2 == 0 {
+                    reg.unregister().unwrap();
+                }
+            }
+        }));
+    }
+    // Readers: lookups + filtered scans concurrently.
+    for _ in 0..4 {
+        let registry = registry.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..500 {
+                for t in 0..4 {
+                    let _ = registry.get_service(&format!("stress.T{t}"));
+                }
+                let _ = registry.all_references(None);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Half of each writer's 200 registrations remain.
+    assert_eq!(registry.service_count(), 4 * 100);
+    // Sweeping by bundle clears exactly each owner's survivors.
+    for t in 0..4u64 {
+        assert_eq!(registry.unregister_bundle(BundleId::from_raw(t + 1)), 100);
+    }
+    assert_eq!(registry.service_count(), 0);
+}
+
+#[test]
+fn event_bus_survives_parallel_post_subscribe() {
+    let bus = EventAdmin::new();
+    let received = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    // Subscribers come and go while posters hammer the bus.
+    for _ in 0..3 {
+        let bus = bus.clone();
+        let received = Arc::clone(&received);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..100 {
+                let r = Arc::clone(&received);
+                let id = bus.subscribe("stress/*", move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+                bus.post(&Event::new("stress/self", Properties::new()));
+                bus.unsubscribe(id);
+            }
+        }));
+    }
+    for _ in 0..3 {
+        let bus = bus.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200i64 {
+                bus.post(&Event::new("stress/other", Properties::new().with("i", i)));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every subscriber saw at least its own post while subscribed.
+    assert!(received.load(Ordering::Relaxed) >= 300);
+    assert_eq!(bus.subscription_count(), 0);
+}
+
+struct Registrar;
+
+impl BundleActivator for Registrar {
+    fn start(&mut self, ctx: &BundleContext) -> Result<(), String> {
+        ctx.register_service(&["stress.Bundle"], constant(1), Properties::new())
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[test]
+fn framework_survives_parallel_bundle_lifecycles() {
+    let fw = Framework::new();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let fw = fw.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                let id = fw.install("stress.bundle", "1.0", Box::new(Registrar));
+                fw.start_bundle(id).unwrap();
+                fw.stop_bundle(id).unwrap();
+                fw.uninstall(id).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Only the system bundle remains; no leaked services.
+    assert_eq!(fw.bundles().len(), 1);
+    assert_eq!(fw.registry().service_count(), 0);
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the OSGi substrate: filter round-trips,
+//! artifact codec, and registry ranking invariants.
+
+use std::sync::Arc;
+
+use alfredo_osgi::{
+    BundleArtifact, BundleId, Filter, FnService, Manifest, Properties, ServiceRegistry, Value,
+};
+use proptest::prelude::*;
+
+fn attr_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9.]{0,12}"
+}
+
+fn literal_strategy() -> impl Strategy<Value = String> {
+    // Any printable text including characters that need escaping.
+    "[ -~]{0,12}"
+}
+
+fn leaf_filter() -> impl Strategy<Value = Filter> {
+    (attr_strategy(), literal_strategy()).prop_flat_map(|(attr, value)| {
+        prop_oneof![
+            Just(Filter::Equals {
+                attr: attr.clone(),
+                value: value.clone()
+            }),
+            Just(Filter::Approx {
+                attr: attr.clone(),
+                value: value.clone()
+            }),
+            Just(Filter::GreaterEq {
+                attr: attr.clone(),
+                value: value.clone()
+            }),
+            Just(Filter::LessEq {
+                attr: attr.clone(),
+                value: value.clone()
+            }),
+            Just(Filter::Present { attr: attr.clone() }),
+        ]
+    })
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    leaf_filter().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on filter ASTs.
+    #[test]
+    fn filter_display_parse_round_trip(f in filter_strategy()) {
+        let text = f.to_string();
+        let reparsed = Filter::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        prop_assert_eq!(reparsed, f);
+    }
+
+    /// The filter parser never panics on arbitrary input.
+    #[test]
+    fn filter_parser_never_panics(s in "[ -~]{0,64}") {
+        let _ = Filter::parse(&s);
+    }
+
+    /// De Morgan: !(a & b) ≡ (!a | !b) over arbitrary properties.
+    #[test]
+    fn filter_de_morgan(
+        a in leaf_filter(),
+        b in leaf_filter(),
+        keys in prop::collection::vec(attr_strategy(), 0..6),
+        vals in prop::collection::vec(-100i64..100, 0..6),
+    ) {
+        let mut props = Properties::new();
+        for (k, v) in keys.iter().zip(&vals) {
+            props.insert(k.clone(), *v);
+        }
+        let not_and = Filter::Not(Box::new(Filter::And(vec![a.clone(), b.clone()])));
+        let or_nots = Filter::Or(vec![
+            Filter::Not(Box::new(a)),
+            Filter::Not(Box::new(b)),
+        ]);
+        prop_assert_eq!(not_and.matches(&props), or_nots.matches(&props));
+    }
+
+    /// Artifact encode → decode is the identity.
+    #[test]
+    fn artifact_round_trips(
+        name in "[a-z.]{1,20}",
+        version in "[0-9.]{1,8}",
+        datas in prop::collection::vec(
+            ("[a-z]{1,10}", prop::collection::vec(any::<u8>(), 0..128)),
+            0..6,
+        ),
+        keys in prop::collection::vec("[a-z/]{1,10}", 0..3),
+    ) {
+        let mut artifact = BundleArtifact::new(Manifest::new(name, version, "prop test"));
+        for key in keys {
+            artifact = artifact.with_activator(key);
+        }
+        for (n, bytes) in datas {
+            artifact = artifact.with_data(n, bytes);
+        }
+        let encoded = artifact.encode();
+        prop_assert_eq!(BundleArtifact::decode(&encoded).unwrap(), artifact);
+    }
+
+    /// Artifact decoding never panics on arbitrary bytes.
+    #[test]
+    fn artifact_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BundleArtifact::decode(&bytes);
+    }
+
+    /// The registry always returns the highest-ranked service; ties break
+    /// toward the oldest registration.
+    #[test]
+    fn registry_ranking_invariant(rankings in prop::collection::vec(-10i64..10, 1..12)) {
+        let registry = ServiceRegistry::new();
+        for (idx, r) in rankings.iter().enumerate() {
+            let v = idx as i64;
+            registry
+                .register(
+                    BundleId::SYSTEM,
+                    &["t.Ranked"],
+                    Arc::new(FnService::new(move |_, _| Ok(Value::I64(v)))),
+                    Properties::new().with_ranking(*r),
+                )
+                .unwrap();
+        }
+        let best_rank = *rankings.iter().max().unwrap();
+        let expected_idx = rankings.iter().position(|r| *r == best_rank).unwrap();
+        let got = registry
+            .get_service("t.Ranked")
+            .unwrap()
+            .invoke("x", &[])
+            .unwrap();
+        prop_assert_eq!(got, Value::I64(expected_idx as i64));
+
+        // The sorted reference list is monotone non-increasing in ranking.
+        let refs = registry.get_references("t.Ranked", None);
+        prop_assert!(refs.windows(2).all(|w| w[0].ranking() >= w[1].ranking()));
+    }
+
+    /// Value serde JSON round-trip (descriptor dumps).
+    #[test]
+    fn value_json_round_trip(n in any::<i64>(), s in ".{0,20}", b in prop::collection::vec(any::<u8>(), 0..32)) {
+        let v = Value::structure(
+            "prop.T",
+            [
+                ("n", Value::I64(n)),
+                ("s", Value::Str(s)),
+                ("b", Value::Bytes(b)),
+                ("list", Value::List(vec![Value::Bool(true), Value::Unit])),
+            ],
+        );
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,263 @@
+//! SLP-like service discovery.
+//!
+//! R-OSGi supports discovery protocols such as SLP (the paper cites jSLP),
+//! and AlfredO additionally lets target devices "periodically broadcast
+//! invitations to nearby devices". This module models both over an
+//! in-process directory shared by all simulated devices in radio range:
+//! advertisements with lifetimes, typed queries, and invitation callbacks.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use alfredo_net::PeerAddr;
+use alfredo_osgi::Properties;
+
+/// A discoverable service location, in the spirit of an SLP service URL
+/// (`service:mouse-controller://screen-7`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceUrl {
+    /// The abstract service type, e.g. `"service:alfredo-shop"`.
+    pub service_type: String,
+    /// Where to connect.
+    pub addr: PeerAddr,
+    /// Advertised attributes (device kind, human-readable name…).
+    pub properties: Properties,
+}
+
+impl ServiceUrl {
+    /// Creates a service URL.
+    pub fn new(
+        service_type: impl Into<String>,
+        addr: PeerAddr,
+        properties: Properties,
+    ) -> Self {
+        ServiceUrl {
+            service_type: service_type.into(),
+            addr,
+            properties,
+        }
+    }
+}
+
+impl fmt::Display for ServiceUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.service_type, self.addr)
+    }
+}
+
+/// Handle to an advertisement, used to withdraw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdvertisementId(u64);
+
+struct Advertisement {
+    id: AdvertisementId,
+    url: ServiceUrl,
+    expires_at: u64,
+}
+
+type InvitationHandler = Arc<dyn Fn(&ServiceUrl) + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    ads: Vec<Advertisement>,
+    handlers: Vec<(u64, InvitationHandler)>,
+    next_ad: u64,
+    next_handler: u64,
+}
+
+/// The in-process discovery domain ("devices within radio range").
+///
+/// Time is logical (caller-supplied seconds) so simulated and threaded
+/// tests are equally deterministic.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_net::PeerAddr;
+/// use alfredo_osgi::Properties;
+/// use alfredo_rosgi::{DiscoveryDirectory, ServiceUrl};
+///
+/// let dir = DiscoveryDirectory::new();
+/// dir.advertise(
+///     ServiceUrl::new("service:alfredo-shop", PeerAddr::new("screen-7"), Properties::new()),
+///     30,
+///     0,
+/// );
+/// let found = dir.find("service:alfredo-shop", 10);
+/// assert_eq!(found.len(), 1);
+/// assert!(dir.find("service:alfredo-shop", 31).is_empty(), "expired");
+/// ```
+#[derive(Clone, Default)]
+pub struct DiscoveryDirectory {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl DiscoveryDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        DiscoveryDirectory::default()
+    }
+
+    /// Advertises `url` for `ttl_secs` of logical time starting at `now`.
+    /// Invitation subscribers are notified synchronously.
+    pub fn advertise(&self, url: ServiceUrl, ttl_secs: u64, now: u64) -> AdvertisementId {
+        let (id, handlers) = {
+            let mut inner = self.inner.lock();
+            let id = AdvertisementId(inner.next_ad);
+            inner.next_ad += 1;
+            inner.ads.push(Advertisement {
+                id,
+                url: url.clone(),
+                expires_at: now.saturating_add(ttl_secs),
+            });
+            let handlers: Vec<InvitationHandler> =
+                inner.handlers.iter().map(|(_, h)| Arc::clone(h)).collect();
+            (id, handlers)
+        };
+        for h in handlers {
+            h(&url);
+        }
+        id
+    }
+
+    /// Withdraws an advertisement. Unknown ids are ignored.
+    pub fn withdraw(&self, id: AdvertisementId) {
+        self.inner.lock().ads.retain(|a| a.id != id);
+    }
+
+    /// Renews an advertisement's lifetime.
+    ///
+    /// Returns `false` if the advertisement no longer exists.
+    pub fn renew(&self, id: AdvertisementId, ttl_secs: u64, now: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(ad) = inner.ads.iter_mut().find(|a| a.id == id) {
+            ad.expires_at = now.saturating_add(ttl_secs);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finds unexpired advertisements of `service_type` at logical time
+    /// `now`.
+    pub fn find(&self, service_type: &str, now: u64) -> Vec<ServiceUrl> {
+        self.inner
+            .lock()
+            .ads
+            .iter()
+            .filter(|a| a.expires_at > now && a.url.service_type == service_type)
+            .map(|a| a.url.clone())
+            .collect()
+    }
+
+    /// All unexpired advertisements at logical time `now`.
+    pub fn all(&self, now: u64) -> Vec<ServiceUrl> {
+        self.inner
+            .lock()
+            .ads
+            .iter()
+            .filter(|a| a.expires_at > now)
+            .map(|a| a.url.clone())
+            .collect()
+    }
+
+    /// Drops expired advertisements (housekeeping; queries already ignore
+    /// them). Returns how many were removed.
+    pub fn sweep(&self, now: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.ads.len();
+        inner.ads.retain(|a| a.expires_at > now);
+        before - inner.ads.len()
+    }
+
+    /// Subscribes to invitation broadcasts (new advertisements). AlfredO
+    /// "makes the information about new devices available to the user"
+    /// through this hook. Returns a token for unsubscribing.
+    pub fn on_invitation<F>(&self, handler: F) -> u64
+    where
+        F: Fn(&ServiceUrl) + Send + Sync + 'static,
+    {
+        let mut inner = self.inner.lock();
+        let id = inner.next_handler;
+        inner.next_handler += 1;
+        inner.handlers.push((id, Arc::new(handler)));
+        id
+    }
+
+    /// Removes an invitation subscription.
+    pub fn remove_invitation_handler(&self, id: u64) {
+        self.inner.lock().handlers.retain(|(i, _)| *i != id);
+    }
+}
+
+impl fmt::Debug for DiscoveryDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiscoveryDirectory")
+            .field("advertisements", &self.inner.lock().ads.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn url(ty: &str, addr: &str) -> ServiceUrl {
+        ServiceUrl::new(ty, PeerAddr::new(addr), Properties::new())
+    }
+
+    #[test]
+    fn advertise_find_withdraw() {
+        let dir = DiscoveryDirectory::new();
+        let id = dir.advertise(url("service:shop", "screen-1"), 60, 0);
+        dir.advertise(url("service:mouse", "laptop-1"), 60, 0);
+        assert_eq!(dir.find("service:shop", 1).len(), 1);
+        assert_eq!(dir.all(1).len(), 2);
+        dir.withdraw(id);
+        assert!(dir.find("service:shop", 1).is_empty());
+    }
+
+    #[test]
+    fn expiry_and_renewal() {
+        let dir = DiscoveryDirectory::new();
+        let id = dir.advertise(url("service:shop", "s"), 10, 0);
+        assert_eq!(dir.find("service:shop", 9).len(), 1);
+        assert!(dir.find("service:shop", 10).is_empty());
+        assert!(dir.renew(id, 10, 10));
+        assert_eq!(dir.find("service:shop", 15).len(), 1);
+        dir.withdraw(id);
+        assert!(!dir.renew(id, 10, 0));
+    }
+
+    #[test]
+    fn sweep_removes_expired_only() {
+        let dir = DiscoveryDirectory::new();
+        dir.advertise(url("a", "x"), 5, 0);
+        dir.advertise(url("b", "y"), 50, 0);
+        assert_eq!(dir.sweep(10), 1);
+        assert_eq!(dir.all(10).len(), 1);
+    }
+
+    #[test]
+    fn invitations_are_broadcast() {
+        let dir = DiscoveryDirectory::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let token = dir.on_invitation(move |u| {
+            assert_eq!(u.service_type, "service:shop");
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        dir.advertise(url("service:shop", "s1"), 10, 0);
+        dir.remove_invitation_handler(token);
+        dir.advertise(url("service:shop", "s2"), 10, 0);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn display_formats_url() {
+        assert_eq!(url("service:shop", "s").to_string(), "service:shop://s");
+    }
+}

@@ -1,0 +1,1216 @@
+//! The symmetric connection endpoint.
+//!
+//! A [`RemoteEndpoint`] wraps one transport connection between two
+//! frameworks. Both sides run the identical state machine (R-OSGi is
+//! peer-to-peer): they exchange `Hello` + `Lease` + `EventInterest` on
+//! connect, then a reader thread serves the peer's requests (invocations,
+//! fetches, events, streams) while local calls go out through the same
+//! transport.
+//!
+//! Disconnection — orderly (`Bye`) or abrupt — triggers the cleanup path:
+//! every proxy bundle installed for the peer is uninstalled, so local
+//! consumers observe plain OSGi service-unregistration events, "which the
+//! software can handle gracefully" (paper §2.1).
+//!
+//! Invocations arriving from the peer are served on the connection's
+//! reader thread (R-OSGi's invocations are synchronous and blocking, §2.1
+//! of the AlfredO paper). Consequently a service handler must not invoke
+//! *back* over the same connection — that call's response could never be
+//! read and both sides would stall until the invocation timeout. Use
+//! remote events for device→phone signalling instead, as the prototype
+//! applications do.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use alfredo_net::Transport;
+use alfredo_osgi::{
+    BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework,
+    ListenerId, Manifest, Properties, Service, ServiceCallError, ServiceEvent,
+    ServiceInterfaceDesc, Value,
+};
+use alfredo_osgi::events::topic_matches;
+
+use crate::error::RosgiError;
+use crate::lease::{LeaseTable, RemoteServiceInfo};
+use crate::message::{Message, PROTOCOL_VERSION};
+use crate::proxy::{Invoker, RemoteServiceProxy, SmartProxySpec};
+use crate::stream::{
+    chunks_of, CreditGate, StreamData, StreamId, StreamReceiver, DEFAULT_CHUNK_SIZE,
+    DEFAULT_INITIAL_CREDITS,
+};
+use crate::types::{TypeDescriptor, TypeRegistry};
+
+/// Registration property naming the smart-proxy factory key offered with a
+/// service.
+pub const PROP_SMART_PROXY_KEY: &str = "rosgi.smartproxy.key";
+/// Registration property listing the smart proxy's locally-served methods.
+pub const PROP_SMART_PROXY_METHODS: &str = "rosgi.smartproxy.methods";
+/// Registration property carrying encoded injected-type descriptors.
+pub const PROP_INJECTED_TYPES: &str = "rosgi.types";
+/// Registration property carrying an opaque application descriptor
+/// (AlfredO's service descriptor rides here).
+pub const PROP_DESCRIPTOR: &str = "alfredo.descriptor";
+/// Property marking a service as imported from a given peer.
+pub const PROP_IMPORTED_FROM: &str = "service.imported.from";
+/// Property set on forwarded events to prevent forwarding loops.
+pub const PROP_EVENT_REMOTE: &str = "event.remote";
+
+/// Endpoint configuration.
+#[derive(Clone)]
+pub struct EndpointConfig {
+    /// The local peer's advertised name.
+    pub peer_name: String,
+    /// Timeout for the connection handshake.
+    pub handshake_timeout: Duration,
+    /// Timeout for synchronous remote invocations and fetches.
+    pub invoke_timeout: Duration,
+    /// Factories for smart-proxy local halves.
+    pub code_registry: CodeRegistry,
+    /// Whether to accept smart proxies (run shipped logic locally). When
+    /// `false` — AlfredO's untrusted default — every method delegates
+    /// remotely even if the service offers a smart proxy.
+    pub accept_smart_proxies: bool,
+    /// Whether to forward local EventAdmin events the peer subscribed to.
+    pub forward_events: bool,
+    /// Chunks a stream receiver lets the sender keep in flight.
+    pub initial_stream_credits: u32,
+    /// Stream chunk size in bytes.
+    pub stream_chunk_size: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            peer_name: "peer".into(),
+            handshake_timeout: Duration::from_secs(5),
+            invoke_timeout: Duration::from_secs(5),
+            code_registry: CodeRegistry::new(),
+            accept_smart_proxies: false,
+            forward_events: true,
+            initial_stream_credits: DEFAULT_INITIAL_CREDITS,
+            stream_chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+impl EndpointConfig {
+    /// Creates a config with the given peer name and defaults otherwise.
+    pub fn named(peer_name: impl Into<String>) -> Self {
+        EndpointConfig {
+            peer_name: peer_name.into(),
+            ..EndpointConfig::default()
+        }
+    }
+
+    /// Builder-style: enables smart proxies with the given code registry.
+    pub fn with_smart_proxies(mut self, code_registry: CodeRegistry) -> Self {
+        self.code_registry = code_registry;
+        self.accept_smart_proxies = true;
+        self
+    }
+
+    /// Builder-style: sets the invocation timeout.
+    pub fn with_invoke_timeout(mut self, timeout: Duration) -> Self {
+        self.invoke_timeout = timeout;
+        self
+    }
+}
+
+impl fmt::Debug for EndpointConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EndpointConfig")
+            .field("peer_name", &self.peer_name)
+            .field("accept_smart_proxies", &self.accept_smart_proxies)
+            .field("forward_events", &self.forward_events)
+            .finish()
+    }
+}
+
+/// Outcome of [`RemoteEndpoint::fetch_service`]: the installed proxy.
+#[derive(Debug)]
+pub struct FetchedService {
+    /// The shipped interface.
+    pub interface: ServiceInterfaceDesc,
+    /// The locally installed proxy bundle.
+    pub bundle: BundleId,
+    /// The opaque application descriptor shipped with the service, if any.
+    pub descriptor: Option<Vec<u8>>,
+    /// Encoded size of the shipped `ServiceBundle` message in bytes (what
+    /// travelled over the network).
+    pub transferred_bytes: usize,
+    /// File footprint of the generated proxy bundle artifact in bytes
+    /// (§4.1 reports 6–7 kB for the two prototype apps).
+    pub proxy_footprint: usize,
+    /// Whether a smart proxy (local logic) was installed.
+    pub smart: bool,
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Invocations sent to the peer.
+    pub calls_sent: u64,
+    /// Invocations served for the peer.
+    pub calls_served: u64,
+    /// Events forwarded to the peer.
+    pub events_forwarded: u64,
+    /// Events received from the peer.
+    pub events_received: u64,
+    /// Frames sent (any type).
+    pub frames_sent: u64,
+    /// Frames received (any type).
+    pub frames_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+type CallResult = Result<Value, ServiceCallError>;
+type FetchParts = (
+    ServiceInterfaceDesc,
+    Vec<TypeDescriptor>,
+    Option<SmartProxySpec>,
+    Option<Vec<u8>>,
+);
+type FetchWaiter = Sender<Result<(FetchParts, usize), RosgiError>>;
+
+#[derive(Default)]
+struct Counters {
+    calls_sent: AtomicU64,
+    calls_served: AtomicU64,
+    events_forwarded: AtomicU64,
+    events_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+struct Inner {
+    transport: Arc<dyn Transport>,
+    framework: Framework,
+    config: EndpointConfig,
+    remote_peer: Mutex<String>,
+    leases: Mutex<LeaseTable>,
+    pending_calls: Mutex<HashMap<u64, Sender<CallResult>>>,
+    pending_fetches: Mutex<HashMap<String, FetchWaiter>>,
+    pending_pings: Mutex<HashMap<u64, Sender<()>>>,
+    next_id: AtomicU64,
+    proxy_bundles: Mutex<HashMap<String, BundleId>>,
+    types: Mutex<TypeRegistry>,
+    remote_event_patterns: Mutex<Vec<String>>,
+    send_credits: Mutex<HashMap<u64, Arc<CreditGate>>>,
+    open_streams: Mutex<HashMap<u64, Sender<StreamData>>>,
+    incoming_streams: (Sender<StreamReceiver>, Receiver<StreamReceiver>),
+    registry_listener: Mutex<Option<ListenerId>>,
+    event_tap: Mutex<Option<u64>>,
+    interest_listener: Mutex<Option<u64>>,
+    closed: AtomicBool,
+    counters: Counters,
+}
+
+/// One side of a live R-OSGi connection. See the crate docs for a complete
+/// example.
+pub struct RemoteEndpoint {
+    inner: Arc<Inner>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteEndpoint {
+    /// Performs the handshake over `transport` and starts serving.
+    ///
+    /// Both sides call this (the protocol is symmetric): typically the
+    /// client on the transport returned by `connect`, the server on the
+    /// transport returned by `accept`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Handshake`] on protocol violations, a
+    /// transport error if the connection drops mid-handshake, or a wire
+    /// error on undecodable frames.
+    pub fn establish(
+        transport: Box<dyn Transport>,
+        framework: Framework,
+        config: EndpointConfig,
+    ) -> Result<RemoteEndpoint, RosgiError> {
+        let transport: Arc<dyn Transport> = Arc::from(transport);
+        let inner = Arc::new(Inner {
+            transport,
+            framework,
+            config,
+            remote_peer: Mutex::new(String::new()),
+            leases: Mutex::new(LeaseTable::new()),
+            pending_calls: Mutex::new(HashMap::new()),
+            pending_fetches: Mutex::new(HashMap::new()),
+            pending_pings: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            proxy_bundles: Mutex::new(HashMap::new()),
+            types: Mutex::new(TypeRegistry::new()),
+            remote_event_patterns: Mutex::new(Vec::new()),
+            send_credits: Mutex::new(HashMap::new()),
+            open_streams: Mutex::new(HashMap::new()),
+            incoming_streams: channel::unbounded(),
+            registry_listener: Mutex::new(None),
+            event_tap: Mutex::new(None),
+            interest_listener: Mutex::new(None),
+            closed: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+
+        // --- outgoing handshake ---
+        inner.send(&Message::Hello {
+            peer: inner.config.peer_name.clone(),
+            version: PROTOCOL_VERSION,
+        })?;
+        inner.send(&Message::Lease {
+            services: inner.exportable_services(),
+        })?;
+        inner.send(&Message::EventInterest {
+            patterns: inner.framework.event_admin().patterns(),
+        })?;
+
+        // --- incoming handshake ---
+        let deadline = Instant::now() + inner.config.handshake_timeout;
+        let mut got_hello = false;
+        let mut got_lease = false;
+        while !(got_hello && got_lease) {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| RosgiError::Handshake("handshake timed out".into()))?;
+            let frame = inner.transport.recv_timeout(remaining)?;
+            inner
+                .counters
+                .frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .bytes_received
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            match Message::decode(&frame)? {
+                Message::Hello { peer, version } => {
+                    if version != PROTOCOL_VERSION {
+                        return Err(RosgiError::Handshake(format!(
+                            "protocol version mismatch: ours {PROTOCOL_VERSION}, theirs {version}"
+                        )));
+                    }
+                    *inner.remote_peer.lock() = peer;
+                    got_hello = true;
+                }
+                Message::Lease { services } => {
+                    inner.leases.lock().reset(services);
+                    got_lease = true;
+                }
+                Message::EventInterest { patterns } => {
+                    *inner.remote_event_patterns.lock() = patterns;
+                }
+                other => {
+                    return Err(RosgiError::Handshake(format!(
+                        "unexpected message during handshake: {other:?}"
+                    )))
+                }
+            }
+        }
+
+        // --- keep the peer's lease view in sync with our registry ---
+        {
+            let weak = Arc::downgrade(&inner);
+            let listener = inner.framework.registry().add_listener(None, move |ev| {
+                let Some(inner) = weak.upgrade() else { return };
+                inner.on_local_service_event(ev);
+            });
+            *inner.registry_listener.lock() = Some(listener);
+        }
+
+        // --- forward local events the peer subscribed to (a tap: sees
+        // every event but does not count as application interest) ---
+        if inner.config.forward_events {
+            let weak = Arc::downgrade(&inner);
+            let tap = inner.framework.event_admin().add_tap(move |event| {
+                let Some(inner) = weak.upgrade() else { return };
+                inner.on_local_event(event);
+            });
+            *inner.event_tap.lock() = Some(tap);
+        }
+
+        // --- keep the peer's view of our event interest current ---
+        {
+            let weak = Arc::downgrade(&inner);
+            let token = inner
+                .framework
+                .event_admin()
+                .on_subscriptions_changed(move || {
+                    let Some(inner) = weak.upgrade() else { return };
+                    if inner.closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let _ = inner.send(&Message::EventInterest {
+                        patterns: inner.framework.event_admin().patterns(),
+                    });
+                });
+            *inner.interest_listener.lock() = Some(token);
+            // Subscriptions may have changed between the handshake and
+            // this registration: re-announce the current set once.
+            let _ = inner.send(&Message::EventInterest {
+                patterns: inner.framework.event_admin().patterns(),
+            });
+        }
+
+        // --- reader thread ---
+        let reader_inner = Arc::clone(&inner);
+        let reader = std::thread::Builder::new()
+            .name(format!("rosgi-{}", inner.config.peer_name))
+            .spawn(move || reader_loop(reader_inner))
+            .expect("spawn reader thread");
+
+        Ok(RemoteEndpoint {
+            inner,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The peer's advertised name.
+    pub fn remote_peer(&self) -> String {
+        self.inner.remote_peer.lock().clone()
+    }
+
+    /// The local framework this endpoint serves.
+    pub fn framework(&self) -> &Framework {
+        &self.inner.framework
+    }
+
+    /// The services the peer currently offers (its lease).
+    pub fn remote_services(&self) -> Vec<RemoteServiceInfo> {
+        self.inner.leases.lock().services()
+    }
+
+    /// Whether the connection has been closed (either side).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> EndpointStats {
+        let c = &self.inner.counters;
+        EndpointStats {
+            calls_sent: c.calls_sent.load(Ordering::Relaxed),
+            calls_served: c.calls_served.load(Ordering::Relaxed),
+            events_forwarded: c.events_forwarded.load(Ordering::Relaxed),
+            events_received: c.events_received.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_received: c.frames_received.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches the remote service registered under `interface`: ships the
+    /// interface, **builds the proxy bundle, installs it, and starts it**
+    /// in the local framework — the four phases Table 1 of the paper
+    /// measures. After this returns, the service is available from the
+    /// local registry under the same interface name.
+    ///
+    /// Concurrent fetches of *different* interfaces proceed in parallel;
+    /// concurrent fetches of the *same* interface are not supported (the
+    /// reply is correlated by interface name) — the later call wins and
+    /// the earlier one times out. Fetch each interface once per
+    /// connection, as AlfredO's engine does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::NoSuchRemoteService`] if the peer's lease does
+    /// not offer the interface, or transport/framework errors.
+    pub fn fetch_service(&self, interface: &str) -> Result<FetchedService, RosgiError> {
+        let inner = &self.inner;
+        if inner.closed.load(Ordering::SeqCst) {
+            return Err(RosgiError::Closed);
+        }
+        // Note: the local lease table is advisory only — lease updates
+        // arrive asynchronously, so a service registered on the peer a
+        // moment ago may not be listed yet. The peer is authoritative and
+        // answers `FetchFailed` for genuinely unknown interfaces.
+        let (tx, rx) = channel::bounded(1);
+        inner
+            .pending_fetches
+            .lock()
+            .insert(interface.to_owned(), tx);
+        if let Err(e) = inner.send(&Message::FetchService {
+            interface: interface.to_owned(),
+        }) {
+            inner.pending_fetches.lock().remove(interface);
+            return Err(e);
+        }
+        let outcome = rx
+            .recv_timeout(inner.config.invoke_timeout)
+            .map_err(|_| {
+                inner.pending_fetches.lock().remove(interface);
+                RosgiError::InvocationTimeout {
+                    interface: interface.to_owned(),
+                    method: "<fetch>".to_owned(),
+                }
+            })?;
+        let ((iface, injected, smart_spec, descriptor), transferred_bytes) = outcome?;
+
+        // Type injection.
+        {
+            let mut types = inner.types.lock();
+            for t in injected {
+                types.inject(t);
+            }
+        }
+
+        // Build the proxy (smart if offered, accepted, and resolvable).
+        let invoker: Arc<dyn Invoker> = Arc::new(EndpointInvoker {
+            inner: Arc::downgrade(inner),
+        });
+        let mut smart = false;
+        let proxy: Arc<dyn Service> = match smart_spec {
+            Some(spec)
+                if inner.config.accept_smart_proxies
+                    && inner.config.code_registry.contains_service(&spec.factory_key) =>
+            {
+                let local = inner
+                    .config
+                    .code_registry
+                    .instantiate_service(&spec.factory_key)?;
+                smart = true;
+                Arc::new(RemoteServiceProxy::new_smart(
+                    iface.clone(),
+                    invoker,
+                    local,
+                    spec.local_methods,
+                ))
+            }
+            _ => Arc::new(RemoteServiceProxy::new(iface.clone(), invoker)),
+        };
+
+        // Build the proxy bundle artifact (its encoded size is the proxy's
+        // file footprint, §4.1).
+        let mut artifact = BundleArtifact::new(Manifest::new(
+            format!("rosgi.proxy.{interface}"),
+            "1.0",
+            format!("generated proxy for {interface}"),
+        ))
+        .with_data("interface.bin", iface.encode());
+        if let Some(d) = &descriptor {
+            artifact = artifact.with_data("descriptor.bin", d.clone());
+        }
+        let proxy_footprint = artifact.footprint();
+
+        // Install + start.
+        let peer = inner.remote_peer.lock().clone();
+        let activator = Box::new(ProxyActivator {
+            interface: iface.name.clone(),
+            service: proxy,
+            peer,
+        });
+        let entries = artifact
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                alfredo_osgi::ArtifactEntry::Data { name, bytes } => {
+                    Some((name.clone(), bytes.clone()))
+                }
+                alfredo_osgi::ArtifactEntry::Activator { .. } => None,
+            })
+            .collect();
+        let bundle = inner.framework.install_with_entries(
+            artifact.manifest.symbolic_name.clone(),
+            artifact.manifest.version.clone(),
+            activator,
+            entries,
+        );
+        inner.framework.start_bundle(bundle)?;
+        inner
+            .proxy_bundles
+            .lock()
+            .insert(interface.to_owned(), bundle);
+
+        Ok(FetchedService {
+            interface: iface,
+            bundle,
+            descriptor,
+            transferred_bytes,
+            proxy_footprint,
+            smart,
+        })
+    }
+
+    /// Releases a fetched service: uninstalls its proxy bundle (AlfredO
+    /// discards interfaces "once the interaction is completed").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::NoSuchRemoteService`] if no proxy is installed
+    /// for `interface`.
+    pub fn release_service(&self, interface: &str) -> Result<(), RosgiError> {
+        let bundle = self
+            .inner
+            .proxy_bundles
+            .lock()
+            .remove(interface)
+            .ok_or_else(|| RosgiError::NoSuchRemoteService(interface.to_owned()))?;
+        self.inner.framework.uninstall(bundle)?;
+        Ok(())
+    }
+
+    /// Performs a synchronous remote invocation without a proxy (used by
+    /// proxies internally; applications normally go through the registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns the remote error, or [`RosgiError`] wrappers for transport
+    /// failures and timeouts.
+    pub fn invoke(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, RosgiError> {
+        self.inner
+            .invoke_remote_inner(interface, method, args)
+            .map_err(|e| match e {
+                ServiceCallError::Remote(msg) if msg == "timeout" => {
+                    RosgiError::InvocationTimeout {
+                        interface: interface.to_owned(),
+                        method: method.to_owned(),
+                    }
+                }
+                other => RosgiError::Call(other),
+            })
+    }
+
+    /// Sends an EventAdmin event to the peer unconditionally (bypassing
+    /// interest filtering). The peer posts it on its local bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error if the connection is closed.
+    pub fn send_event(&self, topic: &str, properties: Properties) -> Result<(), RosgiError> {
+        self.inner.send(&Message::RemoteEvent {
+            topic: topic.to_owned(),
+            properties,
+        })
+    }
+
+    /// Opens a stream to the peer and sends `data` in flow-controlled
+    /// chunks; blocks until fully sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Closed`] if the connection drops, or a
+    /// transport error.
+    pub fn send_stream(&self, name: &str, data: &[u8]) -> Result<StreamId, RosgiError> {
+        let inner = &self.inner;
+        let stream = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let gate = Arc::new(CreditGate::new());
+        inner.send_credits.lock().insert(stream, Arc::clone(&gate));
+        inner.send(&Message::StreamOpen {
+            stream,
+            name: name.to_owned(),
+        })?;
+        let chunks = chunks_of(data, inner.config.stream_chunk_size);
+        let last_idx = chunks.len() - 1;
+        for (seq, chunk) in chunks.into_iter().enumerate() {
+            if !gate.acquire(inner.config.invoke_timeout) {
+                inner.send_credits.lock().remove(&stream);
+                return Err(RosgiError::Closed);
+            }
+            inner.send(&Message::StreamChunk {
+                stream,
+                seq: seq as u64,
+                last: seq == last_idx,
+                bytes: chunk.to_vec(),
+            })?;
+        }
+        inner.send_credits.lock().remove(&stream);
+        Ok(StreamId(stream))
+    }
+
+    /// Waits for the peer to open a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Closed`] if the endpoint closes, or a
+    /// transport timeout error if none arrives in time.
+    pub fn accept_stream(&self, timeout: Duration) -> Result<StreamReceiver, RosgiError> {
+        match self.inner.incoming_streams.1.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(channel::RecvTimeoutError::Timeout) => Err(RosgiError::Transport(
+                alfredo_net::TransportError::Timeout,
+            )),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(RosgiError::Closed),
+        }
+    }
+
+    /// Round-trip liveness probe; returns the measured wall-clock RTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Closed`] on timeout or disconnection.
+    pub fn ping(&self, timeout: Duration) -> Result<Duration, RosgiError> {
+        let inner = &self.inner;
+        let nonce = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        inner.pending_pings.lock().insert(nonce, tx);
+        let start = Instant::now();
+        inner.send(&Message::Ping { nonce })?;
+        let out = rx.recv_timeout(timeout).map(|()| start.elapsed());
+        inner.pending_pings.lock().remove(&nonce);
+        out.map_err(|_| RosgiError::Closed)
+    }
+
+    /// Closes the connection: sends `Bye`, uninstalls all proxy bundles,
+    /// and releases listeners. Idempotent.
+    pub fn close(&self) {
+        let _ = self.inner.send(&Message::Bye);
+        self.inner.transport.close();
+        self.inner.cleanup();
+        if let Some(handle) = self.reader.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the connection ends (used by server accept loops).
+    pub fn join(&self) {
+        if let Some(handle) = self.reader.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for RemoteEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteEndpoint")
+            .field("local", &self.inner.config.peer_name)
+            .field("remote", &self.remote_peer())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl Drop for RemoteEndpoint {
+    fn drop(&mut self) {
+        self.inner.transport.close();
+        self.inner.cleanup();
+        // Do not join the reader here: Drop may run on the reader thread's
+        // panic path in tests; the thread exits on its own once the
+        // transport is closed.
+    }
+}
+
+/// [`Invoker`] backed by a (weakly referenced) endpoint.
+struct EndpointInvoker {
+    inner: std::sync::Weak<Inner>,
+}
+
+impl Invoker for EndpointInvoker {
+    fn invoke_remote(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceCallError> {
+        let Some(inner) = self.inner.upgrade() else {
+            return Err(ServiceCallError::ServiceGone);
+        };
+        inner.invoke_remote_inner(interface, method, args)
+    }
+}
+
+/// Activator of a generated proxy bundle: registers the proxy service on
+/// start; the framework sweeps the registration on stop.
+struct ProxyActivator {
+    interface: String,
+    service: Arc<dyn Service>,
+    peer: String,
+}
+
+impl BundleActivator for ProxyActivator {
+    fn start(&mut self, ctx: &BundleContext) -> Result<(), String> {
+        let props = Properties::new()
+            .with(Properties::REMOTE_PROXY, true)
+            .with(PROP_IMPORTED_FROM, self.peer.clone());
+        ctx.register_service(&[self.interface.as_str()], Arc::clone(&self.service), props)
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn stop(&mut self, _ctx: &BundleContext) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+impl Inner {
+    fn send(&self, msg: &Message) -> Result<(), RosgiError> {
+        let frame = msg.encode();
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.transport.send(frame)?;
+        Ok(())
+    }
+
+    /// Services worth exporting in our lease: everything that is not
+    /// itself a proxy imported from somewhere (no transitive re-export).
+    fn exportable_services(&self) -> Vec<RemoteServiceInfo> {
+        self.framework
+            .registry()
+            .all_references(None)
+            .iter()
+            .filter(|r| !r.is_remote_proxy())
+            .map(RemoteServiceInfo::from_reference)
+            .collect()
+    }
+
+    fn invoke_remote_inner(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceCallError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(ServiceCallError::ServiceGone);
+        }
+        // Validate injected struct types client-side before paying for the
+        // round trip (the server validates again on its side).
+        {
+            let types = self.types.lock();
+            for arg in args {
+                types
+                    .validate_deep(arg)
+                    .map_err(|e| ServiceCallError::BadArguments(e.to_string()))?;
+            }
+        }
+        let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        self.pending_calls.lock().insert(call_id, tx);
+        self.counters.calls_sent.fetch_add(1, Ordering::Relaxed);
+        let sent = self.send(&Message::Invoke {
+            call_id,
+            interface: interface.to_owned(),
+            method: method.to_owned(),
+            args: args.to_vec(),
+        });
+        if sent.is_err() {
+            self.pending_calls.lock().remove(&call_id);
+            return Err(ServiceCallError::ServiceGone);
+        }
+        match rx.recv_timeout(self.config.invoke_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.pending_calls.lock().remove(&call_id);
+                Err(ServiceCallError::Remote("timeout".into()))
+            }
+        }
+    }
+
+    fn on_local_service_event(&self, event: &ServiceEvent) {
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let reference = event.reference();
+        if reference.is_remote_proxy() {
+            return; // never re-export imported services
+        }
+        let msg = match event {
+            ServiceEvent::Registered(_) | ServiceEvent::Modified(_) => Message::LeaseUpdate {
+                added: vec![RemoteServiceInfo::from_reference(reference)],
+                removed: vec![],
+            },
+            ServiceEvent::Unregistering(_) => Message::LeaseUpdate {
+                added: vec![],
+                removed: vec![reference.id().as_raw()],
+            },
+        };
+        let _ = self.send(&msg);
+    }
+
+    fn on_local_event(&self, event: &Event) {
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        // Never bounce a remote-originated event back.
+        if event
+            .properties
+            .get_bool(PROP_EVENT_REMOTE)
+            .unwrap_or(false)
+        {
+            return;
+        }
+        let interested = {
+            let patterns = self.remote_event_patterns.lock();
+            patterns.iter().any(|p| topic_matches(p, &event.topic))
+        };
+        if !interested {
+            return;
+        }
+        self.counters
+            .events_forwarded
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = self.send(&Message::RemoteEvent {
+            topic: event.topic.clone(),
+            properties: event.properties.clone(),
+        });
+    }
+
+    fn handle_message(&self, msg: Message) {
+        match msg {
+            Message::Hello { peer, .. } => {
+                *self.remote_peer.lock() = peer;
+            }
+            Message::Lease { services } => {
+                self.leases.lock().reset(services);
+            }
+            Message::LeaseUpdate { added, removed } => {
+                // If a removed remote service backs one of our proxies,
+                // uninstall the proxy: consumers see the service vanish.
+                let gone_interfaces: Vec<String> = {
+                    let leases = self.leases.lock();
+                    removed
+                        .iter()
+                        .filter_map(|id| {
+                            leases
+                                .services()
+                                .into_iter()
+                                .find(|s| s.remote_id == *id)
+                        })
+                        .flat_map(|s| s.interfaces)
+                        .collect()
+                };
+                self.leases.lock().apply_update(added, &removed);
+                for iface in gone_interfaces {
+                    let bundle = self.proxy_bundles.lock().remove(&iface);
+                    if let Some(b) = bundle {
+                        let _ = self.framework.uninstall(b);
+                    }
+                }
+            }
+            Message::EventInterest { patterns } => {
+                *self.remote_event_patterns.lock() = patterns;
+            }
+            Message::FetchService { interface } => {
+                let reply = self.build_service_bundle(&interface);
+                // The serving side also records the types it ships, so it
+                // can validate struct arguments on later invocations.
+                if let Message::ServiceBundle { injected_types, .. } = &reply {
+                    let mut types = self.types.lock();
+                    for t in injected_types {
+                        types.inject(t.clone());
+                    }
+                }
+                let _ = self.send(&reply);
+            }
+            Message::ServiceBundle {
+                interface,
+                injected_types,
+                smart_proxy,
+                descriptor,
+            } => {
+                let size = Message::ServiceBundle {
+                    interface: interface.clone(),
+                    injected_types: injected_types.clone(),
+                    smart_proxy: smart_proxy.clone(),
+                    descriptor: descriptor.clone(),
+                }
+                .wire_size();
+                let waiter = self.pending_fetches.lock().remove(&interface.name);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(Ok((
+                        (interface, injected_types, smart_proxy, descriptor),
+                        size,
+                    )));
+                }
+            }
+            Message::FetchFailed { interface, reason } => {
+                let waiter = self.pending_fetches.lock().remove(&interface);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(Err(RosgiError::NoSuchRemoteService(format!(
+                        "{interface}: {reason}"
+                    ))));
+                }
+            }
+            Message::Invoke {
+                call_id,
+                interface,
+                method,
+                args,
+            } => {
+                self.counters.calls_served.fetch_add(1, Ordering::Relaxed);
+                let result = self.serve_invoke(&interface, &method, &args);
+                let _ = self.send(&Message::Response { call_id, result });
+            }
+            Message::Response { call_id, result } => {
+                let waiter = self.pending_calls.lock().remove(&call_id);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(result);
+                }
+            }
+            Message::RemoteEvent { topic, properties } => {
+                self.counters
+                    .events_received
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut props = properties;
+                props.insert(PROP_EVENT_REMOTE, true);
+                self.framework
+                    .event_admin()
+                    .post(&Event::new(topic, props));
+            }
+            Message::StreamOpen { stream, name } => {
+                let (tx, rx) = channel::unbounded();
+                self.open_streams.lock().insert(stream, tx);
+                let receiver = StreamReceiver::new(StreamId(stream), name, rx);
+                let _ = self.incoming_streams.0.send(receiver);
+                let _ = self.send(&Message::StreamCredit {
+                    stream,
+                    credits: self.config.initial_stream_credits,
+                });
+            }
+            Message::StreamChunk {
+                stream,
+                seq: _,
+                last,
+                bytes,
+            } => {
+                let sender = self.open_streams.lock().get(&stream).cloned();
+                if let Some(tx) = sender {
+                    let _ = tx.send(StreamData::Chunk(bytes));
+                    if last {
+                        let _ = tx.send(StreamData::End);
+                        self.open_streams.lock().remove(&stream);
+                    } else {
+                        let _ = self.send(&Message::StreamCredit { stream, credits: 1 });
+                    }
+                }
+            }
+            Message::StreamCredit { stream, credits } => {
+                let gate = self.send_credits.lock().get(&stream).cloned();
+                if let Some(g) = gate {
+                    g.grant(credits);
+                }
+            }
+            Message::Ping { nonce } => {
+                let _ = self.send(&Message::Pong { nonce });
+            }
+            Message::Pong { nonce } => {
+                let waiter = self.pending_pings.lock().remove(&nonce);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(());
+                }
+            }
+            Message::Bye => {
+                self.transport.close();
+            }
+        }
+    }
+
+    /// Serves a peer's invocation against the local registry.
+    fn serve_invoke(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceCallError> {
+        let service = self
+            .framework
+            .registry()
+            .get_service(interface)
+            .ok_or(ServiceCallError::ServiceGone)?;
+        // Validate injected struct types on the way in.
+        {
+            let types = self.types.lock();
+            for arg in args {
+                types
+                    .validate_deep(arg)
+                    .map_err(|e| ServiceCallError::BadArguments(e.to_string()))?;
+            }
+        }
+        service.invoke(method, args)
+    }
+
+    /// Builds the `ServiceBundle` reply for a fetch of `interface`.
+    fn build_service_bundle(&self, interface: &str) -> Message {
+        let Some(reference) = self.framework.registry().get_reference(interface) else {
+            return Message::FetchFailed {
+                interface: interface.to_owned(),
+                reason: "no such service".into(),
+            };
+        };
+        let Some(service) = self.framework.registry().get_service_by_id(reference.id()) else {
+            return Message::FetchFailed {
+                interface: interface.to_owned(),
+                reason: "service vanished".into(),
+            };
+        };
+        let Some(iface) = service.describe() else {
+            return Message::FetchFailed {
+                interface: interface.to_owned(),
+                reason: "service has no shippable interface description".into(),
+            };
+        };
+        let props = reference.properties();
+
+        // Injected types: encoded descriptor list in a property.
+        let injected_types = props
+            .get(PROP_INJECTED_TYPES)
+            .and_then(Value::as_bytes)
+            .map(decode_type_descriptors)
+            .unwrap_or_default();
+
+        // Smart proxy offer.
+        let smart_proxy = props.get_str(PROP_SMART_PROXY_KEY).map(|key| {
+            let methods = props
+                .get(PROP_SMART_PROXY_METHODS)
+                .and_then(Value::as_list)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default();
+            SmartProxySpec::new(key, methods)
+        });
+
+        let descriptor = props
+            .get(PROP_DESCRIPTOR)
+            .and_then(Value::as_bytes)
+            .map(<[u8]>::to_vec);
+
+        Message::ServiceBundle {
+            interface: iface,
+            injected_types,
+            smart_proxy,
+            descriptor,
+        }
+    }
+
+    /// Tears down all connection-scoped state. Idempotent.
+    fn cleanup(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Stop watching the local registry and event bus.
+        if let Some(listener) = self.registry_listener.lock().take() {
+            self.framework.registry().remove_listener(listener);
+        }
+        if let Some(token) = self.interest_listener.lock().take() {
+            self.framework.event_admin().remove_change_listener(token);
+        }
+        if let Some(tap) = self.event_tap.lock().take() {
+            self.framework.event_admin().remove_tap(tap);
+        }
+        // Fail outstanding calls and fetches.
+        for (_, tx) in self.pending_calls.lock().drain() {
+            let _ = tx.send(Err(ServiceCallError::ServiceGone));
+        }
+        for (_, tx) in self.pending_fetches.lock().drain() {
+            let _ = tx.send(Err(RosgiError::Closed));
+        }
+        self.pending_pings.lock().clear();
+        // Abort streams in both directions.
+        for (_, tx) in self.open_streams.lock().drain() {
+            let _ = tx.send(StreamData::Aborted);
+        }
+        self.send_credits.lock().clear();
+        // Uninstall every proxy bundle: local consumers observe ordinary
+        // service-unregistration + bundle events.
+        let bundles: Vec<BundleId> = self.proxy_bundles.lock().drain().map(|(_, b)| b).collect();
+        for b in bundles {
+            let _ = self.framework.uninstall(b);
+        }
+        self.leases.lock().reset(Vec::new());
+    }
+}
+
+fn decode_type_descriptors(bytes: &[u8]) -> Vec<TypeDescriptor> {
+    let mut r = alfredo_net::ByteReader::new(bytes);
+    let Ok(n) = r.varint() else { return Vec::new() };
+    let mut out = Vec::with_capacity((n as usize).min(256));
+    for _ in 0..n {
+        match TypeDescriptor::decode(&mut r) {
+            Ok(t) => out.push(t),
+            Err(_) => return out,
+        }
+    }
+    out
+}
+
+/// Encodes type descriptors for the [`PROP_INJECTED_TYPES`] registration
+/// property.
+pub fn encode_type_descriptors(types: &[TypeDescriptor]) -> Vec<u8> {
+    let mut w = alfredo_net::ByteWriter::new();
+    w.put_varint(types.len() as u64);
+    for t in types {
+        t.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn reader_loop(inner: Arc<Inner>) {
+    // Loop ends when recv fails: closed (Bye already handled) or dropped.
+    while let Ok(frame) = inner.transport.recv() {
+        inner
+            .counters
+            .frames_received
+            .fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .bytes_received
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        match Message::decode(&frame) {
+            Ok(msg) => inner.handle_message(msg),
+            Err(e) => {
+                // Protocol corruption: fail fast, close the link.
+                inner
+                    .framework
+                    .emit_framework(alfredo_osgi::FrameworkEvent::Error {
+                        bundle: None,
+                        message: format!("undecodable frame from peer: {e}"),
+                    });
+                inner.transport.close();
+                break;
+            }
+        }
+    }
+    inner.cleanup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_descriptor_property_round_trip() {
+        use alfredo_osgi::TypeHint;
+        let types = vec![
+            TypeDescriptor::new("a.A").with_field("x", TypeHint::I64),
+            TypeDescriptor::new("b.B").with_field("y", TypeHint::Str),
+        ];
+        let bytes = encode_type_descriptors(&types);
+        assert_eq!(decode_type_descriptors(&bytes), types);
+    }
+
+    #[test]
+    fn decode_type_descriptors_tolerates_garbage() {
+        assert!(decode_type_descriptors(&[]).is_empty());
+        assert!(decode_type_descriptors(&[0xff, 0xff]).is_empty());
+    }
+
+    #[test]
+    fn default_config_is_untrusting() {
+        let cfg = EndpointConfig::default();
+        assert!(!cfg.accept_smart_proxies, "smart proxies need opt-in");
+        assert!(cfg.forward_events);
+    }
+}

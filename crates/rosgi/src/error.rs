@@ -1,0 +1,119 @@
+//! Error types for the remote service layer.
+
+use std::fmt;
+
+use alfredo_net::{TransportError, WireError};
+use alfredo_osgi::{OsgiError, ServiceCallError};
+
+/// Errors produced by R-OSGi operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RosgiError {
+    /// The transport failed or the peer disconnected.
+    Transport(TransportError),
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// The protocol handshake failed (bad magic/version or unexpected
+    /// message).
+    Handshake(String),
+    /// The peer does not offer the requested service.
+    NoSuchRemoteService(String),
+    /// A remote invocation timed out.
+    InvocationTimeout {
+        /// The interface invoked.
+        interface: String,
+        /// The method invoked.
+        method: String,
+    },
+    /// The remote side reported a service call failure.
+    Call(ServiceCallError),
+    /// A local framework operation failed while installing a proxy.
+    Framework(OsgiError),
+    /// A struct value did not conform to an injected type descriptor.
+    TypeMismatch(String),
+    /// The endpoint is already closed.
+    Closed,
+}
+
+impl fmt::Display for RosgiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RosgiError::Transport(e) => write!(f, "transport error: {e}"),
+            RosgiError::Wire(e) => write!(f, "wire error: {e}"),
+            RosgiError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            RosgiError::NoSuchRemoteService(s) => {
+                write!(f, "peer offers no service under interface {s}")
+            }
+            RosgiError::InvocationTimeout { interface, method } => {
+                write!(f, "invocation of {interface}.{method} timed out")
+            }
+            RosgiError::Call(e) => write!(f, "remote call failed: {e}"),
+            RosgiError::Framework(e) => write!(f, "framework error: {e}"),
+            RosgiError::TypeMismatch(msg) => write!(f, "type injection mismatch: {msg}"),
+            RosgiError::Closed => write!(f, "endpoint is closed"),
+        }
+    }
+}
+
+impl std::error::Error for RosgiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RosgiError::Transport(e) => Some(e),
+            RosgiError::Wire(e) => Some(e),
+            RosgiError::Call(e) => Some(e),
+            RosgiError::Framework(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for RosgiError {
+    fn from(e: TransportError) -> Self {
+        RosgiError::Transport(e)
+    }
+}
+
+impl From<WireError> for RosgiError {
+    fn from(e: WireError) -> Self {
+        RosgiError::Wire(e)
+    }
+}
+
+impl From<OsgiError> for RosgiError {
+    fn from(e: OsgiError) -> Self {
+        RosgiError::Framework(e)
+    }
+}
+
+impl From<ServiceCallError> for RosgiError {
+    fn from(e: ServiceCallError) -> Self {
+        RosgiError::Call(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RosgiError = TransportError::Closed.into();
+        assert!(e.to_string().contains("transport"));
+        let e: RosgiError = WireError::InvalidUtf8.into();
+        assert!(e.to_string().contains("wire"));
+        let e: RosgiError = ServiceCallError::ServiceGone.into();
+        assert!(e.to_string().contains("call"));
+        let e = RosgiError::InvocationTimeout {
+            interface: "a.B".into(),
+            method: "m".into(),
+        };
+        assert!(e.to_string().contains("a.B.m"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: RosgiError = TransportError::Timeout.into();
+        assert!(e.source().is_some());
+        assert!(RosgiError::Closed.source().is_none());
+    }
+}

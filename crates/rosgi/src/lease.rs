@@ -1,0 +1,189 @@
+//! Symmetric leases.
+//!
+//! As part of the R-OSGi handshake, the two devices "exchange symmetric
+//! leases that contain the name of the services that each device offers"
+//! (paper §3.2). A lease entry describes one remote service: its
+//! interfaces, its registration properties, and the peer-side service id.
+//! Lease updates keep both views synchronized as services come and go.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use alfredo_net::{ByteReader, ByteWriter, WireError};
+use alfredo_osgi::{Properties, ServiceReference};
+
+use crate::codec::{decode_properties, encode_properties};
+
+/// One entry of a lease: a service the remote peer offers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteServiceInfo {
+    /// Interfaces the service is registered under on the remote side.
+    pub interfaces: Vec<String>,
+    /// The remote registration's properties.
+    pub properties: Properties,
+    /// The remote framework's service id.
+    pub remote_id: u64,
+}
+
+impl RemoteServiceInfo {
+    /// Builds a lease entry from a local service reference (for the
+    /// outgoing lease).
+    pub fn from_reference(reference: &ServiceReference) -> Self {
+        RemoteServiceInfo {
+            interfaces: reference.interfaces().to_vec(),
+            properties: reference.properties().clone(),
+            remote_id: reference.id().as_raw(),
+        }
+    }
+
+    /// Whether this entry offers `interface`.
+    pub fn offers(&self, interface: &str) -> bool {
+        self.interfaces.iter().any(|i| i == interface)
+    }
+
+    /// Encodes the entry into `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_varint(self.remote_id);
+        w.put_varint(self.interfaces.len() as u64);
+        for i in &self.interfaces {
+            w.put_str(i);
+        }
+        encode_properties(w, &self.properties);
+    }
+
+    /// Decodes an entry from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let remote_id = r.varint()?;
+        let n = r.varint()? as usize;
+        let mut interfaces = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            interfaces.push(r.str()?.to_owned());
+        }
+        let properties = decode_properties(r)?;
+        Ok(RemoteServiceInfo {
+            interfaces,
+            properties,
+            remote_id,
+        })
+    }
+}
+
+impl fmt::Display for RemoteServiceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remote#{}[{}]", self.remote_id, self.interfaces.join(", "))
+    }
+}
+
+/// The lease table an endpoint keeps about its peer's services.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    by_id: BTreeMap<u64, RemoteServiceInfo>,
+}
+
+impl LeaseTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LeaseTable::default()
+    }
+
+    /// Replaces the whole table with an initial lease.
+    pub fn reset(&mut self, services: Vec<RemoteServiceInfo>) {
+        self.by_id = services.into_iter().map(|s| (s.remote_id, s)).collect();
+    }
+
+    /// Applies an incremental update. Additions replace same-id entries.
+    pub fn apply_update(&mut self, added: Vec<RemoteServiceInfo>, removed: &[u64]) {
+        for id in removed {
+            self.by_id.remove(id);
+        }
+        for s in added {
+            self.by_id.insert(s.remote_id, s);
+        }
+    }
+
+    /// All entries, in remote-id order.
+    pub fn services(&self) -> Vec<RemoteServiceInfo> {
+        self.by_id.values().cloned().collect()
+    }
+
+    /// Finds the entry offering `interface`, if any (lowest id wins).
+    pub fn find(&self, interface: &str) -> Option<&RemoteServiceInfo> {
+        self.by_id.values().find(|s| s.offers(interface))
+    }
+
+    /// Number of leased services.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` if the peer offers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfredo_osgi::Value;
+
+    fn info(id: u64, iface: &str) -> RemoteServiceInfo {
+        RemoteServiceInfo {
+            interfaces: vec![iface.to_owned()],
+            properties: Properties::new().with("id", id as i64),
+            remote_id: id,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let entry = RemoteServiceInfo {
+            interfaces: vec!["a.B".into(), "a.C".into()],
+            properties: Properties::new()
+                .with("x", 1i64)
+                .with("tags", Value::from(vec!["p", "q"])),
+            remote_id: 42,
+        };
+        let mut w = ByteWriter::new();
+        entry.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(RemoteServiceInfo::decode(&mut r).unwrap(), entry);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn offers_checks_interfaces() {
+        let e = info(1, "x.Y");
+        assert!(e.offers("x.Y"));
+        assert!(!e.offers("x.Z"));
+    }
+
+    #[test]
+    fn table_reset_and_find() {
+        let mut t = LeaseTable::new();
+        assert!(t.is_empty());
+        t.reset(vec![info(1, "a.A"), info(2, "b.B")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.find("b.B").unwrap().remote_id, 2);
+        assert!(t.find("c.C").is_none());
+    }
+
+    #[test]
+    fn table_updates_add_replace_remove() {
+        let mut t = LeaseTable::new();
+        t.reset(vec![info(1, "a.A"), info(2, "b.B")]);
+        t.apply_update(vec![info(2, "b.B2"), info(3, "c.C")], &[1]);
+        assert_eq!(t.len(), 2);
+        assert!(t.find("a.A").is_none());
+        assert!(t.find("b.B2").is_some(), "id 2 replaced");
+        assert!(t.find("c.C").is_some());
+        let services = t.services();
+        assert_eq!(services.len(), 2);
+        assert!(services[0].remote_id < services[1].remote_id);
+    }
+}

@@ -1,0 +1,661 @@
+//! The R-OSGi wire protocol messages.
+//!
+//! One frame on the transport carries exactly one [`Message`]. The layout
+//! is a tag byte followed by variant-specific fields in the compact
+//! encoding of [`alfredo_net::wire`]; the benchmark harness serializes real
+//! messages with this codec to obtain the byte counts it feeds into the
+//! simulated links.
+
+use alfredo_net::{ByteReader, ByteWriter, WireError};
+use alfredo_osgi::{Properties, ServiceCallError, ServiceInterfaceDesc, Value};
+
+use crate::codec::{decode_properties, decode_value, encode_properties, encode_value};
+use crate::lease::RemoteServiceInfo;
+use crate::proxy::SmartProxySpec;
+use crate::types::TypeDescriptor;
+
+/// Protocol version spoken by this implementation.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// First message in each direction: identity + protocol version.
+    Hello {
+        /// The sender's peer name.
+        peer: String,
+        /// Protocol version.
+        version: u32,
+    },
+    /// The full list of services the sender offers (sent right after
+    /// `Hello`, and again if the peer requests a resync).
+    Lease {
+        /// Offered services.
+        services: Vec<RemoteServiceInfo>,
+    },
+    /// Incremental lease change.
+    LeaseUpdate {
+        /// Newly offered (or modified) services.
+        added: Vec<RemoteServiceInfo>,
+        /// Remote ids no longer offered.
+        removed: Vec<u64>,
+    },
+    /// The sender's EventAdmin subscription patterns, so the peer knows
+    /// which events are worth forwarding.
+    EventInterest {
+        /// Topic patterns (see [`alfredo_osgi::events::topic_matches`]).
+        patterns: Vec<String>,
+    },
+    /// Request to ship the service registered under `interface`.
+    FetchService {
+        /// Interface name.
+        interface: String,
+    },
+    /// The shipped service: interface, injected types, optional smart-proxy
+    /// spec, and an optional opaque application descriptor (AlfredO's
+    /// service descriptor rides here).
+    ServiceBundle {
+        /// The shipped method table.
+        interface: ServiceInterfaceDesc,
+        /// Struct types referenced by the interface.
+        injected_types: Vec<TypeDescriptor>,
+        /// Present if the service offers a smart proxy.
+        smart_proxy: Option<SmartProxySpec>,
+        /// Opaque application payload (e.g. an AlfredO descriptor).
+        descriptor: Option<Vec<u8>>,
+    },
+    /// The peer could not ship the requested service.
+    FetchFailed {
+        /// Interface name.
+        interface: String,
+        /// Reason.
+        reason: String,
+    },
+    /// A synchronous invocation request.
+    Invoke {
+        /// Correlation id, unique per outstanding call per direction.
+        call_id: u64,
+        /// Target interface.
+        interface: String,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// The response to an [`Message::Invoke`].
+    Response {
+        /// Correlation id.
+        call_id: u64,
+        /// Outcome.
+        result: Result<Value, ServiceCallError>,
+    },
+    /// A forwarded EventAdmin event.
+    RemoteEvent {
+        /// Topic.
+        topic: String,
+        /// Payload.
+        properties: Properties,
+    },
+    /// Opens a byte stream (high-volume transfer).
+    StreamOpen {
+        /// Stream id, allocated by the sender.
+        stream: u64,
+        /// Application-level stream name.
+        name: String,
+    },
+    /// One chunk of a stream.
+    StreamChunk {
+        /// Stream id.
+        stream: u64,
+        /// Chunk sequence number, starting at 0.
+        seq: u64,
+        /// Whether this is the final chunk.
+        last: bool,
+        /// Chunk payload.
+        bytes: Vec<u8>,
+    },
+    /// Flow-control: grants the sender permission for more chunks.
+    StreamCredit {
+        /// Stream id.
+        stream: u64,
+        /// Additional chunks permitted.
+        credits: u32,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echo payload.
+        nonce: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echoed payload.
+        nonce: u64,
+    },
+    /// Orderly shutdown of the connection.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_LEASE: u8 = 2;
+const TAG_LEASE_UPDATE: u8 = 3;
+const TAG_EVENT_INTEREST: u8 = 4;
+const TAG_FETCH_SERVICE: u8 = 5;
+const TAG_SERVICE_BUNDLE: u8 = 6;
+const TAG_FETCH_FAILED: u8 = 7;
+const TAG_INVOKE: u8 = 8;
+const TAG_RESPONSE: u8 = 9;
+const TAG_REMOTE_EVENT: u8 = 10;
+const TAG_STREAM_OPEN: u8 = 11;
+const TAG_STREAM_CHUNK: u8 = 12;
+const TAG_STREAM_CREDIT: u8 = 13;
+const TAG_PING: u8 = 14;
+const TAG_PONG: u8 = 15;
+const TAG_BYE: u8 = 16;
+
+const ERR_NO_SUCH_METHOD: u8 = 0;
+const ERR_BAD_ARGUMENTS: u8 = 1;
+const ERR_FAILED: u8 = 2;
+const ERR_SERVICE_GONE: u8 = 3;
+const ERR_REMOTE: u8 = 4;
+
+impl Message {
+    /// Encodes the message into a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Message::Hello { peer, version } => {
+                w.put_u8(TAG_HELLO);
+                w.put_str(peer);
+                w.put_u32(*version);
+            }
+            Message::Lease { services } => {
+                w.put_u8(TAG_LEASE);
+                w.put_varint(services.len() as u64);
+                for s in services {
+                    s.encode(&mut w);
+                }
+            }
+            Message::LeaseUpdate { added, removed } => {
+                w.put_u8(TAG_LEASE_UPDATE);
+                w.put_varint(added.len() as u64);
+                for s in added {
+                    s.encode(&mut w);
+                }
+                w.put_varint(removed.len() as u64);
+                for id in removed {
+                    w.put_varint(*id);
+                }
+            }
+            Message::EventInterest { patterns } => {
+                w.put_u8(TAG_EVENT_INTEREST);
+                w.put_varint(patterns.len() as u64);
+                for p in patterns {
+                    w.put_str(p);
+                }
+            }
+            Message::FetchService { interface } => {
+                w.put_u8(TAG_FETCH_SERVICE);
+                w.put_str(interface);
+            }
+            Message::ServiceBundle {
+                interface,
+                injected_types,
+                smart_proxy,
+                descriptor,
+            } => {
+                w.put_u8(TAG_SERVICE_BUNDLE);
+                w.put_bytes(&interface.encode());
+                w.put_varint(injected_types.len() as u64);
+                for t in injected_types {
+                    t.encode(&mut w);
+                }
+                match smart_proxy {
+                    Some(spec) => {
+                        w.put_bool(true);
+                        spec.encode(&mut w);
+                    }
+                    None => w.put_bool(false),
+                }
+                match descriptor {
+                    Some(d) => {
+                        w.put_bool(true);
+                        w.put_bytes(d);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            Message::FetchFailed { interface, reason } => {
+                w.put_u8(TAG_FETCH_FAILED);
+                w.put_str(interface);
+                w.put_str(reason);
+            }
+            Message::Invoke {
+                call_id,
+                interface,
+                method,
+                args,
+            } => {
+                w.put_u8(TAG_INVOKE);
+                w.put_varint(*call_id);
+                w.put_str(interface);
+                w.put_str(method);
+                w.put_varint(args.len() as u64);
+                for a in args {
+                    encode_value(&mut w, a);
+                }
+            }
+            Message::Response { call_id, result } => {
+                w.put_u8(TAG_RESPONSE);
+                w.put_varint(*call_id);
+                match result {
+                    Ok(v) => {
+                        w.put_bool(true);
+                        encode_value(&mut w, v);
+                    }
+                    Err(e) => {
+                        w.put_bool(false);
+                        encode_call_error(&mut w, e);
+                    }
+                }
+            }
+            Message::RemoteEvent { topic, properties } => {
+                w.put_u8(TAG_REMOTE_EVENT);
+                w.put_str(topic);
+                encode_properties(&mut w, properties);
+            }
+            Message::StreamOpen { stream, name } => {
+                w.put_u8(TAG_STREAM_OPEN);
+                w.put_varint(*stream);
+                w.put_str(name);
+            }
+            Message::StreamChunk {
+                stream,
+                seq,
+                last,
+                bytes,
+            } => {
+                w.put_u8(TAG_STREAM_CHUNK);
+                w.put_varint(*stream);
+                w.put_varint(*seq);
+                w.put_bool(*last);
+                w.put_bytes(bytes);
+            }
+            Message::StreamCredit { stream, credits } => {
+                w.put_u8(TAG_STREAM_CREDIT);
+                w.put_varint(*stream);
+                w.put_u32(*credits);
+            }
+            Message::Ping { nonce } => {
+                w.put_u8(TAG_PING);
+                w.put_u64(*nonce);
+            }
+            Message::Pong { nonce } => {
+                w.put_u8(TAG_PONG);
+                w.put_u64(*nonce);
+            }
+            Message::Bye => w.put_u8(TAG_BYE),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        let mut r = ByteReader::new(frame);
+        let msg = Self::decode_body(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::InvalidTag {
+                context: "Message (trailing bytes)",
+                tag: 0,
+            });
+        }
+        Ok(msg)
+    }
+
+    fn decode_body(r: &mut ByteReader<'_>) -> Result<Message, WireError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            TAG_HELLO => Message::Hello {
+                peer: r.str()?.to_owned(),
+                version: r.u32()?,
+            },
+            TAG_LEASE => {
+                let n = r.varint()? as usize;
+                let mut services = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    services.push(RemoteServiceInfo::decode(r)?);
+                }
+                Message::Lease { services }
+            }
+            TAG_LEASE_UPDATE => {
+                let n = r.varint()? as usize;
+                let mut added = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    added.push(RemoteServiceInfo::decode(r)?);
+                }
+                let m = r.varint()? as usize;
+                let mut removed = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    removed.push(r.varint()?);
+                }
+                Message::LeaseUpdate { added, removed }
+            }
+            TAG_EVENT_INTEREST => {
+                let n = r.varint()? as usize;
+                let mut patterns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    patterns.push(r.str()?.to_owned());
+                }
+                Message::EventInterest { patterns }
+            }
+            TAG_FETCH_SERVICE => Message::FetchService {
+                interface: r.str()?.to_owned(),
+            },
+            TAG_SERVICE_BUNDLE => {
+                let iface_bytes = r.bytes()?;
+                let interface = ServiceInterfaceDesc::decode(iface_bytes)?;
+                let n = r.varint()? as usize;
+                let mut injected_types = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    injected_types.push(TypeDescriptor::decode(r)?);
+                }
+                let smart_proxy = if r.bool()? {
+                    Some(SmartProxySpec::decode(r)?)
+                } else {
+                    None
+                };
+                let descriptor = if r.bool()? {
+                    Some(r.bytes()?.to_vec())
+                } else {
+                    None
+                };
+                Message::ServiceBundle {
+                    interface,
+                    injected_types,
+                    smart_proxy,
+                    descriptor,
+                }
+            }
+            TAG_FETCH_FAILED => Message::FetchFailed {
+                interface: r.str()?.to_owned(),
+                reason: r.str()?.to_owned(),
+            },
+            TAG_INVOKE => {
+                let call_id = r.varint()?;
+                let interface = r.str()?.to_owned();
+                let method = r.str()?.to_owned();
+                let n = r.varint()? as usize;
+                let mut args = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    args.push(decode_value(r)?);
+                }
+                Message::Invoke {
+                    call_id,
+                    interface,
+                    method,
+                    args,
+                }
+            }
+            TAG_RESPONSE => {
+                let call_id = r.varint()?;
+                let result = if r.bool()? {
+                    Ok(decode_value(r)?)
+                } else {
+                    Err(decode_call_error(r)?)
+                };
+                Message::Response { call_id, result }
+            }
+            TAG_REMOTE_EVENT => Message::RemoteEvent {
+                topic: r.str()?.to_owned(),
+                properties: decode_properties(r)?,
+            },
+            TAG_STREAM_OPEN => Message::StreamOpen {
+                stream: r.varint()?,
+                name: r.str()?.to_owned(),
+            },
+            TAG_STREAM_CHUNK => Message::StreamChunk {
+                stream: r.varint()?,
+                seq: r.varint()?,
+                last: r.bool()?,
+                bytes: r.bytes()?.to_vec(),
+            },
+            TAG_STREAM_CREDIT => Message::StreamCredit {
+                stream: r.varint()?,
+                credits: r.u32()?,
+            },
+            TAG_PING => Message::Ping { nonce: r.u64()? },
+            TAG_PONG => Message::Pong { nonce: r.u64()? },
+            TAG_BYE => Message::Bye,
+            other => {
+                return Err(WireError::InvalidTag {
+                    context: "Message",
+                    tag: other,
+                })
+            }
+        })
+    }
+
+    /// The encoded size of this message in bytes (payload only, without
+    /// link-level overhead). Used by the benchmark harness.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+fn encode_call_error(w: &mut ByteWriter, e: &ServiceCallError) {
+    match e {
+        ServiceCallError::NoSuchMethod(m) => {
+            w.put_u8(ERR_NO_SUCH_METHOD);
+            w.put_str(m);
+        }
+        ServiceCallError::BadArguments(m) => {
+            w.put_u8(ERR_BAD_ARGUMENTS);
+            w.put_str(m);
+        }
+        ServiceCallError::Failed(m) => {
+            w.put_u8(ERR_FAILED);
+            w.put_str(m);
+        }
+        ServiceCallError::ServiceGone => w.put_u8(ERR_SERVICE_GONE),
+        ServiceCallError::Remote(m) => {
+            w.put_u8(ERR_REMOTE);
+            w.put_str(m);
+        }
+    }
+}
+
+fn decode_call_error(r: &mut ByteReader<'_>) -> Result<ServiceCallError, WireError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        ERR_NO_SUCH_METHOD => ServiceCallError::NoSuchMethod(r.str()?.to_owned()),
+        ERR_BAD_ARGUMENTS => ServiceCallError::BadArguments(r.str()?.to_owned()),
+        ERR_FAILED => ServiceCallError::Failed(r.str()?.to_owned()),
+        ERR_SERVICE_GONE => ServiceCallError::ServiceGone,
+        ERR_REMOTE => ServiceCallError::Remote(r.str()?.to_owned()),
+        other => {
+            return Err(WireError::InvalidTag {
+                context: "ServiceCallError",
+                tag: other,
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfredo_osgi::{MethodSpec, ParamSpec, TypeHint};
+
+    fn sample_messages() -> Vec<Message> {
+        let iface = ServiceInterfaceDesc::new(
+            "t.Svc",
+            vec![MethodSpec::new(
+                "m",
+                vec![ParamSpec::new("x", TypeHint::I64)],
+                TypeHint::Str,
+                "doc",
+            )],
+        );
+        vec![
+            Message::Hello {
+                peer: "phone".into(),
+                version: PROTOCOL_VERSION,
+            },
+            Message::Lease {
+                services: vec![RemoteServiceInfo {
+                    interfaces: vec!["a.B".into()],
+                    properties: Properties::new().with("k", 1i64),
+                    remote_id: 3,
+                }],
+            },
+            Message::LeaseUpdate {
+                added: vec![],
+                removed: vec![1, 2, 3],
+            },
+            Message::EventInterest {
+                patterns: vec!["mouse/*".into()],
+            },
+            Message::FetchService {
+                interface: "a.B".into(),
+            },
+            Message::ServiceBundle {
+                interface: iface.clone(),
+                injected_types: vec![TypeDescriptor::new("p.T").with_field("f", TypeHint::I64)],
+                smart_proxy: Some(SmartProxySpec::new("key", vec!["m".into()])),
+                descriptor: Some(vec![1, 2, 3]),
+            },
+            Message::ServiceBundle {
+                interface: iface,
+                injected_types: vec![],
+                smart_proxy: None,
+                descriptor: None,
+            },
+            Message::FetchFailed {
+                interface: "a.B".into(),
+                reason: "not offered".into(),
+            },
+            Message::Invoke {
+                call_id: 77,
+                interface: "a.B".into(),
+                method: "m".into(),
+                args: vec![Value::I64(1), Value::from("s")],
+            },
+            Message::Response {
+                call_id: 77,
+                result: Ok(Value::from("out")),
+            },
+            Message::Response {
+                call_id: 78,
+                result: Err(ServiceCallError::NoSuchMethod("z".into())),
+            },
+            Message::Response {
+                call_id: 79,
+                result: Err(ServiceCallError::ServiceGone),
+            },
+            Message::RemoteEvent {
+                topic: "mouse/snapshot".into(),
+                properties: Properties::new().with("seq", 5i64),
+            },
+            Message::StreamOpen {
+                stream: 1,
+                name: "snapshot".into(),
+            },
+            Message::StreamChunk {
+                stream: 1,
+                seq: 0,
+                last: false,
+                bytes: vec![0; 100],
+            },
+            Message::StreamCredit {
+                stream: 1,
+                credits: 4,
+            },
+            Message::Ping { nonce: 0xdead },
+            Message::Pong { nonce: 0xdead },
+            Message::Bye,
+        ]
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        for msg in sample_messages() {
+            let frame = msg.encode();
+            let back = Message::decode(&frame).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Message::Bye.encode();
+        frame.push(0);
+        assert!(Message::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Message::decode(&[0xee]),
+            Err(WireError::InvalidTag { .. })
+        ));
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for msg in sample_messages() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                let _ = Message::decode(&frame[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn invoke_message_is_small() {
+        // The paper's scalability figures involve tiny invocation messages;
+        // ours must also be tens of bytes, not kilobytes.
+        let m = Message::Invoke {
+            call_id: 1,
+            interface: "apps.MouseController".into(),
+            method: "move".into(),
+            args: vec![Value::I64(5), Value::I64(-3)],
+        };
+        assert!(m.wire_size() < 64, "{}", m.wire_size());
+    }
+
+    #[test]
+    fn service_bundle_carries_the_two_kilobyte_payload() {
+        // Table 1: "about 2 kBytes" shipped per application. A realistic
+        // interface with descriptor payload should be in that ballpark.
+        let methods: Vec<MethodSpec> = (0..10)
+            .map(|i| {
+                MethodSpec::new(
+                    format!("method_{i}"),
+                    vec![
+                        ParamSpec::new("a", TypeHint::I64),
+                        ParamSpec::new("b", TypeHint::Str),
+                    ],
+                    TypeHint::Map,
+                    "A method of the shipped interface with documentation.",
+                )
+            })
+            .collect();
+        let m = Message::ServiceBundle {
+            interface: ServiceInterfaceDesc::new("apps.AlfredOShop", methods),
+            injected_types: vec![
+                TypeDescriptor::new("shop.Product")
+                    .with_field("name", TypeHint::Str)
+                    .with_field("price", TypeHint::I64)
+                    .with_field("details", TypeHint::Map),
+            ],
+            smart_proxy: None,
+            descriptor: Some(vec![0u8; 1024]),
+        };
+        let size = m.wire_size();
+        assert!((1_200..4_096).contains(&size), "bundle size {size}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Service proxies and smart proxies.
+//!
+//! When a client fetches a remote service, the endpoint *builds a proxy*
+//! from the shipped interface description and registers it with the local
+//! registry, so "remote modules invoke service functions as if they were
+//! locally implemented" (paper §2.1).
+//!
+//! A **smart proxy** moves part of the service to the client: methods in
+//! the smart set run locally on a statically compiled implementation
+//! (resolved from the [`alfredo_osgi::CodeRegistry`] by factory key);
+//! everything else delegates over the network — the R-OSGi analogue of an
+//! abstract class whose implemented methods run client-side.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use alfredo_net::{ByteReader, ByteWriter, WireError};
+use alfredo_osgi::{Service, ServiceCallError, ServiceInterfaceDesc, Value};
+
+/// The component that carries an invocation to the remote peer.
+/// Implemented by [`crate::RemoteEndpoint`]; abstracted so proxies are unit
+/// testable.
+pub trait Invoker: Send + Sync {
+    /// Performs a synchronous remote invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the remote service's error, or
+    /// [`ServiceCallError::Remote`]/[`ServiceCallError::ServiceGone`] for
+    /// transport-level failures.
+    fn invoke_remote(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceCallError>;
+}
+
+/// The shipped specification of a smart proxy: which factory key provides
+/// the local half, and which methods it implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmartProxySpec {
+    /// Key into the client's `CodeRegistry` service-factory table.
+    pub factory_key: String,
+    /// Methods that execute locally; all others delegate to the remote.
+    pub local_methods: Vec<String>,
+}
+
+impl SmartProxySpec {
+    /// Creates a spec.
+    pub fn new(factory_key: impl Into<String>, local_methods: Vec<String>) -> Self {
+        SmartProxySpec {
+            factory_key: factory_key.into(),
+            local_methods,
+        }
+    }
+
+    /// Encodes the spec into `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.factory_key);
+        w.put_varint(self.local_methods.len() as u64);
+        for m in &self.local_methods {
+            w.put_str(m);
+        }
+    }
+
+    /// Decodes a spec from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let factory_key = r.str()?.to_owned();
+        let n = r.varint()? as usize;
+        let mut local_methods = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            local_methods.push(r.str()?.to_owned());
+        }
+        Ok(SmartProxySpec {
+            factory_key,
+            local_methods,
+        })
+    }
+}
+
+/// A generated proxy for one remote service.
+///
+/// Invocations are checked against the shipped interface (arity and type
+/// hints) *before* going on the wire — failing fast on the client exactly
+/// like a generated JVM proxy whose method signatures would not compile.
+pub struct RemoteServiceProxy {
+    interface: ServiceInterfaceDesc,
+    invoker: Arc<dyn Invoker>,
+    smart_local: Option<(Arc<dyn Service>, HashSet<String>)>,
+}
+
+impl RemoteServiceProxy {
+    /// Creates a plain delegating proxy.
+    pub fn new(interface: ServiceInterfaceDesc, invoker: Arc<dyn Invoker>) -> Self {
+        RemoteServiceProxy {
+            interface,
+            invoker,
+            smart_local: None,
+        }
+    }
+
+    /// Creates a smart proxy: `local_methods` are served by `local`, the
+    /// rest delegate remotely.
+    pub fn new_smart(
+        interface: ServiceInterfaceDesc,
+        invoker: Arc<dyn Invoker>,
+        local: Arc<dyn Service>,
+        local_methods: impl IntoIterator<Item = String>,
+    ) -> Self {
+        RemoteServiceProxy {
+            interface,
+            invoker,
+            smart_local: Some((local, local_methods.into_iter().collect())),
+        }
+    }
+
+    /// The interface this proxy implements.
+    pub fn interface(&self) -> &ServiceInterfaceDesc {
+        &self.interface
+    }
+
+    /// Whether this proxy runs any methods locally.
+    pub fn is_smart(&self) -> bool {
+        self.smart_local.is_some()
+    }
+
+    /// Whether `method` would execute locally.
+    pub fn is_local_method(&self, method: &str) -> bool {
+        self.smart_local
+            .as_ref()
+            .is_some_and(|(_, set)| set.contains(method))
+    }
+}
+
+impl Service for RemoteServiceProxy {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        // Client-side checking against the shipped interface.
+        let spec = self
+            .interface
+            .method(method)
+            .ok_or_else(|| ServiceCallError::NoSuchMethod(method.to_owned()))?;
+        spec.check_args(args)?;
+        if let Some((local, set)) = &self.smart_local {
+            if set.contains(method) {
+                return local.invoke(method, args);
+            }
+        }
+        self.invoker
+            .invoke_remote(&self.interface.name, method, args)
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(self.interface.clone())
+    }
+}
+
+impl fmt::Debug for RemoteServiceProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteServiceProxy")
+            .field("interface", &self.interface.name)
+            .field("smart", &self.is_smart())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfredo_osgi::{FnService, MethodSpec, ParamSpec, TypeHint};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingInvoker {
+        calls: AtomicUsize,
+    }
+
+    impl Invoker for CountingInvoker {
+        fn invoke_remote(
+            &self,
+            _interface: &str,
+            method: &str,
+            _args: &[Value],
+        ) -> Result<Value, ServiceCallError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::from(format!("remote:{method}")))
+        }
+    }
+
+    fn iface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            "t.Svc",
+            vec![
+                MethodSpec::new(
+                    "compute",
+                    vec![ParamSpec::new("x", TypeHint::I64)],
+                    TypeHint::Str,
+                    "",
+                ),
+                MethodSpec::new("cached", vec![], TypeHint::Str, ""),
+            ],
+        )
+    }
+
+    #[test]
+    fn plain_proxy_delegates_everything() {
+        let invoker = Arc::new(CountingInvoker {
+            calls: AtomicUsize::new(0),
+        });
+        let proxy = RemoteServiceProxy::new(iface(), Arc::clone(&invoker) as _);
+        assert!(!proxy.is_smart());
+        let out = proxy.invoke("compute", &[Value::I64(3)]).unwrap();
+        assert_eq!(out, Value::from("remote:compute"));
+        assert_eq!(invoker.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn proxy_checks_args_before_wire() {
+        let invoker = Arc::new(CountingInvoker {
+            calls: AtomicUsize::new(0),
+        });
+        let proxy = RemoteServiceProxy::new(iface(), Arc::clone(&invoker) as _);
+        // Unknown method: rejected locally.
+        assert!(matches!(
+            proxy.invoke("nope", &[]),
+            Err(ServiceCallError::NoSuchMethod(_))
+        ));
+        // Bad arity: rejected locally.
+        assert!(matches!(
+            proxy.invoke("compute", &[]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        // Bad type: rejected locally.
+        assert!(matches!(
+            proxy.invoke("compute", &[Value::from("s")]),
+            Err(ServiceCallError::BadArguments(_))
+        ));
+        // Nothing went over the wire.
+        assert_eq!(invoker.calls.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn smart_proxy_splits_local_and_remote() {
+        let invoker = Arc::new(CountingInvoker {
+            calls: AtomicUsize::new(0),
+        });
+        let local = Arc::new(FnService::new(|m, _| Ok(Value::from(format!("local:{m}")))));
+        let proxy = RemoteServiceProxy::new_smart(
+            iface(),
+            Arc::clone(&invoker) as _,
+            local,
+            ["cached".to_owned()],
+        );
+        assert!(proxy.is_smart());
+        assert!(proxy.is_local_method("cached"));
+        assert!(!proxy.is_local_method("compute"));
+        assert_eq!(proxy.invoke("cached", &[]).unwrap(), Value::from("local:cached"));
+        assert_eq!(invoker.calls.load(Ordering::SeqCst), 0);
+        assert_eq!(
+            proxy.invoke("compute", &[Value::I64(1)]).unwrap(),
+            Value::from("remote:compute")
+        );
+        assert_eq!(invoker.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn proxy_describes_the_shipped_interface() {
+        let invoker = Arc::new(CountingInvoker {
+            calls: AtomicUsize::new(0),
+        });
+        let proxy = RemoteServiceProxy::new(iface(), invoker as _);
+        assert_eq!(proxy.describe().unwrap().name, "t.Svc");
+    }
+
+    #[test]
+    fn smart_spec_round_trips() {
+        let spec = SmartProxySpec::new("shop.logic/v2", vec!["compare".into(), "sort".into()]);
+        let mut w = ByteWriter::new();
+        spec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(SmartProxySpec::decode(&mut r).unwrap(), spec);
+    }
+}

@@ -1,0 +1,208 @@
+//! Stream proxies: credit-based chunked bulk transfer.
+//!
+//! R-OSGi supports "high-volume data exchange through transparent stream
+//! proxies" (paper §3.2). A stream is a sequence of chunk messages governed
+//! by credits: the receiver grants the sender permission for a bounded
+//! number of in-flight chunks, so a fast sender (the MouseController's
+//! screen snapshots) cannot flood a slow link — mirroring how the paper's
+//! application "sends updates whenever there is enough bandwidth".
+
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::RosgiError;
+
+/// Identifier of a stream within one endpoint's connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// Default number of chunks the receiver lets the sender keep in flight.
+pub const DEFAULT_INITIAL_CREDITS: u32 = 8;
+
+/// Default chunk size in bytes.
+pub const DEFAULT_CHUNK_SIZE: usize = 16 * 1024;
+
+pub(crate) enum StreamData {
+    Chunk(Vec<u8>),
+    End,
+    Aborted,
+}
+
+/// The receiving end of an incoming stream.
+///
+/// Obtained from [`crate::RemoteEndpoint::accept_stream`]; chunks arrive as
+/// the sender produces them and flow control credits are granted
+/// automatically as the endpoint receives chunks.
+pub struct StreamReceiver {
+    id: StreamId,
+    name: String,
+    rx: Receiver<StreamData>,
+}
+
+impl StreamReceiver {
+    pub(crate) fn new(id: StreamId, name: String, rx: Receiver<StreamData>) -> Self {
+        StreamReceiver { id, name, rx }
+    }
+
+    /// The stream's id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The application-level stream name from `StreamOpen`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Receives the next chunk, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::InvocationTimeout`]-free errors: a timeout
+    /// maps to [`RosgiError::Closed`] only when the endpoint died;
+    /// otherwise a plain timeout error via
+    /// [`RosgiError::Transport`].
+    pub fn recv_chunk(&self, timeout: Duration) -> Result<Option<Vec<u8>>, RosgiError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(StreamData::Chunk(bytes)) => Ok(Some(bytes)),
+            Ok(StreamData::End) => Ok(None),
+            Ok(StreamData::Aborted) => Err(RosgiError::Closed),
+            Err(RecvTimeoutError::Timeout) => Err(RosgiError::Transport(
+                alfredo_net::TransportError::Timeout,
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(RosgiError::Closed),
+        }
+    }
+
+    /// Collects the whole stream into one buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Self::recv_chunk`] error.
+    pub fn read_to_end(&self, per_chunk_timeout: Duration) -> Result<Vec<u8>, RosgiError> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.recv_chunk(per_chunk_timeout)? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for StreamReceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamReceiver")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// A counting semaphore for send credits, built on an unbounded channel.
+pub(crate) struct CreditGate {
+    tx: Sender<()>,
+    rx: Receiver<()>,
+}
+
+impl CreditGate {
+    pub(crate) fn new() -> Self {
+        let (tx, rx) = channel::unbounded();
+        CreditGate { tx, rx }
+    }
+
+    /// Grants `n` credits.
+    pub(crate) fn grant(&self, n: u32) {
+        for _ in 0..n {
+            // Send on an unbounded channel we also hold the receiver of
+            // cannot fail.
+            let _ = self.tx.send(());
+        }
+    }
+
+    /// Takes one credit, waiting up to `timeout`.
+    pub(crate) fn acquire(&self, timeout: Duration) -> bool {
+        self.rx.recv_timeout(timeout).is_ok()
+    }
+}
+
+/// Splits `data` into chunks of at most `chunk_size` bytes; always yields
+/// at least one (possibly empty) chunk so zero-length streams terminate.
+pub(crate) fn chunks_of(data: &[u8], chunk_size: usize) -> Vec<&[u8]> {
+    assert!(chunk_size > 0, "chunk_size must be nonzero");
+    if data.is_empty() {
+        return vec![&[]];
+    }
+    data.chunks(chunk_size).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_all_bytes() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let chunks = chunks_of(&data, 30);
+        assert_eq!(chunks.len(), 4);
+        let rejoined: Vec<u8> = chunks.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn empty_data_yields_one_empty_chunk() {
+        let chunks = chunks_of(&[], 10);
+        assert_eq!(chunks, vec![&[] as &[u8]]);
+    }
+
+    #[test]
+    fn credit_gate_counts() {
+        let gate = CreditGate::new();
+        gate.grant(2);
+        assert!(gate.acquire(Duration::from_millis(1)));
+        assert!(gate.acquire(Duration::from_millis(1)));
+        assert!(!gate.acquire(Duration::from_millis(1)));
+        gate.grant(1);
+        assert!(gate.acquire(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn receiver_reads_to_end() {
+        let (tx, rx) = channel::unbounded();
+        let receiver = StreamReceiver::new(StreamId(1), "snap".into(), rx);
+        tx.send(StreamData::Chunk(vec![1, 2])).unwrap();
+        tx.send(StreamData::Chunk(vec![3])).unwrap();
+        tx.send(StreamData::End).unwrap();
+        assert_eq!(receiver.name(), "snap");
+        assert_eq!(receiver.id(), StreamId(1));
+        let all = receiver.read_to_end(Duration::from_millis(100)).unwrap();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn receiver_reports_abort() {
+        let (tx, rx) = channel::unbounded();
+        let receiver = StreamReceiver::new(StreamId(2), "x".into(), rx);
+        tx.send(StreamData::Aborted).unwrap();
+        assert_eq!(
+            receiver.recv_chunk(Duration::from_millis(50)).unwrap_err(),
+            RosgiError::Closed
+        );
+    }
+
+    #[test]
+    fn receiver_times_out_without_data() {
+        let (_tx, rx) = channel::unbounded();
+        let receiver = StreamReceiver::new(StreamId(3), "x".into(), rx);
+        assert!(matches!(
+            receiver.recv_chunk(Duration::from_millis(10)),
+            Err(RosgiError::Transport(_))
+        ));
+    }
+}

@@ -1,0 +1,348 @@
+//! Type injection.
+//!
+//! When a service interface references types provided by the service's
+//! module, R-OSGi ships the corresponding classes and injects them into the
+//! proxy module. Rust cannot ship classes, so the faithful data-level
+//! analogue is shipped **type descriptors**: named field schemas against
+//! which struct-shaped [`Value`]s are validated on both ends of the wire.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use alfredo_net::{ByteReader, ByteWriter, WireError};
+use alfredo_osgi::{TypeHint, Value};
+
+use crate::error::RosgiError;
+
+/// A shipped description of a struct type.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_osgi::{TypeHint, Value};
+/// use alfredo_rosgi::TypeDescriptor;
+///
+/// let td = TypeDescriptor::new("shop.Product")
+///     .with_field("name", TypeHint::Str)
+///     .with_field("price", TypeHint::I64);
+/// let ok = Value::structure("shop.Product", [
+///     ("name", Value::from("bed")),
+///     ("price", Value::from(499i64)),
+/// ]);
+/// assert!(td.validate(&ok).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDescriptor {
+    name: String,
+    fields: Vec<(String, TypeHint)>,
+}
+
+impl TypeDescriptor {
+    /// Creates a descriptor with no fields.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeDescriptor {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style: appends a field.
+    pub fn with_field(mut self, name: impl Into<String>, hint: TypeHint) -> Self {
+        self.fields.push((name.into(), hint));
+        self
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field schema.
+    pub fn fields(&self) -> &[(String, TypeHint)] {
+        &self.fields
+    }
+
+    /// Validates that `value` is a struct of this type with conforming
+    /// fields (extra fields are rejected; missing fields are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::TypeMismatch`] describing the first problem.
+    pub fn validate(&self, value: &Value) -> Result<(), RosgiError> {
+        let Value::Struct { type_name, fields } = value else {
+            return Err(RosgiError::TypeMismatch(format!(
+                "expected struct {}, got {}",
+                self.name,
+                value.type_name()
+            )));
+        };
+        if *type_name != self.name {
+            return Err(RosgiError::TypeMismatch(format!(
+                "expected struct {}, got struct {type_name}",
+                self.name
+            )));
+        }
+        for (fname, hint) in &self.fields {
+            let Some(fv) = fields.get(fname) else {
+                return Err(RosgiError::TypeMismatch(format!(
+                    "{}: missing field '{fname}'",
+                    self.name
+                )));
+            };
+            if !hint.admits(fv) {
+                return Err(RosgiError::TypeMismatch(format!(
+                    "{}.{fname}: expected {hint:?}, got {}",
+                    self.name,
+                    fv.type_name()
+                )));
+            }
+        }
+        if fields.len() != self.fields.len() {
+            let extra: Vec<&str> = fields
+                .keys()
+                .filter(|k| !self.fields.iter().any(|(f, _)| f == *k))
+                .map(String::as_str)
+                .collect();
+            return Err(RosgiError::TypeMismatch(format!(
+                "{}: unexpected field(s) {}",
+                self.name,
+                extra.join(", ")
+            )));
+        }
+        Ok(())
+    }
+
+    /// Encodes the descriptor into `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.name);
+        w.put_varint(self.fields.len() as u64);
+        for (fname, hint) in &self.fields {
+            w.put_str(fname);
+            w.put_u8(hint_tag(*hint));
+        }
+    }
+
+    /// Decodes a descriptor from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let name = r.str()?.to_owned();
+        let n = r.varint()? as usize;
+        let mut fields = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            let fname = r.str()?.to_owned();
+            let hint = hint_from_tag(r.u8()?)?;
+            fields.push((fname, hint));
+        }
+        Ok(TypeDescriptor { name, fields })
+    }
+}
+
+impl fmt::Display for TypeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{ ", self.name)?;
+        for (i, (fname, hint)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fname}: {hint:?}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+fn hint_tag(hint: TypeHint) -> u8 {
+    match hint {
+        TypeHint::Unit => 0,
+        TypeHint::Bool => 1,
+        TypeHint::I64 => 2,
+        TypeHint::F64 => 3,
+        TypeHint::Str => 4,
+        TypeHint::Bytes => 5,
+        TypeHint::List => 6,
+        TypeHint::Map => 7,
+        TypeHint::Struct => 8,
+        TypeHint::Any => 9,
+    }
+}
+
+fn hint_from_tag(tag: u8) -> Result<TypeHint, WireError> {
+    Ok(match tag {
+        0 => TypeHint::Unit,
+        1 => TypeHint::Bool,
+        2 => TypeHint::I64,
+        3 => TypeHint::F64,
+        4 => TypeHint::Str,
+        5 => TypeHint::Bytes,
+        6 => TypeHint::List,
+        7 => TypeHint::Map,
+        8 => TypeHint::Struct,
+        9 => TypeHint::Any,
+        _ => {
+            return Err(WireError::InvalidTag {
+                context: "TypeHint",
+                tag,
+            })
+        }
+    })
+}
+
+/// The per-endpoint table of injected types, consulted when validating
+/// struct values crossing the wire.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    types: HashMap<String, TypeDescriptor>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Adds (or replaces) a descriptor.
+    pub fn inject(&mut self, descriptor: TypeDescriptor) {
+        self.types.insert(descriptor.name().to_owned(), descriptor);
+    }
+
+    /// Looks up a descriptor by type name.
+    pub fn get(&self, name: &str) -> Option<&TypeDescriptor> {
+        self.types.get(name)
+    }
+
+    /// Number of injected types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` if no types are injected.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Validates every struct value inside `value` (recursively) against
+    /// the injected descriptors. Structs of unknown types are allowed —
+    /// R-OSGi only validates the types it shipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::TypeMismatch`] for the first non-conforming
+    /// struct.
+    pub fn validate_deep(&self, value: &Value) -> Result<(), RosgiError> {
+        match value {
+            Value::Struct { type_name, fields } => {
+                if let Some(td) = self.types.get(type_name) {
+                    td.validate(value)?;
+                }
+                for v in fields.values() {
+                    self.validate_deep(v)?;
+                }
+                Ok(())
+            }
+            Value::List(items) => {
+                for item in items {
+                    self.validate_deep(item)?;
+                }
+                Ok(())
+            }
+            Value::Map(entries) => {
+                for v in entries.values() {
+                    self.validate_deep(v)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product() -> TypeDescriptor {
+        TypeDescriptor::new("shop.Product")
+            .with_field("name", TypeHint::Str)
+            .with_field("price", TypeHint::I64)
+    }
+
+    fn good() -> Value {
+        Value::structure(
+            "shop.Product",
+            [("name", Value::from("bed")), ("price", Value::from(499i64))],
+        )
+    }
+
+    #[test]
+    fn validate_accepts_conforming_struct() {
+        assert!(product().validate(&good()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_shape_errors() {
+        let td = product();
+        // Not a struct.
+        assert!(td.validate(&Value::I64(1)).is_err());
+        // Wrong type name.
+        let v = Value::structure("other.T", [("name", "x"), ("price", "y")]);
+        assert!(td.validate(&v).is_err());
+        // Missing field.
+        let v = Value::structure("shop.Product", [("name", Value::from("x"))]);
+        assert!(td.validate(&v).is_err());
+        // Wrong field type.
+        let v = Value::structure(
+            "shop.Product",
+            [("name", Value::from("x")), ("price", Value::from("cheap"))],
+        );
+        assert!(td.validate(&v).is_err());
+        // Extra field.
+        let v = Value::structure(
+            "shop.Product",
+            [
+                ("name", Value::from("x")),
+                ("price", Value::from(1i64)),
+                ("extra", Value::from(2i64)),
+            ],
+        );
+        let err = td.validate(&v).unwrap_err();
+        assert!(err.to_string().contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn descriptor_round_trips() {
+        let td = product();
+        let mut w = ByteWriter::new();
+        td.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(TypeDescriptor::decode(&mut r).unwrap(), td);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn registry_validates_recursively() {
+        let mut reg = TypeRegistry::new();
+        reg.inject(product());
+        assert_eq!(reg.len(), 1);
+        // A list containing a bad product fails deep validation.
+        let bad = Value::List(vec![
+            good(),
+            Value::structure("shop.Product", [("name", Value::from("x"))]),
+        ]);
+        assert!(reg.validate_deep(&bad).is_err());
+        // Unknown struct types pass (not injected, not checked).
+        let unknown = Value::structure("not.Injected", [("anything", 1i64)]);
+        assert!(reg.validate_deep(&unknown).is_ok());
+        // Nested inside maps and struct fields.
+        let nested = Value::map([("p", good())]);
+        assert!(reg.validate_deep(&nested).is_ok());
+    }
+
+    #[test]
+    fn display_shows_schema() {
+        let text = product().to_string();
+        assert!(text.contains("shop.Product") && text.contains("price"), "{text}");
+    }
+}

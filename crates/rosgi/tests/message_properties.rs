@@ -1,0 +1,221 @@
+//! Property-based tests for the R-OSGi wire protocol: arbitrary messages
+//! round-trip, and arbitrary bytes never panic the decoder.
+
+use alfredo_osgi::{
+    MethodSpec, ParamSpec, Properties, ServiceCallError, ServiceInterfaceDesc, TypeHint, Value,
+};
+use alfredo_rosgi::codec::{value_from_bytes, value_to_bytes};
+use alfredo_rosgi::{Message, RemoteServiceInfo, SmartProxySpec, TypeDescriptor};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        // Use finite floats only: NaN breaks PartialEq round-trip checks.
+        (-1e15f64..1e15).prop_map(Value::F64),
+        ".{0,16}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::btree_map("[a-z]{1,6}", inner.clone(), 0..4).prop_map(Value::Map),
+            ("[A-Za-z.]{1,12}", prop::collection::btree_map("[a-z]{1,6}", inner, 0..4))
+                .prop_map(|(type_name, fields)| Value::Struct { type_name, fields }),
+        ]
+    })
+}
+
+fn hint_strategy() -> impl Strategy<Value = TypeHint> {
+    prop_oneof![
+        Just(TypeHint::Unit),
+        Just(TypeHint::Bool),
+        Just(TypeHint::I64),
+        Just(TypeHint::F64),
+        Just(TypeHint::Str),
+        Just(TypeHint::Bytes),
+        Just(TypeHint::List),
+        Just(TypeHint::Map),
+        Just(TypeHint::Struct),
+        Just(TypeHint::Any),
+    ]
+}
+
+fn interface_strategy() -> impl Strategy<Value = ServiceInterfaceDesc> {
+    (
+        "[a-zA-Z.]{1,20}",
+        prop::collection::vec(
+            (
+                "[a-z_]{1,10}",
+                prop::collection::vec(("[a-z]{1,6}", hint_strategy()), 0..4),
+                hint_strategy(),
+                ".{0,24}",
+            ),
+            0..5,
+        ),
+    )
+        .prop_map(|(name, methods)| {
+            ServiceInterfaceDesc::new(
+                name,
+                methods
+                    .into_iter()
+                    .map(|(m, params, ret, doc)| {
+                        MethodSpec::new(
+                            m,
+                            params
+                                .into_iter()
+                                .map(|(p, h)| ParamSpec::new(p, h))
+                                .collect(),
+                            ret,
+                            doc,
+                        )
+                    })
+                    .collect(),
+            )
+        })
+}
+
+fn properties_strategy() -> impl Strategy<Value = Properties> {
+    prop::collection::vec(("[a-z.]{1,10}", value_strategy()), 0..4)
+        .prop_map(|entries| entries.into_iter().collect())
+}
+
+fn lease_entry_strategy() -> impl Strategy<Value = RemoteServiceInfo> {
+    (
+        prop::collection::vec("[a-zA-Z.]{1,16}", 1..4),
+        properties_strategy(),
+        any::<u64>(),
+    )
+        .prop_map(|(interfaces, properties, remote_id)| RemoteServiceInfo {
+            interfaces,
+            properties,
+            remote_id,
+        })
+}
+
+fn call_error_strategy() -> impl Strategy<Value = ServiceCallError> {
+    prop_oneof![
+        ".{0,20}".prop_map(ServiceCallError::NoSuchMethod),
+        ".{0,20}".prop_map(ServiceCallError::BadArguments),
+        ".{0,20}".prop_map(ServiceCallError::Failed),
+        Just(ServiceCallError::ServiceGone),
+        ".{0,20}".prop_map(ServiceCallError::Remote),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        ("[a-z-]{1,12}", any::<u32>()).prop_map(|(peer, version)| Message::Hello { peer, version }),
+        prop::collection::vec(lease_entry_strategy(), 0..4)
+            .prop_map(|services| Message::Lease { services }),
+        (
+            prop::collection::vec(lease_entry_strategy(), 0..3),
+            prop::collection::vec(any::<u64>(), 0..4)
+        )
+            .prop_map(|(added, removed)| Message::LeaseUpdate { added, removed }),
+        prop::collection::vec("[a-z/*]{1,12}", 0..4)
+            .prop_map(|patterns| Message::EventInterest { patterns }),
+        "[a-zA-Z.]{1,16}".prop_map(|interface| Message::FetchService { interface }),
+        (
+            interface_strategy(),
+            prop::collection::vec(
+                ("[A-Za-z.]{1,10}", prop::collection::vec(("[a-z]{1,6}", hint_strategy()), 0..3)),
+                0..3
+            ),
+            prop::option::of(("[a-z/]{1,10}", prop::collection::vec("[a-z_]{1,8}", 0..3))),
+            prop::option::of(prop::collection::vec(any::<u8>(), 0..64)),
+        )
+            .prop_map(|(interface, types, smart, descriptor)| Message::ServiceBundle {
+                interface,
+                injected_types: types
+                    .into_iter()
+                    .map(|(name, fields)| {
+                        let mut td = TypeDescriptor::new(name);
+                        for (f, h) in fields {
+                            td = td.with_field(f, h);
+                        }
+                        td
+                    })
+                    .collect(),
+                smart_proxy: smart.map(|(k, m)| SmartProxySpec::new(k, m)),
+                descriptor,
+            }),
+        ("[a-zA-Z.]{1,16}", ".{0,24}")
+            .prop_map(|(interface, reason)| Message::FetchFailed { interface, reason }),
+        (
+            any::<u64>(),
+            "[a-zA-Z.]{1,16}",
+            "[a-z_]{1,10}",
+            prop::collection::vec(value_strategy(), 0..4)
+        )
+            .prop_map(|(call_id, interface, method, args)| Message::Invoke {
+                call_id,
+                interface,
+                method,
+                args
+            }),
+        (any::<u64>(), value_strategy())
+            .prop_map(|(call_id, v)| Message::Response { call_id, result: Ok(v) }),
+        (any::<u64>(), call_error_strategy())
+            .prop_map(|(call_id, e)| Message::Response { call_id, result: Err(e) }),
+        ("[a-z/]{1,16}", properties_strategy())
+            .prop_map(|(topic, properties)| Message::RemoteEvent { topic, properties }),
+        (any::<u64>(), "[a-z]{1,10}").prop_map(|(stream, name)| Message::StreamOpen { stream, name }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            prop::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(stream, seq, last, bytes)| Message::StreamChunk {
+                stream,
+                seq,
+                last,
+                bytes
+            }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(stream, credits)| Message::StreamCredit { stream, credits }),
+        any::<u64>().prop_map(|nonce| Message::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Message::Pong { nonce }),
+        Just(Message::Bye),
+    ]
+}
+
+proptest! {
+    /// Every protocol message round-trips losslessly.
+    #[test]
+    fn messages_round_trip(msg in message_strategy()) {
+        let frame = msg.encode();
+        let back = Message::decode(&frame).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Arbitrary bytes never panic the message decoder.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Prefix truncation of a valid frame never panics and never decodes
+    /// to the same message twice (frames are self-delimiting).
+    #[test]
+    fn truncation_is_detected(msg in message_strategy()) {
+        let frame = msg.encode();
+        for cut in 0..frame.len() {
+            if let Ok(decoded) = Message::decode(&frame[..cut]) {
+                // A strict prefix may decode only if it is a complete
+                // different message; it must never equal the original.
+                prop_assert_ne!(decoded, msg.clone());
+            }
+        }
+    }
+
+    /// Value codec round-trips arbitrary trees.
+    #[test]
+    fn values_round_trip(v in value_strategy()) {
+        let bytes = value_to_bytes(&v);
+        prop_assert_eq!(value_from_bytes(&bytes).expect("decode"), v);
+    }
+}

@@ -1,0 +1,188 @@
+//! Queueing CPU model.
+//!
+//! Work is expressed in abstract *cycles*; a [`CpuModel`] with clock rate
+//! `clock_hz` executes `clock_hz` cycles per virtual second per core. Each
+//! submission is assigned to the earliest-available core (FIFO per core, no
+//! preemption), which reproduces the saturation behaviour of the paper's
+//! server experiments: latency stays flat while load is below capacity and
+//! blows up once the arrival rate exceeds what the cores can drain.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A multi-core processor with FIFO queueing.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_sim::{CpuModel, SimTime};
+///
+/// // A 1 MHz single-core CPU: 1000 cycles take 1 ms.
+/// let mut cpu = CpuModel::new(1_000_000.0, 1);
+/// let done = cpu.submit(SimTime::ZERO, 1000);
+/// assert_eq!(done.as_millis(), 1);
+/// // A second job queues behind the first.
+/// let done2 = cpu.submit(SimTime::ZERO, 1000);
+/// assert_eq!(done2.as_millis(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    clock_hz: f64,
+    core_free: Vec<SimTime>,
+    total_busy: SimDuration,
+    jobs: u64,
+}
+
+impl CpuModel {
+    /// Creates a CPU with the given clock rate (cycles per second) and core
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not strictly positive or `cores` is zero.
+    pub fn new(clock_hz: f64, cores: usize) -> Self {
+        assert!(
+            clock_hz > 0.0 && clock_hz.is_finite(),
+            "clock_hz must be positive and finite"
+        );
+        assert!(cores > 0, "cores must be nonzero");
+        CpuModel {
+            clock_hz,
+            core_free: vec![SimTime::ZERO; cores],
+            total_busy: SimDuration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The configured clock rate in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_free.len()
+    }
+
+    /// Wall time the CPU needs to execute `cycles` with no queueing.
+    pub fn service_time(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles as f64 / self.clock_hz)
+    }
+
+    /// Submits a job arriving at `now` requiring `cycles` of work and returns
+    /// its completion time. The job is placed on the core that frees up
+    /// first; it starts at `max(now, core_free)`.
+    pub fn submit(&mut self, now: SimTime, cycles: u64) -> SimTime {
+        let service = self.service_time(cycles);
+        let core = self.earliest_core();
+        let start = self.core_free[core].max(now);
+        let end = start + service;
+        self.core_free[core] = end;
+        self.total_busy += service;
+        self.jobs += 1;
+        end
+    }
+
+    /// Time at which the next submission could start executing if it arrived
+    /// at `now` (i.e. `max(now, earliest core free time)`).
+    pub fn next_start(&self, now: SimTime) -> SimTime {
+        self.core_free[self.earliest_core()].max(now)
+    }
+
+    /// Queueing delay a job arriving at `now` would experience before
+    /// starting to execute.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_start(now).duration_since(now)
+    }
+
+    /// Total busy time accumulated across all cores.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[SimTime::ZERO, now]`, in `[0, 1+]`
+    /// (can exceed 1 transiently if work is queued beyond `now`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.total_busy.as_secs_f64() / (now.as_secs_f64() * self.cores() as f64)
+    }
+
+    fn earliest_core(&self) -> usize {
+        self.core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("cores is nonzero")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_fifo_queues() {
+        let mut cpu = CpuModel::new(1_000_000.0, 1);
+        let a = cpu.submit(SimTime::ZERO, 500);
+        let b = cpu.submit(SimTime::ZERO, 500);
+        assert_eq!(a.as_micros(), 500);
+        assert_eq!(b.as_micros(), 1000);
+        assert_eq!(cpu.jobs(), 2);
+    }
+
+    #[test]
+    fn multi_core_runs_in_parallel() {
+        let mut cpu = CpuModel::new(1_000_000.0, 2);
+        let a = cpu.submit(SimTime::ZERO, 1000);
+        let b = cpu.submit(SimTime::ZERO, 1000);
+        let c = cpu.submit(SimTime::ZERO, 1000);
+        assert_eq!(a.as_millis(), 1);
+        assert_eq!(b.as_millis(), 1);
+        assert_eq!(c.as_millis(), 2);
+    }
+
+    #[test]
+    fn idle_cpu_starts_at_arrival() {
+        let mut cpu = CpuModel::new(1_000_000.0, 1);
+        let arrival = SimTime::from_nanos(5_000_000);
+        let done = cpu.submit(arrival, 1000);
+        assert_eq!(done.as_millis(), 6);
+        assert_eq!(cpu.backlog(SimTime::ZERO).as_millis(), 6);
+    }
+
+    #[test]
+    fn service_time_scales_with_clock() {
+        let fast = CpuModel::new(2_000_000.0, 1);
+        let slow = CpuModel::new(1_000_000.0, 1);
+        assert_eq!(fast.service_time(2000).as_millis(), 1);
+        assert_eq!(slow.service_time(2000).as_millis(), 2);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut cpu = CpuModel::new(1_000_000.0, 1);
+        cpu.submit(SimTime::ZERO, 500_000); // 0.5 s of work
+        let at_1s = SimTime::from_nanos(1_000_000_000);
+        assert!((cpu.utilization(at_1s) - 0.5).abs() < 1e-9);
+        assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be nonzero")]
+    fn zero_cores_rejected() {
+        CpuModel::new(1e6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock_hz must be positive")]
+    fn bad_clock_rejected() {
+        CpuModel::new(0.0, 1);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # alfredo-sim
+//!
+//! A deterministic discrete-event simulator used as the testbed substrate for
+//! the AlfredO reproduction.
+//!
+//! The original paper evaluated AlfredO on physical hardware — a Nokia 9300i
+//! and a Sony Ericsson M600i phone, a Pentium 4 desktop, and a cluster of
+//! dual-core Opteron machines — connected over 802.11b WLAN, Bluetooth 2.0,
+//! and switched Ethernet. None of that hardware is available here, so the
+//! experiments run instead on this simulator: virtual time, an event queue,
+//! and queueing CPU models calibrated to the paper's device classes.
+//!
+//! The crate is deliberately small:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`Simulation`] — an event loop generic over a user-supplied world state.
+//! * [`CpuModel`] — a multi-core FIFO queueing processor model that converts
+//!   abstract *work cycles* into busy time.
+//! * [`DeviceProfile`] — named device classes matching the paper's testbed.
+//! * [`Summary`] — streaming statistics (mean, min/max, percentiles).
+//! * [`SimRng`] — a deterministic splittable random number generator.
+//!
+//! # Example
+//!
+//! ```
+//! use alfredo_sim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new(0u64);
+//! sim.schedule(SimDuration::from_millis(5), |count: &mut u64, _ctx| *count += 1);
+//! sim.run();
+//! assert_eq!(*sim.state(), 1);
+//! assert_eq!(sim.now().as_millis(), 5);
+//! ```
+
+mod cpu;
+mod device;
+mod rng;
+mod sim;
+mod stats;
+mod time;
+
+pub use cpu::CpuModel;
+pub use device::DeviceProfile;
+pub use rng::SimRng;
+pub use sim::{Ctx, Simulation};
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};

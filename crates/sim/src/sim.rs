@@ -1,0 +1,351 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns a user-defined world state `S` and a time-ordered
+//! queue of events. Each event is a closure receiving `&mut S` and a
+//! [`Ctx`] handle through which it can read the clock and schedule further
+//! events. Events at the same timestamp run in insertion order (FIFO), which
+//! keeps runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<S> Eq for Scheduled<S> {}
+
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break on sequence number: lower seq (scheduled earlier) first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scheduling context passed to every event handler.
+///
+/// Allows a running event to read the current virtual time and enqueue
+/// follow-up events without borrowing the whole [`Simulation`].
+pub struct Ctx<S> {
+    now: SimTime,
+    next_seq: u64,
+    pending: Vec<Scheduled<S>>,
+    stop: bool,
+}
+
+impl<S> Ctx<S> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past relative to the current event.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Requests the event loop to stop after the current event returns.
+    /// Remaining queued events are discarded by [`Simulation::run`].
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+impl<S> std::fmt::Debug for Ctx<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// A discrete-event simulation over a world state `S`.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_sim::{SimDuration, Simulation};
+///
+/// // Count how many pings fit in one virtual second at a 100 ms period.
+/// let mut sim = Simulation::new(0u32);
+/// fn ping(count: &mut u32, ctx: &mut alfredo_sim::Ctx<u32>) {
+///     if ctx.now().as_millis() >= 1000 {
+///         return;
+///     }
+///     *count += 1;
+///     ctx.schedule(SimDuration::from_millis(100), ping);
+/// }
+/// sim.schedule(SimDuration::ZERO, ping);
+/// sim.run();
+/// assert_eq!(*sim.state(), 10);
+/// ```
+pub struct Simulation<S> {
+    state: S,
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    executed: u64,
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation at time zero with the given world state.
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the world state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulation, returning the world state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently queued.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Runs a single event if one is queued. Returns `true` if an event ran.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue yielded a past event");
+        self.now = ev.at;
+        let mut ctx = Ctx {
+            now: self.now,
+            next_seq: self.next_seq,
+            pending: Vec::new(),
+            stop: false,
+        };
+        (ev.run)(&mut self.state, &mut ctx);
+        self.executed += 1;
+        self.next_seq = ctx.next_seq;
+        let stop = ctx.stop;
+        for p in ctx.pending {
+            self.queue.push(p);
+        }
+        if stop {
+            self.queue.clear();
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    /// Events scheduled after the deadline remain queued; the clock is left
+    /// at the last executed event (or advanced to `deadline` if the next
+    /// event lies beyond it).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                self.now = deadline;
+                return;
+            }
+            self.step();
+        }
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule(SimDuration::from_millis(30), |log: &mut Vec<u32>, _| {
+            log.push(3)
+        });
+        sim.schedule(SimDuration::from_millis(10), |log: &mut Vec<u32>, _| {
+            log.push(1)
+        });
+        sim.schedule(SimDuration::from_millis(20), |log: &mut Vec<u32>, _| {
+            log.push(2)
+        });
+        sim.run();
+        assert_eq!(sim.state(), &[1, 2, 3]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_run_fifo() {
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0..10u32 {
+            sim.schedule(SimDuration::from_millis(5), move |log: &mut Vec<u32>, _| {
+                log.push(i)
+            });
+        }
+        sim.run();
+        assert_eq!(sim.state(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule(SimDuration::from_millis(1), |_, ctx| {
+            ctx.schedule(SimDuration::from_millis(2), |s: &mut u64, ctx| {
+                *s = ctx.now().as_millis();
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.state(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0u32);
+        fn tick(s: &mut u32, ctx: &mut Ctx<u32>) {
+            *s += 1;
+            ctx.schedule(SimDuration::from_millis(10), tick);
+        }
+        sim.schedule(SimDuration::ZERO, tick);
+        sim.run_until(SimTime::from_nanos(95_000_000));
+        // ticks at 0,10,...,90 => 10 ticks
+        assert_eq!(*sim.state(), 10);
+        assert_eq!(sim.now(), SimTime::from_nanos(95_000_000));
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn stop_clears_queue() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule(SimDuration::from_millis(1), |s: &mut u32, ctx| {
+            *s += 1;
+            ctx.stop();
+        });
+        sim.schedule(SimDuration::from_millis(2), |s: &mut u32, _| *s += 100);
+        sim.run();
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule(SimDuration::from_millis(5), |_, ctx| {
+            ctx.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn state_accessors() {
+        let mut sim = Simulation::new(41u32);
+        *sim.state_mut() += 1;
+        assert_eq!(*sim.state(), 42);
+        assert_eq!(sim.into_state(), 42);
+    }
+}

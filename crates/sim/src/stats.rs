@@ -1,0 +1,220 @@
+//! Streaming statistics for experiment reporting.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Collects samples and reports count, mean, min/max, standard deviation and
+/// percentiles. Samples are retained so exact percentiles can be computed,
+/// matching how the paper reports "average invocation time over ≥90 s".
+///
+/// # Example
+///
+/// ```
+/// use alfredo_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sum: f64,
+    sum_sq: f64,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "non-finite sample: {value}");
+        self.samples.push(value);
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 if empty.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / n as f64 - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Smallest sample, or 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exact percentile in `[0, 100]` by nearest-rank, or 0.0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Borrow the raw samples (unsorted order is not guaranteed once a
+    /// percentile has been queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Summary = (1..=100).map(f64::from).collect();
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn record_duration_uses_millis() {
+        let mut s = Summary::new();
+        s.record_duration(SimDuration::from_micros(1500));
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_display() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_out_of_range_panics() {
+        Summary::new().percentile(101.0);
+    }
+}

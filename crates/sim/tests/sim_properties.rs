@@ -1,0 +1,108 @@
+//! Property-based tests for the discrete-event engine invariants.
+
+use alfredo_sim::{CpuModel, SimDuration, SimRng, SimTime, Simulation, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in non-decreasing time order, regardless of the
+    /// order in which they were scheduled.
+    #[test]
+    fn events_execute_in_time_order(delays in prop::collection::vec(0u64..10_000, 1..64)) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for d in &delays {
+            let at = SimDuration::from_micros(*d);
+            sim.schedule(at, |log: &mut Vec<u64>, ctx| log.push(ctx.now().as_nanos()));
+        }
+        sim.run();
+        let log = sim.state();
+        prop_assert_eq!(log.len(), delays.len());
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// An event never runs before its scheduled time.
+    #[test]
+    fn no_event_runs_early(delays in prop::collection::vec(0u64..10_000, 1..32)) {
+        let mut sim = Simulation::new(Vec::<(u64, u64)>::new());
+        for d in &delays {
+            let want = SimDuration::from_micros(*d).as_nanos();
+            sim.schedule(SimDuration::from_micros(*d), move |log: &mut Vec<(u64, u64)>, ctx| {
+                log.push((want, ctx.now().as_nanos()));
+            });
+        }
+        sim.run();
+        for (want, got) in sim.state() {
+            prop_assert_eq!(want, got);
+        }
+    }
+
+    /// CPU completion times are FIFO per core: a job submitted later never
+    /// completes before an identical job submitted earlier.
+    #[test]
+    fn cpu_fifo_completion(
+        cycles in prop::collection::vec(1u64..1_000_000, 1..40),
+        cores in 1usize..4,
+    ) {
+        let mut cpu = CpuModel::new(1e8, cores);
+        let mut last_end_per_size: Option<SimTime> = None;
+        let mut prev = SimTime::ZERO;
+        for c in cycles {
+            let end = cpu.submit(SimTime::ZERO, c);
+            prop_assert!(end >= SimTime::ZERO);
+            // Total busy time is monotone.
+            prop_assert!(cpu.total_busy().as_nanos() > 0);
+            if cores == 1 {
+                // Single core: strictly sequential.
+                prop_assert!(end > prev);
+                prev = end;
+            }
+            last_end_per_size = Some(end);
+        }
+        prop_assert!(last_end_per_size.is_some());
+    }
+
+    /// CPU conservation: total busy time equals the sum of per-job service
+    /// times.
+    #[test]
+    fn cpu_conserves_work(cycles in prop::collection::vec(1u64..1_000_000, 1..40)) {
+        let mut cpu = CpuModel::new(1e9, 2);
+        let mut expect = SimDuration::ZERO;
+        for c in &cycles {
+            expect += cpu.service_time(*c);
+            cpu.submit(SimTime::ZERO, *c);
+        }
+        let got = cpu.total_busy();
+        let diff = got.as_nanos().abs_diff(expect.as_nanos());
+        prop_assert!(diff <= cycles.len() as u64, "rounding drift too large: {diff}");
+    }
+
+    /// Summary mean lies between min and max.
+    #[test]
+    fn summary_mean_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s: Summary = values.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert_eq!(s.count(), values.len());
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn summary_percentiles_monotone(values in prop::collection::vec(0f64..1e6, 1..100)) {
+        let mut s: Summary = values.into_iter().collect();
+        let p25 = s.percentile(25.0);
+        let p50 = s.percentile(50.0);
+        let p99 = s.percentile(99.0);
+        prop_assert!(p25 <= p50 && p50 <= p99);
+    }
+
+    /// RNG bounded sampling stays in range and identical seeds agree.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = a.next_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_below(bound));
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The input/output capability model.
+//!
+//! "Input and output capabilities that are used by a specific UI are
+//! modeled as OSGi services and accordingly their abstract definition is
+//! given by their corresponding service interfaces. All OSGi service
+//! interfaces are then organized in a hierarchy" (§3.3). A notebook
+//! keyboard implements `KeyboardDevice` *and* `PointingDevice` (cursor
+//! keys); a phone may implement `PointingDevice` with a trackpoint or an
+//! accelerometer; multiple devices can be **federated** to satisfy one UI
+//! (e.g. borrowing a notebook's screen).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use alfredo_net::WireError;
+
+use crate::control::UiError;
+
+/// The abstract capability interfaces (the hierarchy's roots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CapabilityInterface {
+    /// Entering characters.
+    KeyboardDevice,
+    /// Moving a pointer / issuing directional input.
+    PointingDevice,
+    /// Displaying pixels.
+    ScreenDevice,
+    /// Playing audio.
+    AudioDevice,
+    /// Capturing images.
+    CameraDevice,
+}
+
+impl CapabilityInterface {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            CapabilityInterface::KeyboardDevice => 0,
+            CapabilityInterface::PointingDevice => 1,
+            CapabilityInterface::ScreenDevice => 2,
+            CapabilityInterface::AudioDevice => 3,
+            CapabilityInterface::CameraDevice => 4,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => CapabilityInterface::KeyboardDevice,
+            1 => CapabilityInterface::PointingDevice,
+            2 => CapabilityInterface::ScreenDevice,
+            3 => CapabilityInterface::AudioDevice,
+            4 => CapabilityInterface::CameraDevice,
+            _ => {
+                return Err(WireError::InvalidTag {
+                    context: "CapabilityInterface",
+                    tag,
+                })
+            }
+        })
+    }
+
+    /// The OSGi-style service interface name.
+    pub fn interface_name(self) -> &'static str {
+        match self {
+            CapabilityInterface::KeyboardDevice => "ui.KeyboardDevice",
+            CapabilityInterface::PointingDevice => "ui.PointingDevice",
+            CapabilityInterface::ScreenDevice => "ui.ScreenDevice",
+            CapabilityInterface::AudioDevice => "ui.AudioDevice",
+            CapabilityInterface::CameraDevice => "ui.CameraDevice",
+        }
+    }
+}
+
+impl fmt::Display for CapabilityInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.interface_name())
+    }
+}
+
+/// A concrete hardware capability; each implements one or more abstract
+/// interfaces with a quality score used for selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConcreteCapability {
+    /// Full QWERTY keyboard (communicators, notebooks).
+    QwertyKeyboard,
+    /// 12-key phone keypad with multi-tap entry.
+    PhoneKeypad,
+    /// Stylus handwriting recognition.
+    Handwriting,
+    /// On-screen virtual keyboard (touch devices).
+    VirtualKeyboard,
+    /// A desktop mouse.
+    Mouse,
+    /// A trackpoint/joystick nub.
+    Trackpoint,
+    /// Cursor keys used as a pointer (the Nokia 9300i MouseController).
+    CursorKeys,
+    /// Accelerometer tilt control (the iPhone MouseController).
+    Accelerometer,
+    /// A touch-sensitive screen (pointing + virtual keyboard).
+    TouchScreen,
+    /// A display of the given pixel size.
+    Screen {
+        /// Width in pixels.
+        width: u32,
+        /// Height in pixels.
+        height: u32,
+    },
+    /// A loudspeaker.
+    Speaker,
+    /// A camera.
+    Camera,
+}
+
+impl ConcreteCapability {
+    /// The abstract interfaces this capability implements.
+    pub fn implements(self) -> Vec<CapabilityInterface> {
+        use CapabilityInterface::*;
+        match self {
+            ConcreteCapability::QwertyKeyboard => vec![KeyboardDevice, PointingDevice],
+            ConcreteCapability::PhoneKeypad => vec![KeyboardDevice],
+            ConcreteCapability::Handwriting => vec![KeyboardDevice],
+            ConcreteCapability::VirtualKeyboard => vec![KeyboardDevice],
+            ConcreteCapability::Mouse => vec![PointingDevice],
+            ConcreteCapability::Trackpoint => vec![PointingDevice],
+            ConcreteCapability::CursorKeys => vec![PointingDevice],
+            ConcreteCapability::Accelerometer => vec![PointingDevice],
+            ConcreteCapability::TouchScreen => vec![PointingDevice, KeyboardDevice],
+            ConcreteCapability::Screen { .. } => vec![ScreenDevice],
+            ConcreteCapability::Speaker => vec![AudioDevice],
+            ConcreteCapability::Camera => vec![CameraDevice],
+        }
+    }
+
+    /// Quality of this capability as an implementation of `interface`
+    /// (higher is better); `None` if it does not implement it.
+    pub fn quality_for(self, interface: CapabilityInterface) -> Option<u32> {
+        if !self.implements().contains(&interface) {
+            return None;
+        }
+        use CapabilityInterface::*;
+        Some(match (self, interface) {
+            (ConcreteCapability::QwertyKeyboard, KeyboardDevice) => 10,
+            (ConcreteCapability::QwertyKeyboard, PointingDevice) => 3, // cursor keys
+            (ConcreteCapability::VirtualKeyboard, KeyboardDevice) => 6,
+            (ConcreteCapability::PhoneKeypad, KeyboardDevice) => 5,
+            (ConcreteCapability::Handwriting, KeyboardDevice) => 4,
+            (ConcreteCapability::Mouse, PointingDevice) => 10,
+            (ConcreteCapability::TouchScreen, PointingDevice) => 9,
+            (ConcreteCapability::TouchScreen, KeyboardDevice) => 6,
+            (ConcreteCapability::Trackpoint, PointingDevice) => 7,
+            (ConcreteCapability::Accelerometer, PointingDevice) => 6,
+            (ConcreteCapability::CursorKeys, PointingDevice) => 4,
+            (ConcreteCapability::Screen { width, height }, ScreenDevice) => {
+                // Larger screens are better screens.
+                (width * height / 10_000).max(1)
+            }
+            (ConcreteCapability::Speaker, AudioDevice) => 5,
+            (ConcreteCapability::Camera, CameraDevice) => 5,
+            _ => 1,
+        })
+    }
+}
+
+impl fmt::Display for ConcreteCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcreteCapability::Screen { width, height } => write!(f, "Screen({width}x{height})"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Screen orientation, derived from pixel dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Wider than tall (Nokia 9300i: 640×200).
+    Landscape,
+    /// Taller than wide (Sony Ericsson M600i: 240×320).
+    Portrait,
+}
+
+/// What one physical device offers.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_ui::capability::{CapabilityInterface, DeviceCapabilities};
+///
+/// let phone = DeviceCapabilities::nokia_9300i();
+/// assert!(phone.supports(CapabilityInterface::KeyboardDevice));
+/// assert_eq!(phone.orientation(), alfredo_ui::Orientation::Landscape);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCapabilities {
+    /// Device name (matches the sim profile name where applicable).
+    pub device: String,
+    /// The concrete capabilities present.
+    pub capabilities: Vec<ConcreteCapability>,
+}
+
+impl DeviceCapabilities {
+    /// Creates a capability set.
+    pub fn new(device: impl Into<String>, capabilities: Vec<ConcreteCapability>) -> Self {
+        DeviceCapabilities {
+            device: device.into(),
+            capabilities,
+        }
+    }
+
+    /// Nokia 9300i communicator: 640×200 landscape screen, QWERTY
+    /// keyboard, cursor keys.
+    pub fn nokia_9300i() -> Self {
+        DeviceCapabilities::new(
+            "Nokia 9300i",
+            vec![
+                ConcreteCapability::Screen {
+                    width: 640,
+                    height: 200,
+                },
+                ConcreteCapability::QwertyKeyboard,
+                ConcreteCapability::CursorKeys,
+                ConcreteCapability::Speaker,
+            ],
+        )
+    }
+
+    /// Sony Ericsson M600i: 240×320 portrait touchscreen with stylus
+    /// handwriting, phone keypad, jog-dial trackpoint.
+    pub fn sony_ericsson_m600i() -> Self {
+        DeviceCapabilities::new(
+            "Sony Ericsson M600i",
+            vec![
+                ConcreteCapability::Screen {
+                    width: 240,
+                    height: 320,
+                },
+                ConcreteCapability::TouchScreen,
+                ConcreteCapability::Handwriting,
+                ConcreteCapability::PhoneKeypad,
+                ConcreteCapability::Trackpoint,
+                ConcreteCapability::Speaker,
+            ],
+        )
+    }
+
+    /// Apple iPhone: 320×480 touchscreen, accelerometer, virtual keyboard.
+    pub fn iphone() -> Self {
+        DeviceCapabilities::new(
+            "Apple iPhone",
+            vec![
+                ConcreteCapability::Screen {
+                    width: 320,
+                    height: 480,
+                },
+                ConcreteCapability::TouchScreen,
+                ConcreteCapability::VirtualKeyboard,
+                ConcreteCapability::Accelerometer,
+                ConcreteCapability::Speaker,
+                ConcreteCapability::Camera,
+            ],
+        )
+    }
+
+    /// A notebook: large screen, QWERTY keyboard, mouse.
+    pub fn notebook() -> Self {
+        DeviceCapabilities::new(
+            "Notebook",
+            vec![
+                ConcreteCapability::Screen {
+                    width: 1280,
+                    height: 800,
+                },
+                ConcreteCapability::QwertyKeyboard,
+                ConcreteCapability::Mouse,
+                ConcreteCapability::Speaker,
+                ConcreteCapability::Camera,
+            ],
+        )
+    }
+
+    /// A shop-window information screen: big touch display, no keyboard.
+    pub fn info_screen() -> Self {
+        DeviceCapabilities::new(
+            "Information screen",
+            vec![
+                ConcreteCapability::Screen {
+                    width: 1024,
+                    height: 768,
+                },
+                ConcreteCapability::TouchScreen,
+                ConcreteCapability::Speaker,
+            ],
+        )
+    }
+
+    /// The device's screen size, if it has a screen.
+    pub fn screen(&self) -> Option<(u32, u32)> {
+        self.capabilities.iter().find_map(|c| match c {
+            ConcreteCapability::Screen { width, height } => Some((*width, *height)),
+            _ => None,
+        })
+    }
+
+    /// Orientation of the screen (defaults to landscape if screenless).
+    pub fn orientation(&self) -> Orientation {
+        match self.screen() {
+            Some((w, h)) if h > w => Orientation::Portrait,
+            _ => Orientation::Landscape,
+        }
+    }
+
+    /// Whether any capability implements `interface`.
+    pub fn supports(&self, interface: CapabilityInterface) -> bool {
+        self.capabilities
+            .iter()
+            .any(|c| c.implements().contains(&interface))
+    }
+
+    /// The best concrete implementation of `interface` on this device.
+    pub fn best_for(&self, interface: CapabilityInterface) -> Option<(ConcreteCapability, u32)> {
+        self.capabilities
+            .iter()
+            .filter_map(|c| c.quality_for(interface).map(|q| (*c, q)))
+            .max_by_key(|(_, q)| *q)
+    }
+}
+
+/// One resolved requirement: which device and concrete capability serve an
+/// abstract interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The abstract interface required.
+    pub interface: CapabilityInterface,
+    /// The chosen device's name.
+    pub device: String,
+    /// The chosen concrete capability.
+    pub capability: ConcreteCapability,
+    /// Its quality score.
+    pub quality: u32,
+    /// Whether the capability lives on a *remote* device (federation) —
+    /// the paper's example of borrowing a notebook's larger screen.
+    pub remote: bool,
+}
+
+/// The full mapping from a UI's requirements onto device capabilities.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CapabilityPlan {
+    /// One assignment per required interface.
+    pub assignments: Vec<Assignment>,
+}
+
+impl CapabilityPlan {
+    /// Resolves `required` against a primary device and optional federated
+    /// helpers. The primary device wins ties; helpers are used when they
+    /// are strictly better or the primary lacks the capability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UiError::UnsatisfiedCapability`] naming the first
+    /// interface nobody can serve.
+    pub fn resolve(
+        required: &[CapabilityInterface],
+        primary: &DeviceCapabilities,
+        federated: &[&DeviceCapabilities],
+    ) -> Result<CapabilityPlan, UiError> {
+        let mut assignments = Vec::with_capacity(required.len());
+        for &interface in required {
+            let local = primary.best_for(interface);
+            let best_remote = federated
+                .iter()
+                .filter_map(|d| d.best_for(interface).map(|(c, q)| (d.device.clone(), c, q)))
+                .max_by_key(|(_, _, q)| *q);
+            let assignment = match (local, best_remote) {
+                (Some((cap, q)), Some((_, _, rq))) if q >= rq => Assignment {
+                    interface,
+                    device: primary.device.clone(),
+                    capability: cap,
+                    quality: q,
+                    remote: false,
+                },
+                (_, Some((dev, cap, rq))) => Assignment {
+                    interface,
+                    device: dev,
+                    capability: cap,
+                    quality: rq,
+                    remote: true,
+                },
+                (Some((cap, q)), None) => Assignment {
+                    interface,
+                    device: primary.device.clone(),
+                    capability: cap,
+                    quality: q,
+                    remote: false,
+                },
+                (None, None) => return Err(UiError::UnsatisfiedCapability(interface)),
+            };
+            assignments.push(assignment);
+        }
+        Ok(CapabilityPlan { assignments })
+    }
+
+    /// The assignment for `interface`, if present.
+    pub fn assignment(&self, interface: CapabilityInterface) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.interface == interface)
+    }
+
+    /// Whether the plan borrows any remote capability.
+    pub fn is_federated(&self) -> bool {
+        self.assignments.iter().any(|a| a.remote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_mirrors_paper_examples() {
+        // "The NotebookKeyboard service implements the KeyboardDevice
+        // service interface … as well as the PointingDevice service
+        // interface (cursor keys)."
+        let kb = ConcreteCapability::QwertyKeyboard;
+        assert!(kb.implements().contains(&CapabilityInterface::KeyboardDevice));
+        assert!(kb.implements().contains(&CapabilityInterface::PointingDevice));
+        // A phone may use a trackpoint or an accelerometer for pointing.
+        for c in [
+            ConcreteCapability::Trackpoint,
+            ConcreteCapability::Accelerometer,
+            ConcreteCapability::CursorKeys,
+        ] {
+            assert!(c.implements().contains(&CapabilityInterface::PointingDevice));
+        }
+    }
+
+    #[test]
+    fn device_profiles_match_hardware() {
+        let nokia = DeviceCapabilities::nokia_9300i();
+        assert_eq!(nokia.orientation(), Orientation::Landscape);
+        assert!(nokia.supports(CapabilityInterface::KeyboardDevice));
+        assert!(nokia.supports(CapabilityInterface::PointingDevice));
+        assert!(!nokia.supports(CapabilityInterface::CameraDevice));
+
+        let se = DeviceCapabilities::sony_ericsson_m600i();
+        assert_eq!(se.orientation(), Orientation::Portrait);
+
+        let iphone = DeviceCapabilities::iphone();
+        // iPhone points with touch (9) over accelerometer (6).
+        let (best, q) = iphone.best_for(CapabilityInterface::PointingDevice).unwrap();
+        assert_eq!(best, ConcreteCapability::TouchScreen);
+        assert_eq!(q, 9);
+    }
+
+    #[test]
+    fn nokia_points_with_cursor_keys() {
+        // The paper: "On a Nokia 9300i phone, this interface is
+        // implemented with the cursor keys of the keyboard."
+        let nokia = DeviceCapabilities::nokia_9300i();
+        let (best, _) = nokia.best_for(CapabilityInterface::PointingDevice).unwrap();
+        assert_eq!(best, ConcreteCapability::CursorKeys);
+    }
+
+    #[test]
+    fn resolve_prefers_local_over_equal_remote() {
+        let plan = CapabilityPlan::resolve(
+            &[CapabilityInterface::KeyboardDevice],
+            &DeviceCapabilities::nokia_9300i(),
+            &[&DeviceCapabilities::notebook()],
+        )
+        .unwrap();
+        let a = plan.assignment(CapabilityInterface::KeyboardDevice).unwrap();
+        assert_eq!(a.device, "Nokia 9300i");
+        assert!(!a.remote);
+        assert!(!plan.is_federated());
+    }
+
+    #[test]
+    fn resolve_federates_for_better_screen() {
+        // "the phone may decide to use a notebook's screen with larger
+        // resolution; in this case, the ScreenDevice service would be
+        // implemented remotely by the notebook platform."
+        let plan = CapabilityPlan::resolve(
+            &[CapabilityInterface::ScreenDevice],
+            &DeviceCapabilities::nokia_9300i(),
+            &[&DeviceCapabilities::notebook()],
+        )
+        .unwrap();
+        let a = plan.assignment(CapabilityInterface::ScreenDevice).unwrap();
+        assert_eq!(a.device, "Notebook");
+        assert!(a.remote);
+        assert!(plan.is_federated());
+    }
+
+    #[test]
+    fn resolve_fails_on_unsatisfiable() {
+        let err = CapabilityPlan::resolve(
+            &[CapabilityInterface::CameraDevice],
+            &DeviceCapabilities::nokia_9300i(),
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            UiError::UnsatisfiedCapability(CapabilityInterface::CameraDevice)
+        );
+    }
+
+    #[test]
+    fn screen_quality_scales_with_area() {
+        let small = ConcreteCapability::Screen {
+            width: 240,
+            height: 320,
+        };
+        let big = ConcreteCapability::Screen {
+            width: 1280,
+            height: 800,
+        };
+        assert!(
+            big.quality_for(CapabilityInterface::ScreenDevice)
+                > small.quality_for(CapabilityInterface::ScreenDevice)
+        );
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for i in [
+            CapabilityInterface::KeyboardDevice,
+            CapabilityInterface::PointingDevice,
+            CapabilityInterface::ScreenDevice,
+            CapabilityInterface::AudioDevice,
+            CapabilityInterface::CameraDevice,
+        ] {
+            assert_eq!(CapabilityInterface::from_tag(i.tag()).unwrap(), i);
+        }
+        assert!(CapabilityInterface::from_tag(99).is_err());
+    }
+}

@@ -1,0 +1,701 @@
+//! The abstract UI description: controls and relationships.
+//!
+//! This is the *stateless description of the UI* that AlfredO ships to the
+//! phone instead of executable interface code — the artifact whose
+//! "sandbox model" security benefit the paper emphasizes. It deliberately
+//! contains no layout coordinates: "instead of defining layouts that
+//! typically break on different screen resolutions and ratios, the UI is
+//! specified using abstract controls and relationships" (§3.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use alfredo_net::{ByteReader, ByteWriter, WireError};
+
+use crate::capability::CapabilityInterface;
+
+/// Errors produced while building, validating, or decoding UI
+/// descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UiError {
+    /// Two controls share an id.
+    DuplicateControlId(String),
+    /// A relation references an id that no control has.
+    UnknownControlId(String),
+    /// The description failed to decode.
+    Malformed(String),
+    /// The device cannot satisfy a capability the UI requires.
+    UnsatisfiedCapability(CapabilityInterface),
+    /// A renderer cannot handle the description.
+    RenderFailed(String),
+}
+
+impl fmt::Display for UiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UiError::DuplicateControlId(id) => write!(f, "duplicate control id: {id}"),
+            UiError::UnknownControlId(id) => write!(f, "relation references unknown control: {id}"),
+            UiError::Malformed(msg) => write!(f, "malformed UI description: {msg}"),
+            UiError::UnsatisfiedCapability(c) => {
+                write!(f, "device cannot satisfy required capability {c}")
+            }
+            UiError::RenderFailed(msg) => write!(f, "rendering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UiError {}
+
+/// The kind (and intrinsic state) of an abstract control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlKind {
+    /// Static text.
+    Label {
+        /// The text to show.
+        text: String,
+    },
+    /// An activatable command.
+    Button {
+        /// The caption.
+        text: String,
+    },
+    /// Free-text entry.
+    TextInput {
+        /// Initial contents.
+        text: String,
+        /// Hint shown when empty.
+        placeholder: String,
+    },
+    /// A selectable list of entries.
+    List {
+        /// The entries.
+        items: Vec<String>,
+        /// Initially selected index, if any.
+        selected: Option<usize>,
+    },
+    /// A bitmap placeholder; pixel data travels separately (e.g. as a
+    /// stream), keeping the description itself small and stateless.
+    Image {
+        /// Natural width in abstract units.
+        width: u32,
+        /// Natural height in abstract units.
+        height: u32,
+        /// Name under which pixel data is delivered (stream/event key).
+        source: String,
+    },
+    /// A bounded progress indicator (0–100).
+    Progress {
+        /// Current value.
+        value: u8,
+    },
+    /// A continuous value selector.
+    Slider {
+        /// Minimum.
+        min: i64,
+        /// Maximum.
+        max: i64,
+        /// Current value.
+        value: i64,
+    },
+    /// A grouping of child controls. `vertical` is a *hint*, not a layout:
+    /// renderers may reflow (the SWT renderer flips it on portrait
+    /// screens).
+    Panel {
+        /// Child controls.
+        children: Vec<Control>,
+        /// Stacking hint.
+        vertical: bool,
+    },
+}
+
+/// One abstract control: an id, a kind, and the input capabilities its
+/// interaction needs (e.g. the MouseController's movement pad requires a
+/// `PointingDevice`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Control {
+    /// Unique id within the description.
+    pub id: String,
+    /// Kind and intrinsic state.
+    pub kind: ControlKind,
+    /// Abstract input interfaces required to operate this control.
+    pub requires: Vec<CapabilityInterface>,
+}
+
+impl Control {
+    /// Creates a control of the given kind with no capability requirements.
+    pub fn new(id: impl Into<String>, kind: ControlKind) -> Self {
+        Control {
+            id: id.into(),
+            kind,
+            requires: Vec::new(),
+        }
+    }
+
+    /// Convenience: a label.
+    pub fn label(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Control::new(id, ControlKind::Label { text: text.into() })
+    }
+
+    /// Convenience: a button (requires a pointing device by default —
+    /// renderers may map it to a softkey instead).
+    pub fn button(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Control::new(id, ControlKind::Button { text: text.into() })
+            .requiring(CapabilityInterface::PointingDevice)
+    }
+
+    /// Convenience: a text input (requires a keyboard device).
+    pub fn text_input(id: impl Into<String>, placeholder: impl Into<String>) -> Self {
+        Control::new(
+            id,
+            ControlKind::TextInput {
+                text: String::new(),
+                placeholder: placeholder.into(),
+            },
+        )
+        .requiring(CapabilityInterface::KeyboardDevice)
+    }
+
+    /// Convenience: a list.
+    pub fn list<I, S>(id: impl Into<String>, items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Control::new(
+            id,
+            ControlKind::List {
+                items: items.into_iter().map(Into::into).collect(),
+                selected: None,
+            },
+        )
+        .requiring(CapabilityInterface::PointingDevice)
+    }
+
+    /// Convenience: an image placeholder fed from `source`.
+    pub fn image(id: impl Into<String>, width: u32, height: u32, source: impl Into<String>) -> Self {
+        Control::new(
+            id,
+            ControlKind::Image {
+                width,
+                height,
+                source: source.into(),
+            },
+        )
+        .requiring(CapabilityInterface::ScreenDevice)
+    }
+
+    /// Convenience: a panel with children.
+    pub fn panel(id: impl Into<String>, vertical: bool, children: Vec<Control>) -> Self {
+        Control::new(id, ControlKind::Panel { children, vertical })
+    }
+
+    /// Builder-style: adds a required capability interface.
+    pub fn requiring(mut self, interface: CapabilityInterface) -> Self {
+        if !self.requires.contains(&interface) {
+            self.requires.push(interface);
+        }
+        self
+    }
+
+    /// Depth-first iteration over this control and its descendants.
+    pub fn walk<'a>(&'a self, out: &mut Vec<&'a Control>) {
+        out.push(self);
+        if let ControlKind::Panel { children, .. } = &self.kind {
+            for c in children {
+                c.walk(out);
+            }
+        }
+    }
+}
+
+/// A semantic relationship between two controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// `from` is a caption for `to`.
+    LabelFor,
+    /// Activating `from` triggers the action observed by `to` (e.g. a
+    /// button refreshing a list).
+    Triggers,
+    /// `from` displays the result of interacting with `to`.
+    DisplaysResultOf,
+    /// `from` should be presented adjacent to `to` if space allows.
+    Adjacent,
+}
+
+/// A relationship instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Source control id.
+    pub from: String,
+    /// Target control id.
+    pub to: String,
+    /// The semantic kind.
+    pub kind: RelationKind,
+}
+
+impl Relation {
+    /// Creates a relation.
+    pub fn new(from: impl Into<String>, kind: RelationKind, to: impl Into<String>) -> Self {
+        Relation {
+            from: from.into(),
+            to: to.into(),
+            kind,
+        }
+    }
+}
+
+/// The complete abstract UI of one service.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_ui::{Control, Relation, UiDescription};
+/// use alfredo_ui::control::RelationKind;
+///
+/// # fn main() -> Result<(), alfredo_ui::UiError> {
+/// let ui = UiDescription::new("shop")
+///     .with_control(Control::label("title", "Products"))
+///     .with_control(Control::list("products", ["Bed", "Sofa"]))
+///     .with_relation(Relation::new("title", RelationKind::LabelFor, "products"));
+/// ui.validate()?;
+/// let bytes = ui.encode();
+/// assert_eq!(UiDescription::decode(&bytes)?, ui);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UiDescription {
+    /// A name for the UI (usually the service name).
+    pub name: String,
+    /// Top-level controls, in presentation order.
+    pub controls: Vec<Control>,
+    /// Relationships between controls.
+    pub relations: Vec<Relation>,
+}
+
+impl UiDescription {
+    /// Creates an empty description.
+    pub fn new(name: impl Into<String>) -> Self {
+        UiDescription {
+            name: name.into(),
+            controls: Vec::new(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Builder-style: appends a top-level control.
+    pub fn with_control(mut self, control: Control) -> Self {
+        self.controls.push(control);
+        self
+    }
+
+    /// Builder-style: appends a relation.
+    pub fn with_relation(mut self, relation: Relation) -> Self {
+        self.relations.push(relation);
+        self
+    }
+
+    /// All controls in depth-first order (panels included).
+    pub fn all_controls(&self) -> Vec<&Control> {
+        let mut out = Vec::new();
+        for c in &self.controls {
+            c.walk(&mut out);
+        }
+        out
+    }
+
+    /// Finds a control by id anywhere in the tree.
+    pub fn find(&self, id: &str) -> Option<&Control> {
+        self.all_controls().into_iter().find(|c| c.id == id)
+    }
+
+    /// Number of controls in the tree.
+    pub fn control_count(&self) -> usize {
+        self.all_controls().len()
+    }
+
+    /// The union of capability interfaces the UI requires.
+    pub fn required_capabilities(&self) -> Vec<CapabilityInterface> {
+        let mut set = BTreeSet::new();
+        for c in self.all_controls() {
+            for r in &c.requires {
+                set.insert(*r);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Checks structural invariants: unique ids, and relations that
+    /// reference existing controls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UiError::DuplicateControlId`] or
+    /// [`UiError::UnknownControlId`].
+    pub fn validate(&self) -> Result<(), UiError> {
+        let mut seen = BTreeSet::new();
+        for c in self.all_controls() {
+            if !seen.insert(c.id.clone()) {
+                return Err(UiError::DuplicateControlId(c.id.clone()));
+            }
+        }
+        for rel in &self.relations {
+            if !seen.contains(&rel.from) {
+                return Err(UiError::UnknownControlId(rel.from.clone()));
+            }
+            if !seen.contains(&rel.to) {
+                return Err(UiError::UnknownControlId(rel.to.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes to the compact wire format (this is what ships to the
+    /// phone; its size is part of the "about 2 kBytes" of Table 1).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.name);
+        w.put_varint(self.controls.len() as u64);
+        for c in &self.controls {
+            encode_control(&mut w, c);
+        }
+        w.put_varint(self.relations.len() as u64);
+        for r in &self.relations {
+            w.put_str(&r.from);
+            w.put_str(&r.to);
+            w.put_u8(match r.kind {
+                RelationKind::LabelFor => 0,
+                RelationKind::Triggers => 1,
+                RelationKind::DisplaysResultOf => 2,
+                RelationKind::Adjacent => 3,
+            });
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UiError::Malformed`] on any decoding problem.
+    pub fn decode(bytes: &[u8]) -> Result<Self, UiError> {
+        let mut r = ByteReader::new(bytes);
+        let ui = decode_description(&mut r).map_err(|e| UiError::Malformed(e.to_string()))?;
+        if !r.is_empty() {
+            return Err(UiError::Malformed(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(ui)
+    }
+}
+
+const K_LABEL: u8 = 0;
+const K_BUTTON: u8 = 1;
+const K_TEXT: u8 = 2;
+const K_LIST: u8 = 3;
+const K_IMAGE: u8 = 4;
+const K_PROGRESS: u8 = 5;
+const K_SLIDER: u8 = 6;
+const K_PANEL: u8 = 7;
+
+fn encode_control(w: &mut ByteWriter, c: &Control) {
+    w.put_str(&c.id);
+    w.put_varint(c.requires.len() as u64);
+    for cap in &c.requires {
+        w.put_u8(cap.tag());
+    }
+    match &c.kind {
+        ControlKind::Label { text } => {
+            w.put_u8(K_LABEL);
+            w.put_str(text);
+        }
+        ControlKind::Button { text } => {
+            w.put_u8(K_BUTTON);
+            w.put_str(text);
+        }
+        ControlKind::TextInput { text, placeholder } => {
+            w.put_u8(K_TEXT);
+            w.put_str(text);
+            w.put_str(placeholder);
+        }
+        ControlKind::List { items, selected } => {
+            w.put_u8(K_LIST);
+            w.put_varint(items.len() as u64);
+            for i in items {
+                w.put_str(i);
+            }
+            match selected {
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_varint(*s as u64);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        ControlKind::Image {
+            width,
+            height,
+            source,
+        } => {
+            w.put_u8(K_IMAGE);
+            w.put_u32(*width);
+            w.put_u32(*height);
+            w.put_str(source);
+        }
+        ControlKind::Progress { value } => {
+            w.put_u8(K_PROGRESS);
+            w.put_u8(*value);
+        }
+        ControlKind::Slider { min, max, value } => {
+            w.put_u8(K_SLIDER);
+            w.put_svarint(*min);
+            w.put_svarint(*max);
+            w.put_svarint(*value);
+        }
+        ControlKind::Panel { children, vertical } => {
+            w.put_u8(K_PANEL);
+            w.put_bool(*vertical);
+            w.put_varint(children.len() as u64);
+            for child in children {
+                encode_control(w, child);
+            }
+        }
+    }
+}
+
+fn decode_description(r: &mut ByteReader<'_>) -> Result<UiDescription, WireError> {
+    let name = r.str()?.to_owned();
+    let n = r.varint()? as usize;
+    let mut controls = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        controls.push(decode_control(r, 0)?);
+    }
+    let m = r.varint()? as usize;
+    let mut relations = Vec::with_capacity(m.min(1024));
+    for _ in 0..m {
+        let from = r.str()?.to_owned();
+        let to = r.str()?.to_owned();
+        let kind = match r.u8()? {
+            0 => RelationKind::LabelFor,
+            1 => RelationKind::Triggers,
+            2 => RelationKind::DisplaysResultOf,
+            3 => RelationKind::Adjacent,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "RelationKind",
+                    tag,
+                })
+            }
+        };
+        relations.push(Relation { from, to, kind });
+    }
+    Ok(UiDescription {
+        name,
+        controls,
+        relations,
+    })
+}
+
+fn decode_control(r: &mut ByteReader<'_>, depth: u32) -> Result<Control, WireError> {
+    if depth > 32 {
+        return Err(WireError::InvalidTag {
+            context: "Control (nesting too deep)",
+            tag: 0xff,
+        });
+    }
+    let id = r.str()?.to_owned();
+    let n_caps = r.varint()? as usize;
+    let mut requires = Vec::with_capacity(n_caps.min(16));
+    for _ in 0..n_caps {
+        requires.push(CapabilityInterface::from_tag(r.u8()?)?);
+    }
+    let kind = match r.u8()? {
+        K_LABEL => ControlKind::Label {
+            text: r.str()?.to_owned(),
+        },
+        K_BUTTON => ControlKind::Button {
+            text: r.str()?.to_owned(),
+        },
+        K_TEXT => ControlKind::TextInput {
+            text: r.str()?.to_owned(),
+            placeholder: r.str()?.to_owned(),
+        },
+        K_LIST => {
+            let n = r.varint()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(r.str()?.to_owned());
+            }
+            let selected = if r.bool()? {
+                Some(r.varint()? as usize)
+            } else {
+                None
+            };
+            ControlKind::List { items, selected }
+        }
+        K_IMAGE => ControlKind::Image {
+            width: r.u32()?,
+            height: r.u32()?,
+            source: r.str()?.to_owned(),
+        },
+        K_PROGRESS => ControlKind::Progress { value: r.u8()? },
+        K_SLIDER => ControlKind::Slider {
+            min: r.svarint()?,
+            max: r.svarint()?,
+            value: r.svarint()?,
+        },
+        K_PANEL => {
+            let vertical = r.bool()?;
+            let n = r.varint()? as usize;
+            let mut children = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                children.push(decode_control(r, depth + 1)?);
+            }
+            ControlKind::Panel { children, vertical }
+        }
+        tag => {
+            return Err(WireError::InvalidTag {
+                context: "ControlKind",
+                tag,
+            })
+        }
+    };
+    Ok(Control { id, kind, requires })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UiDescription {
+        UiDescription::new("mouse")
+            .with_control(Control::label("title", "MouseController"))
+            .with_control(Control::panel(
+                "pad",
+                true,
+                vec![
+                    Control::button("up", "▲"),
+                    Control::panel(
+                        "mid",
+                        false,
+                        vec![Control::button("left", "◀"), Control::button("right", "▶")],
+                    ),
+                    Control::button("down", "▼"),
+                ],
+            ))
+            .with_control(Control::image("snapshot", 320, 200, "mouse/snapshot"))
+            .with_control(
+                Control::new(
+                    "speed",
+                    ControlKind::Slider {
+                        min: 1,
+                        max: 10,
+                        value: 5,
+                    },
+                )
+                .requiring(CapabilityInterface::PointingDevice),
+            )
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "pad"))
+            .with_relation(Relation::new("pad", RelationKind::Triggers, "snapshot"))
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn tree_walk_and_find() {
+        let ui = sample();
+        assert_eq!(ui.control_count(), 9);
+        assert!(ui.find("left").is_some());
+        assert!(ui.find("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let ui = UiDescription::new("x")
+            .with_control(Control::label("a", "1"))
+            .with_control(Control::label("a", "2"));
+        assert_eq!(
+            ui.validate().unwrap_err(),
+            UiError::DuplicateControlId("a".into())
+        );
+        // Also nested duplicates.
+        let ui = UiDescription::new("x").with_control(Control::panel(
+            "p",
+            true,
+            vec![Control::label("p", "shadow")],
+        ));
+        assert!(ui.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_relations_rejected() {
+        let ui = UiDescription::new("x")
+            .with_control(Control::label("a", "1"))
+            .with_relation(Relation::new("a", RelationKind::LabelFor, "ghost"));
+        assert_eq!(
+            ui.validate().unwrap_err(),
+            UiError::UnknownControlId("ghost".into())
+        );
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let ui = sample();
+        let bytes = ui.encode();
+        assert_eq!(UiDescription::decode(&bytes).unwrap(), ui);
+    }
+
+    #[test]
+    fn description_is_compact() {
+        // The whole shipped payload in the paper is ~2 kB; a realistic UI
+        // description must be small.
+        let size = sample().encode().len();
+        assert!(size < 400, "UI description size {size}");
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        let bytes = sample().encode();
+        assert!(UiDescription::decode(&bytes[..bytes.len() / 2]).is_err());
+        let mut extended = bytes;
+        extended.push(9);
+        assert!(UiDescription::decode(&extended).is_err());
+        assert!(UiDescription::decode(&[0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn required_capabilities_are_unioned() {
+        let ui = sample();
+        let caps = ui.required_capabilities();
+        assert!(caps.contains(&CapabilityInterface::PointingDevice));
+        assert!(caps.contains(&CapabilityInterface::ScreenDevice));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ui = sample();
+        let json = serde_json::to_string_pretty(&ui).unwrap();
+        let back: UiDescription = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ui);
+    }
+
+    #[test]
+    fn convenience_constructors_set_requirements() {
+        assert!(Control::button("b", "x")
+            .requires
+            .contains(&CapabilityInterface::PointingDevice));
+        assert!(Control::text_input("t", "hint")
+            .requires
+            .contains(&CapabilityInterface::KeyboardDevice));
+        // requiring() is idempotent.
+        let c = Control::button("b", "x").requiring(CapabilityInterface::PointingDevice);
+        assert_eq!(c.requires.len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! The UI event model and client-side UI state.
+//!
+//! Rendered views translate hardware input into [`UiEvent`]s addressed to
+//! abstract control ids; AlfredO's controller consumes them. [`UiState`]
+//! is the mutable mirror of the control tree's dynamic state (text
+//! contents, selections, label texts) that both events and controller
+//! actions update.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use alfredo_osgi::Value;
+
+use crate::control::{ControlKind, UiDescription};
+
+/// An interaction event on an abstract control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiEvent {
+    /// A button (or list entry acting as a command) was activated.
+    Click {
+        /// Target control id.
+        control: String,
+    },
+    /// A text input's contents changed.
+    TextChanged {
+        /// Target control id.
+        control: String,
+        /// New contents.
+        text: String,
+    },
+    /// A list selection changed.
+    Selected {
+        /// Target control id.
+        control: String,
+        /// New selected index.
+        index: usize,
+    },
+    /// A slider moved.
+    SliderChanged {
+        /// Target control id.
+        control: String,
+        /// New value.
+        value: i64,
+    },
+    /// Directional/pointing input (cursor keys, trackpoint, accelerometer,
+    /// touch drag — whatever the renderer mapped to `PointingDevice`).
+    PointerMoved {
+        /// Target control id.
+        control: String,
+        /// Horizontal delta in abstract units.
+        dx: i64,
+        /// Vertical delta in abstract units.
+        dy: i64,
+    },
+    /// A key press routed to a control.
+    Key {
+        /// Target control id.
+        control: String,
+        /// The character.
+        ch: char,
+    },
+}
+
+impl UiEvent {
+    /// The id of the control the event addresses.
+    pub fn control(&self) -> &str {
+        match self {
+            UiEvent::Click { control }
+            | UiEvent::TextChanged { control, .. }
+            | UiEvent::Selected { control, .. }
+            | UiEvent::SliderChanged { control, .. }
+            | UiEvent::PointerMoved { control, .. }
+            | UiEvent::Key { control, .. } => control,
+        }
+    }
+}
+
+impl fmt::Display for UiEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UiEvent::Click { control } => write!(f, "click({control})"),
+            UiEvent::TextChanged { control, text } => write!(f, "text({control}, {text:?})"),
+            UiEvent::Selected { control, index } => write!(f, "select({control}, {index})"),
+            UiEvent::SliderChanged { control, value } => write!(f, "slide({control}, {value})"),
+            UiEvent::PointerMoved { control, dx, dy } => {
+                write!(f, "pointer({control}, {dx}, {dy})")
+            }
+            UiEvent::Key { control, ch } => write!(f, "key({control}, {ch:?})"),
+        }
+    }
+}
+
+/// The dynamic state of a rendered UI, keyed by control id.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_ui::{Control, UiDescription, UiEvent, UiState};
+///
+/// let ui = UiDescription::new("demo")
+///     .with_control(Control::text_input("query", "search…"))
+///     .with_control(Control::list("results", ["a", "b"]));
+/// let mut state = UiState::from_description(&ui);
+/// state.apply(&UiEvent::TextChanged {
+///     control: "query".into(),
+///     text: "bed".into(),
+/// });
+/// assert_eq!(state.text("query"), Some("bed"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UiState {
+    values: BTreeMap<String, Value>,
+}
+
+impl UiState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        UiState::default()
+    }
+
+    /// Seeds state from a description's intrinsic control state.
+    pub fn from_description(ui: &UiDescription) -> Self {
+        let mut state = UiState::new();
+        for c in ui.all_controls() {
+            match &c.kind {
+                ControlKind::Label { text } | ControlKind::Button { text } => {
+                    state.values.insert(c.id.clone(), Value::from(text.as_str()));
+                }
+                ControlKind::TextInput { text, .. } => {
+                    state.values.insert(c.id.clone(), Value::from(text.as_str()));
+                }
+                ControlKind::List { items, selected } => {
+                    state.values.insert(
+                        format!("{}#items", c.id),
+                        Value::from(items.clone()),
+                    );
+                    if let Some(s) = selected {
+                        state.values.insert(
+                            format!("{}#selected", c.id),
+                            Value::from(*s as i64),
+                        );
+                    }
+                }
+                ControlKind::Progress { value } => {
+                    state
+                        .values
+                        .insert(c.id.clone(), Value::from(i64::from(*value)));
+                }
+                ControlKind::Slider { value, .. } => {
+                    state.values.insert(c.id.clone(), Value::from(*value));
+                }
+                ControlKind::Image { source, .. } => {
+                    state
+                        .values
+                        .insert(format!("{}#source", c.id), Value::from(source.as_str()));
+                }
+                ControlKind::Panel { .. } => {}
+            }
+        }
+        state
+    }
+
+    /// Applies a UI event to the state.
+    pub fn apply(&mut self, event: &UiEvent) {
+        match event {
+            UiEvent::TextChanged { control, text } => {
+                self.values.insert(control.clone(), Value::from(text.as_str()));
+            }
+            UiEvent::Selected { control, index } => {
+                self.values
+                    .insert(format!("{control}#selected"), Value::from(*index as i64));
+            }
+            UiEvent::SliderChanged { control, value } => {
+                self.values.insert(control.clone(), Value::from(*value));
+            }
+            UiEvent::Click { .. } | UiEvent::PointerMoved { .. } | UiEvent::Key { .. } => {}
+        }
+    }
+
+    /// Sets a control's primary value (controller actions use this to
+    /// update labels, lists, images…).
+    pub fn set(&mut self, control: impl Into<String>, value: impl Into<Value>) {
+        self.values.insert(control.into(), value.into());
+    }
+
+    /// Sets an auxiliary slot (`<id>#<slot>`), e.g. list items.
+    pub fn set_slot(&mut self, control: &str, slot: &str, value: impl Into<Value>) {
+        self.values.insert(format!("{control}#{slot}"), value.into());
+    }
+
+    /// Reads a control's primary value.
+    pub fn get(&self, control: &str) -> Option<&Value> {
+        self.values.get(control)
+    }
+
+    /// Reads an auxiliary slot.
+    pub fn get_slot(&self, control: &str, slot: &str) -> Option<&Value> {
+        self.values.get(&format!("{control}#{slot}"))
+    }
+
+    /// Reads a control's value as text.
+    pub fn text(&self, control: &str) -> Option<&str> {
+        self.get(control).and_then(Value::as_str)
+    }
+
+    /// Reads a control's value as an integer.
+    pub fn int(&self, control: &str) -> Option<i64> {
+        self.get(control).and_then(Value::as_i64)
+    }
+
+    /// Reads a list's selected index.
+    pub fn selected(&self, control: &str) -> Option<usize> {
+        self.get_slot(control, "selected")
+            .and_then(Value::as_i64)
+            .map(|i| i as usize)
+    }
+
+    /// Reads a list's items.
+    pub fn items(&self, control: &str) -> Option<Vec<String>> {
+        self.get_slot(control, "items").and_then(|v| {
+            v.as_list().map(|items| {
+                items
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_owned)
+                    .collect()
+            })
+        })
+    }
+
+    /// Iterates over all state entries (including `#slot` keys) in key
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Projects this state back onto a description, producing the
+    /// description as it *currently looks*: label/button texts, input
+    /// contents, list items and selections, progress and slider values
+    /// are replaced by their live state. Renderers consume the result to
+    /// produce an up-to-date view.
+    pub fn project_onto(&self, ui: &UiDescription) -> UiDescription {
+        let mut out = ui.clone();
+        for c in &mut out.controls {
+            self.project_control(c);
+        }
+        out
+    }
+
+    fn project_control(&self, control: &mut crate::control::Control) {
+        let id = control.id.clone();
+        match &mut control.kind {
+            ControlKind::Label { text } | ControlKind::Button { text } => {
+                if let Some(t) = self.text(&id) {
+                    *text = t.to_owned();
+                }
+            }
+            ControlKind::TextInput { text, .. } => {
+                if let Some(t) = self.text(&id) {
+                    *text = t.to_owned();
+                }
+            }
+            ControlKind::List { items, selected } => {
+                if let Some(live) = self.items(&id) {
+                    *items = live;
+                }
+                if let Some(s) = self.selected(&id) {
+                    *selected = Some(s);
+                }
+            }
+            ControlKind::Progress { value } => {
+                if let Some(v) = self.int(&id) {
+                    *value = v.clamp(0, 100) as u8;
+                }
+            }
+            ControlKind::Slider { value, .. } => {
+                if let Some(v) = self.int(&id) {
+                    *value = v;
+                }
+            }
+            ControlKind::Image { .. } => {}
+            ControlKind::Panel { children, .. } => {
+                for child in children {
+                    self.project_control(child);
+                }
+            }
+        }
+    }
+
+    /// Number of state entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no state is present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+
+    fn ui() -> UiDescription {
+        UiDescription::new("t")
+            .with_control(Control::label("title", "Hello"))
+            .with_control(Control::text_input("query", "hint"))
+            .with_control(Control::list("items", ["a", "b", "c"]))
+            .with_control(Control::new(
+                "vol",
+                ControlKind::Slider {
+                    min: 0,
+                    max: 10,
+                    value: 3,
+                },
+            ))
+    }
+
+    #[test]
+    fn seeding_captures_intrinsic_state() {
+        let state = UiState::from_description(&ui());
+        assert_eq!(state.text("title"), Some("Hello"));
+        assert_eq!(state.text("query"), Some(""));
+        assert_eq!(state.items("items").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(state.int("vol"), Some(3));
+        assert_eq!(state.selected("items"), None);
+    }
+
+    #[test]
+    fn events_mutate_state() {
+        let mut state = UiState::from_description(&ui());
+        state.apply(&UiEvent::TextChanged {
+            control: "query".into(),
+            text: "bed".into(),
+        });
+        state.apply(&UiEvent::Selected {
+            control: "items".into(),
+            index: 2,
+        });
+        state.apply(&UiEvent::SliderChanged {
+            control: "vol".into(),
+            value: 7,
+        });
+        // Clicks don't change state by themselves.
+        state.apply(&UiEvent::Click {
+            control: "title".into(),
+        });
+        assert_eq!(state.text("query"), Some("bed"));
+        assert_eq!(state.selected("items"), Some(2));
+        assert_eq!(state.int("vol"), Some(7));
+    }
+
+    #[test]
+    fn controller_side_updates() {
+        let mut state = UiState::new();
+        state.set("title", "New title");
+        state.set_slot("items", "items", Value::from(vec!["x", "y"]));
+        assert_eq!(state.text("title"), Some("New title"));
+        assert_eq!(state.items("items").unwrap(), vec!["x", "y"]);
+        assert!(!state.is_empty());
+        assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn projection_reflects_live_state() {
+        let description = ui();
+        let mut state = UiState::from_description(&description);
+        state.set("title", "Updated title");
+        state.apply(&UiEvent::TextChanged {
+            control: "query".into(),
+            text: "bed".into(),
+        });
+        state.set_slot("items", "items", Value::from(vec!["x", "y"]));
+        state.apply(&UiEvent::Selected {
+            control: "items".into(),
+            index: 1,
+        });
+        state.apply(&UiEvent::SliderChanged {
+            control: "vol".into(),
+            value: 9,
+        });
+        let live = state.project_onto(&description);
+        match &live.find("title").unwrap().kind {
+            ControlKind::Label { text } => assert_eq!(text, "Updated title"),
+            other => panic!("{other:?}"),
+        }
+        match &live.find("query").unwrap().kind {
+            ControlKind::TextInput { text, .. } => assert_eq!(text, "bed"),
+            other => panic!("{other:?}"),
+        }
+        match &live.find("items").unwrap().kind {
+            ControlKind::List { items, selected } => {
+                assert_eq!(items, &["x", "y"]);
+                assert_eq!(*selected, Some(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &live.find("vol").unwrap().kind {
+            ControlKind::Slider { value, .. } => assert_eq!(*value, 9),
+            other => panic!("{other:?}"),
+        }
+        // The original description is untouched.
+        match &description.find("title").unwrap().kind {
+            ControlKind::Label { text } => assert_eq!(text, "Hello"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_control_accessor_and_display() {
+        let e = UiEvent::PointerMoved {
+            control: "pad".into(),
+            dx: 3,
+            dy: -2,
+        };
+        assert_eq!(e.control(), "pad");
+        assert_eq!(e.to_string(), "pointer(pad, 3, -2)");
+        let e = UiEvent::Key {
+            control: "query".into(),
+            ch: 'q',
+        };
+        assert_eq!(e.control(), "query");
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # alfredo-ui
+//!
+//! AlfredO's device-independent presentation model.
+//!
+//! The paper's central presentation idea (§3.3): *"Instead of defining
+//! layouts that typically break on different screen resolutions and ratios,
+//! the UI is specified using abstract controls and relationships"*, and a
+//! device-local **renderer** turns that abstract description into an
+//! implementation tailored to the device's hardware. Input and output
+//! capabilities are modelled as OSGi service interfaces organized in a
+//! hierarchy (a notebook keyboard implements both `KeyboardDevice` and —
+//! via its cursor keys — `PointingDevice`), so one device's capabilities
+//! can stand in for another's.
+//!
+//! This crate provides:
+//!
+//! * [`UiDescription`] — the abstract control tree with relationships, the
+//!   *stateless description* that AlfredO ships instead of code (the
+//!   sandbox story). Serializable with the compact wire codec.
+//! * [`capability`] — the abstract interface hierarchy (`KeyboardDevice`,
+//!   `PointingDevice`, `ScreenDevice`, …), concrete device capabilities
+//!   (cursor keys, accelerometer, touchscreen…), and the matcher that maps
+//!   a UI's requirements onto what a device (or a federation of devices)
+//!   offers.
+//! * [`render`] — three renderers standing in for the paper's backends:
+//!   a text-grid renderer (AWT), a widget-tree renderer with
+//!   orientation adaptation (SWT/eRCP), and an HTML+JS renderer (the
+//!   servlet/AJAX path used for the iPhone).
+//! * [`UiEvent`]/[`UiState`] — the event model connecting rendered views
+//!   back to AlfredO's controller.
+//!
+//! # Example
+//!
+//! ```
+//! use alfredo_ui::{Control, UiDescription};
+//! use alfredo_ui::capability::DeviceCapabilities;
+//! use alfredo_ui::render::{GridRenderer, Renderer};
+//!
+//! let ui = UiDescription::new("hello")
+//!     .with_control(Control::label("title", "Hello, AlfredO"))
+//!     .with_control(Control::button("ok", "OK"));
+//! let caps = DeviceCapabilities::nokia_9300i();
+//! let rendered = GridRenderer::default().render(&ui, &caps).unwrap();
+//! assert!(rendered.as_text().contains("Hello, AlfredO"));
+//! ```
+
+pub mod capability;
+pub mod control;
+pub mod event;
+pub mod render;
+
+pub use capability::{CapabilityInterface, DeviceCapabilities, Orientation};
+pub use control::{Control, ControlKind, Relation, UiDescription, UiError};
+pub use event::{UiEvent, UiState};
+pub use render::{HtmlRenderer, GridRenderer, RenderedUi, Renderer, WidgetRenderer};

@@ -1,0 +1,299 @@
+//! The text-grid renderer (AWT stand-in).
+//!
+//! Renders the abstract UI into a character matrix sized to the device's
+//! screen (8×16 px per character cell), the lowest-common-denominator
+//! backend every device can run.
+
+use crate::capability::{CapabilityInterface, DeviceCapabilities};
+use crate::control::{Control, ControlKind, UiDescription, UiError};
+use crate::render::{check_plan, RenderedUi, Renderer, WidgetInstance};
+
+/// The grid renderer. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct GridRenderer {
+    _private: (),
+}
+
+impl Renderer for GridRenderer {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn render(&self, ui: &UiDescription, caps: &DeviceCapabilities) -> Result<RenderedUi, UiError> {
+        let plan = check_plan(ui, caps)?;
+        let columns = caps
+            .screen()
+            .map(|(w, _)| (w / 8).clamp(20, 120) as usize)
+            .unwrap_or(40);
+        let mut lines = Vec::new();
+        let mut widgets = Vec::new();
+        lines.push(format!("== {} ==", ui.name));
+        for c in &ui.controls {
+            render_control(c, caps, columns, 0, &mut lines, &mut widgets);
+        }
+        // Clip to screen columns: the grid renderer never overflows the
+        // physical screen width.
+        let text = lines
+            .iter()
+            .map(|l| {
+                let mut truncated: String = l.chars().take(columns).collect();
+                if l.chars().count() > columns {
+                    truncated.pop();
+                    truncated.push('…');
+                }
+                truncated
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        Ok(RenderedUi {
+            backend: self.name().to_owned(),
+            device: caps.device.clone(),
+            text,
+            widgets,
+            plan,
+        })
+    }
+}
+
+fn render_control(
+    c: &Control,
+    caps: &DeviceCapabilities,
+    columns: usize,
+    indent: usize,
+    lines: &mut Vec<String>,
+    widgets: &mut Vec<WidgetInstance>,
+) {
+    let pad = "  ".repeat(indent);
+    let pointer = caps
+        .best_for(CapabilityInterface::PointingDevice)
+        .map(|(cap, _)| cap);
+    let keyboard = caps
+        .best_for(CapabilityInterface::KeyboardDevice)
+        .map(|(cap, _)| cap);
+    match &c.kind {
+        ControlKind::Label { text } => {
+            lines.push(format!("{pad}{text}"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Text".into(),
+                input: None,
+            });
+        }
+        ControlKind::Button { text } => {
+            lines.push(format!("{pad}[ {text} ]"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Button".into(),
+                input: pointer.or(keyboard),
+            });
+        }
+        ControlKind::TextInput { text, placeholder } => {
+            let shown = if text.is_empty() { placeholder } else { text };
+            lines.push(format!("{pad}[{shown}_]"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Input".into(),
+                input: keyboard,
+            });
+        }
+        ControlKind::List { items, selected } => {
+            for (i, item) in items.iter().enumerate() {
+                let marker = if Some(i) == *selected { '>' } else { ' ' };
+                lines.push(format!("{pad}{marker} {item}"));
+            }
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.List".into(),
+                input: pointer,
+            });
+        }
+        ControlKind::Image {
+            width,
+            height,
+            source,
+        } => {
+            lines.push(format!("{pad}({width}x{height} image: {source})"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.ImageBox".into(),
+                input: None,
+            });
+        }
+        ControlKind::Progress { value } => {
+            let width = columns.saturating_sub(pad.len() + 2).clamp(10, 40);
+            let filled = (usize::from(*value) * width) / 100;
+            lines.push(format!(
+                "{pad}[{}{}]",
+                "#".repeat(filled),
+                "-".repeat(width - filled)
+            ));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Progress".into(),
+                input: None,
+            });
+        }
+        ControlKind::Slider { min, max, value } => {
+            lines.push(format!("{pad}{min} --({value})-- {max}"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Slider".into(),
+                input: pointer,
+            });
+        }
+        ControlKind::Panel { children, vertical } => {
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "grid.Panel".into(),
+                input: None,
+            });
+            if *vertical {
+                for child in children {
+                    render_control(child, caps, columns, indent + 1, lines, widgets);
+                }
+            } else {
+                // Horizontal hint: join simple children on one line where
+                // possible; fall back to vertical for complex children.
+                let mut row = Vec::new();
+                let mut complex = Vec::new();
+                for child in children {
+                    match &child.kind {
+                        ControlKind::Label { text } => {
+                            row.push(text.clone());
+                            widgets.push(WidgetInstance {
+                                control: child.id.clone(),
+                                widget: "grid.Text".into(),
+                                input: None,
+                            });
+                        }
+                        ControlKind::Button { text } => {
+                            row.push(format!("[ {text} ]"));
+                            widgets.push(WidgetInstance {
+                                control: child.id.clone(),
+                                widget: "grid.Button".into(),
+                                input: pointer.or(keyboard),
+                            });
+                        }
+                        _ => complex.push(child),
+                    }
+                }
+                if !row.is_empty() {
+                    lines.push(format!("{pad}{}", row.join("  ")));
+                }
+                for child in complex {
+                    render_control(child, caps, columns, indent + 1, lines, widgets);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::ConcreteCapability;
+    use crate::control::Relation;
+    use crate::control::RelationKind;
+
+    fn shop_ui() -> UiDescription {
+        UiDescription::new("AlfredOShop")
+            .with_control(Control::label("title", "Shop products"))
+            .with_control(Control::list("products", ["Bed", "Sofa", "Chair"]))
+            .with_control(Control::panel(
+                "actions",
+                false,
+                vec![
+                    Control::button("details", "Details"),
+                    Control::button("compare", "Compare"),
+                ],
+            ))
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "products"))
+    }
+
+    #[test]
+    fn renders_all_controls() {
+        let rendered = GridRenderer::default()
+            .render(&shop_ui(), &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        let text = rendered.as_text();
+        assert!(text.contains("Shop products"));
+        assert!(text.contains("Bed"));
+        assert!(text.contains("[ Details ]"));
+        assert!(text.contains("[ Compare ]"));
+        // Horizontal panel: both buttons on one line.
+        assert!(
+            text.lines().any(|l| l.contains("Details") && l.contains("Compare")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn input_bindings_use_device_capabilities() {
+        let rendered = GridRenderer::default()
+            .render(&shop_ui(), &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        // 9300i points with cursor keys.
+        assert_eq!(
+            rendered.widget_for("products").unwrap().input,
+            Some(ConcreteCapability::CursorKeys)
+        );
+        let rendered = GridRenderer::default()
+            .render(&shop_ui(), &DeviceCapabilities::iphone())
+            .unwrap();
+        assert_eq!(
+            rendered.widget_for("products").unwrap().input,
+            Some(ConcreteCapability::TouchScreen)
+        );
+    }
+
+    #[test]
+    fn clips_to_screen_width() {
+        let long = "x".repeat(500);
+        let ui = UiDescription::new("t").with_control(Control::label("l", long));
+        let rendered = GridRenderer::default()
+            .render(&ui, &DeviceCapabilities::sony_ericsson_m600i())
+            .unwrap();
+        let cols = 240 / 8;
+        assert!(rendered.as_text().lines().all(|l| l.chars().count() <= cols));
+    }
+
+    #[test]
+    fn unsatisfiable_ui_is_rejected() {
+        let ui = UiDescription::new("t").with_control(
+            Control::label("l", "x").requiring(CapabilityInterface::CameraDevice),
+        );
+        let err = GridRenderer::default()
+            .render(&ui, &DeviceCapabilities::nokia_9300i())
+            .unwrap_err();
+        assert!(matches!(err, UiError::UnsatisfiedCapability(_)));
+    }
+
+    #[test]
+    fn invalid_ui_is_rejected() {
+        let ui = UiDescription::new("t")
+            .with_control(Control::label("dup", "a"))
+            .with_control(Control::label("dup", "b"));
+        assert!(GridRenderer::default()
+            .render(&ui, &DeviceCapabilities::notebook())
+            .is_err());
+    }
+
+    #[test]
+    fn progress_and_slider_render() {
+        let ui = UiDescription::new("t")
+            .with_control(Control::new("p", ControlKind::Progress { value: 50 }))
+            .with_control(Control::new(
+                "s",
+                ControlKind::Slider {
+                    min: 0,
+                    max: 10,
+                    value: 4,
+                },
+            ));
+        let rendered = GridRenderer::default()
+            .render(&ui, &DeviceCapabilities::notebook())
+            .unwrap();
+        assert!(rendered.as_text().contains('#'));
+        assert!(rendered.as_text().contains("--(4)--"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The HTML renderer (servlet/AJAX stand-in).
+//!
+//! "For phone platforms that do not support any graphical toolkit, it is
+//! possible to use a web browser that is fed by a servlet renderer. This
+//! produces HTML enriched with AJAX" (§3.3) — the path used for the
+//! iPhone in Figure 9. This backend emits a complete HTML document whose
+//! controls post [`crate::UiEvent`]s back through an XMLHttpRequest
+//! endpoint (`/event`).
+
+use std::fmt::Write as _;
+
+use crate::capability::DeviceCapabilities;
+use crate::control::{Control, ControlKind, UiDescription, UiError};
+use crate::render::{check_plan, RenderedUi, Renderer, WidgetInstance};
+
+/// The HTML renderer. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct HtmlRenderer {
+    _private: (),
+}
+
+impl Renderer for HtmlRenderer {
+    fn name(&self) -> &'static str {
+        "html"
+    }
+
+    fn render(&self, ui: &UiDescription, caps: &DeviceCapabilities) -> Result<RenderedUi, UiError> {
+        let plan = check_plan(ui, caps)?;
+        let mut body = String::new();
+        let mut widgets = Vec::new();
+        for c in &ui.controls {
+            emit(c, &mut body, &mut widgets)
+                .map_err(|e| UiError::RenderFailed(e.to_string()))?;
+        }
+        let (vw, vh) = caps.screen().unwrap_or((320, 480));
+        let html = format!(
+            "<!DOCTYPE html>\n\
+             <html>\n<head>\n\
+             <meta name=\"viewport\" content=\"width={vw}, height={vh}\"/>\n\
+             <title>{}</title>\n\
+             <script>\n\
+             function postEvent(id, kind, value) {{\n\
+               var xhr = new XMLHttpRequest();\n\
+               xhr.open('POST', '/event', true);\n\
+               xhr.setRequestHeader('Content-Type', 'application/json');\n\
+               xhr.send(JSON.stringify({{control: id, kind: kind, value: value}}));\n\
+             }}\n\
+             </script>\n</head>\n<body>\n{}</body>\n</html>\n",
+            escape(&ui.name),
+            body
+        );
+        Ok(RenderedUi {
+            backend: self.name().to_owned(),
+            device: caps.device.clone(),
+            text: html,
+            widgets,
+            plan,
+        })
+    }
+}
+
+fn emit(
+    c: &Control,
+    out: &mut String,
+    widgets: &mut Vec<WidgetInstance>,
+) -> Result<(), std::fmt::Error> {
+    let id = escape(&c.id);
+    match &c.kind {
+        ControlKind::Label { text } => {
+            writeln!(out, "<p id=\"{id}\">{}</p>", escape(text))?;
+            widgets.push(widget(&c.id, "html.p"));
+        }
+        ControlKind::Button { text } => {
+            writeln!(
+                out,
+                "<button id=\"{id}\" onclick=\"postEvent('{id}','click',null)\">{}</button>",
+                escape(text)
+            )?;
+            widgets.push(widget(&c.id, "html.button"));
+        }
+        ControlKind::TextInput { text, placeholder } => {
+            writeln!(
+                out,
+                "<input id=\"{id}\" value=\"{}\" placeholder=\"{}\" \
+                 oninput=\"postEvent('{id}','text',this.value)\"/>",
+                escape(text),
+                escape(placeholder)
+            )?;
+            widgets.push(widget(&c.id, "html.input"));
+        }
+        ControlKind::List { items, selected } => {
+            writeln!(
+                out,
+                "<select id=\"{id}\" size=\"{}\" \
+                 onchange=\"postEvent('{id}','select',this.selectedIndex)\">",
+                items.len().clamp(2, 12)
+            )?;
+            for (i, item) in items.iter().enumerate() {
+                let sel = if Some(i) == *selected { " selected" } else { "" };
+                writeln!(out, "<option{sel}>{}</option>", escape(item))?;
+            }
+            writeln!(out, "</select>")?;
+            widgets.push(widget(&c.id, "html.select"));
+        }
+        ControlKind::Image {
+            width,
+            height,
+            source,
+        } => {
+            writeln!(
+                out,
+                "<img id=\"{id}\" width=\"{width}\" height=\"{height}\" src=\"/stream/{}\"/>",
+                escape(source)
+            )?;
+            widgets.push(widget(&c.id, "html.img"));
+        }
+        ControlKind::Progress { value } => {
+            writeln!(out, "<progress id=\"{id}\" max=\"100\" value=\"{value}\"></progress>")?;
+            widgets.push(widget(&c.id, "html.progress"));
+        }
+        ControlKind::Slider { min, max, value } => {
+            writeln!(
+                out,
+                "<input id=\"{id}\" type=\"range\" min=\"{min}\" max=\"{max}\" value=\"{value}\" \
+                 onchange=\"postEvent('{id}','slider',this.value)\"/>"
+            )?;
+            widgets.push(widget(&c.id, "html.range"));
+        }
+        ControlKind::Panel { children, vertical } => {
+            let class = if *vertical { "col" } else { "row" };
+            writeln!(
+                out,
+                "<div id=\"{id}\" style=\"display:flex;flex-direction:{}\">",
+                if *vertical { "column" } else { "row" }
+            )?;
+            let _ = class;
+            for child in children {
+                emit(child, out, widgets)?;
+            }
+            writeln!(out, "</div>")?;
+            widgets.push(widget(&c.id, "html.div"));
+        }
+    }
+    Ok(())
+}
+
+fn widget(control: &str, class: &str) -> WidgetInstance {
+    WidgetInstance {
+        control: control.to_owned(),
+        widget: class.to_owned(),
+        // In the browser everything is operated through the touchscreen /
+        // pointer abstraction the browser itself provides.
+        input: None,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ui() -> UiDescription {
+        UiDescription::new("AlfredOShop")
+            .with_control(Control::label("title", "Beds & Sofas <new>"))
+            .with_control(Control::list("products", ["Bed \"Queen\"", "Sofa"]))
+            .with_control(Control::button("details", "Details"))
+            .with_control(Control::image("photo", 300, 200, "shop/photo"))
+    }
+
+    #[test]
+    fn emits_complete_html_document() {
+        let rendered = HtmlRenderer::default()
+            .render(&ui(), &DeviceCapabilities::iphone())
+            .unwrap();
+        let html = rendered.as_text();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+        assert!(html.contains("XMLHttpRequest"), "AJAX event channel");
+        assert!(html.contains("viewport\" content=\"width=320"));
+    }
+
+    #[test]
+    fn controls_map_to_elements_with_event_bindings() {
+        let rendered = HtmlRenderer::default()
+            .render(&ui(), &DeviceCapabilities::iphone())
+            .unwrap();
+        let html = rendered.as_text();
+        assert!(html.contains("postEvent('details','click'"));
+        assert!(html.contains("postEvent('products','select'"));
+        assert!(html.contains("src=\"/stream/shop/photo\""));
+        assert_eq!(rendered.widget_for("details").unwrap().widget, "html.button");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let rendered = HtmlRenderer::default()
+            .render(&ui(), &DeviceCapabilities::iphone())
+            .unwrap();
+        let html = rendered.as_text();
+        assert!(html.contains("Beds &amp; Sofas &lt;new&gt;"));
+        assert!(html.contains("Bed &quot;Queen&quot;"));
+        assert!(!html.contains("<new>"));
+    }
+
+    #[test]
+    fn panels_become_flex_divs() {
+        let ui = UiDescription::new("t").with_control(Control::panel(
+            "row",
+            false,
+            vec![Control::button("a", "A"), Control::button("b", "B")],
+        ));
+        let rendered = HtmlRenderer::default()
+            .render(&ui, &DeviceCapabilities::iphone())
+            .unwrap();
+        assert!(rendered.as_text().contains("flex-direction:row"));
+    }
+
+    #[test]
+    fn same_ui_as_widget_backend_but_different_realization() {
+        // Figure 8 vs Figure 9: same service, SWT on the Nokia, AJAX on
+        // the iPhone — equal functionality, different implementation.
+        let widgety = crate::render::WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        let htmly = HtmlRenderer::default()
+            .render(&ui(), &DeviceCapabilities::iphone())
+            .unwrap();
+        assert_eq!(widgety.widgets.len(), htmly.widgets.len());
+        assert_ne!(widgety.as_text(), htmly.as_text());
+    }
+}

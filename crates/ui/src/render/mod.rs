@@ -1,0 +1,164 @@
+//! Renderers: from abstract description to device-specific implementation.
+//!
+//! "Depending on the capabilities offered by the interacting phone, the
+//! abstract description of the UI can be rendered differently, i.e., each
+//! phone generates the UI in a different manner" (§3.3). The paper's
+//! implementation has an AWT renderer, an SWT/eRCP renderer, and a
+//! servlet renderer producing HTML + AJAX for browser-only devices (the
+//! iPhone). This module provides the three corresponding backends:
+//!
+//! * [`GridRenderer`] — a text-grid backend (the AWT stand-in), rendering
+//!   into a character matrix sized to the device's screen.
+//! * [`WidgetRenderer`] — a widget-tree backend (the SWT/eRCP stand-in)
+//!   that picks concrete widget classes per control based on the device's
+//!   input capabilities and **adapts the layout to screen orientation**,
+//!   as AlfredOShop does between the landscape 9300i and portrait M600i.
+//! * [`HtmlRenderer`] — emits a real HTML + JavaScript page (the
+//!   servlet/AJAX stand-in used for the iPhone in Figure 9).
+
+mod grid;
+mod html;
+mod widget;
+
+pub use grid::GridRenderer;
+pub use html::HtmlRenderer;
+pub use widget::WidgetRenderer;
+
+use std::fmt;
+
+use crate::capability::{CapabilityPlan, ConcreteCapability, DeviceCapabilities};
+use crate::control::{UiDescription, UiError};
+
+/// One concrete widget chosen for an abstract control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidgetInstance {
+    /// The abstract control's id.
+    pub control: String,
+    /// The concrete widget class, e.g. `"swt.TouchButton"`.
+    pub widget: String,
+    /// The input capability wired to the widget, if interactive.
+    pub input: Option<ConcreteCapability>,
+}
+
+/// The output of rendering: a textual realization plus the widget binding
+/// table used to route [`crate::UiEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedUi {
+    /// The backend that produced this ("grid", "widget", "html").
+    pub backend: String,
+    /// The device it was rendered for.
+    pub device: String,
+    /// The realized UI as text (screen dump, widget tree, or HTML).
+    pub text: String,
+    /// Concrete widgets by control.
+    pub widgets: Vec<WidgetInstance>,
+    /// The capability plan the renderer used.
+    pub plan: CapabilityPlan,
+}
+
+impl RenderedUi {
+    /// The textual realization.
+    pub fn as_text(&self) -> &str {
+        &self.text
+    }
+
+    /// Looks up the widget chosen for a control.
+    pub fn widget_for(&self, control: &str) -> Option<&WidgetInstance> {
+        self.widgets.iter().find(|w| w.control == control)
+    }
+
+    /// Number of interactive widgets.
+    pub fn interactive_count(&self) -> usize {
+        self.widgets.iter().filter(|w| w.input.is_some()).count()
+    }
+
+    /// Approximate in-memory footprint of the rendered artifact in bytes
+    /// (used by the §4.1 resource-consumption experiment).
+    pub fn memory_footprint(&self) -> usize {
+        self.text.len()
+            + self
+                .widgets
+                .iter()
+                .map(|w| w.control.len() + w.widget.len() + 16)
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for RenderedUi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{} on {}]", self.backend, self.device)?;
+        f.write_str(&self.text)
+    }
+}
+
+/// A rendering backend.
+pub trait Renderer {
+    /// The backend's name.
+    fn name(&self) -> &'static str;
+
+    /// Renders `ui` for a device with `caps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UiError::UnsatisfiedCapability`] if the device cannot
+    /// operate the UI, or [`UiError::RenderFailed`] for backend problems.
+    fn render(&self, ui: &UiDescription, caps: &DeviceCapabilities) -> Result<RenderedUi, UiError>;
+}
+
+/// Picks the preferred renderer for a device, mirroring §5.2: SWT-style
+/// widgets where a rich toolkit exists, HTML for browser-only devices,
+/// and the text grid as the lowest common denominator.
+pub fn select_renderer(caps: &DeviceCapabilities) -> Box<dyn Renderer> {
+    if caps.device.contains("iPhone") {
+        Box::new(HtmlRenderer::default())
+    } else if caps
+        .screen()
+        .map(|(w, h)| w * h >= 240 * 240)
+        .unwrap_or(false)
+    {
+        Box::new(WidgetRenderer::default())
+    } else {
+        Box::new(GridRenderer::default())
+    }
+}
+
+pub(crate) fn check_plan(
+    ui: &UiDescription,
+    caps: &DeviceCapabilities,
+) -> Result<CapabilityPlan, UiError> {
+    ui.validate()?;
+    CapabilityPlan::resolve(&ui.required_capabilities(), caps, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::Control;
+
+    #[test]
+    fn renderer_selection_matches_paper() {
+        // iPhone: no Java toolkit → servlet/HTML renderer.
+        assert_eq!(
+            select_renderer(&DeviceCapabilities::iphone()).name(),
+            "html"
+        );
+        // 9300i runs eRCP → widget renderer.
+        assert_eq!(
+            select_renderer(&DeviceCapabilities::nokia_9300i()).name(),
+            "widget"
+        );
+    }
+
+    #[test]
+    fn rendered_ui_accessors() {
+        let ui = UiDescription::new("t").with_control(Control::button("ok", "OK"));
+        let rendered = GridRenderer::default()
+            .render(&ui, &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        assert!(rendered.widget_for("ok").is_some());
+        assert!(rendered.widget_for("nope").is_none());
+        assert!(rendered.interactive_count() >= 1);
+        assert!(rendered.memory_footprint() > 0);
+        assert!(rendered.to_string().contains("grid"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The widget-tree renderer (SWT/eRCP stand-in).
+//!
+//! Chooses a concrete widget class per control based on the device's input
+//! capabilities and adapts the arrangement to the screen orientation: "as
+//! the Sony Ericsson phone has a portrait-oriented display and the Nokia a
+//! landscape-oriented display the output interface is adapted accordingly"
+//! (§5.2).
+
+use crate::capability::{CapabilityInterface, ConcreteCapability, DeviceCapabilities, Orientation};
+use crate::control::{Control, ControlKind, UiDescription, UiError};
+use crate::render::{check_plan, RenderedUi, Renderer, WidgetInstance};
+
+/// The widget renderer. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct WidgetRenderer {
+    _private: (),
+}
+
+impl Renderer for WidgetRenderer {
+    fn name(&self) -> &'static str {
+        "widget"
+    }
+
+    fn render(&self, ui: &UiDescription, caps: &DeviceCapabilities) -> Result<RenderedUi, UiError> {
+        let plan = check_plan(ui, caps)?;
+        let orientation = caps.orientation();
+        let mut out = String::new();
+        let mut widgets = Vec::new();
+        out.push_str(&format!(
+            "Shell \"{}\" ({:?})\n",
+            ui.name, orientation
+        ));
+        for c in &ui.controls {
+            emit(c, caps, orientation, 1, &mut out, &mut widgets);
+        }
+        Ok(RenderedUi {
+            backend: self.name().to_owned(),
+            device: caps.device.clone(),
+            text: out,
+            widgets,
+            plan,
+        })
+    }
+}
+
+fn button_widget(caps: &DeviceCapabilities) -> (String, Option<ConcreteCapability>) {
+    match caps.best_for(CapabilityInterface::PointingDevice) {
+        Some((ConcreteCapability::TouchScreen, _)) => {
+            ("swt.TouchButton".into(), Some(ConcreteCapability::TouchScreen))
+        }
+        Some((cap, _)) => ("swt.Button".into(), Some(cap)),
+        None => (
+            "swt.SoftkeyItem".into(),
+            caps.best_for(CapabilityInterface::KeyboardDevice)
+                .map(|(c, _)| c),
+        ),
+    }
+}
+
+fn emit(
+    c: &Control,
+    caps: &DeviceCapabilities,
+    orientation: Orientation,
+    depth: usize,
+    out: &mut String,
+    widgets: &mut Vec<WidgetInstance>,
+) {
+    let pad = "  ".repeat(depth);
+    match &c.kind {
+        ControlKind::Label { text } => {
+            out.push_str(&format!("{pad}Label(\"{text}\")\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "swt.Label".into(),
+                input: None,
+            });
+        }
+        ControlKind::Button { text } => {
+            let (widget, input) = button_widget(caps);
+            out.push_str(&format!("{pad}{widget}(\"{text}\")\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget,
+                input,
+            });
+        }
+        ControlKind::TextInput { placeholder, .. } => {
+            let input = caps
+                .best_for(CapabilityInterface::KeyboardDevice)
+                .map(|(cap, _)| cap);
+            let widget = match input {
+                Some(ConcreteCapability::Handwriting) => "swt.InkInput",
+                Some(ConcreteCapability::VirtualKeyboard | ConcreteCapability::TouchScreen) => {
+                    "swt.TouchInput"
+                }
+                _ => "swt.Text",
+            };
+            out.push_str(&format!("{pad}{widget}(hint=\"{placeholder}\")\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: widget.into(),
+                input,
+            });
+        }
+        ControlKind::List { items, .. } => {
+            let input = caps
+                .best_for(CapabilityInterface::PointingDevice)
+                .map(|(cap, _)| cap);
+            out.push_str(&format!("{pad}List({} items)\n", items.len()));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "swt.List".into(),
+                input,
+            });
+        }
+        ControlKind::Image {
+            width,
+            height,
+            source,
+        } => {
+            // Scale to fit the device's screen, preserving aspect ratio.
+            let (sw, sh) = caps.screen().unwrap_or((*width, *height));
+            let scale = f64::min(
+                f64::min(f64::from(sw) / f64::from(*width), 1.0),
+                f64::min(f64::from(sh) / f64::from(*height), 1.0),
+            );
+            let (dw, dh) = (
+                (f64::from(*width) * scale) as u32,
+                (f64::from(*height) * scale) as u32,
+            );
+            out.push_str(&format!("{pad}Canvas({dw}x{dh}, src={source})\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "swt.Canvas".into(),
+                input: None,
+            });
+        }
+        ControlKind::Progress { value } => {
+            out.push_str(&format!("{pad}ProgressBar({value}%)\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "swt.ProgressBar".into(),
+                input: None,
+            });
+        }
+        ControlKind::Slider { min, max, value } => {
+            let input = caps
+                .best_for(CapabilityInterface::PointingDevice)
+                .map(|(cap, _)| cap);
+            out.push_str(&format!("{pad}Scale({min}..{max}={value})\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: "swt.Scale".into(),
+                input,
+            });
+        }
+        ControlKind::Panel { children, vertical } => {
+            // Orientation adaptation: on portrait screens, horizontal rows
+            // reflow to vertical stacks (narrow screens can't fit rows).
+            let effective_vertical = match orientation {
+                Orientation::Portrait => true,
+                Orientation::Landscape => *vertical,
+            };
+            let layout = if effective_vertical { "column" } else { "row" };
+            out.push_str(&format!("{pad}Composite[{layout}]\n"));
+            widgets.push(WidgetInstance {
+                control: c.id.clone(),
+                widget: format!("swt.Composite[{layout}]"),
+                input: None,
+            });
+            for child in children {
+                emit(child, caps, orientation, depth + 1, out, widgets);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ui() -> UiDescription {
+        UiDescription::new("AlfredOShop")
+            .with_control(Control::label("title", "Products"))
+            .with_control(Control::panel(
+                "row",
+                false,
+                vec![
+                    Control::button("details", "Details"),
+                    Control::button("back", "Back"),
+                ],
+            ))
+            .with_control(Control::text_input("search", "search…"))
+            .with_control(Control::image("photo", 800, 600, "shop/photo"))
+    }
+
+    #[test]
+    fn orientation_adapts_panels() {
+        // Landscape 9300i keeps the row; portrait M600i reflows to column.
+        let nokia = WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        assert!(nokia.as_text().contains("Composite[row]"), "{}", nokia.as_text());
+        let se = WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::sony_ericsson_m600i())
+            .unwrap();
+        assert!(se.as_text().contains("Composite[column]"), "{}", se.as_text());
+        // Same abstract UI, different realizations.
+        assert_ne!(nokia.as_text(), se.as_text());
+    }
+
+    #[test]
+    fn widget_classes_follow_input_capabilities() {
+        let nokia = WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::nokia_9300i())
+            .unwrap();
+        assert_eq!(nokia.widget_for("details").unwrap().widget, "swt.Button");
+        assert_eq!(nokia.widget_for("search").unwrap().widget, "swt.Text");
+
+        let se = WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::sony_ericsson_m600i())
+            .unwrap();
+        assert_eq!(se.widget_for("details").unwrap().widget, "swt.TouchButton");
+        // M600i keyboard: touchscreen virtual input beats handwriting.
+        assert_eq!(se.widget_for("search").unwrap().widget, "swt.TouchInput");
+    }
+
+    #[test]
+    fn images_scale_to_screen() {
+        let se = WidgetRenderer::default()
+            .render(&ui(), &DeviceCapabilities::sony_ericsson_m600i())
+            .unwrap();
+        // An 800x600 image on a 240x320 screen must shrink.
+        assert!(se.as_text().contains("Canvas(240x180"), "{}", se.as_text());
+    }
+
+    #[test]
+    fn landscape_default_for_screenless() {
+        let headless = DeviceCapabilities::new(
+            "headless",
+            vec![ConcreteCapability::QwertyKeyboard],
+        );
+        let simple = UiDescription::new("t").with_control(Control::label("l", "x"));
+        let rendered = WidgetRenderer::default().render(&simple, &headless).unwrap();
+        assert!(rendered.as_text().contains("Landscape"));
+    }
+}

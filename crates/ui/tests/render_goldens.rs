@@ -1,0 +1,113 @@
+//! Golden renderings: exact expected output for a fixed UI on fixed
+//! devices, pinning the renderers' observable behaviour.
+
+use alfredo_ui::control::{ControlKind, RelationKind};
+use alfredo_ui::render::{GridRenderer, HtmlRenderer, Renderer, WidgetRenderer};
+use alfredo_ui::{Control, DeviceCapabilities, Relation, UiDescription};
+
+fn golden_ui() -> UiDescription {
+    UiDescription::new("golden")
+        .with_control(Control::label("title", "Golden sample"))
+        .with_control(Control::panel(
+            "row",
+            false,
+            vec![
+                Control::button("yes", "Yes"),
+                Control::button("no", "No"),
+            ],
+        ))
+        .with_control(Control::list("options", ["alpha", "beta"]))
+        .with_control(Control::new("meter", ControlKind::Progress { value: 40 }))
+        .with_relation(Relation::new("title", RelationKind::LabelFor, "options"))
+}
+
+#[test]
+fn grid_golden_nokia() {
+    let rendered = GridRenderer::default()
+        .render(&golden_ui(), &DeviceCapabilities::nokia_9300i())
+        .unwrap();
+    // The progress bar width depends on screen columns; check the stable
+    // prefix lines exactly and the bar structurally.
+    let lines: Vec<&str> = rendered.as_text().lines().collect();
+    assert_eq!(lines[0], "== golden ==");
+    assert_eq!(lines[1], "Golden sample");
+    assert_eq!(lines[2], "[ Yes ]  [ No ]");
+    assert_eq!(lines[3], "  alpha");
+    assert_eq!(lines[4], "  beta");
+    assert!(lines[5].starts_with('[') && lines[5].ends_with(']'));
+    let hashes = lines[5].matches('#').count();
+    let dashes = lines[5].matches('-').count();
+    let frac = hashes as f64 / (hashes + dashes) as f64;
+    assert!((0.35..0.45).contains(&frac), "40% bar, got {frac}");
+}
+
+#[test]
+fn widget_golden_nokia() {
+    let rendered = WidgetRenderer::default()
+        .render(&golden_ui(), &DeviceCapabilities::nokia_9300i())
+        .unwrap();
+    let expected = "\
+Shell \"golden\" (Landscape)
+  Label(\"Golden sample\")
+  Composite[row]
+    swt.Button(\"Yes\")
+    swt.Button(\"No\")
+  List(2 items)
+  ProgressBar(40%)
+";
+    assert_eq!(rendered.as_text(), expected);
+}
+
+#[test]
+fn widget_golden_m600i_portrait() {
+    let rendered = WidgetRenderer::default()
+        .render(&golden_ui(), &DeviceCapabilities::sony_ericsson_m600i())
+        .unwrap();
+    let expected = "\
+Shell \"golden\" (Portrait)
+  Label(\"Golden sample\")
+  Composite[column]
+    swt.TouchButton(\"Yes\")
+    swt.TouchButton(\"No\")
+  List(2 items)
+  ProgressBar(40%)
+";
+    assert_eq!(rendered.as_text(), expected);
+}
+
+#[test]
+fn html_golden_iphone() {
+    let rendered = HtmlRenderer::default()
+        .render(&golden_ui(), &DeviceCapabilities::iphone())
+        .unwrap();
+    let html = rendered.as_text();
+    // Structural golden: exact element lines in order.
+    let body: Vec<&str> = html
+        .lines()
+        .skip_while(|l| *l != "<body>")
+        .skip(1)
+        .take_while(|l| *l != "</body>")
+        .collect();
+    assert_eq!(body[0], r#"<p id="title">Golden sample</p>"#);
+    assert_eq!(
+        body[1],
+        r#"<div id="row" style="display:flex;flex-direction:row">"#
+    );
+    assert_eq!(
+        body[2],
+        r#"<button id="yes" onclick="postEvent('yes','click',null)">Yes</button>"#
+    );
+    assert_eq!(
+        body[3],
+        r#"<button id="no" onclick="postEvent('no','click',null)">No</button>"#
+    );
+    assert_eq!(body[4], "</div>");
+    assert!(body[5].starts_with(r#"<select id="options""#));
+    assert_eq!(body[6], "<option>alpha</option>");
+    assert_eq!(body[7], "<option>beta</option>");
+    assert_eq!(body[8], "</select>");
+    assert_eq!(
+        body[9],
+        r#"<progress id="meter" max="100" value="40"></progress>"#
+    );
+}

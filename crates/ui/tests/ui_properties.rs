@@ -1,0 +1,191 @@
+//! Property-based tests for the abstract UI model: codec round-trips,
+//! renderer totality, and capability-matching invariants.
+
+use alfredo_ui::capability::{CapabilityPlan, ConcreteCapability};
+use alfredo_ui::control::{ControlKind, Relation, RelationKind};
+use alfredo_ui::render::{GridRenderer, HtmlRenderer, Renderer, WidgetRenderer};
+use alfredo_ui::{CapabilityInterface, Control, DeviceCapabilities, UiDescription};
+use proptest::prelude::*;
+
+fn id_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    ".{0,20}"
+}
+
+fn leaf_control() -> impl Strategy<Value = Control> {
+    (id_strategy(), text_strategy()).prop_flat_map(|(id, text)| {
+        prop_oneof![
+            Just(Control::label(id.clone(), text.clone())),
+            Just(Control::button(id.clone(), text.clone())),
+            Just(Control::text_input(id.clone(), text.clone())),
+            (prop::collection::vec(text_strategy(), 0..4)).prop_map({
+                let id = id.clone();
+                move |items| Control::list(id.clone(), items)
+            }),
+            (1u32..2000, 1u32..2000).prop_map({
+                let id = id.clone();
+                let text = text.clone();
+                move |(w, h)| Control::image(id.clone(), w, h, text.clone())
+            }),
+            (0u8..=100).prop_map({
+                let id = id.clone();
+                move |value| Control::new(id.clone(), ControlKind::Progress { value })
+            }),
+            (any::<i32>(), any::<i32>(), any::<i32>()).prop_map({
+                let id = id.clone();
+                move |(a, b, c)| {
+                    Control::new(
+                        id.clone(),
+                        ControlKind::Slider {
+                            min: i64::from(a),
+                            max: i64::from(b),
+                            value: i64::from(c),
+                        },
+                    )
+                }
+            }),
+        ]
+    })
+}
+
+fn control_strategy() -> impl Strategy<Value = Control> {
+    leaf_control().prop_recursive(3, 12, 4, |inner| {
+        (id_strategy(), any::<bool>(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(id, vertical, children)| Control::panel(id, vertical, children))
+    })
+}
+
+fn ui_strategy() -> impl Strategy<Value = UiDescription> {
+    (
+        "[a-zA-Z]{1,12}",
+        prop::collection::vec(control_strategy(), 0..5),
+        prop::collection::vec(
+            (id_strategy(), id_strategy(), 0u8..4),
+            0..4,
+        ),
+    )
+        .prop_map(|(name, controls, relations)| {
+            let mut ui = UiDescription::new(name);
+            for c in controls {
+                ui = ui.with_control(c);
+            }
+            for (from, to, kind) in relations {
+                let kind = match kind {
+                    0 => RelationKind::LabelFor,
+                    1 => RelationKind::Triggers,
+                    2 => RelationKind::DisplaysResultOf,
+                    _ => RelationKind::Adjacent,
+                };
+                ui = ui.with_relation(Relation::new(from, kind, to));
+            }
+            ui
+        })
+}
+
+proptest! {
+    /// Encode → decode is the identity on arbitrary UI descriptions.
+    #[test]
+    fn ui_wire_round_trip(ui in ui_strategy()) {
+        let bytes = ui.encode();
+        prop_assert_eq!(UiDescription::decode(&bytes).expect("decode"), ui);
+    }
+
+    /// JSON serde round-trips too (descriptor dumps).
+    #[test]
+    fn ui_json_round_trip(ui in ui_strategy()) {
+        let json = serde_json::to_string(&ui).unwrap();
+        let back: UiDescription = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, ui);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn ui_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = UiDescription::decode(&bytes);
+    }
+
+    /// Every *valid* UI renders on every backend for a capable device, and
+    /// every control receives a widget binding.
+    #[test]
+    fn renderers_are_total_on_valid_uis(ui in ui_strategy()) {
+        prop_assume!(ui.validate().is_ok());
+        let notebook = DeviceCapabilities::notebook();
+        for renderer in [
+            Box::new(GridRenderer::default()) as Box<dyn Renderer>,
+            Box::new(WidgetRenderer::default()),
+            Box::new(HtmlRenderer::default()),
+        ] {
+            let rendered = renderer
+                .render(&ui, &notebook)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", renderer.name()));
+            for control in ui.all_controls() {
+                prop_assert!(
+                    rendered.widget_for(&control.id).is_some(),
+                    "{} lost control {}",
+                    renderer.name(),
+                    control.id
+                );
+            }
+        }
+    }
+
+    /// Capability resolution is monotone: adding a federated helper never
+    /// makes an assignment worse.
+    #[test]
+    fn federation_never_degrades_quality(seed in any::<u8>()) {
+        let primary = match seed % 3 {
+            0 => DeviceCapabilities::nokia_9300i(),
+            1 => DeviceCapabilities::sony_ericsson_m600i(),
+            _ => DeviceCapabilities::iphone(),
+        };
+        let helper = DeviceCapabilities::notebook();
+        let required = [
+            CapabilityInterface::KeyboardDevice,
+            CapabilityInterface::PointingDevice,
+            CapabilityInterface::ScreenDevice,
+        ];
+        let alone = CapabilityPlan::resolve(&required, &primary, &[]).unwrap();
+        let federated = CapabilityPlan::resolve(&required, &primary, &[&helper]).unwrap();
+        for interface in required {
+            let a = alone.assignment(interface).unwrap();
+            let f = federated.assignment(interface).unwrap();
+            prop_assert!(f.quality >= a.quality, "{interface}: {} < {}", f.quality, a.quality);
+        }
+    }
+
+    /// Quality scores are consistent with the `implements` relation.
+    #[test]
+    fn quality_iff_implements(seed in any::<u8>()) {
+        let caps = [
+            ConcreteCapability::QwertyKeyboard,
+            ConcreteCapability::PhoneKeypad,
+            ConcreteCapability::Handwriting,
+            ConcreteCapability::VirtualKeyboard,
+            ConcreteCapability::Mouse,
+            ConcreteCapability::Trackpoint,
+            ConcreteCapability::CursorKeys,
+            ConcreteCapability::Accelerometer,
+            ConcreteCapability::TouchScreen,
+            ConcreteCapability::Speaker,
+            ConcreteCapability::Camera,
+        ];
+        let interfaces = [
+            CapabilityInterface::KeyboardDevice,
+            CapabilityInterface::PointingDevice,
+            CapabilityInterface::ScreenDevice,
+            CapabilityInterface::AudioDevice,
+            CapabilityInterface::CameraDevice,
+        ];
+        let cap = caps[seed as usize % caps.len()];
+        for interface in interfaces {
+            let q = cap.quality_for(interface);
+            prop_assert_eq!(q.is_some(), cap.implements().contains(&interface));
+            if let Some(q) = q {
+                prop_assert!(q >= 1);
+            }
+        }
+    }
+}

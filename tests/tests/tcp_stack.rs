@@ -1,0 +1,128 @@
+//! The full AlfredO stack over a *real* TCP connection (loopback): the
+//! same protocol the in-memory tests exercise, but with genuine sockets —
+//! demonstrating that nothing in the stack depends on the in-memory
+//! fabric.
+
+use std::time::Duration;
+
+use alfredo_apps::{register_shop, sample_catalog, SHOP_INTERFACE};
+use alfredo_core::{AlfredOEngine, EngineConfig};
+use alfredo_net::{TcpNetListener, TcpTransport};
+use alfredo_osgi::Framework;
+use alfredo_rosgi::{DiscoveryDirectory, EndpointConfig, RemoteEndpoint};
+use alfredo_ui::{DeviceCapabilities, UiEvent};
+
+#[test]
+fn shop_session_over_real_tcp() {
+    // --- device: TCP listener + accept loop -----------------------------
+    let device_fw = Framework::new();
+    register_shop(&device_fw, sample_catalog()).unwrap();
+    let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let fw2 = device_fw.clone();
+    std::thread::spawn(move || {
+        while let Ok(conn) = listener.accept() {
+            let fw3 = fw2.clone();
+            std::thread::spawn(move || {
+                if let Ok(ep) = RemoteEndpoint::establish(
+                    Box::new(conn),
+                    fw3,
+                    EndpointConfig::named("tcp-screen"),
+                ) {
+                    ep.join();
+                }
+            });
+        }
+    });
+
+    // --- phone: engine over a TCP transport ------------------------------
+    let engine = AlfredOEngine::new(
+        Framework::new(),
+        alfredo_net::InMemoryNetwork::new(), // unused; we connect by transport
+        DiscoveryDirectory::new(),
+        EngineConfig::phone("tcp-phone", DeviceCapabilities::nokia_9300i()),
+    );
+    let transport = TcpTransport::connect(addr).unwrap();
+    let conn = engine.connect_transport(Box::new(transport)).unwrap();
+    assert!(conn
+        .available_services()
+        .iter()
+        .any(|s| s.offers(SHOP_INTERFACE)));
+
+    let session = conn.acquire(SHOP_INTERFACE).unwrap();
+    session
+        .handle_event(&UiEvent::Click {
+            control: "refresh".into(),
+        })
+        .unwrap();
+    let cats = session.with_state(|s| s.items("categories").unwrap());
+    assert_eq!(cats, vec!["Beds", "Chairs", "Sofas", "Tables"]);
+
+    // A heavier exchange over the socket: full product details.
+    session
+        .handle_event(&UiEvent::Selected {
+            control: "categories".into(),
+            index: 0,
+        })
+        .unwrap();
+    session
+        .handle_event(&UiEvent::Selected {
+            control: "products".into(),
+            index: 0,
+        })
+        .unwrap();
+    let detail = session.with_state(|s| s.get("detail").cloned()).unwrap();
+    assert!(detail.field("price_cents").is_some());
+
+    session.close();
+    conn.close();
+}
+
+#[test]
+fn raw_endpoint_over_tcp_with_events() {
+    use alfredo_osgi::{Event, Properties};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let device_fw = Framework::new();
+    let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let fw2 = device_fw.clone();
+    std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        if let Ok(ep) =
+            RemoteEndpoint::establish(Box::new(conn), fw2, EndpointConfig::named("tcp-dev"))
+        {
+            ep.join();
+        }
+    });
+
+    let phone_fw = Framework::new();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hits);
+    phone_fw.event_admin().subscribe("tcp/topic", move |e| {
+        assert_eq!(e.properties.get_i64("n"), Some(7));
+        h.fetch_add(1, Ordering::SeqCst);
+    });
+    let transport = TcpTransport::connect(addr).unwrap();
+    let ep = RemoteEndpoint::establish(
+        Box::new(transport),
+        phone_fw,
+        EndpointConfig::named("tcp-phone"),
+    )
+    .unwrap();
+
+    // Let the interest update reach the device, then post on its bus.
+    std::thread::sleep(Duration::from_millis(50));
+    device_fw
+        .event_admin()
+        .post(&Event::new("tcp/topic", Properties::new().with("n", 7i64)));
+    for _ in 0..200 {
+        if hits.load(Ordering::SeqCst) == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "event crossed real TCP");
+    ep.close();
+}
