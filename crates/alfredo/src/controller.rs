@@ -14,12 +14,11 @@
 //! phone, preserving the sandbox property: the target device never sends
 //! executable code for the default interaction.
 
-use serde::{Deserialize, Serialize};
-
+use alfredo_osgi::json::{field, opt_field, FromJson, Json, JsonError, ToJson};
 use alfredo_osgi::Value;
 
 /// Where an action's argument value comes from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArgSource {
     /// A constant baked into the rule.
     Const(Value),
@@ -42,7 +41,7 @@ pub enum ArgSource {
 }
 
 /// A service method invocation recipe.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodCall {
     /// Target service interface (looked up in the phone's local registry,
     /// where the proxy lives).
@@ -65,7 +64,7 @@ impl MethodCall {
 }
 
 /// Where to store an invocation result in the UI state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// Target control id.
     pub control: String,
@@ -92,7 +91,7 @@ impl Binding {
 }
 
 /// What fires a rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Trigger {
     /// A click on a control.
     UiClick {
@@ -132,7 +131,7 @@ pub enum Trigger {
 }
 
 /// What a fired rule does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// Invoke a service method, optionally binding the result into the UI
     /// state.
@@ -167,7 +166,7 @@ pub enum Action {
 }
 
 /// One declarative rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// What fires the rule.
     pub trigger: Trigger,
@@ -198,6 +197,7 @@ impl Rule {
 ///
 /// ```
 /// use alfredo_core::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
+/// use alfredo_osgi::{FromJson, ToJson};
 ///
 /// let program = ControllerProgram::new(vec![Rule::on_click(
 ///     "refresh",
@@ -205,11 +205,11 @@ impl Rule {
 ///     Some(Binding::to_slot("products", "items")),
 /// )]);
 /// assert_eq!(program.rules().len(), 1);
-/// let json = serde_json::to_string(&program).unwrap();
-/// let back: ControllerProgram = serde_json::from_str(&json).unwrap();
+/// let json = program.to_json_string();
+/// let back = ControllerProgram::from_json_str(&json).unwrap();
 /// assert_eq!(back, program);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ControllerProgram {
     rules: Vec<Rule>,
 }
@@ -259,6 +259,238 @@ impl ControllerProgram {
         self.rules.iter().filter_map(|r| match &r.trigger {
             Trigger::Poll { interval_ms } => Some((*interval_ms, r)),
             _ => None,
+        })
+    }
+}
+
+// --- JSON encoding -------------------------------------------------------
+//
+// The controller ships inside the service descriptor as pure data; the
+// JSON shape uses externally tagged enums (`{"UiClick": {...}}`) and plain
+// strings for unit variants, so descriptors stay human-inspectable.
+
+fn tagged(tag: &str, body: Json) -> Json {
+    Json::obj([(tag, body)])
+}
+
+fn untag(json: &Json) -> Result<(&str, &Json), JsonError> {
+    let obj = json
+        .as_obj()
+        .ok_or_else(|| JsonError("expected tagged object".into()))?;
+    if obj.len() != 1 {
+        return Err(JsonError(format!(
+            "expected single-key tag object, got {} keys",
+            obj.len()
+        )));
+    }
+    let (k, v) = obj.iter().next().expect("len checked");
+    Ok((k.as_str(), v))
+}
+
+impl ToJson for ArgSource {
+    fn to_json(&self) -> Json {
+        match self {
+            ArgSource::Const(v) => tagged("Const", v.to_json()),
+            ArgSource::EventValue => Json::str("EventValue"),
+            ArgSource::EventDx => Json::str("EventDx"),
+            ArgSource::EventDy => Json::str("EventDy"),
+            ArgSource::State { control } => {
+                tagged("State", Json::obj([("control", Json::str(control))]))
+            }
+            ArgSource::SelectedItem { control } => {
+                tagged("SelectedItem", Json::obj([("control", Json::str(control))]))
+            }
+        }
+    }
+}
+
+impl FromJson for ArgSource {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some(s) = json.as_str() {
+            return match s {
+                "EventValue" => Ok(ArgSource::EventValue),
+                "EventDx" => Ok(ArgSource::EventDx),
+                "EventDy" => Ok(ArgSource::EventDy),
+                other => Err(JsonError(format!("unknown arg source '{other}'"))),
+            };
+        }
+        let (tag, body) = untag(json)?;
+        match tag {
+            "Const" => Ok(ArgSource::Const(Value::from_json(body)?)),
+            "State" => Ok(ArgSource::State {
+                control: field(body, "control")?,
+            }),
+            "SelectedItem" => Ok(ArgSource::SelectedItem {
+                control: field(body, "control")?,
+            }),
+            other => Err(JsonError(format!("unknown arg source '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for MethodCall {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("service", Json::str(&self.service)),
+            ("method", Json::str(&self.method)),
+            ("args", self.args.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MethodCall {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(MethodCall {
+            service: field(json, "service")?,
+            method: field(json, "method")?,
+            args: field(json, "args")?,
+        })
+    }
+}
+
+impl ToJson for Binding {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("control", Json::str(&self.control)),
+            ("slot", self.slot.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Binding {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Binding {
+            control: field(json, "control")?,
+            slot: opt_field(json, "slot")?,
+        })
+    }
+}
+
+impl ToJson for Trigger {
+    fn to_json(&self) -> Json {
+        let control_body = |control: &str| Json::obj([("control", Json::str(control))]);
+        match self {
+            Trigger::UiClick { control } => tagged("UiClick", control_body(control)),
+            Trigger::UiSelected { control } => tagged("UiSelected", control_body(control)),
+            Trigger::UiText { control } => tagged("UiText", control_body(control)),
+            Trigger::UiSlider { control } => tagged("UiSlider", control_body(control)),
+            Trigger::UiPointer { control } => tagged("UiPointer", control_body(control)),
+            Trigger::RemoteEvent { topic_pattern } => tagged(
+                "RemoteEvent",
+                Json::obj([("topic_pattern", Json::str(topic_pattern))]),
+            ),
+            Trigger::Poll { interval_ms } => {
+                tagged("Poll", Json::obj([("interval_ms", interval_ms.to_json())]))
+            }
+        }
+    }
+}
+
+impl FromJson for Trigger {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let (tag, body) = untag(json)?;
+        match tag {
+            "UiClick" => Ok(Trigger::UiClick {
+                control: field(body, "control")?,
+            }),
+            "UiSelected" => Ok(Trigger::UiSelected {
+                control: field(body, "control")?,
+            }),
+            "UiText" => Ok(Trigger::UiText {
+                control: field(body, "control")?,
+            }),
+            "UiSlider" => Ok(Trigger::UiSlider {
+                control: field(body, "control")?,
+            }),
+            "UiPointer" => Ok(Trigger::UiPointer {
+                control: field(body, "control")?,
+            }),
+            "RemoteEvent" => Ok(Trigger::RemoteEvent {
+                topic_pattern: field(body, "topic_pattern")?,
+            }),
+            "Poll" => Ok(Trigger::Poll {
+                interval_ms: field(body, "interval_ms")?,
+            }),
+            other => Err(JsonError(format!("unknown trigger '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for Action {
+    fn to_json(&self) -> Json {
+        match self {
+            Action::Invoke { call, bind } => tagged(
+                "Invoke",
+                Json::obj([("call", call.to_json()), ("bind", bind.to_json())]),
+            ),
+            Action::Update { bind, value } => tagged(
+                "Update",
+                Json::obj([("bind", bind.to_json()), ("value", value.to_json())]),
+            ),
+            Action::AcquireService { interface } => tagged(
+                "AcquireService",
+                Json::obj([("interface", Json::str(interface))]),
+            ),
+            Action::EmitEvent { topic, value_key } => tagged(
+                "EmitEvent",
+                Json::obj([("topic", Json::str(topic)), ("value_key", value_key.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Action {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let (tag, body) = untag(json)?;
+        match tag {
+            "Invoke" => Ok(Action::Invoke {
+                call: field(body, "call")?,
+                bind: opt_field(body, "bind")?,
+            }),
+            "Update" => Ok(Action::Update {
+                bind: field(body, "bind")?,
+                value: field(body, "value")?,
+            }),
+            "AcquireService" => Ok(Action::AcquireService {
+                interface: field(body, "interface")?,
+            }),
+            "EmitEvent" => Ok(Action::EmitEvent {
+                topic: field(body, "topic")?,
+                value_key: opt_field(body, "value_key")?,
+            }),
+            other => Err(JsonError(format!("unknown action '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for Rule {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("trigger", self.trigger.to_json()),
+            ("actions", self.actions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Rule {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Rule {
+            trigger: field(json, "trigger")?,
+            actions: field(json, "actions")?,
+        })
+    }
+}
+
+impl ToJson for ControllerProgram {
+    fn to_json(&self) -> Json {
+        Json::obj([("rules", self.rules.to_json())])
+    }
+}
+
+impl FromJson for ControllerProgram {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ControllerProgram {
+            rules: field(json, "rules")?,
         })
     }
 }
@@ -352,8 +584,8 @@ mod tests {
         // The controller ships inside the descriptor: it must round-trip
         // losslessly as pure data.
         let p = program();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: ControllerProgram = serde_json::from_str(&json).unwrap();
+        let json = p.to_json_string();
+        let back = ControllerProgram::from_json_str(&json).unwrap();
         assert_eq!(back, p);
     }
 

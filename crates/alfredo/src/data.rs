@@ -19,7 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use alfredo_osgi::{
     Event, EventAdmin, Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,

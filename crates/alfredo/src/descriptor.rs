@@ -16,8 +16,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+use alfredo_osgi::json::{field, FromJson, Json, JsonError, ToJson};
 use alfredo_ui::{CapabilityInterface, UiDescription};
 
 use crate::controller::ControllerProgram;
@@ -49,7 +48,7 @@ impl fmt::Display for DescriptorError {
 impl std::error::Error for DescriptorError {}
 
 /// Abstract lower bounds a component needs from its host.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResourceRequirements {
     /// Minimum free memory in bytes.
     pub min_memory_bytes: u64,
@@ -91,8 +90,53 @@ impl ResourceRequirements {
     }
 }
 
+fn capability_to_json(cap: CapabilityInterface) -> Json {
+    Json::str(cap.interface_name())
+}
+
+fn capability_from_json(json: &Json) -> Result<CapabilityInterface, JsonError> {
+    match json.as_str() {
+        Some("ui.KeyboardDevice") => Ok(CapabilityInterface::KeyboardDevice),
+        Some("ui.PointingDevice") => Ok(CapabilityInterface::PointingDevice),
+        Some("ui.ScreenDevice") => Ok(CapabilityInterface::ScreenDevice),
+        Some("ui.AudioDevice") => Ok(CapabilityInterface::AudioDevice),
+        Some("ui.CameraDevice") => Ok(CapabilityInterface::CameraDevice),
+        _ => Err(JsonError(format!("unknown capability {json}"))),
+    }
+}
+
+impl ToJson for ResourceRequirements {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("min_memory_bytes", self.min_memory_bytes.to_json()),
+            ("min_cpu_mhz", self.min_cpu_mhz.to_json()),
+            (
+                "capabilities",
+                Json::Arr(self.capabilities.iter().copied().map(capability_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ResourceRequirements {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let caps = json
+            .get("capabilities")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError("missing field 'capabilities'".into()))?;
+        Ok(ResourceRequirements {
+            min_memory_bytes: field(json, "min_memory_bytes")?,
+            min_cpu_mhz: field(json, "min_cpu_mhz")?,
+            capabilities: caps
+                .iter()
+                .map(capability_from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// One entry of the descriptor's dependency list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DependencySpec {
     /// The depended-on service's interface.
     pub interface: String,
@@ -128,6 +172,28 @@ impl DependencySpec {
     }
 }
 
+impl ToJson for DependencySpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("interface", Json::str(&self.interface)),
+            ("tier", self.tier.to_json()),
+            ("offloadable", self.offloadable.to_json()),
+            ("requirements", self.requirements.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DependencySpec {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DependencySpec {
+            interface: field(json, "interface")?,
+            tier: field(json, "tier")?,
+            offloadable: field(json, "offloadable")?,
+            requirements: field(json, "requirements")?,
+        })
+    }
+}
+
 /// The complete service descriptor shipped to the phone.
 ///
 /// # Example
@@ -151,7 +217,7 @@ impl DependencySpec {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceDescriptor {
     /// The main service's interface name.
     pub service: String,
@@ -224,21 +290,24 @@ impl ServiceDescriptor {
 
     /// Encodes the descriptor for shipping (rides in the R-OSGi
     /// `ServiceBundle` message as the opaque descriptor payload). The
-    /// encoding reuses the serde data model via JSON for the controller
-    /// and requirements — human-inspectable, and its byte length is what
-    /// the footprint experiments report — but frames it with the compact
-    /// wire format so it is one self-delimiting blob.
+    /// controller and requirements encode as JSON — human-inspectable,
+    /// and its byte length is what the footprint experiments report —
+    /// framed with the compact wire format so it is one self-delimiting
+    /// blob.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = alfredo_net::ByteWriter::new();
         w.put_str(&self.service);
         w.put_bytes(&self.ui.encode());
-        let meta = serde_json::to_vec(&DescriptorMeta {
-            dependencies: self.dependencies.clone(),
-            presentation_requirements: self.presentation_requirements.clone(),
-            controller: self.controller.clone(),
-        })
-        .expect("descriptor meta serializes");
-        w.put_bytes(&meta);
+        let meta = Json::obj([
+            ("dependencies", self.dependencies.to_json()),
+            (
+                "presentation_requirements",
+                self.presentation_requirements.to_json(),
+            ),
+            ("controller", self.controller.to_json()),
+        ])
+        .to_json_string();
+        w.put_bytes(meta.as_bytes());
         w.into_bytes()
     }
 
@@ -257,8 +326,9 @@ impl ServiceDescriptor {
         let ui_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
         let ui = UiDescription::decode(ui_bytes).map_err(|e| malformed(e.to_string()))?;
         let meta_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
-        let meta: DescriptorMeta =
-            serde_json::from_slice(meta_bytes).map_err(|e| malformed(e.to_string()))?;
+        let meta_text =
+            std::str::from_utf8(meta_bytes).map_err(|e| malformed(e.to_string()))?;
+        let meta = Json::parse(meta_text).map_err(|e| malformed(e.to_string()))?;
         if !r.is_empty() {
             return Err(DescriptorError::Malformed(format!(
                 "{} trailing bytes",
@@ -268,9 +338,10 @@ impl ServiceDescriptor {
         Ok(ServiceDescriptor {
             service,
             ui,
-            dependencies: meta.dependencies,
-            presentation_requirements: meta.presentation_requirements,
-            controller: meta.controller,
+            dependencies: field(&meta, "dependencies").map_err(|e| malformed(e.to_string()))?,
+            presentation_requirements: field(&meta, "presentation_requirements")
+                .map_err(|e| malformed(e.to_string()))?,
+            controller: field(&meta, "controller").map_err(|e| malformed(e.to_string()))?,
         })
     }
 
@@ -278,13 +349,6 @@ impl ServiceDescriptor {
     pub fn footprint(&self) -> usize {
         self.encode().len()
     }
-}
-
-#[derive(Serialize, Deserialize)]
-struct DescriptorMeta {
-    dependencies: Vec<DependencySpec>,
-    presentation_requirements: ResourceRequirements,
-    controller: ControllerProgram,
 }
 
 #[cfg(test)]

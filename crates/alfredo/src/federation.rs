@@ -16,7 +16,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use alfredo_osgi::{
     Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,

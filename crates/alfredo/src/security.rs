@@ -13,12 +13,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use alfredo_ui::CapabilityInterface;
 
 /// How much the phone trusts the target device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrustLevel {
     /// An unknown device casually encountered in the environment — the
     /// common case.
@@ -67,7 +65,7 @@ impl std::error::Error for SecurityError {}
 /// assert!(policy.admit_artifact(true, TrustLevel::Untrusted, "kiosk").is_err());
 /// assert!(policy.admit_artifact(true, TrustLevel::Trusted, "notebook").is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecurityPolicy {
     /// Whether trusted devices may ship executable logic (smart proxies).
     pub allow_code_from_trusted: bool,

@@ -14,8 +14,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use alfredo_sync::channel::{self, Receiver, Sender};
+use alfredo_sync::Mutex;
 
 use alfredo_osgi::events::SubscriptionId;
 use alfredo_osgi::{Event, Framework, Properties, ServiceCallError, Value};

@@ -8,10 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The three tiers of an AlfredO service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// The user interface.
     Presentation,
@@ -19,6 +17,23 @@ pub enum Tier {
     Logic,
     /// Data storage.
     Data,
+}
+
+impl alfredo_osgi::ToJson for Tier {
+    fn to_json(&self) -> alfredo_osgi::Json {
+        alfredo_osgi::Json::str(self.to_string())
+    }
+}
+
+impl alfredo_osgi::FromJson for Tier {
+    fn from_json(json: &alfredo_osgi::Json) -> Result<Self, alfredo_osgi::JsonError> {
+        match json.as_str() {
+            Some("presentation") => Ok(Tier::Presentation),
+            Some("logic") => Ok(Tier::Logic),
+            Some("data") => Ok(Tier::Data),
+            _ => Err(alfredo_osgi::JsonError(format!("unknown tier {json}"))),
+        }
+    }
 }
 
 impl fmt::Display for Tier {
@@ -32,7 +47,7 @@ impl fmt::Display for Tier {
 }
 
 /// Where a tier (or a logic-tier component) executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// On the interacting phone.
     Client,
@@ -55,7 +70,7 @@ impl fmt::Display for Placement {
 /// tier always resides on the target device, while the presentation tier
 /// always resides on the client"; logic-tier components are placed
 /// individually.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TierAssignment {
     /// Per-dependency placement of logic-tier components, by interface.
     logic: Vec<(String, Placement)>,

@@ -17,6 +17,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use alfredo_osgi::json::{Json, ToJson};
 use alfredo_osgi::Value;
 use alfredo_ui::UiEvent;
 
@@ -158,7 +159,10 @@ fn handle_connection(stream: TcpStream, session: &AlfredOSession) -> std::io::Re
             let state: BTreeMap<String, Value> = session.with_state(|s| {
                 s.iter().map(|(k, v)| (k.to_owned(), v.clone())).collect()
             });
-            let json = serde_json::to_string(&state).unwrap_or_else(|_| "{}".into());
+            let json = Json::Obj(
+                state.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+            )
+            .to_json_string();
             respond(&mut out, 200, "application/json", &json)
         }
         ("POST", "/event") => match parse_event(&body) {
@@ -183,7 +187,8 @@ fn handle_connection(stream: TcpStream, session: &AlfredOSession) -> std::io::Re
 }
 
 fn parse_event(body: &[u8]) -> Option<UiEvent> {
-    let json: serde_json::Value = serde_json::from_slice(body).ok()?;
+    let text = std::str::from_utf8(body).ok()?;
+    let json = Json::parse(text).ok()?;
     let control = json.get("control")?.as_str()?.to_owned();
     let kind = json.get("kind")?.as_str()?;
     let value = json.get("value");

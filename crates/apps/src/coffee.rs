@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use alfredo_core::{
     host_service, Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule,

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use alfredo_core::{
     host_service, Action, ArgSource, Binding, ControllerProgram, DependencySpec, MethodCall,

@@ -1,37 +1,19 @@
-//! Criterion benchmarks of live invocation paths: local registry calls,
-//! remote calls through a real threaded endpoint (the microscopic version
-//! of Figures 3–6), and the full fetch/install/start pipeline (the
-//! microscopic version of Tables 1 and 2, without the modelled phone CPU).
+//! Benchmarks of live invocation paths: local registry calls, remote
+//! calls through a real threaded endpoint (the microscopic version of
+//! Figures 3–6), and the full fetch/install/start pipeline (the
+//! microscopic version of Tables 1 and 2, without the modelled phone
+//! CPU).
+//!
+//! Run with `cargo bench -p alfredo-bench --bench invocation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
 use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
+use alfredo_bench::timing::{bench, bench_batched};
 use alfredo_net::{InMemoryNetwork, PeerAddr};
 use alfredo_osgi::{FnService, Framework, Properties, Value};
 use alfredo_rosgi::{EndpointConfig, RemoteEndpoint};
-
-fn bench_local_registry(c: &mut Criterion) {
-    let fw = Framework::new();
-    fw.system_context()
-        .register_service(
-            &["bench.Echo"],
-            Arc::new(FnService::new(|_, args| {
-                Ok(args.first().cloned().unwrap_or(Value::Unit))
-            })),
-            Properties::new(),
-        )
-        .unwrap();
-    c.bench_function("registry_lookup", |b| {
-        b.iter(|| fw.registry().get_service(black_box("bench.Echo")).unwrap())
-    });
-    let svc = fw.registry().get_service("bench.Echo").unwrap();
-    let args = [Value::I64(7)];
-    c.bench_function("local_invoke", |b| {
-        b.iter(|| svc.invoke(black_box("echo"), black_box(&args)).unwrap())
-    });
-}
 
 struct RemoteRig {
     phone_fw: Framework,
@@ -72,35 +54,51 @@ fn remote_rig(name: &str) -> RemoteRig {
     }
 }
 
-fn bench_remote_invoke(c: &mut Criterion) {
-    let rig = remote_rig("bench-dev-invoke");
-    rig.endpoint.fetch_service(MOUSE_INTERFACE).unwrap();
-    let svc = rig.phone_fw.registry().get_service(MOUSE_INTERFACE).unwrap();
-    let args = [Value::I64(1), Value::I64(-1)];
-    c.bench_function("remote_invoke_roundtrip", |b| {
-        b.iter(|| svc.invoke(black_box("move"), black_box(&args)).unwrap())
-    });
-    rig.endpoint.close();
-}
+fn main() {
+    let fw = Framework::new();
+    fw.system_context()
+        .register_service(
+            &["bench.Echo"],
+            Arc::new(FnService::new(|_, args| {
+                Ok(args.first().cloned().unwrap_or(Value::Unit))
+            })),
+            Properties::new(),
+        )
+        .unwrap();
+    bench_batched("registry_lookup", 256, 300, || {
+        fw.registry().get_service(black_box("bench.Echo")).unwrap()
+    })
+    .report();
+    let svc = fw.registry().get_service("bench.Echo").unwrap();
+    let args = [Value::I64(7)];
+    bench_batched("local_invoke", 256, 300, || {
+        svc.invoke(black_box("echo"), black_box(&args)).unwrap()
+    })
+    .report();
 
-fn bench_fetch_pipeline(c: &mut Criterion) {
-    // fetch + build proxy + install + start + release, repeatedly — the
-    // real-code analogue of the Table 1 pipeline.
-    let rig = remote_rig("bench-dev-fetch");
-    c.bench_function("fetch_install_start_release", |b| {
-        b.iter(|| {
-            let fetched = rig.endpoint.fetch_service(black_box(MOUSE_INTERFACE)).unwrap();
+    {
+        let rig = remote_rig("bench-dev-invoke");
+        rig.endpoint.fetch_service(MOUSE_INTERFACE).unwrap();
+        let svc = rig.phone_fw.registry().get_service(MOUSE_INTERFACE).unwrap();
+        let args = [Value::I64(1), Value::I64(-1)];
+        bench("remote_invoke_roundtrip", 500, || {
+            svc.invoke(black_box("move"), black_box(&args)).unwrap()
+        })
+        .report();
+        rig.endpoint.close();
+    }
+
+    {
+        let rig = remote_rig("bench-dev-fetch");
+        bench("fetch_install_start_release", 500, || {
+            let fetched = rig
+                .endpoint
+                .fetch_service(black_box(MOUSE_INTERFACE))
+                .unwrap();
             black_box(fetched.proxy_footprint);
             rig.endpoint.release_service(MOUSE_INTERFACE).unwrap();
         })
-    });
-    rig.endpoint.close();
+        .report();
+        rig.endpoint.close();
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_local_registry,
-    bench_remote_invoke,
-    bench_fetch_pipeline
-);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the protocol substrate: the codec, the
-//! LDAP filter engine, and shippable artifact encoding. These are the
+//! Micro-benchmarks of the protocol substrate: the codec, the LDAP
+//! filter engine, and shippable artifact encoding. These are the
 //! constant factors behind every experiment in the paper's §4.
+//!
+//! Run with `cargo bench -p alfredo-bench --bench protocol`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use alfredo_apps::{MouseControllerService, ShopService};
+use alfredo_bench::timing::bench_batched;
 use alfredo_osgi::{BundleArtifact, Filter, Manifest, Properties, Value};
 use alfredo_rosgi::codec::{value_from_bytes, value_to_bytes};
 use alfredo_rosgi::Message;
@@ -25,18 +27,15 @@ fn sample_value() -> Value {
     )
 }
 
-fn bench_value_codec(c: &mut Criterion) {
+fn main() {
     let value = sample_value();
     let bytes = value_to_bytes(&value);
-    c.bench_function("value_encode", |b| {
-        b.iter(|| value_to_bytes(black_box(&value)))
-    });
-    c.bench_function("value_decode", |b| {
-        b.iter(|| value_from_bytes(black_box(&bytes)).unwrap())
-    });
-}
+    bench_batched("value_encode", 256, 300, || value_to_bytes(black_box(&value))).report();
+    bench_batched("value_decode", 256, 300, || {
+        value_from_bytes(black_box(&bytes)).unwrap()
+    })
+    .report();
 
-fn bench_message_codec(c: &mut Criterion) {
     let invoke = Message::Invoke {
         call_id: 42,
         interface: "apps.MouseController".into(),
@@ -44,10 +43,11 @@ fn bench_message_codec(c: &mut Criterion) {
         args: vec![Value::I64(10), Value::I64(-5)],
     };
     let frame = invoke.encode();
-    c.bench_function("invoke_encode", |b| b.iter(|| black_box(&invoke).encode()));
-    c.bench_function("invoke_decode", |b| {
-        b.iter(|| Message::decode(black_box(&frame)).unwrap())
-    });
+    bench_batched("invoke_encode", 256, 300, || black_box(&invoke).encode()).report();
+    bench_batched("invoke_decode", 256, 300, || {
+        Message::decode(black_box(&frame)).unwrap()
+    })
+    .report();
 
     let bundle = Message::ServiceBundle {
         interface: ShopService::interface(),
@@ -56,49 +56,42 @@ fn bench_message_codec(c: &mut Criterion) {
         descriptor: Some(ShopService::descriptor().encode()),
     };
     let bundle_frame = bundle.encode();
-    c.bench_function("service_bundle_encode", |b| {
-        b.iter(|| black_box(&bundle).encode())
-    });
-    c.bench_function("service_bundle_decode", |b| {
-        b.iter(|| Message::decode(black_box(&bundle_frame)).unwrap())
-    });
-}
+    bench_batched("service_bundle_encode", 64, 300, || {
+        black_box(&bundle).encode()
+    })
+    .report();
+    bench_batched("service_bundle_decode", 64, 300, || {
+        Message::decode(black_box(&bundle_frame)).unwrap()
+    })
+    .report();
 
-fn bench_filter(c: &mut Criterion) {
     let text = "(&(objectClass=ui.PointingDevice)(|(resolution>=100)(precise=true))(!(vendor=Acme*)))";
     let filter = Filter::parse(text).unwrap();
     let props = Properties::new()
         .with("objectClass", "ui.PointingDevice")
         .with("resolution", 160i64)
         .with("vendor", "Nokia");
-    c.bench_function("filter_parse", |b| {
-        b.iter(|| Filter::parse(black_box(text)).unwrap())
-    });
-    c.bench_function("filter_match", |b| {
-        b.iter(|| black_box(&filter).matches(black_box(&props)))
-    });
-}
+    bench_batched("filter_parse", 256, 300, || {
+        Filter::parse(black_box(text)).unwrap()
+    })
+    .report();
+    bench_batched("filter_match", 1024, 300, || {
+        black_box(&filter).matches(black_box(&props))
+    })
+    .report();
 
-fn bench_artifacts(c: &mut Criterion) {
     let descriptor = MouseControllerService::descriptor();
-    c.bench_function("descriptor_encode", |b| {
-        b.iter(|| black_box(&descriptor).encode())
-    });
+    bench_batched("descriptor_encode", 64, 300, || {
+        black_box(&descriptor).encode()
+    })
+    .report();
     let artifact = BundleArtifact::new(Manifest::new("rosgi.proxy.bench", "1.0", "bench"))
         .with_data("interface.bin", MouseControllerService::interface().encode())
         .with_data("descriptor.bin", descriptor.encode());
     let encoded = artifact.encode();
-    c.bench_function("artifact_encode", |b| b.iter(|| black_box(&artifact).encode()));
-    c.bench_function("artifact_decode", |b| {
-        b.iter(|| BundleArtifact::decode(black_box(&encoded)).unwrap())
-    });
+    bench_batched("artifact_encode", 64, 300, || black_box(&artifact).encode()).report();
+    bench_batched("artifact_decode", 64, 300, || {
+        BundleArtifact::decode(black_box(&encoded)).unwrap()
+    })
+    .report();
 }
-
-criterion_group!(
-    benches,
-    bench_value_codec,
-    bench_message_codec,
-    bench_filter,
-    bench_artifacts
-);
-criterion_main!(benches);

@@ -1,45 +1,38 @@
-//! Criterion benchmarks of the simulated-testbed experiments themselves
-//! (shortened windows), so regressions in the models are caught like any
-//! other performance change.
+//! Benchmarks of the simulated-testbed experiments themselves
+//! (shortened windows), so regressions in the models are caught like
+//! any other performance change.
+//!
+//! Run with `cargo bench -p alfredo-bench --bench simulation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use alfredo_bench::calib;
 use alfredo_bench::model::{
     mouse_wire_sizes, InvocationLoadSim, LoadConfig, PhoneLoopConfig, PhoneLoopSim, StartupModel,
 };
-use alfredo_bench::calib;
+use alfredo_bench::timing::bench;
 use alfredo_sim::SimDuration;
 
-fn bench_startup_model(c: &mut Criterion) {
+fn main() {
     let model = StartupModel {
         phone: calib::nokia_9300i(),
         link: calib::phone_wlan(),
     };
     let sizes = mouse_wire_sizes();
-    c.bench_function("startup_model_table1", |b| {
-        b.iter(|| black_box(&model).run(black_box(sizes), calib::START_MOUSE_CYCLES))
-    });
-}
+    bench("startup_model_table1", 400, || {
+        black_box(&model).run(black_box(sizes), calib::START_MOUSE_CYCLES)
+    })
+    .report();
 
-fn bench_load_sim(c: &mut Criterion) {
-    c.bench_function("load_sim_fig3_16clients_2s", |b| {
-        b.iter(|| {
-            InvocationLoadSim::new(LoadConfig {
-                measure_window: SimDuration::from_secs(2),
-                ..LoadConfig::fig3(16)
-            })
-            .run()
+    bench("load_sim_fig3_16clients_2s", 800, || {
+        InvocationLoadSim::new(LoadConfig {
+            measure_window: SimDuration::from_secs(2),
+            ..LoadConfig::fig3(16)
         })
-    });
-}
+        .run()
+    })
+    .report();
 
-fn bench_phone_loop(c: &mut Criterion) {
     let sim = PhoneLoopSim::new(PhoneLoopConfig::fig5());
-    c.bench_function("phone_loop_fig5_40services", |b| {
-        b.iter(|| black_box(&sim).run(40))
-    });
+    bench("phone_loop_fig5_40services", 800, || black_box(&sim).run(40)).report();
 }
-
-criterion_group!(benches, bench_startup_model, bench_load_sim, bench_phone_loop);
-criterion_main!(benches);

@@ -1,0 +1,448 @@
+//! Invocation fast-path benchmark: measures the zero-allocation invoke
+//! pipeline (pooled wire buffers + borrowed encoding + sharded call
+//! table + pipelined async calls) against the legacy path
+//! (`EndpointConfig::with_legacy_invoke_path`), which reproduces the
+//! pre-optimization costs: owned `Message` values, per-frame buffer
+//! allocation, a single-shard call table, and no frame recycling.
+//!
+//! ```text
+//! cargo run --release -p alfredo-bench --bin invoke_bench
+//! cargo run --release -p alfredo-bench --bin invoke_bench -- --quick
+//! ```
+//!
+//! Emits `BENCH_invoke.json` in the working directory with `{p50, p95,
+//! calls/sec, bytes/call}` per scenario plus the endpoint's pool and
+//! call-slot counters.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use alfredo_bench::timing::{self, Measurement};
+use alfredo_net::{InMemoryNetwork, PeerAddr};
+use alfredo_osgi::{FnService, Framework, Json, Properties, ServiceCallError, Value};
+use alfredo_rosgi::{EndpointConfig, RemoteEndpoint};
+
+const INTERFACE: &str = "bench.Echo";
+
+/// A phone/device pair over the in-memory fabric, both sides using the
+/// same invoke-path flavor (the serve path differs too, so the legacy
+/// baseline must be legacy on both ends).
+struct Pair {
+    phone: Arc<RemoteEndpoint>,
+    device: RemoteEndpoint,
+    _device_fw: Framework,
+}
+
+impl Pair {
+    fn establish(addr: &str, legacy: bool) -> Pair {
+        let configure = |name: &str| {
+            let c = EndpointConfig::named(name);
+            if legacy {
+                c.with_legacy_invoke_path()
+            } else {
+                c
+            }
+        };
+        let net = InMemoryNetwork::new();
+        let device_fw = Framework::new();
+        device_fw
+            .system_context()
+            .register_service(
+                &[INTERFACE],
+                Arc::new(FnService::new(|method, args| match method {
+                    "echo" => Ok(args.first().cloned().unwrap_or(Value::Unit)),
+                    "add" => Ok(Value::I64(args.iter().filter_map(Value::as_i64).sum())),
+                    other => Err(ServiceCallError::NoSuchMethod(other.into())),
+                })),
+                Properties::new(),
+            )
+            .expect("register bench service");
+
+        let listener = net.bind(PeerAddr::new(addr)).expect("bind");
+        let fw = device_fw.clone();
+        let device_config = configure(addr);
+        let accept = std::thread::spawn(move || {
+            let conn = listener.accept().expect("accept");
+            RemoteEndpoint::establish(Box::new(conn), fw, device_config).expect("device handshake")
+        });
+        let conn = net
+            .connect(PeerAddr::new("phone"), PeerAddr::new(addr))
+            .expect("connect");
+        let phone = RemoteEndpoint::establish(Box::new(conn), Framework::new(), configure("phone"))
+            .expect("phone handshake");
+        Pair {
+            phone: Arc::new(phone),
+            device: accept.join().expect("device thread"),
+            _device_fw: device_fw,
+        }
+    }
+
+    /// Wire bytes the phone sent per invocation since `before`.
+    fn bytes_per_call(&self, before: &alfredo_rosgi::EndpointStats) -> f64 {
+        let after = self.phone.stats();
+        let calls = after.calls_sent.saturating_sub(before.calls_sent);
+        if calls == 0 {
+            return 0.0;
+        }
+        after.bytes_sent.saturating_sub(before.bytes_sent) as f64 / calls as f64
+    }
+
+    fn close(self) {
+        self.phone.close();
+        self.device.close();
+    }
+}
+
+fn payload() -> Vec<Value> {
+    vec![Value::I64(42), Value::Str("ping-pong payload".into())]
+}
+
+/// Single-threaded round-trip latency: one blocking invoke at a time.
+fn single_thread(pair: &Pair, calls: usize) -> Measurement {
+    let args = payload();
+    let mut samples = Vec::with_capacity(calls);
+    let started = Instant::now();
+    for _ in 0..calls {
+        let t = Instant::now();
+        pair.phone
+            .invoke(INTERFACE, "echo", &args)
+            .expect("bench invoke");
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    timing::from_samples("single-thread", samples, started.elapsed().as_secs_f64())
+}
+
+/// N threads hammering one connection with blocking invokes.
+fn contention(pair: &Pair, threads: usize, calls_per_thread: usize) -> Measurement {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let ep = Arc::clone(&pair.phone);
+            std::thread::spawn(move || {
+                let args = payload();
+                let mut samples = Vec::with_capacity(calls_per_thread);
+                for _ in 0..calls_per_thread {
+                    let t = Instant::now();
+                    ep.invoke(INTERFACE, "echo", &args).expect("bench invoke");
+                    samples.push(t.elapsed().as_nanos() as f64);
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(threads * calls_per_thread);
+    for w in workers {
+        samples.extend(w.join().expect("worker"));
+    }
+    timing::from_samples(
+        &format!("contention x{threads}"),
+        samples,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// Pipelined async invokes: keep `depth` calls in flight, harvest as a
+/// batch. Per-op latency here is batch time / depth — the point of the
+/// pipeline is amortizing the round trip.
+fn pipelined(pair: &Pair, depth: usize, batches: usize) -> Measurement {
+    let args = payload();
+    let mut samples = Vec::with_capacity(batches * depth);
+    let started = Instant::now();
+    for _ in 0..batches {
+        let t = Instant::now();
+        let handles: Vec<_> = (0..depth)
+            .map(|_| {
+                pair.phone
+                    .invoke_async(INTERFACE, "echo", &args)
+                    .expect("dispatch")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("pipelined reply");
+        }
+        let per_op = t.elapsed().as_nanos() as f64 / depth as f64;
+        samples.extend(std::iter::repeat(per_op).take(depth));
+    }
+    timing::from_samples(
+        &format!("pipelined depth-{depth}"),
+        samples,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// N threads, each keeping `depth` async calls in flight — the workload
+/// the pre-change code could not express (blocking `invoke` was the only
+/// client API), measured against the same thread count blocking.
+fn contention_pipelined(
+    pair: &Pair,
+    threads: usize,
+    depth: usize,
+    calls_per_thread: usize,
+) -> Measurement {
+    use std::collections::VecDeque;
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let ep = Arc::clone(&pair.phone);
+            std::thread::spawn(move || {
+                let args = payload();
+                // Sliding window: keep `depth` calls in flight at all
+                // times; each iteration retires the oldest and issues a
+                // replacement. Per-op latency is the issue-to-harvest
+                // gap divided by the window depth.
+                let mut window = VecDeque::with_capacity(depth);
+                let mut samples = Vec::with_capacity(calls_per_thread);
+                for _ in 0..depth.min(calls_per_thread) {
+                    window.push_back((
+                        Instant::now(),
+                        ep.invoke_async(INTERFACE, "echo", &args).expect("dispatch"),
+                    ));
+                }
+                let mut issued = window.len();
+                while let Some((t, h)) = window.pop_front() {
+                    h.wait().expect("pipelined reply");
+                    samples.push(t.elapsed().as_nanos() as f64 / depth as f64);
+                    if issued < calls_per_thread {
+                        window.push_back((
+                            Instant::now(),
+                            ep.invoke_async(INTERFACE, "echo", &args).expect("dispatch"),
+                        ));
+                        issued += 1;
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(threads * calls_per_thread);
+    for w in workers {
+        samples.extend(w.join().expect("worker"));
+    }
+    timing::from_samples(
+        &format!("contention x{threads} pipelined depth-{depth}"),
+        samples,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// Transport-free frame encoding: isolates what the borrowed + pooled
+/// encode path saves per call. "legacy" builds the owned [`Message`]
+/// (cloning interface, method, and args, as `invoke` did pre-change) and
+/// encodes into a fresh buffer; "fast" encodes borrowed parts into a
+/// pooled writer and recycles the frame, as the endpoint send path does.
+fn wire_encode(target_ms: u64) -> (Measurement, Measurement, f64) {
+    use alfredo_net::{BufferPool, ByteWriter};
+    use alfredo_rosgi::Message;
+
+    let args = payload();
+    let batch = 64;
+
+    let legacy = timing::bench_batched("wire-encode legacy", batch, target_ms, || {
+        let msg = Message::Invoke {
+            call_id: 7,
+            interface: INTERFACE.to_owned(),
+            method: "echo".to_owned(),
+            args: args.clone(),
+        };
+        msg.encode()
+    });
+
+    let pool = BufferPool::new();
+    let mut frame_bytes = 0.0;
+    let fast = timing::bench_batched("wire-encode fast", batch, target_ms, || {
+        let mut w = ByteWriter::with_pool(&pool);
+        Message::encode_invoke(&mut w, 7, INTERFACE, "echo", &args);
+        let frame = w.into_bytes();
+        frame_bytes = frame.len() as f64;
+        pool.give(frame);
+    });
+    (fast, legacy, frame_bytes)
+}
+
+fn scenario_json(m: &Measurement, bytes_per_call: f64) -> Json {
+    Json::obj(vec![
+        ("p50_ns", Json::F64(m.p50_ns())),
+        ("p95_ns", Json::F64(m.p95_ns())),
+        ("calls_per_sec", Json::F64(m.ops_per_sec())),
+        ("bytes_per_call", Json::F64(bytes_per_call)),
+        ("ops", Json::I64(m.ops as i64)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (st_calls, threads, per_thread, depth, batches, encode_ms) = if quick {
+        (2_000, 8, 500, 8, 250, 100)
+    } else {
+        (10_000, 8, 2_500, 8, 1_250, 400)
+    };
+
+    println!("invoke_bench — zero-allocation invocation fast path vs legacy baseline");
+    println!("(in-memory transport, echo service, {} args/call)\n", payload().len());
+
+    let mut scenarios: Vec<(&str, Json)> = Vec::new();
+    let mut speedups: Vec<(&str, f64, f64)> = Vec::new();
+
+    // --- frame encoding only (no transport) ------------------------------
+    let (enc_fast, enc_legacy, frame_bytes) = wire_encode(encode_ms);
+    enc_fast.report();
+    enc_legacy.report();
+    speedups.push((
+        "wire_encode",
+        enc_fast.ops_per_sec(),
+        enc_legacy.ops_per_sec(),
+    ));
+    scenarios.push((
+        "wire_encode",
+        Json::obj(vec![
+            ("fast", scenario_json(&enc_fast, frame_bytes)),
+            ("legacy", scenario_json(&enc_legacy, frame_bytes)),
+            (
+                "speedup",
+                Json::F64(enc_fast.ops_per_sec() / enc_legacy.ops_per_sec()),
+            ),
+        ]),
+    ));
+
+    // --- single-thread latency, fast vs legacy ---------------------------
+    let mut st = Vec::new();
+    for (flavor, legacy) in [("fast", false), ("legacy", true)] {
+        let pair = Pair::establish(&format!("dev-st-{flavor}"), legacy);
+        single_thread(&pair, st_calls / 10); // warmup
+        let before = pair.phone.stats();
+        let m = single_thread(&pair, st_calls);
+        let bpc = pair.bytes_per_call(&before);
+        m.report();
+        st.push((flavor, m, bpc));
+        pair.close();
+    }
+    speedups.push((
+        "single_thread",
+        st[0].1.ops_per_sec(),
+        st[1].1.ops_per_sec(),
+    ));
+    scenarios.push((
+        "single_thread",
+        Json::obj(vec![
+            ("fast", scenario_json(&st[0].1, st[0].2)),
+            ("legacy", scenario_json(&st[1].1, st[1].2)),
+            (
+                "speedup",
+                Json::F64(st[0].1.ops_per_sec() / st[1].1.ops_per_sec()),
+            ),
+        ]),
+    ));
+
+    // --- N-thread contention -------------------------------------------
+    // Three rows: the legacy flavor blocking (all the pre-change code
+    // could do), the fast flavor on the same blocking workload, and the
+    // fast flavor with each thread keeping a depth-K async pipeline —
+    // the client shape the new API enables. The headline speedup is
+    // pipelined-vs-pre-change: same 8 threads, same connection.
+    let mut ct = Vec::new();
+    for (flavor, legacy) in [("fast", false), ("legacy", true)] {
+        let pair = Pair::establish(&format!("dev-ct-{flavor}"), legacy);
+        contention(&pair, threads, per_thread / 10); // warmup
+        let before = pair.phone.stats();
+        let m = contention(&pair, threads, per_thread);
+        let bpc = pair.bytes_per_call(&before);
+        m.report();
+        ct.push((flavor, m, bpc));
+        pair.close();
+    }
+    let ct_pipe_pair = Pair::establish("dev-ct-pipe", false);
+    contention_pipelined(&ct_pipe_pair, threads, depth, per_thread / 10); // warmup
+    let before = ct_pipe_pair.phone.stats();
+    let ct_pipe = contention_pipelined(&ct_pipe_pair, threads, depth, per_thread);
+    let ct_pipe_bpc = ct_pipe_pair.bytes_per_call(&before);
+    ct_pipe.report();
+    ct_pipe_pair.close();
+    speedups.push((
+        "contention_8_threads (blocking)",
+        ct[0].1.ops_per_sec(),
+        ct[1].1.ops_per_sec(),
+    ));
+    speedups.push((
+        "contention_8_threads (pipelined vs pre-change)",
+        ct_pipe.ops_per_sec(),
+        ct[1].1.ops_per_sec(),
+    ));
+    scenarios.push((
+        "contention_8_threads",
+        Json::obj(vec![
+            ("threads", Json::I64(threads as i64)),
+            ("fast", scenario_json(&ct[0].1, ct[0].2)),
+            ("fast_pipelined", scenario_json(&ct_pipe, ct_pipe_bpc)),
+            ("legacy", scenario_json(&ct[1].1, ct[1].2)),
+            (
+                "speedup_blocking",
+                Json::F64(ct[0].1.ops_per_sec() / ct[1].1.ops_per_sec()),
+            ),
+            (
+                "speedup_pipelined_vs_pre_change",
+                Json::F64(ct_pipe.ops_per_sec() / ct[1].1.ops_per_sec()),
+            ),
+        ]),
+    ));
+
+    // --- pipelined depth-K (fast path only: the API is the feature) ------
+    let pipe_pair = Pair::establish("dev-pipe", false);
+    pipelined(&pipe_pair, depth, batches / 10); // warmup
+    let before = pipe_pair.phone.stats();
+    let pipe = pipelined(&pipe_pair, depth, batches);
+    let pipe_bpc = pipe_pair.bytes_per_call(&before);
+    pipe.report();
+    let counters = pipe_pair.phone.stats();
+    scenarios.push((
+        "pipelined_depth_8",
+        Json::obj(vec![
+            ("depth", Json::I64(depth as i64)),
+            ("fast", scenario_json(&pipe, pipe_bpc)),
+            (
+                "speedup_vs_single_thread_fast",
+                Json::F64(pipe.ops_per_sec() / st[0].1.ops_per_sec()),
+            ),
+        ]),
+    ));
+    pipe_pair.close();
+
+    println!("\npool/slot economics (pipelined endpoint, steady state):");
+    println!(
+        "  pool_hits {}  pool_misses {}  pool_returns {}  bytes_reused {}  slots_reused {}",
+        counters.pool_hits,
+        counters.pool_misses,
+        counters.pool_returns,
+        counters.bytes_reused,
+        counters.slots_reused
+    );
+    for (name, fast, legacy) in &speedups {
+        println!("  {name}: fast/legacy = {:.2}x", fast / legacy);
+    }
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::str("invoke_bench")),
+        ("transport", Json::str("in-memory channel fabric")),
+        (
+            "scenarios",
+            Json::Obj(
+                scenarios
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::obj(vec![
+                ("pool_hits", Json::I64(counters.pool_hits as i64)),
+                ("pool_misses", Json::I64(counters.pool_misses as i64)),
+                ("pool_returns", Json::I64(counters.pool_returns as i64)),
+                ("bytes_reused", Json::I64(counters.bytes_reused as i64)),
+                ("slots_reused", Json::I64(counters.slots_reused as i64)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_invoke.json", doc.to_json_string() + "\n").expect("write BENCH_invoke.json");
+    println!("\nwrote BENCH_invoke.json");
+}

@@ -37,3 +37,4 @@ pub mod calib;
 pub mod experiments;
 pub mod model;
 pub mod report;
+pub mod timing;

@@ -1,0 +1,127 @@
+//! Minimal wall-clock micro-benchmark helper used by the `benches/`
+//! targets and the `invoke_bench` binary.
+//!
+//! Each measurement runs the closure in batches, records per-batch
+//! elapsed time, and reports robust order statistics. This is a small,
+//! dependency-free stand-in for a full benchmark harness: good enough
+//! to catch order-of-magnitude regressions and to feed the numbers in
+//! `EXPERIMENTS.md`, not a substitute for rigorous statistics.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured distribution of per-operation latencies.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Human-readable benchmark name.
+    pub name: String,
+    /// Total operations timed (excluding warmup).
+    pub ops: u64,
+    /// Per-op latencies in nanoseconds, sorted ascending.
+    pub samples_ns: Vec<f64>,
+    /// Total wall-clock seconds spent in the measured region.
+    pub elapsed_secs: f64,
+}
+
+impl Measurement {
+    /// The `p`-th percentile (0..=100) of per-op latency in nanoseconds.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * (self.samples_ns.len() - 1) as f64).round() as usize;
+        self.samples_ns[rank.min(self.samples_ns.len() - 1)]
+    }
+
+    /// Median per-op latency in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// Tail per-op latency in nanoseconds.
+    pub fn p95_ns(&self) -> f64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// Mean throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed_secs
+    }
+
+    /// Print one aligned summary line.
+    pub fn report(&self) {
+        println!(
+            "{:<36} {:>12.0} ops/s   p50 {:>10}   p95 {:>10}   ({} ops)",
+            self.name,
+            self.ops_per_sec(),
+            fmt_ns(self.p50_ns()),
+            fmt_ns(self.p95_ns()),
+            self.ops
+        );
+    }
+}
+
+/// Format a nanosecond figure with a sensible unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Time `op` for roughly `target_ms` milliseconds after a short warmup,
+/// amortising the clock reads over `batch` calls per sample.
+pub fn bench_batched<T>(name: &str, batch: u64, target_ms: u64, mut op: impl FnMut() -> T) -> Measurement {
+    // Warmup: run for ~10% of the target so caches and pools settle.
+    let warm = Instant::now();
+    while warm.elapsed().as_millis() < (target_ms as u128 / 10).max(1) {
+        for _ in 0..batch {
+            black_box(op());
+        }
+    }
+    let mut samples_ns = Vec::new();
+    let mut ops = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < target_ms as u128 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(op());
+        }
+        let per_op = t.elapsed().as_nanos() as f64 / batch as f64;
+        samples_ns.push(per_op);
+        ops += batch;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Measurement {
+        name: name.to_owned(),
+        ops,
+        samples_ns,
+        elapsed_secs,
+    }
+}
+
+/// Time `op` with one sample per call (for operations slow enough that
+/// the clock read is negligible).
+pub fn bench<T>(name: &str, target_ms: u64, op: impl FnMut() -> T) -> Measurement {
+    bench_batched(name, 1, target_ms, op)
+}
+
+/// Build a measurement from externally collected per-op samples.
+pub fn from_samples(name: &str, mut samples_ns: Vec<f64>, elapsed_secs: f64) -> Measurement {
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Measurement {
+        name: name.to_owned(),
+        ops: samples_ns.len() as u64,
+        samples_ns,
+        elapsed_secs,
+    }
+}

@@ -25,12 +25,14 @@
 //! so that every "bytes on the wire" number reported by the benchmarks is
 //! the size of a real encoded message.
 
+pub mod pool;
 pub mod profile;
 pub mod tcp;
 pub mod simnet;
 pub mod transport;
 pub mod wire;
 
+pub use pool::{BufferPool, PoolStats};
 pub use profile::LinkProfile;
 pub use simnet::SimLink;
 pub use tcp::{TcpNetListener, TcpTransport};

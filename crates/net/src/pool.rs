@@ -1,0 +1,195 @@
+//! A shared free-list of frame buffers.
+//!
+//! Every R-OSGi frame used to be encoded into a fresh `Vec<u8>` and the
+//! received copy dropped after decoding — two heap round-trips per
+//! message. A [`BufferPool`] lets both ends of a connection circulate a
+//! small set of buffers instead: the sender checks a buffer out with
+//! [`ByteWriter::with_pool`](crate::ByteWriter::with_pool), the frame
+//! travels, and the receiver returns the spent frame with
+//! [`BufferPool::give`]. In steady-state request/response traffic each
+//! side receives about as many frames as it sends, so the send path is
+//! served entirely from recycled buffers and the invoke fast path
+//! performs **zero frame allocations** after warmup.
+//!
+//! The pool is deliberately simple — a mutex-guarded LIFO stack. Frames
+//! are small (an invocation is tens of bytes) and checkout happens once
+//! per frame, so a lock-free design would buy nothing measurable; the
+//! contention killer in the invoke path is the call table, which is
+//! sharded separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::fmt;
+
+use alfredo_sync::Mutex;
+
+/// Default maximum number of buffers retained by a pool.
+pub const DEFAULT_MAX_POOLED: usize = 64;
+/// Default per-buffer capacity above which a returned buffer is dropped
+/// instead of retained (keeps one huge stream frame from pinning memory).
+pub const DEFAULT_MAX_RETAINED_CAPACITY: usize = 256 * 1024;
+
+/// Counters describing how effective a pool has been.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from a recycled buffer.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub returns: u64,
+    /// Total capacity (bytes) of buffers handed out from the free list —
+    /// heap traffic avoided compared to allocating each frame.
+    pub bytes_reused: u64,
+}
+
+/// A shared free-list of byte buffers. Cheap to clone via [`Arc`];
+/// all methods take `&self`.
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    max_retained_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    bytes_reused: AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::with_limits(DEFAULT_MAX_POOLED, DEFAULT_MAX_RETAINED_CAPACITY)
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("pooled", &self.free.lock().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool with default limits, ready to share via `Arc`.
+    pub fn new() -> Arc<BufferPool> {
+        Arc::new(BufferPool::default())
+    }
+
+    /// Creates a pool retaining at most `max_pooled` buffers, dropping
+    /// returned buffers whose capacity exceeds `max_retained_capacity`.
+    pub fn with_limits(max_pooled: usize, max_retained_capacity: usize) -> BufferPool {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max_pooled,
+            max_retained_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            bytes_reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Checks a cleared buffer out of the pool, allocating only when the
+    /// free list is empty.
+    pub fn take(&self) -> Vec<u8> {
+        let buf = self.free.lock().pop();
+        match buf {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_reused
+                    .fetch_add(buf.capacity() as u64, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a spent buffer to the pool. The buffer is cleared (its
+    /// capacity retained) unless the pool is full or the buffer exceeds
+    /// the retained-capacity limit, in which case it is simply dropped.
+    pub fn give(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > self.max_retained_capacity {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_pooled {
+            free.push(buf);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Buffers currently waiting in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ByteWriter;
+
+    #[test]
+    fn buffers_circulate() {
+        let pool = BufferPool::new();
+        let mut w = ByteWriter::with_pool(&pool);
+        w.put_str("hello");
+        let frame = w.into_bytes();
+        assert_eq!(pool.stats().misses, 1);
+        pool.give(frame);
+        assert_eq!(pool.pooled(), 1);
+
+        let mut w = ByteWriter::with_pool(&pool);
+        w.put_str("world");
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.bytes_reused > 0);
+        drop(w); // never detached: the writer's buffer returns on drop
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn pooled_writer_output_matches_plain_writer() {
+        let pool = BufferPool::new();
+        // Prime the pool with a dirty buffer.
+        pool.give(b"leftover garbage".to_vec());
+        let mut plain = ByteWriter::new();
+        let mut pooled = ByteWriter::with_pool(&pool);
+        for w in [&mut plain, &mut pooled] {
+            w.put_varint(300);
+            w.put_str("MouseController");
+            w.put_bool(true);
+        }
+        assert_eq!(plain.as_slice(), pooled.as_slice());
+    }
+
+    #[test]
+    fn oversized_and_excess_buffers_are_dropped() {
+        let pool = BufferPool::with_limits(2, 64);
+        pool.give(Vec::with_capacity(1024)); // over capacity limit
+        assert_eq!(pool.pooled(), 0);
+        pool.give(Vec::with_capacity(16));
+        pool.give(Vec::with_capacity(16));
+        pool.give(Vec::with_capacity(16)); // pool full
+        assert_eq!(pool.pooled(), 2);
+        // Empty buffers are worthless; don't count them as returns.
+        pool.give(Vec::new());
+        assert_eq!(pool.pooled(), 2);
+        assert_eq!(pool.stats().returns, 2);
+    }
+}

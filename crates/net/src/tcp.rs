@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, TryRecvError};
-use parking_lot::Mutex;
+use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, TryRecvError};
+use alfredo_sync::Mutex;
 
 use crate::transport::{PeerAddr, Transport, TransportError};
 use crate::wire::MAX_LENGTH;

@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
+use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use alfredo_sync::Mutex;
 use std::collections::HashMap;
 
 /// A network endpoint address, e.g. `"r-osgi://shop-screen:9278"`.

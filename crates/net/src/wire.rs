@@ -8,6 +8,9 @@
 //! reproduces the paper's footprint and transfer numbers.
 
 use std::fmt;
+use std::sync::Arc;
+
+use crate::pool::BufferPool;
 
 /// Errors produced while decoding wire data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +84,9 @@ pub const MAX_LENGTH: u64 = 16 << 20;
 #[derive(Debug, Clone, Default)]
 pub struct ByteWriter {
     buf: Vec<u8>,
+    /// When present, the buffer was checked out of this pool and returns
+    /// to it on drop (unless detached via [`ByteWriter::into_bytes`]).
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl ByteWriter {
@@ -93,6 +99,20 @@ impl ByteWriter {
     pub fn with_capacity(capacity: usize) -> Self {
         ByteWriter {
             buf: Vec::with_capacity(capacity),
+            pool: None,
+        }
+    }
+
+    /// Creates a writer whose buffer is checked out of `pool`.
+    ///
+    /// On a pool hit this performs no allocation. If the writer is
+    /// dropped without [`Self::into_bytes`], the buffer goes back to the
+    /// pool; `into_bytes` detaches it (the receiver is expected to return
+    /// the spent frame with [`BufferPool::give`]).
+    pub fn with_pool(pool: &Arc<BufferPool>) -> Self {
+        ByteWriter {
+            buf: pool.take(),
+            pool: Some(Arc::clone(pool)),
         }
     }
 
@@ -170,14 +190,29 @@ impl ByteWriter {
         self.put_u8(u8::from(v));
     }
 
-    /// Consumes the writer, returning the encoded bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    /// Consumes the writer, returning the encoded bytes. Detaches the
+    /// buffer from its pool, if any — ownership transfers to the caller.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.buf)
     }
 
     /// Borrows the bytes written so far.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
+    }
+
+    /// Discards everything written so far, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl Drop for ByteWriter {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.give(std::mem::take(&mut self.buf));
+        }
     }
 }
 

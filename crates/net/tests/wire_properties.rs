@@ -1,41 +1,89 @@
-//! Property-based tests for the wire codec and link models.
+//! Randomized tests for the wire codec and link models, driven by the
+//! deterministic [`SimRng`] so failures are reproducible from the seed.
 
 use alfredo_net::{ByteReader, ByteWriter, LinkProfile, SimLink};
-use alfredo_sim::SimTime;
-use proptest::prelude::*;
+use alfredo_sim::{SimRng, SimTime};
 
-proptest! {
-    #[test]
-    fn varint_round_trips(v in any::<u64>()) {
+const SEED: u64 = 0x317e_ed;
+const CASES: usize = 300;
+
+fn rand_bytes(rng: &mut SimRng, max: usize) -> Vec<u8> {
+    let len = rng.next_below(max as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn rand_text(rng: &mut SimRng, max_chars: usize) -> String {
+    let len = rng.next_below(max_chars as u64 + 1) as usize;
+    (0..len)
+        .map(|_| {
+            // Mix of ASCII and wider scalars to exercise UTF-8 paths.
+            match rng.next_below(4) {
+                0 => char::from_u32(0x20 + rng.next_below(0x5f) as u32).unwrap(),
+                1 => char::from_u32(0xA0 + rng.next_below(0x300) as u32).unwrap_or('x'),
+                2 => '\u{1F600}',
+                _ => char::from_u32(rng.next_below(0xD800) as u32).unwrap_or('y'),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn varint_round_trips() {
+    let mut rng = SimRng::seed_from(SEED);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
         let mut w = ByteWriter::new();
         w.put_varint(v);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        prop_assert_eq!(r.varint().unwrap(), v);
-        prop_assert!(r.is_empty());
+        assert_eq!(r.varint().unwrap(), v);
+        assert!(r.is_empty());
     }
+    // Edge values.
+    for v in [0, 1, 127, 128, u64::MAX] {
+        let mut w = ByteWriter::new();
+        w.put_varint(v);
+        assert_eq!(ByteReader::new(w.as_slice()).varint().unwrap(), v);
+    }
+}
 
-    #[test]
-    fn svarint_round_trips(v in any::<i64>()) {
+#[test]
+fn svarint_round_trips() {
+    let mut rng = SimRng::seed_from(SEED ^ 1);
+    for _ in 0..CASES {
+        let v = rng.next_u64() as i64;
         let mut w = ByteWriter::new();
         w.put_svarint(v);
         let bytes = w.into_bytes();
-        prop_assert_eq!(ByteReader::new(&bytes).svarint().unwrap(), v);
+        assert_eq!(ByteReader::new(&bytes).svarint().unwrap(), v);
     }
+    for v in [0, -1, 1, i64::MIN, i64::MAX] {
+        let mut w = ByteWriter::new();
+        w.put_svarint(v);
+        assert_eq!(ByteReader::new(w.as_slice()).svarint().unwrap(), v);
+    }
+}
 
-    #[test]
-    fn string_round_trips(s in ".*") {
+#[test]
+fn string_round_trips() {
+    let mut rng = SimRng::seed_from(SEED ^ 2);
+    for _ in 0..CASES {
+        let s = rand_text(&mut rng, 32);
         let mut w = ByteWriter::new();
         w.put_str(&s);
         let bytes = w.into_bytes();
-        prop_assert_eq!(ByteReader::new(&bytes).str().unwrap(), s);
+        assert_eq!(ByteReader::new(&bytes).str().unwrap(), s);
     }
+}
 
-    #[test]
-    fn mixed_sequence_round_trips(
-        ints in prop::collection::vec(any::<u64>(), 0..20),
-        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..10),
-    ) {
+#[test]
+fn mixed_sequence_round_trips() {
+    let mut rng = SimRng::seed_from(SEED ^ 3);
+    for _ in 0..CASES / 3 {
+        let ints: Vec<u64> = (0..rng.next_below(20)).map(|_| rng.next_u64()).collect();
+        let blobs: Vec<Vec<u8>> = (0..rng.next_below(10))
+            .map(|_| rand_bytes(&mut rng, 64))
+            .collect();
         let mut w = ByteWriter::new();
         w.put_varint(ints.len() as u64);
         for i in &ints {
@@ -47,22 +95,24 @@ proptest! {
         }
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        let n = r.varint().unwrap() as usize;
-        prop_assert_eq!(n, ints.len());
+        assert_eq!(r.varint().unwrap() as usize, ints.len());
         for i in &ints {
-            prop_assert_eq!(r.varint().unwrap(), *i);
+            assert_eq!(r.varint().unwrap(), *i);
         }
-        let m = r.varint().unwrap() as usize;
-        prop_assert_eq!(m, blobs.len());
+        assert_eq!(r.varint().unwrap() as usize, blobs.len());
         for b in &blobs {
-            prop_assert_eq!(r.bytes().unwrap(), b.as_slice());
+            assert_eq!(r.bytes().unwrap(), b.as_slice());
         }
-        prop_assert!(r.is_empty());
+        assert!(r.is_empty());
     }
+}
 
-    /// Decoding arbitrary garbage never panics.
-    #[test]
-    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding arbitrary garbage never panics.
+#[test]
+fn decoder_never_panics() {
+    let mut rng = SimRng::seed_from(SEED ^ 4);
+    for _ in 0..CASES {
+        let bytes = rand_bytes(&mut rng, 256);
         let mut r = ByteReader::new(&bytes);
         let _ = r.varint();
         let mut r = ByteReader::new(&bytes);
@@ -72,25 +122,34 @@ proptest! {
         let mut r = ByteReader::new(&bytes);
         let _ = r.f64();
     }
+}
 
-    /// Link delivery time is monotone in payload size and never earlier
-    /// than the propagation latency.
-    #[test]
-    fn link_delay_monotone(a in 0usize..100_000, b in 0usize..100_000) {
-        let profile = LinkProfile::wlan_802_11b();
+/// Link delivery time is monotone in payload size and never earlier
+/// than the propagation latency.
+#[test]
+fn link_delay_monotone() {
+    let mut rng = SimRng::seed_from(SEED ^ 5);
+    let profile = LinkProfile::wlan_802_11b();
+    for _ in 0..CASES {
+        let a = rng.next_below(100_000) as usize;
+        let b = rng.next_below(100_000) as usize;
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(profile.transfer_time(small) <= profile.transfer_time(large));
-        prop_assert!(profile.transfer_time(small) >= profile.latency());
+        assert!(profile.transfer_time(small) <= profile.transfer_time(large));
+        assert!(profile.transfer_time(small) >= profile.latency());
     }
+}
 
-    /// Messages on a SimLink are delivered in send order (FIFO wire).
-    #[test]
-    fn simlink_fifo(sizes in prop::collection::vec(0usize..10_000, 1..40)) {
+/// Messages on a SimLink are delivered in send order (FIFO wire).
+#[test]
+fn simlink_fifo() {
+    let mut rng = SimRng::seed_from(SEED ^ 6);
+    for _ in 0..40 {
         let mut link = SimLink::new(LinkProfile::bluetooth_2_0());
         let mut last = SimTime::ZERO;
-        for s in sizes {
+        for _ in 0..1 + rng.next_below(40) {
+            let s = rng.next_below(10_000) as usize;
             let d = link.send(SimTime::ZERO, s);
-            prop_assert!(d >= last, "delivery went backwards");
+            assert!(d >= last, "delivery went backwards");
             last = d;
         }
     }

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use crate::bundle::{BundleId, BundleState};
 use crate::properties::Properties;

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use crate::bundle::{BundleActivator, BundleContext, BundleId, BundleState};
 use crate::error::OsgiError;
@@ -517,7 +517,7 @@ mod tests {
     use crate::properties::Properties;
     use crate::service::FnService;
     use crate::value::Value;
-    use parking_lot::Mutex as PlMutex;
+    use alfredo_sync::Mutex as PlMutex;
 
     struct Recorder {
         log: Arc<PlMutex<Vec<String>>>,

@@ -63,6 +63,7 @@ pub mod error;
 pub mod events;
 pub mod filter;
 pub mod framework;
+pub mod json;
 pub mod properties;
 pub mod registry;
 pub mod service;
@@ -74,6 +75,7 @@ pub use error::{OsgiError, ServiceCallError};
 pub use events::{BundleEvent, Event, EventAdmin, FrameworkEvent, ServiceEvent};
 pub use filter::Filter;
 pub use framework::{Bundle, Framework};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use properties::Properties;
 pub use registry::{ListenerId, ServiceRegistration, ServiceRegistry};
 pub use service::{

@@ -9,8 +9,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// An ordered string-keyed property dictionary.
@@ -26,7 +24,7 @@ use crate::value::Value;
 /// assert_eq!(props.get_str("device.kind"), Some("touchscreen"));
 /// assert_eq!(props.ranking(), 10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Properties {
     entries: BTreeMap<String, Value>,
 }

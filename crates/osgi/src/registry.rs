@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use crate::bundle::BundleId;
 use crate::error::OsgiError;
@@ -26,10 +26,22 @@ pub struct ListenerId(u64);
 type ListenerFn = Arc<dyn Fn(&ServiceEvent) + Send + Sync>;
 
 struct Registration {
-    interfaces: Vec<String>,
-    properties: Properties,
+    // Shared with every ServiceReference handed out for this service, so
+    // lookups are allocation-free.
+    interfaces: Arc<Vec<String>>,
+    properties: Arc<Properties>,
     service: Arc<dyn Service>,
     owner: BundleId,
+}
+
+impl Registration {
+    fn reference(&self, id: ServiceId) -> ServiceReference {
+        ServiceReference::new_shared(
+            id,
+            Arc::clone(&self.interfaces),
+            Arc::clone(&self.properties),
+        )
+    }
 }
 
 struct Listener {
@@ -106,16 +118,14 @@ impl ServiceRegistry {
             for name in &names {
                 inner.by_interface.entry(name.clone()).or_default().push(id);
             }
-            let reference = ServiceReference::new(id, names.clone(), properties.clone());
-            inner.services.insert(
-                id,
-                Registration {
-                    interfaces: names,
-                    properties,
-                    service,
-                    owner,
-                },
-            );
+            let registration = Registration {
+                interfaces: Arc::new(names),
+                properties: Arc::new(properties),
+                service,
+                owner,
+            };
+            let reference = registration.reference(id);
+            inner.services.insert(id, registration);
             (id, ServiceEvent::Registered(reference))
         };
         self.dispatch(&event);
@@ -138,16 +148,12 @@ impl ServiceRegistry {
                 .services
                 .get(&id)
                 .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
-            ServiceEvent::Unregistering(ServiceReference::new(
-                id,
-                reg.interfaces.clone(),
-                reg.properties.clone(),
-            ))
+            ServiceEvent::Unregistering(reg.reference(id))
         };
         self.dispatch(&event);
         let mut inner = self.inner.lock();
         if let Some(reg) = inner.services.remove(&id) {
-            for name in &reg.interfaces {
+            for name in reg.interfaces.iter() {
                 if let Some(ids) = inner.by_interface.get_mut(name) {
                     ids.retain(|i| *i != id);
                     if ids.is_empty() {
@@ -196,12 +202,8 @@ impl ServiceRegistry {
                 Properties::OBJECT_CLASS,
                 Value::List(reg.interfaces.iter().cloned().map(Value::Str).collect()),
             );
-            reg.properties = properties.clone();
-            ServiceEvent::Modified(ServiceReference::new(
-                id,
-                reg.interfaces.clone(),
-                properties,
-            ))
+            reg.properties = Arc::new(properties);
+            ServiceEvent::Modified(reg.reference(id))
         };
         self.dispatch(&event);
         Ok(())
@@ -209,8 +211,30 @@ impl ServiceRegistry {
 
     /// Returns the best reference for `interface`: highest ranking first,
     /// then lowest service id (the OSGi tie-break).
+    ///
+    /// This is the invocation-path lookup, so it scans for the best match
+    /// in place rather than materializing and sorting every candidate
+    /// like [`Self::get_references`] does.
     pub fn get_reference(&self, interface: &str) -> Option<ServiceReference> {
-        self.get_references(interface, None).into_iter().next()
+        let inner = self.inner.lock();
+        let ids = inner.by_interface.get(interface)?;
+        let mut best: Option<(ServiceId, &Registration)> = None;
+        for id in ids {
+            let Some(reg) = inner.services.get(id) else {
+                continue;
+            };
+            // Ids were appended in registration order (ascending), so
+            // requiring a strictly higher ranking keeps the lowest id
+            // among equals — the same order get_references sorts into.
+            let better = match &best {
+                None => true,
+                Some((_, b)) => reg.properties.ranking() > b.properties.ranking(),
+            };
+            if better {
+                best = Some((*id, reg));
+            }
+        }
+        best.map(|(id, reg)| reg.reference(id))
     }
 
     /// Returns all references for `interface`, optionally filtered, sorted
@@ -229,11 +253,7 @@ impl ServiceRegistry {
                         return None;
                     }
                 }
-                Some(ServiceReference::new(
-                    *id,
-                    reg.interfaces.clone(),
-                    reg.properties.clone(),
-                ))
+                Some(reg.reference(*id))
             })
             .collect();
         refs.sort_by(|a, b| b.ranking().cmp(&a.ranking()).then(a.id().cmp(&b.id())));
@@ -248,9 +268,7 @@ impl ServiceRegistry {
             .services
             .iter()
             .filter(|(_, reg)| filter.is_none_or(|f| f.matches(&reg.properties)))
-            .map(|(id, reg)| {
-                ServiceReference::new(*id, reg.interfaces.clone(), reg.properties.clone())
-            })
+            .map(|(id, reg)| reg.reference(*id))
             .collect()
     }
 

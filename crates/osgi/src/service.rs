@@ -10,8 +10,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use alfredo_net::{ByteReader, ByteWriter, WireError};
 
 use crate::error::ServiceCallError;
@@ -121,7 +119,7 @@ impl<F> fmt::Debug for FnService<F> {
 }
 
 /// Coarse type hints used in interface descriptions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TypeHint {
     /// No value.
     Unit,
@@ -202,7 +200,7 @@ impl TypeHint {
 }
 
 /// One formal parameter of a method.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamSpec {
     /// Parameter name (documentation only).
     pub name: String,
@@ -221,7 +219,7 @@ impl ParamSpec {
 }
 
 /// One method of a service interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MethodSpec {
     /// Method name.
     pub name: String,
@@ -280,7 +278,7 @@ impl MethodSpec {
 
 /// The shippable description of a service interface: what R-OSGi transfers
 /// so the client can build a proxy (about 2 kB for the paper's prototypes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceInterfaceDesc {
     /// Fully qualified interface name, e.g. `"apps.MouseController"`.
     pub name: String,
@@ -371,16 +369,28 @@ impl ServiceInterfaceDesc {
 /// A handle to a registered service: its id, interfaces, and properties.
 ///
 /// References are snapshots — properties reflect the registration at lookup
-/// time, like `ServiceReference` objects in OSGi.
+/// time, like `ServiceReference` objects in OSGi. The interface list and
+/// property map are shared (`Arc`) with the registration itself, so looking
+/// up and cloning references never deep-copies either — what makes lease
+/// refreshes and registry scans cheap.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReference {
     id: ServiceId,
-    interfaces: Vec<String>,
-    properties: Properties,
+    interfaces: Arc<Vec<String>>,
+    properties: Arc<Properties>,
 }
 
 impl ServiceReference {
+    #[cfg(test)]
     pub(crate) fn new(id: ServiceId, interfaces: Vec<String>, properties: Properties) -> Self {
+        ServiceReference::new_shared(id, Arc::new(interfaces), Arc::new(properties))
+    }
+
+    pub(crate) fn new_shared(
+        id: ServiceId,
+        interfaces: Arc<Vec<String>>,
+        properties: Arc<Properties>,
+    ) -> Self {
         ServiceReference {
             id,
             interfaces,
@@ -398,9 +408,19 @@ impl ServiceReference {
         &self.interfaces
     }
 
+    /// The shared interface list (clone is a reference-count bump).
+    pub fn shared_interfaces(&self) -> &Arc<Vec<String>> {
+        &self.interfaces
+    }
+
     /// The registration properties (including `service.id` and
     /// `objectClass`).
     pub fn properties(&self) -> &Properties {
+        &self.properties
+    }
+
+    /// The shared property map (clone is a reference-count bump).
+    pub fn shared_properties(&self) -> &Arc<Properties> {
         &self.properties
     }
 

@@ -13,8 +13,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A self-describing dynamic value.
 ///
 /// # Example
@@ -29,8 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.type_name(), "struct shop.Product");
 /// assert_eq!(v.field("price").and_then(Value::as_i64), Some(499));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The absence of a value (Java `void`/`null`).
     #[default]
@@ -369,7 +366,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{FromJson, ToJson};
         let v = Value::structure(
             "t.T",
             [
@@ -377,8 +375,8 @@ mod tests {
                 ("nested", Value::map([("k", Value::Bytes(vec![9, 9]))])),
             ],
         );
-        let json = serde_json::to_string(&v).unwrap();
-        let back: Value = serde_json::from_str(&json).unwrap();
+        let json = v.to_json_string();
+        let back = Value::from_json_str(&json).unwrap();
         assert_eq!(v, back);
     }
 }

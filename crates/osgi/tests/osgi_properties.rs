@@ -1,124 +1,163 @@
-//! Property-based tests for the OSGi substrate: filter round-trips,
-//! artifact codec, and registry ranking invariants.
+//! Randomized tests for the OSGi substrate: filter round-trips, artifact
+//! codec, and registry ranking invariants. Driven by the deterministic
+//! [`SimRng`] so failures are reproducible from the printed seed.
 
 use std::sync::Arc;
 
 use alfredo_osgi::{
-    BundleArtifact, BundleId, Filter, FnService, Manifest, Properties, ServiceRegistry, Value,
+    BundleArtifact, BundleId, Filter, FnService, FromJson, Manifest, Properties, ServiceRegistry,
+    ToJson, Value,
 };
-use proptest::prelude::*;
+use alfredo_sim::SimRng;
 
-fn attr_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9.]{0,12}"
+const SEED: u64 = 0xa1f2_ed00;
+const CASES: usize = 200;
+
+fn rand_string(rng: &mut SimRng, charset: &[u8], min: usize, max: usize) -> String {
+    let len = min + rng.next_below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| charset[rng.next_below(charset.len() as u64) as usize] as char)
+        .collect()
 }
 
-fn literal_strategy() -> impl Strategy<Value = String> {
-    // Any printable text including characters that need escaping.
-    "[ -~]{0,12}"
+fn attr(rng: &mut SimRng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.";
+    let mut s = rand_string(rng, HEAD, 1, 1);
+    s.push_str(&rand_string(rng, TAIL, 0, 12));
+    s
 }
 
-fn leaf_filter() -> impl Strategy<Value = Filter> {
-    (attr_strategy(), literal_strategy()).prop_flat_map(|(attr, value)| {
-        prop_oneof![
-            Just(Filter::Equals {
-                attr: attr.clone(),
-                value: value.clone()
-            }),
-            Just(Filter::Approx {
-                attr: attr.clone(),
-                value: value.clone()
-            }),
-            Just(Filter::GreaterEq {
-                attr: attr.clone(),
-                value: value.clone()
-            }),
-            Just(Filter::LessEq {
-                attr: attr.clone(),
-                value: value.clone()
-            }),
-            Just(Filter::Present { attr: attr.clone() }),
-        ]
-    })
+fn literal(rng: &mut SimRng) -> String {
+    // Any printable ASCII including characters that need escaping.
+    let printable: Vec<u8> = (0x20..0x7f).collect();
+    rand_string(rng, &printable, 0, 12)
 }
 
-fn filter_strategy() -> impl Strategy<Value = Filter> {
-    leaf_filter().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::Or),
-            inner.prop_map(|f| Filter::Not(Box::new(f))),
-        ]
-    })
+fn leaf_filter(rng: &mut SimRng) -> Filter {
+    let attr = attr(rng);
+    let value = literal(rng);
+    match rng.next_below(5) {
+        0 => Filter::Equals { attr, value },
+        1 => Filter::Approx { attr, value },
+        2 => Filter::GreaterEq { attr, value },
+        3 => Filter::LessEq { attr, value },
+        _ => Filter::Present { attr },
+    }
 }
 
-proptest! {
-    /// Display → parse is the identity on filter ASTs.
-    #[test]
-    fn filter_display_parse_round_trip(f in filter_strategy()) {
+fn filter(rng: &mut SimRng, depth: u32) -> Filter {
+    if depth == 0 || rng.next_below(3) == 0 {
+        return leaf_filter(rng);
+    }
+    match rng.next_below(3) {
+        0 => Filter::And(
+            (0..1 + rng.next_below(3))
+                .map(|_| filter(rng, depth - 1))
+                .collect(),
+        ),
+        1 => Filter::Or(
+            (0..1 + rng.next_below(3))
+                .map(|_| filter(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Filter::Not(Box::new(filter(rng, depth - 1))),
+    }
+}
+
+/// Display → parse is the identity on filter ASTs.
+#[test]
+fn filter_display_parse_round_trip() {
+    let mut rng = SimRng::seed_from(SEED);
+    for case in 0..CASES {
+        let f = filter(&mut rng, 3);
         let text = f.to_string();
         let reparsed = Filter::parse(&text)
-            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
-        prop_assert_eq!(reparsed, f);
+            .unwrap_or_else(|e| panic!("case {case}: reparse of {text:?} failed: {e}"));
+        assert_eq!(reparsed, f, "case {case}: {text:?}");
     }
+}
 
-    /// The filter parser never panics on arbitrary input.
-    #[test]
-    fn filter_parser_never_panics(s in "[ -~]{0,64}") {
+/// The filter parser never panics on arbitrary input.
+#[test]
+fn filter_parser_never_panics() {
+    let mut rng = SimRng::seed_from(SEED ^ 1);
+    let printable: Vec<u8> = (0x20..0x7f).collect();
+    for _ in 0..CASES {
+        let s = rand_string(&mut rng, &printable, 0, 64);
         let _ = Filter::parse(&s);
     }
+}
 
-    /// De Morgan: !(a & b) ≡ (!a | !b) over arbitrary properties.
-    #[test]
-    fn filter_de_morgan(
-        a in leaf_filter(),
-        b in leaf_filter(),
-        keys in prop::collection::vec(attr_strategy(), 0..6),
-        vals in prop::collection::vec(-100i64..100, 0..6),
-    ) {
+/// De Morgan: !(a & b) ≡ (!a | !b) over arbitrary properties.
+#[test]
+fn filter_de_morgan() {
+    let mut rng = SimRng::seed_from(SEED ^ 2);
+    for case in 0..CASES {
+        let a = leaf_filter(&mut rng);
+        let b = leaf_filter(&mut rng);
         let mut props = Properties::new();
-        for (k, v) in keys.iter().zip(&vals) {
-            props.insert(k.clone(), *v);
+        for _ in 0..rng.next_below(6) {
+            let k = attr(&mut rng);
+            let v = rng.next_below(200) as i64 - 100;
+            props.insert(k, v);
         }
         let not_and = Filter::Not(Box::new(Filter::And(vec![a.clone(), b.clone()])));
-        let or_nots = Filter::Or(vec![
-            Filter::Not(Box::new(a)),
-            Filter::Not(Box::new(b)),
-        ]);
-        prop_assert_eq!(not_and.matches(&props), or_nots.matches(&props));
+        let or_nots = Filter::Or(vec![Filter::Not(Box::new(a)), Filter::Not(Box::new(b))]);
+        assert_eq!(
+            not_and.matches(&props),
+            or_nots.matches(&props),
+            "case {case}"
+        );
     }
+}
 
-    /// Artifact encode → decode is the identity.
-    #[test]
-    fn artifact_round_trips(
-        name in "[a-z.]{1,20}",
-        version in "[0-9.]{1,8}",
-        datas in prop::collection::vec(
-            ("[a-z]{1,10}", prop::collection::vec(any::<u8>(), 0..128)),
-            0..6,
-        ),
-        keys in prop::collection::vec("[a-z/]{1,10}", 0..3),
-    ) {
-        let mut artifact = BundleArtifact::new(Manifest::new(name, version, "prop test"));
-        for key in keys {
+/// Artifact encode → decode is the identity.
+#[test]
+fn artifact_round_trips() {
+    let mut rng = SimRng::seed_from(SEED ^ 3);
+    for case in 0..CASES {
+        let name = rand_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz.", 1, 20);
+        let version = rand_string(&mut rng, b"0123456789.", 1, 8);
+        let mut artifact = BundleArtifact::new(Manifest::new(name, version, "rng test"));
+        for _ in 0..rng.next_below(3) {
+            let key = rand_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz/", 1, 10);
             artifact = artifact.with_activator(key);
         }
-        for (n, bytes) in datas {
+        for _ in 0..rng.next_below(6) {
+            let n = rand_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 10);
+            let len = rng.next_below(128) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             artifact = artifact.with_data(n, bytes);
         }
         let encoded = artifact.encode();
-        prop_assert_eq!(BundleArtifact::decode(&encoded).unwrap(), artifact);
+        assert_eq!(
+            BundleArtifact::decode(&encoded).unwrap(),
+            artifact,
+            "case {case}"
+        );
     }
+}
 
-    /// Artifact decoding never panics on arbitrary bytes.
-    #[test]
-    fn artifact_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Artifact decoding never panics on arbitrary bytes.
+#[test]
+fn artifact_decode_never_panics() {
+    let mut rng = SimRng::seed_from(SEED ^ 4);
+    for _ in 0..CASES {
+        let len = rng.next_below(256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = BundleArtifact::decode(&bytes);
     }
+}
 
-    /// The registry always returns the highest-ranked service; ties break
-    /// toward the oldest registration.
-    #[test]
-    fn registry_ranking_invariant(rankings in prop::collection::vec(-10i64..10, 1..12)) {
+/// The registry always returns the highest-ranked service; ties break
+/// toward the oldest registration.
+#[test]
+fn registry_ranking_invariant() {
+    let mut rng = SimRng::seed_from(SEED ^ 5);
+    for case in 0..50 {
+        let n = 1 + rng.next_below(11) as usize;
+        let rankings: Vec<i64> = (0..n).map(|_| rng.next_below(20) as i64 - 10).collect();
         let registry = ServiceRegistry::new();
         for (idx, r) in rankings.iter().enumerate() {
             let v = idx as i64;
@@ -138,27 +177,35 @@ proptest! {
             .unwrap()
             .invoke("x", &[])
             .unwrap();
-        prop_assert_eq!(got, Value::I64(expected_idx as i64));
+        assert_eq!(got, Value::I64(expected_idx as i64), "case {case}");
 
         // The sorted reference list is monotone non-increasing in ranking.
         let refs = registry.get_references("t.Ranked", None);
-        prop_assert!(refs.windows(2).all(|w| w[0].ranking() >= w[1].ranking()));
+        assert!(refs.windows(2).all(|w| w[0].ranking() >= w[1].ranking()));
     }
+}
 
-    /// Value serde JSON round-trip (descriptor dumps).
-    #[test]
-    fn value_json_round_trip(n in any::<i64>(), s in ".{0,20}", b in prop::collection::vec(any::<u8>(), 0..32)) {
+/// Value JSON round-trip (descriptor dumps).
+#[test]
+fn value_json_round_trip() {
+    let mut rng = SimRng::seed_from(SEED ^ 6);
+    let printable: Vec<u8> = (0x20..0x7f).collect();
+    for case in 0..CASES {
+        let blen = rng.next_below(32) as usize;
         let v = Value::structure(
             "prop.T",
             [
-                ("n", Value::I64(n)),
-                ("s", Value::Str(s)),
-                ("b", Value::Bytes(b)),
+                ("n", Value::I64(rng.next_u64() as i64)),
+                ("s", Value::Str(rand_string(&mut rng, &printable, 0, 20))),
+                (
+                    "b",
+                    Value::Bytes((0..blen).map(|_| rng.next_u64() as u8).collect()),
+                ),
                 ("list", Value::List(vec![Value::Bool(true), Value::Unit])),
             ],
         );
-        let json = serde_json::to_string(&v).unwrap();
-        let back: Value = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back, v);
+        let json = v.to_json_string();
+        let back = Value::from_json_str(&json).unwrap();
+        assert_eq!(back, v, "case {case}");
     }
 }

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use alfredo_sync::Mutex;
 
 use alfredo_net::PeerAddr;
 use alfredo_osgi::Properties;

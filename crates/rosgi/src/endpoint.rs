@@ -27,10 +27,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use alfredo_sync::channel::{self, Receiver, Sender};
+use alfredo_sync::Mutex;
 
-use alfredo_net::Transport;
+use alfredo_net::{BufferPool, ByteWriter, Transport};
 use alfredo_osgi::{
     BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework,
     ListenerId, Manifest, Properties, Service, ServiceCallError, ServiceEvent,
@@ -38,6 +38,7 @@ use alfredo_osgi::{
 };
 use alfredo_osgi::events::topic_matches;
 
+use crate::calls::{CallSlot, CallTable};
 use crate::error::RosgiError;
 use crate::lease::{LeaseTable, RemoteServiceInfo};
 use crate::message::{Message, PROTOCOL_VERSION};
@@ -84,6 +85,11 @@ pub struct EndpointConfig {
     pub initial_stream_credits: u32,
     /// Stream chunk size in bytes.
     pub stream_chunk_size: usize,
+    /// Use the pre-optimization invocation path: owned `Message` values,
+    /// a fresh frame allocation per send, and a single-shard call table
+    /// with no slot reuse. Kept so benchmarks can measure the fast path
+    /// against an honest baseline; leave `false` in real deployments.
+    pub legacy_invoke_path: bool,
 }
 
 impl Default for EndpointConfig {
@@ -97,6 +103,7 @@ impl Default for EndpointConfig {
             forward_events: true,
             initial_stream_credits: DEFAULT_INITIAL_CREDITS,
             stream_chunk_size: DEFAULT_CHUNK_SIZE,
+            legacy_invoke_path: false,
         }
     }
 }
@@ -120,6 +127,13 @@ impl EndpointConfig {
     /// Builder-style: sets the invocation timeout.
     pub fn with_invoke_timeout(mut self, timeout: Duration) -> Self {
         self.invoke_timeout = timeout;
+        self
+    }
+
+    /// Builder-style: selects the pre-optimization invocation path
+    /// (benchmark baseline).
+    pub fn with_legacy_invoke_path(mut self) -> Self {
+        self.legacy_invoke_path = true;
         self
     }
 }
@@ -172,6 +186,18 @@ pub struct EndpointStats {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
+    /// Outgoing frames served from a recycled wire buffer (allocations
+    /// avoided on the send path).
+    pub pool_hits: u64,
+    /// Outgoing frames that had to allocate a fresh wire buffer.
+    pub pool_misses: u64,
+    /// Received frames returned to the buffer pool for reuse.
+    pub pool_returns: u64,
+    /// Total capacity (bytes) of reused wire buffers.
+    pub bytes_reused: u64,
+    /// Invocations that rode a recycled call-waiter slot instead of
+    /// allocating one.
+    pub slots_reused: u64,
 }
 
 type CallResult = Result<Value, ServiceCallError>;
@@ -201,12 +227,17 @@ struct Inner {
     config: EndpointConfig,
     remote_peer: Mutex<String>,
     leases: Mutex<LeaseTable>,
-    pending_calls: Mutex<HashMap<u64, Sender<CallResult>>>,
+    calls: CallTable<CallResult>,
+    pool: Arc<BufferPool>,
     pending_fetches: Mutex<HashMap<String, FetchWaiter>>,
     pending_pings: Mutex<HashMap<u64, Sender<()>>>,
     next_id: AtomicU64,
     proxy_bundles: Mutex<HashMap<String, BundleId>>,
     types: Mutex<TypeRegistry>,
+    /// `true` once any struct type has been injected. Lets the per-call
+    /// validation skip the `types` lock entirely while the registry is
+    /// empty (the common case), where validation accepts every value.
+    has_types: AtomicBool,
     remote_event_patterns: Mutex<Vec<String>>,
     send_credits: Mutex<HashMap<u64, Arc<CreditGate>>>,
     open_streams: Mutex<HashMap<u64, Sender<StreamData>>>,
@@ -243,18 +274,25 @@ impl RemoteEndpoint {
         config: EndpointConfig,
     ) -> Result<RemoteEndpoint, RosgiError> {
         let transport: Arc<dyn Transport> = Arc::from(transport);
+        let calls = if config.legacy_invoke_path {
+            CallTable::legacy()
+        } else {
+            CallTable::new()
+        };
         let inner = Arc::new(Inner {
             transport,
             framework,
             config,
             remote_peer: Mutex::new(String::new()),
             leases: Mutex::new(LeaseTable::new()),
-            pending_calls: Mutex::new(HashMap::new()),
+            calls,
+            pool: BufferPool::new(),
             pending_fetches: Mutex::new(HashMap::new()),
             pending_pings: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             proxy_bundles: Mutex::new(HashMap::new()),
             types: Mutex::new(TypeRegistry::new()),
+            has_types: AtomicBool::new(false),
             remote_event_patterns: Mutex::new(Vec::new()),
             send_credits: Mutex::new(HashMap::new()),
             open_streams: Mutex::new(HashMap::new()),
@@ -328,6 +366,13 @@ impl RemoteEndpoint {
                 inner.on_local_service_event(ev);
             });
             *inner.registry_listener.lock() = Some(listener);
+            // Services registered between the outgoing lease above and
+            // this listener would otherwise be missed forever: re-announce
+            // the full lease once. Cheap — every entry shares the
+            // registration's Arc-backed interfaces and properties.
+            inner.send(&Message::Lease {
+                services: inner.exportable_services(),
+            })?;
         }
 
         // --- forward local events the peer subscribed to (a tap: sees
@@ -397,9 +442,16 @@ impl RemoteEndpoint {
         self.inner.closed.load(Ordering::SeqCst)
     }
 
+    /// Number of invocations currently awaiting a response (synchronous
+    /// calls in other threads plus unharvested [`CallHandle`]s).
+    pub fn in_flight_calls(&self) -> usize {
+        self.inner.calls.outstanding()
+    }
+
     /// Snapshot of traffic counters.
     pub fn stats(&self) -> EndpointStats {
         let c = &self.inner.counters;
+        let pool = self.inner.pool.stats();
         EndpointStats {
             calls_sent: c.calls_sent.load(Ordering::Relaxed),
             calls_served: c.calls_served.load(Ordering::Relaxed),
@@ -409,6 +461,11 @@ impl RemoteEndpoint {
             frames_received: c.frames_received.load(Ordering::Relaxed),
             bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
             bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_returns: pool.returns,
+            bytes_reused: pool.bytes_reused,
+            slots_reused: self.inner.calls.slots_reused(),
         }
     }
 
@@ -460,11 +517,12 @@ impl RemoteEndpoint {
         let ((iface, injected, smart_spec, descriptor), transferred_bytes) = outcome?;
 
         // Type injection.
-        {
+        if !injected.is_empty() {
             let mut types = inner.types.lock();
             for t in injected {
                 types.inject(t);
             }
+            inner.has_types.store(true, Ordering::Relaxed);
         }
 
         // Build the proxy (smart if offered, accepted, and resolvable).
@@ -588,6 +646,33 @@ impl RemoteEndpoint {
             })
     }
 
+    /// Starts a remote invocation without blocking for the response.
+    ///
+    /// The returned [`CallHandle`] collects the result via
+    /// [`CallHandle::wait`]. Handles are independent, so a caller can keep
+    /// many invocations in flight on one connection and harvest them in
+    /// any order — the classic way to hide link latency when issuing
+    /// bursts of small calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Closed`] if the connection is gone and
+    /// argument-validation errors immediately; invocation errors surface
+    /// from `wait`.
+    pub fn invoke_async(
+        &self,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<CallHandle, RosgiError> {
+        self.inner
+            .invoke_async_inner(interface, method, args)
+            .map_err(|e| match e {
+                ServiceCallError::ServiceGone => RosgiError::Closed,
+                other => RosgiError::Call(other),
+            })
+    }
+
     /// Sends an EventAdmin event to the peer unconditionally (bypassing
     /// interest filtering). The peer posts it on its local bus.
     ///
@@ -624,12 +709,11 @@ impl RemoteEndpoint {
                 inner.send_credits.lock().remove(&stream);
                 return Err(RosgiError::Closed);
             }
-            inner.send(&Message::StreamChunk {
-                stream,
-                seq: seq as u64,
-                last: seq == last_idx,
-                bytes: chunk.to_vec(),
-            })?;
+            // Encode straight from the borrowed slice: no per-chunk copy
+            // of the payload into an owned message.
+            let mut w = ByteWriter::with_pool(&inner.pool);
+            Message::encode_stream_chunk(&mut w, stream, seq as u64, seq == last_idx, chunk);
+            inner.send_frame(w.into_bytes())?;
         }
         inner.send_credits.lock().remove(&stream);
         Ok(StreamId(stream))
@@ -707,6 +791,69 @@ impl Drop for RemoteEndpoint {
     }
 }
 
+/// A pending asynchronous invocation started with
+/// [`RemoteEndpoint::invoke_async`].
+///
+/// The call is already on the wire; `wait` blocks until the response is
+/// routed back. Dropping the handle without waiting abandons the call:
+/// the response (or connection teardown) clears the bookkeeping.
+pub struct CallHandle {
+    inner: Arc<Inner>,
+    call_id: u64,
+    slot: Arc<CallSlot<CallResult>>,
+}
+
+impl CallHandle {
+    /// The wire-level call id (diagnostics).
+    pub fn call_id(&self) -> u64 {
+        self.call_id
+    }
+
+    /// Blocks until the response arrives, up to the endpoint's configured
+    /// invocation timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the remote error, or `Remote("timeout")` like the
+    /// synchronous path on timeout.
+    pub fn wait(self) -> Result<Value, ServiceCallError> {
+        let timeout = self.inner.config.invoke_timeout;
+        self.wait_timeout(timeout)
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Value, ServiceCallError> {
+        let CallHandle {
+            inner,
+            call_id,
+            slot,
+        } = self;
+        match slot.wait(timeout) {
+            Some(result) => {
+                inner.calls.recycle(call_id, slot);
+                result
+            }
+            None => {
+                inner.calls.cancel(call_id);
+                inner.calls.recycle(call_id, slot);
+                Err(ServiceCallError::Remote("timeout".into()))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CallHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallHandle")
+            .field("call_id", &self.call_id)
+            .finish()
+    }
+}
+
 /// [`Invoker`] backed by a (weakly referenced) endpoint.
 struct EndpointInvoker {
     inner: std::sync::Weak<Inner>,
@@ -751,7 +898,15 @@ impl BundleActivator for ProxyActivator {
 
 impl Inner {
     fn send(&self, msg: &Message) -> Result<(), RosgiError> {
-        let frame = msg.encode();
+        if self.config.legacy_invoke_path {
+            return self.send_frame(msg.encode());
+        }
+        let mut w = ByteWriter::with_pool(&self.pool);
+        msg.encode_into(&mut w);
+        self.send_frame(w.into_bytes())
+    }
+
+    fn send_frame(&self, frame: Vec<u8>) -> Result<(), RosgiError> {
         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_sent
@@ -773,17 +928,36 @@ impl Inner {
     }
 
     fn invoke_remote_inner(
-        &self,
+        self: &Arc<Self>,
         interface: &str,
         method: &str,
         args: &[Value],
     ) -> Result<Value, ServiceCallError> {
+        self.invoke_async_inner(interface, method, args)?.wait()
+    }
+
+    /// Fires an invocation and returns the handle to its pending reply.
+    ///
+    /// On the fast path the `Invoke` frame is encoded *borrowed* — the
+    /// interface name, method name, and argument slice are written
+    /// straight into a pooled wire buffer, never cloned into an owned
+    /// [`Message`] — and the waiter is a recycled call slot from the
+    /// sharded table. The legacy path reproduces the original costs for
+    /// benchmark comparison.
+    fn invoke_async_inner(
+        self: &Arc<Self>,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<CallHandle, ServiceCallError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(ServiceCallError::ServiceGone);
         }
         // Validate injected struct types client-side before paying for the
-        // round trip (the server validates again on its side).
-        {
+        // round trip (the server validates again on its side). Skipped
+        // while no types have been injected — empty registries accept
+        // every value.
+        if self.has_types.load(Ordering::Relaxed) {
             let types = self.types.lock();
             for arg in args {
                 types
@@ -792,26 +966,30 @@ impl Inner {
             }
         }
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = channel::bounded(1);
-        self.pending_calls.lock().insert(call_id, tx);
+        let slot = self.calls.register(call_id);
         self.counters.calls_sent.fetch_add(1, Ordering::Relaxed);
-        let sent = self.send(&Message::Invoke {
-            call_id,
-            interface: interface.to_owned(),
-            method: method.to_owned(),
-            args: args.to_vec(),
-        });
+        let sent = if self.config.legacy_invoke_path {
+            self.send(&Message::Invoke {
+                call_id,
+                interface: interface.to_owned(),
+                method: method.to_owned(),
+                args: args.to_vec(),
+            })
+        } else {
+            let mut w = ByteWriter::with_pool(&self.pool);
+            Message::encode_invoke(&mut w, call_id, interface, method, args);
+            self.send_frame(w.into_bytes())
+        };
         if sent.is_err() {
-            self.pending_calls.lock().remove(&call_id);
+            self.calls.cancel(call_id);
+            self.calls.recycle(call_id, slot);
             return Err(ServiceCallError::ServiceGone);
         }
-        match rx.recv_timeout(self.config.invoke_timeout) {
-            Ok(result) => result,
-            Err(_) => {
-                self.pending_calls.lock().remove(&call_id);
-                Err(ServiceCallError::Remote("timeout".into()))
-            }
-        }
+        Ok(CallHandle {
+            inner: Arc::clone(self),
+            call_id,
+            slot,
+        })
     }
 
     fn on_local_service_event(&self, event: &ServiceEvent) {
@@ -884,7 +1062,7 @@ impl Inner {
                                 .into_iter()
                                 .find(|s| s.remote_id == *id)
                         })
-                        .flat_map(|s| s.interfaces)
+                        .flat_map(|s| s.interfaces.iter().cloned().collect::<Vec<_>>())
                         .collect()
                 };
                 self.leases.lock().apply_update(added, &removed);
@@ -903,9 +1081,12 @@ impl Inner {
                 // The serving side also records the types it ships, so it
                 // can validate struct arguments on later invocations.
                 if let Message::ServiceBundle { injected_types, .. } = &reply {
-                    let mut types = self.types.lock();
-                    for t in injected_types {
-                        types.inject(t.clone());
+                    if !injected_types.is_empty() {
+                        let mut types = self.types.lock();
+                        for t in injected_types {
+                            types.inject(t.clone());
+                        }
+                        self.has_types.store(true, Ordering::Relaxed);
                     }
                 }
                 let _ = self.send(&reply);
@@ -944,16 +1125,10 @@ impl Inner {
                 interface,
                 method,
                 args,
-            } => {
-                self.counters.calls_served.fetch_add(1, Ordering::Relaxed);
-                let result = self.serve_invoke(&interface, &method, &args);
-                let _ = self.send(&Message::Response { call_id, result });
-            }
+            } => self.serve_and_respond(call_id, &interface, &method, &args),
             Message::Response { call_id, result } => {
-                let waiter = self.pending_calls.lock().remove(&call_id);
-                if let Some(tx) = waiter {
-                    let _ = tx.send(result);
-                }
+                // Unknown ids (timed-out calls) are dropped.
+                self.calls.complete(call_id, result);
             }
             Message::RemoteEvent { topic, properties } => {
                 self.counters
@@ -1014,6 +1189,23 @@ impl Inner {
     }
 
     /// Serves a peer's invocation against the local registry.
+    /// Serves one incoming invocation and sends the response frame. Used
+    /// by both the owned [`Message::Invoke`] arm and the borrowed
+    /// fast-path decode in the reader loop.
+    fn serve_and_respond(&self, call_id: u64, interface: &str, method: &str, args: &[Value]) {
+        self.counters.calls_served.fetch_add(1, Ordering::Relaxed);
+        let result = self.serve_invoke(interface, method, args);
+        if self.config.legacy_invoke_path {
+            let _ = self.send(&Message::Response { call_id, result });
+        } else {
+            // Encode the response borrowed: the result is written into a
+            // pooled buffer without moving it into a `Message`.
+            let mut w = ByteWriter::with_pool(&self.pool);
+            Message::encode_response(&mut w, call_id, &result);
+            let _ = self.send_frame(w.into_bytes());
+        }
+    }
+
     fn serve_invoke(
         &self,
         interface: &str,
@@ -1025,8 +1217,10 @@ impl Inner {
             .registry()
             .get_service(interface)
             .ok_or(ServiceCallError::ServiceGone)?;
-        // Validate injected struct types on the way in.
-        {
+        // Validate injected struct types on the way in (skipped entirely
+        // until a type has been injected — an empty registry accepts
+        // every value).
+        if self.has_types.load(Ordering::Relaxed) {
             let types = self.types.lock();
             for arg in args {
                 types
@@ -1111,9 +1305,7 @@ impl Inner {
             self.framework.event_admin().remove_tap(tap);
         }
         // Fail outstanding calls and fetches.
-        for (_, tx) in self.pending_calls.lock().drain() {
-            let _ = tx.send(Err(ServiceCallError::ServiceGone));
-        }
+        self.calls.fail_all(|| Err(ServiceCallError::ServiceGone));
         for (_, tx) in self.pending_fetches.lock().drain() {
             let _ = tx.send(Err(RosgiError::Closed));
         }
@@ -1168,7 +1360,38 @@ fn reader_loop(inner: Arc<Inner>) {
             .counters
             .bytes_received
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        match Message::decode(&frame) {
+        // Invocations — the hot frame type — are served straight off the
+        // frame bytes: interface and method stay borrowed, no `Message`
+        // is materialized. Everything else takes the owned decode below.
+        if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
+            match Message::decode_invoke_borrowed(&frame) {
+                Ok(inv) => {
+                    inner.serve_and_respond(inv.call_id, inv.interface, inv.method, &inv.args);
+                    drop(inv);
+                    inner.pool.give(frame);
+                    continue;
+                }
+                Err(e) => {
+                    inner
+                        .framework
+                        .emit_framework(alfredo_osgi::FrameworkEvent::Error {
+                            bundle: None,
+                            message: format!("undecodable frame from peer: {e}"),
+                        });
+                    inner.transport.close();
+                    break;
+                }
+            }
+        }
+        let decoded = Message::decode(&frame);
+        // Decoding produced an owned message, so the frame's allocation
+        // can immediately back a future outgoing frame. Under steady
+        // request/response traffic this is what makes the send path
+        // allocation-free: each side recycles what it receives.
+        if !inner.config.legacy_invoke_path {
+            inner.pool.give(frame);
+        }
+        match decoded {
             Ok(msg) => inner.handle_message(msg),
             Err(e) => {
                 // Protocol corruption: fail fast, close the link.

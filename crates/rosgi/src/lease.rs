@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use alfredo_net::{ByteReader, ByteWriter, WireError};
 use alfredo_osgi::{Properties, ServiceReference};
@@ -15,23 +16,38 @@ use alfredo_osgi::{Properties, ServiceReference};
 use crate::codec::{decode_properties, encode_properties};
 
 /// One entry of a lease: a service the remote peer offers.
+///
+/// The interface list and properties are `Arc`-shared: entries built from
+/// a local [`ServiceReference`] alias the registration's own data, so
+/// assembling a lease (done on every handshake and registry change) copies
+/// reference counts, not strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteServiceInfo {
     /// Interfaces the service is registered under on the remote side.
-    pub interfaces: Vec<String>,
+    pub interfaces: Arc<Vec<String>>,
     /// The remote registration's properties.
-    pub properties: Properties,
+    pub properties: Arc<Properties>,
     /// The remote framework's service id.
     pub remote_id: u64,
 }
 
 impl RemoteServiceInfo {
+    /// Creates an entry from owned parts (wraps them for sharing).
+    pub fn new(interfaces: Vec<String>, properties: Properties, remote_id: u64) -> Self {
+        RemoteServiceInfo {
+            interfaces: Arc::new(interfaces),
+            properties: Arc::new(properties),
+            remote_id,
+        }
+    }
+
     /// Builds a lease entry from a local service reference (for the
-    /// outgoing lease).
+    /// outgoing lease). Shares the reference's interface list and
+    /// properties instead of copying them.
     pub fn from_reference(reference: &ServiceReference) -> Self {
         RemoteServiceInfo {
-            interfaces: reference.interfaces().to_vec(),
-            properties: reference.properties().clone(),
+            interfaces: Arc::clone(reference.shared_interfaces()),
+            properties: Arc::clone(reference.shared_properties()),
             remote_id: reference.id().as_raw(),
         }
     }
@@ -45,7 +61,7 @@ impl RemoteServiceInfo {
     pub fn encode(&self, w: &mut ByteWriter) {
         w.put_varint(self.remote_id);
         w.put_varint(self.interfaces.len() as u64);
-        for i in &self.interfaces {
+        for i in self.interfaces.iter() {
             w.put_str(i);
         }
         encode_properties(w, &self.properties);
@@ -64,11 +80,7 @@ impl RemoteServiceInfo {
             interfaces.push(r.str()?.to_owned());
         }
         let properties = decode_properties(r)?;
-        Ok(RemoteServiceInfo {
-            interfaces,
-            properties,
-            remote_id,
-        })
+        Ok(RemoteServiceInfo::new(interfaces, properties, remote_id))
     }
 }
 
@@ -132,22 +144,22 @@ mod tests {
     use alfredo_osgi::Value;
 
     fn info(id: u64, iface: &str) -> RemoteServiceInfo {
-        RemoteServiceInfo {
-            interfaces: vec![iface.to_owned()],
-            properties: Properties::new().with("id", id as i64),
-            remote_id: id,
-        }
+        RemoteServiceInfo::new(
+            vec![iface.to_owned()],
+            Properties::new().with("id", id as i64),
+            id,
+        )
     }
 
     #[test]
     fn entry_round_trips() {
-        let entry = RemoteServiceInfo {
-            interfaces: vec!["a.B".into(), "a.C".into()],
-            properties: Properties::new()
+        let entry = RemoteServiceInfo::new(
+            vec!["a.B".into(), "a.C".into()],
+            Properties::new()
                 .with("x", 1i64)
                 .with("tags", Value::from(vec!["p", "q"])),
-            remote_id: 42,
-        };
+            42,
+        );
         let mut w = ByteWriter::new();
         entry.encode(&mut w);
         let bytes = w.into_bytes();

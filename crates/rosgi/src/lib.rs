@@ -94,6 +94,7 @@
 //! # }
 //! ```
 
+pub(crate) mod calls;
 pub mod codec;
 pub mod discovery;
 pub mod endpoint;
@@ -105,10 +106,10 @@ pub mod stream;
 pub mod types;
 
 pub use discovery::{DiscoveryDirectory, ServiceUrl};
-pub use endpoint::{EndpointConfig, FetchedService, RemoteEndpoint};
+pub use endpoint::{CallHandle, EndpointConfig, EndpointStats, FetchedService, RemoteEndpoint};
 pub use error::RosgiError;
 pub use lease::RemoteServiceInfo;
-pub use message::Message;
+pub use message::{BorrowedInvoke, Message};
 pub use proxy::{RemoteServiceProxy, SmartProxySpec};
 pub use stream::{StreamId, StreamReceiver};
 pub use types::{TypeDescriptor, TypeRegistry};

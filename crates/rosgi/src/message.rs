@@ -135,6 +135,21 @@ pub enum Message {
     Bye,
 }
 
+/// An `Invoke` frame decoded in place: `interface` and `method` borrow the
+/// frame's bytes instead of allocating owned strings. Args are owned
+/// [`Value`]s (their decode is owned regardless).
+#[derive(Debug, PartialEq)]
+pub struct BorrowedInvoke<'a> {
+    /// Correlates the response to the caller.
+    pub call_id: u64,
+    /// Target interface name (borrowed from the frame).
+    pub interface: &'a str,
+    /// Method to invoke (borrowed from the frame).
+    pub method: &'a str,
+    /// Decoded arguments.
+    pub args: Vec<Value>,
+}
+
 const TAG_HELLO: u8 = 1;
 const TAG_LEASE: u8 = 2;
 const TAG_LEASE_UPDATE: u8 = 3;
@@ -162,6 +177,14 @@ impl Message {
     /// Encodes the message into a frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes the message into an existing writer (typically one checked
+    /// out of a [`alfredo_net::BufferPool`]), producing bytes identical to
+    /// [`Self::encode`] without allocating a fresh frame buffer.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
         match self {
             Message::Hello { peer, version } => {
                 w.put_u8(TAG_HELLO);
@@ -172,14 +195,14 @@ impl Message {
                 w.put_u8(TAG_LEASE);
                 w.put_varint(services.len() as u64);
                 for s in services {
-                    s.encode(&mut w);
+                    s.encode(w);
                 }
             }
             Message::LeaseUpdate { added, removed } => {
                 w.put_u8(TAG_LEASE_UPDATE);
                 w.put_varint(added.len() as u64);
                 for s in added {
-                    s.encode(&mut w);
+                    s.encode(w);
                 }
                 w.put_varint(removed.len() as u64);
                 for id in removed {
@@ -207,12 +230,12 @@ impl Message {
                 w.put_bytes(&interface.encode());
                 w.put_varint(injected_types.len() as u64);
                 for t in injected_types {
-                    t.encode(&mut w);
+                    t.encode(w);
                 }
                 match smart_proxy {
                     Some(spec) => {
                         w.put_bool(true);
-                        spec.encode(&mut w);
+                        spec.encode(w);
                     }
                     None => w.put_bool(false),
                 }
@@ -234,34 +257,14 @@ impl Message {
                 interface,
                 method,
                 args,
-            } => {
-                w.put_u8(TAG_INVOKE);
-                w.put_varint(*call_id);
-                w.put_str(interface);
-                w.put_str(method);
-                w.put_varint(args.len() as u64);
-                for a in args {
-                    encode_value(&mut w, a);
-                }
-            }
+            } => Message::encode_invoke(w, *call_id, interface, method, args),
             Message::Response { call_id, result } => {
-                w.put_u8(TAG_RESPONSE);
-                w.put_varint(*call_id);
-                match result {
-                    Ok(v) => {
-                        w.put_bool(true);
-                        encode_value(&mut w, v);
-                    }
-                    Err(e) => {
-                        w.put_bool(false);
-                        encode_call_error(&mut w, e);
-                    }
-                }
+                Message::encode_response(w, *call_id, result)
             }
             Message::RemoteEvent { topic, properties } => {
                 w.put_u8(TAG_REMOTE_EVENT);
                 w.put_str(topic);
-                encode_properties(&mut w, properties);
+                encode_properties(w, properties);
             }
             Message::StreamOpen { stream, name } => {
                 w.put_u8(TAG_STREAM_OPEN);
@@ -273,13 +276,7 @@ impl Message {
                 seq,
                 last,
                 bytes,
-            } => {
-                w.put_u8(TAG_STREAM_CHUNK);
-                w.put_varint(*stream);
-                w.put_varint(*seq);
-                w.put_bool(*last);
-                w.put_bytes(bytes);
-            }
+            } => Message::encode_stream_chunk(w, *stream, *seq, *last, bytes),
             Message::StreamCredit { stream, credits } => {
                 w.put_u8(TAG_STREAM_CREDIT);
                 w.put_varint(*stream);
@@ -295,7 +292,96 @@ impl Message {
             }
             Message::Bye => w.put_u8(TAG_BYE),
         }
-        w.into_bytes()
+    }
+
+    /// Encodes an `Invoke` frame directly from borrowed parts, sparing
+    /// the caller the `String`/`Vec` clones a [`Message::Invoke`] value
+    /// would require. Wire-identical to encoding the owned message.
+    pub fn encode_invoke(
+        w: &mut ByteWriter,
+        call_id: u64,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+    ) {
+        w.put_u8(TAG_INVOKE);
+        w.put_varint(call_id);
+        w.put_str(interface);
+        w.put_str(method);
+        w.put_varint(args.len() as u64);
+        for a in args {
+            encode_value(w, a);
+        }
+    }
+
+    /// Encodes a `Response` frame directly from a borrowed result.
+    pub fn encode_response(w: &mut ByteWriter, call_id: u64, result: &Result<Value, ServiceCallError>) {
+        w.put_u8(TAG_RESPONSE);
+        w.put_varint(call_id);
+        match result {
+            Ok(v) => {
+                w.put_bool(true);
+                encode_value(w, v);
+            }
+            Err(e) => {
+                w.put_bool(false);
+                encode_call_error(w, e);
+            }
+        }
+    }
+
+    /// Encodes a `StreamChunk` frame directly from a borrowed payload
+    /// slice, so stream senders never copy chunk data before framing.
+    pub fn encode_stream_chunk(w: &mut ByteWriter, stream: u64, seq: u64, last: bool, bytes: &[u8]) {
+        w.put_u8(TAG_STREAM_CHUNK);
+        w.put_varint(stream);
+        w.put_varint(seq);
+        w.put_bool(last);
+        w.put_bytes(bytes);
+    }
+
+    /// Returns `true` if `frame` carries an `Invoke` message.
+    pub fn is_invoke(frame: &[u8]) -> bool {
+        frame.first() == Some(&TAG_INVOKE)
+    }
+
+    /// Decodes an `Invoke` frame with the interface and method names
+    /// borrowed from the frame bytes, sparing the serve path two `String`
+    /// allocations per call. Accepts exactly the frames [`Message::decode`]
+    /// would turn into [`Message::Invoke`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input or a non-`Invoke` tag.
+    pub fn decode_invoke_borrowed(frame: &[u8]) -> Result<BorrowedInvoke<'_>, WireError> {
+        let mut r = ByteReader::new(frame);
+        let tag = r.u8()?;
+        if tag != TAG_INVOKE {
+            return Err(WireError::InvalidTag {
+                context: "BorrowedInvoke",
+                tag,
+            });
+        }
+        let call_id = r.varint()?;
+        let interface = r.str()?;
+        let method = r.str()?;
+        let n = r.varint()? as usize;
+        let mut args = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            args.push(decode_value(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(WireError::InvalidTag {
+                context: "BorrowedInvoke (trailing bytes)",
+                tag: 0,
+            });
+        }
+        Ok(BorrowedInvoke {
+            call_id,
+            interface,
+            method,
+            args,
+        })
     }
 
     /// Decodes a frame.
@@ -505,11 +591,11 @@ mod tests {
                 version: PROTOCOL_VERSION,
             },
             Message::Lease {
-                services: vec![RemoteServiceInfo {
-                    interfaces: vec!["a.B".into()],
-                    properties: Properties::new().with("k", 1i64),
-                    remote_id: 3,
-                }],
+                services: vec![RemoteServiceInfo::new(
+                    vec!["a.B".into()],
+                    Properties::new().with("k", 1i64),
+                    3,
+                )],
             },
             Message::LeaseUpdate {
                 added: vec![],

@@ -10,7 +10,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::RosgiError;
 
@@ -30,6 +30,7 @@ pub const DEFAULT_INITIAL_CREDITS: u32 = 8;
 /// Default chunk size in bytes.
 pub const DEFAULT_CHUNK_SIZE: usize = 16 * 1024;
 
+#[derive(Debug)]
 pub(crate) enum StreamData {
     Chunk(Vec<u8>),
     End,

@@ -1,0 +1,86 @@
+//! Wire-size budget: fails if the per-call encoded frame sizes regress
+//! against the recorded baseline, so codec changes that bloat the hot
+//! invoke/response path are caught in CI rather than on the wire.
+
+use alfredo_net::ByteWriter;
+use alfredo_osgi::Value;
+use alfredo_rosgi::Message;
+
+/// Recorded baselines for the canonical call below (2026-08: the invoke
+/// frame encodes to 58 bytes, the response to 23). A frame growing past
+/// its budget means a codec change added per-call bytes — either revert
+/// it or consciously re-record the budget here.
+const INVOKE_FRAME_BUDGET: usize = 58;
+const RESPONSE_FRAME_BUDGET: usize = 23;
+
+fn canonical_args() -> Vec<Value> {
+    vec![Value::I64(42), Value::Str("ping-pong payload".into())]
+}
+
+fn canonical_invoke_frame() -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    Message::encode_invoke(&mut w, 1000, "alfredo.shop.CartService", "addItem", &canonical_args());
+    w.into_bytes()
+}
+
+#[test]
+fn invoke_frame_stays_within_budget() {
+    let frame = canonical_invoke_frame();
+    assert!(
+        frame.len() <= INVOKE_FRAME_BUDGET,
+        "canonical Invoke frame grew to {} bytes (budget {INVOKE_FRAME_BUDGET})",
+        frame.len()
+    );
+}
+
+#[test]
+fn response_frame_stays_within_budget() {
+    let mut w = ByteWriter::new();
+    Message::encode_response(&mut w, 1000, &Ok(Value::Str("ping-pong payload".into())));
+    let frame = w.into_bytes();
+    assert!(
+        frame.len() <= RESPONSE_FRAME_BUDGET,
+        "canonical Response frame grew to {} bytes (budget {RESPONSE_FRAME_BUDGET})",
+        frame.len()
+    );
+}
+
+#[test]
+fn borrowed_invoke_encode_is_wire_identical_to_owned() {
+    let owned = Message::Invoke {
+        call_id: 1000,
+        interface: "alfredo.shop.CartService".into(),
+        method: "addItem".into(),
+        args: canonical_args(),
+    };
+    assert_eq!(owned.encode(), canonical_invoke_frame());
+}
+
+#[test]
+fn borrowed_invoke_decode_matches_owned_decode() {
+    let frame = canonical_invoke_frame();
+    let borrowed = Message::decode_invoke_borrowed(&frame).expect("borrowed decode");
+    assert_eq!(borrowed.call_id, 1000);
+    assert_eq!(borrowed.interface, "alfredo.shop.CartService");
+    assert_eq!(borrowed.method, "addItem");
+    match Message::decode(&frame).expect("owned decode") {
+        Message::Invoke {
+            call_id,
+            interface,
+            method,
+            args,
+        } => {
+            assert_eq!(call_id, borrowed.call_id);
+            assert_eq!(interface, borrowed.interface);
+            assert_eq!(method, borrowed.method);
+            assert_eq!(args, borrowed.args);
+        }
+        other => panic!("decoded {other:?}"),
+    }
+
+    assert!(Message::is_invoke(&frame));
+    assert!(!Message::is_invoke(&Message::Bye.encode()));
+    // Non-invoke frames and truncated frames are rejected.
+    assert!(Message::decode_invoke_borrowed(&Message::Bye.encode()).is_err());
+    assert!(Message::decode_invoke_borrowed(&frame[..frame.len() - 1]).is_err());
+}

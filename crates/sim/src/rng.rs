@@ -6,9 +6,6 @@
 //! enough for simulation noise — wrapped with a `split` operation so that
 //! independent components can derive uncorrelated streams from one seed.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 /// A deterministic, splittable RNG for simulation use.
 ///
 /// # Example
@@ -82,12 +79,6 @@ impl SimRng {
     pub fn exponential(&mut self, mean: f64) -> f64 {
         let u = 1.0 - self.next_f64(); // avoid ln(0)
         -mean * u.ln()
-    }
-
-    /// Bridges into the `rand` ecosystem: a seeded [`StdRng`] derived from
-    /// this generator's stream, for code that needs the full `Rng` API.
-    pub fn std_rng(&mut self) -> StdRng {
-        StdRng::seed_from_u64(self.next_u64())
     }
 
     /// Shuffles a slice in place (Fisher–Yates).

@@ -1,13 +1,20 @@
-//! Property-based tests for the discrete-event engine invariants.
+//! Randomized tests for the discrete-event engine invariants, driven by
+//! the deterministic [`SimRng`] so failures are reproducible from the seed.
 
 use alfredo_sim::{CpuModel, SimDuration, SimRng, SimTime, Simulation, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always execute in non-decreasing time order, regardless of the
-    /// order in which they were scheduled.
-    #[test]
-    fn events_execute_in_time_order(delays in prop::collection::vec(0u64..10_000, 1..64)) {
+const SEED: u64 = 0x51a1_0e5d;
+const CASES: usize = 60;
+
+/// Events always execute in non-decreasing time order, regardless of the
+/// order in which they were scheduled.
+#[test]
+fn events_execute_in_time_order() {
+    let mut rng = SimRng::seed_from(SEED);
+    for _ in 0..CASES {
+        let delays: Vec<u64> = (0..1 + rng.next_below(63))
+            .map(|_| rng.next_below(10_000))
+            .collect();
         let mut sim = Simulation::new(Vec::<u64>::new());
         for d in &delays {
             let at = SimDuration::from_micros(*d);
@@ -15,55 +22,74 @@ proptest! {
         }
         sim.run();
         let log = sim.state();
-        prop_assert_eq!(log.len(), delays.len());
-        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(log.len(), delays.len());
+        assert!(log.windows(2).all(|w| w[0] <= w[1]));
     }
+}
 
-    /// An event never runs before its scheduled time.
-    #[test]
-    fn no_event_runs_early(delays in prop::collection::vec(0u64..10_000, 1..32)) {
+/// An event never runs before its scheduled time.
+#[test]
+fn no_event_runs_early() {
+    let mut rng = SimRng::seed_from(SEED ^ 1);
+    for _ in 0..CASES {
+        let delays: Vec<u64> = (0..1 + rng.next_below(31))
+            .map(|_| rng.next_below(10_000))
+            .collect();
         let mut sim = Simulation::new(Vec::<(u64, u64)>::new());
         for d in &delays {
             let want = SimDuration::from_micros(*d).as_nanos();
-            sim.schedule(SimDuration::from_micros(*d), move |log: &mut Vec<(u64, u64)>, ctx| {
-                log.push((want, ctx.now().as_nanos()));
-            });
+            sim.schedule(
+                SimDuration::from_micros(*d),
+                move |log: &mut Vec<(u64, u64)>, ctx| {
+                    log.push((want, ctx.now().as_nanos()));
+                },
+            );
         }
         sim.run();
         for (want, got) in sim.state() {
-            prop_assert_eq!(want, got);
+            assert_eq!(want, got);
         }
     }
+}
 
-    /// CPU completion times are FIFO per core: a job submitted later never
-    /// completes before an identical job submitted earlier.
-    #[test]
-    fn cpu_fifo_completion(
-        cycles in prop::collection::vec(1u64..1_000_000, 1..40),
-        cores in 1usize..4,
-    ) {
+/// CPU completion times are FIFO per core: a job submitted later never
+/// completes before an identical job submitted earlier.
+#[test]
+fn cpu_fifo_completion() {
+    let mut rng = SimRng::seed_from(SEED ^ 2);
+    for _ in 0..CASES {
+        let cores = 1 + rng.next_below(3) as usize;
+        let cycles: Vec<u64> = (0..1 + rng.next_below(39))
+            .map(|_| 1 + rng.next_below(1_000_000 - 1))
+            .collect();
         let mut cpu = CpuModel::new(1e8, cores);
-        let mut last_end_per_size: Option<SimTime> = None;
+        let mut last_end: Option<SimTime> = None;
         let mut prev = SimTime::ZERO;
         for c in cycles {
             let end = cpu.submit(SimTime::ZERO, c);
-            prop_assert!(end >= SimTime::ZERO);
+            assert!(end >= SimTime::ZERO);
             // Total busy time is monotone.
-            prop_assert!(cpu.total_busy().as_nanos() > 0);
+            assert!(cpu.total_busy().as_nanos() > 0);
             if cores == 1 {
                 // Single core: strictly sequential.
-                prop_assert!(end > prev);
+                assert!(end > prev);
                 prev = end;
             }
-            last_end_per_size = Some(end);
+            last_end = Some(end);
         }
-        prop_assert!(last_end_per_size.is_some());
+        assert!(last_end.is_some());
     }
+}
 
-    /// CPU conservation: total busy time equals the sum of per-job service
-    /// times.
-    #[test]
-    fn cpu_conserves_work(cycles in prop::collection::vec(1u64..1_000_000, 1..40)) {
+/// CPU conservation: total busy time equals the sum of per-job service
+/// times.
+#[test]
+fn cpu_conserves_work() {
+    let mut rng = SimRng::seed_from(SEED ^ 3);
+    for _ in 0..CASES {
+        let cycles: Vec<u64> = (0..1 + rng.next_below(39))
+            .map(|_| 1 + rng.next_below(1_000_000 - 1))
+            .collect();
         let mut cpu = CpuModel::new(1e9, 2);
         let mut expect = SimDuration::ZERO;
         for c in &cycles {
@@ -72,37 +98,54 @@ proptest! {
         }
         let got = cpu.total_busy();
         let diff = got.as_nanos().abs_diff(expect.as_nanos());
-        prop_assert!(diff <= cycles.len() as u64, "rounding drift too large: {diff}");
+        assert!(diff <= cycles.len() as u64, "rounding drift too large: {diff}");
     }
+}
 
-    /// Summary mean lies between min and max.
-    #[test]
-    fn summary_mean_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Summary mean lies between min and max.
+#[test]
+fn summary_mean_bounded() {
+    let mut rng = SimRng::seed_from(SEED ^ 4);
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..1 + rng.next_below(99))
+            .map(|_| rng.uniform_f64(-1e6, 1e6))
+            .collect();
         let s: Summary = values.iter().copied().collect();
-        prop_assert!(s.mean() >= s.min() - 1e-9);
-        prop_assert!(s.mean() <= s.max() + 1e-9);
-        prop_assert_eq!(s.count(), values.len());
+        assert!(s.mean() >= s.min() - 1e-9);
+        assert!(s.mean() <= s.max() + 1e-9);
+        assert_eq!(s.count(), values.len());
     }
+}
 
-    /// Percentiles are monotone in p.
-    #[test]
-    fn summary_percentiles_monotone(values in prop::collection::vec(0f64..1e6, 1..100)) {
+/// Percentiles are monotone in p.
+#[test]
+fn summary_percentiles_monotone() {
+    let mut rng = SimRng::seed_from(SEED ^ 5);
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..1 + rng.next_below(99))
+            .map(|_| rng.uniform_f64(0.0, 1e6))
+            .collect();
         let mut s: Summary = values.into_iter().collect();
         let p25 = s.percentile(25.0);
         let p50 = s.percentile(50.0);
         let p99 = s.percentile(99.0);
-        prop_assert!(p25 <= p50 && p50 <= p99);
+        assert!(p25 <= p50 && p50 <= p99);
     }
+}
 
-    /// RNG bounded sampling stays in range and identical seeds agree.
-    #[test]
-    fn rng_determinism(seed in any::<u64>(), bound in 1u64..1000) {
+/// RNG bounded sampling stays in range and identical seeds agree.
+#[test]
+fn rng_determinism() {
+    let mut meta = SimRng::seed_from(SEED ^ 6);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(999);
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         for _ in 0..50 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
     }
 }

@@ -1,0 +1,450 @@
+//! A multi-producer multi-consumer channel.
+//!
+//! API-compatible with the subset of `crossbeam::channel` the workspace
+//! uses: [`bounded`] / [`unbounded`] constructors, cloneable and `Sync`
+//! [`Sender`] / [`Receiver`] halves, and blocking, timed, and non-blocking
+//! receives. Disconnection semantics match crossbeam: a receive on an
+//! empty channel whose senders are all gone reports
+//! [`RecvError`] / `Disconnected`, and a send with no receivers returns
+//! the value in [`SendError`]. In-flight frames are still delivered after
+//! the senders disconnect.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel is empty"),
+            TryRecvError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Waiters blocked in `recv`.
+    not_empty: Condvar,
+    /// Waiters blocked in a bounded `send`.
+    not_full: Condvar,
+    /// `None` for unbounded channels.
+    capacity: Option<usize>,
+}
+
+/// The sending half; clone freely across threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone freely across threads (each value is
+/// delivered to exactly one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded channel: `send` blocks while `cap` values are queued.
+/// A capacity of 0 is rounded up to 1 (a strict rendezvous is not needed
+/// by this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking if the channel is bounded and full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value if all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match shared.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = shared.not_full.wait(state);
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without ever blocking; on a full bounded channel the value is
+    /// returned in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the channel is full or disconnected.
+    pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        if let Some(cap) = shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(SendError(value));
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.shared.state.lock();
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and all senders are
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = shared.not_empty.wait(state);
+        }
+    }
+
+    /// Receives the next value, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] if nothing arrives in time, or
+    /// [`RecvTimeoutError::Disconnected`] if the channel is drained and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let shared = &*self.shared;
+        let deadline = Instant::now() + timeout;
+        let mut state = shared.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, timed_out) = shared.not_empty.wait_timeout(state, remaining);
+            state = guard;
+            if timed_out && state.queue.is_empty() {
+                return if state.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Receives a value if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] on an empty connected channel, or
+    /// [`TryRecvError::Disconnected`] once drained with no senders left.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        if let Some(v) = state.queue.pop_front() {
+            drop(state);
+            shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.shared.state.lock();
+            state.receivers -= 1;
+            state.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked bounded senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap_err(), RecvError);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7).unwrap_err(), SendError(7));
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+    }
+
+    #[test]
+    fn timeout_sees_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first value is taken
+            tx
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        let _tx = t.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpmc_each_value_delivered_once() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let (tx1, rx1) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        let t = thread::spawn(move || {
+            for _ in 0..100 {
+                let v: u64 = rx1.recv().unwrap();
+                tx2.send(v + 1).unwrap();
+            }
+        });
+        for i in 0..100u64 {
+            tx1.send(i).unwrap();
+            assert_eq!(rx2.recv().unwrap(), i + 1);
+        }
+        t.join().unwrap();
+    }
+}

@@ -11,14 +11,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use alfredo_net::WireError;
 
 use crate::control::UiError;
 
 /// The abstract capability interfaces (the hierarchy's roots).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CapabilityInterface {
     /// Entering characters.
     KeyboardDevice,
@@ -79,7 +77,7 @@ impl fmt::Display for CapabilityInterface {
 
 /// A concrete hardware capability; each implements one or more abstract
 /// interfaces with a quality score used for selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConcreteCapability {
     /// Full QWERTY keyboard (communicators, notebooks).
     QwertyKeyboard,
@@ -172,7 +170,7 @@ impl fmt::Display for ConcreteCapability {
 }
 
 /// Screen orientation, derived from pixel dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Orientation {
     /// Wider than tall (Nokia 9300i: 640×200).
     Landscape,
@@ -191,7 +189,7 @@ pub enum Orientation {
 /// assert!(phone.supports(CapabilityInterface::KeyboardDevice));
 /// assert_eq!(phone.orientation(), alfredo_ui::Orientation::Landscape);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceCapabilities {
     /// Device name (matches the sim profile name where applicable).
     pub device: String,

@@ -10,8 +10,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use alfredo_net::{ByteReader, ByteWriter, WireError};
 
 use crate::capability::CapabilityInterface;
@@ -49,7 +47,7 @@ impl fmt::Display for UiError {
 impl std::error::Error for UiError {}
 
 /// The kind (and intrinsic state) of an abstract control.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlKind {
     /// Static text.
     Label {
@@ -113,7 +111,7 @@ pub enum ControlKind {
 /// One abstract control: an id, a kind, and the input capabilities its
 /// interaction needs (e.g. the MouseController's movement pad requires a
 /// `PointingDevice`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Control {
     /// Unique id within the description.
     pub id: String,
@@ -211,7 +209,7 @@ impl Control {
 }
 
 /// A semantic relationship between two controls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RelationKind {
     /// `from` is a caption for `to`.
     LabelFor,
@@ -225,7 +223,7 @@ pub enum RelationKind {
 }
 
 /// A relationship instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     /// Source control id.
     pub from: String,
@@ -265,7 +263,7 @@ impl Relation {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UiDescription {
     /// A name for the UI (usually the service name).
     pub name: String,
@@ -679,10 +677,10 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn encode_is_deterministic() {
         let ui = sample();
-        let json = serde_json::to_string_pretty(&ui).unwrap();
-        let back: UiDescription = serde_json::from_str(&json).unwrap();
+        assert_eq!(ui.encode(), sample().encode());
+        let back = UiDescription::decode(&ui.encode()).unwrap();
         assert_eq!(back, ui);
     }
 

@@ -1,128 +1,151 @@
-//! Property-based tests for the abstract UI model: codec round-trips,
-//! renderer totality, and capability-matching invariants.
+//! Randomized tests for the abstract UI model: codec round-trips, renderer
+//! totality, and capability-matching invariants. Driven by the
+//! deterministic [`SimRng`] so failures are reproducible from the seed.
 
+use alfredo_sim::SimRng;
 use alfredo_ui::capability::{CapabilityPlan, ConcreteCapability};
 use alfredo_ui::control::{ControlKind, Relation, RelationKind};
 use alfredo_ui::render::{GridRenderer, HtmlRenderer, Renderer, WidgetRenderer};
 use alfredo_ui::{CapabilityInterface, Control, DeviceCapabilities, UiDescription};
-use proptest::prelude::*;
 
-fn id_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}"
+const SEED: u64 = 0x715_eed0;
+const CASES: usize = 150;
+
+fn rand_string(rng: &mut SimRng, charset: &[u8], min: usize, max: usize) -> String {
+    let len = min + rng.next_below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| charset[rng.next_below(charset.len() as u64) as usize] as char)
+        .collect()
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    ".{0,20}"
+fn ident(rng: &mut SimRng) -> String {
+    let mut s = rand_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 1);
+    s.push_str(&rand_string(rng, b"abcdefghijklmnopqrstuvwxyz0123456789_", 0, 8));
+    s
 }
 
-fn leaf_control() -> impl Strategy<Value = Control> {
-    (id_strategy(), text_strategy()).prop_flat_map(|(id, text)| {
-        prop_oneof![
-            Just(Control::label(id.clone(), text.clone())),
-            Just(Control::button(id.clone(), text.clone())),
-            Just(Control::text_input(id.clone(), text.clone())),
-            (prop::collection::vec(text_strategy(), 0..4)).prop_map({
-                let id = id.clone();
-                move |items| Control::list(id.clone(), items)
-            }),
-            (1u32..2000, 1u32..2000).prop_map({
-                let id = id.clone();
-                let text = text.clone();
-                move |(w, h)| Control::image(id.clone(), w, h, text.clone())
-            }),
-            (0u8..=100).prop_map({
-                let id = id.clone();
-                move |value| Control::new(id.clone(), ControlKind::Progress { value })
-            }),
-            (any::<i32>(), any::<i32>(), any::<i32>()).prop_map({
-                let id = id.clone();
-                move |(a, b, c)| {
-                    Control::new(
-                        id.clone(),
-                        ControlKind::Slider {
-                            min: i64::from(a),
-                            max: i64::from(b),
-                            value: i64::from(c),
-                        },
-                    )
-                }
-            }),
-        ]
-    })
+fn text(rng: &mut SimRng) -> String {
+    let printable: Vec<u8> = (0x20..0x7f).collect();
+    rand_string(rng, &printable, 0, 20)
 }
 
-fn control_strategy() -> impl Strategy<Value = Control> {
-    leaf_control().prop_recursive(3, 12, 4, |inner| {
-        (id_strategy(), any::<bool>(), prop::collection::vec(inner, 0..4))
-            .prop_map(|(id, vertical, children)| Control::panel(id, vertical, children))
-    })
-}
-
-fn ui_strategy() -> impl Strategy<Value = UiDescription> {
-    (
-        "[a-zA-Z]{1,12}",
-        prop::collection::vec(control_strategy(), 0..5),
-        prop::collection::vec(
-            (id_strategy(), id_strategy(), 0u8..4),
-            0..4,
+fn leaf_control(rng: &mut SimRng) -> Control {
+    let id = ident(rng);
+    let t = text(rng);
+    match rng.next_below(7) {
+        0 => Control::label(id, t),
+        1 => Control::button(id, t),
+        2 => Control::text_input(id, t),
+        3 => {
+            let items: Vec<String> = (0..rng.next_below(4)).map(|_| text(rng)).collect();
+            Control::list(id, items)
+        }
+        4 => {
+            let w = 1 + rng.next_below(1999) as u32;
+            let h = 1 + rng.next_below(1999) as u32;
+            Control::image(id, w, h, t)
+        }
+        5 => Control::new(
+            id,
+            ControlKind::Progress {
+                value: rng.next_below(101) as u8,
+            },
         ),
-    )
-        .prop_map(|(name, controls, relations)| {
-            let mut ui = UiDescription::new(name);
-            for c in controls {
-                ui = ui.with_control(c);
-            }
-            for (from, to, kind) in relations {
-                let kind = match kind {
-                    0 => RelationKind::LabelFor,
-                    1 => RelationKind::Triggers,
-                    2 => RelationKind::DisplaysResultOf,
-                    _ => RelationKind::Adjacent,
-                };
-                ui = ui.with_relation(Relation::new(from, kind, to));
-            }
-            ui
-        })
+        _ => Control::new(
+            id,
+            ControlKind::Slider {
+                min: rng.next_u64() as i32 as i64,
+                max: rng.next_u64() as i32 as i64,
+                value: rng.next_u64() as i32 as i64,
+            },
+        ),
+    }
 }
 
-proptest! {
-    /// Encode → decode is the identity on arbitrary UI descriptions.
-    #[test]
-    fn ui_wire_round_trip(ui in ui_strategy()) {
-        let bytes = ui.encode();
-        prop_assert_eq!(UiDescription::decode(&bytes).expect("decode"), ui);
+fn control(rng: &mut SimRng, depth: u32) -> Control {
+    if depth == 0 || rng.next_below(3) != 0 {
+        return leaf_control(rng);
     }
+    let id = ident(rng);
+    let vertical = rng.next_below(2) == 0;
+    let children: Vec<Control> = (0..rng.next_below(4))
+        .map(|_| control(rng, depth - 1))
+        .collect();
+    Control::panel(id, vertical, children)
+}
 
-    /// JSON serde round-trips too (descriptor dumps).
-    #[test]
-    fn ui_json_round_trip(ui in ui_strategy()) {
-        let json = serde_json::to_string(&ui).unwrap();
-        let back: UiDescription = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back, ui);
+fn ui(rng: &mut SimRng) -> UiDescription {
+    let name = rand_string(
+        rng,
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+        1,
+        12,
+    );
+    let mut ui = UiDescription::new(name);
+    for _ in 0..rng.next_below(5) {
+        ui = ui.with_control(control(rng, 3));
     }
+    for _ in 0..rng.next_below(4) {
+        let kind = match rng.next_below(4) {
+            0 => RelationKind::LabelFor,
+            1 => RelationKind::Triggers,
+            2 => RelationKind::DisplaysResultOf,
+            _ => RelationKind::Adjacent,
+        };
+        ui = ui.with_relation(Relation::new(ident(rng), kind, ident(rng)));
+    }
+    ui
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn ui_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Encode → decode is the identity on arbitrary UI descriptions.
+#[test]
+fn ui_wire_round_trip() {
+    let mut rng = SimRng::seed_from(SEED);
+    for case in 0..CASES {
+        let u = ui(&mut rng);
+        let bytes = u.encode();
+        assert_eq!(
+            UiDescription::decode(&bytes).expect("decode"),
+            u,
+            "case {case}"
+        );
+    }
+}
+
+/// The decoder never panics on arbitrary bytes.
+#[test]
+fn ui_decode_never_panics() {
+    let mut rng = SimRng::seed_from(SEED ^ 2);
+    for _ in 0..CASES {
+        let len = rng.next_below(256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = UiDescription::decode(&bytes);
     }
+}
 
-    /// Every *valid* UI renders on every backend for a capable device, and
-    /// every control receives a widget binding.
-    #[test]
-    fn renderers_are_total_on_valid_uis(ui in ui_strategy()) {
-        prop_assume!(ui.validate().is_ok());
-        let notebook = DeviceCapabilities::notebook();
+/// Every *valid* UI renders on every backend for a capable device, and
+/// every control receives a widget binding.
+#[test]
+fn renderers_are_total_on_valid_uis() {
+    let mut rng = SimRng::seed_from(SEED ^ 3);
+    let notebook = DeviceCapabilities::notebook();
+    let mut checked = 0;
+    for _ in 0..CASES {
+        let u = ui(&mut rng);
+        if u.validate().is_err() {
+            continue;
+        }
+        checked += 1;
         for renderer in [
             Box::new(GridRenderer::default()) as Box<dyn Renderer>,
             Box::new(WidgetRenderer::default()),
             Box::new(HtmlRenderer::default()),
         ] {
             let rendered = renderer
-                .render(&ui, &notebook)
+                .render(&u, &notebook)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", renderer.name()));
-            for control in ui.all_controls() {
-                prop_assert!(
+            for control in u.all_controls() {
+                assert!(
                     rendered.widget_for(&control.id).is_some(),
                     "{} lost control {}",
                     renderer.name(),
@@ -131,16 +154,18 @@ proptest! {
             }
         }
     }
+    assert!(checked > 10, "only {checked} valid UIs generated");
+}
 
-    /// Capability resolution is monotone: adding a federated helper never
-    /// makes an assignment worse.
-    #[test]
-    fn federation_never_degrades_quality(seed in any::<u8>()) {
-        let primary = match seed % 3 {
-            0 => DeviceCapabilities::nokia_9300i(),
-            1 => DeviceCapabilities::sony_ericsson_m600i(),
-            _ => DeviceCapabilities::iphone(),
-        };
+/// Capability resolution is monotone: adding a federated helper never
+/// makes an assignment worse.
+#[test]
+fn federation_never_degrades_quality() {
+    for primary in [
+        DeviceCapabilities::nokia_9300i(),
+        DeviceCapabilities::sony_ericsson_m600i(),
+        DeviceCapabilities::iphone(),
+    ] {
         let helper = DeviceCapabilities::notebook();
         let required = [
             CapabilityInterface::KeyboardDevice,
@@ -152,39 +177,45 @@ proptest! {
         for interface in required {
             let a = alone.assignment(interface).unwrap();
             let f = federated.assignment(interface).unwrap();
-            prop_assert!(f.quality >= a.quality, "{interface}: {} < {}", f.quality, a.quality);
+            assert!(
+                f.quality >= a.quality,
+                "{interface}: {} < {}",
+                f.quality,
+                a.quality
+            );
         }
     }
+}
 
-    /// Quality scores are consistent with the `implements` relation.
-    #[test]
-    fn quality_iff_implements(seed in any::<u8>()) {
-        let caps = [
-            ConcreteCapability::QwertyKeyboard,
-            ConcreteCapability::PhoneKeypad,
-            ConcreteCapability::Handwriting,
-            ConcreteCapability::VirtualKeyboard,
-            ConcreteCapability::Mouse,
-            ConcreteCapability::Trackpoint,
-            ConcreteCapability::CursorKeys,
-            ConcreteCapability::Accelerometer,
-            ConcreteCapability::TouchScreen,
-            ConcreteCapability::Speaker,
-            ConcreteCapability::Camera,
-        ];
-        let interfaces = [
-            CapabilityInterface::KeyboardDevice,
-            CapabilityInterface::PointingDevice,
-            CapabilityInterface::ScreenDevice,
-            CapabilityInterface::AudioDevice,
-            CapabilityInterface::CameraDevice,
-        ];
-        let cap = caps[seed as usize % caps.len()];
+/// Quality scores are consistent with the `implements` relation.
+#[test]
+fn quality_iff_implements() {
+    let caps = [
+        ConcreteCapability::QwertyKeyboard,
+        ConcreteCapability::PhoneKeypad,
+        ConcreteCapability::Handwriting,
+        ConcreteCapability::VirtualKeyboard,
+        ConcreteCapability::Mouse,
+        ConcreteCapability::Trackpoint,
+        ConcreteCapability::CursorKeys,
+        ConcreteCapability::Accelerometer,
+        ConcreteCapability::TouchScreen,
+        ConcreteCapability::Speaker,
+        ConcreteCapability::Camera,
+    ];
+    let interfaces = [
+        CapabilityInterface::KeyboardDevice,
+        CapabilityInterface::PointingDevice,
+        CapabilityInterface::ScreenDevice,
+        CapabilityInterface::AudioDevice,
+        CapabilityInterface::CameraDevice,
+    ];
+    for cap in caps {
         for interface in interfaces {
             let q = cap.quality_for(interface);
-            prop_assert_eq!(q.is_some(), cap.implements().contains(&interface));
+            assert_eq!(q.is_some(), cap.implements().contains(&interface));
             if let Some(q) = q {
-                prop_assert!(q >= 1);
+                assert!(q >= 1);
             }
         }
     }
