@@ -54,7 +54,11 @@ pub struct MethodCall {
 
 impl MethodCall {
     /// Creates a call recipe.
-    pub fn new(service: impl Into<String>, method: impl Into<String>, args: Vec<ArgSource>) -> Self {
+    pub fn new(
+        service: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<ArgSource>,
+    ) -> Self {
         MethodCall {
             service: service.into(),
             method: method.into(),
@@ -433,7 +437,10 @@ impl ToJson for Action {
             ),
             Action::EmitEvent { topic, value_key } => tagged(
                 "EmitEvent",
-                Json::obj([("topic", Json::str(topic)), ("value_key", value_key.to_json())]),
+                Json::obj([
+                    ("topic", Json::str(topic)),
+                    ("value_key", value_key.to_json()),
+                ]),
             ),
         }
     }
@@ -561,7 +568,10 @@ mod tests {
         let p = program();
         assert_eq!(p.matching_ui("refresh", UiTriggerKind::Click).count(), 1);
         assert_eq!(p.matching_ui("refresh", UiTriggerKind::Selected).count(), 0);
-        assert_eq!(p.matching_ui("products", UiTriggerKind::Selected).count(), 1);
+        assert_eq!(
+            p.matching_ui("products", UiTriggerKind::Selected).count(),
+            1
+        );
         assert_eq!(p.matching_ui("other", UiTriggerKind::Click).count(), 0);
     }
 
@@ -593,11 +603,7 @@ mod tests {
     fn push_appends() {
         let mut p = ControllerProgram::default();
         assert!(p.rules().is_empty());
-        p.push(Rule::on_click(
-            "x",
-            MethodCall::new("s", "m", vec![]),
-            None,
-        ));
+        p.push(Rule::on_click("x", MethodCall::new("s", "m", vec![]), None));
         assert_eq!(p.rules().len(), 1);
     }
 }

@@ -91,7 +91,9 @@ impl DataStore {
             let mut v = self.version.lock();
             *v += 1;
             let version = *v;
-            self.entries.lock().insert(key.clone(), (value.clone(), version));
+            self.entries
+                .lock()
+                .insert(key.clone(), (value.clone(), version));
             version
         };
         self.publish_change(&key, Some(value), version);
@@ -133,7 +135,8 @@ impl DataStore {
                 props.insert("removed", true);
             }
         }
-        self.events.post(&Event::new(changed_topic(&self.name), props));
+        self.events
+            .post(&Event::new(changed_topic(&self.name), props));
     }
 
     /// The shippable interface description.
@@ -182,10 +185,7 @@ impl Service for DataStore {
             })
         };
         match method {
-            "get" => Ok(self
-                .get(key_arg()?)
-                .map(|(v, _)| v)
-                .unwrap_or(Value::Unit)),
+            "get" => Ok(self.get(key_arg()?).map(|(v, _)| v).unwrap_or(Value::Unit)),
             "put" => {
                 let key = key_arg()?.to_owned();
                 let value = args
@@ -336,10 +336,7 @@ impl DataReplica {
             let mut cache = self.cache.lock();
             for (key, entry) in entries {
                 let value = entry.field("value").cloned().unwrap_or(Value::Unit);
-                let version = entry
-                    .field("version")
-                    .and_then(Value::as_i64)
-                    .unwrap_or(0) as u64;
+                let version = entry.field("version").and_then(Value::as_i64).unwrap_or(0) as u64;
                 let newer = cache.get(&key).is_none_or(|(_, v)| *v < version);
                 if newer {
                     cache.insert(key, (value, version));
@@ -475,8 +472,14 @@ mod tests {
             .invoke("put", &[Value::from("k"), Value::from("val")])
             .unwrap();
         assert_eq!(v, Value::I64(1));
-        assert_eq!(store.invoke("get", &[Value::from("k")]).unwrap(), Value::from("val"));
-        assert_eq!(store.invoke("get", &[Value::from("nope")]).unwrap(), Value::Unit);
+        assert_eq!(
+            store.invoke("get", &[Value::from("k")]).unwrap(),
+            Value::from("val")
+        );
+        assert_eq!(
+            store.invoke("get", &[Value::from("nope")]).unwrap(),
+            Value::Unit
+        );
         let snap = store.invoke("snapshot", &[]).unwrap();
         assert_eq!(snap.as_map().unwrap().len(), 1);
         assert_eq!(store.invoke("version", &[]).unwrap(), Value::I64(1));
@@ -526,10 +529,7 @@ mod tests {
     fn registration_helper() {
         let fw = Framework::new();
         let (store, _reg) = register_data_store(&fw, "prices").unwrap();
-        assert!(fw
-            .registry()
-            .get_service("alfredo.data.prices")
-            .is_some());
+        assert!(fw.registry().get_service("alfredo.data.prices").is_some());
         store.put("bed", Value::I64(49_900));
         let svc = fw.registry().get_service("alfredo.data.prices").unwrap();
         assert_eq!(

@@ -112,7 +112,13 @@ impl ToJson for ResourceRequirements {
             ("min_cpu_mhz", self.min_cpu_mhz.to_json()),
             (
                 "capabilities",
-                Json::Arr(self.capabilities.iter().copied().map(capability_to_json).collect()),
+                Json::Arr(
+                    self.capabilities
+                        .iter()
+                        .copied()
+                        .map(capability_to_json)
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -319,15 +325,11 @@ impl ServiceDescriptor {
     pub fn decode(bytes: &[u8]) -> Result<Self, DescriptorError> {
         let mut r = alfredo_net::ByteReader::new(bytes);
         let malformed = |e: String| DescriptorError::Malformed(e);
-        let service = r
-            .str()
-            .map_err(|e| malformed(e.to_string()))?
-            .to_owned();
+        let service = r.str().map_err(|e| malformed(e.to_string()))?.to_owned();
         let ui_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
         let ui = UiDescription::decode(ui_bytes).map_err(|e| malformed(e.to_string()))?;
         let meta_bytes = r.bytes().map_err(|e| malformed(e.to_string()))?;
-        let meta_text =
-            std::str::from_utf8(meta_bytes).map_err(|e| malformed(e.to_string()))?;
+        let meta_text = std::str::from_utf8(meta_bytes).map_err(|e| malformed(e.to_string()))?;
         let meta = Json::parse(meta_text).map_err(|e| malformed(e.to_string()))?;
         if !r.is_empty() {
             return Err(DescriptorError::Malformed(format!(

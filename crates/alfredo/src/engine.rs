@@ -16,7 +16,8 @@ use alfredo_net::{InMemoryNetwork, PeerAddr, Transport};
 use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError};
 use alfredo_rosgi::endpoint::{PROP_DESCRIPTOR, PROP_SMART_PROXY_KEY, PROP_SMART_PROXY_METHODS};
 use alfredo_rosgi::{
-    DiscoveryDirectory, EndpointConfig, RemoteEndpoint, RemoteServiceInfo, RosgiError, ServiceUrl,
+    DiscoveryDirectory, EndpointConfig, HeartbeatConfig, ReconnectConfig, ReconnectFn,
+    RemoteEndpoint, RemoteServiceInfo, RetryPolicy, RosgiError, ServiceUrl,
 };
 use alfredo_ui::render::select_renderer;
 use alfredo_ui::{DeviceCapabilities, UiError, UiState};
@@ -91,6 +92,64 @@ impl From<ServiceCallError> for EngineError {
     }
 }
 
+/// What a session does with UI events aimed at remote-bound controls
+/// while the link is degraded or down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutagePolicy {
+    /// Queue the events and replay them, in order, once the endpoint is
+    /// healthy again (see [`AlfredOSession::replay_pending`]).
+    #[default]
+    Replay,
+    /// Drop the events; the user must repeat the interaction.
+    Discard,
+}
+
+impl fmt::Display for OutagePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OutagePolicy::Replay => "replay",
+            OutagePolicy::Discard => "discard",
+        })
+    }
+}
+
+/// Self-healing knobs for engine-established connections.
+///
+/// When set on [`EngineConfig::resilience`], every endpoint the engine
+/// establishes runs a background heartbeat, stamps leases with a TTL,
+/// retries idempotent-marked calls, and — for [`AlfredOEngine::connect`],
+/// where the engine knows how to redial — reconnects and re-binds the
+/// surviving proxies after an outage.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Background heartbeat (probe cadence and miss thresholds).
+    pub heartbeat: HeartbeatConfig,
+    /// Lease TTL; entries unrefreshed past it are purged together with
+    /// their proxies. `None` keeps leases valid until revoked.
+    pub lease_ttl: Option<Duration>,
+    /// Retry policy for idempotent-marked remote calls.
+    pub retry: RetryPolicy,
+    /// Reconnection attempts after the wire drops.
+    pub reconnect_attempts: u32,
+    /// Backoff before the first reconnection attempt (doubles per try).
+    pub reconnect_backoff: Duration,
+    /// What sessions do with remote-bound UI events during an outage.
+    pub outage_policy: OutagePolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            heartbeat: HeartbeatConfig::default(),
+            lease_ttl: None,
+            retry: RetryPolicy::retries(3),
+            reconnect_attempts: 8,
+            reconnect_backoff: Duration::from_millis(50),
+            outage_policy: OutagePolicy::Replay,
+        }
+    }
+}
+
 /// Phone-side engine configuration.
 #[derive(Clone)]
 pub struct EngineConfig {
@@ -106,6 +165,9 @@ pub struct EngineConfig {
     pub code_registry: CodeRegistry,
     /// Remote invocation timeout.
     pub invoke_timeout: Duration,
+    /// Self-healing configuration; `None` (the default) keeps the legacy
+    /// fail-fast behaviour.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl EngineConfig {
@@ -118,7 +180,14 @@ impl EngineConfig {
             security: SecurityPolicy::sandbox(),
             code_registry: CodeRegistry::new(),
             invoke_timeout: Duration::from_secs(5),
+            resilience: None,
         }
+    }
+
+    /// Builder-style: enables self-healing connections.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
     }
 
     /// Builder-style: marks the environment trusted and provides the code
@@ -208,14 +277,27 @@ impl AlfredOEngine {
     ///
     /// Returns [`EngineError::Rosgi`] on connection or handshake failure.
     pub fn connect(&self, target: &PeerAddr) -> Result<AlfredOConnection, EngineError> {
+        let me = PeerAddr::new(self.config.device_name.clone());
         let transport = self
             .network
-            .connect(PeerAddr::new(self.config.device_name.clone()), target.clone())
+            .connect(me.clone(), target.clone())
             .map_err(RosgiError::Transport)?;
-        self.connect_transport(Box::new(transport))
+        // The engine knows how to redial an in-memory peer, so resilient
+        // configurations get automatic reconnection for free.
+        let network = self.network.clone();
+        let target = target.clone();
+        let dial: ReconnectFn = Arc::new(move || {
+            network
+                .connect(me.clone(), target.clone())
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+        });
+        self.connect_with(Box::new(transport), Some(dial))
     }
 
-    /// Connects over an already-established transport (any medium).
+    /// Connects over an already-established transport (any medium). No
+    /// automatic reconnection: the engine cannot redial an arbitrary
+    /// medium — use [`AlfredOEngine::connect_transport_with_redial`] to
+    /// supply one.
     ///
     /// # Errors
     ///
@@ -223,6 +305,29 @@ impl AlfredOEngine {
     pub fn connect_transport(
         &self,
         transport: Box<dyn Transport>,
+    ) -> Result<AlfredOConnection, EngineError> {
+        self.connect_with(transport, None)
+    }
+
+    /// Connects over an already-established transport together with a
+    /// redial function used for automatic reconnection when
+    /// [`EngineConfig::resilience`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rosgi`] on handshake failure.
+    pub fn connect_transport_with_redial(
+        &self,
+        transport: Box<dyn Transport>,
+        dial: ReconnectFn,
+    ) -> Result<AlfredOConnection, EngineError> {
+        self.connect_with(transport, Some(dial))
+    }
+
+    fn connect_with(
+        &self,
+        transport: Box<dyn Transport>,
+        dial: Option<ReconnectFn>,
     ) -> Result<AlfredOConnection, EngineError> {
         let mut ep_config = EndpointConfig::named(self.config.device_name.clone())
             .with_invoke_timeout(self.config.invoke_timeout);
@@ -232,6 +337,20 @@ impl AlfredOEngine {
             .permits_smart_proxies(self.config.context.trust)
         {
             ep_config = ep_config.with_smart_proxies(self.config.code_registry.clone());
+        }
+        if let Some(res) = &self.config.resilience {
+            ep_config = ep_config
+                .with_heartbeat(res.heartbeat)
+                .with_retry(res.retry);
+            if let Some(ttl) = res.lease_ttl {
+                ep_config = ep_config.with_lease_ttl(ttl);
+            }
+            if let Some(dial) = dial {
+                let mut reconnect = ReconnectConfig::new(dial);
+                reconnect.max_attempts = res.reconnect_attempts;
+                reconnect.initial_backoff = res.reconnect_backoff;
+                ep_config = ep_config.with_reconnect(reconnect);
+            }
         }
         let endpoint = RemoteEndpoint::establish(transport, self.framework.clone(), ep_config)?;
         Ok(AlfredOConnection {
@@ -337,6 +456,11 @@ impl AlfredOConnection {
             fetched_interfaces,
             fetched.transferred_bytes,
             fetched.proxy_footprint,
+            self.config
+                .resilience
+                .as_ref()
+                .map(|r| r.outage_policy)
+                .unwrap_or_default(),
         ))
     }
 
@@ -375,9 +499,7 @@ pub fn host_service(
         props.insert(PROP_SMART_PROXY_KEY, key);
         props.insert(
             PROP_SMART_PROXY_METHODS,
-            alfredo_osgi::Value::List(
-                methods.into_iter().map(alfredo_osgi::Value::Str).collect(),
-            ),
+            alfredo_osgi::Value::List(methods.into_iter().map(alfredo_osgi::Value::Str).collect()),
         );
     }
     framework
@@ -417,7 +539,9 @@ impl Drop for ServedDevice {
 
 impl fmt::Debug for ServedDevice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ServedDevice").field("addr", &self.addr).finish()
+        f.debug_struct("ServedDevice")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -433,9 +557,7 @@ pub fn serve_device(
     framework: Framework,
     addr: PeerAddr,
 ) -> Result<ServedDevice, EngineError> {
-    let listener = network
-        .bind(addr.clone())
-        .map_err(RosgiError::Transport)?;
+    let listener = network.bind(addr.clone()).map_err(RosgiError::Transport)?;
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let name = addr.as_str().to_owned();
@@ -485,10 +607,7 @@ mod tests {
     #[test]
     fn config_builders() {
         let cfg = EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i());
-        assert_eq!(
-            cfg.context.trust,
-            crate::security::TrustLevel::Untrusted
-        );
+        assert_eq!(cfg.context.trust, crate::security::TrustLevel::Untrusted);
         let cfg = cfg.trusted(CodeRegistry::new());
         assert_eq!(cfg.context.trust, crate::security::TrustLevel::Trusted);
     }

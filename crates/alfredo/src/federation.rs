@@ -19,8 +19,8 @@ use std::sync::Arc;
 use alfredo_sync::Mutex;
 
 use alfredo_osgi::{
-    Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
-    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+    Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError, ServiceInterfaceDesc,
+    ServiceRegistration, TypeHint, Value,
 };
 use alfredo_rosgi::RemoteEndpoint;
 use alfredo_ui::capability::{Assignment, CapabilityPlan, ConcreteCapability};
@@ -194,10 +194,8 @@ pub fn project_ui(
         .and_then(Value::as_str)
         .unwrap_or("remote screen")
         .to_owned();
-    let remote_caps = DeviceCapabilities::new(
-        device,
-        vec![ConcreteCapability::Screen { width, height }],
-    );
+    let remote_caps =
+        DeviceCapabilities::new(device, vec![ConcreteCapability::Screen { width, height }]);
 
     // Resolve with federation: input stays local, the bigger screen wins.
     let mut required = ui.required_capabilities();
@@ -243,9 +241,7 @@ mod tests {
         assert_eq!(screen.last_frame(), None);
         let dims = screen.invoke("dimensions", &[]).unwrap();
         assert_eq!(dims.field("width").and_then(Value::as_i64), Some(1280));
-        screen
-            .invoke("display", &[Value::from("frame-1")])
-            .unwrap();
+        screen.invoke("display", &[Value::from("frame-1")]).unwrap();
         assert_eq!(screen.last_frame(), Some("frame-1".into()));
         assert_eq!(screen.frames_displayed(), 1);
         screen.invoke("clear", &[]).unwrap();

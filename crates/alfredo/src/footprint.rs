@@ -96,7 +96,12 @@ impl fmt::Display for FootprintReport {
                 paper
             )?;
         }
-        write!(f, "{:<44} {:>12}", "TOTAL", format_bytes(self.total_bytes()))
+        write!(
+            f,
+            "{:<44} {:>12}",
+            "TOTAL",
+            format_bytes(self.total_bytes())
+        )
     }
 }
 
@@ -118,7 +123,11 @@ mod tests {
     #[test]
     fn report_accumulates_and_totals() {
         let mut r = FootprintReport::new();
-        r.push(FootprintItem::with_paper("core platform", 1_000_000, 290_000));
+        r.push(FootprintItem::with_paper(
+            "core platform",
+            1_000_000,
+            290_000,
+        ));
         r.push(FootprintItem::new("proxy bundle", 512));
         assert_eq!(r.items().len(), 2);
         assert_eq!(r.total_bytes(), 1_000_512);

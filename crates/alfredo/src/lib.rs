@@ -58,10 +58,13 @@ pub mod web;
 pub use controller::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
 pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_PREFIX};
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
-pub use optimizer::{LatencyMonitor, RuntimeOptimizer};
-pub use engine::{host_service, serve_device, AlfredOConnection, AlfredOEngine, EngineConfig};
+pub use engine::{
+    host_service, serve_device, AlfredOConnection, AlfredOEngine, EngineConfig, EngineError,
+    OutagePolicy, ResilienceConfig,
+};
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};
+pub use optimizer::{LatencyMonitor, RuntimeOptimizer};
 pub use policy::{
     AdaptivePolicy, ClientContext, DistributionPolicy, LogicOffloadPolicy, ThinClientPolicy,
 };

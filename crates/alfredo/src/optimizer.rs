@@ -160,12 +160,8 @@ mod tests {
         let d = descriptor();
         let a = TierAssignment::thin_client(["svc.Slow", "svc.Heavy", "svc.Pinned"]);
         let m = slow_monitor("svc.Slow", 10, 120.0);
-        let recs = RuntimeOptimizer::default().recommend(
-            &d,
-            &a,
-            &m,
-            &ClientContext::trusted_phone(),
-        );
+        let recs =
+            RuntimeOptimizer::default().recommend(&d, &a, &m, &ClientContext::trusted_phone());
         assert_eq!(recs, vec!["svc.Slow"]);
     }
 
@@ -209,10 +205,7 @@ mod tests {
     #[test]
     fn already_offloaded_components_are_skipped() {
         let d = descriptor();
-        let a = TierAssignment::from_placements(vec![(
-            "svc.Slow".into(),
-            Placement::Client,
-        )]);
+        let a = TierAssignment::from_placements(vec![("svc.Slow".into(), Placement::Client)]);
         let m = slow_monitor("svc.Slow", 20, 500.0);
         assert!(RuntimeOptimizer::default()
             .recommend(&d, &a, &m, &ClientContext::trusted_phone())

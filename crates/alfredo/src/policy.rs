@@ -102,8 +102,8 @@ impl DistributionPolicy for LogicOffloadPolicy {
             .dependencies
             .iter()
             .map(|d| {
-                let fits = d.offloadable
-                    && d.requirements.satisfied_by(remaining_memory, ctx.cpu_mhz);
+                let fits =
+                    d.offloadable && d.requirements.satisfied_by(remaining_memory, ctx.cpu_mhz);
                 let placement = if fits {
                     remaining_memory =
                         remaining_memory.saturating_sub(d.requirements.min_memory_bytes);
@@ -159,7 +159,9 @@ mod tests {
         ServiceDescriptor::new("svc.Main", UiDescription::new("ui"))
             .with_dependency(DependencySpec::offloadable(
                 "svc.Light",
-                ResourceRequirements::none().with_memory(1 << 20).with_cpu_mhz(100),
+                ResourceRequirements::none()
+                    .with_memory(1 << 20)
+                    .with_cpu_mhz(100),
             ))
             .with_dependency(DependencySpec::offloadable(
                 "svc.Heavy",

@@ -42,7 +42,10 @@ impl fmt::Display for SecurityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SecurityError::CodeFromUntrustedSource { source } => {
-                write!(f, "refusing executable logic from untrusted device {source}")
+                write!(
+                    f,
+                    "refusing executable logic from untrusted device {source}"
+                )
             }
             SecurityError::CapabilityNotExposed(c) => {
                 write!(f, "capability {c} is not exposed to target devices")

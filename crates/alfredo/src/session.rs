@@ -19,13 +19,13 @@ use alfredo_sync::Mutex;
 
 use alfredo_osgi::events::SubscriptionId;
 use alfredo_osgi::{Event, Framework, Properties, ServiceCallError, Value};
-use alfredo_rosgi::RemoteEndpoint;
+use alfredo_rosgi::{HealthEvent, HealthState, RemoteEndpoint};
 use alfredo_ui::render::{select_renderer, RenderedUi};
 use alfredo_ui::{DeviceCapabilities, UiEvent, UiState};
 
-use crate::controller::{Action, ArgSource, Binding, MethodCall, Rule, UiTriggerKind};
+use crate::controller::{Action, ArgSource, Binding, MethodCall, Rule, Trigger, UiTriggerKind};
 use crate::descriptor::ServiceDescriptor;
-use crate::engine::EngineError;
+use crate::engine::{EngineError, OutagePolicy};
 use crate::optimizer::{LatencyMonitor, RuntimeOptimizer};
 use crate::policy::ClientContext;
 use crate::tier::{Placement, TierAssignment};
@@ -57,6 +57,18 @@ pub enum ActionOutcome {
         /// The topic.
         topic: String,
     },
+    /// The link was degraded or down, so the event was queued for replay
+    /// once the endpoint heals ([`OutagePolicy::Replay`]).
+    Queued {
+        /// The unavailable control the event targeted.
+        control: String,
+    },
+    /// The link was degraded or down and the event was dropped
+    /// ([`OutagePolicy::Discard`]).
+    Discarded {
+        /// The unavailable control the event targeted.
+        control: String,
+    },
 }
 
 /// One live interaction between the phone and a target service.
@@ -77,6 +89,16 @@ pub struct AlfredOSession {
     subscription: Option<SubscriptionId>,
     transferred_bytes: usize,
     proxy_footprint: usize,
+    outage_policy: OutagePolicy,
+    /// Controls whose rules reach out to the remote device (Invoke or
+    /// AcquireService actions): exactly the controls that go unavailable
+    /// when the link degrades.
+    remote_bound: Vec<String>,
+    /// Events aimed at remote-bound controls during an outage, awaiting
+    /// replay (under [`OutagePolicy::Replay`]).
+    pending: Mutex<Vec<UiEvent>>,
+    health_log: Arc<Mutex<Vec<HealthEvent>>>,
+    health_token: u64,
     closed: AtomicBool,
 }
 
@@ -93,6 +115,7 @@ impl AlfredOSession {
         fetched_interfaces: Vec<String>,
         transferred_bytes: usize,
         proxy_footprint: usize,
+        outage_policy: OutagePolicy,
     ) -> Self {
         let (tx, rx) = channel::unbounded();
         // Queue every bus event whose topic any RemoteEvent rule matches.
@@ -120,6 +143,25 @@ impl AlfredOSession {
                 }
             }))
         };
+        let remote_bound: Vec<String> = {
+            let mut controls: Vec<String> = descriptor
+                .controller
+                .rules()
+                .iter()
+                .filter(|r| {
+                    r.actions
+                        .iter()
+                        .any(|a| matches!(a, Action::Invoke { .. } | Action::AcquireService { .. }))
+                })
+                .filter_map(|r| ui_trigger_control(&r.trigger).map(str::to_owned))
+                .collect();
+            controls.sort();
+            controls.dedup();
+            controls
+        };
+        let health_log = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&health_log);
+        let health_token = endpoint.on_health(move |event| log.lock().push(event));
         AlfredOSession {
             framework,
             endpoint,
@@ -136,6 +178,11 @@ impl AlfredOSession {
             subscription,
             transferred_bytes,
             proxy_footprint,
+            outage_policy,
+            remote_bound,
+            pending: Mutex::new(Vec::new()),
+            health_log,
+            health_token,
             closed: AtomicBool::new(false),
         }
     }
@@ -221,18 +268,33 @@ impl AlfredOSession {
     /// Returns the first action error; earlier outcomes are lost (the
     /// interaction is expected to be retried at UI level).
     pub fn handle_event(&self, event: &UiEvent) -> Result<Vec<ActionOutcome>, EngineError> {
+        // Graceful degradation: while the link is not healthy, events
+        // aimed at remote-bound controls are queued or dropped per policy
+        // instead of failing deep inside an invocation. Local state is
+        // deliberately left untouched — a queued event re-enters here in
+        // full on replay. A deliberately closed endpoint is not an
+        // outage — nothing will ever replay, so the action must fail.
+        if self.endpoint.health() != HealthState::Healthy
+            && !self.endpoint.is_closed()
+            && self.is_remote_bound(event.control())
+        {
+            let control = event.control().to_owned();
+            return Ok(vec![match self.outage_policy {
+                OutagePolicy::Replay => {
+                    self.pending.lock().push(event.clone());
+                    ActionOutcome::Queued { control }
+                }
+                OutagePolicy::Discard => ActionOutcome::Discarded { control },
+            }]);
+        }
         self.state.lock().apply(event);
         let (kind, value): (UiTriggerKind, Value) = match event {
             UiEvent::Click { .. } => (UiTriggerKind::Click, Value::Unit),
-            UiEvent::TextChanged { text, .. } => {
-                (UiTriggerKind::Text, Value::from(text.as_str()))
-            }
+            UiEvent::TextChanged { text, .. } => (UiTriggerKind::Text, Value::from(text.as_str())),
             UiEvent::Selected { index, .. } => {
                 (UiTriggerKind::Selected, Value::from(*index as i64))
             }
-            UiEvent::SliderChanged { value, .. } => {
-                (UiTriggerKind::Slider, Value::from(*value))
-            }
+            UiEvent::SliderChanged { value, .. } => (UiTriggerKind::Slider, Value::from(*value)),
             UiEvent::PointerMoved { .. } => (UiTriggerKind::Pointer, Value::Unit),
             UiEvent::Key { ch, .. } => (UiTriggerKind::Text, Value::from(ch.to_string())),
         };
@@ -260,7 +322,9 @@ impl AlfredOSession {
     ///
     /// Returns the first action error.
     pub fn pump_events(&self) -> Result<Vec<ActionOutcome>, EngineError> {
-        let mut outcomes = Vec::new();
+        // Outage recovery first: queued interactions replay before any
+        // newly arrived remote events are interpreted.
+        let mut outcomes = self.replay_pending()?;
         while let Ok((topic, props)) = self.event_rx.try_recv() {
             let rules: Vec<Rule> = self
                 .descriptor
@@ -306,6 +370,71 @@ impl AlfredOSession {
         let mut outcomes = Vec::new();
         for rule in due {
             outcomes.extend(self.run_actions(&rule.actions, &Value::Unit, 0, 0)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// The endpoint's current link health.
+    pub fn health(&self) -> HealthState {
+        self.endpoint.health()
+    }
+
+    /// Every health transition observed since the session started, in
+    /// order.
+    pub fn health_transitions(&self) -> Vec<HealthEvent> {
+        self.health_log.lock().clone()
+    }
+
+    /// Whether `control` has rules that reach out to the remote device.
+    pub fn is_remote_bound(&self, control: &str) -> bool {
+        self.remote_bound
+            .binary_search_by(|c| c.as_str().cmp(control))
+            .is_ok()
+    }
+
+    /// The controls currently unavailable: remote-bound controls while
+    /// the link is degraded or down; none when healthy. Renderers grey
+    /// these out.
+    pub fn unavailable_controls(&self) -> Vec<String> {
+        if self.endpoint.health() == HealthState::Healthy {
+            Vec::new()
+        } else {
+            self.remote_bound.clone()
+        }
+    }
+
+    /// Number of events queued for replay.
+    pub fn pending_events(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Replays events queued during an outage, in arrival order, through
+    /// the normal controller path. A no-op unless the endpoint is healthy
+    /// (events queued again mid-replay stay queued). Called automatically
+    /// by [`AlfredOSession::pump_events`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first action error; unreplayed events stay queued.
+    pub fn replay_pending(&self) -> Result<Vec<ActionOutcome>, EngineError> {
+        if self.endpoint.health() != HealthState::Healthy {
+            return Ok(Vec::new());
+        }
+        let queued: Vec<UiEvent> = std::mem::take(&mut *self.pending.lock());
+        let mut outcomes = Vec::new();
+        for (i, event) in queued.iter().enumerate() {
+            match self.handle_event(event) {
+                Ok(o) => outcomes.extend(o),
+                Err(e) => {
+                    // Put the unprocessed tail back at the front of the
+                    // queue so nothing is lost.
+                    let mut pending = self.pending.lock();
+                    let tail: Vec<UiEvent> = queued[i + 1..].to_vec();
+                    let existing = std::mem::take(&mut *pending);
+                    *pending = tail.into_iter().chain(existing).collect();
+                    return Err(e);
+                }
+            }
         }
         Ok(outcomes)
     }
@@ -386,6 +515,7 @@ impl AlfredOSession {
         if self.closed.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.endpoint.remove_health_listener(self.health_token);
         if let Some(sub) = self.subscription {
             self.framework.event_admin().unsubscribe(sub);
         }
@@ -477,17 +607,18 @@ impl AlfredOSession {
             ArgSource::EventValue => event_value.clone(),
             ArgSource::EventDx => Value::I64(dx),
             ArgSource::EventDy => Value::I64(dy),
-            ArgSource::State { control } => {
-                self.state.lock().get(control).cloned().unwrap_or(Value::Unit)
-            }
+            ArgSource::State { control } => self
+                .state
+                .lock()
+                .get(control)
+                .cloned()
+                .unwrap_or(Value::Unit),
             ArgSource::SelectedItem { control } => {
                 let state = self.state.lock();
                 let selected = state.selected(control);
                 let items = state.items(control);
                 match (selected, items) {
-                    (Some(i), Some(items)) if i < items.len() => {
-                        Value::from(items[i].as_str())
-                    }
+                    (Some(i), Some(items)) if i < items.len() => Value::from(items[i].as_str()),
                     _ => Value::Unit,
                 }
             }
@@ -500,6 +631,18 @@ impl AlfredOSession {
             Some(slot) => state.set_slot(&bind.control, slot, value),
             None => state.set(&bind.control, value),
         }
+    }
+}
+
+/// The control id a UI-sourced trigger targets, if any.
+fn ui_trigger_control(trigger: &Trigger) -> Option<&str> {
+    match trigger {
+        Trigger::UiClick { control }
+        | Trigger::UiSelected { control }
+        | Trigger::UiText { control }
+        | Trigger::UiSlider { control }
+        | Trigger::UiPointer { control } => Some(control),
+        Trigger::RemoteEvent { .. } | Trigger::Poll { .. } => None,
     }
 }
 

@@ -107,7 +107,9 @@ impl Drop for HttpGateway {
 
 impl std::fmt::Debug for HttpGateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HttpGateway").field("addr", &self.addr).finish()
+        f.debug_struct("HttpGateway")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -156,11 +158,13 @@ fn handle_connection(stream: TcpStream, session: &AlfredOSession) -> std::io::Re
             respond(&mut out, 200, "text/html; charset=utf-8", &page)
         }
         ("GET", "/state") => {
-            let state: BTreeMap<String, Value> = session.with_state(|s| {
-                s.iter().map(|(k, v)| (k.to_owned(), v.clone())).collect()
-            });
+            let state: BTreeMap<String, Value> =
+                session.with_state(|s| s.iter().map(|(k, v)| (k.to_owned(), v.clone())).collect());
             let json = Json::Obj(
-                state.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+                state
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
             )
             .to_json_string();
             respond(&mut out, 200, "application/json", &json)
@@ -204,8 +208,7 @@ fn parse_event(body: &[u8]) -> Option<UiEvent> {
         },
         "slider" => UiEvent::SliderChanged {
             control,
-            value: value
-                .and_then(|v| v.as_i64().or_else(|| v.as_str()?.parse().ok()))?,
+            value: value.and_then(|v| v.as_i64().or_else(|| v.as_str()?.parse().ok()))?,
         },
         "pointer" => UiEvent::PointerMoved {
             control,
@@ -244,7 +247,9 @@ mod tests {
     fn event_parsing() {
         assert_eq!(
             parse_event(br#"{"control":"ok","kind":"click","value":null}"#),
-            Some(UiEvent::Click { control: "ok".into() })
+            Some(UiEvent::Click {
+                control: "ok".into()
+            })
         );
         assert_eq!(
             parse_event(br#"{"control":"q","kind":"text","value":"bed"}"#),

@@ -93,10 +93,7 @@ impl CoffeeMachineService {
                 ("water_pct", Value::I64(state.water_pct)),
                 ("beans_pct", Value::I64(state.beans_pct)),
                 ("strength", Value::I64(state.strength)),
-                (
-                    "brewing",
-                    Value::Bool(state.brewing.is_some()),
-                ),
+                ("brewing", Value::Bool(state.brewing.is_some())),
                 ("brews_completed", Value::I64(state.brews_completed as i64)),
             ],
         )
@@ -157,7 +154,11 @@ impl CoffeeMachineService {
                 ],
             ))
             .with_control(Control::new("progress", ControlKind::Progress { value: 0 }))
-            .with_relation(Relation::new("strength", RelationKind::Triggers, "progress"))
+            .with_relation(Relation::new(
+                "strength",
+                RelationKind::Triggers,
+                "progress",
+            ))
             .with_relation(Relation::new("status", RelationKind::LabelFor, "progress"));
 
         let brew_rule = |control: &str, kind: &str| {
@@ -334,9 +335,18 @@ mod tests {
     #[test]
     fn knob_clamps_strength() {
         let m = machine();
-        assert_eq!(m.invoke("set_strength", &[Value::I64(7)]).unwrap(), Value::I64(7));
-        assert_eq!(m.invoke("set_strength", &[Value::I64(99)]).unwrap(), Value::I64(10));
-        assert_eq!(m.invoke("set_strength", &[Value::I64(-3)]).unwrap(), Value::I64(1));
+        assert_eq!(
+            m.invoke("set_strength", &[Value::I64(7)]).unwrap(),
+            Value::I64(7)
+        );
+        assert_eq!(
+            m.invoke("set_strength", &[Value::I64(99)]).unwrap(),
+            Value::I64(10)
+        );
+        assert_eq!(
+            m.invoke("set_strength", &[Value::I64(-3)]).unwrap(),
+            Value::I64(1)
+        );
         assert_eq!(m.strength(), 1);
         assert!(matches!(
             m.invoke("set_strength", &[Value::from("max")]),

@@ -22,8 +22,9 @@ use alfredo_osgi::{
     Event, EventAdmin, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
     ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
 };
-use alfredo_ui::{Control, Relation, UiDescription};
+use alfredo_rosgi::PROP_IDEMPOTENT_METHODS;
 use alfredo_ui::control::RelationKind;
+use alfredo_ui::{Control, Relation, UiDescription};
 
 /// The service interface name.
 pub const MOUSE_INTERFACE: &str = "apps.MouseController";
@@ -104,8 +105,7 @@ impl MouseControllerService {
                 let idx = (y * SNAPSHOT_WIDTH + x) * 3;
                 rgb[idx] = (x * 255 / SNAPSHOT_WIDTH) as u8;
                 rgb[idx + 1] = (y * 255 / SNAPSHOT_HEIGHT) as u8;
-                let on_cross =
-                    (x as f64 - sx).abs() < 2.0 || (y as f64 - sy).abs() < 2.0;
+                let on_cross = (x as f64 - sx).abs() < 2.0 || (y as f64 - sy).abs() < 2.0;
                 rgb[idx + 2] = if on_cross { 255 } else { 32 };
             }
         }
@@ -149,6 +149,15 @@ impl MouseControllerService {
                     ],
                     TypeHint::Unit,
                     "Move the pointer by a relative offset.",
+                ),
+                MethodSpec::new(
+                    "move_to",
+                    vec![
+                        ParamSpec::new("x", TypeHint::I64),
+                        ParamSpec::new("y", TypeHint::I64),
+                    ],
+                    TypeHint::Unit,
+                    "Warp the pointer to an absolute position (idempotent).",
                 ),
                 MethodSpec::new("click", vec![], TypeHint::Unit, "Press the primary button."),
                 MethodSpec::new(
@@ -279,6 +288,34 @@ impl Service for MouseControllerService {
                 s.moves += 1;
                 Ok(Value::Unit)
             }
+            "move_to" => {
+                let (x, y) = match args {
+                    [a, b] => (
+                        a.as_i64().ok_or_else(|| {
+                            ServiceCallError::BadArguments("x must be an integer".into())
+                        })?,
+                        b.as_i64().ok_or_else(|| {
+                            ServiceCallError::BadArguments("y must be an integer".into())
+                        })?,
+                    ),
+                    _ => {
+                        return Err(ServiceCallError::BadArguments(
+                            "move_to expects (x, y)".into(),
+                        ))
+                    }
+                };
+                let mut s = self.state.lock();
+                let nx = x.clamp(0, self.screen_w - 1);
+                let ny = y.clamp(0, self.screen_h - 1);
+                // Idempotent by design: re-delivering the same warp (a
+                // retried request after a dropped frame) is a no-op.
+                if (nx, ny) != (s.x, s.y) {
+                    s.x = nx;
+                    s.y = ny;
+                    s.moves += 1;
+                }
+                Ok(Value::Unit)
+            }
             "click" => {
                 self.state.lock().clicks += 1;
                 Ok(Value::Unit)
@@ -331,7 +368,10 @@ pub fn register_mouse_controller(
         Arc::clone(&service) as Arc<dyn Service>,
         &MouseControllerService::descriptor(),
         None,
-        Properties::new().with("device.kind", "notebook"),
+        Properties::new().with("device.kind", "notebook").with(
+            PROP_IDEMPOTENT_METHODS,
+            Value::from(vec!["move_to", "position", "screenshot"]),
+        ),
     )?;
     Ok((service, registration))
 }
@@ -348,15 +388,34 @@ mod tests {
     fn moves_are_applied_and_clamped() {
         let svc = service();
         assert_eq!(svc.position(), (640, 400));
-        svc.invoke("move", &[Value::I64(10), Value::I64(-20)]).unwrap();
+        svc.invoke("move", &[Value::I64(10), Value::I64(-20)])
+            .unwrap();
         assert_eq!(svc.position(), (650, 380));
         // Clamp at the screen edge.
         svc.invoke("move", &[Value::I64(100_000), Value::I64(100_000)])
             .unwrap();
         assert_eq!(svc.position(), (1279, 799));
-        svc.invoke("move", &[Value::I64(-100_000), Value::I64(0)]).unwrap();
+        svc.invoke("move", &[Value::I64(-100_000), Value::I64(0)])
+            .unwrap();
         assert_eq!(svc.position(), (0, 799));
         assert_eq!(svc.moves(), 3);
+    }
+
+    #[test]
+    fn move_to_is_absolute_clamped_and_idempotent() {
+        let svc = service();
+        svc.invoke("move_to", &[Value::I64(100), Value::I64(50)])
+            .unwrap();
+        assert_eq!(svc.position(), (100, 50));
+        assert_eq!(svc.moves(), 1);
+        // A retried duplicate changes nothing, not even the move count.
+        svc.invoke("move_to", &[Value::I64(100), Value::I64(50)])
+            .unwrap();
+        assert_eq!(svc.position(), (100, 50));
+        assert_eq!(svc.moves(), 1);
+        svc.invoke("move_to", &[Value::I64(-5), Value::I64(100_000)])
+            .unwrap();
+        assert_eq!(svc.position(), (0, 799));
     }
 
     #[test]
@@ -400,7 +459,8 @@ mod tests {
     fn snapshot_tracks_pointer() {
         let svc = service();
         let before = svc.render_snapshot();
-        svc.invoke("move", &[Value::I64(300), Value::I64(150)]).unwrap();
+        svc.invoke("move", &[Value::I64(300), Value::I64(150)])
+            .unwrap();
         let after = svc.render_snapshot();
         assert_ne!(before, after, "crosshair must follow the pointer");
     }
@@ -436,7 +496,7 @@ mod tests {
     #[test]
     fn interface_describes_all_methods() {
         let iface = MouseControllerService::interface();
-        for m in ["move", "click", "position", "screenshot"] {
+        for m in ["move", "move_to", "click", "position", "screenshot"] {
             assert!(iface.method(m).is_some(), "{m}");
         }
         let svc = service();

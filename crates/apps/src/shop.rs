@@ -167,22 +167,134 @@ impl ProductCatalog {
 pub fn sample_catalog() -> Arc<ProductCatalog> {
     let catalog = ProductCatalog::new();
     let items = [
-        ("Queen Bed 'Aurora'", "Beds", 49_900, "Solid oak queen-size bed with slatted base.", (160, 200, 45), 4),
-        ("King Bed 'Borealis'", "Beds", 74_900, "King-size bed, upholstered headboard.", (180, 200, 110), 2),
-        ("Single Bed 'Cub'", "Beds", 19_900, "Compact single bed for kids' rooms.", (90, 200, 40), 9),
-        ("Bunk Bed 'Duo'", "Beds", 39_900, "Space-saving bunk bed with ladder.", (97, 205, 160), 3),
-        ("Sofa 'Ease' 3-seat", "Sofas", 89_900, "Three-seat sofa, washable linen cover.", (228, 95, 83), 5),
-        ("Sofa 'Ease' 2-seat", "Sofas", 64_900, "Two-seat version of the Ease family.", (165, 95, 83), 6),
-        ("Corner Sofa 'Fjord'", "Sofas", 129_900, "Corner sofa with chaise longue.", (280, 160, 85), 1),
-        ("Sofa Bed 'Guest'", "Sofas", 74_900, "Converts to a double bed in seconds.", (200, 100, 90), 4),
-        ("Armchair 'Haven'", "Chairs", 34_900, "Wingback armchair, velvet.", (80, 85, 105), 7),
-        ("Office Chair 'Ion'", "Chairs", 24_900, "Ergonomic office chair, lumbar support.", (60, 60, 120), 12),
-        ("Dining Chair 'Juno'", "Chairs", 8_900, "Stackable dining chair, beech.", (45, 52, 80), 24),
-        ("Rocking Chair 'Koa'", "Chairs", 27_900, "Classic rocking chair, walnut finish.", (66, 90, 98), 3),
-        ("Dining Table 'Lago'", "Tables", 59_900, "Extendable dining table for 6-10.", (180, 90, 74), 2),
-        ("Coffee Table 'Mesa'", "Tables", 19_900, "Low coffee table with storage shelf.", (110, 60, 45), 8),
-        ("Desk 'Nook'", "Tables", 29_900, "Writing desk with cable grommet.", (120, 60, 74), 6),
-        ("Side Table 'Orb'", "Tables", 9_900, "Round side table, powder-coated steel.", (45, 45, 50), 15),
+        (
+            "Queen Bed 'Aurora'",
+            "Beds",
+            49_900,
+            "Solid oak queen-size bed with slatted base.",
+            (160, 200, 45),
+            4,
+        ),
+        (
+            "King Bed 'Borealis'",
+            "Beds",
+            74_900,
+            "King-size bed, upholstered headboard.",
+            (180, 200, 110),
+            2,
+        ),
+        (
+            "Single Bed 'Cub'",
+            "Beds",
+            19_900,
+            "Compact single bed for kids' rooms.",
+            (90, 200, 40),
+            9,
+        ),
+        (
+            "Bunk Bed 'Duo'",
+            "Beds",
+            39_900,
+            "Space-saving bunk bed with ladder.",
+            (97, 205, 160),
+            3,
+        ),
+        (
+            "Sofa 'Ease' 3-seat",
+            "Sofas",
+            89_900,
+            "Three-seat sofa, washable linen cover.",
+            (228, 95, 83),
+            5,
+        ),
+        (
+            "Sofa 'Ease' 2-seat",
+            "Sofas",
+            64_900,
+            "Two-seat version of the Ease family.",
+            (165, 95, 83),
+            6,
+        ),
+        (
+            "Corner Sofa 'Fjord'",
+            "Sofas",
+            129_900,
+            "Corner sofa with chaise longue.",
+            (280, 160, 85),
+            1,
+        ),
+        (
+            "Sofa Bed 'Guest'",
+            "Sofas",
+            74_900,
+            "Converts to a double bed in seconds.",
+            (200, 100, 90),
+            4,
+        ),
+        (
+            "Armchair 'Haven'",
+            "Chairs",
+            34_900,
+            "Wingback armchair, velvet.",
+            (80, 85, 105),
+            7,
+        ),
+        (
+            "Office Chair 'Ion'",
+            "Chairs",
+            24_900,
+            "Ergonomic office chair, lumbar support.",
+            (60, 60, 120),
+            12,
+        ),
+        (
+            "Dining Chair 'Juno'",
+            "Chairs",
+            8_900,
+            "Stackable dining chair, beech.",
+            (45, 52, 80),
+            24,
+        ),
+        (
+            "Rocking Chair 'Koa'",
+            "Chairs",
+            27_900,
+            "Classic rocking chair, walnut finish.",
+            (66, 90, 98),
+            3,
+        ),
+        (
+            "Dining Table 'Lago'",
+            "Tables",
+            59_900,
+            "Extendable dining table for 6-10.",
+            (180, 90, 74),
+            2,
+        ),
+        (
+            "Coffee Table 'Mesa'",
+            "Tables",
+            19_900,
+            "Low coffee table with storage shelf.",
+            (110, 60, 45),
+            8,
+        ),
+        (
+            "Desk 'Nook'",
+            "Tables",
+            29_900,
+            "Writing desk with cable grommet.",
+            (120, 60, 74),
+            6,
+        ),
+        (
+            "Side Table 'Orb'",
+            "Tables",
+            9_900,
+            "Round side table, powder-coated steel.",
+            (45, 45, 50),
+            15,
+        ),
     ];
     for (name, cat, price, desc, dims, stock) in items {
         catalog.insert(Product {
@@ -411,11 +523,7 @@ impl ShopService {
                     control: "search".into(),
                 },
                 vec![Action::Invoke {
-                    call: MethodCall::new(
-                        SHOP_INTERFACE,
-                        "search",
-                        vec![ArgSource::EventValue],
-                    ),
+                    call: MethodCall::new(SHOP_INTERFACE, "search", vec![ArgSource::EventValue]),
                     bind: Some(Binding::to_slot("products", "items")),
                 }],
             ),
@@ -597,14 +705,15 @@ mod tests {
         let svc = ShopService::new(sample_catalog());
         let cats = svc.invoke("categories", &[]).unwrap();
         assert_eq!(cats.as_list().unwrap().len(), 4);
-        let products = svc
-            .invoke("products", &[Value::from("Sofas")])
-            .unwrap();
+        let products = svc.invoke("products", &[Value::from("Sofas")]).unwrap();
         assert_eq!(products.as_list().unwrap().len(), 4);
         let details = svc
             .invoke("details", &[Value::from("Desk 'Nook'")])
             .unwrap();
-        assert_eq!(details.field("price_cents").and_then(Value::as_i64), Some(29_900));
+        assert_eq!(
+            details.field("price_cents").and_then(Value::as_i64),
+            Some(29_900)
+        );
         // The details value conforms to the injected type.
         let mut types = alfredo_rosgi::TypeRegistry::new();
         types.inject(Product::type_descriptor());
@@ -633,7 +742,10 @@ mod tests {
         a.stock = 0;
         let b = sample_catalog().get("Desk 'Nook'").unwrap();
         let verdict = ComparisonLogic::compare(&a.to_value(), &b.to_value()).unwrap();
-        assert!(verdict.as_str().unwrap().contains("only Desk 'Nook' in stock"));
+        assert!(verdict
+            .as_str()
+            .unwrap()
+            .contains("only Desk 'Nook' in stock"));
         let mut b0 = b.clone();
         b0.stock = 0;
         let verdict = ComparisonLogic::compare(&a.to_value(), &b0.to_value()).unwrap();

@@ -56,8 +56,7 @@ fn search_is_sound_and_complete() {
         for hit in &hits {
             let p = catalog.get(hit).expect("hit exists");
             assert!(
-                p.name.to_lowercase().contains(&q)
-                    || p.description.to_lowercase().contains(&q),
+                p.name.to_lowercase().contains(&q) || p.description.to_lowercase().contains(&q),
                 "case {case}"
             );
         }
@@ -69,8 +68,7 @@ fn search_is_sound_and_complete() {
             .flat_map(|c| catalog.products_in(c))
             .filter(|name| {
                 let p = catalog.get(name).unwrap();
-                p.name.to_lowercase().contains(&q)
-                    || p.description.to_lowercase().contains(&q)
+                p.name.to_lowercase().contains(&q) || p.description.to_lowercase().contains(&q)
             })
             .count();
         assert_eq!(hits.len(), matching, "case {case}");
@@ -143,7 +141,8 @@ fn pointer_never_leaves_the_screen() {
         for _ in 0..rng.next_below(50) {
             let dx = rng.next_below(10_000) as i64 - 5_000;
             let dy = rng.next_below(10_000) as i64 - 5_000;
-            svc.invoke("move", &[Value::I64(dx), Value::I64(dy)]).unwrap();
+            svc.invoke("move", &[Value::I64(dx), Value::I64(dy)])
+                .unwrap();
             let (x, y) = svc.position();
             assert!((0..800).contains(&x), "x={x}");
             assert!((0..600).contains(&y), "y={y}");

@@ -79,7 +79,11 @@ fn main() {
     {
         let rig = remote_rig("bench-dev-invoke");
         rig.endpoint.fetch_service(MOUSE_INTERFACE).unwrap();
-        let svc = rig.phone_fw.registry().get_service(MOUSE_INTERFACE).unwrap();
+        let svc = rig
+            .phone_fw
+            .registry()
+            .get_service(MOUSE_INTERFACE)
+            .unwrap();
         let args = [Value::I64(1), Value::I64(-1)];
         bench("remote_invoke_roundtrip", 500, || {
             svc.invoke(black_box("move"), black_box(&args)).unwrap()

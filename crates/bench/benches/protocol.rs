@@ -30,7 +30,10 @@ fn sample_value() -> Value {
 fn main() {
     let value = sample_value();
     let bytes = value_to_bytes(&value);
-    bench_batched("value_encode", 256, 300, || value_to_bytes(black_box(&value))).report();
+    bench_batched("value_encode", 256, 300, || {
+        value_to_bytes(black_box(&value))
+    })
+    .report();
     bench_batched("value_decode", 256, 300, || {
         value_from_bytes(black_box(&bytes)).unwrap()
     })
@@ -65,7 +68,8 @@ fn main() {
     })
     .report();
 
-    let text = "(&(objectClass=ui.PointingDevice)(|(resolution>=100)(precise=true))(!(vendor=Acme*)))";
+    let text =
+        "(&(objectClass=ui.PointingDevice)(|(resolution>=100)(precise=true))(!(vendor=Acme*)))";
     let filter = Filter::parse(text).unwrap();
     let props = Properties::new()
         .with("objectClass", "ui.PointingDevice")
@@ -86,7 +90,10 @@ fn main() {
     })
     .report();
     let artifact = BundleArtifact::new(Manifest::new("rosgi.proxy.bench", "1.0", "bench"))
-        .with_data("interface.bin", MouseControllerService::interface().encode())
+        .with_data(
+            "interface.bin",
+            MouseControllerService::interface().encode(),
+        )
         .with_data("descriptor.bin", descriptor.encode());
     let encoded = artifact.encode();
     bench_batched("artifact_encode", 64, 300, || black_box(&artifact).encode()).report();

@@ -34,5 +34,8 @@ fn main() {
     .report();
 
     let sim = PhoneLoopSim::new(PhoneLoopConfig::fig5());
-    bench("phone_loop_fig5_40services", 800, || black_box(&sim).run(40)).report();
+    bench("phone_loop_fig5_40services", 800, || {
+        black_box(&sim).run(40)
+    })
+    .report();
 }

@@ -95,7 +95,14 @@ fn main() {
     if !all
         && !selected.iter().all(|s| {
             [
-                "footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "ablate",
+                "footprint",
+                "table1",
+                "table2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "ablate",
             ]
             .contains(s)
         })

@@ -13,8 +13,14 @@ use alfredo_sim::{DeviceProfile, SimDuration};
 /// Figure 5 sits far above wired ping times), while usable bandwidth is
 /// ~4 Mbit/s of the nominal 11.
 pub fn phone_wlan() -> LinkProfile {
-    LinkProfile::new("802.11b WLAN (phone)", SimDuration::from_millis(15), 4.0e6, 80, 0.20)
-        .with_setup(SimDuration::from_millis(12))
+    LinkProfile::new(
+        "802.11b WLAN (phone)",
+        SimDuration::from_millis(15),
+        4.0e6,
+        80,
+        0.20,
+    )
+    .with_setup(SimDuration::from_millis(12))
 }
 
 /// Bluetooth 2.0 from the M600i: moderate per-packet latency once a
@@ -23,8 +29,14 @@ pub fn phone_wlan() -> LinkProfile {
 /// "acquire service interface" is ~3x Table 1's despite similar phases
 /// elsewhere.
 pub fn phone_bluetooth() -> LinkProfile {
-    LinkProfile::new("Bluetooth 2.0 (phone)", SimDuration::from_millis(30), 1.2e6, 40, 0.20)
-        .with_setup(SimDuration::from_millis(130))
+    LinkProfile::new(
+        "Bluetooth 2.0 (phone)",
+        SimDuration::from_millis(30),
+        1.2e6,
+        40,
+        0.20,
+    )
+    .with_setup(SimDuration::from_millis(130))
 }
 
 /// The desktop experiments' switched 100 Mbit/s Ethernet.
@@ -111,7 +123,10 @@ mod tests {
         let nokia = nokia_9300i();
         let build = nokia.cpu().service_time(BUILD_PROXY_CYCLES);
         let ms = build.as_millis_f64();
-        assert!((2900.0..3300.0).contains(&ms), "build {ms} ms vs paper 3125");
+        assert!(
+            (2900.0..3300.0).contains(&ms),
+            "build {ms} ms vs paper 3125"
+        );
     }
 
     #[test]

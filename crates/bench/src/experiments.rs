@@ -5,12 +5,9 @@
 //! paper's qualitative claims) with a `render()` method for the `repro`
 //! binary's output.
 
-
 use alfredo_apps::shop::SHOP_INTERFACE;
 use alfredo_apps::{register_mouse_controller, register_shop, sample_catalog, MOUSE_INTERFACE};
-use alfredo_core::{
-    serve_device, AlfredOEngine, EngineConfig, FootprintItem, FootprintReport,
-};
+use alfredo_core::{serve_device, AlfredOEngine, EngineConfig, FootprintItem, FootprintReport};
 use alfredo_net::{InMemoryNetwork, LinkProfile, PeerAddr};
 use alfredo_osgi::Framework;
 use alfredo_rosgi::DiscoveryDirectory;
@@ -155,7 +152,9 @@ fn live_mouse_measurements() -> (u64, u64, Vec<(String, u64)>) {
         DiscoveryDirectory::new(),
         EngineConfig::phone("fp-phone", DeviceCapabilities::nokia_9300i()),
     );
-    let conn = engine.connect(&PeerAddr::new("fp-laptop")).expect("connect");
+    let conn = engine
+        .connect(&PeerAddr::new("fp-laptop"))
+        .expect("connect");
     let session = conn.acquire(MOUSE_INTERFACE).expect("acquire");
     // Drive a snapshot into the session so runtime memory includes the
     // bitmap, as in the paper's measurement.
@@ -211,7 +210,9 @@ fn live_shop_measurements() -> (u64, u64) {
         DiscoveryDirectory::new(),
         EngineConfig::phone("fp-phone2", DeviceCapabilities::nokia_9300i()),
     );
-    let conn = engine.connect(&PeerAddr::new("fp-screen")).expect("connect");
+    let conn = engine
+        .connect(&PeerAddr::new("fp-screen"))
+        .expect("connect");
     let session = conn.acquire(SHOP_INTERFACE).expect("acquire");
     // Interact a bit so state is realistic.
     session
@@ -289,7 +290,11 @@ impl StartupResult {
 
     /// CSV rows: `experiment,phase,mouse_ms,shop_ms`.
     pub fn csv(&self) -> String {
-        let id = if self.title.contains("Table 1") { "table1" } else { "table2" };
+        let id = if self.title.contains("Table 1") {
+            "table1"
+        } else {
+            "table2"
+        };
         let mut out = String::from("experiment,phase,mouse_ms,shop_ms\n");
         for (phase, m, s) in [
             ("acquire", self.mouse.acquire, self.shop.acquire),
@@ -308,7 +313,12 @@ impl StartupResult {
     }
 }
 
-fn startup(phone: DeviceProfile, link: LinkProfile, title: &str, paper: (u64, u64)) -> StartupResult {
+fn startup(
+    phone: DeviceProfile,
+    link: LinkProfile,
+    title: &str,
+    paper: (u64, u64),
+) -> StartupResult {
     let model = StartupModel { phone, link };
     StartupResult {
         title: title.to_owned(),
@@ -371,7 +381,11 @@ impl ScalabilityResult {
 
     /// CSV rows: `experiment,clients,mean_ms,p95_ms`.
     pub fn csv(&self) -> String {
-        let id = if self.title.contains("Figure 3") { "fig3" } else { "fig4" };
+        let id = if self.title.contains("Figure 3") {
+            "fig3"
+        } else {
+            "fig4"
+        };
         let mut out = String::from("experiment,clients,mean_ms,p95_ms\n");
         for (c, mean, p95) in &self.points {
             out.push_str(&format!("{id},{c},{mean:.3},{p95:.3}\n"));
@@ -380,7 +394,11 @@ impl ScalabilityResult {
     }
 }
 
-fn run_load(title: &str, steps: &[usize], config: impl Fn(usize) -> LoadConfig) -> ScalabilityResult {
+fn run_load(
+    title: &str,
+    steps: &[usize],
+    config: impl Fn(usize) -> LoadConfig,
+) -> ScalabilityResult {
     let mut points = Vec::new();
     for &clients in steps {
         let mut summary = InvocationLoadSim::new(config(clients)).run();
@@ -454,7 +472,11 @@ impl PhoneLoopResult {
 
     /// CSV rows: `experiment,services,mean_ms,ping_ms`.
     pub fn csv(&self) -> String {
-        let id = if self.title.contains("Figure 5") { "fig5" } else { "fig6" };
+        let id = if self.title.contains("Figure 5") {
+            "fig5"
+        } else {
+            "fig6"
+        };
         let mut out = String::from("experiment,services,mean_ms,ping_ms\n");
         for (n, mean) in &self.points {
             out.push_str(&format!("{id},{n},{mean:.3},{:.3}\n", self.ping_ms));
@@ -703,9 +725,16 @@ mod tests {
         let f5 = fig5();
         let f6 = fig6();
         // Around 100 ms, flat in the service count, above the ping line.
-        assert!((60.0..160.0).contains(&f5.overall_mean()), "{}", f5.overall_mean());
+        assert!(
+            (60.0..160.0).contains(&f5.overall_mean()),
+            "{}",
+            f5.overall_mean()
+        );
         let spread = f5.points.iter().map(|(_, m)| *m).fold(0.0f64, f64::max)
-            - f5.points.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+            - f5.points
+                .iter()
+                .map(|(_, m)| *m)
+                .fold(f64::INFINITY, f64::min);
         assert!(spread < 40.0, "fig5 spread {spread}");
         assert!(f5.overall_mean() > f5.ping_ms);
         // BT is comparable (well within 2x) despite 4x less bandwidth.
@@ -718,7 +747,11 @@ mod tests {
         let a = ablations();
         // On a fast LAN, calling remotely beats local phone compute; on
         // slow phone links, offloading wins.
-        let lan = a.offload.iter().find(|(n, _, _)| *n == "100Mb LAN").unwrap();
+        let lan = a
+            .offload
+            .iter()
+            .find(|(n, _, _)| *n == "100Mb LAN")
+            .unwrap();
         assert!(lan.1 < lan.2, "LAN: remote {} < local {}", lan.1, lan.2);
         let bt = a
             .offload

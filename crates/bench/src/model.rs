@@ -92,7 +92,10 @@ pub fn shop_wire_sizes() -> AppWireSizes {
         .wire_size(),
         response: Message::Response {
             call_id: 42,
-            result: Ok(Value::from(vec!["Queen Bed 'Aurora'", "King Bed 'Borealis'"])),
+            result: Ok(Value::from(vec![
+                "Queen Bed 'Aurora'",
+                "King Bed 'Borealis'",
+            ])),
         }
         .wire_size(),
     }
@@ -286,8 +289,7 @@ impl InvocationLoadSim {
         assert!(cfg.clients > 0, "need at least one client");
         let (invoke_size, response_size) = generic_invoke_sizes();
         let machines = cfg.client_machines;
-        let last_start =
-            SimTime::ZERO + cfg.client_start_interval * (cfg.clients as u64 - 1);
+        let last_start = SimTime::ZERO + cfg.client_start_interval * (cfg.clients as u64 - 1);
         // Warm-up: give the last client 2 s before measuring it.
         let measure_from = last_start + SimDuration::from_secs(2);
         let measure_until = measure_from + cfg.measure_window;
@@ -459,12 +461,10 @@ impl PhoneLoopSim {
         let lookup_cycles = 40_000u64 * services as u64;
         for _ in 0..cfg.invocations_per_step {
             let issued = now;
-            let marshal =
-                phone_cpu.service_time(calib::PHONE_INVOKE_CYCLES + lookup_cycles);
+            let marshal = phone_cpu.service_time(calib::PHONE_INVOKE_CYCLES + lookup_cycles);
             now += marshal;
             let at_server = link.send(now, invoke_size);
-            let served = server_cpu
-                .service_time(calib::SERVER_INVOKE_CYCLES)
+            let served = server_cpu.service_time(calib::SERVER_INVOKE_CYCLES)
                 + SimDuration::from_nanos(rng.next_below(100_000));
             let back = at_server + served;
             let delivered = link.send(back, response_size);

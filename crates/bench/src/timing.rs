@@ -79,7 +79,12 @@ pub fn fmt_ns(ns: f64) -> String {
 
 /// Time `op` for roughly `target_ms` milliseconds after a short warmup,
 /// amortising the clock reads over `batch` calls per sample.
-pub fn bench_batched<T>(name: &str, batch: u64, target_ms: u64, mut op: impl FnMut() -> T) -> Measurement {
+pub fn bench_batched<T>(
+    name: &str,
+    batch: u64,
+    target_ms: u64,
+    mut op: impl FnMut() -> T,
+) -> Measurement {
     // Warmup: run for ~10% of the target so caches and pools settle.
     let warm = Instant::now();
     while warm.elapsed().as_millis() < (target_ms as u128 / 10).max(1) {

@@ -25,18 +25,20 @@
 //! so that every "bytes on the wire" number reported by the benchmarks is
 //! the size of a real encoded message.
 
+pub mod fault;
 pub mod pool;
 pub mod profile;
-pub mod tcp;
 pub mod simnet;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use fault::{FaultPlan, FaultStats, FaultyTransport, PartitionHandle};
 pub use pool::{BufferPool, PoolStats};
 pub use profile::LinkProfile;
 pub use simnet::SimLink;
 pub use tcp::{TcpNetListener, TcpTransport};
 pub use transport::{
-    ChannelTransport, InMemoryNetwork, Listener, PeerAddr, Transport, TransportError,
+    ChannelTransport, CloseReason, InMemoryNetwork, Listener, PeerAddr, Transport, TransportError,
 };
 pub use wire::{ByteReader, ByteWriter, WireError};

@@ -17,9 +17,9 @@
 //! contention killer in the invoke path is the call table, which is
 //! sharded separately.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::fmt;
 
 use alfredo_sync::Mutex;
 

@@ -86,22 +86,46 @@ impl LinkProfile {
     /// usable; one-way latency calibrated so an ICMP ping sits around the
     /// ~20 ms baseline the paper plots in Figure 5.
     pub fn wlan_802_11b() -> Self {
-        LinkProfile::new("802.11b WLAN", SimDuration::from_micros(9_500), 5.0e6, 60, 0.15)
+        LinkProfile::new(
+            "802.11b WLAN",
+            SimDuration::from_micros(9_500),
+            5.0e6,
+            60,
+            0.15,
+        )
     }
 
     /// Bluetooth 2.0 + EDR: ~2.1 Mbit/s usable, higher per-hop latency.
     pub fn bluetooth_2_0() -> Self {
-        LinkProfile::new("Bluetooth 2.0", SimDuration::from_micros(22_000), 1.4e6, 40, 0.15)
+        LinkProfile::new(
+            "Bluetooth 2.0",
+            SimDuration::from_micros(22_000),
+            1.4e6,
+            40,
+            0.15,
+        )
     }
 
     /// Switched 100 Mbit/s Ethernet (the paper's desktop experiments).
     pub fn ethernet_100() -> Self {
-        LinkProfile::new("100Mb Ethernet", SimDuration::from_micros(120), 100.0e6, 58, 0.05)
+        LinkProfile::new(
+            "100Mb Ethernet",
+            SimDuration::from_micros(120),
+            100.0e6,
+            58,
+            0.05,
+        )
     }
 
     /// Switched 1000 Mbit/s Ethernet (the paper's cluster experiments).
     pub fn ethernet_1000() -> Self {
-        LinkProfile::new("1Gb Ethernet", SimDuration::from_micros(70), 1.0e9, 58, 0.05)
+        LinkProfile::new(
+            "1Gb Ethernet",
+            SimDuration::from_micros(70),
+            1.0e9,
+            58,
+            0.05,
+        )
     }
 
     /// An idealized loopback link for baseline measurements.

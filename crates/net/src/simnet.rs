@@ -8,6 +8,7 @@
 
 use alfredo_sim::{SimDuration, SimRng, SimTime};
 
+use crate::fault::FaultPlan;
 use crate::profile::LinkProfile;
 
 /// A directed link with FIFO serialization and the delay model of a
@@ -32,6 +33,9 @@ pub struct SimLink {
     messages: u64,
     bytes: u64,
     rng: Option<SimRng>,
+    faults: Option<FaultPlan>,
+    fault_rng: Option<SimRng>,
+    dropped: u64,
 }
 
 impl SimLink {
@@ -43,6 +47,9 @@ impl SimLink {
             messages: 0,
             bytes: 0,
             rng: None,
+            faults: None,
+            fault_rng: None,
+            dropped: 0,
         }
     }
 
@@ -50,6 +57,18 @@ impl SimLink {
     pub fn with_jitter(profile: LinkProfile, rng: SimRng) -> Self {
         SimLink {
             rng: Some(rng),
+            ..SimLink::new(profile)
+        }
+    }
+
+    /// Creates a link that additionally drops and delays messages per
+    /// `plan` (its `drop_send`, `delay_send`, and `max_delay` fields),
+    /// drawing fault decisions from the plan's own seed.
+    pub fn with_faults(profile: LinkProfile, plan: FaultPlan) -> Self {
+        let fault_rng = SimRng::seed_from(plan.seed);
+        SimLink {
+            faults: Some(plan),
+            fault_rng: Some(fault_rng),
             ..SimLink::new(profile)
         }
     }
@@ -79,9 +98,38 @@ impl SimLink {
         self.wire_free + prop
     }
 
+    /// Sends `payload_bytes` at `now` over a lossy link; returns `None`
+    /// when the message is lost in flight.
+    ///
+    /// A lost message still occupies the wire for its transmission time —
+    /// the radio transmitted, the receiver missed it — so loss does not
+    /// shorten head-of-line queueing for later messages. Delay faults add
+    /// a uniformly drawn extra propagation delay up to the plan's
+    /// `max_delay`.
+    pub fn send_lossy(&mut self, now: SimTime, payload_bytes: usize) -> Option<SimTime> {
+        let delivered = self.send(now, payload_bytes);
+        let (Some(plan), Some(rng)) = (self.faults.as_ref(), self.fault_rng.as_mut()) else {
+            return Some(delivered);
+        };
+        if plan.drop_send > 0.0 && rng.next_f64() < plan.drop_send {
+            self.dropped += 1;
+            return None;
+        }
+        if plan.delay_send > 0.0 && rng.next_f64() < plan.delay_send && !plan.max_delay.is_zero() {
+            let extra = plan.max_delay.as_secs_f64() * rng.next_f64();
+            return Some(delivered + SimDuration::from_secs_f64(extra));
+        }
+        Some(delivered)
+    }
+
     /// Number of messages sent.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Number of messages lost by [`SimLink::send_lossy`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Total payload bytes sent.
@@ -138,6 +186,39 @@ mod tests {
         link.send(SimTime::ZERO, 20);
         assert_eq!(link.messages(), 2);
         assert_eq!(link.bytes(), 30);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::seeded(seed).with_send_drop(0.25);
+            let mut link = SimLink::with_faults(LinkProfile::wlan_802_11b(), plan);
+            let outcomes: Vec<bool> = (0..200)
+                .map(|_| link.send_lossy(SimTime::ZERO, 128).is_some())
+                .collect();
+            (outcomes, link.dropped(), link.messages())
+        };
+        let (a, dropped_a, messages_a) = run(11);
+        let (b, dropped_b, _) = run(11);
+        assert_eq!(a, b);
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 20 && dropped_a < 80, "~25% of 200: {dropped_a}");
+        // Lost frames still count as transmitted: they occupied the wire.
+        assert_eq!(messages_a, 200);
+        let (c, _, _) = run(12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn faultless_lossy_send_matches_plain_send() {
+        let profile = LinkProfile::ethernet_100();
+        let mut plain = SimLink::new(profile.clone());
+        let mut lossy = SimLink::with_faults(profile, FaultPlan::none());
+        for i in 0..20 {
+            let t = plain.send(SimTime::ZERO, 100 * i);
+            assert_eq!(lossy.send_lossy(SimTime::ZERO, 100 * i), Some(t));
+        }
+        assert_eq!(lossy.dropped(), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::time::Duration;
 use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, TryRecvError};
 use alfredo_sync::Mutex;
 
-use crate::transport::{PeerAddr, Transport, TransportError};
+use crate::transport::{CloseReason, PeerAddr, Transport, TransportError};
 use crate::wire::MAX_LENGTH;
 
 /// A [`Transport`] over a real TCP connection.
@@ -24,9 +24,19 @@ pub struct TcpTransport {
     writer: Mutex<TcpStream>,
     frames: Receiver<Vec<u8>>,
     closed: Arc<AtomicBool>,
+    reason: Arc<Mutex<CloseReason>>,
     local: PeerAddr,
     peer: PeerAddr,
     stream: TcpStream,
+}
+
+/// Records `reason` as the connection's close reason unless an earlier
+/// cause was already recorded (first cause wins).
+fn record_reason(slot: &Mutex<CloseReason>, reason: CloseReason) {
+    let mut r = slot.lock();
+    if *r == CloseReason::Unknown {
+        *r = reason;
+    }
 }
 
 impl TcpTransport {
@@ -53,30 +63,41 @@ impl TcpTransport {
         let writer = stream.try_clone()?;
         let reader = stream.try_clone()?;
         let closed = Arc::new(AtomicBool::new(false));
+        let reason = Arc::new(Mutex::new(CloseReason::Unknown));
         let (tx, rx) = channel::unbounded();
         let closed2 = Arc::clone(&closed);
+        let reason2 = Arc::clone(&reason);
         std::thread::Builder::new()
             .name("tcp-reader".into())
             .spawn(move || {
                 let mut reader = reader;
-                loop {
+                let why = loop {
                     let mut len_buf = [0u8; 4];
-                    if reader.read_exact(&mut len_buf).is_err() {
-                        break;
+                    if let Err(e) = reader.read_exact(&mut len_buf) {
+                        break if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                            CloseReason::Peer
+                        } else {
+                            CloseReason::Io
+                        };
                     }
                     let len = u32::from_le_bytes(len_buf) as u64;
                     if len > MAX_LENGTH {
-                        break; // corrupt stream: drop the connection
+                        break CloseReason::CorruptStream;
                     }
                     let mut frame = vec![0u8; len as usize];
                     if reader.read_exact(&mut frame).is_err() {
-                        break;
+                        break CloseReason::Io;
                     }
                     if tx.send(frame).is_err() {
-                        break;
+                        break CloseReason::Local;
                     }
-                }
+                };
+                record_reason(&reason2, why);
                 closed2.store(true, Ordering::SeqCst);
+                // Tear the socket down both ways so the writer half and the
+                // peer fail promptly instead of waiting out their timeouts
+                // (a corrupt stream used to leave the socket half-open).
+                let _ = reader.shutdown(Shutdown::Both);
                 // Dropping tx disconnects the channel: recv() observes
                 // Closed once drained.
             })?;
@@ -84,6 +105,7 @@ impl TcpTransport {
             writer: Mutex::new(writer),
             frames: rx,
             closed,
+            reason,
             local,
             peer,
             stream,
@@ -102,6 +124,7 @@ impl Transport for TcpTransport {
             .write_all(&len)
             .and_then(|()| writer.write_all(&frame))
             .map_err(|_| {
+                record_reason(&self.reason, CloseReason::Io);
                 self.closed.store(true, Ordering::SeqCst);
                 TransportError::Closed
             })
@@ -134,12 +157,17 @@ impl Transport for TcpTransport {
     }
 
     fn close(&self) {
+        record_reason(&self.reason, CloseReason::Local);
         self.closed.store(true, Ordering::SeqCst);
         let _ = self.stream.shutdown(Shutdown::Both);
     }
 
     fn is_closed(&self) -> bool {
         self.closed.load(Ordering::SeqCst)
+    }
+
+    fn close_reason(&self) -> CloseReason {
+        *self.reason.lock()
     }
 
     fn peer_addr(&self) -> &PeerAddr {
@@ -272,6 +300,40 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         panic!("frame never arrived");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_fails_fast_with_reason() {
+        let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || listener.accept().unwrap());
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let server = server.join().unwrap();
+        // An impossible length prefix: the reader must tear the connection
+        // down instead of dying silently with the socket half-open.
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+        assert!(server.is_closed());
+        assert_eq!(server.close_reason(), CloseReason::CorruptStream);
+        // The writer half observes the teardown promptly too.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.send(vec![0u8; 1024]) {
+                Err(TransportError::Closed) => break,
+                Ok(()) if std::time::Instant::now() < deadline => continue,
+                other => panic!("send kept succeeding on a dead socket: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peer_eof_is_recorded() {
+        let (client, server) = pair();
+        client.close();
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+        assert_eq!(server.close_reason(), CloseReason::Peer);
+        assert_eq!(client.close_reason(), CloseReason::Local);
     }
 
     #[test]

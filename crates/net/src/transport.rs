@@ -80,6 +80,40 @@ impl fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Why a transport stopped working, when the implementation knows.
+///
+/// Most transports cannot always tell (a peer vanishing behind a dead
+/// radio looks like silence), so [`CloseReason::Unknown`] is the default;
+/// implementations that *do* know override [`Transport::close_reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CloseReason {
+    /// Not closed yet, or the implementation cannot say.
+    #[default]
+    Unknown,
+    /// Closed by a local `close()` call.
+    Local,
+    /// The peer ended the connection (EOF / clean shutdown).
+    Peer,
+    /// The byte stream violated the framing protocol (e.g. an impossible
+    /// length prefix) and the connection was torn down defensively.
+    CorruptStream,
+    /// An underlying I/O error ended the connection.
+    Io,
+}
+
+impl fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CloseReason::Unknown => "unknown",
+            CloseReason::Local => "closed locally",
+            CloseReason::Peer => "closed by peer",
+            CloseReason::CorruptStream => "corrupt stream",
+            CloseReason::Io => "i/o error",
+        };
+        f.write_str(s)
+    }
+}
+
 enum Packet {
     Frame(Vec<u8>),
     Fin,
@@ -127,6 +161,14 @@ pub trait Transport: Send + Sync {
 
     /// Returns `true` once the connection is closed (either side).
     fn is_closed(&self) -> bool;
+
+    /// Why the connection stopped, when the implementation knows.
+    ///
+    /// Defaults to [`CloseReason::Unknown`]; meaningful only once
+    /// [`Transport::is_closed`] returns `true`.
+    fn close_reason(&self) -> CloseReason {
+        CloseReason::Unknown
+    }
 
     /// The address of the remote peer.
     fn peer_addr(&self) -> &PeerAddr;
@@ -246,7 +288,9 @@ pub struct Listener {
 
 impl fmt::Debug for Listener {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Listener").field("addr", &self.addr).finish()
+        f.debug_struct("Listener")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -536,8 +580,12 @@ mod tests {
     fn multiple_connections_to_one_listener() {
         let net = InMemoryNetwork::new();
         let listener = net.bind(PeerAddr::new("hub")).unwrap();
-        let c1 = net.connect(PeerAddr::new("p1"), PeerAddr::new("hub")).unwrap();
-        let c2 = net.connect(PeerAddr::new("p2"), PeerAddr::new("hub")).unwrap();
+        let c1 = net
+            .connect(PeerAddr::new("p1"), PeerAddr::new("hub"))
+            .unwrap();
+        let c2 = net
+            .connect(PeerAddr::new("p2"), PeerAddr::new("hub"))
+            .unwrap();
         let s1 = listener.accept().unwrap();
         let s2 = listener.accept().unwrap();
         c1.send(b"one".to_vec()).unwrap();

@@ -41,7 +41,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEof { wanted, remaining } => {
-                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: wanted {wanted} bytes, {remaining} remain"
+                )
             }
             WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             WireError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),

@@ -1,0 +1,109 @@
+//! Property tests for the fault-injection transport.
+//!
+//! The load-bearing invariant: a [`FaultyTransport`] with an empty
+//! [`FaultPlan`] is byte-identical to the raw transport, in both
+//! directions, for arbitrary traffic. This is what lets the wrapper stay
+//! in place on fault-free paths (and is what the chaos harness's
+//! "fault-free baseline" run relies on).
+
+use std::time::Duration;
+
+use alfredo_net::{FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr, Transport};
+use alfredo_sim::SimRng;
+
+fn wrapped_pair(plan: FaultPlan) -> (FaultyTransport, FaultyTransport) {
+    let net = InMemoryNetwork::new();
+    let listener = net.bind(PeerAddr::new("b")).unwrap();
+    let client = net.connect(PeerAddr::new("a"), PeerAddr::new("b")).unwrap();
+    let server = listener.accept().unwrap();
+    (
+        FaultyTransport::new(Box::new(client), plan.clone()),
+        FaultyTransport::new(Box::new(server), plan),
+    )
+}
+
+fn random_frames(rng: &mut SimRng, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|_| {
+            let len = rng.next_below(512) as usize;
+            (0..len).map(|_| rng.next_below(256) as u8).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn empty_plan_is_byte_identical_both_directions() {
+    let mut rng = SimRng::seed_from(0xFA17);
+    for round in 0..8 {
+        let (client, server) = wrapped_pair(FaultPlan::none());
+        let outbound = random_frames(&mut rng, 64);
+        let inbound = random_frames(&mut rng, 64);
+        for f in &outbound {
+            client.send(f.clone()).unwrap();
+        }
+        for f in &inbound {
+            server.send(f.clone()).unwrap();
+        }
+        for f in &outbound {
+            assert_eq!(
+                &server.recv_timeout(Duration::from_secs(2)).unwrap(),
+                f,
+                "round {round}: a→b frame mutated or reordered"
+            );
+        }
+        for f in &inbound {
+            assert_eq!(
+                &client.recv_timeout(Duration::from_secs(2)).unwrap(),
+                f,
+                "round {round}: b→a frame mutated or reordered"
+            );
+        }
+        assert_eq!(client.stats().dropped, 0);
+        assert_eq!(server.stats().dropped, 0);
+    }
+}
+
+#[test]
+fn empty_plan_preserves_close_semantics() {
+    let (client, server) = wrapped_pair(FaultPlan::none());
+    client.send(b"last".to_vec()).unwrap();
+    client.close();
+    assert_eq!(
+        server.recv_timeout(Duration::from_secs(2)).unwrap(),
+        b"last"
+    );
+    assert!(matches!(
+        server.recv_timeout(Duration::from_secs(2)),
+        Err(alfredo_net::TransportError::Closed)
+    ));
+}
+
+#[test]
+fn seeded_faults_replay_identically() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::seeded(seed)
+            .with_send_drop(0.2)
+            .with_duplicates(0.1)
+            .with_corruption(0.1);
+        let (client, server) = wrapped_pair(plan);
+        let mut traffic = SimRng::seed_from(99);
+        for f in random_frames(&mut traffic, 128) {
+            client.send(f).unwrap();
+        }
+        let mut delivered = Vec::new();
+        while let Ok(f) = server.recv_timeout(Duration::from_millis(80)) {
+            delivered.push(f);
+        }
+        (delivered, client.stats())
+    };
+    let (a, stats_a) = run(5);
+    let (b, stats_b) = run(5);
+    assert_eq!(a, b, "same seed must inject the same fault sequence");
+    assert_eq!(stats_a, stats_b);
+    assert!(stats_a.dropped > 0 && stats_a.duplicated > 0 && stats_a.corrupted > 0);
+    let (c, _) = run(6);
+    assert_ne!(
+        a, c,
+        "a different seed must perturb the traffic differently"
+    );
+}

@@ -4,7 +4,7 @@
 use alfredo_net::{ByteReader, ByteWriter, LinkProfile, SimLink};
 use alfredo_sim::{SimRng, SimTime};
 
-const SEED: u64 = 0x317e_ed;
+const SEED: u64 = 0x0031_7eed;
 const CASES: usize = 300;
 
 fn rand_bytes(rng: &mut SimRng, max: usize) -> Vec<u8> {

@@ -111,7 +111,8 @@ impl BundleArtifact {
 
     /// Builder-style: adds an activator-key entry.
     pub fn with_activator(mut self, key: impl Into<String>) -> Self {
-        self.entries.push(ArtifactEntry::Activator { key: key.into() });
+        self.entries
+            .push(ArtifactEntry::Activator { key: key.into() });
         self
     }
 

@@ -51,16 +51,16 @@ impl fmt::Display for OsgiError {
                 bundle,
                 from,
                 operation,
-            } => write!(
-                f,
-                "cannot {operation} bundle {bundle} in state {from}"
-            ),
+            } => write!(f, "cannot {operation} bundle {bundle} in state {from}"),
             OsgiError::ActivatorFailed { bundle, message } => {
                 write!(f, "activator of bundle {bundle} failed: {message}")
             }
             OsgiError::NoSuchService(id) => write!(f, "no such service: {id}"),
             OsgiError::FilterSyntax { position, expected } => {
-                write!(f, "filter syntax error at byte {position}: expected {expected}")
+                write!(
+                    f,
+                    "filter syntax error at byte {position}: expected {expected}"
+                )
             }
             OsgiError::UnknownActivatorKey(key) => {
                 write!(f, "unknown activator key: {key}")

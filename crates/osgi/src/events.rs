@@ -188,10 +188,7 @@ impl EventAdmin {
 
     /// Removes a change hook.
     pub fn remove_change_listener(&self, id: u64) {
-        self.inner
-            .lock()
-            .change_listeners
-            .retain(|(i, _)| *i != id);
+        self.inner.lock().change_listeners.retain(|(i, _)| *i != id);
     }
 
     fn notify_change(&self) {

@@ -110,9 +110,7 @@ impl Filter {
             Filter::And(fs) => fs.iter().all(|f| f.matches(props)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(props)),
             Filter::Not(f) => !f.matches(props),
-            Filter::Equals { attr, value } => {
-                props.get(attr).is_some_and(|v| value_eq(v, value))
-            }
+            Filter::Equals { attr, value } => props.get(attr).is_some_and(|v| value_eq(v, value)),
             Filter::Approx { attr, value } => props.get(attr).is_some_and(|v| {
                 let Some(actual) = value_to_string(v) else {
                     return false;
@@ -173,10 +171,7 @@ fn value_eq(v: &Value, literal: &str) -> bool {
 fn value_cmp(v: &Value, literal: &str) -> Option<std::cmp::Ordering> {
     match v {
         Value::I64(i) => literal.parse::<i64>().ok().map(|l| i.cmp(&l)),
-        Value::F64(f) => literal
-            .parse::<f64>()
-            .ok()
-            .and_then(|l| f.partial_cmp(&l)),
+        Value::F64(f) => literal.parse::<f64>().ok().and_then(|l| f.partial_cmp(&l)),
         Value::Str(s) => Some(s.as_str().cmp(literal)),
         _ => None,
     }
@@ -516,10 +511,7 @@ mod tests {
 
     #[test]
     fn list_valued_properties_match_any_element() {
-        let p = Properties::new().with(
-            "objectClass",
-            Value::from(vec!["a.B", "c.D"]),
-        );
+        let p = Properties::new().with("objectClass", Value::from(vec!["a.B", "c.D"]));
         let f = Filter::parse("(objectClass=c.D)").unwrap();
         assert!(f.matches(&p));
         let f = Filter::parse("(objectClass=x.Y)").unwrap();

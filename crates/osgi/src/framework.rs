@@ -385,11 +385,8 @@ impl Framework {
         version: impl Into<String>,
         activator: Box<dyn BundleActivator>,
     ) -> Result<(), OsgiError> {
-        let was_active = self
-            .bundle(id)
-            .ok_or(OsgiError::NoSuchBundle(id))?
-            .state
-            == BundleState::Active;
+        let was_active =
+            self.bundle(id).ok_or(OsgiError::NoSuchBundle(id))?.state == BundleState::Active;
         if was_active {
             self.stop_bundle(id)?;
         }
@@ -412,10 +409,7 @@ impl Framework {
     /// Returns [`OsgiError::NoSuchBundle`] if unknown, or an error from the
     /// implicit stop.
     pub fn uninstall(&self, id: BundleId) -> Result<(), OsgiError> {
-        let state = self
-            .bundle(id)
-            .ok_or(OsgiError::NoSuchBundle(id))?
-            .state;
+        let state = self.bundle(id).ok_or(OsgiError::NoSuchBundle(id))?.state;
         if state == BundleState::Active {
             self.stop_bundle(id)?;
         }
@@ -681,7 +675,8 @@ mod tests {
         assert_eq!(fw.bundle(id).unwrap().version, "1.0");
 
         // v2 registers a different service.
-        fw.update_bundle(id, "2.0", Box::new(RegisterOther)).unwrap();
+        fw.update_bundle(id, "2.0", Box::new(RegisterOther))
+            .unwrap();
         let meta = fw.bundle(id).unwrap();
         assert_eq!(meta.version, "2.0");
         assert_eq!(meta.state, BundleState::Active, "restarted after update");
@@ -713,7 +708,8 @@ mod tests {
     fn update_of_inactive_bundle_does_not_start_it() {
         let fw = Framework::new();
         let (id, _) = recorder(&fw, false, false);
-        fw.update_bundle(id, "2.0", Box::new(RegisterOther)).unwrap();
+        fw.update_bundle(id, "2.0", Box::new(RegisterOther))
+            .unwrap();
         assert_eq!(fw.bundle(id).unwrap().state, BundleState::Installed);
         assert!(fw.registry().get_service("rec.ServiceV2").is_none());
         // It starts with the new activator on demand.

@@ -269,10 +269,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -404,15 +401,12 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return err("invalid low surrogate");
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(cp).ok_or_else(|| {
-                                    JsonError("invalid surrogate pair".into())
-                                })?
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JsonError("invalid surrogate pair".into()))?
                             } else {
-                                char::from_u32(hi).ok_or_else(|| {
-                                    JsonError("invalid \\u escape".into())
-                                })?
+                                char::from_u32(hi)
+                                    .ok_or_else(|| JsonError("invalid \\u escape".into()))?
                             };
                             out.push(c);
                             // parse_hex4 leaves pos after the 4 digits;
@@ -427,8 +421,8 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar. The input is a &str, so
                     // byte sequences are valid; find the char boundary.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError("invalid utf-8".into()))?;
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| JsonError("invalid utf-8".into()))?;
                     let c = s.chars().next().expect("nonempty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -528,7 +522,8 @@ impl ToJson for bool {
 
 impl FromJson for bool {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
-        json.as_bool().ok_or_else(|| JsonError("expected bool".into()))
+        json.as_bool()
+            .ok_or_else(|| JsonError("expected bool".into()))
     }
 }
 
@@ -540,7 +535,8 @@ impl ToJson for i64 {
 
 impl FromJson for i64 {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
-        json.as_i64().ok_or_else(|| JsonError("expected integer".into()))
+        json.as_i64()
+            .ok_or_else(|| JsonError("expected integer".into()))
     }
 }
 
@@ -582,7 +578,8 @@ impl ToJson for f64 {
 
 impl FromJson for f64 {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
-        json.as_f64().ok_or_else(|| JsonError("expected number".into()))
+        json.as_f64()
+            .ok_or_else(|| JsonError("expected number".into()))
     }
 }
 
@@ -649,8 +646,7 @@ impl<T: FromJson> FromJson for Option<T> {
 /// missing or of the wrong shape.
 pub fn field<T: FromJson>(json: &Json, name: &str) -> Result<T, JsonError> {
     match json.get(name) {
-        Some(v) => T::from_json(v)
-            .map_err(|e| JsonError(format!("field '{name}': {}", e.0))),
+        Some(v) => T::from_json(v).map_err(|e| JsonError(format!("field '{name}': {}", e.0))),
         None => err(format!("missing field '{name}'")),
     }
 }
@@ -662,8 +658,9 @@ pub fn field<T: FromJson>(json: &Json, name: &str) -> Result<T, JsonError> {
 /// Returns [`JsonError`] if the field is present but of the wrong shape.
 pub fn opt_field<T: FromJson>(json: &Json, name: &str) -> Result<Option<T>, JsonError> {
     match json.get(name) {
-        Some(v) => Option::<T>::from_json(v)
-            .map_err(|e| JsonError(format!("field '{name}': {}", e.0))),
+        Some(v) => {
+            Option::<T>::from_json(v).map_err(|e| JsonError(format!("field '{name}': {}", e.0)))
+        }
         None => Ok(None),
     }
 }
@@ -696,7 +693,12 @@ impl ToJson for Value {
                 ("$struct", Json::Str(type_name.clone())),
                 (
                     "$fields",
-                    Json::Obj(fields.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+                    Json::Obj(
+                        fields
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_json()))
+                            .collect(),
+                    ),
                 ),
             ]),
         }
@@ -711,9 +713,12 @@ impl FromJson for Value {
             Json::I64(v) => Value::I64(*v),
             Json::F64(v) => Value::F64(*v),
             Json::Str(s) => Value::Str(s.clone()),
-            Json::Arr(items) => {
-                Value::List(items.iter().map(Value::from_json).collect::<Result<_, _>>()?)
-            }
+            Json::Arr(items) => Value::List(
+                items
+                    .iter()
+                    .map(Value::from_json)
+                    .collect::<Result<_, _>>()?,
+            ),
             Json::Obj(m) => {
                 if let Some(bytes) = m.get("$bytes") {
                     let arr = bytes
@@ -796,7 +801,9 @@ mod tests {
 
     #[test]
     fn scalars_round_trip() {
-        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\"", "[]", "{}"] {
+        for text in [
+            "null", "true", "false", "0", "-7", "3.5", "\"hi\"", "[]", "{}",
+        ] {
             let j = Json::parse(text).unwrap();
             assert_eq!(Json::parse(&j.to_json_string()).unwrap(), j, "{text}");
         }
@@ -833,7 +840,16 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        for text in ["", "{", "[1,", "\"abc", "01x", "{\"a\" 1}", "[1] tail", "nul"] {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "01x",
+            "{\"a\" 1}",
+            "[1] tail",
+            "nul",
+        ] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
         }
     }
@@ -858,15 +874,15 @@ mod tests {
     fn plain_object_reads_as_map() {
         let v = Value::from_json_str(r#"{"a": 1, "b": [true]}"#).unwrap();
         assert_eq!(v.field("a"), Some(&Value::I64(1)));
-        assert_eq!(
-            v.field("b"),
-            Some(&Value::List(vec![Value::Bool(true)]))
-        );
+        assert_eq!(v.field("b"), Some(&Value::List(vec![Value::Bool(true)])));
     }
 
     #[test]
     fn properties_round_trip() {
-        let p = Properties::new().with("a", 1i64).with("s", "x").with_ranking(3);
+        let p = Properties::new()
+            .with("a", 1i64)
+            .with("s", "x")
+            .with_ranking(3);
         let text = p.to_json_string();
         let back = Properties::from_json_str(&text).unwrap();
         assert_eq!(back, p);

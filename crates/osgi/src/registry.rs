@@ -190,7 +190,11 @@ impl ServiceRegistry {
     /// # Errors
     ///
     /// Returns [`OsgiError::NoSuchService`] if the id is unknown.
-    pub fn set_properties(&self, id: ServiceId, mut properties: Properties) -> Result<(), OsgiError> {
+    pub fn set_properties(
+        &self,
+        id: ServiceId,
+        mut properties: Properties,
+    ) -> Result<(), OsgiError> {
         let event = {
             let mut inner = self.inner.lock();
             let reg = inner
@@ -239,7 +243,11 @@ impl ServiceRegistry {
 
     /// Returns all references for `interface`, optionally filtered, sorted
     /// best-first.
-    pub fn get_references(&self, interface: &str, filter: Option<&Filter>) -> Vec<ServiceReference> {
+    pub fn get_references(
+        &self,
+        interface: &str,
+        filter: Option<&Filter>,
+    ) -> Vec<ServiceReference> {
         let inner = self.inner.lock();
         let mut refs: Vec<ServiceReference> = inner
             .by_interface
@@ -526,14 +534,19 @@ mod tests {
         let registration = reg
             .register(BundleId::SYSTEM, &["t.A"], constant(1), Properties::new())
             .unwrap();
-        registration.set_properties(Properties::new().with("x", 1i64)).unwrap();
+        registration
+            .set_properties(Properties::new().with("x", 1i64))
+            .unwrap();
         let id = registration.id();
         registration.unregister().unwrap();
         assert!(reg.get_service("t.A").is_none());
         assert!(reg.get_service_by_id(id).is_none());
         assert_eq!(*events.lock(), vec!["reg", "mod", "unreg"]);
         // Double unregister fails cleanly.
-        assert!(matches!(reg.unregister(id), Err(OsgiError::NoSuchService(_))));
+        assert!(matches!(
+            reg.unregister(id),
+            Err(OsgiError::NoSuchService(_))
+        ));
     }
 
     #[test]

@@ -114,7 +114,9 @@ where
 
 impl<F> fmt::Debug for FnService<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnService").field("desc", &self.desc).finish()
+        f.debug_struct("FnService")
+            .field("desc", &self.desc)
+            .finish()
     }
 }
 
@@ -528,10 +530,7 @@ mod tests {
         assert_eq!(svc.invoke("x", &[]).unwrap(), Value::from("x"));
         assert!(svc.describe().is_none());
         let svc = svc.with_description(sample_interface());
-        assert_eq!(
-            svc.describe().unwrap().name,
-            "apps.MouseController"
-        );
+        assert_eq!(svc.describe().unwrap().name, "apps.MouseController");
     }
 
     #[test]

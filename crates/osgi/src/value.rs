@@ -182,9 +182,7 @@ impl Value {
             Value::Unit | Value::Bool(_) | Value::I64(_) | Value::F64(_) => inline,
             Value::Str(s) => inline + s.len(),
             Value::Bytes(b) => inline + b.len(),
-            Value::List(items) => {
-                inline + items.iter().map(Value::memory_footprint).sum::<usize>()
-            }
+            Value::List(items) => inline + items.iter().map(Value::memory_footprint).sum::<usize>(),
             Value::Map(m) => {
                 inline
                     + m.iter()
@@ -202,7 +200,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -151,10 +151,7 @@ impl<T> CallTable<T> {
             }
             None => Arc::new(CallSlot::new()),
         };
-        shard
-            .pending
-            .lock()
-            .insert(call_id, Arc::clone(&slot));
+        shard.pending.lock().insert(call_id, Arc::clone(&slot));
         slot
     }
 

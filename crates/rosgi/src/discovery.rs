@@ -28,11 +28,7 @@ pub struct ServiceUrl {
 
 impl ServiceUrl {
     /// Creates a service URL.
-    pub fn new(
-        service_type: impl Into<String>,
-        addr: PeerAddr,
-        properties: Properties,
-    ) -> Self {
+    pub fn new(service_type: impl Into<String>, addr: PeerAddr, properties: Properties) -> Self {
         ServiceUrl {
             service_type: service_type.into(),
             addr,

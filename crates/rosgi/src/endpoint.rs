@@ -27,19 +27,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use alfredo_sync::channel::{self, Receiver, Sender};
-use alfredo_sync::Mutex;
+use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
+use alfredo_sync::{Mutex, RwLock};
 
-use alfredo_net::{BufferPool, ByteWriter, Transport};
+use alfredo_net::{BufferPool, ByteWriter, CloseReason, Transport, TransportError};
+use alfredo_osgi::events::topic_matches;
 use alfredo_osgi::{
     BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework,
     ListenerId, Manifest, Properties, Service, ServiceCallError, ServiceEvent,
     ServiceInterfaceDesc, Value,
 };
-use alfredo_osgi::events::topic_matches;
 
 use crate::calls::{CallSlot, CallTable};
 use crate::error::RosgiError;
+use crate::health::{
+    DisconnectReason, HealthEvent, HealthMonitor, HealthState, HeartbeatConfig, RetryPolicy,
+};
 use crate::lease::{LeaseTable, RemoteServiceInfo};
 use crate::message::{Message, PROTOCOL_VERSION};
 use crate::proxy::{Invoker, RemoteServiceProxy, SmartProxySpec};
@@ -63,6 +66,12 @@ pub const PROP_DESCRIPTOR: &str = "alfredo.descriptor";
 pub const PROP_IMPORTED_FROM: &str = "service.imported.from";
 /// Property set on forwarded events to prevent forwarding loops.
 pub const PROP_EVENT_REMOTE: &str = "event.remote";
+/// Registration property listing method names that are safe to retry
+/// (idempotent). The list travels in the service's lease entry; the
+/// calling side consults it before re-issuing a timed-out or failed
+/// invocation under a [`RetryPolicy`]. Unlisted methods are never retried
+/// — at-least-once delivery is only safe when re-execution is harmless.
+pub const PROP_IDEMPOTENT_METHODS: &str = "rosgi.idempotent.methods";
 
 /// Endpoint configuration.
 #[derive(Clone)]
@@ -90,6 +99,67 @@ pub struct EndpointConfig {
     /// with no slot reuse. Kept so benchmarks can measure the fast path
     /// against an honest baseline; leave `false` in real deployments.
     pub legacy_invoke_path: bool,
+    /// Background heartbeat driving the health state machine. `None`
+    /// (the default) spawns no heartbeat thread.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Time-to-live for lease entries. With a TTL, entries are renewed on
+    /// every successful heartbeat and purged (their proxies uninstalled)
+    /// once nothing has been heard for a TTL. `None` disables expiry.
+    pub lease_ttl: Option<Duration>,
+    /// Retry policy for idempotent-marked synchronous invocations. The
+    /// default (`max_retries == 0`) never retries and adds no cost to the
+    /// invoke fast path.
+    pub retry: RetryPolicy,
+    /// Automatic reconnection. When set, a dead wire makes the reader
+    /// re-dial, re-run the handshake, and re-bind surviving proxies in
+    /// place instead of tearing the endpoint down.
+    pub reconnect: Option<ReconnectConfig>,
+}
+
+/// Dials a replacement transport for a reconnecting endpoint.
+pub type ReconnectFn = Arc<dyn Fn() -> Result<Box<dyn Transport>, TransportError> + Send + Sync>;
+
+/// Automatic reconnection settings.
+#[derive(Clone)]
+pub struct ReconnectConfig {
+    /// Dials a fresh transport to the same peer.
+    pub dial: ReconnectFn,
+    /// Attempts before giving up and closing the endpoint for good.
+    pub max_attempts: u32,
+    /// Backoff before the first attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound for the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl ReconnectConfig {
+    /// A config around `dial` with sane defaults (8 attempts, 50 ms
+    /// initial backoff capped at 2 s).
+    pub fn new(dial: ReconnectFn) -> Self {
+        ReconnectConfig {
+            dial,
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        self.initial_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+impl fmt::Debug for ReconnectConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReconnectConfig")
+            .field("max_attempts", &self.max_attempts)
+            .field("initial_backoff", &self.initial_backoff)
+            .field("max_backoff", &self.max_backoff)
+            .finish()
+    }
 }
 
 impl Default for EndpointConfig {
@@ -104,6 +174,10 @@ impl Default for EndpointConfig {
             initial_stream_credits: DEFAULT_INITIAL_CREDITS,
             stream_chunk_size: DEFAULT_CHUNK_SIZE,
             legacy_invoke_path: false,
+            heartbeat: None,
+            lease_ttl: None,
+            retry: RetryPolicy::default(),
+            reconnect: None,
         }
     }
 }
@@ -134,6 +208,30 @@ impl EndpointConfig {
     /// (benchmark baseline).
     pub fn with_legacy_invoke_path(mut self) -> Self {
         self.legacy_invoke_path = true;
+        self
+    }
+
+    /// Builder-style: enables the background heartbeat.
+    pub fn with_heartbeat(mut self, heartbeat: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(heartbeat);
+        self
+    }
+
+    /// Builder-style: sets the lease entry time-to-live.
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = Some(ttl);
+        self
+    }
+
+    /// Builder-style: sets the retry policy for idempotent calls.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style: enables automatic reconnection through `reconnect`.
+    pub fn with_reconnect(mut self, reconnect: ReconnectConfig) -> Self {
+        self.reconnect = Some(reconnect);
         self
     }
 }
@@ -198,6 +296,18 @@ pub struct EndpointStats {
     /// Invocations that rode a recycled call-waiter slot instead of
     /// allocating one.
     pub slots_reused: u64,
+    /// Idempotent invocations re-issued under the retry policy.
+    pub retries: u64,
+    /// Successful reconnect + re-handshake cycles.
+    pub reconnects: u64,
+    /// Lease entries purged because their TTL elapsed.
+    pub lease_expiries: u64,
+    /// Heartbeat probes sent.
+    pub heartbeats_sent: u64,
+    /// Heartbeat probes that went unanswered.
+    pub heartbeats_missed: u64,
+    /// Why the wire last went down ([`DisconnectReason::None`] if never).
+    pub last_disconnect: DisconnectReason,
 }
 
 type CallResult = Result<Value, ServiceCallError>;
@@ -219,10 +329,19 @@ struct Counters {
     frames_received: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    lease_expiries: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    heartbeats_missed: AtomicU64,
 }
 
 struct Inner {
-    transport: Arc<dyn Transport>,
+    /// The live wire. Swapped in place on reconnect — proxies route
+    /// through [`EndpointInvoker`]'s weak reference to this `Inner`, so a
+    /// swap re-binds every installed proxy to the new transport without
+    /// touching the local registry (same `ServiceReference`, new wire).
+    transport: RwLock<Arc<dyn Transport>>,
     framework: Framework,
     config: EndpointConfig,
     remote_peer: Mutex<String>,
@@ -245,7 +364,15 @@ struct Inner {
     registry_listener: Mutex<Option<ListenerId>>,
     event_tap: Mutex<Option<u64>>,
     interest_listener: Mutex<Option<u64>>,
+    /// Permanently closed: cleanup ran, nothing will reconnect.
     closed: AtomicBool,
+    /// Orderly shutdown requested (local `close()` or peer `Bye`): the
+    /// reader must not attempt reconnection even if one is configured.
+    shutdown: AtomicBool,
+    health: HealthMonitor,
+    disconnect_reason: Mutex<DisconnectReason>,
+    /// Wakes/stops the heartbeat thread.
+    hb_stop: (Sender<()>, Receiver<()>),
     counters: Counters,
 }
 
@@ -254,6 +381,7 @@ struct Inner {
 pub struct RemoteEndpoint {
     inner: Arc<Inner>,
     reader: Mutex<Option<JoinHandle<()>>>,
+    heartbeat: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl RemoteEndpoint {
@@ -279,12 +407,14 @@ impl RemoteEndpoint {
         } else {
             CallTable::new()
         };
+        let mut leases = LeaseTable::new();
+        leases.set_ttl(config.lease_ttl);
         let inner = Arc::new(Inner {
-            transport,
+            transport: RwLock::new(transport),
             framework,
             config,
             remote_peer: Mutex::new(String::new()),
-            leases: Mutex::new(LeaseTable::new()),
+            leases: Mutex::new(leases),
             calls,
             pool: BufferPool::new(),
             pending_fetches: Mutex::new(HashMap::new()),
@@ -301,62 +431,18 @@ impl RemoteEndpoint {
             event_tap: Mutex::new(None),
             interest_listener: Mutex::new(None),
             closed: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            health: HealthMonitor::new(),
+            disconnect_reason: Mutex::new(DisconnectReason::None),
+            hb_stop: channel::bounded(4),
             counters: Counters::default(),
         });
 
-        // --- outgoing handshake ---
-        inner.send(&Message::Hello {
-            peer: inner.config.peer_name.clone(),
-            version: PROTOCOL_VERSION,
-        })?;
-        inner.send(&Message::Lease {
-            services: inner.exportable_services(),
-        })?;
-        inner.send(&Message::EventInterest {
-            patterns: inner.framework.event_admin().patterns(),
-        })?;
-
-        // --- incoming handshake ---
-        let deadline = Instant::now() + inner.config.handshake_timeout;
-        let mut got_hello = false;
-        let mut got_lease = false;
-        while !(got_hello && got_lease) {
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .ok_or_else(|| RosgiError::Handshake("handshake timed out".into()))?;
-            let frame = inner.transport.recv_timeout(remaining)?;
-            inner
-                .counters
-                .frames_received
-                .fetch_add(1, Ordering::Relaxed);
-            inner
-                .counters
-                .bytes_received
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
-            match Message::decode(&frame)? {
-                Message::Hello { peer, version } => {
-                    if version != PROTOCOL_VERSION {
-                        return Err(RosgiError::Handshake(format!(
-                            "protocol version mismatch: ours {PROTOCOL_VERSION}, theirs {version}"
-                        )));
-                    }
-                    *inner.remote_peer.lock() = peer;
-                    got_hello = true;
-                }
-                Message::Lease { services } => {
-                    inner.leases.lock().reset(services);
-                    got_lease = true;
-                }
-                Message::EventInterest { patterns } => {
-                    *inner.remote_event_patterns.lock() = patterns;
-                }
-                other => {
-                    return Err(RosgiError::Handshake(format!(
-                        "unexpected message during handshake: {other:?}"
-                    )))
-                }
-            }
-        }
+        // --- handshake (both directions) ---
+        let wire = inner.wire();
+        let (peer, services) = run_handshake(&inner, &wire)?;
+        *inner.remote_peer.lock() = peer;
+        inner.leases.lock().reset(services);
 
         // --- keep the peer's lease view in sync with our registry ---
         {
@@ -416,9 +502,20 @@ impl RemoteEndpoint {
             .spawn(move || reader_loop(reader_inner))
             .expect("spawn reader thread");
 
+        // --- heartbeat thread (opt-in) ---
+        let heartbeat = inner.config.heartbeat.map(|hb| {
+            let hb_inner = Arc::clone(&inner);
+            let stop = inner.hb_stop.1.clone();
+            std::thread::Builder::new()
+                .name(format!("rosgi-hb-{}", inner.config.peer_name))
+                .spawn(move || heartbeat_loop(hb_inner, hb, stop))
+                .expect("spawn heartbeat thread")
+        });
+
         Ok(RemoteEndpoint {
             inner,
             reader: Mutex::new(Some(reader)),
+            heartbeat: Mutex::new(heartbeat),
         })
     }
 
@@ -466,7 +563,34 @@ impl RemoteEndpoint {
             pool_returns: pool.returns,
             bytes_reused: pool.bytes_reused,
             slots_reused: self.inner.calls.slots_reused(),
+            retries: c.retries.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+            lease_expiries: c.lease_expiries.load(Ordering::Relaxed),
+            heartbeats_sent: c.heartbeats_sent.load(Ordering::Relaxed),
+            heartbeats_missed: c.heartbeats_missed.load(Ordering::Relaxed),
+            last_disconnect: *self.inner.disconnect_reason.lock(),
         }
+    }
+
+    /// The endpoint's current link health.
+    pub fn health(&self) -> HealthState {
+        self.inner.health.state()
+    }
+
+    /// Subscribes to health transitions; returns a token for
+    /// [`RemoteEndpoint::remove_health_listener`].
+    ///
+    /// Listeners run synchronously on the heartbeat or reader thread —
+    /// keep them quick and do not call back into the endpoint from one
+    /// (push into a channel instead).
+    pub fn on_health(&self, f: impl Fn(HealthEvent) + Send + Sync + 'static) -> u64 {
+        self.inner.health.subscribe(f)
+    }
+
+    /// Removes a health listener registered with
+    /// [`RemoteEndpoint::on_health`].
+    pub fn remove_health_listener(&self, token: u64) {
+        self.inner.health.unsubscribe(token);
     }
 
     /// Fetches the remote service registered under `interface`: ships the
@@ -505,15 +629,13 @@ impl RemoteEndpoint {
             inner.pending_fetches.lock().remove(interface);
             return Err(e);
         }
-        let outcome = rx
-            .recv_timeout(inner.config.invoke_timeout)
-            .map_err(|_| {
-                inner.pending_fetches.lock().remove(interface);
-                RosgiError::InvocationTimeout {
-                    interface: interface.to_owned(),
-                    method: "<fetch>".to_owned(),
-                }
-            })?;
+        let outcome = rx.recv_timeout(inner.config.invoke_timeout).map_err(|_| {
+            inner.pending_fetches.lock().remove(interface);
+            RosgiError::InvocationTimeout {
+                interface: interface.to_owned(),
+                method: "<fetch>".to_owned(),
+            }
+        })?;
         let ((iface, injected, smart_spec, descriptor), transferred_bytes) = outcome?;
 
         // Type injection.
@@ -533,7 +655,10 @@ impl RemoteEndpoint {
         let proxy: Arc<dyn Service> = match smart_spec {
             Some(spec)
                 if inner.config.accept_smart_proxies
-                    && inner.config.code_registry.contains_service(&spec.factory_key) =>
+                    && inner
+                        .config
+                        .code_registry
+                        .contains_service(&spec.factory_key) =>
             {
                 let local = inner
                     .config
@@ -728,9 +853,9 @@ impl RemoteEndpoint {
     pub fn accept_stream(&self, timeout: Duration) -> Result<StreamReceiver, RosgiError> {
         match self.inner.incoming_streams.1.recv_timeout(timeout) {
             Ok(r) => Ok(r),
-            Err(channel::RecvTimeoutError::Timeout) => Err(RosgiError::Transport(
-                alfredo_net::TransportError::Timeout,
-            )),
+            Err(channel::RecvTimeoutError::Timeout) => {
+                Err(RosgiError::Transport(alfredo_net::TransportError::Timeout))
+            }
             Err(channel::RecvTimeoutError::Disconnected) => Err(RosgiError::Closed),
         }
     }
@@ -739,25 +864,26 @@ impl RemoteEndpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`RosgiError::Closed`] on timeout or disconnection.
+    /// Returns [`RosgiError::Transport`] with
+    /// [`TransportError::Timeout`] when the peer did not answer in time
+    /// (slow ≠ gone), or [`RosgiError::Closed`] once the connection is
+    /// actually down.
     pub fn ping(&self, timeout: Duration) -> Result<Duration, RosgiError> {
-        let inner = &self.inner;
-        let nonce = inner.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = channel::bounded(1);
-        inner.pending_pings.lock().insert(nonce, tx);
-        let start = Instant::now();
-        inner.send(&Message::Ping { nonce })?;
-        let out = rx.recv_timeout(timeout).map(|()| start.elapsed());
-        inner.pending_pings.lock().remove(&nonce);
-        out.map_err(|_| RosgiError::Closed)
+        self.inner.ping_inner(timeout)
     }
 
     /// Closes the connection: sends `Bye`, uninstalls all proxy bundles,
     /// and releases listeners. Idempotent.
     pub fn close(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.record_disconnect(DisconnectReason::LocalClose);
         let _ = self.inner.send(&Message::Bye);
-        self.inner.transport.close();
+        let _ = self.inner.hb_stop.0.send(());
+        self.inner.wire().close();
         self.inner.cleanup();
+        if let Some(handle) = self.heartbeat.lock().take() {
+            let _ = handle.join();
+        }
         if let Some(handle) = self.reader.lock().take() {
             let _ = handle.join();
         }
@@ -783,7 +909,9 @@ impl fmt::Debug for RemoteEndpoint {
 
 impl Drop for RemoteEndpoint {
     fn drop(&mut self) {
-        self.inner.transport.close();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.inner.hb_stop.0.send(());
+        self.inner.wire().close();
         self.inner.cleanup();
         // Do not join the reader here: Drop may run on the reader thread's
         // panic path in tests; the thread exits on its own once the
@@ -897,6 +1025,13 @@ impl BundleActivator for ProxyActivator {
 }
 
 impl Inner {
+    /// A strong handle on the current wire. Cheap (one `RwLock` read +
+    /// `Arc` clone); callers hold the `Arc`, never the lock, so a
+    /// reconnect can swap the wire while calls are blocked in `recv`.
+    fn wire(&self) -> Arc<dyn Transport> {
+        Arc::clone(&*self.transport.read())
+    }
+
     fn send(&self, msg: &Message) -> Result<(), RosgiError> {
         if self.config.legacy_invoke_path {
             return self.send_frame(msg.encode());
@@ -906,13 +1041,122 @@ impl Inner {
         self.send_frame(w.into_bytes())
     }
 
+    /// Like [`Inner::send`] but over an explicit transport (used by the
+    /// handshake, which must not race with a concurrent wire swap).
+    fn send_on(&self, wire: &Arc<dyn Transport>, msg: &Message) -> Result<(), RosgiError> {
+        let mut w = ByteWriter::with_pool(&self.pool);
+        msg.encode_into(&mut w);
+        let frame = w.into_bytes();
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        wire.send(frame)?;
+        Ok(())
+    }
+
     fn send_frame(&self, frame: Vec<u8>) -> Result<(), RosgiError> {
         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.transport.send(frame)?;
+        self.wire().send(frame)?;
         Ok(())
+    }
+
+    fn ping_inner(&self, timeout: Duration) -> Result<Duration, RosgiError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(RosgiError::Closed);
+        }
+        let nonce = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        self.pending_pings.lock().insert(nonce, tx);
+        let start = Instant::now();
+        if let Err(e) = self.send(&Message::Ping { nonce }) {
+            self.pending_pings.lock().remove(&nonce);
+            return Err(e);
+        }
+        let out = rx.recv_timeout(timeout);
+        self.pending_pings.lock().remove(&nonce);
+        match out {
+            Ok(()) => Ok(start.elapsed()),
+            // A timeout means "slow or lossy", not "gone": the connection
+            // may still recover. Only a dropped waiter channel (teardown
+            // cleared `pending_pings`) means the wire is actually down.
+            Err(RecvTimeoutError::Timeout) => Err(RosgiError::Transport(TransportError::Timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err(RosgiError::Closed),
+        }
+    }
+
+    /// Records why the wire went down. The first cause per outage wins
+    /// (a peer `Bye` beats the transport-closed error it provokes); a
+    /// successful reconnect clears the slot for the next outage.
+    fn record_disconnect(&self, reason: DisconnectReason) {
+        let mut slot = self.disconnect_reason.lock();
+        if *slot == DisconnectReason::None {
+            *slot = reason;
+        }
+    }
+
+    /// Whether the peer's lease marks `method` on `interface` as
+    /// idempotent (listed under [`PROP_IDEMPOTENT_METHODS`]).
+    fn is_idempotent(&self, interface: &str, method: &str) -> bool {
+        let leases = self.leases.lock();
+        let Some(info) = leases.find(interface) else {
+            return false;
+        };
+        info.properties
+            .get(PROP_IDEMPOTENT_METHODS)
+            .and_then(Value::as_list)
+            .map(|items| items.iter().filter_map(Value::as_str).any(|m| m == method))
+            .unwrap_or(false)
+    }
+
+    /// The wire just died (reader observed recv failure). Fail everything
+    /// waiting on it, but keep proxies and leases: a reconnect may revive
+    /// them. `cleanup()` does the full teardown if reconnection is not
+    /// configured or gives up.
+    fn on_wire_down(&self) {
+        self.health.transition(HealthState::Disconnected);
+        self.calls.fail_all(|| Err(ServiceCallError::ServiceGone));
+        for (_, tx) in self.pending_fetches.lock().drain() {
+            let _ = tx.send(Err(RosgiError::Closed));
+        }
+        // Dropping the waiters makes in-flight pings observe Disconnected.
+        self.pending_pings.lock().clear();
+        for (_, tx) in self.open_streams.lock().drain() {
+            let _ = tx.send(StreamData::Aborted);
+        }
+        self.send_credits.lock().clear();
+    }
+
+    /// Adopts a freshly handshaken wire after a reconnect: swaps the
+    /// transport in place (re-binding every surviving proxy — they route
+    /// through the endpoint, so same `ServiceReference`, new wire), drops
+    /// proxies whose services did not survive the outage, and installs
+    /// the fresh lease.
+    fn adopt_wire(&self, wire: Arc<dyn Transport>, peer: String, fresh: Vec<RemoteServiceInfo>) {
+        *self.transport.write() = wire;
+        *self.remote_peer.lock() = peer;
+        // Diff the fresh lease against installed proxies: a proxy whose
+        // interface the peer no longer offers is uninstalled (consumers
+        // see a plain unregistration); survivors keep working untouched.
+        let orphaned: Vec<(String, BundleId)> = {
+            let proxies = self.proxy_bundles.lock();
+            proxies
+                .iter()
+                .filter(|(iface, _)| !fresh.iter().any(|s| s.offers(iface)))
+                .map(|(iface, b)| (iface.clone(), *b))
+                .collect()
+        };
+        for (iface, bundle) in orphaned {
+            self.proxy_bundles.lock().remove(&iface);
+            let _ = self.framework.uninstall(bundle);
+        }
+        self.leases.lock().reset(fresh);
+        self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        *self.disconnect_reason.lock() = DisconnectReason::None;
+        self.health.transition(HealthState::Healthy);
     }
 
     /// Services worth exporting in our lease: everything that is not
@@ -933,7 +1177,35 @@ impl Inner {
         method: &str,
         args: &[Value],
     ) -> Result<Value, ServiceCallError> {
-        self.invoke_async_inner(interface, method, args)?.wait()
+        let retry = self.config.retry;
+        if retry.max_retries == 0 {
+            // Hot path: no deadline arithmetic, no lease lookup.
+            return self.invoke_async_inner(interface, method, args)?.wait();
+        }
+        let deadline = Instant::now() + retry.deadline;
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .invoke_async_inner(interface, method, args)
+                .and_then(CallHandle::wait);
+            match outcome {
+                Err(ref e)
+                    if attempt < retry.max_retries
+                        && is_retryable(e)
+                        && !self.closed.load(Ordering::SeqCst)
+                        && Instant::now() < deadline
+                        && self.is_idempotent(interface, method) =>
+                {
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = retry
+                        .backoff_for(attempt)
+                        .min(deadline.saturating_duration_since(Instant::now()));
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Fires an invocation and returns the handle to its pending reply.
@@ -1056,12 +1328,7 @@ impl Inner {
                     let leases = self.leases.lock();
                     removed
                         .iter()
-                        .filter_map(|id| {
-                            leases
-                                .services()
-                                .into_iter()
-                                .find(|s| s.remote_id == *id)
-                        })
+                        .filter_map(|id| leases.services().into_iter().find(|s| s.remote_id == *id))
                         .flat_map(|s| s.interfaces.iter().cloned().collect::<Vec<_>>())
                         .collect()
                 };
@@ -1136,9 +1403,7 @@ impl Inner {
                     .fetch_add(1, Ordering::Relaxed);
                 let mut props = properties;
                 props.insert(PROP_EVENT_REMOTE, true);
-                self.framework
-                    .event_admin()
-                    .post(&Event::new(topic, props));
+                self.framework.event_admin().post(&Event::new(topic, props));
             }
             Message::StreamOpen { stream, name } => {
                 let (tx, rx) = channel::unbounded();
@@ -1183,7 +1448,10 @@ impl Inner {
                 }
             }
             Message::Bye => {
-                self.transport.close();
+                // Orderly goodbye: never reconnect after one.
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.record_disconnect(DisconnectReason::ByePeer);
+                self.wire().close();
             }
         }
     }
@@ -1294,6 +1562,8 @@ impl Inner {
         if self.closed.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.health.transition(HealthState::Disconnected);
+        let _ = self.hb_stop.0.send(());
         // Stop watching the local registry and event bus.
         if let Some(listener) = self.registry_listener.lock().take() {
             self.framework.registry().remove_listener(listener);
@@ -1349,9 +1619,51 @@ pub fn encode_type_descriptors(types: &[TypeDescriptor]) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn reader_loop(inner: Arc<Inner>) {
-    // Loop ends when recv fails: closed (Bye already handled) or dropped.
-    while let Ok(frame) = inner.transport.recv() {
+fn is_retryable(e: &ServiceCallError) -> bool {
+    // `ServiceGone` covers "send failed / wire down" (a reconnect may be
+    // in flight); `Remote("timeout")` covers a lost request or response.
+    // Either way the request may or may not have executed — which is why
+    // only idempotent-marked methods are ever retried.
+    matches!(e, ServiceCallError::ServiceGone)
+        || matches!(e, ServiceCallError::Remote(m) if m == "timeout")
+}
+
+/// Sends our half of the handshake on `wire` and reads the peer's half.
+/// Returns the peer's name and lease. Used both by `establish` and by the
+/// reconnect path (which must handshake on a wire that is not yet the
+/// endpoint's current transport).
+fn run_handshake(
+    inner: &Inner,
+    wire: &Arc<dyn Transport>,
+) -> Result<(String, Vec<RemoteServiceInfo>), RosgiError> {
+    inner.send_on(
+        wire,
+        &Message::Hello {
+            peer: inner.config.peer_name.clone(),
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    inner.send_on(
+        wire,
+        &Message::Lease {
+            services: inner.exportable_services(),
+        },
+    )?;
+    inner.send_on(
+        wire,
+        &Message::EventInterest {
+            patterns: inner.framework.event_admin().patterns(),
+        },
+    )?;
+
+    let deadline = Instant::now() + inner.config.handshake_timeout;
+    let mut peer = None;
+    let mut services = None;
+    while peer.is_none() || services.is_none() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| RosgiError::Handshake("handshake timed out".into()))?;
+        let frame = wire.recv_timeout(remaining)?;
         inner
             .counters
             .frames_received
@@ -1360,51 +1672,227 @@ fn reader_loop(inner: Arc<Inner>) {
             .counters
             .bytes_received
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        // Invocations — the hot frame type — are served straight off the
-        // frame bytes: interface and method stay borrowed, no `Message`
-        // is materialized. Everything else takes the owned decode below.
-        if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
-            match Message::decode_invoke_borrowed(&frame) {
-                Ok(inv) => {
-                    inner.serve_and_respond(inv.call_id, inv.interface, inv.method, &inv.args);
-                    drop(inv);
-                    inner.pool.give(frame);
-                    continue;
+        match Message::decode(&frame)? {
+            Message::Hello { peer: p, version } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(RosgiError::Handshake(format!(
+                        "protocol version mismatch: ours {PROTOCOL_VERSION}, theirs {version}"
+                    )));
                 }
+                peer = Some(p);
+            }
+            Message::Lease { services: s } => services = Some(s),
+            Message::EventInterest { patterns } => {
+                *inner.remote_event_patterns.lock() = patterns;
+            }
+            other => {
+                return Err(RosgiError::Handshake(format!(
+                    "unexpected message during handshake: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok((
+        peer.expect("loop exits only with peer"),
+        services.expect("loop exits only with services"),
+    ))
+}
+
+/// Background heartbeat: probes the peer, drives the health state
+/// machine, renews leases on proof of life, and purges expired entries.
+/// Declares the wire dead (by closing it, which wakes the reader) after
+/// `disconnected_after` consecutive misses — the reader then owns
+/// reconnection.
+fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
+    let mut misses = 0u32;
+    loop {
+        match stop.recv_timeout(hb.interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            _ => return, // explicit stop, or the endpoint is gone
+        }
+        if inner.closed.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Lease housekeeping runs every tick, probe or not: entries the
+        // peer stopped renewing are purged and their proxies uninstalled,
+        // so "an AlfredO client does not store outdated data over time".
+        let expired = inner.leases.lock().purge_expired(Instant::now());
+        for entry in expired {
+            inner
+                .counters
+                .lease_expiries
+                .fetch_add(1, Ordering::Relaxed);
+            for iface in entry.interfaces.iter() {
+                let bundle = inner.proxy_bundles.lock().remove(iface);
+                if let Some(b) = bundle {
+                    let _ = inner.framework.uninstall(b);
+                }
+            }
+        }
+        if inner.health.state() == HealthState::Disconnected {
+            // The reader owns reconnection; probing a dead wire is noise.
+            continue;
+        }
+        inner
+            .counters
+            .heartbeats_sent
+            .fetch_add(1, Ordering::Relaxed);
+        match inner.ping_inner(hb.timeout) {
+            Ok(_) => {
+                misses = 0;
+                inner.leases.lock().renew_all(Instant::now());
+                inner
+                    .health
+                    .transition_from(HealthState::Degraded, HealthState::Healthy);
+            }
+            Err(RosgiError::Transport(TransportError::Timeout)) => {
+                misses += 1;
+                inner
+                    .counters
+                    .heartbeats_missed
+                    .fetch_add(1, Ordering::Relaxed);
+                if misses >= hb.disconnected_after {
+                    inner.record_disconnect(DisconnectReason::HeartbeatTimeout);
+                    // Closing the wire wakes the blocked reader, which
+                    // runs the disconnect + reconnect path.
+                    inner.wire().close();
+                    misses = 0;
+                } else if misses >= hb.degraded_after {
+                    inner
+                        .health
+                        .transition_from(HealthState::Healthy, HealthState::Degraded);
+                }
+            }
+            Err(_) => {
+                // Send failed: the wire is already down and the reader is
+                // handling it; nothing for the heartbeat to declare.
+            }
+        }
+    }
+}
+
+/// Dials, handshakes, and adopts a replacement wire. Returns `true` once
+/// the endpoint is healthy again, `false` when every attempt failed or an
+/// orderly shutdown intervened.
+fn try_reconnect(inner: &Arc<Inner>, rc: &ReconnectConfig) -> bool {
+    for attempt in 0..rc.max_attempts {
+        // Back off in small slices so an orderly close() aborts promptly.
+        let mut left = rc.backoff_for(attempt);
+        while !left.is_zero() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            let step = left.min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let fresh = match (rc.dial)() {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let wire: Arc<dyn Transport> = Arc::from(fresh);
+        match run_handshake(inner, &wire) {
+            Ok((peer, services)) => {
+                inner.adopt_wire(wire, peer, services);
+                return true;
+            }
+            Err(_) => wire.close(),
+        }
+    }
+    false
+}
+
+fn reader_loop(inner: Arc<Inner>) {
+    // Outer loop: one iteration per wire. The inner loop pumps frames
+    // until recv fails, yielding why the wire died; with reconnection
+    // configured (and no orderly shutdown) a fresh wire is dialed and the
+    // pump restarts — in-flight calls fail fast, installed proxies
+    // survive and are re-bound to the new wire in place.
+    'connection: loop {
+        let wire = inner.wire();
+        let why = 'wire: loop {
+            let frame = match wire.recv() {
+                Ok(f) => f,
+                Err(_) => {
+                    break 'wire match wire.close_reason() {
+                        CloseReason::CorruptStream => DisconnectReason::CorruptStream,
+                        // `Local` closes record their own (more precise)
+                        // reason at the closing site: Bye, close(), or the
+                        // heartbeat; first-cause-wins keeps it.
+                        _ => DisconnectReason::TransportClosed,
+                    };
+                }
+            };
+            inner
+                .counters
+                .frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .bytes_received
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            // Invocations — the hot frame type — are served straight off
+            // the frame bytes: interface and method stay borrowed, no
+            // `Message` is materialized. Everything else takes the owned
+            // decode below.
+            if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
+                match Message::decode_invoke_borrowed(&frame) {
+                    Ok(inv) => {
+                        inner.serve_and_respond(inv.call_id, inv.interface, inv.method, &inv.args);
+                        drop(inv);
+                        inner.pool.give(frame);
+                        continue 'wire;
+                    }
+                    Err(e) => {
+                        inner
+                            .framework
+                            .emit_framework(alfredo_osgi::FrameworkEvent::Error {
+                                bundle: None,
+                                message: format!("undecodable frame from peer: {e}"),
+                            });
+                        wire.close();
+                        break 'wire DisconnectReason::CorruptFrame;
+                    }
+                }
+            }
+            let decoded = Message::decode(&frame);
+            // Decoding produced an owned message, so the frame's
+            // allocation can immediately back a future outgoing frame.
+            // Under steady request/response traffic this is what makes
+            // the send path allocation-free: each side recycles what it
+            // receives.
+            if !inner.config.legacy_invoke_path {
+                inner.pool.give(frame);
+            }
+            match decoded {
+                Ok(msg) => inner.handle_message(msg),
                 Err(e) => {
+                    // Protocol corruption: fail fast, close the link.
                     inner
                         .framework
                         .emit_framework(alfredo_osgi::FrameworkEvent::Error {
                             bundle: None,
                             message: format!("undecodable frame from peer: {e}"),
                         });
-                    inner.transport.close();
-                    break;
+                    wire.close();
+                    break 'wire DisconnectReason::CorruptFrame;
                 }
             }
+        };
+        inner.record_disconnect(why);
+        inner.on_wire_down();
+        if inner.shutdown.load(Ordering::SeqCst) || inner.closed.load(Ordering::SeqCst) {
+            break 'connection;
         }
-        let decoded = Message::decode(&frame);
-        // Decoding produced an owned message, so the frame's allocation
-        // can immediately back a future outgoing frame. Under steady
-        // request/response traffic this is what makes the send path
-        // allocation-free: each side recycles what it receives.
-        if !inner.config.legacy_invoke_path {
-            inner.pool.give(frame);
-        }
-        match decoded {
-            Ok(msg) => inner.handle_message(msg),
-            Err(e) => {
-                // Protocol corruption: fail fast, close the link.
-                inner
-                    .framework
-                    .emit_framework(alfredo_osgi::FrameworkEvent::Error {
-                        bundle: None,
-                        message: format!("undecodable frame from peer: {e}"),
-                    });
-                inner.transport.close();
-                break;
+        if let Some(rc) = inner.config.reconnect.clone() {
+            if try_reconnect(&inner, &rc) {
+                continue 'connection;
             }
         }
+        break 'connection;
     }
     inner.cleanup();
 }

@@ -1,0 +1,339 @@
+//! Endpoint health: state machine, listeners, and retry policy.
+//!
+//! AlfredO runs over flaky WLAN/Bluetooth links, so an endpoint's link
+//! quality is a first-class observable. The health state machine is
+//! deliberately small:
+//!
+//! ```text
+//! Healthy ──(heartbeat misses)──▶ Degraded ──(more misses / wire down)──▶ Disconnected
+//!    ▲                               │                                        │
+//!    └──────(heartbeat ok)───────────┘            (reconnect + re-handshake)──┘
+//! ```
+//!
+//! Sessions subscribe to transitions via [`HealthMonitor::subscribe`] and
+//! use them to mark remote-bound controls unavailable, queue actions, and
+//! replay them on recovery (see `alfredo::session`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use alfredo_sync::Mutex;
+
+/// The observable health of a remote endpoint's link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// The link is up and responsive.
+    #[default]
+    Healthy,
+    /// Heartbeats are being missed; the link may be about to fail. Calls
+    /// still go out, but sessions should treat remote-bound controls as
+    /// unavailable.
+    Degraded,
+    /// The wire is down. The endpoint is either reconnecting or closed.
+    Disconnected,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Disconnected => "disconnected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observed health transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The state before the transition.
+    pub from: HealthState,
+    /// The state after the transition.
+    pub to: HealthState,
+}
+
+/// Why an endpoint's wire went down, as recorded in
+/// [`EndpointStats`](crate::EndpointStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DisconnectReason {
+    /// Never disconnected (or no cause known).
+    #[default]
+    None,
+    /// The peer sent an orderly `Bye`.
+    ByePeer,
+    /// The endpoint was closed locally.
+    LocalClose,
+    /// The transport reported the connection closed or an I/O failure.
+    TransportClosed,
+    /// A frame failed to decode (protocol corruption) and the link was
+    /// torn down defensively.
+    CorruptFrame,
+    /// The underlying byte stream violated framing (e.g. an impossible
+    /// length prefix on TCP).
+    CorruptStream,
+    /// The background heartbeat declared the peer unreachable.
+    HeartbeatTimeout,
+}
+
+impl fmt::Display for DisconnectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DisconnectReason::None => "none",
+            DisconnectReason::ByePeer => "peer said bye",
+            DisconnectReason::LocalClose => "closed locally",
+            DisconnectReason::TransportClosed => "transport closed",
+            DisconnectReason::CorruptFrame => "corrupt frame",
+            DisconnectReason::CorruptStream => "corrupt stream",
+            DisconnectReason::HeartbeatTimeout => "heartbeat timeout",
+        };
+        f.write_str(s)
+    }
+}
+
+type Listener = Arc<dyn Fn(HealthEvent) + Send + Sync>;
+
+/// Tracks a [`HealthState`] and notifies subscribers of transitions.
+///
+/// Listeners run synchronously on the thread performing the transition
+/// (the heartbeat or reader thread), so they must be quick and must not
+/// call back into the endpoint — push into a channel and drain elsewhere.
+#[derive(Default)]
+pub struct HealthMonitor {
+    state: Mutex<HealthState>,
+    listeners: Mutex<Vec<(u64, Listener)>>,
+    next_token: AtomicU64,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor in the [`HealthState::Healthy`] state.
+    pub fn new() -> Self {
+        HealthMonitor::default()
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        *self.state.lock()
+    }
+
+    /// Registers a transition listener; returns a token for
+    /// [`HealthMonitor::unsubscribe`].
+    pub fn subscribe(&self, f: impl Fn(HealthEvent) + Send + Sync + 'static) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.listeners.lock().push((token, Arc::new(f)));
+        token
+    }
+
+    /// Removes a previously registered listener.
+    pub fn unsubscribe(&self, token: u64) {
+        self.listeners.lock().retain(|(t, _)| *t != token);
+    }
+
+    /// Moves to `to` (from any state), notifying listeners if the state
+    /// actually changed. Returns `true` on a change.
+    pub fn transition(&self, to: HealthState) -> bool {
+        let from = {
+            let mut state = self.state.lock();
+            if *state == to {
+                return false;
+            }
+            std::mem::replace(&mut *state, to)
+        };
+        self.notify(HealthEvent { from, to });
+        true
+    }
+
+    /// Moves to `to` only if currently in `from` (compare-and-swap).
+    /// Returns `true` if the transition happened.
+    pub fn transition_from(&self, from: HealthState, to: HealthState) -> bool {
+        {
+            let mut state = self.state.lock();
+            if *state != from || from == to {
+                return false;
+            }
+            *state = to;
+        }
+        self.notify(HealthEvent { from, to });
+        true
+    }
+
+    fn notify(&self, event: HealthEvent) {
+        // Snapshot under the lock, call outside it: a listener may
+        // subscribe/unsubscribe others.
+        let listeners: Vec<Listener> = self
+            .listeners
+            .lock()
+            .iter()
+            .map(|(_, f)| Arc::clone(f))
+            .collect();
+        for f in listeners {
+            f(event);
+        }
+    }
+}
+
+impl fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("state", &self.state())
+            .field("listeners", &self.listeners.lock().len())
+            .finish()
+    }
+}
+
+/// Background heartbeat settings for an endpoint.
+///
+/// The heartbeat pings the peer every `interval`; a ping unanswered within
+/// `timeout` counts as a miss. After `degraded_after` consecutive misses
+/// the endpoint turns [`HealthState::Degraded`]; after
+/// `disconnected_after` it declares the wire dead (which triggers
+/// reconnection when configured). A successful ping clears the miss count,
+/// renews the lease table, and restores [`HealthState::Healthy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Time between probes.
+    pub interval: Duration,
+    /// How long to wait for each pong.
+    pub timeout: Duration,
+    /// Consecutive misses before `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive misses before the wire is declared dead.
+    pub disconnected_after: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_secs(2),
+            timeout: Duration::from_secs(1),
+            degraded_after: 1,
+            disconnected_after: 3,
+        }
+    }
+}
+
+/// Retry policy for synchronous invocations of idempotent-marked methods.
+///
+/// `max_retries == 0` (the default) disables retry entirely — the invoke
+/// path then has zero added cost. Backoff is exponential from
+/// `initial_backoff`, capped at `max_backoff`; the whole call (all
+/// attempts plus backoffs) never exceeds `deadline` past the first
+/// attempt's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound for the exponential backoff.
+    pub max_backoff: Duration,
+    /// Overall per-call deadline across attempts.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `max_retries` times with default backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep before retry number `attempt` (0-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.min(16);
+        let factor = 1u32 << shift;
+        self.initial_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn starts_healthy_and_notifies_on_change() {
+        let m = HealthMonitor::new();
+        assert_eq!(m.state(), HealthState::Healthy);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        m.subscribe(move |e| seen2.lock().push(e));
+        assert!(m.transition(HealthState::Degraded));
+        assert!(!m.transition(HealthState::Degraded), "no-op repeat");
+        assert!(m.transition(HealthState::Disconnected));
+        assert!(m.transition(HealthState::Healthy));
+        let events = seen.lock().clone();
+        assert_eq!(
+            events,
+            vec![
+                HealthEvent {
+                    from: HealthState::Healthy,
+                    to: HealthState::Degraded
+                },
+                HealthEvent {
+                    from: HealthState::Degraded,
+                    to: HealthState::Disconnected
+                },
+                HealthEvent {
+                    from: HealthState::Disconnected,
+                    to: HealthState::Healthy
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn conditional_transition_is_a_cas() {
+        let m = HealthMonitor::new();
+        assert!(!m.transition_from(HealthState::Degraded, HealthState::Healthy));
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.transition_from(HealthState::Healthy, HealthState::Degraded));
+        assert_eq!(m.state(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let m = HealthMonitor::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let token = m.subscribe(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        m.transition(HealthState::Degraded);
+        m.unsubscribe(token);
+        m.transition(HealthState::Healthy);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(5),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(5), Duration::from_millis(100), "capped");
+        assert_eq!(p.backoff_for(60), Duration::from_millis(100), "no overflow");
+    }
+}

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use alfredo_net::{ByteReader, ByteWriter, WireError};
 use alfredo_osgi::{Properties, ServiceReference};
@@ -86,14 +87,29 @@ impl RemoteServiceInfo {
 
 impl fmt::Display for RemoteServiceInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "remote#{}[{}]", self.remote_id, self.interfaces.join(", "))
+        write!(
+            f,
+            "remote#{}[{}]",
+            self.remote_id,
+            self.interfaces.join(", ")
+        )
     }
 }
 
 /// The lease table an endpoint keeps about its peer's services.
+///
+/// With a TTL configured ([`LeaseTable::set_ttl`]), every entry carries an
+/// expiry stamped when the entry arrives and refreshed by
+/// [`LeaseTable::renew_all`] (the endpoint renews on every successful
+/// heartbeat). Entries that outlive their TTL — the phone walked away and
+/// nothing has been heard since — are collected by
+/// [`LeaseTable::purge_expired`], honouring the paper's motivation for
+/// leases: "an AlfredO client does not store outdated data over time".
 #[derive(Debug, Clone, Default)]
 pub struct LeaseTable {
     by_id: BTreeMap<u64, RemoteServiceInfo>,
+    expires: BTreeMap<u64, Instant>,
+    ttl: Option<Duration>,
 }
 
 impl LeaseTable {
@@ -102,19 +118,87 @@ impl LeaseTable {
         LeaseTable::default()
     }
 
+    /// Sets (or clears) the time-to-live for entries. Existing entries are
+    /// re-stamped from now.
+    pub fn set_ttl(&mut self, ttl: Option<Duration>) {
+        self.ttl = ttl;
+        self.renew_all(Instant::now());
+    }
+
+    /// The configured time-to-live, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
     /// Replaces the whole table with an initial lease.
     pub fn reset(&mut self, services: Vec<RemoteServiceInfo>) {
+        self.reset_at(services, Instant::now());
+    }
+
+    /// Like [`LeaseTable::reset`] with an explicit arrival time.
+    pub fn reset_at(&mut self, services: Vec<RemoteServiceInfo>, now: Instant) {
         self.by_id = services.into_iter().map(|s| (s.remote_id, s)).collect();
+        self.expires.clear();
+        if let Some(ttl) = self.ttl {
+            let expiry = now + ttl;
+            self.expires = self.by_id.keys().map(|id| (*id, expiry)).collect();
+        }
     }
 
     /// Applies an incremental update. Additions replace same-id entries.
     pub fn apply_update(&mut self, added: Vec<RemoteServiceInfo>, removed: &[u64]) {
+        self.apply_update_at(added, removed, Instant::now());
+    }
+
+    /// Like [`LeaseTable::apply_update`] with an explicit arrival time.
+    pub fn apply_update_at(
+        &mut self,
+        added: Vec<RemoteServiceInfo>,
+        removed: &[u64],
+        now: Instant,
+    ) {
         for id in removed {
             self.by_id.remove(id);
+            self.expires.remove(id);
         }
         for s in added {
+            if let Some(ttl) = self.ttl {
+                self.expires.insert(s.remote_id, now + ttl);
+            }
             self.by_id.insert(s.remote_id, s);
         }
+    }
+
+    /// Re-stamps every entry's expiry from `now` (lease renewal: the peer
+    /// just proved it is alive and its lease current).
+    pub fn renew_all(&mut self, now: Instant) {
+        match self.ttl {
+            Some(ttl) => {
+                let expiry = now + ttl;
+                self.expires = self.by_id.keys().map(|id| (*id, expiry)).collect();
+            }
+            None => self.expires.clear(),
+        }
+    }
+
+    /// Removes and returns every entry whose TTL elapsed before `now`.
+    /// Without a TTL this is a no-op.
+    pub fn purge_expired(&mut self, now: Instant) -> Vec<RemoteServiceInfo> {
+        if self.ttl.is_none() {
+            return Vec::new();
+        }
+        let dead: Vec<u64> = self
+            .expires
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        dead.iter()
+            .filter_map(|id| {
+                self.expires.remove(id);
+                self.by_id.remove(id)
+            })
+            .collect()
     }
 
     /// All entries, in remote-id order.
@@ -183,6 +267,63 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.find("b.B").unwrap().remote_id, 2);
         assert!(t.find("c.C").is_none());
+    }
+
+    #[test]
+    fn ttl_expires_unrenewed_entries() {
+        let mut t = LeaseTable::new();
+        t.set_ttl(Some(Duration::from_millis(100)));
+        let start = Instant::now();
+        t.reset_at(vec![info(1, "a.A"), info(2, "b.B")], start);
+        // Nothing expires before the TTL.
+        assert!(t
+            .purge_expired(start + Duration::from_millis(50))
+            .is_empty());
+        assert_eq!(t.len(), 2);
+        // Both expire after.
+        let gone = t.purge_expired(start + Duration::from_millis(150));
+        assert_eq!(gone.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn renewal_extends_expiry() {
+        let mut t = LeaseTable::new();
+        t.set_ttl(Some(Duration::from_millis(100)));
+        let start = Instant::now();
+        t.reset_at(vec![info(1, "a.A")], start);
+        t.renew_all(start + Duration::from_millis(90));
+        assert!(t
+            .purge_expired(start + Duration::from_millis(150))
+            .is_empty());
+        let gone = t.purge_expired(start + Duration::from_millis(200));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].remote_id, 1);
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let mut t = LeaseTable::new();
+        let start = Instant::now();
+        t.reset_at(vec![info(1, "a.A")], start);
+        assert!(t
+            .purge_expired(start + Duration::from_secs(3600))
+            .is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn updates_stamp_new_entries() {
+        let mut t = LeaseTable::new();
+        t.set_ttl(Some(Duration::from_millis(100)));
+        let start = Instant::now();
+        t.reset_at(vec![info(1, "a.A")], start);
+        // A later update's entry gets its own (later) expiry.
+        t.apply_update_at(vec![info(2, "b.B")], &[], start + Duration::from_millis(80));
+        let gone = t.purge_expired(start + Duration::from_millis(120));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].remote_id, 1);
+        assert!(t.find("b.B").is_some());
     }
 
     #[test]

@@ -99,6 +99,7 @@ pub mod codec;
 pub mod discovery;
 pub mod endpoint;
 pub mod error;
+pub mod health;
 pub mod lease;
 pub mod message;
 pub mod proxy;
@@ -106,8 +107,14 @@ pub mod stream;
 pub mod types;
 
 pub use discovery::{DiscoveryDirectory, ServiceUrl};
-pub use endpoint::{CallHandle, EndpointConfig, EndpointStats, FetchedService, RemoteEndpoint};
+pub use endpoint::{
+    CallHandle, EndpointConfig, EndpointStats, FetchedService, ReconnectConfig, ReconnectFn,
+    RemoteEndpoint, PROP_IDEMPOTENT_METHODS,
+};
 pub use error::RosgiError;
+pub use health::{
+    DisconnectReason, HealthEvent, HealthMonitor, HealthState, HeartbeatConfig, RetryPolicy,
+};
 pub use lease::RemoteServiceInfo;
 pub use message::{BorrowedInvoke, Message};
 pub use proxy::{RemoteServiceProxy, SmartProxySpec};

@@ -258,9 +258,7 @@ impl Message {
                 method,
                 args,
             } => Message::encode_invoke(w, *call_id, interface, method, args),
-            Message::Response { call_id, result } => {
-                Message::encode_response(w, *call_id, result)
-            }
+            Message::Response { call_id, result } => Message::encode_response(w, *call_id, result),
             Message::RemoteEvent { topic, properties } => {
                 w.put_u8(TAG_REMOTE_EVENT);
                 w.put_str(topic);
@@ -315,7 +313,11 @@ impl Message {
     }
 
     /// Encodes a `Response` frame directly from a borrowed result.
-    pub fn encode_response(w: &mut ByteWriter, call_id: u64, result: &Result<Value, ServiceCallError>) {
+    pub fn encode_response(
+        w: &mut ByteWriter,
+        call_id: u64,
+        result: &Result<Value, ServiceCallError>,
+    ) {
         w.put_u8(TAG_RESPONSE);
         w.put_varint(call_id);
         match result {
@@ -332,7 +334,13 @@ impl Message {
 
     /// Encodes a `StreamChunk` frame directly from a borrowed payload
     /// slice, so stream senders never copy chunk data before framing.
-    pub fn encode_stream_chunk(w: &mut ByteWriter, stream: u64, seq: u64, last: bool, bytes: &[u8]) {
+    pub fn encode_stream_chunk(
+        w: &mut ByteWriter,
+        stream: u64,
+        seq: u64,
+        last: bool,
+        bytes: &[u8],
+    ) {
         w.put_u8(TAG_STREAM_CHUNK);
         w.put_varint(stream);
         w.put_varint(seq);
@@ -732,12 +740,10 @@ mod tests {
             .collect();
         let m = Message::ServiceBundle {
             interface: ServiceInterfaceDesc::new("apps.AlfredOShop", methods),
-            injected_types: vec![
-                TypeDescriptor::new("shop.Product")
-                    .with_field("name", TypeHint::Str)
-                    .with_field("price", TypeHint::I64)
-                    .with_field("details", TypeHint::Map),
-            ],
+            injected_types: vec![TypeDescriptor::new("shop.Product")
+                .with_field("name", TypeHint::Str)
+                .with_field("price", TypeHint::I64)
+                .with_field("details", TypeHint::Map)],
             smart_proxy: None,
             descriptor: Some(vec![0u8; 1024]),
         };

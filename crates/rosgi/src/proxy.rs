@@ -258,7 +258,10 @@ mod tests {
         assert!(proxy.is_smart());
         assert!(proxy.is_local_method("cached"));
         assert!(!proxy.is_local_method("compute"));
-        assert_eq!(proxy.invoke("cached", &[]).unwrap(), Value::from("local:cached"));
+        assert_eq!(
+            proxy.invoke("cached", &[]).unwrap(),
+            Value::from("local:cached")
+        );
         assert_eq!(invoker.calls.load(Ordering::SeqCst), 0);
         assert_eq!(
             proxy.invoke("compute", &[Value::I64(1)]).unwrap(),

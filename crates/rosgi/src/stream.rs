@@ -76,9 +76,9 @@ impl StreamReceiver {
             Ok(StreamData::Chunk(bytes)) => Ok(Some(bytes)),
             Ok(StreamData::End) => Ok(None),
             Ok(StreamData::Aborted) => Err(RosgiError::Closed),
-            Err(RecvTimeoutError::Timeout) => Err(RosgiError::Transport(
-                alfredo_net::TransportError::Timeout,
-            )),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(RosgiError::Transport(alfredo_net::TransportError::Timeout))
+            }
             Err(RecvTimeoutError::Disconnected) => Err(RosgiError::Closed),
         }
     }

@@ -343,6 +343,9 @@ mod tests {
     #[test]
     fn display_shows_schema() {
         let text = product().to_string();
-        assert!(text.contains("shop.Product") && text.contains("price"), "{text}");
+        assert!(
+            text.contains("shop.Product") && text.contains("price"),
+            "{text}"
+        );
     }
 }

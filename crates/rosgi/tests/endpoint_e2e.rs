@@ -12,8 +12,7 @@ use alfredo_osgi::{
     ServiceCallError, ServiceInterfaceDesc, TypeHint, Value,
 };
 use alfredo_rosgi::endpoint::{
-    encode_type_descriptors, PROP_INJECTED_TYPES, PROP_SMART_PROXY_KEY,
-    PROP_SMART_PROXY_METHODS,
+    encode_type_descriptors, PROP_INJECTED_TYPES, PROP_SMART_PROXY_KEY, PROP_SMART_PROXY_METHODS,
 };
 use alfredo_rosgi::{EndpointConfig, RemoteEndpoint, RosgiError, TypeDescriptor};
 
@@ -48,11 +47,7 @@ fn adder_service() -> Arc<dyn alfredo_osgi::Service> {
 
 /// Starts a device framework serving `interfaces` on `addr`; returns the
 /// framework. The accept loop serves one connection then exits.
-fn spawn_device(
-    net: &InMemoryNetwork,
-    addr: &str,
-    props: Properties,
-) -> Framework {
+fn spawn_device(net: &InMemoryNetwork, addr: &str, props: Properties) -> Framework {
     let fw = Framework::new();
     fw.system_context()
         .register_service(&["demo.Adder"], adder_service(), props)
@@ -77,8 +72,8 @@ fn spawn_device(
 fn connect(net: &InMemoryNetwork, from: &str, to: &str) -> (Framework, RemoteEndpoint) {
     let fw = Framework::new();
     let conn = net.connect(PeerAddr::new(from), PeerAddr::new(to)).unwrap();
-    let ep = RemoteEndpoint::establish(Box::new(conn), fw.clone(), EndpointConfig::named(from))
-        .unwrap();
+    let ep =
+        RemoteEndpoint::establish(Box::new(conn), fw.clone(), EndpointConfig::named(from)).unwrap();
     (fw, ep)
 }
 
@@ -89,7 +84,10 @@ fn handshake_exchanges_symmetric_leases() {
     let (phone_fw, ep) = connect(&net, "phone", "dev-lease");
     // Phone sees the device's service in the lease.
     let services = ep.remote_services();
-    assert!(services.iter().any(|s| s.offers("demo.Adder")), "{services:?}");
+    assert!(
+        services.iter().any(|s| s.offers("demo.Adder")),
+        "{services:?}"
+    );
     assert_eq!(ep.remote_peer(), "dev-lease");
     // Phone itself offers nothing.
     assert_eq!(phone_fw.registry().service_count(), 0);
@@ -106,7 +104,11 @@ fn fetch_installs_starts_and_registers_proxy() {
     let fetched = ep.fetch_service("demo.Adder").unwrap();
     assert_eq!(fetched.interface.name, "demo.Adder");
     assert!(!fetched.smart);
-    assert!(fetched.transferred_bytes > 50, "{}", fetched.transferred_bytes);
+    assert!(
+        fetched.transferred_bytes > 50,
+        "{}",
+        fetched.transferred_bytes
+    );
     assert!(fetched.proxy_footprint > 0);
 
     // The proxy bundle is ACTIVE and the proxy is in the local registry.
@@ -120,7 +122,8 @@ fn fetch_installs_starts_and_registers_proxy() {
     // Invoking through the local registry reaches the remote service.
     let svc = phone_fw.registry().get_service("demo.Adder").unwrap();
     assert_eq!(
-        svc.invoke("add", &[Value::I64(20), Value::I64(22)]).unwrap(),
+        svc.invoke("add", &[Value::I64(20), Value::I64(22)])
+            .unwrap(),
         Value::I64(42)
     );
 
@@ -178,7 +181,8 @@ fn close_uninstalls_all_proxies_and_fails_pending() {
     assert!(phone_fw.registry().get_service("demo.Adder").is_none());
     // Further invocations through a stale handle report ServiceGone.
     assert_eq!(
-        svc.invoke("add", &[Value::I64(1), Value::I64(2)]).unwrap_err(),
+        svc.invoke("add", &[Value::I64(1), Value::I64(2)])
+            .unwrap_err(),
         ServiceCallError::ServiceGone
     );
 }
@@ -455,9 +459,10 @@ fn events_forward_by_interest_without_loops() {
     std::thread::sleep(Duration::from_millis(50));
 
     // Device posts matching and non-matching events on its local bus.
-    device_fw
-        .event_admin()
-        .post(&Event::new("mouse/snapshot", Properties::new().with("seq", 1i64)));
+    device_fw.event_admin().post(&Event::new(
+        "mouse/snapshot",
+        Properties::new().with("seq", 1i64),
+    ));
     device_fw
         .event_admin()
         .post(&Event::new("other/topic", Properties::new()));
@@ -468,7 +473,11 @@ fn events_forward_by_interest_without_loops() {
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    assert_eq!(received.load(Ordering::SeqCst), 1, "only the matching topic");
+    assert_eq!(
+        received.load(Ordering::SeqCst),
+        1,
+        "only the matching topic"
+    );
     ep.close();
 }
 
@@ -582,11 +591,13 @@ fn proxies_are_not_reexported() {
     let conn = net
         .connect(PeerAddr::new("other"), PeerAddr::new("phone-listen"))
         .unwrap();
-    let ep_b =
-        RemoteEndpoint::establish(Box::new(conn), other_fw, EndpointConfig::named("other"))
-            .unwrap();
+    let ep_b = RemoteEndpoint::establish(Box::new(conn), other_fw, EndpointConfig::named("other"))
+        .unwrap();
     assert!(
-        !ep_b.remote_services().iter().any(|s| s.offers("demo.Adder")),
+        !ep_b
+            .remote_services()
+            .iter()
+            .any(|s| s.offers("demo.Adder")),
         "imported proxies must not be re-exported"
     );
     ep_b.close();

@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use alfredo_net::{InMemoryNetwork, PeerAddr, Transport, TransportError};
 use alfredo_osgi::{
-    FnService, Framework, MethodSpec, Properties, ServiceCallError, ServiceInterfaceDesc,
-    TypeHint, Value,
+    FnService, Framework, MethodSpec, Properties, ServiceCallError, ServiceInterfaceDesc, TypeHint,
+    Value,
 };
 use alfredo_rosgi::{EndpointConfig, Message, RemoteEndpoint, RosgiError};
 
@@ -173,7 +173,10 @@ fn connection_death_mid_invoke_fails_cleanly() {
     }
     let err = failure.expect("the dying transport must eventually fail a call");
     assert!(
-        matches!(err, ServiceCallError::ServiceGone | ServiceCallError::Remote(_)),
+        matches!(
+            err,
+            ServiceCallError::ServiceGone | ServiceCallError::Remote(_)
+        ),
         "{err:?}"
     );
     // The proxy is swept once the reader notices.
@@ -233,7 +236,8 @@ fn handshake_version_mismatch_is_rejected() {
             .encode(),
         )
         .unwrap();
-        conn.send(Message::Lease { services: vec![] }.encode()).unwrap();
+        conn.send(Message::Lease { services: vec![] }.encode())
+            .unwrap();
         // Hold the connection open until the client gives up.
         let _ = conn.recv_timeout(Duration::from_secs(2));
     });
@@ -241,8 +245,8 @@ fn handshake_version_mismatch_is_rejected() {
     let conn = net
         .connect(PeerAddr::new("phone"), PeerAddr::new("ver-1"))
         .unwrap();
-    let err = RemoteEndpoint::establish(Box::new(conn), fw, EndpointConfig::named("phone"))
-        .unwrap_err();
+    let err =
+        RemoteEndpoint::establish(Box::new(conn), fw, EndpointConfig::named("phone")).unwrap_err();
     assert!(matches!(err, RosgiError::Handshake(_)), "{err:?}");
 }
 
@@ -266,7 +270,10 @@ fn handshake_timeout_when_peer_is_silent() {
     let err = RemoteEndpoint::establish(Box::new(conn), fw, cfg).unwrap_err();
     assert!(start.elapsed() < Duration::from_secs(1), "must not hang");
     assert!(
-        matches!(err, RosgiError::Transport(TransportError::Timeout) | RosgiError::Handshake(_)),
+        matches!(
+            err,
+            RosgiError::Transport(TransportError::Timeout) | RosgiError::Handshake(_)
+        ),
         "{err:?}"
     );
 }
@@ -283,13 +290,9 @@ fn reconnection_restores_service_after_device_restart() {
     let fw1c = fw1.clone();
     let first = std::thread::spawn(move || {
         let conn = listener.accept().unwrap();
-        
-        RemoteEndpoint::establish(
-            Box::new(conn),
-            fw1c,
-            EndpointConfig::named("restart-1"),
-        )
-        .unwrap() // returned so the test can kill it
+
+        RemoteEndpoint::establish(Box::new(conn), fw1c, EndpointConfig::named("restart-1")).unwrap()
+        // returned so the test can kill it
     });
 
     let phone_fw = Framework::new();
@@ -326,11 +329,9 @@ fn reconnection_restores_service_after_device_restart() {
     let fw2c = fw2.clone();
     std::thread::spawn(move || {
         let conn = listener.accept().unwrap();
-        if let Ok(ep) = RemoteEndpoint::establish(
-            Box::new(conn),
-            fw2c,
-            EndpointConfig::named("restart-1"),
-        ) {
+        if let Ok(ep) =
+            RemoteEndpoint::establish(Box::new(conn), fw2c, EndpointConfig::named("restart-1"))
+        {
             ep.join();
         }
     });

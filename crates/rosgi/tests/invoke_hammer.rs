@@ -25,7 +25,10 @@ fn echo_service() -> Arc<dyn alfredo_osgi::Service> {
 }
 
 /// Device serving `hammer.Echo` on `addr`; accepts one connection.
-fn spawn_device(net: &InMemoryNetwork, addr: &str) -> (Framework, std::thread::JoinHandle<RemoteEndpoint>) {
+fn spawn_device(
+    net: &InMemoryNetwork,
+    addr: &str,
+) -> (Framework, std::thread::JoinHandle<RemoteEndpoint>) {
     let fw = Framework::new();
     fw.system_context()
         .register_service(&["hammer.Echo"], echo_service(), Properties::new())

@@ -9,7 +9,7 @@ use alfredo_rosgi::codec::{value_from_bytes, value_to_bytes};
 use alfredo_rosgi::{Message, RemoteServiceInfo, SmartProxySpec, TypeDescriptor};
 use alfredo_sim::SimRng;
 
-const SEED: u64 = 0x205_91_5eed;
+const SEED: u64 = 0x0002_0591_5eed;
 const CASES: usize = 250;
 
 fn rand_string(rng: &mut SimRng, charset: &[u8], min: usize, max: usize) -> String {
@@ -39,7 +39,11 @@ fn value(rng: &mut SimRng, depth: u32) -> Value {
         3 => Value::F64(rng.uniform_f64(-1e15, 1e15)),
         4 => Value::Str(text(rng, 16)),
         5 => Value::Bytes(rand_bytes(rng, 32)),
-        6 => Value::List((0..rng.next_below(4)).map(|_| value(rng, depth - 1)).collect()),
+        6 => Value::List(
+            (0..rng.next_below(4))
+                .map(|_| value(rng, depth - 1))
+                .collect(),
+        ),
         7 => Value::Map(
             (0..rng.next_below(4))
                 .map(|_| {
@@ -96,7 +100,10 @@ fn interface_desc(rng: &mut SimRng) -> ServiceInterfaceDesc {
             let m = rand_string(rng, b"abcdefghijklmnopqrstuvwxyz_", 1, 10);
             let params = (0..rng.next_below(4))
                 .map(|_| {
-                    ParamSpec::new(rand_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 6), hint(rng))
+                    ParamSpec::new(
+                        rand_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 6),
+                        hint(rng),
+                    )
                 })
                 .collect();
             MethodSpec::new(m, params, hint(rng), text(rng, 24))

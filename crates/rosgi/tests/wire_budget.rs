@@ -19,7 +19,13 @@ fn canonical_args() -> Vec<Value> {
 
 fn canonical_invoke_frame() -> Vec<u8> {
     let mut w = ByteWriter::new();
-    Message::encode_invoke(&mut w, 1000, "alfredo.shop.CartService", "addItem", &canonical_args());
+    Message::encode_invoke(
+        &mut w,
+        1000,
+        "alfredo.shop.CartService",
+        "addItem",
+        &canonical_args(),
+    );
     w.into_bytes()
 }
 

@@ -98,7 +98,10 @@ fn cpu_conserves_work() {
         }
         let got = cpu.total_busy();
         let diff = got.as_nanos().abs_diff(expect.as_nanos());
-        assert!(diff <= cycles.len() as u64, "rounding drift too large: {diff}");
+        assert!(
+            diff <= cycles.len() as u64,
+            "rounding drift too large: {diff}"
+        );
     }
 }
 

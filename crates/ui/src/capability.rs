@@ -419,15 +419,21 @@ mod tests {
         // service interface … as well as the PointingDevice service
         // interface (cursor keys)."
         let kb = ConcreteCapability::QwertyKeyboard;
-        assert!(kb.implements().contains(&CapabilityInterface::KeyboardDevice));
-        assert!(kb.implements().contains(&CapabilityInterface::PointingDevice));
+        assert!(kb
+            .implements()
+            .contains(&CapabilityInterface::KeyboardDevice));
+        assert!(kb
+            .implements()
+            .contains(&CapabilityInterface::PointingDevice));
         // A phone may use a trackpoint or an accelerometer for pointing.
         for c in [
             ConcreteCapability::Trackpoint,
             ConcreteCapability::Accelerometer,
             ConcreteCapability::CursorKeys,
         ] {
-            assert!(c.implements().contains(&CapabilityInterface::PointingDevice));
+            assert!(c
+                .implements()
+                .contains(&CapabilityInterface::PointingDevice));
         }
     }
 
@@ -444,7 +450,9 @@ mod tests {
 
         let iphone = DeviceCapabilities::iphone();
         // iPhone points with touch (9) over accelerometer (6).
-        let (best, q) = iphone.best_for(CapabilityInterface::PointingDevice).unwrap();
+        let (best, q) = iphone
+            .best_for(CapabilityInterface::PointingDevice)
+            .unwrap();
         assert_eq!(best, ConcreteCapability::TouchScreen);
         assert_eq!(q, 9);
     }
@@ -466,7 +474,9 @@ mod tests {
             &[&DeviceCapabilities::notebook()],
         )
         .unwrap();
-        let a = plan.assignment(CapabilityInterface::KeyboardDevice).unwrap();
+        let a = plan
+            .assignment(CapabilityInterface::KeyboardDevice)
+            .unwrap();
         assert_eq!(a.device, "Nokia 9300i");
         assert!(!a.remote);
         assert!(!plan.is_federated());

@@ -172,7 +172,12 @@ impl Control {
     }
 
     /// Convenience: an image placeholder fed from `source`.
-    pub fn image(id: impl Into<String>, width: u32, height: u32, source: impl Into<String>) -> Self {
+    pub fn image(
+        id: impl Into<String>,
+        width: u32,
+        height: u32,
+        source: impl Into<String>,
+    ) -> Self {
         Control::new(
             id,
             ControlKind::Image {

@@ -124,21 +124,23 @@ impl UiState {
         for c in ui.all_controls() {
             match &c.kind {
                 ControlKind::Label { text } | ControlKind::Button { text } => {
-                    state.values.insert(c.id.clone(), Value::from(text.as_str()));
+                    state
+                        .values
+                        .insert(c.id.clone(), Value::from(text.as_str()));
                 }
                 ControlKind::TextInput { text, .. } => {
-                    state.values.insert(c.id.clone(), Value::from(text.as_str()));
+                    state
+                        .values
+                        .insert(c.id.clone(), Value::from(text.as_str()));
                 }
                 ControlKind::List { items, selected } => {
-                    state.values.insert(
-                        format!("{}#items", c.id),
-                        Value::from(items.clone()),
-                    );
+                    state
+                        .values
+                        .insert(format!("{}#items", c.id), Value::from(items.clone()));
                     if let Some(s) = selected {
-                        state.values.insert(
-                            format!("{}#selected", c.id),
-                            Value::from(*s as i64),
-                        );
+                        state
+                            .values
+                            .insert(format!("{}#selected", c.id), Value::from(*s as i64));
                     }
                 }
                 ControlKind::Progress { value } => {
@@ -164,7 +166,8 @@ impl UiState {
     pub fn apply(&mut self, event: &UiEvent) {
         match event {
             UiEvent::TextChanged { control, text } => {
-                self.values.insert(control.clone(), Value::from(text.as_str()));
+                self.values
+                    .insert(control.clone(), Value::from(text.as_str()));
             }
             UiEvent::Selected { control, index } => {
                 self.values
@@ -185,7 +188,8 @@ impl UiState {
 
     /// Sets an auxiliary slot (`<id>#<slot>`), e.g. list items.
     pub fn set_slot(&mut self, control: &str, slot: &str, value: impl Into<Value>) {
-        self.values.insert(format!("{control}#{slot}"), value.into());
+        self.values
+            .insert(format!("{control}#{slot}"), value.into());
     }
 
     /// Reads a control's primary value.

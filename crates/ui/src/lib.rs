@@ -54,4 +54,4 @@ pub mod render;
 pub use capability::{CapabilityInterface, DeviceCapabilities, Orientation};
 pub use control::{Control, ControlKind, Relation, UiDescription, UiError};
 pub use event::{UiEvent, UiState};
-pub use render::{HtmlRenderer, GridRenderer, RenderedUi, Renderer, WidgetRenderer};
+pub use render::{GridRenderer, HtmlRenderer, RenderedUi, Renderer, WidgetRenderer};

@@ -222,7 +222,8 @@ mod tests {
         assert!(text.contains("[ Compare ]"));
         // Horizontal panel: both buttons on one line.
         assert!(
-            text.lines().any(|l| l.contains("Details") && l.contains("Compare")),
+            text.lines()
+                .any(|l| l.contains("Details") && l.contains("Compare")),
             "{text}"
         );
     }
@@ -254,14 +255,16 @@ mod tests {
             .render(&ui, &DeviceCapabilities::sony_ericsson_m600i())
             .unwrap();
         let cols = 240 / 8;
-        assert!(rendered.as_text().lines().all(|l| l.chars().count() <= cols));
+        assert!(rendered
+            .as_text()
+            .lines()
+            .all(|l| l.chars().count() <= cols));
     }
 
     #[test]
     fn unsatisfiable_ui_is_rejected() {
-        let ui = UiDescription::new("t").with_control(
-            Control::label("l", "x").requiring(CapabilityInterface::CameraDevice),
-        );
+        let ui = UiDescription::new("t")
+            .with_control(Control::label("l", "x").requiring(CapabilityInterface::CameraDevice));
         let err = GridRenderer::default()
             .render(&ui, &DeviceCapabilities::nokia_9300i())
             .unwrap_err();

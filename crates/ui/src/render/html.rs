@@ -29,8 +29,7 @@ impl Renderer for HtmlRenderer {
         let mut body = String::new();
         let mut widgets = Vec::new();
         for c in &ui.controls {
-            emit(c, &mut body, &mut widgets)
-                .map_err(|e| UiError::RenderFailed(e.to_string()))?;
+            emit(c, &mut body, &mut widgets).map_err(|e| UiError::RenderFailed(e.to_string()))?;
         }
         let (vw, vh) = caps.screen().unwrap_or((320, 480));
         let html = format!(
@@ -96,7 +95,11 @@ fn emit(
                 items.len().clamp(2, 12)
             )?;
             for (i, item) in items.iter().enumerate() {
-                let sel = if Some(i) == *selected { " selected" } else { "" };
+                let sel = if Some(i) == *selected {
+                    " selected"
+                } else {
+                    ""
+                };
                 writeln!(out, "<option{sel}>{}</option>", escape(item))?;
             }
             writeln!(out, "</select>")?;
@@ -115,7 +118,10 @@ fn emit(
             widgets.push(widget(&c.id, "html.img"));
         }
         ControlKind::Progress { value } => {
-            writeln!(out, "<progress id=\"{id}\" max=\"100\" value=\"{value}\"></progress>")?;
+            writeln!(
+                out,
+                "<progress id=\"{id}\" max=\"100\" value=\"{value}\"></progress>"
+            )?;
             widgets.push(widget(&c.id, "html.progress"));
         }
         ControlKind::Slider { min, max, value } => {
@@ -202,7 +208,10 @@ mod tests {
         assert!(html.contains("postEvent('details','click'"));
         assert!(html.contains("postEvent('products','select'"));
         assert!(html.contains("src=\"/stream/shop/photo\""));
-        assert_eq!(rendered.widget_for("details").unwrap().widget, "html.button");
+        assert_eq!(
+            rendered.widget_for("details").unwrap().widget,
+            "html.button"
+        );
     }
 
     #[test]

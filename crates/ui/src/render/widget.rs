@@ -26,10 +26,7 @@ impl Renderer for WidgetRenderer {
         let orientation = caps.orientation();
         let mut out = String::new();
         let mut widgets = Vec::new();
-        out.push_str(&format!(
-            "Shell \"{}\" ({:?})\n",
-            ui.name, orientation
-        ));
+        out.push_str(&format!("Shell \"{}\" ({:?})\n", ui.name, orientation));
         for c in &ui.controls {
             emit(c, caps, orientation, 1, &mut out, &mut widgets);
         }
@@ -45,9 +42,10 @@ impl Renderer for WidgetRenderer {
 
 fn button_widget(caps: &DeviceCapabilities) -> (String, Option<ConcreteCapability>) {
     match caps.best_for(CapabilityInterface::PointingDevice) {
-        Some((ConcreteCapability::TouchScreen, _)) => {
-            ("swt.TouchButton".into(), Some(ConcreteCapability::TouchScreen))
-        }
+        Some((ConcreteCapability::TouchScreen, _)) => (
+            "swt.TouchButton".into(),
+            Some(ConcreteCapability::TouchScreen),
+        ),
         Some((cap, _)) => ("swt.Button".into(), Some(cap)),
         None => (
             "swt.SoftkeyItem".into(),
@@ -200,11 +198,19 @@ mod tests {
         let nokia = WidgetRenderer::default()
             .render(&ui(), &DeviceCapabilities::nokia_9300i())
             .unwrap();
-        assert!(nokia.as_text().contains("Composite[row]"), "{}", nokia.as_text());
+        assert!(
+            nokia.as_text().contains("Composite[row]"),
+            "{}",
+            nokia.as_text()
+        );
         let se = WidgetRenderer::default()
             .render(&ui(), &DeviceCapabilities::sony_ericsson_m600i())
             .unwrap();
-        assert!(se.as_text().contains("Composite[column]"), "{}", se.as_text());
+        assert!(
+            se.as_text().contains("Composite[column]"),
+            "{}",
+            se.as_text()
+        );
         // Same abstract UI, different realizations.
         assert_ne!(nokia.as_text(), se.as_text());
     }
@@ -236,12 +242,12 @@ mod tests {
 
     #[test]
     fn landscape_default_for_screenless() {
-        let headless = DeviceCapabilities::new(
-            "headless",
-            vec![ConcreteCapability::QwertyKeyboard],
-        );
+        let headless =
+            DeviceCapabilities::new("headless", vec![ConcreteCapability::QwertyKeyboard]);
         let simple = UiDescription::new("t").with_control(Control::label("l", "x"));
-        let rendered = WidgetRenderer::default().render(&simple, &headless).unwrap();
+        let rendered = WidgetRenderer::default()
+            .render(&simple, &headless)
+            .unwrap();
         assert!(rendered.as_text().contains("Landscape"));
     }
 }

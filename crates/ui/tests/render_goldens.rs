@@ -11,10 +11,7 @@ fn golden_ui() -> UiDescription {
         .with_control(Control::panel(
             "row",
             false,
-            vec![
-                Control::button("yes", "Yes"),
-                Control::button("no", "No"),
-            ],
+            vec![Control::button("yes", "Yes"), Control::button("no", "No")],
         ))
         .with_control(Control::list("options", ["alpha", "beta"]))
         .with_control(Control::new("meter", ControlKind::Progress { value: 40 }))

@@ -20,7 +20,12 @@ fn rand_string(rng: &mut SimRng, charset: &[u8], min: usize, max: usize) -> Stri
 
 fn ident(rng: &mut SimRng) -> String {
     let mut s = rand_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 1);
-    s.push_str(&rand_string(rng, b"abcdefghijklmnopqrstuvwxyz0123456789_", 0, 8));
+    s.push_str(&rand_string(
+        rng,
+        b"abcdefghijklmnopqrstuvwxyz0123456789_",
+        0,
+        8,
+    ));
     s
 }
 

@@ -56,18 +56,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", session.rendered().as_text());
 
     // Browse: refresh categories, pick Beds, inspect a product, search.
-    session.handle_event(&UiEvent::Click { control: "refresh".into() })?;
+    session.handle_event(&UiEvent::Click {
+        control: "refresh".into(),
+    })?;
     let cats = session.with_state(|s| s.items("categories").unwrap());
     println!("categories: {cats:?}");
-    session.handle_event(&UiEvent::Selected { control: "categories".into(), index: 0 })?;
+    session.handle_event(&UiEvent::Selected {
+        control: "categories".into(),
+        index: 0,
+    })?;
     let beds = session.with_state(|s| s.items("products").unwrap());
     println!("beds: {beds:?}");
-    session.handle_event(&UiEvent::Selected { control: "products".into(), index: 0 })?;
+    session.handle_event(&UiEvent::Selected {
+        control: "products".into(),
+        index: 0,
+    })?;
     let detail = session.with_state(|s| s.get("detail").cloned()).unwrap();
     println!(
         "detail: {} — {} cents, stock {}",
         detail.field("name").and_then(Value::as_str).unwrap_or("?"),
-        detail.field("price_cents").and_then(Value::as_i64).unwrap_or(0),
+        detail
+            .field("price_cents")
+            .and_then(Value::as_i64)
+            .unwrap_or(0),
         detail.field("stock").and_then(Value::as_i64).unwrap_or(0),
     );
     session.handle_event(&UiEvent::TextChanged {

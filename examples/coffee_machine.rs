@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", session.rendered().as_text());
     println!(
         "knob implemented by: {:?}\n",
-        session.rendered().widget_for("strength").and_then(|w| w.input)
+        session
+            .rendered()
+            .widget_for("strength")
+            .and_then(|w| w.input)
     );
 
     // Turn the knob, start a brew, watch progress via the poll rule.

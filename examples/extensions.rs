@@ -16,8 +16,8 @@ use std::time::Duration;
 use alfredo_apps::shop::{link_comparison_logic, COMPARE_INTERFACE};
 use alfredo_apps::{register_shop, sample_catalog, SHOP_INTERFACE};
 use alfredo_core::{
-    project_ui, register_data_store, register_screen, serve_device, AlfredOEngine,
-    ClientContext, DataReplica, EngineConfig, RuntimeOptimizer, ThinClientPolicy,
+    project_ui, register_data_store, register_screen, serve_device, AlfredOEngine, ClientContext,
+    DataReplica, EngineConfig, RuntimeOptimizer, ThinClientPolicy,
 };
 use alfredo_net::{InMemoryNetwork, PeerAddr};
 use alfredo_osgi::{CodeRegistry, Framework, Value};
@@ -68,11 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 2. Replicated price list ----------------------------------------
-    let replica = DataReplica::attach(
-        engine.framework().clone(),
-        conn.endpoint_handle(),
-        "prices",
-    )?;
+    let replica =
+        DataReplica::attach(engine.framework().clone(), conn.endpoint_handle(), "prices")?;
     println!(
         "\nreplica seeded with {} price(s); Aurora costs {:?} cents (local read)",
         replica.len(),
@@ -95,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..10 {
         session.record_latency(COMPARE_INTERFACE, 130.0);
     }
-    let moved = session.optimize(&RuntimeOptimizer::default(), &ClientContext::trusted_phone())?;
+    let moved = session.optimize(
+        &RuntimeOptimizer::default(),
+        &ClientContext::trusted_phone(),
+    )?;
     println!("\noptimizer moved: {moved:?}");
     println!("session now runs as: {}", session.assignment());
     let calls0 = conn.endpoint().stats().calls_sent;

@@ -43,15 +43,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Nokia 9300i: PointingDevice implemented by {} (quality {})",
         pointing.0, pointing.1
     );
-    println!("--- UI on the Nokia ({} renderer) ---", session.rendered().backend);
+    println!(
+        "--- UI on the Nokia ({} renderer) ---",
+        session.rendered().backend
+    );
     println!("{}\n", session.rendered().as_text());
 
     println!("pointer starts at {:?}", mouse.position());
     for _ in 0..3 {
-        session.handle_event(&UiEvent::Click { control: "right".into() })?;
+        session.handle_event(&UiEvent::Click {
+            control: "right".into(),
+        })?;
     }
-    session.handle_event(&UiEvent::Click { control: "down".into() })?;
-    session.handle_event(&UiEvent::Click { control: "click".into() })?;
+    session.handle_event(&UiEvent::Click {
+        control: "down".into(),
+    })?;
+    session.handle_event(&UiEvent::Click {
+        control: "click".into(),
+    })?;
     println!(
         "after 3x right, 1x down, click: pointer {:?}, clicks {}",
         mouse.position(),

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let device = serve_device(&net, device_fw, PeerAddr::new("screen"))?;
     discovery.advertise(
-        ServiceUrl::new("service:greeter", PeerAddr::new("screen"), Properties::new()),
+        ServiceUrl::new(
+            "service:greeter",
+            PeerAddr::new("screen"),
+            Properties::new(),
+        ),
         300,
         0,
     );

@@ -1,0 +1,231 @@
+//! Chaos harness: a full MouseController interaction over a faulty link.
+//!
+//! The phone drives the notebook's pointer through a transport that drops
+//! 5% of its frames (seeded, so each seed is a reproducible fault
+//! schedule) and suffers a full partition mid-session. The self-healing
+//! stack — idempotent retries, heartbeat detection, reconnection with
+//! proxy re-binding, and the session's queue-and-replay outage policy —
+//! must absorb all of it: the final device state has to match a fault-free
+//! run of the identical interaction script.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
+use alfredo_core::session::ActionOutcome;
+use alfredo_core::{serve_device, AlfredOEngine, EngineConfig, OutagePolicy, ResilienceConfig};
+use alfredo_net::{
+    FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr, Transport, TransportError,
+};
+use alfredo_osgi::{Framework, Value};
+use alfredo_rosgi::{DiscoveryDirectory, HealthState, HeartbeatConfig, ReconnectFn, RetryPolicy};
+use alfredo_ui::{DeviceCapabilities, UiEvent};
+
+/// What the interaction must deterministically produce, faults or not.
+#[derive(Debug, PartialEq)]
+struct FinalState {
+    position: (i64, i64),
+    clicks: u64,
+    moves: u64,
+}
+
+fn resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        heartbeat: HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            timeout: Duration::from_millis(40),
+            degraded_after: 1,
+            disconnected_after: 3,
+        },
+        // Far longer than the outage: leases must survive reconnection.
+        lease_ttl: Some(Duration::from_secs(10)),
+        retry: RetryPolicy {
+            max_retries: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(10),
+        },
+        reconnect_attempts: 40,
+        reconnect_backoff: Duration::from_millis(15),
+        outage_policy: OutagePolicy::Replay,
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Runs the scripted interaction; `seed: Some(..)` injects 5% frame drop
+/// plus a mid-session partition, `None` is the fault-free baseline.
+fn run_interaction(seed: Option<u64>) -> FinalState {
+    let net = InMemoryNetwork::new();
+    let device_fw = Framework::new();
+    let (service, _reg) = register_mouse_controller(&device_fw, 1280, 800).unwrap();
+    let device = serve_device(&net, device_fw, PeerAddr::new("laptop")).unwrap();
+
+    let mut config = EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i())
+        .with_resilience(resilience());
+    config.invoke_timeout = Duration::from_millis(200);
+    let engine = AlfredOEngine::new(
+        Framework::new(),
+        net.clone(),
+        DiscoveryDirectory::new(),
+        config,
+    );
+
+    // A lossy wire for the chaos run; redialing yields a clean link (the
+    // partition is an outage of the *original* wire, and retries already
+    // proved the drop handling during the lossy phase).
+    let raw = net
+        .connect(PeerAddr::new("phone"), PeerAddr::new("laptop"))
+        .unwrap();
+    let plan = match seed {
+        Some(s) => FaultPlan::seeded(s).with_send_drop(0.05),
+        None => FaultPlan::none(),
+    };
+    let faulty = FaultyTransport::new(Box::new(raw), plan);
+    let partition = faulty.partition_handle();
+    let dial: ReconnectFn = {
+        let net = net.clone();
+        let partition = partition.clone();
+        Arc::new(move || {
+            if partition.is_partitioned() {
+                return Err(TransportError::Timeout);
+            }
+            net.connect(PeerAddr::new("phone"), PeerAddr::new("laptop"))
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+        })
+    };
+    let conn = engine
+        .connect_transport_with_redial(Box::new(faulty), dial)
+        .unwrap();
+    let session = conn.acquire(MOUSE_INTERFACE).unwrap();
+
+    // Phase A — lossy but connected: a burst of absolute pointer warps.
+    // `move_to` is idempotent-marked, so every dropped request is retried
+    // until it lands; the device serves each warp exactly once.
+    for i in 0..120i64 {
+        let (x, y) = ((i * 37) % 1280, (i * 17) % 800);
+        session
+            .invoke(MOUSE_INTERFACE, "move_to", &[Value::I64(x), Value::I64(y)])
+            .unwrap();
+    }
+    let pos = session.invoke(MOUSE_INTERFACE, "position", &[]).unwrap();
+    assert_eq!(
+        pos.field("x").and_then(Value::as_i64),
+        Some(119 * 37 % 1280)
+    );
+
+    // Phase B — outage: the user keeps tapping the pad. Under faults the
+    // session queues the taps; in the baseline they execute immediately.
+    if seed.is_some() {
+        partition.partition();
+        wait_until(
+            "heartbeat to declare the wire dead",
+            Duration::from_secs(5),
+            || session.health() == HealthState::Disconnected,
+        );
+        let unavailable = session.unavailable_controls();
+        for control in ["up", "down", "left", "right", "click", "pad"] {
+            assert!(
+                unavailable.iter().any(|c| c == control),
+                "{control} should be unavailable during the outage (got {unavailable:?})"
+            );
+        }
+    }
+    let taps = [
+        UiEvent::Click {
+            control: "right".into(),
+        },
+        UiEvent::Click {
+            control: "click".into(),
+        },
+        UiEvent::Click {
+            control: "up".into(),
+        },
+    ];
+    for tap in &taps {
+        let outcomes = session.handle_event(tap).unwrap();
+        if seed.is_some() {
+            assert!(
+                matches!(outcomes.as_slice(), [ActionOutcome::Queued { .. }]),
+                "taps during an outage must queue, got {outcomes:?}"
+            );
+        }
+    }
+
+    // Phase C — recovery: heal, wait for the reconnect to re-bind the
+    // proxy, and replay the queued taps in order.
+    if seed.is_some() {
+        assert_eq!(session.pending_events(), taps.len());
+        partition.heal();
+        wait_until("endpoint to reconnect", Duration::from_secs(5), || {
+            session.health() == HealthState::Healthy
+        });
+        let replayed = session.pump_events().unwrap();
+        let invoked = replayed
+            .iter()
+            .filter(|o| matches!(o, ActionOutcome::Invoked { .. }))
+            .count();
+        assert_eq!(
+            invoked,
+            taps.len(),
+            "every queued tap replays: {replayed:?}"
+        );
+        assert_eq!(session.pending_events(), 0);
+
+        let stats = conn.endpoint().stats();
+        assert!(stats.reconnects >= 1, "the outage must force a reconnect");
+        assert!(stats.heartbeats_missed >= 3, "the heartbeat detected it");
+        let transitions = session.health_transitions();
+        let down = transitions
+            .iter()
+            .position(|t| t.to == HealthState::Disconnected)
+            .expect("session observed the disconnect");
+        assert!(
+            transitions[down..]
+                .iter()
+                .any(|t| t.to == HealthState::Healthy),
+            "session observed the recovery: {transitions:?}"
+        );
+    }
+
+    let final_state = FinalState {
+        position: service.position(),
+        clicks: service.clicks(),
+        moves: service.moves(),
+    };
+    session.close();
+    conn.close();
+    device.stop();
+    final_state
+}
+
+fn chaos_matches_baseline(seed: u64) {
+    let baseline = run_interaction(None);
+    assert_eq!(baseline.clicks, 1);
+    let chaotic = run_interaction(Some(seed));
+    assert_eq!(
+        chaotic, baseline,
+        "seed {seed}: a faulty run must converge to the fault-free state"
+    );
+}
+
+#[test]
+fn chaos_seed_7_converges() {
+    chaos_matches_baseline(7);
+}
+
+#[test]
+fn chaos_seed_1984_converges() {
+    chaos_matches_baseline(1984);
+}
+
+#[test]
+fn chaos_seed_cafe_converges() {
+    chaos_matches_baseline(0xCAFE);
+}

@@ -39,7 +39,9 @@ fn knob_maps_to_each_phones_pointing_hardware() {
     // The same abstract slider binds to cursor keys on the Nokia and the
     // touchscreen on the iPhone.
     let (_m, nokia_engine, _d) = rig("coffee-caps-1", DeviceCapabilities::nokia_9300i());
-    let conn = nokia_engine.connect(&PeerAddr::new("coffee-caps-1")).unwrap();
+    let conn = nokia_engine
+        .connect(&PeerAddr::new("coffee-caps-1"))
+        .unwrap();
     let session = conn.acquire(COFFEE_INTERFACE).unwrap();
     let knob = session.rendered().widget_for("strength").unwrap();
     assert_eq!(knob.input, Some(ConcreteCapability::CursorKeys));
@@ -47,7 +49,9 @@ fn knob_maps_to_each_phones_pointing_hardware() {
     conn.close();
 
     let (_m, iphone_engine, _d) = rig("coffee-caps-2", DeviceCapabilities::iphone());
-    let conn = iphone_engine.connect(&PeerAddr::new("coffee-caps-2")).unwrap();
+    let conn = iphone_engine
+        .connect(&PeerAddr::new("coffee-caps-2"))
+        .unwrap();
     let session = conn.acquire(COFFEE_INTERFACE).unwrap();
     assert_eq!(session.rendered().backend, "html");
     assert!(

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use alfredo_core::session::ActionOutcome;
 use alfredo_core::{
-    host_service, serve_device, Action, AlfredOEngine, Binding, ControllerProgram,
-    EngineConfig, MethodCall, Rule, ServiceDescriptor, Trigger,
+    host_service, serve_device, Action, AlfredOEngine, Binding, ControllerProgram, EngineConfig,
+    MethodCall, Rule, ServiceDescriptor, Trigger,
 };
 use alfredo_net::{InMemoryNetwork, PeerAddr};
 use alfredo_osgi::{

@@ -97,7 +97,10 @@ fn optimizer_refuses_in_untrusted_sessions() {
         session.record_latency(COMPARE_INTERFACE, 500.0);
     }
     let moved = session
-        .optimize(&RuntimeOptimizer::default(), &ClientContext::untrusted_phone())
+        .optimize(
+            &RuntimeOptimizer::default(),
+            &ClientContext::untrusted_phone(),
+        )
         .unwrap();
     assert!(moved.is_empty(), "no code moves without trust");
     session.close();

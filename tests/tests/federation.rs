@@ -84,13 +84,8 @@ fn big_local_screen_keeps_rendering_local() {
     .unwrap();
 
     // A notebook's own 1280x800 screen beats the 160x80 badge display.
-    let projection = project_ui(
-        &phone_fw,
-        &ep,
-        &shop_ui(),
-        &DeviceCapabilities::notebook(),
-    )
-    .unwrap();
+    let projection =
+        project_ui(&phone_fw, &ep, &shop_ui(), &DeviceCapabilities::notebook()).unwrap();
     let assignment = projection.screen_assignment().unwrap();
     assert!(!assignment.remote, "local screen is better");
     // No frame was pushed to the remote display.

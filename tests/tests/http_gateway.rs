@@ -84,7 +84,10 @@ fn browser_drives_the_shop_through_the_gateway() {
     assert!(state.contains("Sofas"), "{state}");
 
     // Select a category, then a product, through the same AJAX channel.
-    post_event(addr, r#"{"control":"categories","kind":"select","value":0}"#);
+    post_event(
+        addr,
+        r#"{"control":"categories","kind":"select","value":0}"#,
+    );
     post_event(addr, r#"{"control":"products","kind":"select","value":0}"#);
     let (_, state) = get(addr, "/state");
     assert!(state.contains("Aurora"), "{state}");

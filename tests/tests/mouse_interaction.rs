@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use alfredo_apps::mouse::{SNAPSHOT_TOPIC, SNAPSHOT_HEIGHT, SNAPSHOT_WIDTH};
+use alfredo_apps::mouse::{SNAPSHOT_HEIGHT, SNAPSHOT_TOPIC, SNAPSHOT_WIDTH};
 use alfredo_apps::{register_mouse_controller, MouseControllerService, MOUSE_INTERFACE};
 use alfredo_core::{serve_device, AlfredOEngine, EngineConfig};
 use alfredo_net::{InMemoryNetwork, PeerAddr};
@@ -44,18 +44,26 @@ fn pad_buttons_move_the_remote_pointer() {
 
     let (x0, y0) = r.service.position();
     session
-        .handle_event(&UiEvent::Click { control: "right".into() })
+        .handle_event(&UiEvent::Click {
+            control: "right".into(),
+        })
         .unwrap();
     session
-        .handle_event(&UiEvent::Click { control: "right".into() })
+        .handle_event(&UiEvent::Click {
+            control: "right".into(),
+        })
         .unwrap();
     session
-        .handle_event(&UiEvent::Click { control: "down".into() })
+        .handle_event(&UiEvent::Click {
+            control: "down".into(),
+        })
         .unwrap();
     assert_eq!(r.service.position(), (x0 + 20, y0 + 10));
 
     session
-        .handle_event(&UiEvent::Click { control: "click".into() })
+        .handle_event(&UiEvent::Click {
+            control: "click".into(),
+        })
         .unwrap();
     assert_eq!(r.service.clicks(), 1);
     session.close();

@@ -54,13 +54,19 @@ fn one_phone_drives_three_devices_concurrently() {
 
     // Interleaved interactions hit the right devices.
     s_mouse
-        .handle_event(&UiEvent::Click { control: "right".into() })
+        .handle_event(&UiEvent::Click {
+            control: "right".into(),
+        })
         .unwrap();
     s_shop
-        .handle_event(&UiEvent::Click { control: "refresh".into() })
+        .handle_event(&UiEvent::Click {
+            control: "refresh".into(),
+        })
         .unwrap();
     s_coffee
-        .handle_event(&UiEvent::Click { control: "espresso".into() })
+        .handle_event(&UiEvent::Click {
+            control: "espresso".into(),
+        })
         .unwrap();
     assert_eq!(mouse.position().0, 650);
     assert_eq!(
@@ -78,10 +84,7 @@ fn one_phone_drives_three_devices_concurrently() {
         .invoke(
             SHOP_INTERFACE,
             "compare",
-            &[
-                Value::from("Desk 'Nook'"),
-                Value::from("Side Table 'Orb'"),
-            ],
+            &[Value::from("Desk 'Nook'"), Value::from("Side Table 'Orb'")],
         )
         .unwrap();
     assert!(verdict.as_str().is_some());
@@ -130,7 +133,9 @@ fn one_appliance_serves_many_phones() {
             }
             // Everyone tries to brew; only one can at a time.
             let brewed = session
-                .handle_event(&UiEvent::Click { control: "espresso".into() })
+                .handle_event(&UiEvent::Click {
+                    control: "espresso".into(),
+                })
                 .is_ok();
             session.close();
             conn.close();

@@ -5,9 +5,7 @@
 use alfredo_apps::shop::{link_comparison_logic, COMPARE_INTERFACE, SHOP_INTERFACE};
 use alfredo_apps::{register_shop, sample_catalog};
 use alfredo_core::session::ActionOutcome;
-use alfredo_core::{
-    serve_device, AlfredOEngine, EngineConfig, LogicOffloadPolicy,
-};
+use alfredo_core::{serve_device, AlfredOEngine, EngineConfig, LogicOffloadPolicy};
 use alfredo_net::{InMemoryNetwork, PeerAddr};
 use alfredo_osgi::{CodeRegistry, Framework};
 use alfredo_rosgi::DiscoveryDirectory;
@@ -84,7 +82,9 @@ fn browse_products_through_the_controller() {
         .unwrap();
     let detail = session.with_state(|s| s.get("detail").cloned()).unwrap();
     assert_eq!(
-        detail.field("category").and_then(alfredo_osgi::Value::as_str),
+        detail
+            .field("category")
+            .and_then(alfredo_osgi::Value::as_str),
         Some("Beds")
     );
 
@@ -200,7 +200,10 @@ fn same_service_renders_differently_per_phone() {
 
     assert_eq!(session_nokia.rendered().backend, "widget");
     assert_eq!(session_iphone.rendered().backend, "html");
-    assert!(session_iphone.rendered().as_text().contains("<!DOCTYPE html>"));
+    assert!(session_iphone
+        .rendered()
+        .as_text()
+        .contains("<!DOCTYPE html>"));
     assert_ne!(
         session_nokia.rendered().as_text(),
         session_iphone.rendered().as_text()
