@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use alfredo_net::{InMemoryNetwork, PeerAddr, Transport};
+use alfredo_obs::{Obs, Span};
 use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError};
 use alfredo_rosgi::endpoint::{PROP_DESCRIPTOR, PROP_SMART_PROXY_KEY, PROP_SMART_PROXY_METHODS};
 use alfredo_rosgi::{
@@ -168,6 +169,11 @@ pub struct EngineConfig {
     /// Self-healing configuration; `None` (the default) keeps the legacy
     /// fail-fast behaviour.
     pub resilience: Option<ResilienceConfig>,
+    /// Observability handle. The default ([`Obs::disabled`]) keeps every
+    /// span a no-op branch; when recording, each connection becomes one
+    /// `interaction` span and every phase, RPC and reconnect nests under
+    /// it — including device-side serve spans, carried over the wire.
+    pub obs: Obs,
 }
 
 impl EngineConfig {
@@ -181,12 +187,19 @@ impl EngineConfig {
             code_registry: CodeRegistry::new(),
             invoke_timeout: Duration::from_secs(5),
             resilience: None,
+            obs: Obs::disabled(),
         }
     }
 
     /// Builder-style: enables self-healing connections.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = Some(resilience);
+        self
+    }
+
+    /// Builder-style: installs an observability handle (tracer + metrics).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -329,8 +342,14 @@ impl AlfredOEngine {
         transport: Box<dyn Transport>,
         dial: Option<ReconnectFn>,
     ) -> Result<AlfredOConnection, EngineError> {
+        // The whole connection is one `interaction` span: entering it here
+        // makes the endpoint's handshake span (and, via the endpoint's
+        // establish-time capture, later reconnect spans) its children.
+        let mut root = self.config.obs.span("interaction");
+        root.set_with("device", || self.config.device_name.clone());
         let mut ep_config = EndpointConfig::named(self.config.device_name.clone())
-            .with_invoke_timeout(self.config.invoke_timeout);
+            .with_invoke_timeout(self.config.invoke_timeout)
+            .with_obs(self.config.obs.clone());
         if self
             .config
             .security
@@ -352,12 +371,22 @@ impl AlfredOEngine {
                 ep_config = ep_config.with_reconnect(reconnect);
             }
         }
-        let endpoint = RemoteEndpoint::establish(transport, self.framework.clone(), ep_config)?;
+        let endpoint = {
+            let _in_interaction = root.enter();
+            match RemoteEndpoint::establish(transport, self.framework.clone(), ep_config) {
+                Ok(ep) => ep,
+                Err(e) => {
+                    root.set("outcome", "error");
+                    return Err(e.into());
+                }
+            }
+        };
         Ok(AlfredOConnection {
             endpoint: Arc::new(endpoint),
             framework: self.framework.clone(),
             config: self.config.clone(),
             policy: Arc::clone(&self.policy),
+            span: root,
         })
     }
 }
@@ -377,6 +406,9 @@ pub struct AlfredOConnection {
     framework: Framework,
     config: EngineConfig,
     policy: Arc<dyn DistributionPolicy>,
+    /// The connection-lifetime `interaction` span; recorded when the
+    /// connection is dropped, parent of every phase underneath.
+    span: Span,
 }
 
 impl AlfredOConnection {
@@ -408,8 +440,18 @@ impl AlfredOConnection {
     /// Any of the [`EngineError`] variants, depending on the failing
     /// stage.
     pub fn acquire(&self, interface: &str) -> Result<AlfredOSession, EngineError> {
-        // 1. Presentation tier: interface + descriptor.
-        let fetched = self.endpoint.fetch_service(interface)?;
+        let obs = &self.config.obs;
+        let root_ctx = self.span.ctx();
+
+        // 1. Presentation tier: interface + descriptor. The lease phase
+        // span is entered so the endpoint's `fetch:*` span (and the
+        // device-side serve span, via the wire context) nest under it.
+        let fetched = {
+            let mut span = obs.child_of(root_ctx, "lease");
+            let _in_phase = span.enter();
+            span.set_with("interface", || interface.to_owned());
+            self.endpoint.fetch_service(interface)?
+        };
         let descriptor_bytes = fetched
             .descriptor
             .as_deref()
@@ -424,25 +466,36 @@ impl AlfredOConnection {
             &self.endpoint.remote_peer(),
         )?;
 
-        // 3. Tier distribution.
+        // 3. Tier distribution: pull every client-placed logic component.
         let assignment = self.policy.decide(&descriptor, &self.config.context);
         let mut fetched_interfaces = vec![interface.to_owned()];
-        for (dep, placement) in assignment.logic() {
-            if *placement == Placement::Client {
-                let dep_fetch = self.endpoint.fetch_service(dep)?;
-                self.config.security.admit_artifact(
-                    dep_fetch.smart,
-                    self.config.context.trust,
-                    &self.endpoint.remote_peer(),
-                )?;
-                fetched_interfaces.push(dep.clone());
+        {
+            let mut span = obs.child_of(root_ctx, "tier_transfer");
+            let _in_phase = span.enter();
+            let mut moved = 0u32;
+            for (dep, placement) in assignment.logic() {
+                if *placement == Placement::Client {
+                    let dep_fetch = self.endpoint.fetch_service(dep)?;
+                    self.config.security.admit_artifact(
+                        dep_fetch.smart,
+                        self.config.context.trust,
+                        &self.endpoint.remote_peer(),
+                    )?;
+                    fetched_interfaces.push(dep.clone());
+                    moved += 1;
+                }
             }
+            span.set_with("components", || moved.to_string());
         }
 
         // 4. View: render for this device.
-        let renderer = select_renderer(&self.config.capabilities);
-        let rendered = renderer.render(&descriptor.ui, &self.config.capabilities)?;
-        let state = UiState::from_description(&descriptor.ui);
+        let (rendered, state) = {
+            let mut span = obs.child_of(root_ctx, "render");
+            let renderer = select_renderer(&self.config.capabilities);
+            let rendered = renderer.render(&descriptor.ui, &self.config.capabilities)?;
+            span.set_with("renderer", || renderer.name().to_owned());
+            (rendered, UiState::from_description(&descriptor.ui))
+        };
 
         // 5. Controller: interpreted from the descriptor's rule program.
         Ok(AlfredOSession::new(
@@ -461,6 +514,8 @@ impl AlfredOConnection {
                 .as_ref()
                 .map(|r| r.outage_policy)
                 .unwrap_or_default(),
+            obs.clone(),
+            root_ctx,
         ))
     }
 
@@ -557,6 +612,23 @@ pub fn serve_device(
     framework: Framework,
     addr: PeerAddr,
 ) -> Result<ServedDevice, EngineError> {
+    serve_device_with_obs(network, framework, addr, Obs::disabled())
+}
+
+/// Like [`serve_device`], but every accepted endpoint records into `obs`
+/// (device-side serve spans then join the phone's trace via the wire
+/// trace context). Each endpoint still keeps its own metrics registry;
+/// only the tracer is shared.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Rosgi`] if the address is already bound.
+pub fn serve_device_with_obs(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+    obs: Obs,
+) -> Result<ServedDevice, EngineError> {
     let listener = network.bind(addr.clone()).map_err(RosgiError::Transport)?;
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
@@ -568,7 +640,7 @@ pub fn serve_device(
                 match listener.accept_timeout(Duration::from_millis(50)) {
                     Ok(conn) => {
                         let fw = framework.clone();
-                        let cfg = EndpointConfig::named(name.clone());
+                        let cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
                         std::thread::spawn(move || {
                             if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw, cfg) {
                                 ep.join();

@@ -59,8 +59,8 @@ pub use controller::{Action, ArgSource, Binding, ControllerProgram, MethodCall, 
 pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_PREFIX};
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
 pub use engine::{
-    host_service, serve_device, AlfredOConnection, AlfredOEngine, EngineConfig, EngineError,
-    OutagePolicy, ResilienceConfig,
+    host_service, serve_device, serve_device_with_obs, AlfredOConnection, AlfredOEngine,
+    EngineConfig, EngineError, OutagePolicy, ResilienceConfig,
 };
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};

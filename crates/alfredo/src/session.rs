@@ -14,6 +14,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use alfredo_obs::{Obs, SpanCtx};
 use alfredo_sync::channel::{self, Receiver, Sender};
 use alfredo_sync::Mutex;
 
@@ -100,6 +101,10 @@ pub struct AlfredOSession {
     health_log: Arc<Mutex<Vec<HealthEvent>>>,
     health_token: u64,
     closed: AtomicBool,
+    obs: Obs,
+    /// The connection's `interaction` span: every `invoke:*` span this
+    /// session opens is parented under it.
+    trace_root: Option<SpanCtx>,
 }
 
 impl AlfredOSession {
@@ -116,6 +121,8 @@ impl AlfredOSession {
         transferred_bytes: usize,
         proxy_footprint: usize,
         outage_policy: OutagePolicy,
+        obs: Obs,
+        trace_root: Option<SpanCtx>,
     ) -> Self {
         let (tx, rx) = channel::unbounded();
         // Queue every bus event whose topic any RemoteEvent rule matches.
@@ -184,7 +191,21 @@ impl AlfredOSession {
             health_log,
             health_token,
             closed: AtomicBool::new(false),
+            obs,
+            trace_root,
         }
+    }
+
+    /// The session's observability handle (tracer + phone-side metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A `/metrics`-style text dump of the underlying endpoint's registry
+    /// (counters plus rtt/serve histogram quantiles), as served by the
+    /// [`crate::web::HttpGateway`].
+    pub fn metrics_text(&self) -> String {
+        self.endpoint.obs().metrics().render_text()
     }
 
     /// The shipped descriptor.
@@ -457,6 +478,13 @@ impl AlfredOSession {
             .registry()
             .get_service(service)
             .ok_or(ServiceCallError::ServiceGone)?;
+        // Entering the invoke span makes the endpoint's per-attempt
+        // `rpc:*` spans (retries included) its children.
+        let mut span = self
+            .obs
+            .child_dyn(self.trace_root, || format!("invoke:{method}"));
+        let _in_invoke = span.enter();
+        span.set_with("service", || service.to_owned());
         let start = std::time::Instant::now();
         let out = svc.invoke(method, args)?;
         self.monitor
@@ -598,6 +626,11 @@ impl AlfredOSession {
             .registry()
             .get_service(&call.service)
             .ok_or(ServiceCallError::ServiceGone)?;
+        let mut span = self
+            .obs
+            .child_dyn(self.trace_root, || format!("invoke:{}", call.method));
+        let _in_invoke = span.enter();
+        span.set_with("service", || call.service.clone());
         Ok(svc.invoke(&call.method, &args)?)
     }
 

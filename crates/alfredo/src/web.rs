@@ -37,6 +37,8 @@ impl HttpGateway {
     /// Routes:
     /// * `GET /` — the session's rendered HTML (AJAX-enabled).
     /// * `GET /state` — the current UI state as a JSON object.
+    /// * `GET /metrics` — the endpoint's metrics registry as plain text
+    ///   (`name value` lines, histograms expanded to count/sum/quantiles).
     /// * `POST /event` — `{"control": "...", "kind": "click|text|select|slider", "value": ...}`.
     ///
     /// # Errors
@@ -168,6 +170,10 @@ fn handle_connection(stream: TcpStream, session: &AlfredOSession) -> std::io::Re
             )
             .to_json_string();
             respond(&mut out, 200, "application/json", &json)
+        }
+        ("GET", "/metrics") => {
+            let text = session.metrics_text();
+            respond(&mut out, 200, "text/plain; charset=utf-8", &text)
         }
         ("POST", "/event") => match parse_event(&body) {
             Some(event) => match session.handle_event(&event) {

@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use alfredo_bench::timing::{self, Measurement};
 use alfredo_net::{FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr};
+use alfredo_obs::Obs;
 use alfredo_osgi::{FnService, Framework, Json, Properties, ServiceCallError, Value};
 use alfredo_rosgi::{
     EndpointConfig, HeartbeatConfig, RemoteEndpoint, RetryPolicy, PROP_IDEMPOTENT_METHODS,
@@ -118,6 +119,44 @@ impl Pair {
             })
             .with_retry(RetryPolicy::retries(3));
         let phone = RemoteEndpoint::establish(Box::new(faultless), Framework::new(), phone_config)
+            .expect("phone handshake");
+        Pair {
+            phone: Arc::new(phone),
+            device: accept.join().expect("device thread"),
+            _device_fw: device_fw,
+        }
+    }
+
+    /// Like [`Pair::establish`] (fast flavor) with `obs` installed on
+    /// both ends — the obs-report scenario passes a recording handle, the
+    /// disabled-overhead guard an explicit [`Obs::disabled`].
+    fn establish_obs(addr: &str, obs: Obs) -> Pair {
+        let net = InMemoryNetwork::new();
+        let device_fw = Framework::new();
+        device_fw
+            .system_context()
+            .register_service(
+                &[INTERFACE],
+                Arc::new(FnService::new(|method, args| match method {
+                    "echo" => Ok(args.first().cloned().unwrap_or(Value::Unit)),
+                    other => Err(ServiceCallError::NoSuchMethod(other.into())),
+                })),
+                Properties::new(),
+            )
+            .expect("register bench service");
+
+        let listener = net.bind(PeerAddr::new(addr)).expect("bind");
+        let fw = device_fw.clone();
+        let device_config = EndpointConfig::named(addr).with_obs(obs.clone());
+        let accept = std::thread::spawn(move || {
+            let conn = listener.accept().expect("accept");
+            RemoteEndpoint::establish(Box::new(conn), fw, device_config).expect("device handshake")
+        });
+        let conn = net
+            .connect(PeerAddr::new("phone"), PeerAddr::new(addr))
+            .expect("connect");
+        let phone_config = EndpointConfig::named("phone").with_obs(obs);
+        let phone = RemoteEndpoint::establish(Box::new(conn), Framework::new(), phone_config)
             .expect("phone handshake");
         Pair {
             phone: Arc::new(phone),
@@ -301,7 +340,7 @@ fn wire_encode(target_ms: u64) -> (Measurement, Measurement, f64) {
     let mut frame_bytes = 0.0;
     let fast = timing::bench_batched("wire-encode fast", batch, target_ms, || {
         let mut w = ByteWriter::with_pool(&pool);
-        Message::encode_invoke(&mut w, 7, INTERFACE, "echo", &args);
+        Message::encode_invoke(&mut w, 7, INTERFACE, "echo", &args, None);
         let frame = w.into_bytes();
         frame_bytes = frame.len() as f64;
         pool.give(frame);
@@ -458,6 +497,72 @@ fn main() {
             ),
         ]),
     ));
+
+    // --- observability guard + report ------------------------------------
+    // Tracing is compiled into the invoke path now. Disabled (the
+    // default), it must be indistinguishable from the bare fast path:
+    // median per-round throughput ratio within 3%. Same fresh-pairs +
+    // median-of-ratios discipline as the faultless guard above.
+    let obs_rounds = 6;
+    let mut obs_ratios = Vec::with_capacity(obs_rounds);
+    for round in 0..obs_rounds {
+        let off_pair = Pair::establish_obs(&format!("dev-obs-off-{round}"), Obs::disabled());
+        let ref_pair = Pair::establish(&format!("dev-obs-ref-{round}"), false);
+        single_thread(&off_pair, st_calls / 10); // warmup
+        single_thread(&ref_pair, st_calls / 10);
+        let g = single_thread(&off_pair, st_calls / 2);
+        let r = single_thread(&ref_pair, st_calls / 2);
+        obs_ratios.push(g.ops_per_sec() / r.ops_per_sec());
+        off_pair.close();
+        ref_pair.close();
+    }
+    obs_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let obs_off_ratio = obs_ratios[obs_ratios.len() / 2];
+    assert!(
+        obs_off_ratio >= 0.97,
+        "disabled tracing must stay within 3% of the fast path: {obs_off_ratio:.3}x"
+    );
+
+    // Enabled mode: spans into a ring sink, per-phase histograms out. The
+    // phone times each RPC round trip, the device each serve; their
+    // quantiles land in BENCH_invoke.json so a perf report can show where
+    // an interaction spends its time.
+    let (obs, spans) = Obs::ring(65_536);
+    let on_pair = Pair::establish_obs("dev-obs-on", obs);
+    single_thread(&on_pair, st_calls / 10); // warmup
+    let obs_on = single_thread(&on_pair, st_calls / 2);
+    obs_on.report();
+    let rtt = on_pair
+        .phone
+        .obs()
+        .metrics()
+        .histogram("rosgi.invoke_rtt_us");
+    let serve = on_pair.device.obs().metrics().histogram("rosgi.serve_us");
+    let phase_json = |h: &alfredo_obs::Histogram| {
+        Json::obj(vec![
+            ("count", Json::I64(h.count() as i64)),
+            ("p50_us", Json::I64(h.quantile(0.50) as i64)),
+            ("p95_us", Json::I64(h.quantile(0.95) as i64)),
+            ("p99_us", Json::I64(h.quantile(0.99) as i64)),
+        ])
+    };
+    println!(
+        "  obs: disabled {obs_off_ratio:.3}x of fast path; enabled recorded {} spans, rtt p95 {}us, serve p95 {}us\n",
+        spans.len(),
+        rtt.quantile(0.95),
+        serve.quantile(0.95)
+    );
+    scenarios.push((
+        "obs_report",
+        Json::obj(vec![
+            ("disabled_ratio_vs_fast", Json::F64(obs_off_ratio)),
+            ("enabled", scenario_json(&obs_on, 0.0)),
+            ("spans_recorded", Json::I64(spans.len() as i64)),
+            ("invoke_rtt", phase_json(&rtt)),
+            ("serve", phase_json(&serve)),
+        ]),
+    ));
+    on_pair.close();
 
     // --- N-thread contention -------------------------------------------
     // Three rows: the legacy flavor blocking (all the pre-change code

@@ -257,15 +257,28 @@ impl FaultyTransport {
         }
     }
 
+    /// Counts one injected fault and announces it on the structured
+    /// event hub (`net.fault` / `inject`), so chaos tests can assert on
+    /// the exact faults a run suffered.
+    fn note_fault(&self, kind: &'static str, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        alfredo_obs::event("net.fault", "inject", || {
+            vec![
+                ("kind".to_string(), kind.to_string()),
+                ("peer".to_string(), self.inner.peer_addr().to_string()),
+            ]
+        });
+    }
+
     /// Applies receive-side faults: returns `None` if the frame is to be
     /// swallowed.
     fn filter_recv(&self, frame: Vec<u8>) -> Option<Vec<u8>> {
         if self.partition.is_partitioned() {
-            self.counters.blackholed.fetch_add(1, Ordering::Relaxed);
+            self.note_fault("blackhole", &self.counters.blackholed);
             return None;
         }
         if self.plan.drop_recv > 0.0 && self.recv_rng.lock().next_f64() < self.plan.drop_recv {
-            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            self.note_fault("drop", &self.counters.dropped);
             return None;
         }
         Some(frame)
@@ -290,7 +303,7 @@ impl Transport for FaultyTransport {
             }
             // A partition black-holes traffic: the sender cannot tell it
             // from a slow network, so the send itself succeeds.
-            self.counters.blackholed.fetch_add(1, Ordering::Relaxed);
+            self.note_fault("blackhole", &self.counters.blackholed);
             return Ok(());
         }
         if self.plan.is_noop() {
@@ -300,7 +313,7 @@ impl Transport for FaultyTransport {
         let (duplicate, delay_for) = {
             let mut rng = self.send_rng.lock();
             if self.plan.drop_send > 0.0 && rng.next_f64() < self.plan.drop_send {
-                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                self.note_fault("drop", &self.counters.dropped);
                 return Ok(());
             }
             let duplicate =
@@ -311,7 +324,7 @@ impl Transport for FaultyTransport {
             {
                 let idx = rng.next_below(frame.len() as u64) as usize;
                 frame[idx] ^= 0xA5;
-                self.counters.corrupted.fetch_add(1, Ordering::Relaxed);
+                self.note_fault("corrupt", &self.counters.corrupted);
             }
             let delay_for = if self.plan.delay_send > 0.0
                 && rng.next_f64() < self.plan.delay_send
@@ -324,11 +337,11 @@ impl Transport for FaultyTransport {
             (duplicate, delay_for)
         };
         if let Some(d) = delay_for {
-            self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+            self.note_fault("delay", &self.counters.delayed);
             std::thread::sleep(d);
         }
         if duplicate {
-            self.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.note_fault("duplicate", &self.counters.duplicated);
             self.inner.send(frame.clone())?;
         }
         self.inner.send(frame)

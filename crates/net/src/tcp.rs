@@ -31,11 +31,20 @@ pub struct TcpTransport {
 }
 
 /// Records `reason` as the connection's close reason unless an earlier
-/// cause was already recorded (first cause wins).
-fn record_reason(slot: &Mutex<CloseReason>, reason: CloseReason) {
+/// cause was already recorded (first cause wins), announcing the
+/// recorded cause on the structured event hub (`net.tcp` / `close`).
+/// Diagnostics go through the hub instead of stderr so tests can assert
+/// on them and `cargo test -q` output stays clean.
+fn record_reason(slot: &Mutex<CloseReason>, reason: CloseReason, peer: &PeerAddr) {
     let mut r = slot.lock();
     if *r == CloseReason::Unknown {
         *r = reason;
+        alfredo_obs::event("net.tcp", "close", || {
+            vec![
+                ("peer".to_string(), peer.to_string()),
+                ("reason".to_string(), format!("{reason:?}")),
+            ]
+        });
     }
 }
 
@@ -67,6 +76,7 @@ impl TcpTransport {
         let (tx, rx) = channel::unbounded();
         let closed2 = Arc::clone(&closed);
         let reason2 = Arc::clone(&reason);
+        let peer2 = peer.clone();
         std::thread::Builder::new()
             .name("tcp-reader".into())
             .spawn(move || {
@@ -92,7 +102,7 @@ impl TcpTransport {
                         break CloseReason::Local;
                     }
                 };
-                record_reason(&reason2, why);
+                record_reason(&reason2, why, &peer2);
                 closed2.store(true, Ordering::SeqCst);
                 // Tear the socket down both ways so the writer half and the
                 // peer fail promptly instead of waiting out their timeouts
@@ -124,7 +134,7 @@ impl Transport for TcpTransport {
             .write_all(&len)
             .and_then(|()| writer.write_all(&frame))
             .map_err(|_| {
-                record_reason(&self.reason, CloseReason::Io);
+                record_reason(&self.reason, CloseReason::Io, &self.peer);
                 self.closed.store(true, Ordering::SeqCst);
                 TransportError::Closed
             })
@@ -157,7 +167,7 @@ impl Transport for TcpTransport {
     }
 
     fn close(&self) {
-        record_reason(&self.reason, CloseReason::Local);
+        record_reason(&self.reason, CloseReason::Local, &self.peer);
         self.closed.store(true, Ordering::SeqCst);
         let _ = self.stream.shutdown(Shutdown::Both);
     }

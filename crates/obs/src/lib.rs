@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # alfredo-obs
+//!
+//! Observability for the AlfredO stack: a lock-light metrics registry,
+//! structured span tracing with explicit parent propagation, and a global
+//! event hub — all built on `std` + `alfredo-sync` only (the workspace
+//! builds offline, so no `tracing`/`prometheus` crates).
+//!
+//! The design goal is **zero cost when disabled**:
+//!
+//! * A [`Span`] created through a disabled [`Obs`] handle is `None`
+//!   internally — no allocation, no clock read, no formatting. The name
+//!   closure passed to [`Obs::span_dyn`] is never invoked.
+//! * [`event`] takes a closure for its fields; when the hub has no
+//!   subscribers the closure is never called and nothing allocates.
+//! * Metrics ([`Counter`], [`Gauge`], [`Histogram`]) are always live —
+//!   they are plain relaxed atomics, the same cost as the ad-hoc
+//!   `EndpointStats` counters they replace.
+//!
+//! Spans carry a [`SpanCtx`] (`trace_id` + `span_id`) that the R-OSGi
+//! layer serializes onto the wire, so a single trace follows an
+//! interaction across both endpoints: handshake → lease → tier transfer →
+//! proxy invoke → render. Finished spans land in a [`TraceSink`] — an
+//! in-memory [`RingSink`] for tests, exportable as JSONL for CI
+//! artifacts, plus a `/metrics`-style text dump from
+//! [`MetricsHandle::render_text`].
+
+pub mod events;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use events::{event, events_enabled, subscribe, EventRecord, EventSubscription};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsHandle};
+pub use sink::{RingSink, SpanRecord, TraceSink};
+pub use trace::{Obs, Span, SpanCtx, SpanGuard};

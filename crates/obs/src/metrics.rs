@@ -1,0 +1,367 @@
+//! Lock-light metrics registry: counters, gauges, and exponential-bucket
+//! histograms behind a single cheap-to-clone [`MetricsHandle`].
+//!
+//! Registration (get-or-create by name) takes a mutex; the handles it
+//! returns are `Arc`-backed atomics, so every hot-path operation —
+//! `inc`, `add`, `set`, `record` — is a relaxed atomic op with no lock,
+//! no allocation, and no syscall. Callers register once at construction
+//! time and keep the handle.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use alfredo_sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i`
+/// (1 ≤ i < `BUCKETS - 1`) holds values in `[2^(i-1), 2^i)`, and the last
+/// bucket saturates — it absorbs everything at or above
+/// `2^(BUCKETS - 3)` (≈ 34 s when recording microseconds).
+pub(crate) const BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a standalone counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a standalone gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Stored as `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket exponential histogram.
+///
+/// Bucket bounds are powers of two, so the bucket index is a
+/// `leading_zeros` away and a quantile estimate is off by at most a
+/// factor of two (estimates are clamped to the observed `max`, which
+/// also makes the saturation bucket exact at the top end). Recording is
+/// five relaxed atomic ops — no locks, no allocation.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+/// Index of the bucket holding `v`: 0 for 0, else `bit-width of v`,
+/// capped at the saturation bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    let width = (64 - v.leading_zeros()) as usize;
+    width.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the saturation
+/// bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates a standalone histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration` in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the nearest-rank sample, clamped to the
+    /// observed max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let inner = &*self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let max = inner.max.load(Ordering::Relaxed);
+        // Nearest-rank: the k-th smallest sample, 1-based.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(max);
+            }
+        }
+        max
+    }
+
+    /// Point-in-time snapshot with p50/p95/p99 estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        let min = inner.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if min == u64::MAX { 0 } else { min },
+            max: inner.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (test/debug aid).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A cheap-to-clone handle to a metrics registry.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name under a mutex;
+/// the returned handles are lock-free. Two clones of the same
+/// `MetricsHandle` share the same instruments.
+#[derive(Clone, Default)]
+pub struct MetricsHandle {
+    registry: Arc<Registry>,
+}
+
+impl MetricsHandle {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsHandle::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.registry.counters.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.registry.gauges.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.registry.histograms.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Renders every instrument as a `/metrics`-style text dump:
+    /// `name value` lines for counters and gauges, and
+    /// `name_count` / `name_sum` / `name_p50|p95|p99` lines for
+    /// histograms, sorted by name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.registry.counters.lock().iter() {
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.registry.gauges.lock().iter() {
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self.registry.histograms.lock().iter() {
+            let s = h.snapshot();
+            let _ = writeln!(out, "{name}_count {}", s.count);
+            let _ = writeln!(out, "{name}_sum {}", s.sum);
+            let _ = writeln!(out, "{name}_min {}", s.min);
+            let _ = writeln!(out, "{name}_max {}", s.max);
+            let _ = writeln!(out, "{name}_p50 {}", s.p50);
+            let _ = writeln!(out, "{name}_p95 {}", s.p95);
+            let _ = writeln!(out, "{name}_p99 {}", s.p99);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let m = MetricsHandle::new();
+        let c = m.counter("calls");
+        c.inc();
+        c.add(4);
+        assert_eq!(m.counter("calls").get(), 5);
+        let g = m.gauge("inflight");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(m.gauge("inflight").get(), 4);
+    }
+
+    #[test]
+    fn clones_share_instruments() {
+        let m = MetricsHandle::new();
+        let m2 = m.clone();
+        m.counter("x").inc();
+        m2.counter("x").inc();
+        assert_eq!(m.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let h = Histogram::new();
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 100);
+        // Clamped to max, so a single sample is exact at every quantile.
+        assert_eq!(s.p50, 100);
+        assert_eq!(s.p99, 100);
+    }
+
+    #[test]
+    fn render_text_lists_everything() {
+        let m = MetricsHandle::new();
+        m.counter("a.calls").add(3);
+        m.gauge("a.depth").set(-2);
+        m.histogram("a.rtt_us").record(10);
+        let text = m.render_text();
+        assert!(text.contains("a.calls 3"));
+        assert!(text.contains("a.depth -2"));
+        assert!(text.contains("a.rtt_us_count 1"));
+        assert!(text.contains("a.rtt_us_p50 "));
+    }
+}

@@ -1,0 +1,205 @@
+//! Trace sinks: where finished spans go.
+//!
+//! [`RingSink`] keeps the last N spans in memory for tests and live
+//! debugging, and exports them as JSONL — one JSON object per line, the
+//! same shape the chaos harness uploads as a CI artifact so a broken run
+//! can be diagnosed from the workflow page.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use alfredo_sync::Mutex;
+
+/// A finished span, as delivered to a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id, unique within the process.
+    pub span_id: u64,
+    /// Parent span id, `None` for a root.
+    pub parent_id: Option<u64>,
+    /// Span name, e.g. `rpc:move_to`.
+    pub name: String,
+    /// Start time in microseconds on the process-monotonic clock.
+    pub start_us: u64,
+    /// Wall duration in microseconds.
+    pub duration_us: u64,
+    /// Key/value annotations recorded while the span was open.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"span_id\":{},\"parent_id\":",
+            self.trace_id, self.span_id
+        );
+        match self.parent_id {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"name\":\"{}\",\"start_us\":{},\"duration_us\":{},\"fields\":{{",
+            escape_json(&self.name),
+            self.start_us,
+            self.duration_us
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Destination for finished spans.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one finished span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// An in-memory ring buffer of the most recent spans.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` spans (oldest evicted
+    /// first).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Copies out the buffered spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered spans, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.buf.lock().drain(..).collect()
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the buffered spans as JSONL (one JSON object per line).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.buf.lock().iter() {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL export to `path`, creating parent directories.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.export_jsonl())
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, span: SpanRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            span_id: id,
+            parent_id: if id > 1 { Some(id - 1) } else { None },
+            name: format!("s{id}"),
+            start_us: id * 10,
+            duration_us: 5,
+            fields: vec![("k".into(), "v".into())],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(2);
+        ring.record(span(1));
+        ring.record(span(2));
+        ring.record(span(3));
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].span_id, 2);
+        assert_eq!(spans[1].span_id, 3);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_shapes() {
+        let ring = RingSink::new(8);
+        ring.record(SpanRecord {
+            trace_id: 7,
+            span_id: 9,
+            parent_id: None,
+            name: "quote\"back\\slash\nnl".into(),
+            start_us: 1,
+            duration_us: 2,
+            fields: vec![("why".into(), "tab\there".into())],
+        });
+        let line = ring.export_jsonl();
+        assert!(line.contains("\"trace_id\":7"));
+        assert!(line.contains("\"parent_id\":null"));
+        assert!(line.contains("quote\\\"back\\\\slash\\nnl"));
+        assert!(line.contains("\"why\":\"tab\\there\""));
+        assert!(line.ends_with('\n'));
+    }
+}

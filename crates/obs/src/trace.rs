@@ -1,0 +1,323 @@
+//! Structured span tracing with explicit parent propagation.
+//!
+//! The [`Obs`] handle bundles a [`MetricsHandle`] with an optional
+//! tracer. When the tracer is absent ([`Obs::disabled`]) every span
+//! operation is a branch on `None` — no allocation, no clock read — so
+//! instrumentation can stay compiled into the invoke fast path.
+//!
+//! Parenting works two ways:
+//!
+//! * **Same thread**: [`Span::enter`] installs the span as the
+//!   thread-local current span; [`Obs::span`] parents new spans under
+//!   it. This covers nested phases like `interaction → lease → fetch`.
+//! * **Across threads and across the wire**: [`Span::ctx`] yields a
+//!   [`SpanCtx`] (two `u64`s) that can be stored, sent to another
+//!   thread, or serialized into an invoke frame; [`Obs::child_of`]
+//!   resumes the tree on the other side. This is how the device-side
+//!   `serve:` span becomes a child of the phone-side `rpc:` span.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::MetricsHandle;
+use crate::sink::{SpanRecord, TraceSink};
+
+/// Wire-portable span identity: which trace, and which span within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanCtx {
+    /// Identifies the whole trace (one per root span).
+    pub trace_id: u64,
+    /// Identifies this span within the process that created it.
+    pub span_id: u64,
+}
+
+/// Process-wide id allocator: ids are dense and start at 1, which keeps
+/// traces deterministic enough to assert on in tests.
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Monotonic microseconds since the first span of the process: stable
+/// ordering for timeline reconstruction without wall-clock jumps.
+fn monotonic_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<SpanCtx>> = const { Cell::new(None) };
+}
+
+struct Tracer {
+    sink: Arc<dyn TraceSink>,
+}
+
+/// The observability handle threaded through the stack: metrics are
+/// always live, tracing only when constructed via [`Obs::recording`] /
+/// [`Obs::ring`]. Cloning is two `Arc` bumps.
+#[derive(Clone, Default)]
+pub struct Obs {
+    metrics: MetricsHandle,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl Obs {
+    /// Metrics-only handle: spans are no-ops that never allocate.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Tracing handle recording finished spans into `sink`.
+    pub fn recording(sink: Arc<dyn TraceSink>) -> Self {
+        Obs {
+            metrics: MetricsHandle::new(),
+            tracer: Some(Arc::new(Tracer { sink })),
+        }
+    }
+
+    /// Convenience: a recording handle plus its ring sink.
+    pub fn ring(capacity: usize) -> (Self, Arc<crate::sink::RingSink>) {
+        let ring = crate::sink::RingSink::new(capacity);
+        (Obs::recording(ring.clone()), ring)
+    }
+
+    /// Same tracer (shared sink, shared trace tree), but a fresh empty
+    /// metrics registry. Endpoints use this so two endpoints sharing a
+    /// trace still keep per-endpoint counters.
+    pub fn with_fresh_metrics(&self) -> Self {
+        Obs {
+            metrics: MetricsHandle::new(),
+            tracer: self.tracer.clone(),
+        }
+    }
+
+    /// True when spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The metrics registry behind this handle.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// The current thread's innermost entered span, if any.
+    pub fn current(&self) -> Option<SpanCtx> {
+        if self.tracer.is_some() {
+            CURRENT.with(|c| c.get())
+        } else {
+            None
+        }
+    }
+
+    /// Starts a span named by `make_name`, parented under the current
+    /// thread-local span (a new root trace when there is none). The
+    /// closure only runs when tracing is enabled.
+    pub fn span_dyn(&self, make_name: impl FnOnce() -> String) -> Span {
+        let parent = self.current();
+        self.child_dyn(parent, make_name)
+    }
+
+    /// Starts a span with a static name (see [`Obs::span_dyn`]).
+    pub fn span(&self, name: &str) -> Span {
+        self.span_dyn(|| name.to_string())
+    }
+
+    /// Starts a span as an explicit child of `parent` (cross-thread or
+    /// cross-wire resume); `None` starts a new root trace.
+    pub fn child_of(&self, parent: Option<SpanCtx>, name: &str) -> Span {
+        self.child_dyn(parent, || name.to_string())
+    }
+
+    /// [`Obs::child_of`] with a lazily built name.
+    pub fn child_dyn(&self, parent: Option<SpanCtx>, make_name: impl FnOnce() -> String) -> Span {
+        let Some(tracer) = &self.tracer else {
+            return Span(None);
+        };
+        let span_id = next_id();
+        let ctx = SpanCtx {
+            trace_id: parent.map_or_else(next_id, |p| p.trace_id),
+            span_id,
+        };
+        Span(Some(Box::new(ActiveSpan {
+            tracer: tracer.clone(),
+            ctx,
+            parent_id: parent.map(|p| p.span_id),
+            name: make_name(),
+            start: Instant::now(),
+            start_us: monotonic_us(),
+            fields: Vec::new(),
+        })))
+    }
+}
+
+struct ActiveSpan {
+    tracer: Arc<Tracer>,
+    ctx: SpanCtx,
+    parent_id: Option<u64>,
+    name: String,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(String, String)>,
+}
+
+/// An open span. Records itself to the sink when dropped. A span from a
+/// disabled [`Obs`] is `None` inside: every method is a no-op and
+/// nothing is allocated.
+pub struct Span(Option<Box<ActiveSpan>>);
+
+impl Span {
+    /// A span that records nothing (what disabled handles hand out).
+    pub fn none() -> Self {
+        Span(None)
+    }
+
+    /// True when this span is live (tracing enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// This span's wire-portable identity, `None` when disabled.
+    pub fn ctx(&self) -> Option<SpanCtx> {
+        self.0.as_ref().map(|s| s.ctx)
+    }
+
+    /// Annotates the span with a key/value pair. The value closure only
+    /// runs when the span is live.
+    pub fn set_with(&mut self, key: &str, value: impl FnOnce() -> String) {
+        if let Some(s) = &mut self.0 {
+            s.fields.push((key.to_string(), value()));
+        }
+    }
+
+    /// Annotates the span with an already-built value.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.set_with(key, || value.to_string());
+    }
+
+    /// Makes this span the thread-local current span until the guard
+    /// drops; children created via [`Obs::span`] nest under it.
+    pub fn enter(&self) -> SpanGuard {
+        match &self.0 {
+            Some(s) => {
+                let prev = CURRENT.with(|c| c.replace(Some(s.ctx)));
+                SpanGuard {
+                    restore: Some(prev),
+                }
+            }
+            None => SpanGuard { restore: None },
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let duration_us = s.start.elapsed().as_micros() as u64;
+            s.tracer.sink.record(SpanRecord {
+                trace_id: s.ctx.trace_id,
+                span_id: s.ctx.span_id,
+                parent_id: s.parent_id,
+                name: s.name,
+                start_us: s.start_us,
+                duration_us,
+                fields: s.fields,
+            });
+        }
+    }
+}
+
+/// Restores the previous thread-local current span on drop.
+pub struct SpanGuard {
+    /// `Some(previous)` when the guard actually swapped the slot.
+    restore: Option<Option<SpanCtx>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.restore.take() {
+            CURRENT.with(|c| c.set(prev));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let obs = Obs::disabled();
+        let mut span = obs.span_dyn(|| panic!("name must not be built when disabled"));
+        assert!(!span.is_recording());
+        assert!(span.ctx().is_none());
+        span.set_with("k", || panic!("field must not be built when disabled"));
+        let _guard = span.enter();
+        assert!(obs.current().is_none());
+    }
+
+    #[test]
+    fn entered_spans_parent_same_thread_children() {
+        let (obs, ring) = Obs::ring(16);
+        let root_ctx;
+        {
+            let root = obs.span("root");
+            root_ctx = root.ctx().unwrap();
+            let _g = root.enter();
+            let child = obs.span("child");
+            assert_eq!(child.ctx().unwrap().trace_id, root_ctx.trace_id);
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.parent_id, Some(root_ctx.span_id));
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.parent_id, None);
+    }
+
+    #[test]
+    fn enter_guard_restores_previous() {
+        let (obs, _ring) = Obs::ring(16);
+        let outer = obs.span("outer");
+        let _g = outer.enter();
+        {
+            let inner = obs.span("inner");
+            let _g2 = inner.enter();
+            assert_eq!(obs.current(), inner.ctx());
+        }
+        assert_eq!(obs.current(), outer.ctx());
+    }
+
+    #[test]
+    fn explicit_child_resumes_tree_across_threads() {
+        let (obs, ring) = Obs::ring(16);
+        let root = obs.span("root");
+        let ctx = root.ctx();
+        let obs2 = obs.clone();
+        std::thread::spawn(move || {
+            let _child = obs2.child_of(ctx, "remote");
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let spans = ring.snapshot();
+        let remote = spans.iter().find(|s| s.name == "remote").unwrap();
+        assert_eq!(remote.trace_id, ctx.unwrap().trace_id);
+        assert_eq!(remote.parent_id, Some(ctx.unwrap().span_id));
+    }
+
+    #[test]
+    fn fresh_metrics_shares_tracer_only() {
+        let (obs, ring) = Obs::ring(16);
+        obs.metrics().counter("a").inc();
+        let other = obs.with_fresh_metrics();
+        assert!(other.enabled());
+        assert_eq!(other.metrics().counter("a").get(), 0);
+        drop(other.span("from-other"));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests pinning the histogram's accuracy contract against an
+//! exact nearest-rank reference: for every workload and every quantile,
+//! `exact <= estimate <= 2 * exact` (and `estimate <= observed max`),
+//! with the degenerate cases — zeros, bucket boundaries, saturation —
+//! exercised explicitly. Seeded [`SimRng`] keeps every run reproducible.
+
+use alfredo_obs::Histogram;
+use alfredo_sim::SimRng;
+
+/// Exact nearest-rank quantile (1-based rank `ceil(q * n)`), the same
+/// rank definition the histogram approximates bucket-wise.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Feeds `values` into a fresh histogram and checks the accuracy
+/// contract at a spread of quantiles.
+fn assert_contract(label: &str, values: &[u64]) {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(h.count(), values.len() as u64, "{label}: count");
+
+    for &q in &[0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        assert!(
+            est >= exact,
+            "{label}: q={q} estimate {est} below exact {exact}"
+        );
+        let bound = if exact == 0 { 0 } else { 2 * exact };
+        assert!(
+            est <= bound.max(exact),
+            "{label}: q={q} estimate {est} above 2x exact {exact}"
+        );
+        assert!(
+            est <= *sorted.last().unwrap(),
+            "{label}: q={q} estimate {est} above observed max"
+        );
+    }
+
+    let snap = h.snapshot();
+    assert_eq!(snap.min, sorted[0], "{label}: min");
+    assert_eq!(snap.max, *sorted.last().unwrap(), "{label}: max");
+    assert_eq!(
+        snap.sum,
+        sorted.iter().copied().fold(0u64, u64::wrapping_add),
+        "{label}: sum"
+    );
+}
+
+#[test]
+fn uniform_workloads_meet_the_contract() {
+    for seed in [1u64, 7, 42, 1979] {
+        let mut rng = SimRng::seed_from(seed);
+        let values: Vec<u64> = (0..5_000).map(|_| rng.next_below(1_000_000)).collect();
+        assert_contract(&format!("uniform seed={seed}"), &values);
+    }
+}
+
+#[test]
+fn exponential_workloads_meet_the_contract() {
+    // Latency-shaped: most samples small, a long tail — the distribution
+    // the rtt/serve histograms actually see.
+    for seed in [3u64, 1234] {
+        let mut rng = SimRng::seed_from(seed);
+        let values: Vec<u64> = (0..5_000)
+            .map(|_| rng.exponential(250.0).min(1e15) as u64)
+            .collect();
+        assert_contract(&format!("exponential seed={seed}"), &values);
+    }
+}
+
+#[test]
+fn constant_workload_is_exact() {
+    let h = Histogram::new();
+    for _ in 0..1_000 {
+        h.record(777);
+    }
+    // Every quantile clamps to the observed max, which *is* the value.
+    for &q in &[0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 777);
+    }
+}
+
+#[test]
+fn zeros_and_small_values_stay_exact() {
+    assert_contract("all zeros", &vec![0u64; 100]);
+    assert_contract("zero and one", &[0, 0, 0, 1, 1]);
+    // 0 and 1 occupy dedicated buckets, so estimates are exact.
+    let h = Histogram::new();
+    for v in [0u64, 0, 0, 1, 1] {
+        h.record(v);
+    }
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(1.0), 1);
+}
+
+#[test]
+fn bucket_boundaries_round_trip() {
+    // Powers of two land on bucket edges — the classic off-by-one spot.
+    // Each 2^k is its bucket's smallest member, each 2^k - 1 the largest.
+    let mut values = Vec::new();
+    for k in 0..40u32 {
+        values.push(1u64 << k);
+        values.push((1u64 << k) - 1);
+        values.push((1u64 << k) + 1);
+    }
+    assert_contract("bucket boundaries", &values);
+}
+
+#[test]
+fn saturation_bucket_absorbs_the_top_end() {
+    let h = Histogram::new();
+    // All beyond the last finite bucket bound (2^38).
+    let huge = [1u64 << 38, 1 << 45, 1 << 60, u64::MAX];
+    for &v in &huge {
+        h.record(v);
+    }
+    // The saturation bucket's upper bound is u64::MAX, clamped to the
+    // observed max — so the top quantile is exact even up here.
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    assert_eq!(h.snapshot().max, u64::MAX);
+    assert_eq!(h.count(), huge.len() as u64);
+    // And everything landed in one bucket: the last one.
+    let counts = h.bucket_counts();
+    assert_eq!(*counts.last().unwrap(), huge.len() as u64);
+    assert_eq!(counts.iter().sum::<u64>(), huge.len() as u64);
+}
+
+#[test]
+fn mixed_magnitudes_meet_the_contract() {
+    let mut rng = SimRng::seed_from(99);
+    let mut values = Vec::new();
+    for _ in 0..2_000 {
+        // Spread samples across ~12 orders of magnitude.
+        let magnitude = rng.next_below(40);
+        values.push(rng.next_below((1u64 << magnitude).max(2)));
+    }
+    assert_contract("mixed magnitudes", &values);
+}

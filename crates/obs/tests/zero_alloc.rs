@@ -1,0 +1,88 @@
+//! Zero-cost-when-disabled, enforced with a counting allocator: with
+//! tracing disabled and no event subscribers, the hot-path operations —
+//! span creation, field setting, counter/gauge/histogram updates, event
+//! emission — must perform no heap allocation at all.
+//!
+//! Everything lives in ONE test function: the counting allocator is
+//! process-global, and a second test running concurrently would bleed
+//! its allocations into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_observability_does_not_allocate() {
+    // Set-up phase (allowed to allocate): instruments registered once,
+    // handles kept, exactly as the endpoint does at establish time.
+    let obs = alfredo_obs::Obs::disabled();
+    let metrics = obs.metrics().clone();
+    let counter = metrics.counter("fastpath.calls");
+    let gauge = metrics.gauge("fastpath.inflight");
+    let histogram = metrics.histogram("fastpath.rtt_us");
+    assert!(!obs.enabled());
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        // Disabled spans: the name/field closures must never run — each
+        // would allocate (and the assert below would catch it).
+        let mut span = obs.span_dyn(|| format!("rpc:{i}"));
+        span.set_with("interface", || "x".repeat(64));
+        let _guard = span.enter();
+        let mut child = obs.child_dyn(span.ctx(), || format!("serve:{i}"));
+        child.set_with("outcome", || "ok".to_owned());
+        drop(child);
+        drop(_guard);
+        drop(span);
+
+        // Metrics: relaxed atomics only.
+        counter.inc();
+        gauge.add(1);
+        histogram.record(i);
+        gauge.add(-1);
+
+        // Events with nobody subscribed: the field closure must not run.
+        assert!(!alfredo_obs::events_enabled());
+        alfredo_obs::event("fastpath", "tick", || {
+            vec![("i".to_string(), i.to_string())]
+        });
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-path ops allocated {} times",
+        after - before
+    );
+    // The work still happened where it should have.
+    assert_eq!(counter.get(), 10_000);
+    assert_eq!(histogram.count(), 10_000);
+    assert_eq!(gauge.get(), 0);
+}

@@ -467,6 +467,14 @@ impl Framework {
     }
 
     fn emit_bundle(&self, event: BundleEvent) {
+        // Lifecycle transitions also go to the process-wide obs hub so a
+        // trace of a session can show which bundles moved underneath it.
+        alfredo_obs::event("osgi.lifecycle", "bundle", || {
+            vec![
+                ("bundle".to_string(), format!("{:?}", event.bundle)),
+                ("state".to_string(), format!("{:?}", event.state)),
+            ]
+        });
         let listeners: Vec<BundleListener> = self
             .inner
             .bundle_listeners
@@ -483,6 +491,9 @@ impl Framework {
     /// that higher layers (e.g. the remote-service layer) can report
     /// framework-level errors through the standard channel.
     pub fn emit_framework(&self, event: FrameworkEvent) {
+        alfredo_obs::event("osgi.lifecycle", "framework", || {
+            vec![("event".to_string(), format!("{event:?}"))]
+        });
         let listeners: Vec<FrameworkListener> = self
             .inner
             .framework_listeners

@@ -31,6 +31,7 @@ use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 use alfredo_sync::{Mutex, RwLock};
 
 use alfredo_net::{BufferPool, ByteWriter, CloseReason, Transport, TransportError};
+use alfredo_obs::{Counter, Histogram, MetricsHandle, Obs, Span, SpanCtx};
 use alfredo_osgi::events::topic_matches;
 use alfredo_osgi::{
     BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework,
@@ -114,6 +115,13 @@ pub struct EndpointConfig {
     /// re-dial, re-run the handshake, and re-bind surviving proxies in
     /// place instead of tearing the endpoint down.
     pub reconnect: Option<ReconnectConfig>,
+    /// Observability handle. The default ([`Obs::disabled`]) keeps span
+    /// creation a no-op branch on the invoke fast path; a recording
+    /// handle traces handshake, invocations (both sides, linked across
+    /// the wire), fetches, and reconnects into its sink. The endpoint
+    /// always keeps its own per-endpoint metrics registry — only the
+    /// tracer is shared.
+    pub obs: Obs,
 }
 
 /// Dials a replacement transport for a reconnecting endpoint.
@@ -178,6 +186,7 @@ impl Default for EndpointConfig {
             lease_ttl: None,
             retry: RetryPolicy::default(),
             reconnect: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -232,6 +241,12 @@ impl EndpointConfig {
     /// Builder-style: enables automatic reconnection through `reconnect`.
     pub fn with_reconnect(mut self, reconnect: ReconnectConfig) -> Self {
         self.reconnect = Some(reconnect);
+        self
+    }
+
+    /// Builder-style: attaches an observability handle (span tracing).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -319,21 +334,53 @@ type FetchParts = (
 );
 type FetchWaiter = Sender<Result<(FetchParts, usize), RosgiError>>;
 
-#[derive(Default)]
+/// The endpoint's instruments, registered in its per-endpoint metrics
+/// registry under `rosgi.*` names. Each handle is a relaxed atomic —
+/// the same cost the ad-hoc `AtomicU64` fields had — but the values are
+/// now also visible through [`MetricsHandle::render_text`] (the web
+/// gateway's `/metrics` dump).
 struct Counters {
-    calls_sent: AtomicU64,
-    calls_served: AtomicU64,
-    events_forwarded: AtomicU64,
-    events_received: AtomicU64,
-    frames_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    retries: AtomicU64,
-    reconnects: AtomicU64,
-    lease_expiries: AtomicU64,
-    heartbeats_sent: AtomicU64,
-    heartbeats_missed: AtomicU64,
+    calls_sent: Counter,
+    calls_served: Counter,
+    events_forwarded: Counter,
+    events_received: Counter,
+    frames_sent: Counter,
+    frames_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    retries: Counter,
+    reconnects: Counter,
+    lease_expiries: Counter,
+    heartbeats_sent: Counter,
+    heartbeats_missed: Counter,
+    /// Caller-observed invoke round-trip, microseconds. Only recorded
+    /// when tracing is enabled (it needs clock reads the disabled fast
+    /// path must not pay).
+    invoke_rtt_us: Histogram,
+    /// Device-side service execution time, microseconds. Same gating.
+    serve_us: Histogram,
+}
+
+impl Counters {
+    fn register(metrics: &MetricsHandle) -> Counters {
+        Counters {
+            calls_sent: metrics.counter("rosgi.calls_sent"),
+            calls_served: metrics.counter("rosgi.calls_served"),
+            events_forwarded: metrics.counter("rosgi.events_forwarded"),
+            events_received: metrics.counter("rosgi.events_received"),
+            frames_sent: metrics.counter("rosgi.frames_sent"),
+            frames_received: metrics.counter("rosgi.frames_received"),
+            bytes_sent: metrics.counter("rosgi.bytes_sent"),
+            bytes_received: metrics.counter("rosgi.bytes_received"),
+            retries: metrics.counter("rosgi.retries"),
+            reconnects: metrics.counter("rosgi.reconnects"),
+            lease_expiries: metrics.counter("rosgi.lease_expiries"),
+            heartbeats_sent: metrics.counter("rosgi.heartbeats_sent"),
+            heartbeats_missed: metrics.counter("rosgi.heartbeats_missed"),
+            invoke_rtt_us: metrics.histogram("rosgi.invoke_rtt_us"),
+            serve_us: metrics.histogram("rosgi.serve_us"),
+        }
+    }
 }
 
 struct Inner {
@@ -374,6 +421,12 @@ struct Inner {
     /// Wakes/stops the heartbeat thread.
     hb_stop: (Sender<()>, Receiver<()>),
     counters: Counters,
+    /// Per-endpoint metrics + the (possibly shared) tracer.
+    obs: Obs,
+    /// Trace context of whatever span was current when the endpoint was
+    /// established (e.g. the engine's `interaction` span). Reconnect
+    /// spans run on the reader thread and parent here explicitly.
+    conn_ctx: Option<SpanCtx>,
 }
 
 /// One side of a live R-OSGi connection. See the crate docs for a complete
@@ -409,6 +462,12 @@ impl RemoteEndpoint {
         };
         let mut leases = LeaseTable::new();
         leases.set_ttl(config.lease_ttl);
+        // Per-endpoint metrics, shared tracer: two endpoints configured
+        // with the same `Obs` contribute spans to one trace while their
+        // `rosgi.*` counters stay independent (EndpointStats semantics).
+        let obs = config.obs.with_fresh_metrics();
+        let counters = Counters::register(obs.metrics());
+        let conn_ctx = obs.current();
         let inner = Arc::new(Inner {
             transport: RwLock::new(transport),
             framework,
@@ -435,12 +494,23 @@ impl RemoteEndpoint {
             health: HealthMonitor::new(),
             disconnect_reason: Mutex::new(DisconnectReason::None),
             hb_stop: channel::bounded(4),
-            counters: Counters::default(),
+            counters,
+            obs,
+            conn_ctx,
         });
 
         // --- handshake (both directions) ---
         let wire = inner.wire();
-        let (peer, services) = run_handshake(&inner, &wire)?;
+        let mut hs_span = inner.obs.span("handshake");
+        let (peer, services) = match run_handshake(&inner, &wire) {
+            Ok(out) => out,
+            Err(e) => {
+                hs_span.set("outcome", "error");
+                return Err(e);
+            }
+        };
+        hs_span.set_with("peer", || peer.clone());
+        drop(hs_span);
         *inner.remote_peer.lock() = peer;
         inner.leases.lock().reset(services);
 
@@ -550,26 +620,33 @@ impl RemoteEndpoint {
         let c = &self.inner.counters;
         let pool = self.inner.pool.stats();
         EndpointStats {
-            calls_sent: c.calls_sent.load(Ordering::Relaxed),
-            calls_served: c.calls_served.load(Ordering::Relaxed),
-            events_forwarded: c.events_forwarded.load(Ordering::Relaxed),
-            events_received: c.events_received.load(Ordering::Relaxed),
-            frames_sent: c.frames_sent.load(Ordering::Relaxed),
-            frames_received: c.frames_received.load(Ordering::Relaxed),
-            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            calls_sent: c.calls_sent.get(),
+            calls_served: c.calls_served.get(),
+            events_forwarded: c.events_forwarded.get(),
+            events_received: c.events_received.get(),
+            frames_sent: c.frames_sent.get(),
+            frames_received: c.frames_received.get(),
+            bytes_sent: c.bytes_sent.get(),
+            bytes_received: c.bytes_received.get(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
             pool_returns: pool.returns,
             bytes_reused: pool.bytes_reused,
             slots_reused: self.inner.calls.slots_reused(),
-            retries: c.retries.load(Ordering::Relaxed),
-            reconnects: c.reconnects.load(Ordering::Relaxed),
-            lease_expiries: c.lease_expiries.load(Ordering::Relaxed),
-            heartbeats_sent: c.heartbeats_sent.load(Ordering::Relaxed),
-            heartbeats_missed: c.heartbeats_missed.load(Ordering::Relaxed),
+            retries: c.retries.get(),
+            reconnects: c.reconnects.get(),
+            lease_expiries: c.lease_expiries.get(),
+            heartbeats_sent: c.heartbeats_sent.get(),
+            heartbeats_missed: c.heartbeats_missed.get(),
             last_disconnect: *self.inner.disconnect_reason.lock(),
         }
+    }
+
+    /// The endpoint's observability handle: its per-endpoint metrics
+    /// registry (the `rosgi.*` instruments behind [`Self::stats`]) plus
+    /// whatever tracer the configuration attached.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// The endpoint's current link health.
@@ -614,6 +691,7 @@ impl RemoteEndpoint {
         if inner.closed.load(Ordering::SeqCst) {
             return Err(RosgiError::Closed);
         }
+        let mut span = inner.obs.span_dyn(|| format!("fetch:{interface}"));
         // Note: the local lease table is advisory only — lease updates
         // arrive asynchronously, so a service registered on the peer a
         // moment ago may not be listed yet. The peer is authoritative and
@@ -717,6 +795,8 @@ impl RemoteEndpoint {
             .lock()
             .insert(interface.to_owned(), bundle);
 
+        span.set_with("transferred_bytes", || transferred_bytes.to_string());
+        span.set_with("smart", || smart.to_string());
         Ok(FetchedService {
             interface: iface,
             bundle,
@@ -929,6 +1009,11 @@ pub struct CallHandle {
     inner: Arc<Inner>,
     call_id: u64,
     slot: Arc<CallSlot<CallResult>>,
+    /// The caller-side `rpc:` span; ends (and is recorded) when the
+    /// response is harvested or the handle is dropped.
+    span: Span,
+    /// Set only while tracing: feeds the `rosgi.invoke_rtt_us` histogram.
+    started: Option<Instant>,
 }
 
 impl CallHandle {
@@ -959,8 +1044,10 @@ impl CallHandle {
             inner,
             call_id,
             slot,
+            mut span,
+            started,
         } = self;
-        match slot.wait(timeout) {
+        let outcome = match slot.wait(timeout) {
             Some(result) => {
                 inner.calls.recycle(call_id, slot);
                 result
@@ -970,7 +1057,19 @@ impl CallHandle {
                 inner.calls.recycle(call_id, slot);
                 Err(ServiceCallError::Remote("timeout".into()))
             }
+        };
+        if let Some(t0) = started {
+            inner.counters.invoke_rtt_us.record_duration(t0.elapsed());
         }
+        span.set(
+            "outcome",
+            match &outcome {
+                Ok(_) => "ok",
+                Err(ServiceCallError::Remote(m)) if m == "timeout" => "timeout",
+                Err(_) => "error",
+            },
+        );
+        outcome
     }
 }
 
@@ -1047,19 +1146,15 @@ impl Inner {
         let mut w = ByteWriter::with_pool(&self.pool);
         msg.encode_into(&mut w);
         let frame = w.into_bytes();
-        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes_sent
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.counters.frames_sent.inc();
+        self.counters.bytes_sent.add(frame.len() as u64);
         wire.send(frame)?;
         Ok(())
     }
 
     fn send_frame(&self, frame: Vec<u8>) -> Result<(), RosgiError> {
-        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes_sent
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.counters.frames_sent.inc();
+        self.counters.bytes_sent.add(frame.len() as u64);
         self.wire().send(frame)?;
         Ok(())
     }
@@ -1095,6 +1190,12 @@ impl Inner {
         let mut slot = self.disconnect_reason.lock();
         if *slot == DisconnectReason::None {
             *slot = reason;
+            alfredo_obs::event("rosgi.endpoint", "disconnect", || {
+                vec![
+                    ("peer".to_string(), self.config.peer_name.clone()),
+                    ("reason".to_string(), format!("{reason:?}")),
+                ]
+            });
         }
     }
 
@@ -1154,7 +1255,7 @@ impl Inner {
             let _ = self.framework.uninstall(bundle);
         }
         self.leases.lock().reset(fresh);
-        self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        self.counters.reconnects.inc();
         *self.disconnect_reason.lock() = DisconnectReason::None;
         self.health.transition(HealthState::Healthy);
     }
@@ -1196,7 +1297,7 @@ impl Inner {
                         && Instant::now() < deadline
                         && self.is_idempotent(interface, method) =>
                 {
-                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.counters.retries.inc();
                     let backoff = retry
                         .backoff_for(attempt)
                         .min(deadline.saturating_duration_since(Instant::now()));
@@ -1239,7 +1340,14 @@ impl Inner {
         }
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = self.calls.register(call_id);
-        self.counters.calls_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters.calls_sent.inc();
+        // Tracing disabled (the default): `span` is `None`, `trace` is
+        // `None`, `started` is `None` — three dead branches, no
+        // allocation, no clock read, and the frame stays byte-identical.
+        let mut span = self.obs.span_dyn(|| format!("rpc:{method}"));
+        let trace = span.ctx();
+        let started = trace.map(|_| Instant::now());
+        span.set_with("interface", || interface.to_owned());
         let sent = if self.config.legacy_invoke_path {
             self.send(&Message::Invoke {
                 call_id,
@@ -1249,18 +1357,21 @@ impl Inner {
             })
         } else {
             let mut w = ByteWriter::with_pool(&self.pool);
-            Message::encode_invoke(&mut w, call_id, interface, method, args);
+            Message::encode_invoke(&mut w, call_id, interface, method, args, trace);
             self.send_frame(w.into_bytes())
         };
         if sent.is_err() {
             self.calls.cancel(call_id);
             self.calls.recycle(call_id, slot);
+            span.set("outcome", "send-failed");
             return Err(ServiceCallError::ServiceGone);
         }
         Ok(CallHandle {
             inner: Arc::clone(self),
             call_id,
             slot,
+            span,
+            started,
         })
     }
 
@@ -1304,9 +1415,7 @@ impl Inner {
         if !interested {
             return;
         }
-        self.counters
-            .events_forwarded
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.events_forwarded.inc();
         let _ = self.send(&Message::RemoteEvent {
             topic: event.topic.clone(),
             properties: event.properties.clone(),
@@ -1392,15 +1501,13 @@ impl Inner {
                 interface,
                 method,
                 args,
-            } => self.serve_and_respond(call_id, &interface, &method, &args),
+            } => self.serve_and_respond(call_id, &interface, &method, &args, None),
             Message::Response { call_id, result } => {
                 // Unknown ids (timed-out calls) are dropped.
                 self.calls.complete(call_id, result);
             }
             Message::RemoteEvent { topic, properties } => {
-                self.counters
-                    .events_received
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.events_received.inc();
                 let mut props = properties;
                 props.insert(PROP_EVENT_REMOTE, true);
                 self.framework.event_admin().post(&Event::new(topic, props));
@@ -1459,10 +1566,27 @@ impl Inner {
     /// Serves a peer's invocation against the local registry.
     /// Serves one incoming invocation and sends the response frame. Used
     /// by both the owned [`Message::Invoke`] arm and the borrowed
-    /// fast-path decode in the reader loop.
-    fn serve_and_respond(&self, call_id: u64, interface: &str, method: &str, args: &[Value]) {
-        self.counters.calls_served.fetch_add(1, Ordering::Relaxed);
+    /// fast-path decode in the reader loop. `trace` is the caller's
+    /// wire-propagated span context: when present (and tracing is on
+    /// here) the serve span joins the caller's trace as a child of its
+    /// `rpc:` span — one connected tree across both endpoints.
+    fn serve_and_respond(
+        &self,
+        call_id: u64,
+        interface: &str,
+        method: &str,
+        args: &[Value],
+        trace: Option<SpanCtx>,
+    ) {
+        self.counters.calls_served.inc();
+        let mut span = self.obs.child_dyn(trace, || format!("serve:{method}"));
+        let started = span.is_recording().then(Instant::now);
         let result = self.serve_invoke(interface, method, args);
+        if let Some(t0) = started {
+            self.counters.serve_us.record_duration(t0.elapsed());
+        }
+        span.set("outcome", if result.is_ok() { "ok" } else { "error" });
+        drop(span);
         if self.config.legacy_invoke_path {
             let _ = self.send(&Message::Response { call_id, result });
         } else {
@@ -1664,14 +1788,8 @@ fn run_handshake(
             .checked_duration_since(Instant::now())
             .ok_or_else(|| RosgiError::Handshake("handshake timed out".into()))?;
         let frame = wire.recv_timeout(remaining)?;
-        inner
-            .counters
-            .frames_received
-            .fetch_add(1, Ordering::Relaxed);
-        inner
-            .counters
-            .bytes_received
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        inner.counters.frames_received.inc();
+        inner.counters.bytes_received.add(frame.len() as u64);
         match Message::decode(&frame)? {
             Message::Hello { peer: p, version } => {
                 if version != PROTOCOL_VERSION {
@@ -1718,10 +1836,18 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
         // so "an AlfredO client does not store outdated data over time".
         let expired = inner.leases.lock().purge_expired(Instant::now());
         for entry in expired {
-            inner
-                .counters
-                .lease_expiries
-                .fetch_add(1, Ordering::Relaxed);
+            inner.counters.lease_expiries.inc();
+            alfredo_obs::event("rosgi.endpoint", "lease_expired", || {
+                vec![(
+                    "interfaces".to_string(),
+                    entry
+                        .interfaces
+                        .iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )]
+            });
             for iface in entry.interfaces.iter() {
                 let bundle = inner.proxy_bundles.lock().remove(iface);
                 if let Some(b) = bundle {
@@ -1733,10 +1859,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
             // The reader owns reconnection; probing a dead wire is noise.
             continue;
         }
-        inner
-            .counters
-            .heartbeats_sent
-            .fetch_add(1, Ordering::Relaxed);
+        inner.counters.heartbeats_sent.inc();
         match inner.ping_inner(hb.timeout) {
             Ok(_) => {
                 misses = 0;
@@ -1747,10 +1870,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
             }
             Err(RosgiError::Transport(TransportError::Timeout)) => {
                 misses += 1;
-                inner
-                    .counters
-                    .heartbeats_missed
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.counters.heartbeats_missed.inc();
                 if misses >= hb.disconnected_after {
                     inner.record_disconnect(DisconnectReason::HeartbeatTimeout);
                     // Closing the wire wakes the blocked reader, which
@@ -1775,6 +1895,10 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
 /// the endpoint is healthy again, `false` when every attempt failed or an
 /// orderly shutdown intervened.
 fn try_reconnect(inner: &Arc<Inner>, rc: &ReconnectConfig) -> bool {
+    // Runs on the reader thread: parent explicitly under whatever span
+    // was current when the endpoint was established, so reconnects show
+    // up inside the interaction's trace.
+    let mut span = inner.obs.child_of(inner.conn_ctx, "reconnect");
     for attempt in 0..rc.max_attempts {
         // Back off in small slices so an orderly close() aborts promptly.
         let mut left = rc.backoff_for(attempt);
@@ -1797,11 +1921,14 @@ fn try_reconnect(inner: &Arc<Inner>, rc: &ReconnectConfig) -> bool {
         match run_handshake(inner, &wire) {
             Ok((peer, services)) => {
                 inner.adopt_wire(wire, peer, services);
+                span.set_with("attempts", || (attempt + 1).to_string());
+                span.set("outcome", "ok");
                 return true;
             }
             Err(_) => wire.close(),
         }
     }
+    span.set("outcome", "gave-up");
     false
 }
 
@@ -1826,14 +1953,8 @@ fn reader_loop(inner: Arc<Inner>) {
                     };
                 }
             };
-            inner
-                .counters
-                .frames_received
-                .fetch_add(1, Ordering::Relaxed);
-            inner
-                .counters
-                .bytes_received
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            inner.counters.frames_received.inc();
+            inner.counters.bytes_received.add(frame.len() as u64);
             // Invocations — the hot frame type — are served straight off
             // the frame bytes: interface and method stay borrowed, no
             // `Message` is materialized. Everything else takes the owned
@@ -1841,7 +1962,13 @@ fn reader_loop(inner: Arc<Inner>) {
             if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
                 match Message::decode_invoke_borrowed(&frame) {
                     Ok(inv) => {
-                        inner.serve_and_respond(inv.call_id, inv.interface, inv.method, &inv.args);
+                        inner.serve_and_respond(
+                            inv.call_id,
+                            inv.interface,
+                            inv.method,
+                            &inv.args,
+                            inv.trace,
+                        );
                         drop(inv);
                         inner.pool.give(frame);
                         continue 'wire;

@@ -160,6 +160,14 @@ impl HealthMonitor {
     }
 
     fn notify(&self, event: HealthEvent) {
+        // Structured diagnostics instead of debug prints: tests subscribe
+        // to the obs hub and assert on transitions; stdout stays clean.
+        alfredo_obs::event("rosgi.health", "transition", || {
+            vec![
+                ("from".to_string(), format!("{:?}", event.from)),
+                ("to".to_string(), format!("{:?}", event.to)),
+            ]
+        });
         // Snapshot under the lock, call outside it: a listener may
         // subscribe/unsubscribe others.
         let listeners: Vec<Listener> = self

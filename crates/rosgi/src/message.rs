@@ -7,6 +7,7 @@
 //! simulated links.
 
 use alfredo_net::{ByteReader, ByteWriter, WireError};
+use alfredo_obs::SpanCtx;
 use alfredo_osgi::{Properties, ServiceCallError, ServiceInterfaceDesc, Value};
 
 use crate::codec::{decode_properties, decode_value, encode_properties, encode_value};
@@ -148,6 +149,8 @@ pub struct BorrowedInvoke<'a> {
     pub method: &'a str,
     /// Decoded arguments.
     pub args: Vec<Value>,
+    /// Caller-side trace context, when the caller traced this call.
+    pub trace: Option<SpanCtx>,
 }
 
 const TAG_HELLO: u8 = 1;
@@ -166,6 +169,29 @@ const TAG_STREAM_CREDIT: u8 = 13;
 const TAG_PING: u8 = 14;
 const TAG_PONG: u8 = 15;
 const TAG_BYE: u8 = 16;
+
+/// Marker byte introducing the optional trailing trace-context field on
+/// an `Invoke` frame.
+const TRACE_CONTEXT_MARKER: u8 = 1;
+
+/// Reads the optional trailing trace-context field of an `Invoke` frame:
+/// absent (reader already empty) means an untraced call.
+fn decode_trace_context(r: &mut ByteReader<'_>) -> Result<Option<SpanCtx>, WireError> {
+    if r.is_empty() {
+        return Ok(None);
+    }
+    let marker = r.u8()?;
+    if marker != TRACE_CONTEXT_MARKER {
+        return Err(WireError::InvalidTag {
+            context: "Invoke trace context",
+            tag: marker,
+        });
+    }
+    Ok(Some(SpanCtx {
+        trace_id: r.varint()?,
+        span_id: r.varint()?,
+    }))
+}
 
 const ERR_NO_SUCH_METHOD: u8 = 0;
 const ERR_BAD_ARGUMENTS: u8 = 1;
@@ -257,7 +283,7 @@ impl Message {
                 interface,
                 method,
                 args,
-            } => Message::encode_invoke(w, *call_id, interface, method, args),
+            } => Message::encode_invoke(w, *call_id, interface, method, args, None),
             Message::Response { call_id, result } => Message::encode_response(w, *call_id, result),
             Message::RemoteEvent { topic, properties } => {
                 w.put_u8(TAG_REMOTE_EVENT);
@@ -294,13 +320,22 @@ impl Message {
 
     /// Encodes an `Invoke` frame directly from borrowed parts, sparing
     /// the caller the `String`/`Vec` clones a [`Message::Invoke`] value
-    /// would require. Wire-identical to encoding the owned message.
+    /// would require. Wire-identical to encoding the owned message when
+    /// `trace` is `None`.
+    ///
+    /// The trace context is an **optional trailing field**: with tracing
+    /// disabled nothing is appended, so untraced frames are byte-for-byte
+    /// what PR 2 shipped (the wire-budget test pins this). With tracing
+    /// enabled a marker byte plus two varints carry the caller's
+    /// `trace_id`/`span_id` so the device side can parent its serve span
+    /// under the caller's rpc span.
     pub fn encode_invoke(
         w: &mut ByteWriter,
         call_id: u64,
         interface: &str,
         method: &str,
         args: &[Value],
+        trace: Option<SpanCtx>,
     ) {
         w.put_u8(TAG_INVOKE);
         w.put_varint(call_id);
@@ -309,6 +344,11 @@ impl Message {
         w.put_varint(args.len() as u64);
         for a in args {
             encode_value(w, a);
+        }
+        if let Some(ctx) = trace {
+            w.put_u8(TRACE_CONTEXT_MARKER);
+            w.put_varint(ctx.trace_id);
+            w.put_varint(ctx.span_id);
         }
     }
 
@@ -378,6 +418,7 @@ impl Message {
         for _ in 0..n {
             args.push(decode_value(&mut r)?);
         }
+        let trace = decode_trace_context(&mut r)?;
         if !r.is_empty() {
             return Err(WireError::InvalidTag {
                 context: "BorrowedInvoke (trailing bytes)",
@@ -389,6 +430,7 @@ impl Message {
             interface,
             method,
             args,
+            trace,
         })
     }
 
@@ -486,6 +528,10 @@ impl Message {
                 for _ in 0..n {
                     args.push(decode_value(r)?);
                 }
+                // The owned variant carries no trace context; consume and
+                // drop the optional trailing field so traced frames still
+                // decode (the borrowed path is the one that uses it).
+                decode_trace_context(r)?;
                 Message::Invoke {
                     call_id,
                     interface,

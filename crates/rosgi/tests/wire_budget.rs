@@ -3,6 +3,7 @@
 //! invoke/response path are caught in CI rather than on the wire.
 
 use alfredo_net::ByteWriter;
+use alfredo_obs::SpanCtx;
 use alfredo_osgi::Value;
 use alfredo_rosgi::Message;
 
@@ -12,6 +13,11 @@ use alfredo_rosgi::Message;
 /// it or consciously re-record the budget here.
 const INVOKE_FRAME_BUDGET: usize = 58;
 const RESPONSE_FRAME_BUDGET: usize = 23;
+
+/// The trace context is an optional *trailing* field: an untraced frame
+/// must cost exactly what it did before tracing existed, and a traced one
+/// at most a marker byte plus two varint ids.
+const TRACE_CONTEXT_MAX_OVERHEAD: usize = 1 + 10 + 10;
 
 fn canonical_args() -> Vec<Value> {
     vec![Value::I64(42), Value::Str("ping-pong payload".into())]
@@ -25,6 +31,7 @@ fn canonical_invoke_frame() -> Vec<u8> {
         "alfredo.shop.CartService",
         "addItem",
         &canonical_args(),
+        None,
     );
     w.into_bytes()
 }
@@ -49,6 +56,42 @@ fn response_frame_stays_within_budget() {
         "canonical Response frame grew to {} bytes (budget {RESPONSE_FRAME_BUDGET})",
         frame.len()
     );
+}
+
+#[test]
+fn traced_invoke_frame_roundtrips_and_stays_small() {
+    let ctx = SpanCtx {
+        trace_id: u64::MAX,
+        span_id: u64::MAX,
+    };
+    let mut w = ByteWriter::new();
+    Message::encode_invoke(
+        &mut w,
+        1000,
+        "alfredo.shop.CartService",
+        "addItem",
+        &canonical_args(),
+        Some(ctx),
+    );
+    let frame = w.into_bytes();
+    let untraced = canonical_invoke_frame();
+    assert!(
+        frame.len() <= untraced.len() + TRACE_CONTEXT_MAX_OVERHEAD,
+        "trace context added {} bytes (cap {TRACE_CONTEXT_MAX_OVERHEAD})",
+        frame.len() - untraced.len()
+    );
+    // The traced frame is the untraced frame plus a trailing field.
+    assert_eq!(&frame[..untraced.len()], untraced.as_slice());
+
+    let borrowed = Message::decode_invoke_borrowed(&frame).expect("borrowed decode");
+    assert_eq!(borrowed.trace, Some(ctx));
+    // The owned decoder tolerates (and drops) the trailing field.
+    assert!(matches!(
+        Message::decode(&frame),
+        Ok(Message::Invoke { call_id: 1000, .. })
+    ));
+    // A truncated trace context is rejected, not silently ignored.
+    assert!(Message::decode_invoke_borrowed(&frame[..frame.len() - 1]).is_err());
 }
 
 #[test]

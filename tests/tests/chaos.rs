@@ -13,10 +13,13 @@ use std::time::{Duration, Instant};
 
 use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
 use alfredo_core::session::ActionOutcome;
-use alfredo_core::{serve_device, AlfredOEngine, EngineConfig, OutagePolicy, ResilienceConfig};
+use alfredo_core::{
+    serve_device_with_obs, AlfredOEngine, EngineConfig, OutagePolicy, ResilienceConfig,
+};
 use alfredo_net::{
     FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr, Transport, TransportError,
 };
+use alfredo_obs::{Obs, RingSink, SpanRecord};
 use alfredo_osgi::{Framework, Value};
 use alfredo_rosgi::{DiscoveryDirectory, HealthState, HeartbeatConfig, ReconnectFn, RetryPolicy};
 use alfredo_ui::{DeviceCapabilities, UiEvent};
@@ -61,14 +64,28 @@ fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
 
 /// Runs the scripted interaction; `seed: Some(..)` injects 5% frame drop
 /// plus a mid-session partition, `None` is the fault-free baseline.
-fn run_interaction(seed: Option<u64>) -> FinalState {
+///
+/// Chaos runs record every span on both endpoints into a shared ring
+/// (returned for structural assertions after the connection drops); the
+/// baseline runs with tracing disabled, proving the same interaction
+/// works in both modes.
+fn run_interaction(seed: Option<u64>) -> (FinalState, Option<Arc<RingSink>>) {
+    let (obs, ring) = match seed {
+        Some(_) => {
+            let (obs, ring) = Obs::ring(65_536);
+            (obs, Some(ring))
+        }
+        None => (Obs::disabled(), None),
+    };
     let net = InMemoryNetwork::new();
     let device_fw = Framework::new();
     let (service, _reg) = register_mouse_controller(&device_fw, 1280, 800).unwrap();
-    let device = serve_device(&net, device_fw, PeerAddr::new("laptop")).unwrap();
+    let device =
+        serve_device_with_obs(&net, device_fw, PeerAddr::new("laptop"), obs.clone()).unwrap();
 
     let mut config = EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i())
-        .with_resilience(resilience());
+        .with_resilience(resilience())
+        .with_obs(obs);
     config.invoke_timeout = Duration::from_millis(200);
     let engine = AlfredOEngine::new(
         Framework::new(),
@@ -202,17 +219,88 @@ fn run_interaction(seed: Option<u64>) -> FinalState {
     session.close();
     conn.close();
     device.stop();
-    final_state
+    (final_state, ring)
+}
+
+/// Structural assertions over the chaos run's trace: one connected tree
+/// spanning both endpoints, with the fault handling (retried RPCs,
+/// the reconnect) visible as child spans. Always writes the JSONL
+/// artifact first, so a failing assertion leaves the evidence on disk
+/// for CI to upload.
+fn assert_chaos_trace(seed: u64, ring: &RingSink) {
+    let spans = ring.snapshot();
+    let artifact = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../target/chaos-traces/chaos-seed-{seed}.jsonl"));
+    ring.write_jsonl(&artifact).expect("write chaos trace");
+
+    let interactions: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "interaction").collect();
+    assert_eq!(interactions.len(), 1, "seed {seed}: one interaction root");
+    let trace = interactions[0].trace_id;
+    let in_trace: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace_id == trace).collect();
+    let ids: std::collections::HashSet<u64> = in_trace.iter().map(|s| s.span_id).collect();
+
+    // Connected: every non-root span's parent lives in the same trace.
+    for span in &in_trace {
+        match span.parent_id {
+            None => assert_eq!(span.span_id, interactions[0].span_id),
+            Some(p) => assert!(
+                ids.contains(&p),
+                "seed {seed}: span {} is orphaned from the tree",
+                span.name
+            ),
+        }
+    }
+
+    let count = |prefix: &str| {
+        in_trace
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .count()
+    };
+    // Phase A alone issues 121 session invokes; under 5% frame drop the
+    // retries show up as *extra* rpc attempt spans beneath them.
+    let invokes = count("invoke:");
+    let rpcs = count("rpc:");
+    assert!(invokes >= 121, "seed {seed}: {invokes} invoke spans");
+    assert!(
+        rpcs > invokes,
+        "seed {seed}: retries must add rpc spans beyond the {invokes} invokes (got {rpcs})"
+    );
+    // The device's serves joined the same trace across the lossy wire.
+    assert!(
+        count("serve:") >= 121,
+        "seed {seed}: device serves in-trace"
+    );
+    // The partition's recovery is a span too, hanging off the interaction.
+    let reconnects: Vec<&&SpanRecord> = in_trace.iter().filter(|s| s.name == "reconnect").collect();
+    assert!(
+        !reconnects.is_empty(),
+        "seed {seed}: reconnect span present"
+    );
+    for r in &reconnects {
+        assert_eq!(
+            r.parent_id,
+            Some(interactions[0].span_id),
+            "seed {seed}: reconnects are children of the interaction"
+        );
+    }
+    assert_eq!(
+        count("handshake"),
+        1,
+        "seed {seed}: the initial handshake is in-trace"
+    );
 }
 
 fn chaos_matches_baseline(seed: u64) {
-    let baseline = run_interaction(None);
+    let (baseline, no_ring) = run_interaction(None);
+    assert!(no_ring.is_none());
     assert_eq!(baseline.clicks, 1);
-    let chaotic = run_interaction(Some(seed));
+    let (chaotic, ring) = run_interaction(Some(seed));
     assert_eq!(
         chaotic, baseline,
         "seed {seed}: a faulty run must converge to the fault-free state"
     );
+    assert_chaos_trace(seed, &ring.expect("chaos runs record spans"));
 }
 
 #[test]
