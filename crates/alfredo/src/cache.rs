@@ -1,0 +1,258 @@
+//! Content-addressed tier-artifact cache (phone side).
+//!
+//! Every fetch of a presentation/logic tier ships the same artifacts —
+//! interface description, injected types, smart-proxy offer, descriptor
+//! — as a [`ServiceParts`] bundle. The bundle's canonical wire encoding
+//! has a stable content digest ([`ServiceParts::digest`]), which the
+//! device advertises in its lease under
+//! [`alfredo_rosgi::PROP_TIER_DIGEST`] (see [`crate::host_service`]).
+//!
+//! The [`TierCache`] keys retained bundles by that digest. On a repeat
+//! interaction the phone compares the advertised digest against the
+//! cache and, on a hit, installs the proxy from the cached parts via
+//! [`alfredo_rosgi::RemoteEndpoint::install_cached_service`] — zero tier
+//! bytes cross the wire, and the `tier_transfer` phase collapses to a
+//! digest comparison. Because the digest comes from the *live* lease, a
+//! hit can never resurrect a stale service: if the device changed the
+//! service, the digest changed with it and the phone fetches fresh.
+//!
+//! Eviction is LRU under a byte budget (an artifact's cost is its
+//! canonical encoding's length — exactly the bytes a cache hit saves).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use alfredo_obs::{Counter, Gauge, Obs};
+use alfredo_rosgi::ServiceParts;
+use alfredo_sync::Mutex;
+
+/// Default byte budget: enough for dozens of descriptors (each ~2 kB,
+/// §4.1) while staying phone-sized.
+pub const DEFAULT_TIER_CACHE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Counter snapshot of a cache's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCacheStats {
+    /// Lookups that found the advertised digest cached.
+    pub hits: u64,
+    /// Lookups that missed (not cached, or no digest advertised).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Canonical bytes currently cached.
+    pub bytes: usize,
+}
+
+struct CacheEntry {
+    parts: ServiceParts,
+    bytes: usize,
+}
+
+struct CacheState {
+    entries: HashMap<u64, CacheEntry>,
+    /// Recency order, least-recent first. Small (budget / ~2 kB entries),
+    /// so the O(n) reorder on hit is noise next to the saved transfer.
+    order: Vec<u64>,
+    bytes: usize,
+}
+
+struct CacheInner {
+    max_bytes: usize,
+    state: Mutex<CacheState>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    entries_gauge: Gauge,
+    bytes_gauge: Gauge,
+}
+
+/// A content-addressed LRU cache of tier artifacts, shared by every
+/// connection of one phone. Cloning yields another handle to the same
+/// cache.
+#[derive(Clone)]
+pub struct TierCache {
+    inner: Arc<CacheInner>,
+}
+
+impl TierCache {
+    /// Creates a cache with the given byte budget, registering its
+    /// hit/miss/eviction counters and size gauges on `obs`'s metrics
+    /// registry (`alfredo.tier_cache.*`).
+    pub fn new(max_bytes: usize, obs: &Obs) -> Self {
+        let m = obs.metrics();
+        TierCache {
+            inner: Arc::new(CacheInner {
+                max_bytes,
+                state: Mutex::new(CacheState {
+                    entries: HashMap::new(),
+                    order: Vec::new(),
+                    bytes: 0,
+                }),
+                hits: m.counter("alfredo.tier_cache.hits"),
+                misses: m.counter("alfredo.tier_cache.misses"),
+                evictions: m.counter("alfredo.tier_cache.evictions"),
+                entries_gauge: m.gauge("alfredo.tier_cache.entries"),
+                bytes_gauge: m.gauge("alfredo.tier_cache.bytes"),
+            }),
+        }
+    }
+
+    /// Looks up the artifacts advertised under `digest`, refreshing their
+    /// recency. Counts a hit or a miss.
+    pub fn get(&self, digest: u64) -> Option<ServiceParts> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock();
+        if let Some(entry) = state.entries.get(&digest) {
+            let parts = entry.parts.clone();
+            if let Some(pos) = state.order.iter().position(|d| *d == digest) {
+                state.order.remove(pos);
+            }
+            state.order.push(digest);
+            drop(state);
+            inner.hits.inc();
+            Some(parts)
+        } else {
+            drop(state);
+            inner.misses.inc();
+            None
+        }
+    }
+
+    /// Records a miss that never reached [`TierCache::get`] — the lease
+    /// advertised no digest, so there was nothing to look up.
+    pub fn note_miss(&self) {
+        self.inner.misses.inc();
+    }
+
+    /// Caches `parts` under their content digest, evicting
+    /// least-recently-used entries until the budget holds. Bundles larger
+    /// than the whole budget are not cached. Re-inserting an existing
+    /// digest just refreshes its recency.
+    pub fn insert(&self, parts: ServiceParts) {
+        let inner = &self.inner;
+        let bytes = parts.canonical_bytes().len();
+        if bytes > inner.max_bytes {
+            return;
+        }
+        let digest = parts.digest();
+        let mut state = inner.state.lock();
+        if state.entries.contains_key(&digest) {
+            if let Some(pos) = state.order.iter().position(|d| *d == digest) {
+                state.order.remove(pos);
+            }
+            state.order.push(digest);
+            return;
+        }
+        let mut evicted = 0u64;
+        while state.bytes + bytes > inner.max_bytes {
+            let oldest = state.order.remove(0);
+            if let Some(e) = state.entries.remove(&oldest) {
+                state.bytes -= e.bytes;
+                evicted += 1;
+            }
+        }
+        state.entries.insert(digest, CacheEntry { parts, bytes });
+        state.order.push(digest);
+        state.bytes += bytes;
+        inner.entries_gauge.set(state.entries.len() as i64);
+        inner.bytes_gauge.set(state.bytes as i64);
+        drop(state);
+        if evicted > 0 {
+            inner.evictions.add(evicted);
+        }
+    }
+
+    /// Lifetime counters and current size.
+    pub fn stats(&self) -> TierCacheStats {
+        let inner = &self.inner;
+        let state = inner.state.lock();
+        TierCacheStats {
+            hits: inner.hits.get(),
+            misses: inner.misses.get(),
+            evictions: inner.evictions.get(),
+            entries: state.entries.len(),
+            bytes: state.bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for TierCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierCache")
+            .field("max_bytes", &self.inner.max_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alfredo_osgi::{MethodSpec, ServiceInterfaceDesc, TypeHint};
+
+    fn parts(name: &str, methods: usize) -> ServiceParts {
+        let specs = (0..methods)
+            .map(|i| MethodSpec::new(format!("m{i}"), vec![], TypeHint::Unit, "padding"))
+            .collect();
+        ServiceParts {
+            interface: ServiceInterfaceDesc::new(name, specs),
+            injected_types: Vec::new(),
+            smart_proxy: None,
+            descriptor: None,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = TierCache::new(DEFAULT_TIER_CACHE_BYTES, &Obs::disabled());
+        let p = parts("a.A", 1);
+        let digest = p.digest();
+        assert!(cache.get(digest).is_none());
+        cache.insert(p.clone());
+        let got = cache.get(digest).expect("cached");
+        assert_eq!(got.digest(), digest);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_content_distinct_digest() {
+        assert_ne!(parts("a.A", 1).digest(), parts("a.B", 1).digest());
+        assert_ne!(parts("a.A", 1).digest(), parts("a.A", 2).digest());
+        assert_eq!(parts("a.A", 1).digest(), parts("a.A", 1).digest());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let one = parts("a.A", 1).canonical_bytes().len();
+        // Room for roughly three of the small bundles.
+        let cache = TierCache::new(one * 3 + one / 2, &Obs::disabled());
+        let a = parts("a.A", 1);
+        let b = parts("b.B", 1);
+        let c = parts("c.C", 1);
+        let d = parts("d.D", 1);
+        cache.insert(a.clone());
+        cache.insert(b.clone());
+        cache.insert(c.clone());
+        // Touch `a` so `b` is the least recently used.
+        assert!(cache.get(a.digest()).is_some());
+        cache.insert(d.clone());
+        assert!(cache.get(b.digest()).is_none(), "LRU entry evicted");
+        assert!(cache.get(a.digest()).is_some());
+        assert!(cache.get(d.digest()).is_some());
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.stats().bytes <= one * 3 + one / 2);
+    }
+
+    #[test]
+    fn oversized_bundle_is_not_cached() {
+        let cache = TierCache::new(8, &Obs::disabled());
+        let p = parts("big.Svc", 4);
+        cache.insert(p.clone());
+        assert!(cache.get(p.digest()).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -14,15 +14,20 @@ use std::time::Duration;
 
 use alfredo_net::{InMemoryNetwork, PeerAddr, Transport};
 use alfredo_obs::{Obs, Span};
-use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError};
-use alfredo_rosgi::endpoint::{PROP_DESCRIPTOR, PROP_SMART_PROXY_KEY, PROP_SMART_PROXY_METHODS};
+use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError, Value};
+use alfredo_rosgi::endpoint::{
+    decode_type_descriptors, PROP_DESCRIPTOR, PROP_INJECTED_TYPES, PROP_SMART_PROXY_KEY,
+    PROP_SMART_PROXY_METHODS,
+};
 use alfredo_rosgi::{
-    DiscoveryDirectory, EndpointConfig, HeartbeatConfig, ReconnectConfig, ReconnectFn,
-    RemoteEndpoint, RemoteServiceInfo, RetryPolicy, RosgiError, ServiceUrl,
+    DiscoveryDirectory, EndpointConfig, FetchedService, HeartbeatConfig, ReconnectConfig,
+    ReconnectFn, RemoteEndpoint, RemoteServiceInfo, RetryPolicy, RosgiError, ServeQueue,
+    ServiceParts, ServiceUrl, SmartProxySpec, PROP_TIER_DIGEST,
 };
 use alfredo_ui::render::select_renderer;
 use alfredo_ui::{DeviceCapabilities, UiError, UiState};
 
+use crate::cache::{TierCache, DEFAULT_TIER_CACHE_BYTES};
 use crate::descriptor::{DescriptorError, ServiceDescriptor};
 use crate::policy::{ClientContext, DistributionPolicy, ThinClientPolicy};
 use crate::security::{SecurityError, SecurityPolicy};
@@ -169,6 +174,9 @@ pub struct EngineConfig {
     /// Self-healing configuration; `None` (the default) keeps the legacy
     /// fail-fast behaviour.
     pub resilience: Option<ResilienceConfig>,
+    /// Byte budget for the phone's content-addressed tier-artifact cache
+    /// ([`TierCache`]); `0` disables caching entirely.
+    pub tier_cache_bytes: usize,
     /// Observability handle. The default ([`Obs::disabled`]) keeps every
     /// span a no-op branch; when recording, each connection becomes one
     /// `interaction` span and every phase, RPC and reconnect nests under
@@ -187,6 +195,7 @@ impl EngineConfig {
             code_registry: CodeRegistry::new(),
             invoke_timeout: Duration::from_secs(5),
             resilience: None,
+            tier_cache_bytes: DEFAULT_TIER_CACHE_BYTES,
             obs: Obs::disabled(),
         }
     }
@@ -219,6 +228,13 @@ impl EngineConfig {
         self.context = context;
         self
     }
+
+    /// Builder-style: overrides the tier-cache byte budget (`0` disables
+    /// caching).
+    pub fn with_tier_cache_bytes(mut self, bytes: usize) -> Self {
+        self.tier_cache_bytes = bytes;
+        self
+    }
 }
 
 impl fmt::Debug for EngineConfig {
@@ -232,12 +248,62 @@ impl fmt::Debug for EngineConfig {
 }
 
 /// The phone-side AlfredO runtime.
+///
+/// # Example
+///
+/// The complete phone-side flow: connect to a serving target device,
+/// lease a service (the presentation tier ships as a stateless
+/// descriptor), invoke it through the generated proxy, tear down.
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use alfredo_core::*;
+/// # use alfredo_net::{InMemoryNetwork, PeerAddr};
+/// # use alfredo_osgi::{FnService, Framework, MethodSpec, Properties, ServiceInterfaceDesc,
+/// #                    TypeHint, Value};
+/// # use alfredo_rosgi::DiscoveryDirectory;
+/// # use alfredo_ui::{Control, DeviceCapabilities, UiDescription};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let net = InMemoryNetwork::new();
+/// # let device_fw = Framework::new();
+/// # let greeter = Arc::new(
+/// #     FnService::new(|_, _| Ok(Value::from("hello"))).with_description(
+/// #         ServiceInterfaceDesc::new(
+/// #             "demo.Greeter",
+/// #             vec![MethodSpec::new("greet", vec![], TypeHint::Str, "Greets.")],
+/// #         ),
+/// #     ),
+/// # );
+/// # let descriptor = ServiceDescriptor::new(
+/// #     "demo.Greeter",
+/// #     UiDescription::new("greeter").with_control(Control::button("hello", "Say hello")),
+/// # );
+/// # host_service(&device_fw, "demo.Greeter", greeter, &descriptor, None, Properties::new())?;
+/// # let device = serve_device(&net, device_fw, PeerAddr::new("screen"))?;
+/// let engine = AlfredOEngine::new(
+///     Framework::new(),
+///     net,
+///     DiscoveryDirectory::new(),
+///     EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i()),
+/// );
+/// let conn = engine.connect(&PeerAddr::new("screen"))?;
+/// let session = conn.acquire("demo.Greeter")?;
+/// let reply = session.invoke("demo.Greeter", "greet", &[])?;
+/// assert_eq!(reply.as_str(), Some("hello"));
+/// session.close();
+/// conn.close();
+/// # device.stop();
+/// # Ok(()) }
+/// ```
 pub struct AlfredOEngine {
     framework: Framework,
     network: InMemoryNetwork,
     discovery: DiscoveryDirectory,
     config: EngineConfig,
     policy: Arc<dyn DistributionPolicy>,
+    /// One content-addressed artifact cache per phone, shared by every
+    /// connection the engine establishes.
+    tier_cache: TierCache,
 }
 
 impl AlfredOEngine {
@@ -248,13 +314,76 @@ impl AlfredOEngine {
         discovery: DiscoveryDirectory,
         config: EngineConfig,
     ) -> Self {
+        let tier_cache = TierCache::new(config.tier_cache_bytes, &config.obs);
         AlfredOEngine {
             framework,
             network,
             discovery,
             config,
             policy: Arc::new(ThinClientPolicy),
+            tier_cache,
         }
+    }
+
+    /// The phone's tier-artifact cache (hit/miss/eviction accounting).
+    ///
+    /// The cache is content-addressed: the device advertises a digest of
+    /// the artifacts a fetch would ship, and a repeat [`acquire`]
+    /// (see [`AlfredOConnection::acquire`]) whose digest matches installs
+    /// from the cache — zero tier bytes cross the wire.
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use alfredo_core::*;
+    /// # use alfredo_net::{InMemoryNetwork, PeerAddr};
+    /// # use alfredo_osgi::{FnService, Framework, MethodSpec, Properties, ServiceInterfaceDesc,
+    /// #                    TypeHint, Value};
+    /// # use alfredo_rosgi::DiscoveryDirectory;
+    /// # use alfredo_ui::{Control, DeviceCapabilities, UiDescription};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let net = InMemoryNetwork::new();
+    /// # let device_fw = Framework::new();
+    /// # let greeter = Arc::new(
+    /// #     FnService::new(|_, _| Ok(Value::from("hello"))).with_description(
+    /// #         ServiceInterfaceDesc::new(
+    /// #             "demo.Greeter",
+    /// #             vec![MethodSpec::new("greet", vec![], TypeHint::Str, "Greets.")],
+    /// #         ),
+    /// #     ),
+    /// # );
+    /// # let descriptor = ServiceDescriptor::new(
+    /// #     "demo.Greeter",
+    /// #     UiDescription::new("greeter").with_control(Control::button("hello", "Say hello")),
+    /// # );
+    /// # host_service(&device_fw, "demo.Greeter", greeter, &descriptor, None, Properties::new())?;
+    /// # let device = serve_device(&net, device_fw, PeerAddr::new("screen"))?;
+    /// # let engine = AlfredOEngine::new(
+    /// #     Framework::new(),
+    /// #     net,
+    /// #     DiscoveryDirectory::new(),
+    /// #     EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i()),
+    /// # );
+    /// // First interaction: cold, the tier artifacts cross the wire.
+    /// let conn = engine.connect(&PeerAddr::new("screen"))?;
+    /// let session = conn.acquire("demo.Greeter")?;
+    /// assert!(session.transferred_bytes() > 0);
+    /// session.close();
+    /// conn.close();
+    ///
+    /// // Repeat interaction: same digest, served from the cache.
+    /// let conn = engine.connect(&PeerAddr::new("screen"))?;
+    /// let session = conn.acquire("demo.Greeter")?;
+    /// assert_eq!(session.transferred_bytes(), 0);
+    /// assert_eq!(engine.tier_cache().stats().hits, 1);
+    /// session.close();
+    /// conn.close();
+    /// # device.stop();
+    /// # Ok(()) }
+    /// ```
+    ///
+    /// [`acquire`]: AlfredOConnection::acquire
+    pub fn tier_cache(&self) -> &TierCache {
+        &self.tier_cache
     }
 
     /// Builder-style: replaces the distribution policy.
@@ -386,6 +515,7 @@ impl AlfredOEngine {
             framework: self.framework.clone(),
             config: self.config.clone(),
             policy: Arc::clone(&self.policy),
+            tier_cache: self.tier_cache.clone(),
             span: root,
         })
     }
@@ -406,6 +536,7 @@ pub struct AlfredOConnection {
     framework: Framework,
     config: EngineConfig,
     policy: Arc<dyn DistributionPolicy>,
+    tier_cache: TierCache,
     /// The connection-lifetime `interaction` span; recorded when the
     /// connection is dropped, parent of every phase underneath.
     span: Span,
@@ -435,6 +566,62 @@ impl AlfredOConnection {
     /// a fully operational client of a target service provider in a few
     /// seconds" path, end to end.
     ///
+    /// # Example
+    ///
+    /// Lease a greeter, inspect the self-rendered UI, and press its
+    /// button — the declarative controller invokes the remote method and
+    /// binds the result into the label:
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use alfredo_core::*;
+    /// # use alfredo_net::{InMemoryNetwork, PeerAddr};
+    /// # use alfredo_osgi::{FnService, Framework, MethodSpec, Properties, ServiceInterfaceDesc,
+    /// #                    TypeHint, Value};
+    /// # use alfredo_rosgi::DiscoveryDirectory;
+    /// # use alfredo_ui::{Control, DeviceCapabilities, UiDescription, UiEvent};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let net = InMemoryNetwork::new();
+    /// # let device_fw = Framework::new();
+    /// # let greeter = Arc::new(
+    /// #     FnService::new(|_, _| Ok(Value::from("hello"))).with_description(
+    /// #         ServiceInterfaceDesc::new(
+    /// #             "demo.Greeter",
+    /// #             vec![MethodSpec::new("greet", vec![], TypeHint::Str, "Greets.")],
+    /// #         ),
+    /// #     ),
+    /// # );
+    /// # let descriptor = ServiceDescriptor::new(
+    /// #     "demo.Greeter",
+    /// #     UiDescription::new("greeter")
+    /// #         .with_control(Control::label("message", "--"))
+    /// #         .with_control(Control::button("hello", "Say hello")),
+    /// # )
+    /// # .with_controller(ControllerProgram::new(vec![Rule::on_click(
+    /// #     "hello",
+    /// #     MethodCall::new("demo.Greeter", "greet", vec![]),
+    /// #     Some(Binding::to("message")),
+    /// # )]));
+    /// # host_service(&device_fw, "demo.Greeter", greeter, &descriptor, None, Properties::new())?;
+    /// # let device = serve_device(&net, device_fw, PeerAddr::new("screen"))?;
+    /// # let engine = AlfredOEngine::new(
+    /// #     Framework::new(),
+    /// #     net,
+    /// #     DiscoveryDirectory::new(),
+    /// #     EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i()),
+    /// # );
+    /// let conn = engine.connect(&PeerAddr::new("screen"))?;
+    /// let session = conn.acquire("demo.Greeter")?;
+    /// println!("{}", session.rendered().as_text());
+    /// session.handle_event(&UiEvent::Click { control: "hello".into() })?;
+    /// let label = session.with_state(|s| s.text("message").map(str::to_owned));
+    /// assert_eq!(label.as_deref(), Some("hello"));
+    /// session.close();
+    /// conn.close();
+    /// # device.stop();
+    /// # Ok(()) }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Any of the [`EngineError`] variants, depending on the failing
@@ -450,7 +637,7 @@ impl AlfredOConnection {
             let mut span = obs.child_of(root_ctx, "lease");
             let _in_phase = span.enter();
             span.set_with("interface", || interface.to_owned());
-            self.endpoint.fetch_service(interface)?
+            self.fetch_via_cache(interface, &mut span)?
         };
         let descriptor_bytes = fetched
             .descriptor
@@ -475,7 +662,7 @@ impl AlfredOConnection {
             let mut moved = 0u32;
             for (dep, placement) in assignment.logic() {
                 if *placement == Placement::Client {
-                    let dep_fetch = self.endpoint.fetch_service(dep)?;
+                    let dep_fetch = self.fetch_via_cache(dep, &mut span)?;
                     self.config.security.admit_artifact(
                         dep_fetch.smart,
                         self.config.context.trust,
@@ -519,6 +706,50 @@ impl AlfredOConnection {
         ))
     }
 
+    /// Fetches the tier artifacts for `interface`, going to the wire only
+    /// on a cache miss. The lease's advertised [`PROP_TIER_DIGEST`] is
+    /// the cache key: a hit installs the cached parts with zero transfer
+    /// (`tier_transfer` collapses to this digest comparison); a miss — or
+    /// a device that advertises no digest — pays the full fetch and
+    /// populates the cache for the next interaction.
+    fn fetch_via_cache(
+        &self,
+        interface: &str,
+        span: &mut Span,
+    ) -> Result<FetchedService, EngineError> {
+        match self.advertised_digest(interface) {
+            Some(digest) => {
+                if let Some(parts) = self.tier_cache.get(digest) {
+                    span.set("tier_cache", "hit");
+                    return Ok(self.endpoint.install_cached_service(&parts)?);
+                }
+                span.set("tier_cache", "miss");
+            }
+            None => {
+                self.tier_cache.note_miss();
+                span.set("tier_cache", "no-digest");
+            }
+        }
+        let (fetched, parts) = self.endpoint.fetch_service_with_parts(interface)?;
+        self.tier_cache.insert(parts);
+        Ok(fetched)
+    }
+
+    /// The content digest the device's live lease advertises for
+    /// `interface`, if any.
+    fn advertised_digest(&self, interface: &str) -> Option<u64> {
+        self.endpoint
+            .remote_services()
+            .iter()
+            .find(|s| s.offers(interface))
+            .and_then(|s| {
+                s.properties
+                    .get(PROP_TIER_DIGEST)
+                    .and_then(Value::as_str)
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            })
+    }
+
     /// Closes the connection; all proxies are uninstalled.
     pub fn close(&self) {
         self.endpoint.close();
@@ -537,6 +768,39 @@ impl fmt::Debug for AlfredOConnection {
 /// Registers an AlfredO service on a target device's framework: the
 /// service object plus its descriptor (and optional smart-proxy offer) as
 /// registration properties that R-OSGi ships on fetch.
+///
+/// # Example
+///
+/// The complete target-device side — register, then serve until stopped:
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use alfredo_core::*;
+/// # use alfredo_net::{InMemoryNetwork, PeerAddr};
+/// # use alfredo_osgi::{FnService, Framework, MethodSpec, Properties, ServiceInterfaceDesc,
+/// #                    TypeHint, Value};
+/// # use alfredo_ui::{Control, UiDescription};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let net = InMemoryNetwork::new();
+/// let device_fw = Framework::new();
+/// let greeter = Arc::new(
+///     FnService::new(|_, _| Ok(Value::from("hello"))).with_description(
+///         ServiceInterfaceDesc::new(
+///             "demo.Greeter",
+///             vec![MethodSpec::new("greet", vec![], TypeHint::Str, "Greets.")],
+///         ),
+///     ),
+/// );
+/// let descriptor = ServiceDescriptor::new(
+///     "demo.Greeter",
+///     UiDescription::new("greeter").with_control(Control::button("hello", "Say hello")),
+/// );
+/// host_service(&device_fw, "demo.Greeter", greeter, &descriptor, None, Properties::new())?;
+/// let device = serve_device(&net, device_fw, PeerAddr::new("screen"))?;
+/// // ... phones connect and lease until:
+/// device.stop();
+/// # Ok(()) }
+/// ```
 ///
 /// # Errors
 ///
@@ -557,6 +821,38 @@ pub fn host_service(
             alfredo_osgi::Value::List(methods.into_iter().map(alfredo_osgi::Value::Str).collect()),
         );
     }
+    // Advertise the content digest of exactly the artifacts a fetch of
+    // this registration would ship ([`ServiceParts`], built with the same
+    // recipe the endpoint's bundle builder uses). Phones compare it
+    // against their tier cache and skip the transfer on a match. Services
+    // without a shippable interface description can't be fetched, so they
+    // get no digest.
+    if let Some(iface) = service.describe() {
+        let parts = ServiceParts {
+            interface: iface,
+            injected_types: props
+                .get(PROP_INJECTED_TYPES)
+                .and_then(Value::as_bytes)
+                .map(decode_type_descriptors)
+                .unwrap_or_default(),
+            smart_proxy: props.get_str(PROP_SMART_PROXY_KEY).map(|key| {
+                let methods = props
+                    .get(PROP_SMART_PROXY_METHODS)
+                    .and_then(Value::as_list)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(Value::as_str)
+                            .map(str::to_owned)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                SmartProxySpec::new(key, methods)
+            }),
+            descriptor: Some(descriptor.encode()),
+        };
+        props.insert(PROP_TIER_DIGEST, format!("{:016x}", parts.digest()));
+    }
     framework
         .system_context()
         .register_service(&[interface], service, props)
@@ -567,6 +863,9 @@ pub struct ServedDevice {
     shutdown: Arc<std::sync::atomic::AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
     addr: PeerAddr,
+    /// The serve queue shared by this device's endpoints, when serving
+    /// queued ([`serve_device_queued`]); shut down with the device.
+    queue: Option<ServeQueue>,
 }
 
 impl ServedDevice {
@@ -575,12 +874,21 @@ impl ServedDevice {
         &self.addr
     }
 
-    /// Stops accepting and joins the accept loop.
+    /// The device's serve queue, when serving queued.
+    pub fn queue(&self) -> Option<&ServeQueue> {
+        self.queue.as_ref()
+    }
+
+    /// Stops accepting, joins the accept loop, and shuts down the serve
+    /// queue (if any) after it drains.
     pub fn stop(mut self) {
         self.shutdown
             .store(true, std::sync::atomic::Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        if let Some(q) = self.queue.take() {
+            q.shutdown();
         }
     }
 }
@@ -629,10 +937,40 @@ pub fn serve_device_with_obs(
     addr: PeerAddr,
     obs: Obs,
 ) -> Result<ServedDevice, EngineError> {
+    serve_device_inner(network, framework, addr, obs, None)
+}
+
+/// Like [`serve_device_with_obs`], but every accepted endpoint serves its
+/// invocations through `queue` — one bounded worker pool shared across
+/// all connected phones, with per-peer fairness and `Busy` backpressure
+/// (see [`ServeQueue`]). This is how one device scales to many phones.
+/// The queue is shut down by [`ServedDevice::stop`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::Rosgi`] if the address is already bound.
+pub fn serve_device_queued(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+    obs: Obs,
+    queue: ServeQueue,
+) -> Result<ServedDevice, EngineError> {
+    serve_device_inner(network, framework, addr, obs, Some(queue))
+}
+
+fn serve_device_inner(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+    obs: Obs,
+    queue: Option<ServeQueue>,
+) -> Result<ServedDevice, EngineError> {
     let listener = network.bind(addr.clone()).map_err(RosgiError::Transport)?;
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let name = addr.as_str().to_owned();
+    let accept_queue = queue.clone();
     let handle = std::thread::Builder::new()
         .name(format!("alfredo-device-{name}"))
         .spawn(move || {
@@ -640,7 +978,10 @@ pub fn serve_device_with_obs(
                 match listener.accept_timeout(Duration::from_millis(50)) {
                     Ok(conn) => {
                         let fw = framework.clone();
-                        let cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
+                        let mut cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
+                        if let Some(q) = &accept_queue {
+                            cfg = cfg.with_serve_queue(q.clone());
+                        }
                         std::thread::spawn(move || {
                             if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw, cfg) {
                                 ep.join();
@@ -657,6 +998,7 @@ pub fn serve_device_with_obs(
         shutdown,
         handle: Some(handle),
         addr,
+        queue,
     })
 }
 

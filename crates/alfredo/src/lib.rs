@@ -42,6 +42,7 @@
 //! See `examples/quickstart.rs` for the complete phone-meets-device flow;
 //! unit-level examples live on each type.
 
+pub mod cache;
 pub mod controller;
 pub mod data;
 pub mod descriptor;
@@ -55,12 +56,13 @@ pub mod session;
 pub mod tier;
 pub mod web;
 
+pub use cache::{TierCache, TierCacheStats, DEFAULT_TIER_CACHE_BYTES};
 pub use controller::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
 pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_PREFIX};
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
 pub use engine::{
-    host_service, serve_device, serve_device_with_obs, AlfredOConnection, AlfredOEngine,
-    EngineConfig, EngineError, OutagePolicy, ResilienceConfig,
+    host_service, serve_device, serve_device_queued, serve_device_with_obs, AlfredOConnection,
+    AlfredOEngine, EngineConfig, EngineError, OutagePolicy, ResilienceConfig, ServedDevice,
 };
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};

@@ -315,7 +315,7 @@ fn contention_pipelined(
 }
 
 /// Transport-free frame encoding: isolates what the borrowed + pooled
-/// encode path saves per call. "legacy" builds the owned [`Message`]
+/// encode path saves per call. "legacy" builds the owned [`alfredo_rosgi::Message`]
 /// (cloning interface, method, and args, as `invoke` did pre-change) and
 /// encodes into a fresh buffer; "fast" encodes borrowed parts into a
 /// pooled writer and recycles the frame, as the endpoint send path does.

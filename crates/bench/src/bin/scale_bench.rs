@@ -1,0 +1,319 @@
+//! Multi-phone scale benchmark: N concurrent phones driving one target
+//! device through the full AlfredO interaction loop — connect, acquire
+//! (tier lease, cached after the first round), a burst of invokes, close.
+//!
+//! ```text
+//! cargo run --release -p alfredo-bench --bin scale_bench
+//! cargo run --release -p alfredo-bench --bin scale_bench -- --quick
+//! ```
+//!
+//! The device serves through a [`ServeQueue`] (bounded worker pool with
+//! `Busy` backpressure and per-peer fairness). Two in-process guards make
+//! the scale-out claims falsifiable on every run:
+//!
+//! * aggregate throughput at 8 phones with the scaled worker pool must be
+//!   at least 2x the serialized baseline (the same 8 phones against a
+//!   single-worker queue);
+//! * at least 95% of repeat tier lookups must hit the phones' caches
+//!   (every interaction after a phone's first re-uses the cached tier —
+//!   zero artifact bytes cross the wire).
+//!
+//! Emits `BENCH_scale.json`: per-N throughput, p50/p95/p99 interaction
+//! latency, cache hit rates, and the serve-queue counters.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alfredo_bench::timing::{self, Measurement};
+use alfredo_core::{
+    host_service, serve_device_queued, AlfredOEngine, EngineConfig, ResilienceConfig,
+    ServiceDescriptor,
+};
+use alfredo_net::{InMemoryNetwork, PeerAddr};
+use alfredo_obs::Obs;
+use alfredo_osgi::{
+    FnService, Framework, Json, MethodSpec, ParamSpec, Properties, ServiceInterfaceDesc, TypeHint,
+    Value,
+};
+use alfredo_rosgi::{DiscoveryDirectory, RetryPolicy, ServeQueue, ServeQueueConfig};
+use alfredo_ui::{Control, DeviceCapabilities, UiDescription};
+
+const INTERFACE: &str = "bench.ScaleEcho";
+
+/// Per-call busy time on the device. Sleep-based, so a single-worker
+/// queue genuinely serializes it while a pool overlaps it — independent
+/// of how many cores the benchmark host has.
+const WORK: Duration = Duration::from_micros(500);
+
+fn bench_interface() -> ServiceInterfaceDesc {
+    ServiceInterfaceDesc::new(
+        INTERFACE,
+        vec![MethodSpec::new(
+            "work",
+            vec![ParamSpec::new("v", TypeHint::I64)],
+            TypeHint::I64,
+            "Busy-works for a fixed slice, then echoes its argument.",
+        )],
+    )
+}
+
+fn bench_descriptor() -> ServiceDescriptor {
+    let ui = UiDescription::new("ScaleBench")
+        .with_control(Control::label("title", "Scale bench"))
+        .with_control(Control::button("go", "Go"));
+    ServiceDescriptor::new(INTERFACE, ui)
+}
+
+/// One device serving the bench service through `queue` on `addr`.
+fn spawn_device(
+    net: &InMemoryNetwork,
+    addr: &str,
+    queue: ServeQueue,
+) -> alfredo_core::ServedDevice {
+    let fw = Framework::new();
+    host_service(
+        &fw,
+        INTERFACE,
+        Arc::new(
+            FnService::new(|_, args| {
+                std::thread::sleep(WORK);
+                Ok(args.first().cloned().unwrap_or(Value::Unit))
+            })
+            .with_description(bench_interface()),
+        ),
+        &bench_descriptor(),
+        None,
+        Properties::new(),
+    )
+    .expect("register bench service");
+    serve_device_queued(net, fw, PeerAddr::new(addr), Obs::disabled(), queue)
+        .expect("serve bench device")
+}
+
+/// What one scenario measured.
+struct ScenarioResult {
+    phones: usize,
+    interactions: Measurement,
+    calls_per_sec: f64,
+    repeat_hit_rate: f64,
+    cold_bytes: usize,
+    queue_rejected: u64,
+}
+
+/// Runs `phones` concurrent phones, each performing `interactions`
+/// rounds of connect → acquire → `calls` invokes → close against one
+/// queued device. Returns interaction-latency and throughput figures
+/// plus the aggregated tier-cache accounting.
+fn run_scenario(
+    name: &str,
+    phones: usize,
+    workers: usize,
+    interactions: usize,
+    calls: usize,
+) -> ScenarioResult {
+    let net = InMemoryNetwork::new();
+    let queue = ServeQueue::new(ServeQueueConfig::workers(workers));
+    let addr = format!("scale-dev-{name}");
+    let device = spawn_device(&net, &addr, queue.clone());
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..phones)
+        .map(|p| {
+            let net = net.clone();
+            let addr = addr.clone();
+            let name = name.to_owned();
+            std::thread::spawn(move || {
+                // Retries make `Busy` backpressure transparent: a rejected
+                // call waits out the hint and re-submits.
+                let resilience = ResilienceConfig {
+                    retry: RetryPolicy {
+                        max_retries: 100,
+                        deadline: Duration::from_secs(30),
+                        ..RetryPolicy::retries(100)
+                    },
+                    ..ResilienceConfig::default()
+                };
+                let engine = AlfredOEngine::new(
+                    Framework::new(),
+                    net,
+                    DiscoveryDirectory::new(),
+                    EngineConfig::phone(
+                        format!("scale-phone-{name}-{p}"),
+                        DeviceCapabilities::nokia_9300i(),
+                    )
+                    .with_resilience(resilience),
+                );
+                let mut samples = Vec::with_capacity(interactions);
+                let mut cold_bytes = 0usize;
+                for round in 0..interactions {
+                    let t = Instant::now();
+                    let conn = engine
+                        .connect(&PeerAddr::new(addr.clone()))
+                        .expect("connect");
+                    let session = conn.acquire(INTERFACE).expect("acquire");
+                    if round == 0 {
+                        cold_bytes = session.transferred_bytes();
+                    } else {
+                        assert_eq!(
+                            session.transferred_bytes(),
+                            0,
+                            "repeat interaction must hit the tier cache"
+                        );
+                    }
+                    for i in 0..calls {
+                        let v = session
+                            .invoke(INTERFACE, "work", &[Value::I64(i as i64)])
+                            .expect("invoke");
+                        assert_eq!(v, Value::I64(i as i64));
+                    }
+                    session.close();
+                    conn.close();
+                    samples.push(t.elapsed().as_nanos() as f64);
+                }
+                let stats = engine.tier_cache().stats();
+                (samples, stats, cold_bytes)
+            })
+        })
+        .collect();
+
+    let mut samples = Vec::with_capacity(phones * interactions);
+    let mut hits = 0u64;
+    let mut lookups = 0u64;
+    let mut cold_bytes = 0usize;
+    for t in threads {
+        let (s, stats, cold) = t.join().expect("phone thread");
+        samples.extend(s);
+        hits += stats.hits;
+        lookups += stats.hits + stats.misses;
+        cold_bytes = cold;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let interactions_m = timing::from_samples(&format!("{name} interaction"), samples, wall);
+    // Repeats = every lookup except each phone's single cold miss.
+    let repeats = lookups.saturating_sub(phones as u64);
+    let repeat_hit_rate = if repeats == 0 {
+        1.0
+    } else {
+        hits as f64 / repeats as f64
+    };
+    let total_calls = (phones * interactions * calls) as f64;
+    let queue_rejected = queue.stats().rejected;
+    device.stop();
+    ScenarioResult {
+        phones,
+        interactions: interactions_m,
+        calls_per_sec: total_calls / wall,
+        repeat_hit_rate,
+        cold_bytes,
+        queue_rejected,
+    }
+}
+
+fn scenario_json(r: &ScenarioResult) -> Json {
+    let m = &r.interactions;
+    Json::obj(vec![
+        ("phones", Json::I64(r.phones as i64)),
+        ("interactions", Json::I64(m.ops as i64)),
+        ("calls_per_sec", Json::F64(r.calls_per_sec)),
+        ("interaction_p50_ns", Json::F64(m.p50_ns())),
+        ("interaction_p95_ns", Json::F64(m.p95_ns())),
+        ("interaction_p99_ns", Json::F64(m.percentile_ns(99.0))),
+        ("repeat_cache_hit_rate", Json::F64(r.repeat_hit_rate)),
+        ("cold_transfer_bytes", Json::I64(r.cold_bytes as i64)),
+        ("busy_rejections", Json::I64(r.queue_rejected as i64)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (interactions, calls) = if quick { (5, 4) } else { (12, 8) };
+    // The per-call work is a sleep, so pool workers overlap it no matter
+    // how many cores the host has — 8 workers serve 8 blocking phones at
+    // full concurrency even on a single-core runner.
+    let scaled_workers = 8;
+
+    println!("scale_bench — N phones vs one queued device");
+    println!(
+        "(busy-work {}us/call, {} interactions x {} calls per phone, scaled pool {} workers)\n",
+        WORK.as_micros(),
+        interactions,
+        calls,
+        scaled_workers
+    );
+
+    // --- scaled sweep -----------------------------------------------------
+    let mut sweep = Vec::new();
+    for phones in [1usize, 2, 4, 8, 16] {
+        let r = run_scenario(
+            &format!("x{phones}"),
+            phones,
+            scaled_workers,
+            interactions,
+            calls,
+        );
+        r.interactions.report();
+        println!(
+            "    {:>8.0} calls/s   repeat hit rate {:.3}   busy rejections {}",
+            r.calls_per_sec, r.repeat_hit_rate, r.queue_rejected
+        );
+        sweep.push(r);
+    }
+
+    // --- serialized baseline ---------------------------------------------
+    // The same 8 phones against a single-worker queue: every invocation
+    // serializes through one thread, which is what serving inline on one
+    // reader amounts to for a device with one shared executor.
+    let serialized = run_scenario("serialized", 8, 1, interactions, calls);
+    serialized.interactions.report();
+    println!(
+        "    {:>8.0} calls/s   (serialized baseline)\n",
+        serialized.calls_per_sec
+    );
+
+    let scaled8 = sweep
+        .iter()
+        .find(|r| r.phones == 8)
+        .expect("8-phone scenario");
+    let speedup = scaled8.calls_per_sec / serialized.calls_per_sec;
+
+    // --- guards -----------------------------------------------------------
+    assert!(
+        speedup >= 2.0,
+        "scaled 8-phone throughput must be at least 2x the serialized \
+         baseline, got {speedup:.2}x ({:.0} vs {:.0} calls/s)",
+        scaled8.calls_per_sec,
+        serialized.calls_per_sec
+    );
+    for r in sweep.iter().chain([&serialized]) {
+        assert!(
+            r.repeat_hit_rate >= 0.95,
+            "repeat tier lookups must hit the cache (>=95%), got {:.3} at {} phones",
+            r.repeat_hit_rate,
+            r.phones
+        );
+    }
+    println!("scaled x8 vs serialized x8: {speedup:.2}x  (guards: >=2x throughput, >=95% repeat hit rate)");
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::str("scale_bench")),
+        ("transport", Json::str("in-memory channel fabric")),
+        ("work_us_per_call", Json::I64(WORK.as_micros() as i64)),
+        ("interactions_per_phone", Json::I64(interactions as i64)),
+        ("calls_per_interaction", Json::I64(calls as i64)),
+        ("scaled_workers", Json::I64(scaled_workers as i64)),
+        (
+            "scenarios",
+            Json::Obj(
+                sweep
+                    .iter()
+                    .map(|r| (format!("phones_{}", r.phones), scenario_json(r)))
+                    .chain([("serialized_8".to_owned(), scenario_json(&serialized))])
+                    .collect(),
+            ),
+        ),
+        ("speedup_scaled8_vs_serialized8", Json::F64(speedup)),
+    ]);
+    std::fs::write("BENCH_scale.json", doc.to_json_string() + "\n")
+        .expect("write BENCH_scale.json");
+    println!("\nwrote BENCH_scale.json");
+}

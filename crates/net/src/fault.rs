@@ -5,7 +5,7 @@
 //! corruption, latency spikes, partitions — must be first-class and
 //! *reproducible*. [`FaultyTransport`] wraps any [`Transport`] and perturbs
 //! traffic according to a [`FaultPlan`] driven by a seeded
-//! [`SimRng`](alfredo_sim::SimRng): the same seed over the same traffic
+//! [`alfredo_sim::SimRng`]: the same seed over the same traffic
 //! produces the same faults, so chaos tests are deterministic.
 //!
 //! A [`PartitionHandle`] lets a test sever the link mid-flight and heal it

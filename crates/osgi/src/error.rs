@@ -88,6 +88,14 @@ pub enum ServiceCallError {
     ServiceGone,
     /// A remote invocation could not complete (transport failure/timeout).
     Remote(String),
+    /// The serving side's bounded work queue rejected the call before
+    /// executing it (backpressure). Because the call never ran, retrying
+    /// is always safe — callers should wait at least `retry_after_ms`
+    /// first.
+    Busy {
+        /// Suggested minimum delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServiceCallError {
@@ -98,6 +106,9 @@ impl fmt::Display for ServiceCallError {
             ServiceCallError::Failed(msg) => write!(f, "service failed: {msg}"),
             ServiceCallError::ServiceGone => write!(f, "service has been unregistered"),
             ServiceCallError::Remote(msg) => write!(f, "remote invocation failed: {msg}"),
+            ServiceCallError::Busy { retry_after_ms } => {
+                write!(f, "service busy, retry after {retry_after_ms} ms")
+            }
         }
     }
 }

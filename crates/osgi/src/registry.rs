@@ -4,12 +4,28 @@
 //! them up directly and receive a reference to the service object — the
 //! "very lightweight communication model that avoids performance-adverse
 //! indirections known from container systems such as EJB" (paper, §1).
+//!
+//! # Sharding
+//!
+//! Lookups are the hot path: every remote invocation a device serves
+//! resolves the target interface through [`ServiceRegistry::get_service`],
+//! so with many phones connected the registry is hit concurrently from
+//! every endpoint's serving thread. The registry is therefore *sharded
+//! and read-mostly*: interface entries live in one of `SHARD_COUNT` (16)
+//! shards selected by interface-name hash, each behind its own `RwLock`.
+//! Concurrent lookups of different interfaces touch different locks, and
+//! concurrent lookups of the *same* interface share a read lock — neither
+//! serializes. Registrations and unregistrations (rare) take short write
+//! locks on the affected shards only; listeners live behind a separate
+//! read-mostly lock and are always called with no registry lock held.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use alfredo_sync::Mutex;
+use alfredo_sync::RwLock;
 
 use crate::bundle::BundleId;
 use crate::error::OsgiError;
@@ -19,6 +35,12 @@ use crate::properties::Properties;
 use crate::service::{Service, ServiceId, ServiceInterfaceDesc, ServiceReference};
 use crate::value::Value;
 
+/// Number of interface shards. A small power of two: enough that a
+/// device serving a dozen concurrent phones rarely sees two different
+/// interfaces collide on one lock, small enough that whole-registry
+/// scans (`interfaces`, `Debug`) stay cheap.
+const SHARD_COUNT: usize = 16;
+
 /// Identifier of a registered service listener.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ListenerId(u64);
@@ -27,20 +49,27 @@ type ListenerFn = Arc<dyn Fn(&ServiceEvent) + Send + Sync>;
 
 struct Registration {
     // Shared with every ServiceReference handed out for this service, so
-    // lookups are allocation-free.
+    // lookups are allocation-free. One `Registration` is shared between
+    // the id map and every interface shard it is published under, which
+    // is why `properties` needs interior mutability: `set_properties`
+    // must be visible through all of them at once.
     interfaces: Arc<Vec<String>>,
-    properties: Arc<Properties>,
+    properties: RwLock<Arc<Properties>>,
     service: Arc<dyn Service>,
     owner: BundleId,
 }
 
 impl Registration {
+    fn props(&self) -> Arc<Properties> {
+        Arc::clone(&self.properties.read())
+    }
+
+    fn ranking(&self) -> i64 {
+        self.properties.read().ranking()
+    }
+
     fn reference(&self, id: ServiceId) -> ServiceReference {
-        ServiceReference::new_shared(
-            id,
-            Arc::clone(&self.interfaces),
-            Arc::clone(&self.properties),
-        )
+        ServiceReference::new_shared(id, Arc::clone(&self.interfaces), self.props())
     }
 }
 
@@ -50,13 +79,42 @@ struct Listener {
     callback: ListenerFn,
 }
 
-#[derive(Default)]
+/// One interface shard: interface name → the registrations published
+/// under it. The `Arc<Registration>` is shared with the id map, so a
+/// lookup resolves service object and properties from a single shard
+/// read lock.
+type Shard = RwLock<HashMap<String, Vec<(ServiceId, Arc<Registration>)>>>;
+
 struct Inner {
-    services: BTreeMap<ServiceId, Registration>,
-    by_interface: HashMap<String, Vec<ServiceId>>,
-    listeners: Vec<Listener>,
-    next_service: u64,
-    next_listener: u64,
+    /// Interface-name-hashed shards; the lookup hot path.
+    shards: Vec<Shard>,
+    /// All registrations by id (id-ordered iteration, id-based ops).
+    services: RwLock<BTreeMap<ServiceId, Arc<Registration>>>,
+    listeners: RwLock<Vec<Listener>>,
+    next_service: AtomicU64,
+    next_listener: AtomicU64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            services: RwLock::new(BTreeMap::new()),
+            listeners: RwLock::new(Vec::new()),
+            next_service: AtomicU64::new(0),
+            next_listener: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Inner {
+    fn shard(&self, interface: &str) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        interface.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
 }
 
 /// The service registry. Cloning yields another handle to the same
@@ -78,7 +136,7 @@ struct Inner {
 /// ```
 #[derive(Clone, Default)]
 pub struct ServiceRegistry {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
 }
 
 impl ServiceRegistry {
@@ -91,6 +149,11 @@ impl ServiceRegistry {
     ///
     /// The registry adds the standard `service.id` and `objectClass`
     /// properties. Listeners observe a [`ServiceEvent::Registered`].
+    ///
+    /// A registration spanning several interfaces becomes visible one
+    /// shard at a time; a concurrent lookup may briefly see it under one
+    /// of its interfaces and not yet another. The `Registered` event is
+    /// dispatched only after the service is visible under all of them.
     ///
     /// # Errors
     ///
@@ -106,29 +169,31 @@ impl ServiceRegistry {
             return Err(OsgiError::NoInterfaces);
         }
         let names: Vec<String> = interfaces.iter().map(|s| (*s).to_owned()).collect();
-        let (id, event) = {
-            let mut inner = self.inner.lock();
-            let id = ServiceId::from_raw(inner.next_service);
-            inner.next_service += 1;
-            properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
-            properties.insert(
-                Properties::OBJECT_CLASS,
-                Value::List(names.iter().cloned().map(Value::Str).collect()),
-            );
-            for name in &names {
-                inner.by_interface.entry(name.clone()).or_default().push(id);
-            }
-            let registration = Registration {
-                interfaces: Arc::new(names),
-                properties: Arc::new(properties),
-                service,
-                owner,
-            };
-            let reference = registration.reference(id);
-            inner.services.insert(id, registration);
-            (id, ServiceEvent::Registered(reference))
-        };
-        self.dispatch(&event);
+        let id = ServiceId::from_raw(self.inner.next_service.fetch_add(1, Ordering::Relaxed));
+        properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
+        properties.insert(
+            Properties::OBJECT_CLASS,
+            Value::List(names.iter().cloned().map(Value::Str).collect()),
+        );
+        let registration = Arc::new(Registration {
+            interfaces: Arc::new(names),
+            properties: RwLock::new(Arc::new(properties)),
+            service,
+            owner,
+        });
+        self.inner
+            .services
+            .write()
+            .insert(id, Arc::clone(&registration));
+        for name in registration.interfaces.iter() {
+            self.inner
+                .shard(name)
+                .write()
+                .entry(name.clone())
+                .or_default()
+                .push((id, Arc::clone(&registration)));
+        }
+        self.dispatch(&ServiceEvent::Registered(registration.reference(id)));
         Ok(ServiceRegistration {
             registry: self.clone(),
             id,
@@ -136,32 +201,31 @@ impl ServiceRegistry {
     }
 
     /// Unregisters a service by id. Listeners observe a
-    /// [`ServiceEvent::Unregistering`] before removal.
+    /// [`ServiceEvent::Unregistering`] carrying the final reference.
+    ///
+    /// Exactly one caller wins a concurrent unregister race (the id map
+    /// entry is the claim), so the event fires once.
     ///
     /// # Errors
     ///
     /// Returns [`OsgiError::NoSuchService`] if the id is unknown.
     pub fn unregister(&self, id: ServiceId) -> Result<(), OsgiError> {
-        let event = {
-            let inner = self.inner.lock();
-            let reg = inner
-                .services
-                .get(&id)
-                .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
-            ServiceEvent::Unregistering(reg.reference(id))
-        };
-        self.dispatch(&event);
-        let mut inner = self.inner.lock();
-        if let Some(reg) = inner.services.remove(&id) {
-            for name in reg.interfaces.iter() {
-                if let Some(ids) = inner.by_interface.get_mut(name) {
-                    ids.retain(|i| *i != id);
-                    if ids.is_empty() {
-                        inner.by_interface.remove(name);
-                    }
+        let registration = self
+            .inner
+            .services
+            .write()
+            .remove(&id)
+            .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
+        for name in registration.interfaces.iter() {
+            let mut shard = self.inner.shard(name).write();
+            if let Some(entries) = shard.get_mut(name) {
+                entries.retain(|(i, _)| *i != id);
+                if entries.is_empty() {
+                    shard.remove(name);
                 }
             }
         }
+        self.dispatch(&ServiceEvent::Unregistering(registration.reference(id)));
         Ok(())
     }
 
@@ -169,19 +233,16 @@ impl ServiceRegistry {
     /// removed. Used when a bundle stops or a remote peer disconnects.
     pub fn unregister_bundle(&self, bundle: BundleId) -> usize {
         let ids: Vec<ServiceId> = {
-            let inner = self.inner.lock();
-            inner
-                .services
+            let services = self.inner.services.read();
+            services
                 .iter()
                 .filter(|(_, r)| r.owner == bundle)
                 .map(|(id, _)| *id)
                 .collect()
         };
-        let count = ids.len();
-        for id in ids {
-            let _ = self.unregister(id);
-        }
-        count
+        ids.into_iter()
+            .filter(|id| self.unregister(*id).is_ok())
+            .count()
     }
 
     /// Replaces a service's properties (preserving `service.id` and
@@ -195,50 +256,39 @@ impl ServiceRegistry {
         id: ServiceId,
         mut properties: Properties,
     ) -> Result<(), OsgiError> {
-        let event = {
-            let mut inner = self.inner.lock();
-            let reg = inner
-                .services
-                .get_mut(&id)
-                .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
-            properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
-            properties.insert(
-                Properties::OBJECT_CLASS,
-                Value::List(reg.interfaces.iter().cloned().map(Value::Str).collect()),
-            );
-            reg.properties = Arc::new(properties);
-            ServiceEvent::Modified(reg.reference(id))
-        };
-        self.dispatch(&event);
+        let registration = self
+            .inner
+            .services
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(OsgiError::NoSuchService(id.as_raw()))?;
+        properties.insert(Properties::SERVICE_ID, id.as_raw() as i64);
+        properties.insert(
+            Properties::OBJECT_CLASS,
+            Value::List(
+                registration
+                    .interfaces
+                    .iter()
+                    .cloned()
+                    .map(Value::Str)
+                    .collect(),
+            ),
+        );
+        *registration.properties.write() = Arc::new(properties);
+        self.dispatch(&ServiceEvent::Modified(registration.reference(id)));
         Ok(())
     }
 
     /// Returns the best reference for `interface`: highest ranking first,
     /// then lowest service id (the OSGi tie-break).
     ///
-    /// This is the invocation-path lookup, so it scans for the best match
-    /// in place rather than materializing and sorting every candidate
-    /// like [`Self::get_references`] does.
+    /// This is the invocation-path lookup: a single shard read lock and
+    /// an in-place scan, no candidate materialization. Concurrent
+    /// lookups — same interface or different — run in parallel.
     pub fn get_reference(&self, interface: &str) -> Option<ServiceReference> {
-        let inner = self.inner.lock();
-        let ids = inner.by_interface.get(interface)?;
-        let mut best: Option<(ServiceId, &Registration)> = None;
-        for id in ids {
-            let Some(reg) = inner.services.get(id) else {
-                continue;
-            };
-            // Ids were appended in registration order (ascending), so
-            // requiring a strictly higher ranking keeps the lowest id
-            // among equals — the same order get_references sorts into.
-            let better = match &best {
-                None => true,
-                Some((_, b)) => reg.properties.ranking() > b.properties.ranking(),
-            };
-            if better {
-                best = Some((*id, reg));
-            }
-        }
-        best.map(|(id, reg)| reg.reference(id))
+        let shard = self.inner.shard(interface).read();
+        Self::best_in(shard.get(interface)?).map(|(id, reg)| reg.reference(id))
     }
 
     /// Returns all references for `interface`, optionally filtered, sorted
@@ -248,22 +298,27 @@ impl ServiceRegistry {
         interface: &str,
         filter: Option<&Filter>,
     ) -> Vec<ServiceReference> {
-        let inner = self.inner.lock();
-        let mut refs: Vec<ServiceReference> = inner
-            .by_interface
-            .get(interface)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| {
-                let reg = inner.services.get(id)?;
-                if let Some(f) = filter {
-                    if !f.matches(&reg.properties) {
-                        return None;
+        let mut refs: Vec<ServiceReference> = {
+            let shard = self.inner.shard(interface).read();
+            shard
+                .get(interface)
+                .into_iter()
+                .flatten()
+                .filter_map(|(id, reg)| {
+                    let props = reg.props();
+                    if let Some(f) = filter {
+                        if !f.matches(&props) {
+                            return None;
+                        }
                     }
-                }
-                Some(reg.reference(*id))
-            })
-            .collect();
+                    Some(ServiceReference::new_shared(
+                        *id,
+                        Arc::clone(&reg.interfaces),
+                        props,
+                    ))
+                })
+                .collect()
+        };
         refs.sort_by(|a, b| b.ranking().cmp(&a.ranking()).then(a.id().cmp(&b.id())));
         refs
     }
@@ -271,26 +326,39 @@ impl ServiceRegistry {
     /// Returns references for every registered service, optionally
     /// filtered, in id order.
     pub fn all_references(&self, filter: Option<&Filter>) -> Vec<ServiceReference> {
-        let inner = self.inner.lock();
-        inner
-            .services
+        let services = self.inner.services.read();
+        services
             .iter()
-            .filter(|(_, reg)| filter.is_none_or(|f| f.matches(&reg.properties)))
-            .map(|(id, reg)| reg.reference(*id))
+            .filter_map(|(id, reg)| {
+                let props = reg.props();
+                if let Some(f) = filter {
+                    if !f.matches(&props) {
+                        return None;
+                    }
+                }
+                Some(ServiceReference::new_shared(
+                    *id,
+                    Arc::clone(&reg.interfaces),
+                    props,
+                ))
+            })
             .collect()
     }
 
     /// Returns the best service object for `interface`.
+    ///
+    /// Resolved from a single shard read lock (reference selection and
+    /// service object come from the same shared registration).
     pub fn get_service(&self, interface: &str) -> Option<Arc<dyn Service>> {
-        let reference = self.get_reference(interface)?;
-        self.get_service_by_id(reference.id())
+        let shard = self.inner.shard(interface).read();
+        Self::best_in(shard.get(interface)?).map(|(_, reg)| Arc::clone(&reg.service))
     }
 
     /// Returns the service object for a reference id.
     pub fn get_service_by_id(&self, id: ServiceId) -> Option<Arc<dyn Service>> {
         self.inner
-            .lock()
             .services
+            .read()
             .get(&id)
             .map(|r| Arc::clone(&r.service))
     }
@@ -307,10 +375,8 @@ impl ServiceRegistry {
     where
         F: Fn(&ServiceEvent) + Send + Sync + 'static,
     {
-        let mut inner = self.inner.lock();
-        let id = ListenerId(inner.next_listener);
-        inner.next_listener += 1;
-        inner.listeners.push(Listener {
+        let id = ListenerId(self.inner.next_listener.fetch_add(1, Ordering::Relaxed));
+        self.inner.listeners.write().push(Listener {
             id,
             filter,
             callback: Arc::new(callback),
@@ -320,27 +386,50 @@ impl ServiceRegistry {
 
     /// Removes a service listener. Unknown ids are ignored.
     pub fn remove_listener(&self, id: ListenerId) {
-        self.inner.lock().listeners.retain(|l| l.id != id);
+        self.inner.listeners.write().retain(|l| l.id != id);
     }
 
     /// Number of currently registered services.
     pub fn service_count(&self) -> usize {
-        self.inner.lock().services.len()
+        self.inner.services.read().len()
     }
 
     /// The interface names currently present, sorted.
     pub fn interfaces(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut names: Vec<String> = inner.by_interface.keys().cloned().collect();
+        let mut names: Vec<String> = Vec::new();
+        for shard in &self.inner.shards {
+            names.extend(shard.read().keys().cloned());
+        }
         names.sort();
         names
     }
 
+    /// Picks the best entry: highest ranking, lowest id among equals.
+    /// The tie-break is explicit — under concurrent registration the
+    /// shard vector is not id-ordered.
+    fn best_in(
+        entries: &[(ServiceId, Arc<Registration>)],
+    ) -> Option<(ServiceId, &Arc<Registration>)> {
+        let mut best: Option<(ServiceId, i64, &Arc<Registration>)> = None;
+        for (id, reg) in entries {
+            let ranking = reg.ranking();
+            let better = match &best {
+                None => true,
+                Some((best_id, best_ranking, _)) => {
+                    ranking > *best_ranking || (ranking == *best_ranking && id < best_id)
+                }
+            };
+            if better {
+                best = Some((*id, ranking, reg));
+            }
+        }
+        best.map(|(id, _, reg)| (id, reg))
+    }
+
     fn dispatch(&self, event: &ServiceEvent) {
         let callbacks: Vec<ListenerFn> = {
-            let inner = self.inner.lock();
-            inner
-                .listeners
+            let listeners = self.inner.listeners.read();
+            listeners
                 .iter()
                 .filter(|l| {
                     l.filter
@@ -358,10 +447,9 @@ impl ServiceRegistry {
 
 impl fmt::Debug for ServiceRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("ServiceRegistry")
-            .field("services", &inner.services.len())
-            .field("listeners", &inner.listeners.len())
+            .field("services", &self.service_count())
+            .field("listeners", &self.inner.listeners.read().len())
             .finish()
     }
 }
@@ -412,6 +500,7 @@ impl fmt::Debug for ServiceRegistration {
 mod tests {
     use super::*;
     use crate::service::FnService;
+    use alfredo_sync::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn constant(v: i64) -> Arc<dyn Service> {
@@ -622,5 +711,90 @@ mod tests {
         assert!(reg.get_reference("nope").is_none());
         assert!(reg.get_service("nope").is_none());
         assert!(reg.get_references("nope", None).is_empty());
+    }
+
+    #[test]
+    fn set_properties_visible_through_all_interfaces() {
+        let reg = ServiceRegistry::new();
+        let registration = reg
+            .register(
+                BundleId::SYSTEM,
+                &["t.A", "t.B"],
+                constant(1),
+                Properties::new(),
+            )
+            .unwrap();
+        registration
+            .set_properties(Properties::new().with("zone", "eu"))
+            .unwrap();
+        // Both interfaces hash to (potentially) different shards, yet both
+        // observe the update through the shared registration.
+        assert_eq!(
+            reg.get_reference("t.A")
+                .unwrap()
+                .properties()
+                .get_str("zone"),
+            Some("eu")
+        );
+        assert_eq!(
+            reg.get_reference("t.B")
+                .unwrap()
+                .properties()
+                .get_str("zone"),
+            Some("eu")
+        );
+    }
+
+    #[test]
+    fn concurrent_lookups_during_churn() {
+        // Hammer the registry from reader threads while a writer
+        // registers and unregisters: no deadlock, readers always see
+        // either a consistent service or none, and the final state is
+        // exactly the services left registered.
+        let reg = ServiceRegistry::new();
+        reg.register(
+            BundleId::SYSTEM,
+            &["keep.A"],
+            constant(1),
+            Properties::new(),
+        )
+        .unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // At least one lookup is guaranteed even if the
+                    // writer finishes before this thread is scheduled.
+                    loop {
+                        let svc = reg.get_service("keep.A").expect("keep.A stays registered");
+                        assert_eq!(svc.invoke("x", &[]).unwrap(), Value::I64(1));
+                        let _ = reg.get_references("churn.B", None);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let r = reg
+                .register(
+                    BundleId::SYSTEM,
+                    &["churn.B"],
+                    constant(2),
+                    Properties::new(),
+                )
+                .unwrap();
+            let _ = reg.get_reference("churn.B");
+            r.unregister().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(reg.service_count(), 1);
+        assert_eq!(reg.interfaces(), vec!["keep.A".to_owned()]);
     }
 }

@@ -47,6 +47,7 @@ use crate::health::{
 use crate::lease::{LeaseTable, RemoteServiceInfo};
 use crate::message::{Message, PROTOCOL_VERSION};
 use crate::proxy::{Invoker, RemoteServiceProxy, SmartProxySpec};
+use crate::serve::ServeQueue;
 use crate::stream::{
     chunks_of, CreditGate, StreamData, StreamId, StreamReceiver, DEFAULT_CHUNK_SIZE,
     DEFAULT_INITIAL_CREDITS,
@@ -63,6 +64,13 @@ pub const PROP_INJECTED_TYPES: &str = "rosgi.types";
 /// Registration property carrying an opaque application descriptor
 /// (AlfredO's service descriptor rides here).
 pub const PROP_DESCRIPTOR: &str = "alfredo.descriptor";
+/// Registration property advertising the content digest of the service's
+/// transferable artifact set (interface + injected types + smart-proxy
+/// offer + descriptor), as a 16-digit hex string. The digest travels in
+/// the lease, so a phone that already holds the artifacts in its tier
+/// cache can skip the fetch entirely — the tier-transfer phase collapses
+/// to a digest comparison. Compute it with [`ServiceParts::digest`].
+pub const PROP_TIER_DIGEST: &str = "alfredo.tier.digest";
 /// Property marking a service as imported from a given peer.
 pub const PROP_IMPORTED_FROM: &str = "service.imported.from";
 /// Property set on forwarded events to prevent forwarding loops.
@@ -122,6 +130,14 @@ pub struct EndpointConfig {
     /// always keeps its own per-endpoint metrics registry — only the
     /// tracer is shared.
     pub obs: Obs,
+    /// Bounded work queue for *serving* the peer's invocations. `None`
+    /// (the default) serves each invocation inline on the reader thread
+    /// — the single-pair fast path with no queue hop. With a queue —
+    /// typically one [`ServeQueue`] shared by every endpoint of a device
+    /// — invocations are drained by its worker pool with per-peer
+    /// fairness, and overload is answered with a `Busy` + retry-after
+    /// response instead of unbounded queueing.
+    pub serve_queue: Option<ServeQueue>,
 }
 
 /// Dials a replacement transport for a reconnecting endpoint.
@@ -187,6 +203,7 @@ impl Default for EndpointConfig {
             retry: RetryPolicy::default(),
             reconnect: None,
             obs: Obs::disabled(),
+            serve_queue: None,
         }
     }
 }
@@ -247,6 +264,14 @@ impl EndpointConfig {
     /// Builder-style: attaches an observability handle (span tracing).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder-style: serves the peer's invocations through `queue`
+    /// (worker pool + `Busy` backpressure) instead of inline on the
+    /// reader thread.
+    pub fn with_serve_queue(mut self, queue: ServeQueue) -> Self {
+        self.serve_queue = Some(queue);
         self
     }
 }
@@ -321,18 +346,64 @@ pub struct EndpointStats {
     pub heartbeats_sent: u64,
     /// Heartbeat probes that went unanswered.
     pub heartbeats_missed: u64,
+    /// Invocations this side rejected with `Busy` (serve queue full).
+    pub busy_sent: u64,
+    /// `Busy` rejections received from the peer.
+    pub busy_received: u64,
     /// Why the wire last went down ([`DisconnectReason::None`] if never).
     pub last_disconnect: DisconnectReason,
 }
 
 type CallResult = Result<Value, ServiceCallError>;
-type FetchParts = (
-    ServiceInterfaceDesc,
-    Vec<TypeDescriptor>,
-    Option<SmartProxySpec>,
-    Option<Vec<u8>>,
-);
-type FetchWaiter = Sender<Result<(FetchParts, usize), RosgiError>>;
+type FetchWaiter = Sender<Result<(ServiceParts, usize), RosgiError>>;
+
+/// The transferable artifact set of one service — exactly what a
+/// `ServiceBundle` frame ships on fetch. This is the unit AlfredO's
+/// tier cache stores and addresses by content digest.
+#[derive(Debug, Clone)]
+pub struct ServiceParts {
+    /// The shippable interface description.
+    pub interface: ServiceInterfaceDesc,
+    /// Struct types referenced by the interface.
+    pub injected_types: Vec<TypeDescriptor>,
+    /// The smart-proxy offer, if the service makes one.
+    pub smart_proxy: Option<SmartProxySpec>,
+    /// The opaque application descriptor (AlfredO's service descriptor).
+    pub descriptor: Option<Vec<u8>>,
+}
+
+impl ServiceParts {
+    /// The canonical byte encoding: the `ServiceBundle` wire frame these
+    /// parts produce. Both sides derive digests from it, so device-side
+    /// advertisement and phone-side verification agree byte for byte.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        Message::ServiceBundle {
+            interface: self.interface.clone(),
+            injected_types: self.injected_types.clone(),
+            smart_proxy: self.smart_proxy.clone(),
+            descriptor: self.descriptor.clone(),
+        }
+        .encode()
+    }
+
+    /// Content digest of the canonical encoding (FNV-1a, 64-bit). The
+    /// value a device advertises under [`PROP_TIER_DIGEST`] and a phone
+    /// keys its tier cache with.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.canonical_bytes())
+    }
+}
+
+/// FNV-1a over `bytes`: tiny, dependency-free, and stable across
+/// platforms — content addressing needs agreement, not crypto strength.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
 
 /// The endpoint's instruments, registered in its per-endpoint metrics
 /// registry under `rosgi.*` names. Each handle is a relaxed atomic —
@@ -353,6 +424,8 @@ struct Counters {
     lease_expiries: Counter,
     heartbeats_sent: Counter,
     heartbeats_missed: Counter,
+    busy_sent: Counter,
+    busy_received: Counter,
     /// Caller-observed invoke round-trip, microseconds. Only recorded
     /// when tracing is enabled (it needs clock reads the disabled fast
     /// path must not pay).
@@ -377,6 +450,8 @@ impl Counters {
             lease_expiries: metrics.counter("rosgi.lease_expiries"),
             heartbeats_sent: metrics.counter("rosgi.heartbeats_sent"),
             heartbeats_missed: metrics.counter("rosgi.heartbeats_missed"),
+            busy_sent: metrics.counter("rosgi.busy_sent"),
+            busy_received: metrics.counter("rosgi.busy_received"),
             invoke_rtt_us: metrics.histogram("rosgi.invoke_rtt_us"),
             serve_us: metrics.histogram("rosgi.serve_us"),
         }
@@ -638,6 +713,8 @@ impl RemoteEndpoint {
             lease_expiries: c.lease_expiries.get(),
             heartbeats_sent: c.heartbeats_sent.get(),
             heartbeats_missed: c.heartbeats_missed.get(),
+            busy_sent: c.busy_sent.get(),
+            busy_received: c.busy_received.get(),
             last_disconnect: *self.inner.disconnect_reason.lock(),
         }
     }
@@ -687,6 +764,22 @@ impl RemoteEndpoint {
     /// Returns [`RosgiError::NoSuchRemoteService`] if the peer's lease does
     /// not offer the interface, or transport/framework errors.
     pub fn fetch_service(&self, interface: &str) -> Result<FetchedService, RosgiError> {
+        self.fetch_service_with_parts(interface)
+            .map(|(fetched, _)| fetched)
+    }
+
+    /// Like [`Self::fetch_service`], but also returns the shipped
+    /// [`ServiceParts`] so the caller can retain them — AlfredO's tier
+    /// cache stores them under their content digest and replays them
+    /// through [`Self::install_cached_service`] on the next interaction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fetch_service`].
+    pub fn fetch_service_with_parts(
+        &self,
+        interface: &str,
+    ) -> Result<(FetchedService, ServiceParts), RosgiError> {
         let inner = &self.inner;
         if inner.closed.load(Ordering::SeqCst) {
             return Err(RosgiError::Closed);
@@ -714,13 +807,59 @@ impl RemoteEndpoint {
                 method: "<fetch>".to_owned(),
             }
         })?;
-        let ((iface, injected, smart_spec, descriptor), transferred_bytes) = outcome?;
+        let (parts, transferred_bytes) = outcome?;
+        let fetched = self.install_parts(&parts, transferred_bytes)?;
+        span.set_with("transferred_bytes", || transferred_bytes.to_string());
+        span.set_with("smart", || fetched.smart.to_string());
+        Ok((fetched, parts))
+    }
+
+    /// Installs a proxy for `parts` without any wire transfer: the
+    /// cache-hit path. The caller is responsible for having verified —
+    /// normally by comparing [`ServiceParts::digest`] against the peer's
+    /// [`PROP_TIER_DIGEST`] lease property — that the peer still serves
+    /// exactly these artifacts. The returned service reports zero
+    /// transferred bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RosgiError::Closed`] if the connection is gone, or
+    /// framework errors from the proxy installation.
+    pub fn install_cached_service(
+        &self,
+        parts: &ServiceParts,
+    ) -> Result<FetchedService, RosgiError> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(RosgiError::Closed);
+        }
+        let mut span = self
+            .inner
+            .obs
+            .span_dyn(|| format!("fetch-cached:{}", parts.interface.name));
+        let fetched = self.install_parts(parts, 0)?;
+        span.set("transferred_bytes", "0");
+        span.set_with("smart", || fetched.smart.to_string());
+        Ok(fetched)
+    }
+
+    /// Type injection + proxy construction + bundle install for shipped
+    /// (or cached) service parts. Shared by the wire fetch and the
+    /// cache-hit path.
+    fn install_parts(
+        &self,
+        parts: &ServiceParts,
+        transferred_bytes: usize,
+    ) -> Result<FetchedService, RosgiError> {
+        let inner = &self.inner;
+        let iface = parts.interface.clone();
+        let interface = iface.name.clone();
+        let descriptor = parts.descriptor.clone();
 
         // Type injection.
-        if !injected.is_empty() {
+        if !parts.injected_types.is_empty() {
             let mut types = inner.types.lock();
-            for t in injected {
-                types.inject(t);
+            for t in &parts.injected_types {
+                types.inject(t.clone());
             }
             inner.has_types.store(true, Ordering::Relaxed);
         }
@@ -730,7 +869,7 @@ impl RemoteEndpoint {
             inner: Arc::downgrade(inner),
         });
         let mut smart = false;
-        let proxy: Arc<dyn Service> = match smart_spec {
+        let proxy: Arc<dyn Service> = match &parts.smart_proxy {
             Some(spec)
                 if inner.config.accept_smart_proxies
                     && inner
@@ -747,7 +886,7 @@ impl RemoteEndpoint {
                     iface.clone(),
                     invoker,
                     local,
-                    spec.local_methods,
+                    spec.local_methods.clone(),
                 ))
             }
             _ => Arc::new(RemoteServiceProxy::new(iface.clone(), invoker)),
@@ -790,13 +929,8 @@ impl RemoteEndpoint {
             entries,
         );
         inner.framework.start_bundle(bundle)?;
-        inner
-            .proxy_bundles
-            .lock()
-            .insert(interface.to_owned(), bundle);
+        inner.proxy_bundles.lock().insert(interface.clone(), bundle);
 
-        span.set_with("transferred_bytes", || transferred_bytes.to_string());
-        span.set_with("smart", || smart.to_string());
         Ok(FetchedService {
             interface: iface,
             bundle,
@@ -1292,15 +1426,22 @@ impl Inner {
             match outcome {
                 Err(ref e)
                     if attempt < retry.max_retries
-                        && is_retryable(e)
                         && !self.closed.load(Ordering::SeqCst)
                         && Instant::now() < deadline
-                        && self.is_idempotent(interface, method) =>
+                        && match e {
+                            // Backpressure rejections never executed the
+                            // call, so they are safe to retry even for
+                            // non-idempotent methods.
+                            ServiceCallError::Busy { .. } => true,
+                            _ => is_retryable(e) && self.is_idempotent(interface, method),
+                        } =>
                 {
                     self.counters.retries.inc();
-                    let backoff = retry
-                        .backoff_for(attempt)
-                        .min(deadline.saturating_duration_since(Instant::now()));
+                    let mut backoff = retry.backoff_for(attempt);
+                    if let ServiceCallError::Busy { retry_after_ms } = e {
+                        backoff = backoff.max(Duration::from_millis(*retry_after_ms));
+                    }
+                    let backoff = backoff.min(deadline.saturating_duration_since(Instant::now()));
                     std::thread::sleep(backoff);
                     attempt += 1;
                 }
@@ -1422,7 +1563,7 @@ impl Inner {
         });
     }
 
-    fn handle_message(&self, msg: Message) {
+    fn handle_message(self: &Arc<Self>, msg: Message) {
         match msg {
             Message::Hello { peer, .. } => {
                 *self.remote_peer.lock() = peer;
@@ -1473,19 +1614,16 @@ impl Inner {
                 smart_proxy,
                 descriptor,
             } => {
-                let size = Message::ServiceBundle {
-                    interface: interface.clone(),
-                    injected_types: injected_types.clone(),
-                    smart_proxy: smart_proxy.clone(),
-                    descriptor: descriptor.clone(),
-                }
-                .wire_size();
-                let waiter = self.pending_fetches.lock().remove(&interface.name);
+                let parts = ServiceParts {
+                    interface,
+                    injected_types,
+                    smart_proxy,
+                    descriptor,
+                };
+                let size = parts.canonical_bytes().len();
+                let waiter = self.pending_fetches.lock().remove(&parts.interface.name);
                 if let Some(tx) = waiter {
-                    let _ = tx.send(Ok((
-                        (interface, injected_types, smart_proxy, descriptor),
-                        size,
-                    )));
+                    let _ = tx.send(Ok((parts, size)));
                 }
             }
             Message::FetchFailed { interface, reason } => {
@@ -1501,8 +1639,11 @@ impl Inner {
                 interface,
                 method,
                 args,
-            } => self.serve_and_respond(call_id, &interface, &method, &args, None),
+            } => self.dispatch_invoke(call_id, interface, method, args, None),
             Message::Response { call_id, result } => {
+                if matches!(result, Err(ServiceCallError::Busy { .. })) {
+                    self.counters.busy_received.inc();
+                }
                 // Unknown ids (timed-out calls) are dropped.
                 self.calls.complete(call_id, result);
             }
@@ -1559,6 +1700,46 @@ impl Inner {
                 self.shutdown.store(true, Ordering::SeqCst);
                 self.record_disconnect(DisconnectReason::ByePeer);
                 self.wire().close();
+            }
+        }
+    }
+
+    /// Routes one incoming invocation either inline (no serve queue
+    /// configured — the endpoint's historical behaviour) or through the
+    /// bounded [`ServeQueue`]. A queue rejection answers the caller with
+    /// [`ServiceCallError::Busy`] *without executing the call*, which is
+    /// what makes the caller's unconditional retry of `Busy` safe.
+    fn dispatch_invoke(
+        self: &Arc<Self>,
+        call_id: u64,
+        interface: String,
+        method: String,
+        args: Vec<Value>,
+        trace: Option<SpanCtx>,
+    ) {
+        let Some(queue) = &self.config.serve_queue else {
+            self.serve_and_respond(call_id, &interface, &method, &args, trace);
+            return;
+        };
+        let peer = self.remote_peer.lock().clone();
+        let this = Arc::clone(self);
+        let accepted = queue.submit(
+            &peer,
+            Box::new(move || {
+                this.serve_and_respond(call_id, &interface, &method, &args, trace);
+            }),
+        );
+        if !accepted {
+            self.counters.busy_sent.inc();
+            let result: Result<Value, ServiceCallError> = Err(ServiceCallError::Busy {
+                retry_after_ms: queue.retry_after_ms(),
+            });
+            if self.config.legacy_invoke_path {
+                let _ = self.send(&Message::Response { call_id, result });
+            } else {
+                let mut w = ByteWriter::with_pool(&self.pool);
+                Message::encode_response(&mut w, call_id, &result);
+                let _ = self.send_frame(w.into_bytes());
             }
         }
     }
@@ -1719,7 +1900,10 @@ impl Inner {
     }
 }
 
-fn decode_type_descriptors(bytes: &[u8]) -> Vec<TypeDescriptor> {
+/// Decodes a [`PROP_INJECTED_TYPES`] property back into type
+/// descriptors (the inverse of [`encode_type_descriptors`]). Tolerates
+/// malformed input by returning what decoded cleanly.
+pub fn decode_type_descriptors(bytes: &[u8]) -> Vec<TypeDescriptor> {
     let mut r = alfredo_net::ByteReader::new(bytes);
     let Ok(n) = r.varint() else { return Vec::new() };
     let mut out = Vec::with_capacity((n as usize).min(256));
@@ -1961,15 +2145,28 @@ fn reader_loop(inner: Arc<Inner>) {
             // decode below.
             if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
                 match Message::decode_invoke_borrowed(&frame) {
-                    Ok(inv) => {
-                        inner.serve_and_respond(
-                            inv.call_id,
-                            inv.interface,
-                            inv.method,
-                            &inv.args,
-                            inv.trace,
-                        );
-                        drop(inv);
+                    Ok(mut inv) => {
+                        if inner.config.serve_queue.is_some() {
+                            // Queued serving needs owned strings — the job
+                            // outlives the frame the names are borrowed
+                            // from. Only this (opted-in) path pays the copy;
+                            // the args are already owned and move for free.
+                            let (call_id, trace) = (inv.call_id, inv.trace);
+                            let interface = inv.interface.to_owned();
+                            let method = inv.method.to_owned();
+                            let args = std::mem::take(&mut inv.args);
+                            drop(inv);
+                            inner.dispatch_invoke(call_id, interface, method, args, trace);
+                        } else {
+                            inner.serve_and_respond(
+                                inv.call_id,
+                                inv.interface,
+                                inv.method,
+                                &inv.args,
+                                inv.trace,
+                            );
+                            drop(inv);
+                        }
                         inner.pool.give(frame);
                         continue 'wire;
                     }

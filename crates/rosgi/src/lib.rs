@@ -103,13 +103,14 @@ pub mod health;
 pub mod lease;
 pub mod message;
 pub mod proxy;
+pub mod serve;
 pub mod stream;
 pub mod types;
 
 pub use discovery::{DiscoveryDirectory, ServiceUrl};
 pub use endpoint::{
     CallHandle, EndpointConfig, EndpointStats, FetchedService, ReconnectConfig, ReconnectFn,
-    RemoteEndpoint, PROP_IDEMPOTENT_METHODS,
+    RemoteEndpoint, ServiceParts, PROP_IDEMPOTENT_METHODS, PROP_TIER_DIGEST,
 };
 pub use error::RosgiError;
 pub use health::{
@@ -118,5 +119,6 @@ pub use health::{
 pub use lease::RemoteServiceInfo;
 pub use message::{BorrowedInvoke, Message};
 pub use proxy::{RemoteServiceProxy, SmartProxySpec};
+pub use serve::{ServeQueue, ServeQueueConfig, ServeQueueStats};
 pub use stream::{StreamId, StreamReceiver};
 pub use types::{TypeDescriptor, TypeRegistry};

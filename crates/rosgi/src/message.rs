@@ -198,6 +198,7 @@ const ERR_BAD_ARGUMENTS: u8 = 1;
 const ERR_FAILED: u8 = 2;
 const ERR_SERVICE_GONE: u8 = 3;
 const ERR_REMOTE: u8 = 4;
+const ERR_BUSY: u8 = 5;
 
 impl Message {
     /// Encodes the message into a frame.
@@ -604,6 +605,10 @@ fn encode_call_error(w: &mut ByteWriter, e: &ServiceCallError) {
             w.put_u8(ERR_REMOTE);
             w.put_str(m);
         }
+        ServiceCallError::Busy { retry_after_ms } => {
+            w.put_u8(ERR_BUSY);
+            w.put_varint(*retry_after_ms);
+        }
     }
 }
 
@@ -615,6 +620,9 @@ fn decode_call_error(r: &mut ByteReader<'_>) -> Result<ServiceCallError, WireErr
         ERR_FAILED => ServiceCallError::Failed(r.str()?.to_owned()),
         ERR_SERVICE_GONE => ServiceCallError::ServiceGone,
         ERR_REMOTE => ServiceCallError::Remote(r.str()?.to_owned()),
+        ERR_BUSY => ServiceCallError::Busy {
+            retry_after_ms: r.varint()?,
+        },
         other => {
             return Err(WireError::InvalidTag {
                 context: "ServiceCallError",
@@ -694,6 +702,10 @@ mod tests {
             Message::Response {
                 call_id: 79,
                 result: Err(ServiceCallError::ServiceGone),
+            },
+            Message::Response {
+                call_id: 80,
+                result: Err(ServiceCallError::Busy { retry_after_ms: 7 }),
             },
             Message::RemoteEvent {
                 topic: "mouse/snapshot".into(),

@@ -1,0 +1,169 @@
+//! End-to-end tests of the bounded serve queue: queued invocations still
+//! answer correctly, floods are rejected with `Busy` instead of queuing
+//! without bound, and the caller's retry machinery absorbs `Busy`
+//! transparently — even for non-idempotent methods, because a `Busy`
+//! rejection means the call never ran.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use alfredo_net::{InMemoryNetwork, PeerAddr};
+use alfredo_osgi::{
+    FnService, Framework, MethodSpec, ParamSpec, Properties, ServiceInterfaceDesc, TypeHint, Value,
+};
+use alfredo_rosgi::{EndpointConfig, RemoteEndpoint, RetryPolicy, ServeQueue, ServeQueueConfig};
+
+fn echo_interface() -> ServiceInterfaceDesc {
+    ServiceInterfaceDesc::new(
+        "demo.SlowEcho",
+        vec![MethodSpec::new(
+            "echo",
+            vec![ParamSpec::new("v", TypeHint::I64)],
+            TypeHint::I64,
+            "Echoes its argument after a short busy wait.",
+        )],
+    )
+}
+
+/// Device serving `demo.SlowEcho` (each call sleeps `delay`) through a
+/// serve queue. Accepts connections until the listener drops.
+fn spawn_device(net: &InMemoryNetwork, addr: &str, delay: Duration, queue: ServeQueue) {
+    let fw = Framework::new();
+    fw.system_context()
+        .register_service(
+            &["demo.SlowEcho"],
+            Arc::new(
+                FnService::new(move |_, args| {
+                    std::thread::sleep(delay);
+                    Ok(args.first().cloned().unwrap_or(Value::Unit))
+                })
+                .with_description(echo_interface()),
+            ),
+            Properties::new(),
+        )
+        .unwrap();
+    let listener = net.bind(PeerAddr::new(addr)).unwrap();
+    let name = addr.to_owned();
+    std::thread::spawn(move || {
+        while let Ok(conn) = listener.accept() {
+            let fw2 = fw.clone();
+            let cfg = EndpointConfig::named(name.clone()).with_serve_queue(queue.clone());
+            std::thread::spawn(move || {
+                if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw2, cfg) {
+                    ep.join();
+                }
+            });
+        }
+    });
+}
+
+fn connect(net: &InMemoryNetwork, from: &str, to: &str, cfg: EndpointConfig) -> RemoteEndpoint {
+    let fw = Framework::new();
+    let conn = net.connect(PeerAddr::new(from), PeerAddr::new(to)).unwrap();
+    RemoteEndpoint::establish(Box::new(conn), fw, cfg).unwrap()
+}
+
+#[test]
+fn queued_serving_answers_correctly() {
+    let net = InMemoryNetwork::new();
+    let queue = ServeQueue::new(ServeQueueConfig::workers(4));
+    spawn_device(&net, "dev-q", Duration::ZERO, queue.clone());
+    let ep = connect(&net, "phone", "dev-q", EndpointConfig::named("phone"));
+    for i in 0..20i64 {
+        let v = ep
+            .invoke("demo.SlowEcho", "echo", &[Value::I64(i)])
+            .unwrap();
+        assert_eq!(v, Value::I64(i));
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.submitted, 20, "{stats:?}");
+    assert_eq!(stats.rejected, 0, "{stats:?}");
+    ep.close();
+    queue.shutdown();
+    assert_eq!(queue.stats().served, 20);
+}
+
+#[test]
+fn flood_without_retry_surfaces_busy() {
+    let net = InMemoryNetwork::new();
+    // One worker, tiny per-peer depth, slow service: an async flood must
+    // overrun the queue and be answered with `Busy`, not queue unbounded.
+    let queue = ServeQueue::new(ServeQueueConfig {
+        workers: 1,
+        per_peer_depth: 2,
+        total_depth: 64,
+        retry_after: Duration::from_millis(1),
+    });
+    spawn_device(&net, "dev-flood", Duration::from_millis(20), queue.clone());
+    let ep = connect(&net, "phone", "dev-flood", EndpointConfig::named("phone"));
+    let handles: Vec<_> = (0..16i64)
+        .map(|i| ep.invoke_async("demo.SlowEcho", "echo", &[Value::I64(i)]))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let mut ok = 0u32;
+    let mut busy = 0u32;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => ok += 1,
+            Err(alfredo_osgi::ServiceCallError::Busy { retry_after_ms }) => {
+                assert!(retry_after_ms >= 1);
+                busy += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        ok >= 1,
+        "some calls must get through (ok={ok}, busy={busy})"
+    );
+    assert!(busy >= 1, "flood must see Busy (ok={ok}, busy={busy})");
+    assert!(ep.stats().busy_received >= u64::from(busy));
+    assert!(queue.stats().rejected >= u64::from(busy));
+    ep.close();
+    queue.shutdown();
+}
+
+#[test]
+fn retry_absorbs_busy_even_for_non_idempotent_methods() {
+    let net = InMemoryNetwork::new();
+    let queue = ServeQueue::new(ServeQueueConfig {
+        workers: 1,
+        per_peer_depth: 2,
+        total_depth: 64,
+        retry_after: Duration::from_millis(1),
+    });
+    spawn_device(&net, "dev-retry", Duration::from_millis(5), queue.clone());
+    // `echo` is NOT in PROP_IDEMPOTENT_METHODS — only the Busy arm of the
+    // retry condition lets these retries happen.
+    let retry = RetryPolicy {
+        max_retries: 100,
+        deadline: Duration::from_secs(20),
+        ..RetryPolicy::retries(100)
+    };
+    let ep = Arc::new(connect(
+        &net,
+        "phone",
+        "dev-retry",
+        EndpointConfig::named("phone").with_retry(retry),
+    ));
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let ep = Arc::clone(&ep);
+            std::thread::spawn(move || {
+                for i in 0..8i64 {
+                    let v = ep
+                        .invoke("demo.SlowEcho", "echo", &[Value::I64(t * 100 + i)])
+                        .unwrap();
+                    assert_eq!(v, Value::I64(t * 100 + i));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The flood was big enough that at least some calls were rejected and
+    // retried — and every single one still succeeded.
+    ep.close();
+    queue.shutdown();
+}

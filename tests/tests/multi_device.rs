@@ -3,16 +3,18 @@
 //! "a service running on a coffee machine … may need to support an
 //! average of 2-3 concurrent users" (§4.3).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use alfredo_apps::{
     register_coffee_machine, register_mouse_controller, register_shop, sample_catalog,
     COFFEE_INTERFACE, MOUSE_INTERFACE, SHOP_INTERFACE,
 };
-use alfredo_core::{serve_device, AlfredOEngine, EngineConfig};
+use alfredo_core::{serve_device, serve_device_queued, AlfredOEngine, EngineConfig};
 use alfredo_net::{InMemoryNetwork, PeerAddr};
+use alfredo_obs::{Obs, SpanRecord};
 use alfredo_osgi::{Framework, Value};
-use alfredo_rosgi::DiscoveryDirectory;
+use alfredo_rosgi::{DiscoveryDirectory, ServeQueue, ServeQueueConfig};
 use alfredo_ui::{DeviceCapabilities, UiEvent};
 
 #[test]
@@ -153,4 +155,124 @@ fn one_appliance_serves_many_phones() {
     assert!(coffee.is_brewing() || coffee.brews_completed() > 0);
     let knob = coffee.strength();
     assert!((1..=10).contains(&knob), "knob in range: {knob}");
+}
+
+/// Asserts every span of `trace_id` chains up to a single `interaction`
+/// root — the tree stays connected (no orphaned parents).
+fn assert_connected_trace(spans: &[SpanRecord], trace_id: u64) {
+    let by_id: HashMap<u64, &SpanRecord> = spans
+        .iter()
+        .filter(|s| s.trace_id == trace_id)
+        .map(|s| (s.span_id, s))
+        .collect();
+    let roots: Vec<&&SpanRecord> = by_id.values().filter(|s| s.parent_id.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one root per trace, got {roots:?}");
+    assert_eq!(roots[0].name, "interaction");
+    let root_id = roots[0].span_id;
+    for span in by_id.values() {
+        // Walk up; every hop must resolve inside the same trace.
+        let mut current = *span;
+        let mut hops = 0;
+        while let Some(pid) = current.parent_id {
+            current = by_id
+                .get(&pid)
+                .unwrap_or_else(|| panic!("span {} has dangling parent {pid}", span.name));
+            hops += 1;
+            assert!(hops < 64, "parent cycle at span {}", span.name);
+        }
+        assert_eq!(
+            current.span_id, root_id,
+            "span {} not under root",
+            span.name
+        );
+    }
+}
+
+/// Scale-out story, end to end: eight phones against one queued device.
+/// Every session converges; each phone's *second* interaction hits its
+/// tier cache (zero tier bytes re-transferred — the `tier_transfer`
+/// phase collapses to a digest check); and each interaction's trace is a
+/// single connected span tree.
+#[test]
+fn eight_phones_converge_hit_tier_cache_and_trace_connected() {
+    let net = InMemoryNetwork::new();
+    let kitchen_fw = Framework::new();
+    register_coffee_machine(&kitchen_fw).unwrap();
+    let queue = ServeQueue::new(ServeQueueConfig::workers(4));
+    let device = serve_device_queued(
+        &net,
+        kitchen_fw,
+        PeerAddr::new("sc-kitchen"),
+        Obs::disabled(),
+        queue,
+    )
+    .unwrap();
+
+    let mut handles = Vec::new();
+    for p in 0..8 {
+        let net = net.clone();
+        handles.push(std::thread::spawn(move || {
+            let (obs, sink) = Obs::ring(4096);
+            let engine = AlfredOEngine::new(
+                Framework::new(),
+                net,
+                DiscoveryDirectory::new(),
+                EngineConfig::phone(
+                    format!("sc-phone-{p}"),
+                    DeviceCapabilities::sony_ericsson_m600i(),
+                )
+                .with_obs(obs),
+            );
+
+            // First interaction: cold — the tier artifacts cross the wire.
+            let conn = engine.connect(&PeerAddr::new("sc-kitchen")).unwrap();
+            let s1 = conn.acquire(COFFEE_INTERFACE).unwrap();
+            let cold_bytes = s1.transferred_bytes();
+            assert!(cold_bytes > 0, "first fetch must transfer the tier");
+            let status = s1.invoke(COFFEE_INTERFACE, "status", &[]).unwrap();
+            assert!(status.field("water_pct").is_some());
+            s1.close();
+            conn.close();
+            drop(conn);
+
+            // Second interaction: the live lease advertises the same
+            // digest, so the cache serves the tier — zero bytes moved.
+            let conn = engine.connect(&PeerAddr::new("sc-kitchen")).unwrap();
+            let s2 = conn.acquire(COFFEE_INTERFACE).unwrap();
+            assert_eq!(
+                s2.transferred_bytes(),
+                0,
+                "repeat interaction re-transferred tier bytes"
+            );
+            let status = s2.invoke(COFFEE_INTERFACE, "status", &[]).unwrap();
+            assert!(status.field("water_pct").is_some());
+            s2.close();
+            conn.close();
+            drop(conn);
+
+            let stats = engine.tier_cache().stats();
+            assert!(stats.hits >= 1, "second acquire must hit: {stats:?}");
+            assert!(stats.entries >= 1, "{stats:?}");
+
+            // Both interaction traces are connected trees.
+            let spans = sink.snapshot();
+            let mut trace_ids: Vec<u64> = spans
+                .iter()
+                .filter(|s| s.name == "interaction")
+                .map(|s| s.trace_id)
+                .collect();
+            trace_ids.sort_unstable();
+            trace_ids.dedup();
+            assert_eq!(trace_ids.len(), 2, "one trace per interaction");
+            for tid in trace_ids {
+                assert_connected_trace(&spans, tid);
+            }
+            cold_bytes
+        }));
+    }
+    let cold: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(cold.len(), 8, "all sessions converge");
+    // Every phone fetched the same artifacts, so the same byte count.
+    assert!(cold.windows(2).all(|w| w[0] == w[1]), "{cold:?}");
+    device.stop();
 }
