@@ -16,14 +16,16 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
+use alfredo_journal::Journal;
 use alfredo_sync::Mutex;
 
 use alfredo_osgi::{
-    Event, EventAdmin, Framework, MethodSpec, ParamSpec, Properties, Service, ServiceCallError,
-    ServiceInterfaceDesc, ServiceRegistration, TypeHint, Value,
+    Event, EventAdmin, Framework, Json, MethodSpec, ParamSpec, Properties, Service,
+    ServiceCallError, ServiceInterfaceDesc, ServiceRegistration, ToJson, TypeHint, Value,
 };
 use alfredo_rosgi::RemoteEndpoint;
 
@@ -50,6 +52,16 @@ pub struct DataStore {
     entries: Mutex<BTreeMap<String, (Value, u64)>>,
     version: Mutex<u64>,
     events: EventAdmin,
+    journal: Option<StoreJournal>,
+}
+
+/// The durability hook a journaled store carries: the journal itself plus
+/// a callback into the owning [`DeviceJournal`](crate::DeviceJournal)
+/// that drives snapshot cadence.
+pub(crate) struct StoreJournal {
+    pub(crate) journal: Journal,
+    /// Invoked after each journaled mutation, *outside* the store locks.
+    pub(crate) on_mutation: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl DataStore {
@@ -61,7 +73,23 @@ impl DataStore {
             entries: Mutex::new(BTreeMap::new()),
             version: Mutex::new(0),
             events,
+            journal: None,
         }
+    }
+
+    /// Attaches the durability hook (see [`crate::DeviceJournal`]).
+    pub(crate) fn attach_journal(&mut self, hook: StoreJournal) {
+        self.journal = Some(hook);
+    }
+
+    /// Seeds recovered state: entries and the global version counter, as
+    /// reconstructed from a journal. Does not journal, publish events, or
+    /// touch versions already ahead of `version` — seeding an in-use
+    /// store is a caller bug, not something this guards against.
+    pub fn seed(&self, entries: BTreeMap<String, (Value, u64)>, version: u64) {
+        let mut v = self.version.lock();
+        *v = (*v).max(version);
+        *self.entries.lock() = entries;
     }
 
     /// The store's name.
@@ -94,9 +122,14 @@ impl DataStore {
             self.entries
                 .lock()
                 .insert(key.clone(), (value.clone(), version));
+            // Journal inside the version lock so journal order equals
+            // version order (the replay-correctness invariant). The
+            // append only enqueues — the fsync happens on the committer.
+            self.journal_mutation("put", &key, Some(&value), version);
             version
         };
         self.publish_change(&key, Some(value), version);
+        self.notify_mutation();
         version
     }
 
@@ -107,10 +140,59 @@ impl DataStore {
             let mut v = self.version.lock();
             *v += 1;
             self.entries.lock().remove(key);
+            self.journal_mutation("remove", key, None, *v);
             *v
         };
         self.publish_change(key, None, version);
+        self.notify_mutation();
         version
+    }
+
+    fn journal_mutation(&self, event: &str, key: &str, value: Option<&Value>, version: u64) {
+        let Some(hook) = &self.journal else {
+            return;
+        };
+        hook.journal.append_with("data", event, |out| {
+            out.push_str("{\"store\":");
+            Json::write_str_to(&self.name, out);
+            out.push_str(",\"key\":");
+            Json::write_str_to(key, out);
+            let _ = write!(out, ",\"version\":{version}");
+            if let Some(v) = value {
+                out.push_str(",\"value\":");
+                v.to_json().write_to(out);
+            }
+            out.push('}');
+        });
+    }
+
+    /// Runs the owner's snapshot-cadence callback, outside all store
+    /// locks (the callback may capture a snapshot, which re-locks them).
+    fn notify_mutation(&self) {
+        if let Some(hook) = &self.journal {
+            (hook.on_mutation)();
+        }
+    }
+
+    /// Serializes the store's full state as JSON for a journal snapshot,
+    /// returning `(state, version)`. Takes the version and entry locks in
+    /// the same order as mutations, so the pair is consistent.
+    pub fn state_json(&self) -> (String, u64) {
+        let v = self.version.lock();
+        let entries = self.entries.lock();
+        let mut out = String::with_capacity(64 + entries.len() * 48);
+        let _ = write!(out, "{{\"version\":{},\"entries\":{{", *v);
+        for (i, (key, (value, version))) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            Json::write_str_to(key, &mut out);
+            let _ = write!(out, ":{{\"version\":{version},\"value\":");
+            value.to_json().write_to(&mut out);
+            out.push('}');
+        }
+        out.push_str("}}");
+        (out, *v)
     }
 
     /// Number of live entries.

@@ -1,0 +1,579 @@
+//! Device-side durability: crash recovery for the data tier and leases.
+//!
+//! A target device serving long-lived sessions keeps two journals under
+//! one directory (see `alfredo-journal` for the log format):
+//!
+//! * `<dir>/data` — every [`DataStore`] mutation, snapshotted and
+//!   truncated on a mutation-count cadence so the log stays bounded.
+//! * `<dir>/lease` — handshakes, re-handshakes, service grants, and
+//!   orderly goodbyes, appended by the R-OSGi endpoint
+//!   ([`EndpointConfig::with_journal`](alfredo_rosgi::EndpointConfig::with_journal)).
+//!   It is small (a few records per phone per session) and append-only.
+//!
+//! Keeping the streams in separate journals keeps the snapshot/truncate
+//! invariant single-stream: a data snapshot never has to reason about
+//! which lease records it may drop.
+//!
+//! On restart, [`DeviceJournal::open`] replays both logs before the
+//! device binds its address: [`DeviceJournal::register_store`] re-creates
+//! each store pre-seeded with its recovered entries and version, and
+//! [`DeviceRecovery::lease_grants`] lists which phones held which
+//! services so the device knows to expect their redials (the PR 3
+//! reconnect path) — phones then *resume* their sessions against the
+//! recovered state instead of starting over.
+//!
+//! # Example
+//!
+//! ```
+//! use alfredo_core::{DeviceJournal, DeviceJournalConfig};
+//! use alfredo_osgi::{Framework, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("alfredo-dj-doc-{}", std::process::id()));
+//! let fw = Framework::new();
+//! let journal = DeviceJournal::open(DeviceJournalConfig::new(&dir))?;
+//! let (store, _reg) = journal.register_store(&fw, "settings")?;
+//! store.put("volume", Value::I64(7));
+//! journal.barrier()?; // acknowledged == on disk
+//! journal.close()?;
+//!
+//! // ... crash; restart:
+//! let journal = DeviceJournal::open(DeviceJournalConfig::new(&dir))?;
+//! let fw = Framework::new();
+//! let (store, _reg) = journal.register_store(&fw, "settings")?;
+//! assert_eq!(store.get("volume").map(|(v, _)| v), Some(Value::I64(7)));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use alfredo_journal::{
+    recover, FsyncPolicy, Journal, JournalClock, JournalConfig, JournalError, JournalRecord,
+};
+use alfredo_osgi::{Framework, FromJson, Json, Properties, Service, ServiceRegistration, Value};
+use alfredo_rosgi::{recover_lease_grants, LeaseGrant};
+use alfredo_sync::Mutex;
+
+use crate::data::{DataStore, StoreJournal};
+
+/// Configuration for a device's durability directory.
+#[derive(Debug, Clone)]
+pub struct DeviceJournalConfig {
+    /// Directory holding the `data/` and `lease/` journals.
+    pub dir: PathBuf,
+    /// Data-tier mutations between snapshots; `0` disables automatic
+    /// snapshots (callers can still [`DeviceJournal::snapshot_now`]).
+    pub snapshot_every: u64,
+    /// Fsync policy for both journals.
+    pub fsync: FsyncPolicy,
+    /// Timestamp source for both journals.
+    pub clock: JournalClock,
+    /// Group-commit accumulation window for both journals (see
+    /// [`JournalConfig::commit_window`]).
+    pub commit_window: Duration,
+}
+
+impl DeviceJournalConfig {
+    /// Defaults: snapshot every 4096 data mutations, batched fsync,
+    /// wall-clock timestamps, the journal's default commit window.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DeviceJournalConfig {
+            dir: dir.into(),
+            snapshot_every: 4096,
+            fsync: FsyncPolicy::Batch,
+            clock: JournalClock::Wall,
+            commit_window: JournalConfig::new(".").commit_window,
+        }
+    }
+
+    /// Builder-style: overrides the snapshot cadence (`0` = manual only).
+    pub fn with_snapshot_every(mut self, mutations: u64) -> Self {
+        self.snapshot_every = mutations;
+        self
+    }
+
+    /// Builder-style: disables fsync (tests / chaos recording).
+    pub fn without_fsync(mut self) -> Self {
+        self.fsync = FsyncPolicy::Never;
+        self
+    }
+
+    /// Builder-style: logical timestamps (`ts == seq`) for bit-exact
+    /// replay artifacts.
+    pub fn logical_clock(mut self) -> Self {
+        self.clock = JournalClock::Logical;
+        self
+    }
+
+    /// Builder-style: overrides the group-commit accumulation window.
+    pub fn with_commit_window(mut self, window: Duration) -> Self {
+        self.commit_window = window;
+        self
+    }
+}
+
+/// A data store's state as reconstructed from snapshot + log replay.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredStore {
+    /// Entries with their per-key versions.
+    pub entries: BTreeMap<String, (Value, u64)>,
+    /// The store's global version counter at the end of the log.
+    pub version: u64,
+    /// How many log records (beyond the snapshot) applied to this store.
+    pub replayed: u64,
+}
+
+/// Everything [`DeviceJournal::open`] reconstructed from disk.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceRecovery {
+    /// Per-store recovered state, keyed by store name.
+    pub stores: BTreeMap<String, RecoveredStore>,
+    /// Which peers held which service grants when the device went down
+    /// (orderly `bye`s are folded out).
+    pub lease_grants: Vec<LeaseGrant>,
+    /// Total data-log records replayed (incl. ones superseded by the
+    /// snapshot's version guard).
+    pub data_records: u64,
+    /// `true` if either log ended in a torn (partially written) line,
+    /// which recovery discarded — i.e. the previous run died mid-commit.
+    pub torn_tail: bool,
+}
+
+/// The device-side durability handle: owns the data + lease journals,
+/// drives snapshot cadence, and seeds recovered state into re-registered
+/// stores.
+pub struct DeviceJournal {
+    data: Journal,
+    lease: Journal,
+    recovery: DeviceRecovery,
+    stores: Mutex<Vec<Arc<DataStore>>>,
+    snapshot_every: u64,
+    since_snapshot: AtomicU64,
+    snapshotting: AtomicBool,
+}
+
+impl DeviceJournal {
+    /// Opens (or creates) the durability directory, replaying any
+    /// existing logs into [`DeviceRecovery`] first.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`JournalError::Corrupt`] on a damaged log (a torn
+    /// final line is tolerated and reported, not an error).
+    pub fn open(cfg: DeviceJournalConfig) -> Result<Arc<DeviceJournal>, JournalError> {
+        let data_dir = cfg.dir.join("data");
+        let lease_dir = cfg.dir.join("lease");
+
+        let data_rec = recover(&data_dir)?;
+        let lease_rec = recover(&lease_dir)?;
+        let mut recovery = DeviceRecovery {
+            torn_tail: data_rec.torn_tail || lease_rec.torn_tail,
+            ..DeviceRecovery::default()
+        };
+        if let Some(snapshot) = &data_rec.snapshot {
+            recovery.stores = parse_snapshot_state(&snapshot.state)?;
+        }
+        for record in &data_rec.records {
+            apply_data_record(&mut recovery.stores, record)?;
+            recovery.data_records += 1;
+        }
+        recovery.lease_grants = recover_lease_grants(&lease_rec.records);
+
+        let journal_cfg = |dir: PathBuf| JournalConfig {
+            dir,
+            fsync: cfg.fsync,
+            clock: cfg.clock,
+            commit_window: cfg.commit_window,
+            // Cadence is driven by this struct across all stores, not by
+            // the inner journal.
+            snapshot_every: 0,
+            ..JournalConfig::new(".")
+        };
+        let data = Journal::open(journal_cfg(data_dir))?;
+        let lease = Journal::open(journal_cfg(lease_dir))?;
+        Ok(Arc::new(DeviceJournal {
+            data,
+            lease,
+            recovery,
+            stores: Mutex::new(Vec::new()),
+            snapshot_every: cfg.snapshot_every,
+            since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+        }))
+    }
+
+    /// What recovery found on disk when this journal was opened.
+    pub fn recovery(&self) -> &DeviceRecovery {
+        &self.recovery
+    }
+
+    /// The lease journal — hand this to
+    /// [`EndpointConfig::with_journal`](alfredo_rosgi::EndpointConfig::with_journal)
+    /// on every endpoint the device serves.
+    pub fn lease_journal(&self) -> &Journal {
+        &self.lease
+    }
+
+    /// The data journal (mutation log + snapshots).
+    pub fn data_journal(&self) -> &Journal {
+        &self.data
+    }
+
+    /// Registers a journaled [`DataStore`] named `name` on `framework`,
+    /// pre-seeded with any state recovery reconstructed for that name.
+    /// Every subsequent mutation is journaled before it is acknowledged
+    /// remotely, and counts toward the snapshot cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration errors.
+    pub fn register_store(
+        self: &Arc<Self>,
+        framework: &Framework,
+        name: impl Into<String>,
+    ) -> Result<(Arc<DataStore>, ServiceRegistration), alfredo_osgi::OsgiError> {
+        let name = name.into();
+        let mut store = DataStore::new(name.clone(), framework.event_admin().clone());
+        let owner = Arc::downgrade(self);
+        store.attach_journal(StoreJournal {
+            journal: self.data.clone(),
+            on_mutation: Arc::new(move || {
+                if let Some(dj) = owner.upgrade() {
+                    dj.count_mutation();
+                }
+            }),
+        });
+        if let Some(rec) = self.recovery.stores.get(&name) {
+            store.seed(rec.entries.clone(), rec.version);
+        }
+        let store = Arc::new(store);
+        self.stores.lock().push(Arc::clone(&store));
+        let registration = framework.system_context().register_service(
+            &[&store.interface_name()],
+            Arc::clone(&store) as Arc<dyn Service>,
+            Properties::new().with("alfredo.data.store", store.name()),
+        )?;
+        Ok((store, registration))
+    }
+
+    fn count_mutation(&self) {
+        if self.snapshot_every == 0 {
+            return;
+        }
+        let n = self.since_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.snapshot_every {
+            // One snapshotter at a time; concurrent mutators skip.
+            if self
+                .snapshotting
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.since_snapshot.store(0, Ordering::Relaxed);
+                let _ = self.snapshot_now();
+                self.snapshotting.store(false, Ordering::Release);
+            }
+        }
+    }
+
+    /// Captures a snapshot of every registered store and truncates the
+    /// data log to records newer than the snapshot watermark.
+    ///
+    /// The watermark is read *before* the store states, so the captured
+    /// states reflect every mutation at or below it (possibly more —
+    /// harmless, because replay is version-guarded and idempotent).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`JournalError::CommitterFailed`] if the committer
+    /// thread died.
+    pub fn snapshot_now(&self) -> Result<(), JournalError> {
+        let watermark = self.data.last_seq();
+        let stores = self.stores.lock();
+        let mut state = String::with_capacity(256);
+        state.push_str("{\"stores\":{");
+        for (i, store) in stores.iter().enumerate() {
+            if i > 0 {
+                state.push(',');
+            }
+            state.push_str(&Json::str(store.name()).to_json_string());
+            state.push(':');
+            let (store_state, _) = store.state_json();
+            state.push_str(&store_state);
+        }
+        state.push_str("}}");
+        drop(stores);
+        self.data.snapshot_at(watermark, &state)
+    }
+
+    /// Waits until everything appended so far (both journals) is on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::CommitterFailed`] if a committer thread died.
+    pub fn barrier(&self) -> Result<u64, JournalError> {
+        let lease_seq = self.lease.barrier()?;
+        let data_seq = self.data.barrier()?;
+        Ok(data_seq.max(lease_seq))
+    }
+
+    /// Flushes and closes both journals. Further appends are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first close error.
+    pub fn close(&self) -> Result<(), JournalError> {
+        let data = self.data.close();
+        let lease = self.lease.close();
+        data.and(lease)
+    }
+}
+
+impl fmt::Debug for DeviceJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceJournal")
+            .field("dir", &self.data.dir().parent())
+            .field("stores", &self.stores.lock().len())
+            .field("data_seq", &self.data.last_seq())
+            .field("lease_seq", &self.lease.last_seq())
+            .finish()
+    }
+}
+
+fn corrupt(reason: impl Into<String>) -> JournalError {
+    JournalError::Corrupt {
+        line: 0,
+        reason: reason.into(),
+    }
+}
+
+/// Parses the aggregated snapshot state written by
+/// [`DeviceJournal::snapshot_now`]:
+/// `{"stores":{<name>:{"version":N,"entries":{<key>:{"version":N,"value":V}}}}}`.
+fn parse_snapshot_state(state: &str) -> Result<BTreeMap<String, RecoveredStore>, JournalError> {
+    let json = Json::parse(state).map_err(|e| corrupt(format!("snapshot state: {e}")))?;
+    let stores = json
+        .get("stores")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| corrupt("snapshot state missing \"stores\" object"))?;
+    let mut out = BTreeMap::new();
+    for (name, store_json) in stores {
+        let version = store_json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt(format!("store {name:?}: missing version")))?;
+        let mut entries = BTreeMap::new();
+        let snap_entries = store_json
+            .get("entries")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| corrupt(format!("store {name:?}: missing entries")))?;
+        for (key, entry) in snap_entries {
+            let entry_version = entry
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| corrupt(format!("store {name:?} key {key:?}: missing version")))?;
+            let value = entry
+                .get("value")
+                .map(Value::from_json)
+                .transpose()
+                .map_err(|e| corrupt(format!("store {name:?} key {key:?}: {e}")))?
+                .ok_or_else(|| corrupt(format!("store {name:?} key {key:?}: missing value")))?;
+            entries.insert(key.clone(), (value, entry_version));
+        }
+        out.insert(
+            name.clone(),
+            RecoveredStore {
+                entries,
+                version,
+                replayed: 0,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Applies one data-log record on top of the recovered state.
+///
+/// Mutations are journaled under the store's version lock, so log order
+/// equals version order; the guard `record.version > store.version` makes
+/// replay idempotent over records the snapshot already absorbed.
+fn apply_data_record(
+    stores: &mut BTreeMap<String, RecoveredStore>,
+    record: &JournalRecord,
+) -> Result<(), JournalError> {
+    if record.stream != "data" {
+        return Ok(());
+    }
+    let payload = Json::parse(&record.payload)
+        .map_err(|e| corrupt(format!("data record seq {}: {e}", record.seq)))?;
+    let name = payload
+        .get("store")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("data record seq {}: missing store", record.seq)))?;
+    let key = payload
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("data record seq {}: missing key", record.seq)))?;
+    let version = payload
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(format!("data record seq {}: missing version", record.seq)))?;
+    let store = stores.entry(name.to_owned()).or_default();
+    store.replayed += 1;
+    if version <= store.version {
+        return Ok(()); // already absorbed by the snapshot
+    }
+    store.version = version;
+    match record.event.as_str() {
+        "put" => {
+            let value = payload
+                .get("value")
+                .map(Value::from_json)
+                .transpose()
+                .map_err(|e| corrupt(format!("data record seq {}: {e}", record.seq)))?
+                .ok_or_else(|| corrupt(format!("put record seq {}: missing value", record.seq)))?;
+            store.entries.insert(key.to_owned(), (value, version));
+        }
+        "remove" => {
+            store.entries.remove(key);
+        }
+        other => {
+            return Err(corrupt(format!(
+                "data record seq {}: unknown event {other:?}",
+                record.seq
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alfredo-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn mutations_survive_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let fw = Framework::new();
+            let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+            let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+            store.put("a", Value::I64(1));
+            store.put("b", Value::from("two"));
+            store.put("a", Value::I64(3));
+            store.remove("b");
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let fw = Framework::new();
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        assert_eq!(dj.recovery().data_records, 4);
+        let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+        assert_eq!(store.get("a"), Some((Value::I64(3), 3)));
+        assert_eq!(store.get("b"), None);
+        assert_eq!(store.version(), 4);
+        // New mutations continue the version sequence.
+        assert_eq!(store.put("c", Value::I64(9)), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_truncates_and_recovery_matches() {
+        let dir = temp_dir("snap");
+        {
+            let fw = Framework::new();
+            let dj = DeviceJournal::open(
+                DeviceJournalConfig::new(&dir).with_snapshot_every(0), // manual
+            )
+            .unwrap();
+            let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+            for i in 0..100i64 {
+                store.put(format!("k{}", i % 10), Value::I64(i));
+            }
+            dj.snapshot_now().unwrap();
+            // Post-snapshot tail.
+            store.put("k3", Value::I64(777));
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        // The log was truncated at the snapshot: only the tail replays.
+        assert_eq!(dj.recovery().data_records, 1, "{:?}", dj.recovery());
+        let fw = Framework::new();
+        let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.get("k3"), Some((Value::I64(777), 101)));
+        assert_eq!(store.get("k9"), Some((Value::I64(99), 100)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_snapshot_cadence_bounds_the_log() {
+        let dir = temp_dir("cadence");
+        {
+            let fw = Framework::new();
+            let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir).with_snapshot_every(32))
+                .unwrap();
+            let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+            for i in 0..200i64 {
+                store.put(format!("k{i}"), Value::I64(i));
+            }
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        assert!(
+            dj.recovery().data_records < 200,
+            "cadence must have truncated: {:?}",
+            dj.recovery().data_records
+        );
+        let fw = Framework::new();
+        let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.version(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_stores_recover_independently() {
+        let dir = temp_dir("multi");
+        {
+            let fw = Framework::new();
+            let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+            let (a, _ra) = dj.register_store(&fw, "alpha").unwrap();
+            let (b, _rb) = dj.register_store(&fw, "beta").unwrap();
+            a.put("x", Value::I64(1));
+            b.put("x", Value::I64(2));
+            a.put("y", Value::I64(3));
+            dj.snapshot_now().unwrap();
+            b.put("y", Value::I64(4));
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        let fw = Framework::new();
+        let (a, _ra) = dj.register_store(&fw, "alpha").unwrap();
+        let (b, _rb) = dj.register_store(&fw, "beta").unwrap();
+        assert_eq!(a.get("x"), Some((Value::I64(1), 1)));
+        assert_eq!(a.get("y"), Some((Value::I64(3), 2)));
+        assert_eq!(b.get("x"), Some((Value::I64(2), 1)));
+        assert_eq!(b.get("y"), Some((Value::I64(4), 2)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

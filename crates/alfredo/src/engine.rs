@@ -12,8 +12,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use alfredo_journal::{Journal, JournalConfig};
 use alfredo_net::{InMemoryNetwork, PeerAddr, Transport};
 use alfredo_obs::{Obs, Span};
+use alfredo_osgi::Json;
 use alfredo_osgi::{CodeRegistry, Framework, Properties, Service, ServiceCallError, Value};
 use alfredo_rosgi::endpoint::{
     decode_type_descriptors, PROP_DESCRIPTOR, PROP_INJECTED_TYPES, PROP_SMART_PROXY_KEY,
@@ -49,6 +51,8 @@ pub enum EngineError {
     Security(SecurityError),
     /// A service invocation failed.
     Call(ServiceCallError),
+    /// The session journal could not be opened.
+    Journal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +66,7 @@ impl fmt::Display for EngineError {
             EngineError::Ui(e) => write!(f, "ui error: {e}"),
             EngineError::Security(e) => write!(f, "security policy violation: {e}"),
             EngineError::Call(e) => write!(f, "service call failed: {e}"),
+            EngineError::Journal(e) => write!(f, "session journal error: {e}"),
         }
     }
 }
@@ -182,6 +187,13 @@ pub struct EngineConfig {
     /// `interaction` span and every phase, RPC and reconnect nests under
     /// it — including device-side serve spans, carried over the wire.
     pub obs: Obs,
+    /// Session journaling. When set, the engine opens one
+    /// [`Journal`] and appends a `session`
+    /// stream record for every connection, lease acquisition, UI event
+    /// (with its outcomes), and imperative invoke — the durable timeline
+    /// [`crate::replay`] re-drives. `None` (the default) journals
+    /// nothing.
+    pub journal: Option<JournalConfig>,
 }
 
 impl EngineConfig {
@@ -197,7 +209,14 @@ impl EngineConfig {
             resilience: None,
             tier_cache_bytes: DEFAULT_TIER_CACHE_BYTES,
             obs: Obs::disabled(),
+            journal: None,
         }
+    }
+
+    /// Builder-style: journals the session timeline into `journal`.
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
+        self
     }
 
     /// Builder-style: enables self-healing connections.
@@ -304,6 +323,9 @@ pub struct AlfredOEngine {
     /// One content-addressed artifact cache per phone, shared by every
     /// connection the engine establishes.
     tier_cache: TierCache,
+    /// The session journal, opened eagerly from [`EngineConfig::journal`];
+    /// an open failure is kept and surfaced on the first connect.
+    journal: Option<Result<Journal, String>>,
 }
 
 impl AlfredOEngine {
@@ -315,6 +337,10 @@ impl AlfredOEngine {
         config: EngineConfig,
     ) -> Self {
         let tier_cache = TierCache::new(config.tier_cache_bytes, &config.obs);
+        let journal = config
+            .journal
+            .clone()
+            .map(|cfg| Journal::open(cfg).map_err(|e| e.to_string()));
         AlfredOEngine {
             framework,
             network,
@@ -322,7 +348,13 @@ impl AlfredOEngine {
             config,
             policy: Arc::new(ThinClientPolicy),
             tier_cache,
+            journal,
         }
+    }
+
+    /// The engine's session journal, when configured and healthy.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref().and_then(|r| r.as_ref().ok())
     }
 
     /// The phone's tier-artifact cache (hit/miss/eviction accounting).
@@ -471,6 +503,13 @@ impl AlfredOEngine {
         transport: Box<dyn Transport>,
         dial: Option<ReconnectFn>,
     ) -> Result<AlfredOConnection, EngineError> {
+        // A configured-but-broken journal must fail loudly, not record a
+        // partial timeline.
+        let journal = match &self.journal {
+            Some(Ok(j)) => Some(j.clone()),
+            Some(Err(e)) => return Err(EngineError::Journal(e.clone())),
+            None => None,
+        };
         // The whole connection is one `interaction` span: entering it here
         // makes the endpoint's handshake span (and, via the endpoint's
         // establish-time capture, later reconnect spans) its children.
@@ -510,6 +549,14 @@ impl AlfredOEngine {
                 }
             }
         };
+        if let Some(journal) = &journal {
+            let peer = endpoint.remote_peer();
+            journal.append_with("session", "connect", |out| {
+                out.push_str("{\"peer\":");
+                Json::write_str_to(peer.as_str(), out);
+                out.push('}');
+            });
+        }
         Ok(AlfredOConnection {
             endpoint: Arc::new(endpoint),
             framework: self.framework.clone(),
@@ -517,6 +564,7 @@ impl AlfredOEngine {
             policy: Arc::clone(&self.policy),
             tier_cache: self.tier_cache.clone(),
             span: root,
+            journal,
         })
     }
 }
@@ -540,6 +588,9 @@ pub struct AlfredOConnection {
     /// The connection-lifetime `interaction` span; recorded when the
     /// connection is dropped, parent of every phase underneath.
     span: Span,
+    /// The engine's session journal, shared by every session this
+    /// connection acquires.
+    journal: Option<Journal>,
 }
 
 impl AlfredOConnection {
@@ -685,6 +736,13 @@ impl AlfredOConnection {
         };
 
         // 5. Controller: interpreted from the descriptor's rule program.
+        if let Some(journal) = &self.journal {
+            journal.append_with("session", "acquire", |out| {
+                out.push_str("{\"interface\":");
+                Json::write_str_to(interface, out);
+                out.push('}');
+            });
+        }
         Ok(AlfredOSession::new(
             self.framework.clone(),
             Arc::clone(&self.endpoint),
@@ -703,6 +761,7 @@ impl AlfredOConnection {
                 .unwrap_or_default(),
             obs.clone(),
             root_ctx,
+            self.journal.clone(),
         ))
     }
 
@@ -937,7 +996,7 @@ pub fn serve_device_with_obs(
     addr: PeerAddr,
     obs: Obs,
 ) -> Result<ServedDevice, EngineError> {
-    serve_device_inner(network, framework, addr, obs, None)
+    serve_device_inner(network, framework, addr, obs, None, None)
 }
 
 /// Like [`serve_device_with_obs`], but every accepted endpoint serves its
@@ -956,7 +1015,30 @@ pub fn serve_device_queued(
     obs: Obs,
     queue: ServeQueue,
 ) -> Result<ServedDevice, EngineError> {
-    serve_device_inner(network, framework, addr, obs, Some(queue))
+    serve_device_inner(network, framework, addr, obs, Some(queue), None)
+}
+
+/// Like [`serve_device_queued`] (pass `None` for an unqueued device), but
+/// every accepted endpoint journals its lease lifecycle — handshakes,
+/// re-handshakes, service grants, goodbyes — into the device's durability
+/// directory. Pair with [`crate::DeviceJournal`]: register the data tier
+/// through [`crate::DeviceJournal::register_store`] and pass
+/// [`crate::DeviceJournal::lease_journal`] here, and the device can be
+/// killed and restarted on the same address with phones redialing into
+/// their recovered sessions.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Rosgi`] if the address is already bound.
+pub fn serve_device_durable(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+    obs: Obs,
+    queue: Option<ServeQueue>,
+    lease_journal: Journal,
+) -> Result<ServedDevice, EngineError> {
+    serve_device_inner(network, framework, addr, obs, queue, Some(lease_journal))
 }
 
 fn serve_device_inner(
@@ -965,6 +1047,7 @@ fn serve_device_inner(
     addr: PeerAddr,
     obs: Obs,
     queue: Option<ServeQueue>,
+    journal: Option<Journal>,
 ) -> Result<ServedDevice, EngineError> {
     let listener = network.bind(addr.clone()).map_err(RosgiError::Transport)?;
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -981,6 +1064,9 @@ fn serve_device_inner(
                         let mut cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
                         if let Some(q) = &accept_queue {
                             cfg = cfg.with_serve_queue(q.clone());
+                        }
+                        if let Some(j) = &journal {
+                            cfg = cfg.with_journal(j.clone());
                         }
                         std::thread::spawn(move || {
                             if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw, cfg) {

@@ -46,11 +46,13 @@ pub mod cache;
 pub mod controller;
 pub mod data;
 pub mod descriptor;
+pub mod durable;
 pub mod engine;
 pub mod federation;
 pub mod footprint;
 pub mod optimizer;
 pub mod policy;
+pub mod replay;
 pub mod security;
 pub mod session;
 pub mod tier;
@@ -60,9 +62,11 @@ pub use cache::{TierCache, TierCacheStats, DEFAULT_TIER_CACHE_BYTES};
 pub use controller::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
 pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_PREFIX};
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
+pub use durable::{DeviceJournal, DeviceJournalConfig, DeviceRecovery, RecoveredStore};
 pub use engine::{
-    host_service, serve_device, serve_device_queued, serve_device_with_obs, AlfredOConnection,
-    AlfredOEngine, EngineConfig, EngineError, OutagePolicy, ResilienceConfig, ServedDevice,
+    host_service, serve_device, serve_device_durable, serve_device_queued, serve_device_with_obs,
+    AlfredOConnection, AlfredOEngine, EngineConfig, EngineError, OutagePolicy, ResilienceConfig,
+    ServedDevice,
 };
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};
@@ -70,6 +74,7 @@ pub use optimizer::{LatencyMonitor, RuntimeOptimizer};
 pub use policy::{
     AdaptivePolicy, ClientContext, DistributionPolicy, LogicOffloadPolicy, ThinClientPolicy,
 };
+pub use replay::{decode_ui_event, outcome_kind, record_executed};
 pub use security::{SecurityError, SecurityPolicy, TrustLevel};
 pub use session::AlfredOSession;
 pub use tier::{Placement, Tier, TierAssignment};

@@ -1,0 +1,171 @@
+//! Deterministic replay of journaled session streams.
+//!
+//! When [`EngineConfig::journal`](crate::EngineConfig::journal) is set,
+//! every connection, lease acquisition, UI event, and imperative invoke
+//! is appended to the `session` stream of the phone's journal. Under
+//! [`JournalClock::Logical`](alfredo_journal::JournalClock::Logical)
+//! timestamps, two runs of the same event sequence produce byte-identical
+//! logs — the artifact a failing chaos seed leaves behind *is* its
+//! reproduction recipe.
+//!
+//! This module is the decode side: turn a `ui_event` record back into the
+//! [`UiEvent`] that produced it ([`decode_ui_event`]), and decide whether
+//! a record represents work that actually executed ([`record_executed`]).
+//! The executed-only filter is the replay-correctness contract: an event
+//! the original run merely *queued* during an outage was re-handled —
+//! and re-journaled — when the link healed, so replaying the queued
+//! record too would double-execute it.
+
+use std::fmt::Write as _;
+
+use alfredo_osgi::Json;
+use alfredo_ui::UiEvent;
+
+use crate::session::ActionOutcome;
+
+/// The stable name a journaled outcome is recorded under.
+pub fn outcome_kind(outcome: &ActionOutcome) -> &'static str {
+    match outcome {
+        ActionOutcome::Invoked { .. } => "invoked",
+        ActionOutcome::Updated { .. } => "updated",
+        ActionOutcome::Acquired { .. } => "acquired",
+        ActionOutcome::Emitted { .. } => "emitted",
+        ActionOutcome::Queued { .. } => "queued",
+        ActionOutcome::Discarded { .. } => "discarded",
+    }
+}
+
+/// Appends the JSON payload of a `ui_event` record to `out`: the event's
+/// fields plus the outcome kinds its handling produced. Field order is
+/// fixed — payload bytes are part of the replay artifact contract.
+pub(crate) fn encode_ui_event(event: &UiEvent, outcomes: &[ActionOutcome], out: &mut String) {
+    out.push_str("{\"control\":");
+    Json::write_str_to(event.control(), out);
+    match event {
+        UiEvent::Click { .. } => out.push_str(",\"kind\":\"click\""),
+        UiEvent::TextChanged { text, .. } => {
+            out.push_str(",\"kind\":\"text\",\"text\":");
+            Json::write_str_to(text.as_str(), out);
+        }
+        UiEvent::Selected { index, .. } => {
+            let _ = write!(out, ",\"kind\":\"selected\",\"index\":{index}");
+        }
+        UiEvent::SliderChanged { value, .. } => {
+            let _ = write!(out, ",\"kind\":\"slider\",\"value\":{value}");
+        }
+        UiEvent::PointerMoved { dx, dy, .. } => {
+            let _ = write!(out, ",\"kind\":\"pointer\",\"dx\":{dx},\"dy\":{dy}");
+        }
+        UiEvent::Key { ch, .. } => {
+            out.push_str(",\"kind\":\"key\",\"ch\":");
+            Json::write_str_to(ch.encode_utf8(&mut [0u8; 4]), out);
+        }
+    }
+    out.push_str(",\"outcomes\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(outcome_kind(o));
+        out.push('"');
+    }
+    out.push_str("]}");
+}
+
+/// Reconstructs the [`UiEvent`] a `ui_event` record was journaled from.
+/// Returns `None` on a foreign or malformed payload.
+pub fn decode_ui_event(payload: &Json) -> Option<UiEvent> {
+    let control = payload.get("control")?.as_str()?.to_owned();
+    Some(match payload.get("kind")?.as_str()? {
+        "click" => UiEvent::Click { control },
+        "text" => UiEvent::TextChanged {
+            control,
+            text: payload.get("text")?.as_str()?.to_owned(),
+        },
+        "selected" => UiEvent::Selected {
+            control,
+            index: usize::try_from(payload.get("index")?.as_u64()?).ok()?,
+        },
+        "slider" => UiEvent::SliderChanged {
+            control,
+            value: payload.get("value")?.as_i64()?,
+        },
+        "pointer" => UiEvent::PointerMoved {
+            control,
+            dx: payload.get("dx")?.as_i64()?,
+            dy: payload.get("dy")?.as_i64()?,
+        },
+        "key" => UiEvent::Key {
+            control,
+            ch: payload.get("ch")?.as_str()?.chars().next()?,
+        },
+        _ => return None,
+    })
+}
+
+/// Whether a `ui_event` record's handling actually executed — i.e. its
+/// outcomes were not *all* `queued`/`discarded`. Only executed records
+/// are re-driven on replay (see the module docs for why).
+pub fn record_executed(payload: &Json) -> bool {
+    match payload.get("outcomes").and_then(Json::as_arr) {
+        Some(outcomes) if !outcomes.is_empty() => outcomes
+            .iter()
+            .any(|o| !matches!(o.as_str(), Some("queued") | Some("discarded"))),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(event: UiEvent) {
+        let mut payload = String::new();
+        encode_ui_event(&event, &[], &mut payload);
+        let json = Json::parse(&payload).unwrap();
+        assert_eq!(decode_ui_event(&json), Some(event), "payload: {payload}");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        round_trips(UiEvent::Click {
+            control: "go".into(),
+        });
+        round_trips(UiEvent::TextChanged {
+            control: "q".into(),
+            text: "hi \"there\"\n".into(),
+        });
+        round_trips(UiEvent::Selected {
+            control: "list".into(),
+            index: 3,
+        });
+        round_trips(UiEvent::SliderChanged {
+            control: "vol".into(),
+            value: -4,
+        });
+        round_trips(UiEvent::PointerMoved {
+            control: "pad".into(),
+            dx: 5,
+            dy: -2,
+        });
+        round_trips(UiEvent::Key {
+            control: "q".into(),
+            ch: 'ß',
+        });
+    }
+
+    #[test]
+    fn executed_filter_skips_fully_queued_records() {
+        let executed = Json::parse(r#"{"outcomes":["invoked","updated"]}"#).unwrap();
+        assert!(record_executed(&executed));
+        let queued = Json::parse(r#"{"outcomes":["queued"]}"#).unwrap();
+        assert!(!record_executed(&queued));
+        let discarded = Json::parse(r#"{"outcomes":["discarded","queued"]}"#).unwrap();
+        assert!(!record_executed(&discarded));
+        let mixed = Json::parse(r#"{"outcomes":["queued","invoked"]}"#).unwrap();
+        assert!(record_executed(&mixed));
+        let empty = Json::parse(r#"{"outcomes":[]}"#).unwrap();
+        assert!(record_executed(&empty));
+    }
+}

@@ -14,12 +14,13 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use alfredo_journal::Journal;
 use alfredo_obs::{Obs, SpanCtx};
 use alfredo_sync::channel::{self, Receiver, Sender};
 use alfredo_sync::Mutex;
 
 use alfredo_osgi::events::SubscriptionId;
-use alfredo_osgi::{Event, Framework, Properties, ServiceCallError, Value};
+use alfredo_osgi::{Event, Framework, Json, Properties, ServiceCallError, ToJson as _, Value};
 use alfredo_rosgi::{HealthEvent, HealthState, RemoteEndpoint};
 use alfredo_ui::render::{select_renderer, RenderedUi};
 use alfredo_ui::{DeviceCapabilities, UiEvent, UiState};
@@ -105,6 +106,10 @@ pub struct AlfredOSession {
     /// The connection's `interaction` span: every `invoke:*` span this
     /// session opens is parented under it.
     trace_root: Option<SpanCtx>,
+    /// The engine's session journal: every handled UI event (with its
+    /// outcomes) and imperative invoke is appended to the `session`
+    /// stream — the timeline [`crate::replay`] re-drives.
+    journal: Option<Journal>,
 }
 
 impl AlfredOSession {
@@ -123,6 +128,7 @@ impl AlfredOSession {
         outage_policy: OutagePolicy,
         obs: Obs,
         trace_root: Option<SpanCtx>,
+        journal: Option<Journal>,
     ) -> Self {
         let (tx, rx) = channel::unbounded();
         // Queue every bus event whose topic any RemoteEvent rule matches.
@@ -193,6 +199,7 @@ impl AlfredOSession {
             closed: AtomicBool::new(false),
             obs,
             trace_root,
+            journal,
         }
     }
 
@@ -300,13 +307,17 @@ impl AlfredOSession {
             && self.is_remote_bound(event.control())
         {
             let control = event.control().to_owned();
-            return Ok(vec![match self.outage_policy {
+            let outcome = match self.outage_policy {
                 OutagePolicy::Replay => {
                     self.pending.lock().push(event.clone());
                     ActionOutcome::Queued { control }
                 }
                 OutagePolicy::Discard => ActionOutcome::Discarded { control },
-            }]);
+            };
+            // Journaled, but marked non-executed: replay skips it — the
+            // re-handling after the link heals journals the real run.
+            self.journal_ui_event(event, std::slice::from_ref(&outcome));
+            return Ok(vec![outcome]);
         }
         self.state.lock().apply(event);
         let (kind, value): (UiTriggerKind, Value) = match event {
@@ -333,7 +344,16 @@ impl AlfredOSession {
         for rule in rules {
             outcomes.extend(self.run_actions(&rule.actions, &value, dx, dy)?);
         }
+        self.journal_ui_event(event, &outcomes);
         Ok(outcomes)
+    }
+
+    fn journal_ui_event(&self, event: &UiEvent, outcomes: &[ActionOutcome]) {
+        if let Some(journal) = &self.journal {
+            journal.append_with("session", "ui_event", |out| {
+                crate::replay::encode_ui_event(event, outcomes, out);
+            });
+        }
     }
 
     /// Drains queued remote events through the controller. Returns the
@@ -490,6 +510,22 @@ impl AlfredOSession {
         self.monitor
             .lock()
             .record(service, start.elapsed().as_secs_f64() * 1e3);
+        if let Some(journal) = &self.journal {
+            journal.append_with("session", "invoke", |buf| {
+                buf.push_str("{\"service\":");
+                Json::write_str_to(service, buf);
+                buf.push_str(",\"method\":");
+                Json::write_str_to(method, buf);
+                buf.push_str(",\"args\":[");
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    arg.to_json().write_to(buf);
+                }
+                buf.push_str("]}");
+            });
+        }
         Ok(out)
     }
 

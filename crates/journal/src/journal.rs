@@ -1,0 +1,624 @@
+//! The journal proper: pooled-buffer appends, a group-commit committer
+//! thread, durable watermark tracking, and snapshot/rotate.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::record::encode_line;
+use crate::recover::recover;
+use crate::JournalError;
+
+/// Name of the live log file inside a journal directory.
+pub(crate) const LOG_FILE: &str = "log.jsonl";
+/// Name of the snapshot file inside a journal directory.
+pub(crate) const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// When the committer calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// One `fsync` per commit batch — the durability contract callers
+    /// should run in production.
+    #[default]
+    Batch,
+    /// Never fsync; writes still reach the OS. For deterministic-replay
+    /// artifacts and benchmarks where the file only needs to survive the
+    /// *process*, not the machine.
+    Never,
+}
+
+/// Where record timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JournalClock {
+    /// Wall-clock microseconds since the Unix epoch, sampled at
+    /// commit-batch granularity: the record that starts a batch reads the
+    /// clock, and records that join the same batch reuse its value.
+    /// Ordering is always by `seq`; `ts` is advisory.
+    #[default]
+    Wall,
+    /// The record's own sequence number. Runs of the same event sequence
+    /// then produce byte-identical journals — the chaos-replay contract.
+    Logical,
+}
+
+/// Configuration for [`Journal::open`].
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding the log and snapshot; created if missing.
+    pub dir: PathBuf,
+    /// Durability policy for commit batches.
+    pub fsync: FsyncPolicy,
+    /// Timestamp source for records.
+    pub clock: JournalClock,
+    /// Snapshot cadence hint for wiring layers (mutations between
+    /// snapshots); `0` disables. The journal itself never snapshots
+    /// spontaneously — state capture belongs to the owner of the state.
+    pub snapshot_every: u64,
+    /// Maximum number of encoded-line buffers kept for reuse.
+    pub pool_buffers: usize,
+    /// How long the committer lingers after the first record of a batch
+    /// before writing, letting a slow producer accumulate a real group
+    /// commit instead of one write (and fsync) per record. Also bounds
+    /// how often the committer wakes at all — on small machines a
+    /// per-record wakeup steals more CPU from the producer than the
+    /// write itself. Costs at most this much extra latency on
+    /// [`Journal::barrier`] / [`Journal::append_wait`].
+    pub commit_window: Duration,
+}
+
+impl JournalConfig {
+    /// A production-leaning default: batch fsync, wall clock, 1024 pooled
+    /// buffers (enough to cover a deep commit backlog), no snapshot
+    /// cadence, 5ms commit window. Durability latency is the barrier's
+    /// concern — appenders never wait — so the window is tuned for
+    /// throughput, not ack latency.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Batch,
+            clock: JournalClock::Wall,
+            snapshot_every: 0,
+            pool_buffers: 1024,
+            commit_window: Duration::from_millis(5),
+        }
+    }
+
+    /// Switches to the logical clock (`ts == seq`) for bit-exact artifacts.
+    pub fn logical_clock(mut self) -> Self {
+        self.clock = JournalClock::Logical;
+        self
+    }
+
+    /// Disables fsync (process-crash durability only).
+    pub fn without_fsync(mut self) -> Self {
+        self.fsync = FsyncPolicy::Never;
+        self
+    }
+
+    /// Sets the snapshot cadence hint.
+    pub fn with_snapshot_every(mut self, mutations: u64) -> Self {
+        self.snapshot_every = mutations;
+        self
+    }
+
+    /// Sets the group-commit accumulation window (`ZERO` = commit as soon
+    /// as anything is pending).
+    pub fn with_commit_window(mut self, window: Duration) -> Self {
+        self.commit_window = window;
+        self
+    }
+}
+
+/// Counters describing a journal's activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records accepted by `append*`.
+    pub appends: u64,
+    /// Records refused because the committer had already failed.
+    pub dropped: u64,
+    /// Records written to the log file.
+    pub committed: u64,
+    /// Commit batches written (each is one `write`, and one `fsync` under
+    /// [`FsyncPolicy::Batch`]).
+    pub batches: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Bytes appended to the log file.
+    pub bytes_written: u64,
+    /// Largest single commit batch, in records.
+    pub max_batch: u64,
+    /// Appends that had to allocate because the buffer pool was empty.
+    pub pool_misses: u64,
+    /// Snapshots persisted.
+    pub snapshots: u64,
+}
+
+struct Queue {
+    /// Lines awaiting commit, in seq order (seq is assigned under this lock).
+    pending: Vec<(u64, String)>,
+    /// Recycled line buffers.
+    pool: Vec<String>,
+    next_seq: u64,
+}
+
+struct Durable {
+    seq: u64,
+    /// Set when the committer dies; waiting forever on a dead committer
+    /// would turn an I/O error into a hang.
+    error: Option<String>,
+}
+
+struct Inner {
+    fsync: FsyncPolicy,
+    clock: JournalClock,
+    pool_buffers: usize,
+    snapshot_every: u64,
+    commit_window: Duration,
+    dir: PathBuf,
+    queue: Mutex<Queue>,
+    doorbell: Condvar,
+    durable: Mutex<Durable>,
+    durable_cv: Condvar,
+    /// Mirrors `Durable::error.is_some()` so the append fast path can
+    /// check for a dead committer without touching the durable lock.
+    committer_failed: AtomicBool,
+    /// Wall-clock microseconds sampled by the append that starts a batch;
+    /// later appends in the same batch reuse it instead of reading the
+    /// clock (see [`JournalClock::Wall`]).
+    wall_cache: AtomicU64,
+    /// Guards the log file handle; `snapshot_at` holds it across the
+    /// snapshot write and log rotation so no batch interleaves.
+    file: Mutex<File>,
+    shutdown: AtomicBool,
+    last_seq: AtomicU64,
+    appends: AtomicU64,
+    dropped: AtomicU64,
+    committed: AtomicU64,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes_written: AtomicU64,
+    max_batch: AtomicU64,
+    pool_misses: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+/// A durable, append-only event log. Cheap to clone; clones share the
+/// same log and committer.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Inner>,
+    committer: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.inner.dir)
+            .field("last_seq", &self.last_seq())
+            .field("durable_seq", &self.durable_seq())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Opens (or creates) the journal in `cfg.dir`, resuming sequence
+    /// numbering after whatever the directory already holds.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created, the existing log is
+    /// corrupt beyond a torn tail, or the log file cannot be opened.
+    pub fn open(cfg: JournalConfig) -> Result<Journal, JournalError> {
+        fs::create_dir_all(&cfg.dir)?;
+        let existing = recover(&cfg.dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(cfg.dir.join(LOG_FILE))?;
+        let inner = Arc::new(Inner {
+            fsync: cfg.fsync,
+            clock: cfg.clock,
+            pool_buffers: cfg.pool_buffers,
+            snapshot_every: cfg.snapshot_every,
+            commit_window: cfg.commit_window,
+            dir: cfg.dir,
+            queue: Mutex::new(Queue {
+                pending: Vec::new(),
+                pool: Vec::new(),
+                next_seq: existing.last_seq + 1,
+            }),
+            doorbell: Condvar::new(),
+            durable: Mutex::new(Durable {
+                seq: existing.last_seq,
+                error: None,
+            }),
+            durable_cv: Condvar::new(),
+            committer_failed: AtomicBool::new(false),
+            wall_cache: AtomicU64::new(0),
+            file: Mutex::new(file),
+            shutdown: AtomicBool::new(false),
+            last_seq: AtomicU64::new(existing.last_seq),
+            appends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+        });
+        let committer = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("journal-committer".into())
+                .spawn(move || committer_loop(&inner))
+                .map_err(JournalError::Io)?
+        };
+        Ok(Journal {
+            inner,
+            committer: Arc::new(Mutex::new(Some(committer))),
+        })
+    }
+
+    /// Appends one record with a pre-encoded JSON payload. Returns the
+    /// assigned sequence number, or `0` if the record was dropped because
+    /// the committer has failed or the journal is shut down.
+    ///
+    /// This is the fast path: one short lock, one formatted write into a
+    /// pooled buffer, no file I/O.
+    pub fn append(&self, stream: &str, event: &str, payload: &str) -> u64 {
+        self.append_with(stream, event, |out| out.push_str(payload))
+    }
+
+    /// Appends one record, letting `fill` format the JSON payload directly
+    /// into a pooled scratch buffer — no intermediate allocation.
+    pub fn append_with(&self, stream: &str, event: &str, fill: impl FnOnce(&mut String)) -> u64 {
+        if self.inner.shutdown.load(Ordering::Acquire)
+            || self.inner.committer_failed.load(Ordering::Acquire)
+        {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return 0;
+        }
+        // Format the payload outside the queue lock, into a thread-local
+        // scratch (payloads never cross threads, so no pooling needed).
+        let (seq, was_empty) = PAYLOAD_SCRATCH.with(|scratch| {
+            let mut payload = scratch.borrow_mut();
+            payload.clear();
+            fill(&mut payload);
+            let mut q = self.inner.queue.lock().expect("journal queue poisoned");
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            let was_empty = q.pending.is_empty();
+            let ts = match self.inner.clock {
+                JournalClock::Logical => seq,
+                // Batch leaders read the clock; followers reuse it — one
+                // clock syscall per commit batch, not per record.
+                JournalClock::Wall if was_empty => {
+                    let now = wall_micros();
+                    self.inner.wall_cache.store(now, Ordering::Relaxed);
+                    now
+                }
+                JournalClock::Wall => self.inner.wall_cache.load(Ordering::Relaxed),
+            };
+            let mut line = match q.pool.pop() {
+                Some(buf) => buf,
+                None => {
+                    self.inner.pool_misses.fetch_add(1, Ordering::Relaxed);
+                    String::with_capacity(96 + payload.len())
+                }
+            };
+            encode_line(&mut line, seq, ts, stream, event, &payload);
+            q.pending.push((seq, line));
+            (seq, was_empty)
+        });
+        self.inner.last_seq.store(seq, Ordering::Release);
+        self.inner.appends.fetch_add(1, Ordering::Relaxed);
+        // The committer only ever sleeps on the doorbell when the queue is
+        // empty, so only the empty->non-empty transition needs to ring it.
+        // Skipping the rest keeps a futex syscall off the hot path.
+        if was_empty {
+            self.inner.doorbell.notify_one();
+        }
+        seq
+    }
+
+    /// Appends and blocks until the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::CommitterFailed`] if the committer died.
+    pub fn append_wait(
+        &self,
+        stream: &str,
+        event: &str,
+        payload: &str,
+    ) -> Result<u64, JournalError> {
+        let seq = self.append(stream, event, payload);
+        if seq == 0 {
+            return Err(self.failure_error());
+        }
+        self.wait_durable(seq)?;
+        Ok(seq)
+    }
+
+    /// Blocks until every record with sequence number `<= seq` is on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::CommitterFailed`] if the committer died
+    /// before reaching `seq`.
+    pub fn wait_durable(&self, seq: u64) -> Result<u64, JournalError> {
+        let mut d = self.inner.durable.lock().expect("journal durable poisoned");
+        loop {
+            if d.seq >= seq {
+                return Ok(d.seq);
+            }
+            if let Some(e) = &d.error {
+                return Err(JournalError::CommitterFailed(e.clone()));
+            }
+            d = self
+                .inner
+                .durable_cv
+                .wait(d)
+                .expect("journal durable poisoned");
+        }
+    }
+
+    /// Blocks until everything appended so far is on disk and returns the
+    /// durable watermark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::CommitterFailed`] if the committer died.
+    pub fn barrier(&self) -> Result<u64, JournalError> {
+        self.wait_durable(self.last_seq())
+    }
+
+    /// Highest sequence number handed out so far (durable or not).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.last_seq.load(Ordering::Acquire)
+    }
+
+    /// Highest sequence number known to be on disk.
+    pub fn durable_seq(&self) -> u64 {
+        self.inner
+            .durable
+            .lock()
+            .expect("journal durable poisoned")
+            .seq
+    }
+
+    /// The snapshot cadence hint this journal was opened with.
+    pub fn snapshot_every(&self) -> u64 {
+        self.inner.snapshot_every
+    }
+
+    /// Persists `state_json` as the snapshot at `watermark` and rewrites
+    /// the log to retain only records beyond it.
+    ///
+    /// The caller owns the consistency contract: `state_json` must reflect
+    /// **every** mutation journaled with `seq <= watermark` (and may
+    /// include later ones — replay is idempotent as long as appliers guard
+    /// on their own versions). Records with `seq > watermark` survive
+    /// rotation verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if the committer cannot reach `watermark`.
+    pub fn snapshot_at(&self, watermark: u64, state_json: &str) -> Result<(), JournalError> {
+        self.wait_durable(watermark)?;
+        // Freeze the log: the committer blocks on this lock, so the file
+        // cannot grow while we snapshot and rotate.
+        let mut file = self.inner.file.lock().expect("journal file poisoned");
+        let snap_path = self.inner.dir.join(SNAPSHOT_FILE);
+        let tmp_path = self.inner.dir.join("snapshot.json.tmp");
+        {
+            let mut doc = String::with_capacity(32 + state_json.len());
+            doc.push_str("{\"seq\":");
+            doc.push_str(&watermark.to_string());
+            doc.push_str(",\"state\":");
+            doc.push_str(state_json);
+            doc.push_str("}\n");
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(doc.as_bytes())?;
+            if self.inner.fsync == FsyncPolicy::Batch {
+                tmp.sync_data()?;
+            }
+        }
+        fs::rename(&tmp_path, &snap_path)?;
+
+        // Rotate: rewrite the log keeping only records past the watermark.
+        let log_path = self.inner.dir.join(LOG_FILE);
+        let log_tmp = self.inner.dir.join("log.jsonl.tmp");
+        let old = fs::read_to_string(&log_path)?;
+        {
+            let mut tmp = File::create(&log_tmp)?;
+            let mut keep = String::new();
+            for line in old.lines() {
+                if let Ok(r) = crate::JournalRecord::parse(line) {
+                    if r.seq > watermark {
+                        keep.push_str(line);
+                        keep.push('\n');
+                    }
+                }
+            }
+            tmp.write_all(keep.as_bytes())?;
+            if self.inner.fsync == FsyncPolicy::Batch {
+                tmp.sync_data()?;
+            }
+        }
+        fs::rename(&log_tmp, &log_path)?;
+        *file = OpenOptions::new().append(true).open(&log_path)?;
+        if self.inner.fsync == FsyncPolicy::Batch {
+            // Make the renames themselves durable.
+            if let Ok(d) = File::open(&self.inner.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.inner.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Current activity counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appends: self.inner.appends.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            committed: self.inner.committed.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            max_batch: self.inner.max_batch.load(Ordering::Relaxed),
+            pool_misses: self.inner.pool_misses.load(Ordering::Relaxed),
+            snapshots: self.inner.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Flushes outstanding records and stops the committer. Called
+    /// automatically when the last clone drops; explicit calls get the
+    /// flush error, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::CommitterFailed`] if the committer had
+    /// already died on an I/O error.
+    pub fn close(&self) -> Result<(), JournalError> {
+        let flush = self.barrier().map(|_| ());
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.doorbell.notify_all();
+        if let Some(handle) = self
+            .committer
+            .lock()
+            .expect("journal committer poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        flush
+    }
+
+    fn failure_error(&self) -> JournalError {
+        let d = self.inner.durable.lock().expect("journal durable poisoned");
+        JournalError::CommitterFailed(
+            d.error
+                .clone()
+                .unwrap_or_else(|| "journal shut down".into()),
+        )
+    }
+}
+
+thread_local! {
+    static PAYLOAD_SCRATCH: std::cell::RefCell<String> =
+        std::cell::RefCell::new(String::with_capacity(256));
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Only the last clone tears the committer down.
+        if Arc::strong_count(&self.inner) == 2 {
+            let _ = self.close();
+        }
+    }
+}
+
+fn wall_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as u64
+}
+
+fn committer_loop(inner: &Inner) {
+    let mut commit_buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    loop {
+        {
+            let mut q = inner.queue.lock().expect("journal queue poisoned");
+            while q.pending.is_empty() && !inner.shutdown.load(Ordering::Acquire) {
+                q = inner.doorbell.wait(q).expect("journal queue poisoned");
+            }
+            if q.pending.is_empty() {
+                return; // shutdown with nothing left to flush
+            }
+        }
+        // Group-commit window: linger (lock released) so a producer that
+        // appends slower than we can fsync still amortizes the write —
+        // and the committer's own wakeups — over a real batch. Skipped on
+        // shutdown so `close` drains promptly.
+        if !inner.commit_window.is_zero() && !inner.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(inner.commit_window);
+        }
+        let batch = {
+            let mut q = inner.queue.lock().expect("journal queue poisoned");
+            std::mem::take(&mut q.pending)
+        };
+
+        commit_buf.clear();
+        for (_, line) in &batch {
+            commit_buf.extend_from_slice(line.as_bytes());
+        }
+        let last = batch.last().map(|(seq, _)| *seq).unwrap_or(0);
+        let result = {
+            let mut file = inner.file.lock().expect("journal file poisoned");
+            file.write_all(&commit_buf).and_then(|()| {
+                if inner.fsync == FsyncPolicy::Batch {
+                    inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    file.sync_data()
+                } else {
+                    Ok(())
+                }
+            })
+        };
+
+        let mut d = inner.durable.lock().expect("journal durable poisoned");
+        match result {
+            Ok(()) => {
+                d.seq = last;
+                inner
+                    .committed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                inner.batches.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .bytes_written
+                    .fetch_add(commit_buf.len() as u64, Ordering::Relaxed);
+                inner
+                    .max_batch
+                    .fetch_max(batch.len() as u64, Ordering::Relaxed);
+            }
+            Err(e) => {
+                d.error = Some(e.to_string());
+                inner.committer_failed.store(true, Ordering::Release);
+                inner.durable_cv.notify_all();
+                return;
+            }
+        }
+        drop(d);
+        inner.durable_cv.notify_all();
+
+        // Recycle the line buffers; whatever exceeds the pool cap is
+        // dropped after the lock is released, not under it.
+        let mut batch = batch.into_iter();
+        {
+            let mut q = inner.queue.lock().expect("journal queue poisoned");
+            while q.pool.len() < inner.pool_buffers {
+                match batch.next() {
+                    Some((_, mut line)) => {
+                        line.clear();
+                        q.pool.push(line);
+                    }
+                    None => break,
+                }
+            }
+        }
+        drop(batch);
+    }
+}

@@ -1,0 +1,311 @@
+//! The on-disk record format: one JSONL line per event, fields in fixed
+//! order so the envelope parses with a linear scan and re-encodes to the
+//! identical bytes.
+
+use std::fmt::Write as _;
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Monotonic sequence number, unique within one journal.
+    pub seq: u64,
+    /// Timestamp: wall-clock microseconds or the sequence number itself,
+    /// depending on the journal's [`JournalClock`](crate::JournalClock).
+    pub ts: u64,
+    /// Which subsystem wrote the record (`"session"`, `"lease"`, `"data"`).
+    pub stream: String,
+    /// Event name within the stream (`"put"`, `"grant"`, ...).
+    pub event: String,
+    /// Caller-supplied JSON, stored verbatim.
+    pub payload: String,
+}
+
+impl JournalRecord {
+    /// Encodes the record as one JSONL line (including the trailing
+    /// newline) appended to `out`.
+    pub fn encode_into(&self, out: &mut String) {
+        encode_line(
+            out,
+            self.seq,
+            self.ts,
+            &self.stream,
+            &self.event,
+            &self.payload,
+        );
+    }
+
+    /// Encodes the record as one JSONL line.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64 + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Parses one line (with or without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if the line does not follow the fixed-order
+    /// envelope format.
+    pub fn parse(line: &str) -> Result<JournalRecord, ParseError> {
+        let mut s = Scanner::new(line.trim_end_matches('\n'));
+        s.expect("{\"seq\":")?;
+        let seq = s.integer()?;
+        s.expect(",\"ts\":")?;
+        let ts = s.integer()?;
+        s.expect(",\"stream\":\"")?;
+        let stream = s.string()?;
+        s.expect(",\"event\":\"")?;
+        let event = s.string()?;
+        s.expect(",\"payload\":")?;
+        let payload = s.payload()?;
+        Ok(JournalRecord {
+            seq,
+            ts,
+            stream,
+            event,
+            payload,
+        })
+    }
+}
+
+pub(crate) fn encode_line(
+    out: &mut String,
+    seq: u64,
+    ts: u64,
+    stream: &str,
+    event: &str,
+    payload: &str,
+) {
+    out.push_str("{\"seq\":");
+    let _ = write!(out, "{seq}");
+    out.push_str(",\"ts\":");
+    let _ = write!(out, "{ts}");
+    out.push_str(",\"stream\":\"");
+    escape_into(out, stream);
+    out.push_str("\",\"event\":\"");
+    escape_into(out, event);
+    out.push_str("\",\"payload\":");
+    out.push_str(payload);
+    out.push_str("}\n");
+}
+
+/// Escapes a string for embedding in a JSON string literal. Clean spans
+/// are bulk-copied; only `"`, `\`, and control bytes trigger per-char
+/// work (multi-byte UTF-8 is ≥ 0x80 and never matches, so byte offsets
+/// stay on char boundaries).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    let _ = write!(out, "\\u{:04x}", b);
+                }
+            }
+            start = i + 1;
+        }
+    }
+    out.push_str(&s[start..]);
+}
+
+/// A record line that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What was expected there.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Linear scanner over the fixed-order envelope. The payload is whatever
+/// sits between `"payload":` and the closing `}` — it is never parsed as
+/// JSON, which is what makes round-trips byte-exact.
+struct Scanner<'a> {
+    rest: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Self {
+        Scanner { rest: line, pos: 0 }
+    }
+
+    fn fail(&self, expected: &'static str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            expected,
+        }
+    }
+
+    fn expect(&mut self, lit: &'static str) -> Result<(), ParseError> {
+        match self.rest.strip_prefix(lit) {
+            Some(rest) => {
+                self.rest = rest;
+                self.pos += lit.len();
+                Ok(())
+            }
+            None => Err(self.fail(lit)),
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        let digits = self.rest.bytes().take_while(u8::is_ascii_digit).count();
+        if digits == 0 {
+            return Err(self.fail("integer"));
+        }
+        let value = self.rest[..digits]
+            .parse()
+            .map_err(|_| self.fail("u64 in range"))?;
+        self.rest = &self.rest[digits..];
+        self.pos += digits;
+        Ok(value)
+    }
+
+    /// A JSON string body up to (and consuming) the closing quote.
+    fn string(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((j, 'u')) => {
+                        let hex = self
+                            .rest
+                            .get(j + 1..j + 5)
+                            .ok_or_else(|| self.fail("four hex digits"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.fail("four hex digits"))?;
+                        out.push(char::from_u32(code).ok_or_else(|| self.fail("scalar value"))?);
+                        // Skip the 4 hex digits the iterator hasn't seen.
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    _ => return Err(self.fail("escape sequence")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err(self.fail("closing quote"))
+    }
+
+    /// The raw payload: everything before the record's final `}`.
+    fn payload(&mut self) -> Result<String, ParseError> {
+        match self.rest.strip_suffix('}') {
+            Some(body) if !body.is_empty() => Ok(body.to_string()),
+            _ => Err(self.fail("payload and closing brace")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(payload: &str) -> JournalRecord {
+        JournalRecord {
+            seq: 42,
+            ts: 1_700_000_000,
+            stream: "data".into(),
+            event: "put".into(),
+            payload: payload.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let r = record("{\"key\":\"k\",\"value\":[1,2,{\"nested\":true}]}");
+        let line = r.encode();
+        let parsed = JournalRecord::parse(&line).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.encode(), line, "re-encode must be bit-exact");
+    }
+
+    #[test]
+    fn envelope_has_fixed_field_order() {
+        let line = record("null").encode();
+        assert_eq!(
+            line,
+            "{\"seq\":42,\"ts\":1700000000,\"stream\":\"data\",\"event\":\"put\",\"payload\":null}\n"
+        );
+    }
+
+    #[test]
+    fn stream_and_event_names_are_escaped() {
+        let r = JournalRecord {
+            seq: 1,
+            ts: 2,
+            stream: "we\"ird\\name".into(),
+            event: "tab\there".into(),
+            payload: "0".into(),
+        };
+        let line = r.encode();
+        let parsed = JournalRecord::parse(&line).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.encode(), line);
+    }
+
+    #[test]
+    fn control_characters_use_unicode_escapes() {
+        let r = JournalRecord {
+            seq: 1,
+            ts: 1,
+            stream: "s\u{1}".into(),
+            event: "e".into(),
+            payload: "0".into(),
+        };
+        let line = r.encode();
+        assert!(line.contains("\\u0001"), "{line}");
+        assert_eq!(JournalRecord::parse(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn payload_containing_braces_survives() {
+        // The payload is delimited by the line's *final* brace, so nested
+        // objects and brace-bearing strings pass through untouched.
+        let r = record("{\"s\":\"}}{{\",\"o\":{\"x\":{}}}");
+        assert_eq!(JournalRecord::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn torn_line_is_rejected() {
+        let line = record("{\"key\":1}").encode();
+        for cut in [1, line.len() / 2, line.len().saturating_sub(3)] {
+            assert!(
+                JournalRecord::parse(&line[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_field_order_is_rejected() {
+        let line = "{\"ts\":1,\"seq\":2,\"stream\":\"s\",\"event\":\"e\",\"payload\":0}";
+        assert!(JournalRecord::parse(line).is_err());
+    }
+}

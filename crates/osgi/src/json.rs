@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use crate::properties::Properties;
 use crate::value::Value;
@@ -173,6 +174,19 @@ impl Json {
         out
     }
 
+    /// Appends the compact JSON serialization onto `out` — the
+    /// allocation-free form of [`Json::to_json_string`] for hot paths
+    /// that assemble documents into a reused buffer.
+    pub fn write_to(&self, out: &mut String) {
+        self.write(out);
+    }
+
+    /// Appends `s` as a JSON string literal (quoted and escaped) onto
+    /// `out`, without building an intermediate [`Json::Str`].
+    pub fn write_str_to(s: &str, out: &mut String) {
+        write_escaped(s, out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -228,19 +242,27 @@ impl fmt::Display for Json {
 
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Clean spans are bulk-copied; only `"`, `\`, and control bytes need
+    // per-char handling (multi-byte UTF-8 is >= 0x80 and never matches,
+    // so byte offsets stay on char boundaries).
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    let _ = write!(out, "\\u{:04x}", b);
+                }
             }
-            c => out.push(c),
+            start = i + 1;
         }
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 

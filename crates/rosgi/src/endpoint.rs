@@ -30,11 +30,12 @@ use std::time::{Duration, Instant};
 use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 use alfredo_sync::{Mutex, RwLock};
 
+use alfredo_journal::Journal;
 use alfredo_net::{BufferPool, ByteWriter, CloseReason, Transport, TransportError};
 use alfredo_obs::{Counter, Histogram, MetricsHandle, Obs, Span, SpanCtx};
 use alfredo_osgi::events::topic_matches;
 use alfredo_osgi::{
-    BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework,
+    BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework, Json,
     ListenerId, Manifest, Properties, Service, ServiceCallError, ServiceEvent,
     ServiceInterfaceDesc, Value,
 };
@@ -138,6 +139,12 @@ pub struct EndpointConfig {
     /// fairness, and overload is answered with a `Busy` + retry-after
     /// response instead of unbounded queueing.
     pub serve_queue: Option<ServeQueue>,
+    /// Durable lease journal. When set, the endpoint appends a `lease`
+    /// stream record for every handshake, service grant, and orderly
+    /// goodbye — all off the invoke fast path — so a crashed device can
+    /// recover which peers held which services (see
+    /// [`crate::lease::recover_lease_grants`]).
+    pub journal: Option<Journal>,
 }
 
 /// Dials a replacement transport for a reconnecting endpoint.
@@ -204,6 +211,7 @@ impl Default for EndpointConfig {
             reconnect: None,
             obs: Obs::disabled(),
             serve_queue: None,
+            journal: None,
         }
     }
 }
@@ -272,6 +280,13 @@ impl EndpointConfig {
     /// reader thread.
     pub fn with_serve_queue(mut self, queue: ServeQueue) -> Self {
         self.serve_queue = Some(queue);
+        self
+    }
+
+    /// Builder-style: journals lease-stream events (handshakes, grants,
+    /// goodbyes) into `journal` for crash recovery.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
         self
     }
 }
@@ -350,6 +365,9 @@ pub struct EndpointStats {
     pub busy_sent: u64,
     /// `Busy` rejections received from the peer.
     pub busy_received: u64,
+    /// `Busy` retries whose backoff honored the peer's retry-after hint
+    /// instead of the fixed schedule.
+    pub busy_hint_retries: u64,
     /// Why the wire last went down ([`DisconnectReason::None`] if never).
     pub last_disconnect: DisconnectReason,
 }
@@ -426,6 +444,7 @@ struct Counters {
     heartbeats_missed: Counter,
     busy_sent: Counter,
     busy_received: Counter,
+    busy_hint_retries: Counter,
     /// Caller-observed invoke round-trip, microseconds. Only recorded
     /// when tracing is enabled (it needs clock reads the disabled fast
     /// path must not pay).
@@ -452,6 +471,7 @@ impl Counters {
             heartbeats_missed: metrics.counter("rosgi.heartbeats_missed"),
             busy_sent: metrics.counter("rosgi.busy_sent"),
             busy_received: metrics.counter("rosgi.busy_received"),
+            busy_hint_retries: metrics.counter("rosgi.busy_hint_retries"),
             invoke_rtt_us: metrics.histogram("rosgi.invoke_rtt_us"),
             serve_us: metrics.histogram("rosgi.serve_us"),
         }
@@ -586,6 +606,7 @@ impl RemoteEndpoint {
         };
         hs_span.set_with("peer", || peer.clone());
         drop(hs_span);
+        inner.journal_lease("handshake", &peer, None);
         *inner.remote_peer.lock() = peer;
         inner.leases.lock().reset(services);
 
@@ -715,6 +736,7 @@ impl RemoteEndpoint {
             heartbeats_missed: c.heartbeats_missed.get(),
             busy_sent: c.busy_sent.get(),
             busy_received: c.busy_received.get(),
+            busy_hint_retries: c.busy_hint_retries.get(),
             last_disconnect: *self.inner.disconnect_reason.lock(),
         }
     }
@@ -1265,6 +1287,21 @@ impl Inner {
         Arc::clone(&*self.transport.read())
     }
 
+    /// Appends one `lease`-stream record to the configured journal; a
+    /// no-op (one `Option` branch) when journaling is off. Only called
+    /// from connection-lifecycle paths, never per-invocation.
+    fn journal_lease(&self, event: &str, peer: &str, interface: Option<&str>) {
+        let Some(journal) = &self.config.journal else {
+            return;
+        };
+        let mut payload = Vec::with_capacity(2);
+        payload.push(("peer".to_string(), Json::Str(peer.to_string())));
+        if let Some(iface) = interface {
+            payload.push(("interface".to_string(), Json::Str(iface.to_string())));
+        }
+        journal.append("lease", event, &Json::obj(payload).to_json_string());
+    }
+
     fn send(&self, msg: &Message) -> Result<(), RosgiError> {
         if self.config.legacy_invoke_path {
             return self.send_frame(msg.encode());
@@ -1437,10 +1474,17 @@ impl Inner {
                         } =>
                 {
                     self.counters.retries.inc();
-                    let mut backoff = retry.backoff_for(attempt);
-                    if let ServiceCallError::Busy { retry_after_ms } = e {
-                        backoff = backoff.max(Duration::from_millis(*retry_after_ms));
-                    }
+                    // A Busy rejection carries the server's own estimate of
+                    // when queue space frees up; that hint *replaces* the
+                    // fixed exponential schedule — the server knows its
+                    // drain rate, the schedule is a blind guess.
+                    let backoff = match e {
+                        ServiceCallError::Busy { retry_after_ms } if *retry_after_ms > 0 => {
+                            self.counters.busy_hint_retries.inc();
+                            Duration::from_millis(*retry_after_ms)
+                        }
+                        _ => retry.backoff_for(attempt),
+                    };
                     let backoff = backoff.min(deadline.saturating_duration_since(Instant::now()));
                     std::thread::sleep(backoff);
                     attempt += 1;
@@ -1606,6 +1650,10 @@ impl Inner {
                         self.has_types.store(true, Ordering::Relaxed);
                     }
                 }
+                if matches!(reply, Message::ServiceBundle { .. }) {
+                    let peer = self.remote_peer.lock().clone();
+                    self.journal_lease("grant", &peer, Some(&interface));
+                }
                 let _ = self.send(&reply);
             }
             Message::ServiceBundle {
@@ -1697,6 +1745,8 @@ impl Inner {
             }
             Message::Bye => {
                 // Orderly goodbye: never reconnect after one.
+                let peer = self.remote_peer.lock().clone();
+                self.journal_lease("bye", &peer, None);
                 self.shutdown.store(true, Ordering::SeqCst);
                 self.record_disconnect(DisconnectReason::ByePeer);
                 self.wire().close();
@@ -2104,6 +2154,7 @@ fn try_reconnect(inner: &Arc<Inner>, rc: &ReconnectConfig) -> bool {
         let wire: Arc<dyn Transport> = Arc::from(fresh);
         match run_handshake(inner, &wire) {
             Ok((peer, services)) => {
+                inner.journal_lease("rehandshake", &peer, None);
                 inner.adopt_wire(wire, peer, services);
                 span.set_with("attempts", || (attempt + 1).to_string());
                 span.set("outcome", "ok");

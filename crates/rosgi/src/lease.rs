@@ -222,6 +222,61 @@ impl LeaseTable {
     }
 }
 
+/// One peer's recovered lease state: the service interfaces it had been
+/// granted when the journal stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// The peer's advertised name.
+    pub peer: String,
+    /// Interfaces granted (fetched) by that peer, sorted.
+    pub interfaces: Vec<String>,
+}
+
+/// Folds a journal's `lease` stream back into the set of live grants.
+///
+/// A `grant` record adds an interface to its peer; a `bye` record is an
+/// *orderly* goodbye and clears the peer — whoever said goodbye was not
+/// stranded by the crash. `handshake`/`rehandshake` records keep a peer
+/// alive but carry no interfaces. Records from other streams are ignored,
+/// so the whole recovery can be fed in unfiltered.
+pub fn recover_lease_grants(records: &[alfredo_journal::JournalRecord]) -> Vec<LeaseGrant> {
+    use std::collections::BTreeSet;
+    let mut live: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for r in records {
+        if r.stream != "lease" {
+            continue;
+        }
+        let Ok(json) = alfredo_osgi::Json::parse(&r.payload) else {
+            continue;
+        };
+        let Some(peer) = json.get("peer").and_then(alfredo_osgi::Json::as_str) else {
+            continue;
+        };
+        match r.event.as_str() {
+            "grant" => {
+                if let Some(iface) = json.get("interface").and_then(alfredo_osgi::Json::as_str) {
+                    live.entry(peer.to_string())
+                        .or_default()
+                        .insert(iface.to_string());
+                }
+            }
+            "handshake" | "rehandshake" => {
+                live.entry(peer.to_string()).or_default();
+            }
+            "bye" => {
+                live.remove(peer);
+            }
+            _ => {}
+        }
+    }
+    live.into_iter()
+        .map(|(peer, interfaces)| LeaseGrant {
+            peer,
+            interfaces: interfaces.into_iter().collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,7 +116,7 @@ pub use error::RosgiError;
 pub use health::{
     DisconnectReason, HealthEvent, HealthMonitor, HealthState, HeartbeatConfig, RetryPolicy,
 };
-pub use lease::RemoteServiceInfo;
+pub use lease::{recover_lease_grants, LeaseGrant, RemoteServiceInfo};
 pub use message::{BorrowedInvoke, Message};
 pub use proxy::{RemoteServiceProxy, SmartProxySpec};
 pub use serve::{ServeQueue, ServeQueueConfig, ServeQueueStats};

@@ -167,3 +167,69 @@ fn retry_absorbs_busy_even_for_non_idempotent_methods() {
     ep.close();
     queue.shutdown();
 }
+
+#[test]
+fn busy_retries_honor_the_servers_hint() {
+    let net = InMemoryNetwork::new();
+    // Advertise a retry-after far below the retry policy's fixed initial
+    // backoff. If the hint replaces the schedule, the whole flood drains
+    // well before the fixed schedule could even finish its first sleeps.
+    let queue = ServeQueue::new(ServeQueueConfig {
+        workers: 1,
+        per_peer_depth: 1,
+        total_depth: 64,
+        retry_after: Duration::from_millis(2),
+    });
+    spawn_device(&net, "dev-hint", Duration::from_millis(3), queue.clone());
+    let retry = RetryPolicy {
+        max_retries: 200,
+        initial_backoff: Duration::from_millis(250),
+        max_backoff: Duration::from_secs(2),
+        deadline: Duration::from_secs(30),
+    };
+    let ep = Arc::new(connect(
+        &net,
+        "phone",
+        "dev-hint",
+        EndpointConfig::named("phone").with_retry(retry),
+    ));
+
+    // Concurrent sync callers against per-peer depth 1: all but one of
+    // each wave is rejected with `Busy { retry_after_ms: 2 }` and retried.
+    let start = std::time::Instant::now();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let ep = Arc::clone(&ep);
+            std::thread::spawn(move || {
+                for i in 0..8i64 {
+                    let v = ep
+                        .invoke("demo.SlowEcho", "echo", &[Value::I64(t * 100 + i)])
+                        .unwrap();
+                    assert_eq!(v, Value::I64(t * 100 + i));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+
+    let stats = ep.stats();
+    assert!(
+        stats.busy_hint_retries >= 1,
+        "hint-honored retries must be counted: {stats:?}"
+    );
+    assert!(
+        stats.busy_hint_retries <= stats.retries,
+        "hinted retries are a subset of retries: {stats:?}"
+    );
+    // 32 calls at ~3 ms service time with 2 ms hinted waits sit far under
+    // what even a handful of fixed 250 ms backoffs would cost.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "hinted backoff must beat the fixed schedule (took {elapsed:?})"
+    );
+    ep.close();
+    queue.shutdown();
+}

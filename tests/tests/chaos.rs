@@ -7,20 +7,30 @@
 //! proxy re-binding, and the session's queue-and-replay outage policy —
 //! must absorb all of it: the final device state has to match a fault-free
 //! run of the identical interaction script.
+//!
+//! Every chaos run additionally records a session journal (logical clock,
+//! so the artifact is byte-deterministic). The journal is the seed's
+//! reproduction recipe twice over: re-running the seed regenerates the
+//! identical artifact bit for bit, and re-driving the artifact's executed
+//! events against a fault-free stack reproduces the same final device
+//! state.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
 use alfredo_core::session::ActionOutcome;
 use alfredo_core::{
-    serve_device_with_obs, AlfredOEngine, EngineConfig, OutagePolicy, ResilienceConfig,
+    decode_ui_event, record_executed, serve_device_with_obs, AlfredOEngine, EngineConfig,
+    OutagePolicy, ResilienceConfig,
 };
+use alfredo_journal::{recover, JournalConfig};
 use alfredo_net::{
     FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr, Transport, TransportError,
 };
 use alfredo_obs::{Obs, RingSink, SpanRecord};
-use alfredo_osgi::{Framework, Value};
+use alfredo_osgi::{Framework, FromJson, Json, Value};
 use alfredo_rosgi::{DiscoveryDirectory, HealthState, HeartbeatConfig, ReconnectFn, RetryPolicy};
 use alfredo_ui::{DeviceCapabilities, UiEvent};
 
@@ -62,14 +72,27 @@ fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
     }
 }
 
+/// Where a chaos run's journal artifact lands (mirrors the trace-artifact
+/// layout so CI uploads both on failure).
+fn journal_dir(seed: u64, run: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../target/chaos-journal/seed-{seed}/{run}"))
+}
+
 /// Runs the scripted interaction; `seed: Some(..)` injects 5% frame drop
 /// plus a mid-session partition, `None` is the fault-free baseline.
+/// `journal` records the session timeline into that directory (wiped
+/// first) with logical-clock timestamps, making the artifact
+/// byte-deterministic for a given seed.
 ///
 /// Chaos runs record every span on both endpoints into a shared ring
 /// (returned for structural assertions after the connection drops); the
 /// baseline runs with tracing disabled, proving the same interaction
 /// works in both modes.
-fn run_interaction(seed: Option<u64>) -> (FinalState, Option<Arc<RingSink>>) {
+fn run_interaction(
+    seed: Option<u64>,
+    journal: Option<PathBuf>,
+) -> (FinalState, Option<Arc<RingSink>>) {
     let (obs, ring) = match seed {
         Some(_) => {
             let (obs, ring) = Obs::ring(65_536);
@@ -87,6 +110,12 @@ fn run_interaction(seed: Option<u64>) -> (FinalState, Option<Arc<RingSink>>) {
         .with_resilience(resilience())
         .with_obs(obs);
     config.invoke_timeout = Duration::from_millis(200);
+    if let Some(dir) = &journal {
+        std::fs::remove_dir_all(dir).ok();
+        // Logical clock: the artifact's bytes depend only on the event
+        // sequence. No fsync: it only needs to outlive the process.
+        config = config.with_journal(JournalConfig::new(dir).logical_clock().without_fsync());
+    }
     let engine = AlfredOEngine::new(
         Framework::new(),
         net.clone(),
@@ -216,10 +245,94 @@ fn run_interaction(seed: Option<u64>) -> (FinalState, Option<Arc<RingSink>>) {
         clicks: service.clicks(),
         moves: service.moves(),
     };
+    if let Some(j) = engine.journal() {
+        j.barrier().expect("journal flush");
+    }
     session.close();
     conn.close();
     device.stop();
     (final_state, ring)
+}
+
+/// The artifact contract: the log parses completely, re-encodes to the
+/// identical bytes, and contains the interaction's full session timeline.
+fn assert_journal_artifact(seed: u64, dir: &Path) {
+    let raw = std::fs::read_to_string(dir.join("log.jsonl")).expect("journal artifact exists");
+    let recovery = recover(dir).expect("journal artifact parses");
+    assert!(!recovery.torn_tail, "seed {seed}: artifact fully committed");
+    let reencoded: String = recovery.records.iter().map(|r| r.encode()).collect();
+    assert_eq!(
+        reencoded, raw,
+        "seed {seed}: records must re-encode to the artifact's exact bytes"
+    );
+    let invokes = recovery
+        .records
+        .iter()
+        .filter(|r| r.event == "invoke")
+        .count();
+    assert_eq!(invokes, 121, "seed {seed}: phase A timeline journaled");
+    let queued = recovery
+        .records
+        .iter()
+        .filter(|r| r.event == "ui_event" && !record_executed(&Json::parse(&r.payload).unwrap()))
+        .count();
+    assert_eq!(queued, 3, "seed {seed}: the outage taps journal as queued");
+}
+
+/// Re-drives the artifact's executed events against a fault-free stack:
+/// the deterministic-replay contract — no faults, no retries, same final
+/// device state.
+fn replay_from_artifact(dir: &Path) -> FinalState {
+    let recovery = recover(dir).expect("artifact parses");
+    let net = InMemoryNetwork::new();
+    let device_fw = Framework::new();
+    let (service, _reg) = register_mouse_controller(&device_fw, 1280, 800).unwrap();
+    let device =
+        serve_device_with_obs(&net, device_fw, PeerAddr::new("laptop"), Obs::disabled()).unwrap();
+    let engine = AlfredOEngine::new(
+        Framework::new(),
+        net.clone(),
+        DiscoveryDirectory::new(),
+        EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i()),
+    );
+    let conn = engine.connect(&PeerAddr::new("laptop")).unwrap();
+    let session = conn.acquire(MOUSE_INTERFACE).unwrap();
+    for record in &recovery.records {
+        if record.stream != "session" {
+            continue;
+        }
+        let payload = Json::parse(&record.payload).expect("payload parses");
+        match record.event.as_str() {
+            "invoke" => {
+                let target = payload.get("service").and_then(Json::as_str).unwrap();
+                let method = payload.get("method").and_then(Json::as_str).unwrap();
+                let args: Vec<Value> = payload
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .unwrap()
+                    .iter()
+                    .map(|a| Value::from_json(a).unwrap())
+                    .collect();
+                session.invoke(target, method, &args).unwrap();
+            }
+            // Only executed events re-drive: a queued tap's real run was
+            // journaled again when the link healed.
+            "ui_event" if record_executed(&payload) => {
+                let event = decode_ui_event(&payload).expect("event decodes");
+                session.handle_event(&event).unwrap();
+            }
+            _ => {}
+        }
+    }
+    let final_state = FinalState {
+        position: service.position(),
+        clicks: service.clicks(),
+        moves: service.moves(),
+    };
+    session.close();
+    conn.close();
+    device.stop();
+    final_state
 }
 
 /// Structural assertions over the chaos run's trace: one connected tree
@@ -292,14 +405,18 @@ fn assert_chaos_trace(seed: u64, ring: &RingSink) {
 }
 
 fn chaos_matches_baseline(seed: u64) {
-    let (baseline, no_ring) = run_interaction(None);
+    let (baseline, no_ring) = run_interaction(None, None);
     assert!(no_ring.is_none());
     assert_eq!(baseline.clicks, 1);
-    let (chaotic, ring) = run_interaction(Some(seed));
+    let dir = journal_dir(seed, "run");
+    let (chaotic, ring) = run_interaction(Some(seed), Some(dir.clone()));
     assert_eq!(
         chaotic, baseline,
         "seed {seed}: a faulty run must converge to the fault-free state"
     );
+    // The journal artifact is checked *before* the trace assertions so a
+    // trace failure still leaves a validated reproduction recipe on disk.
+    assert_journal_artifact(seed, &dir);
     assert_chaos_trace(seed, &ring.expect("chaos runs record spans"));
 }
 
@@ -316,4 +433,32 @@ fn chaos_seed_1984_converges() {
 #[test]
 fn chaos_seed_cafe_converges() {
     chaos_matches_baseline(0xCAFE);
+}
+
+/// The deterministic-replay contract, end to end: the same seed writes
+/// the same artifact byte for byte, and re-driving the artifact's
+/// executed events on a fault-free stack lands on the same final device
+/// state — a failing seed's journal is its reproduction recipe.
+#[test]
+fn chaos_journal_replays_bit_exact() {
+    let seed = 7;
+    let dir_a = journal_dir(seed, "replay-a");
+    let dir_b = journal_dir(seed, "replay-b");
+    let (state_a, _) = run_interaction(Some(seed), Some(dir_a.clone()));
+    let (state_b, _) = run_interaction(Some(seed), Some(dir_b.clone()));
+    assert_eq!(state_a, state_b, "seeded runs are deterministic");
+
+    let log_a = std::fs::read(dir_a.join("log.jsonl")).unwrap();
+    let log_b = std::fs::read(dir_b.join("log.jsonl")).unwrap();
+    assert!(!log_a.is_empty());
+    assert_eq!(
+        log_a, log_b,
+        "same seed, same artifact — bit-exact under the logical clock"
+    );
+
+    let replayed = replay_from_artifact(&dir_a);
+    assert_eq!(
+        replayed, state_a,
+        "fault-free replay of the artifact reproduces the chaotic run's state"
+    );
 }
