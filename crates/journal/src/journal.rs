@@ -4,7 +4,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
@@ -174,6 +174,11 @@ struct Inner {
     /// snapshot write and log rotation so no batch interleaves.
     file: Mutex<File>,
     shutdown: AtomicBool,
+    /// Live `Journal` handles (clones). Maintained explicitly rather than
+    /// inferred from `Arc::strong_count`, which is racy: two clones dropped
+    /// concurrently could each observe a stale count and neither would
+    /// close, leaking the committer thread.
+    live_clones: AtomicUsize,
     last_seq: AtomicU64,
     appends: AtomicU64,
     dropped: AtomicU64,
@@ -188,10 +193,19 @@ struct Inner {
 
 /// A durable, append-only event log. Cheap to clone; clones share the
 /// same log and committer.
-#[derive(Clone)]
 pub struct Journal {
     inner: Arc<Inner>,
     committer: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl Clone for Journal {
+    fn clone(&self) -> Self {
+        self.inner.live_clones.fetch_add(1, Ordering::Relaxed);
+        Journal {
+            inner: Arc::clone(&self.inner),
+            committer: Arc::clone(&self.committer),
+        }
+    }
 }
 
 impl std::fmt::Debug for Journal {
@@ -215,10 +229,23 @@ impl Journal {
     pub fn open(cfg: JournalConfig) -> Result<Journal, JournalError> {
         fs::create_dir_all(&cfg.dir)?;
         let existing = recover(&cfg.dir)?;
+        let log_path = cfg.dir.join(LOG_FILE);
+        if existing.torn_tail {
+            // Repair before appending: truncate the torn bytes so the next
+            // batch starts on a fresh line. Appending after a partial line
+            // would weld the two into one unparseable record and turn a
+            // recoverable crash into permanent corruption on the *next*
+            // recovery.
+            let repair = OpenOptions::new().write(true).open(&log_path)?;
+            repair.set_len(existing.log_valid_len)?;
+            if cfg.fsync == FsyncPolicy::Batch {
+                repair.sync_data()?;
+            }
+        }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(cfg.dir.join(LOG_FILE))?;
+            .open(&log_path)?;
         let inner = Arc::new(Inner {
             fsync: cfg.fsync,
             clock: cfg.clock,
@@ -241,6 +268,7 @@ impl Journal {
             wall_cache: AtomicU64::new(0),
             file: Mutex::new(file),
             shutdown: AtomicBool::new(false),
+            live_clones: AtomicUsize::new(1),
             last_seq: AtomicU64::new(existing.last_seq),
             appends: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -316,7 +344,11 @@ impl Journal {
             q.pending.push((seq, line));
             (seq, was_empty)
         });
-        self.inner.last_seq.store(seq, Ordering::Release);
+        // fetch_max, not store: the queue lock is already released, so two
+        // appenders can reach this line out of seq order. A plain store
+        // could regress the watermark and let `barrier()` return before the
+        // caller's own record is durable.
+        self.inner.last_seq.fetch_max(seq, Ordering::AcqRel);
         self.inner.appends.fetch_add(1, Ordering::Relaxed);
         // The committer only ever sleeps on the doorbell when the queue is
         // empty, so only the empty->non-empty transition needs to ring it.
@@ -524,8 +556,9 @@ thread_local! {
 
 impl Drop for Journal {
     fn drop(&mut self) {
-        // Only the last clone tears the committer down.
-        if Arc::strong_count(&self.inner) == 2 {
+        // Only the last live handle tears the committer down; AcqRel makes
+        // every earlier clone's writes visible to whichever drop wins.
+        if self.inner.live_clones.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _ = self.close();
         }
     }

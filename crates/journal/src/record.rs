@@ -215,12 +215,51 @@ impl<'a> Scanner<'a> {
     }
 
     /// The raw payload: everything before the record's final `}`.
+    ///
+    /// The body must be *structurally complete* JSON — balanced braces and
+    /// brackets outside strings, every string terminated. Without this
+    /// check a line torn exactly after the payload's own closing brace
+    /// (one byte short of the envelope's final `}`) would "parse" with a
+    /// silently truncated payload instead of failing as torn.
     fn payload(&mut self) -> Result<String, ParseError> {
         match self.rest.strip_suffix('}') {
-            Some(body) if !body.is_empty() => Ok(body.to_string()),
-            _ => Err(self.fail("payload and closing brace")),
+            Some(body) if !body.is_empty() && payload_is_balanced(body) => Ok(body.to_string()),
+            _ => Err(self.fail("complete payload and closing brace")),
         }
     }
+}
+
+/// `true` if every `{`/`[` opened outside a string is closed and every
+/// string literal is terminated. Does not validate the JSON grammar —
+/// only the nesting structure that truncation would break.
+fn payload_is_balanced(body: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in body.bytes() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
 }
 
 #[cfg(test)]
@@ -299,6 +338,22 @@ mod tests {
             assert!(
                 JournalRecord::parse(&line[..cut]).is_err(),
                 "truncation at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_after_payloads_own_closing_brace_is_rejected() {
+        // One byte short of the envelope's final `}`: the last char is the
+        // *payload's* closing brace, which used to parse "successfully"
+        // with a truncated payload. Same for a payload ending in `]` or a
+        // string whose closing quote doubles as the last surviving byte.
+        for payload in ["{\"key\":{\"n\":1}}", "[1,[2,3]]", "{\"s\":\"x\"}"] {
+            let line = record(payload).encode();
+            let cut = &line[..line.len() - 2]; // drop '}' and '\n'
+            assert!(
+                JournalRecord::parse(cut).is_err(),
+                "cut-at-payload-brace must not parse: {cut}"
             );
         }
     }

@@ -29,6 +29,12 @@ pub struct Recovery {
     /// `true` if the log ended in a torn (partially written) line, which
     /// recovery discards — the record never became durable.
     pub torn_tail: bool,
+    /// Byte length of the valid prefix of the log file: everything up to
+    /// and including the last complete (newline-terminated) line. When
+    /// `torn_tail` is set, bytes past this offset are the torn write and
+    /// must be truncated before appending — otherwise the next record
+    /// concatenates onto the partial line and corrupts the log for good.
+    pub log_valid_len: u64,
 }
 
 /// Reads a journal directory back. Missing files are not errors — an
@@ -55,7 +61,20 @@ pub fn recover(dir: &Path) -> Result<Recovery, JournalError> {
         let raw = fs::read_to_string(&log_path)?;
         let lines: Vec<&str> = raw.split('\n').filter(|l| !l.is_empty()).collect();
         let complete = raw.is_empty() || raw.ends_with('\n');
+        // A line without its trailing newline never finished writing. It is
+        // torn *by definition* — even if it happens to parse (the cut can
+        // land exactly after the payload's closing brace), its payload may
+        // be silently truncated, so it is discarded without parsing.
+        out.log_valid_len = if complete {
+            raw.len() as u64
+        } else {
+            out.torn_tail = true;
+            raw.rfind('\n').map(|i| i + 1).unwrap_or(0) as u64
+        };
         for (i, line) in lines.iter().enumerate() {
+            if out.torn_tail && i + 1 == lines.len() {
+                break;
+            }
             match JournalRecord::parse(line) {
                 Ok(r) => {
                     if r.seq > floor {
@@ -63,15 +82,10 @@ pub fn recover(dir: &Path) -> Result<Recovery, JournalError> {
                     }
                 }
                 Err(e) => {
-                    let is_last = i + 1 == lines.len();
-                    if is_last && !complete {
-                        out.torn_tail = true;
-                    } else {
-                        return Err(JournalError::Corrupt {
-                            line: i + 1,
-                            reason: e.to_string(),
-                        });
-                    }
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        reason: e.to_string(),
+                    });
                 }
             }
         }
@@ -158,10 +172,48 @@ mod tests {
         assert!(r.torn_tail);
         assert_eq!(r.records.len(), 2);
         assert_eq!(r.last_seq, 2);
+        let valid = fs::read_to_string(dir.join(LOG_FILE))
+            .unwrap()
+            .rfind('\n')
+            .unwrap() as u64
+            + 1;
+        assert_eq!(r.log_valid_len, valid);
 
-        // Re-opening resumes numbering after the surviving records.
+        // Re-opening repairs the torn bytes and resumes numbering after
+        // the surviving records; the post-restart append must start a
+        // fresh line, so a *second* recovery still succeeds.
         let j = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert_eq!(j.append("s", "c", "3"), 3);
+        j.barrier().unwrap();
+        j.close().unwrap();
+        drop(j);
+        let r = recover(&dir).expect("log must stay recoverable after a post-crash append");
+        assert!(!r.torn_tail);
+        let seqs: Vec<u64> = r.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_cut_at_payloads_closing_brace_is_torn_not_corrupt() {
+        // The nastiest tear: the cut lands exactly after the payload's own
+        // closing brace, one byte short of the envelope's final `}`. The
+        // line must be treated as torn (no trailing newline), never kept
+        // as a record with a silently truncated payload.
+        let dir = temp_dir("torn-brace");
+        let j = Journal::open(JournalConfig::new(&dir)).unwrap();
+        j.append("data", "put", "{\"k\":{\"v\":1}}");
+        j.barrier().unwrap();
+        j.close().unwrap();
+        drop(j);
+        let full = fs::read_to_string(dir.join(LOG_FILE)).unwrap();
+        // Drop the final "}\n": the last surviving byte is the payload's brace.
+        fs::write(dir.join(LOG_FILE), &full[..full.len() - 2]).unwrap();
+
+        let r = recover(&dir).unwrap();
+        assert!(r.torn_tail);
+        assert!(r.records.is_empty(), "truncated payload must not survive");
+        assert_eq!(r.last_seq, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
