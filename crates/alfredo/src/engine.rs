@@ -1088,6 +1088,149 @@ fn serve_device_inner(
     })
 }
 
+/// A running target device on a real TCP socket: accepts connections
+/// until stopped. Every accepted endpoint rides the process-wide reactor
+/// (sink mode), so the accept loop is the *only* thread this device owns
+/// — a thousand connected phones still cost a fixed I/O core budget, not
+/// a thousand reader threads.
+pub struct ServedTcpDevice {
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    addr: std::net::SocketAddr,
+    queue: Option<ServeQueue>,
+    endpoints: Arc<alfredo_sync::Mutex<Vec<RemoteEndpoint>>>,
+}
+
+impl ServedTcpDevice {
+    /// The socket address the device listens on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The device's serve queue, when serving queued.
+    pub fn queue(&self) -> Option<&ServeQueue> {
+        self.queue.as_ref()
+    }
+
+    /// Endpoints still connected (closed ones are pruned lazily on each
+    /// accept and on this call).
+    pub fn connections(&self) -> usize {
+        let mut eps = self.endpoints.lock();
+        eps.retain(|ep| !ep.is_closed());
+        eps.len()
+    }
+
+    /// Stops accepting, closes every connected endpoint, and shuts down
+    /// the serve queue (if any) after it drains.
+    pub fn stop(mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        // The accept loop blocks in accept(2); a throwaway connection
+        // wakes it so it can observe the flag and exit.
+        let _ = std::net::TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        for ep in self.endpoints.lock().drain(..) {
+            ep.close();
+        }
+        if let Some(q) = self.queue.take() {
+            q.shutdown();
+        }
+    }
+}
+
+impl Drop for ServedTcpDevice {
+    fn drop(&mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+impl fmt::Debug for ServedTcpDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServedTcpDevice")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Runs a target device on `listener` (a real TCP socket): serves every
+/// incoming connection with a fresh reactor-backed endpoint over
+/// `framework` until stopped. Pass a [`ServeQueue`] so invocations hop
+/// off the reactor's poller threads into a bounded worker pool — the
+/// recommended shape for any device serving more than a handful of
+/// phones.
+///
+/// Handshakes run on a short-lived thread per accepted connection (as
+/// [`serve_device`] does), so concurrently arriving phones do not
+/// serialize behind each other's handshake round-trips and a stalled
+/// client never delays the accept loop. Established endpoints are
+/// sink-mode: once the handshake thread exits, the connection costs no
+/// thread at all.
+pub fn serve_device_tcp(
+    listener: alfredo_net::TcpNetListener,
+    framework: Framework,
+    obs: Obs,
+    queue: Option<ServeQueue>,
+) -> ServedTcpDevice {
+    let addr = listener.local_addr();
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let endpoints: Arc<alfredo_sync::Mutex<Vec<RemoteEndpoint>>> =
+        Arc::new(alfredo_sync::Mutex::new(Vec::new()));
+    let flag = Arc::clone(&shutdown);
+    let eps = Arc::clone(&endpoints);
+    let accept_queue = queue.clone();
+    let name = format!("tcp://{addr}");
+    let handle = std::thread::Builder::new()
+        .name(format!("alfredo-device-{addr}"))
+        .spawn(move || {
+            while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+                let Ok(stream) = listener.accept_stream() else {
+                    break;
+                };
+                if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                    break; // the stop() wake-up connection
+                }
+                let Ok(transport) = alfredo_net::TcpTransport::from_stream(stream) else {
+                    continue;
+                };
+                let mut cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
+                if let Some(q) = &accept_queue {
+                    cfg = cfg.with_serve_queue(q.clone());
+                }
+                let fw = framework.clone();
+                let eps = Arc::clone(&eps);
+                let flag = Arc::clone(&flag);
+                std::thread::spawn(move || {
+                    if let Ok(ep) = RemoteEndpoint::establish(Box::new(transport), fw, cfg) {
+                        let mut eps = eps.lock();
+                        // Checked under the roster lock: stop() sets the flag
+                        // *before* taking this lock to drain, so either the
+                        // push lands before the drain or we see the flag and
+                        // close the straggler ourselves.
+                        if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                            drop(eps);
+                            ep.close();
+                            return;
+                        }
+                        eps.retain(|e| !e.is_closed());
+                        eps.push(ep);
+                    }
+                });
+            }
+        })
+        .expect("spawn device accept loop");
+    ServedTcpDevice {
+        shutdown,
+        handle: Some(handle),
+        addr,
+        queue,
+        endpoints,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,9 +64,9 @@ pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_P
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
 pub use durable::{DeviceJournal, DeviceJournalConfig, DeviceRecovery, RecoveredStore};
 pub use engine::{
-    host_service, serve_device, serve_device_durable, serve_device_queued, serve_device_with_obs,
-    AlfredOConnection, AlfredOEngine, EngineConfig, EngineError, OutagePolicy, ResilienceConfig,
-    ServedDevice,
+    host_service, serve_device, serve_device_durable, serve_device_queued, serve_device_tcp,
+    serve_device_with_obs, AlfredOConnection, AlfredOEngine, EngineConfig, EngineError,
+    OutagePolicy, ResilienceConfig, ServedDevice, ServedTcpDevice,
 };
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};

@@ -209,10 +209,13 @@ impl AlfredOSession {
     }
 
     /// A `/metrics`-style text dump of the underlying endpoint's registry
-    /// (counters plus rtt/serve histogram quantiles), as served by the
-    /// [`crate::web::HttpGateway`].
+    /// (counters plus rtt/serve histogram quantiles), followed by the
+    /// process-wide gauges (reactor connections, I/O threads, timer-wheel
+    /// entries), as served by the [`crate::web::HttpGateway`].
     pub fn metrics_text(&self) -> String {
-        self.endpoint.obs().metrics().render_text()
+        let mut text = self.endpoint.obs().metrics().render_text();
+        text.push_str(&alfredo_obs::global_metrics().render_text());
+        text
     }
 
     /// The shipped descriptor.

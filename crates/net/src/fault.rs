@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use alfredo_sim::SimRng;
 use alfredo_sync::Mutex;
 
-use crate::transport::{CloseReason, PeerAddr, Transport, TransportError};
+use crate::transport::{CloseReason, FrameSink, PeerAddr, Transport, TransportError};
 
 /// How often a blocked `recv` re-checks the partition flag.
 const RECV_POLL: Duration = Duration::from_millis(20);
@@ -194,69 +194,18 @@ pub struct FaultStats {
     pub blackholed: u64,
 }
 
-/// A [`Transport`] wrapper that injects faults per a [`FaultPlan`].
-///
-/// Fault decisions come from two seeded RNG streams (one per direction)
-/// split from the plan's seed, so a single-threaded caller replaying the
-/// same traffic sees the identical fault sequence. With concurrent senders
-/// the *decisions* stay seeded but their assignment to frames follows
-/// thread interleaving.
-pub struct FaultyTransport {
-    inner: Box<dyn Transport>,
+/// Receive-side fault state, shared between the wrapper and any
+/// [`FrameSink`] installed through it (the reactor's push-mode delivery
+/// runs the same partition/drop filter as the pull-mode `recv*` path).
+struct RecvCore {
     plan: FaultPlan,
-    send_rng: Mutex<SimRng>,
     recv_rng: Mutex<SimRng>,
     partition: PartitionHandle,
     counters: FaultCounters,
+    peer: PeerAddr,
 }
 
-impl FaultyTransport {
-    /// Wraps `inner` with a fresh (healed) partition handle.
-    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan) -> Self {
-        FaultyTransport::with_partition(inner, plan, PartitionHandle::new())
-    }
-
-    /// Wraps `inner`, sharing `partition` — wrap both halves of a
-    /// connection with clones of one handle to partition it atomically.
-    pub fn with_partition(
-        inner: Box<dyn Transport>,
-        plan: FaultPlan,
-        partition: PartitionHandle,
-    ) -> Self {
-        let mut root = SimRng::seed_from(plan.seed);
-        let send_rng = root.split();
-        let recv_rng = root.split();
-        FaultyTransport {
-            inner,
-            plan,
-            send_rng: Mutex::new(send_rng),
-            recv_rng: Mutex::new(recv_rng),
-            partition,
-            counters: FaultCounters::default(),
-        }
-    }
-
-    /// A handle controlling this transport's partition state.
-    pub fn partition_handle(&self) -> PartitionHandle {
-        self.partition.clone()
-    }
-
-    /// The plan this transport injects.
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
-    }
-
-    /// Counters of the faults injected so far.
-    pub fn stats(&self) -> FaultStats {
-        FaultStats {
-            dropped: self.counters.dropped.load(Ordering::Relaxed),
-            duplicated: self.counters.duplicated.load(Ordering::Relaxed),
-            corrupted: self.counters.corrupted.load(Ordering::Relaxed),
-            delayed: self.counters.delayed.load(Ordering::Relaxed),
-            blackholed: self.counters.blackholed.load(Ordering::Relaxed),
-        }
-    }
-
+impl RecvCore {
     /// Counts one injected fault and announces it on the structured
     /// event hub (`net.fault` / `inject`), so chaos tests can assert on
     /// the exact faults a run suffered.
@@ -265,7 +214,7 @@ impl FaultyTransport {
         alfredo_obs::event("net.fault", "inject", || {
             vec![
                 ("kind".to_string(), kind.to_string()),
-                ("peer".to_string(), self.inner.peer_addr().to_string()),
+                ("peer".to_string(), self.peer.to_string()),
             ]
         });
     }
@@ -285,11 +234,109 @@ impl FaultyTransport {
     }
 }
 
+/// A sink wrapper that runs receive-side faults before forwarding.
+struct FaultySink {
+    core: Arc<RecvCore>,
+    inner: Box<dyn FrameSink>,
+}
+
+impl FrameSink for FaultySink {
+    fn on_frame(&mut self, frame: Vec<u8>) {
+        if let Some(frame) = self.core.filter_recv(frame) {
+            self.inner.on_frame(frame);
+        }
+    }
+
+    fn on_close(&mut self) {
+        self.inner.on_close();
+    }
+}
+
+/// A [`Transport`] wrapper that injects faults per a [`FaultPlan`].
+///
+/// Fault decisions come from two seeded RNG streams (one per direction)
+/// split from the plan's seed, so a single-threaded caller replaying the
+/// same traffic sees the identical fault sequence. With concurrent senders
+/// the *decisions* stay seeded but their assignment to frames follows
+/// thread interleaving.
+///
+/// Composes over reactor-backed transports: [`Transport::set_sink`] is
+/// forwarded with the receive-side filter (partition black-hole, seeded
+/// drops) interposed at the non-blocking layer. Send-side faults are
+/// applied before the frame reaches the wrapped transport either way.
+/// Note that an injected *delay* sleeps on the sending thread.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    send_rng: Mutex<SimRng>,
+    recv: Arc<RecvCore>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` with a fresh (healed) partition handle.
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan) -> Self {
+        FaultyTransport::with_partition(inner, plan, PartitionHandle::new())
+    }
+
+    /// Wraps `inner`, sharing `partition` — wrap both halves of a
+    /// connection with clones of one handle to partition it atomically.
+    pub fn with_partition(
+        inner: Box<dyn Transport>,
+        plan: FaultPlan,
+        partition: PartitionHandle,
+    ) -> Self {
+        let mut root = SimRng::seed_from(plan.seed);
+        let send_rng = root.split();
+        let recv_rng = root.split();
+        let peer = inner.peer_addr().clone();
+        FaultyTransport {
+            inner,
+            send_rng: Mutex::new(send_rng),
+            recv: Arc::new(RecvCore {
+                plan,
+                recv_rng: Mutex::new(recv_rng),
+                partition,
+                counters: FaultCounters::default(),
+                peer,
+            }),
+        }
+    }
+
+    /// A handle controlling this transport's partition state.
+    pub fn partition_handle(&self) -> PartitionHandle {
+        self.recv.partition.clone()
+    }
+
+    /// The plan this transport injects.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.recv.plan
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        let c = &self.recv.counters;
+        FaultStats {
+            dropped: c.dropped.load(Ordering::Relaxed),
+            duplicated: c.duplicated.load(Ordering::Relaxed),
+            corrupted: c.corrupted.load(Ordering::Relaxed),
+            delayed: c.delayed.load(Ordering::Relaxed),
+            blackholed: c.blackholed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_fault(&self, kind: &'static str, counter: &AtomicU64) {
+        self.recv.note_fault(kind, counter);
+    }
+
+    fn filter_recv(&self, frame: Vec<u8>) -> Option<Vec<u8>> {
+        self.recv.filter_recv(frame)
+    }
+}
+
 impl fmt::Debug for FaultyTransport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FaultyTransport")
-            .field("plan", &self.plan)
-            .field("partitioned", &self.partition.is_partitioned())
+            .field("plan", &self.recv.plan)
+            .field("partitioned", &self.recv.partition.is_partitioned())
             .field("stats", &self.stats())
             .finish()
     }
@@ -297,51 +344,51 @@ impl fmt::Debug for FaultyTransport {
 
 impl Transport for FaultyTransport {
     fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
-        if self.partition.is_partitioned() {
+        if self.recv.partition.is_partitioned() {
             if self.inner.is_closed() {
                 return Err(TransportError::Closed);
             }
             // A partition black-holes traffic: the sender cannot tell it
             // from a slow network, so the send itself succeeds.
-            self.note_fault("blackhole", &self.counters.blackholed);
+            self.note_fault("blackhole", &self.recv.counters.blackholed);
             return Ok(());
         }
-        if self.plan.is_noop() {
+        if self.recv.plan.is_noop() {
             return self.inner.send(frame);
         }
         let mut frame = frame;
         let (duplicate, delay_for) = {
             let mut rng = self.send_rng.lock();
-            if self.plan.drop_send > 0.0 && rng.next_f64() < self.plan.drop_send {
-                self.note_fault("drop", &self.counters.dropped);
+            if self.recv.plan.drop_send > 0.0 && rng.next_f64() < self.recv.plan.drop_send {
+                self.note_fault("drop", &self.recv.counters.dropped);
                 return Ok(());
             }
-            let duplicate =
-                self.plan.duplicate_send > 0.0 && rng.next_f64() < self.plan.duplicate_send;
-            if self.plan.corrupt_send > 0.0
-                && rng.next_f64() < self.plan.corrupt_send
+            let duplicate = self.recv.plan.duplicate_send > 0.0
+                && rng.next_f64() < self.recv.plan.duplicate_send;
+            if self.recv.plan.corrupt_send > 0.0
+                && rng.next_f64() < self.recv.plan.corrupt_send
                 && !frame.is_empty()
             {
                 let idx = rng.next_below(frame.len() as u64) as usize;
                 frame[idx] ^= 0xA5;
-                self.note_fault("corrupt", &self.counters.corrupted);
+                self.note_fault("corrupt", &self.recv.counters.corrupted);
             }
-            let delay_for = if self.plan.delay_send > 0.0
-                && rng.next_f64() < self.plan.delay_send
-                && !self.plan.max_delay.is_zero()
+            let delay_for = if self.recv.plan.delay_send > 0.0
+                && rng.next_f64() < self.recv.plan.delay_send
+                && !self.recv.plan.max_delay.is_zero()
             {
-                Some(self.plan.max_delay.mul_f64(rng.next_f64()))
+                Some(self.recv.plan.max_delay.mul_f64(rng.next_f64()))
             } else {
                 None
             };
             (duplicate, delay_for)
         };
         if let Some(d) = delay_for {
-            self.note_fault("delay", &self.counters.delayed);
+            self.note_fault("delay", &self.recv.counters.delayed);
             std::thread::sleep(d);
         }
         if duplicate {
-            self.note_fault("duplicate", &self.counters.duplicated);
+            self.note_fault("duplicate", &self.recv.counters.duplicated);
             self.inner.send(frame.clone())?;
         }
         self.inner.send(frame)
@@ -355,7 +402,7 @@ impl Transport for FaultyTransport {
             // frame still goes through `filter_recv` at delivery time,
             // so a partition engaged mid-wait swallows it all the same,
             // and the healthy path pays no timed-wait overhead.
-            if self.partition.is_partitioned() {
+            if self.recv.partition.is_partitioned() {
                 match self.inner.recv_timeout(RECV_POLL) {
                     Ok(frame) => {
                         if let Some(frame) = self.filter_recv(frame) {
@@ -385,7 +432,7 @@ impl Transport for FaultyTransport {
             if remaining.is_zero() {
                 return Err(TransportError::Timeout);
             }
-            let slice = if self.partition.is_partitioned() {
+            let slice = if self.recv.partition.is_partitioned() {
                 remaining.min(RECV_POLL)
             } else {
                 remaining
@@ -433,6 +480,13 @@ impl Transport for FaultyTransport {
 
     fn local_addr(&self) -> &PeerAddr {
         self.inner.local_addr()
+    }
+
+    fn set_sink(&self, sink: Box<dyn FrameSink>) -> bool {
+        self.inner.set_sink(Box::new(FaultySink {
+            core: Arc::clone(&self.recv),
+            inner: sink,
+        }))
     }
 }
 

@@ -28,6 +28,7 @@
 pub mod fault;
 pub mod pool;
 pub mod profile;
+pub mod reactor;
 pub mod simnet;
 pub mod tcp;
 pub mod transport;
@@ -36,9 +37,13 @@ pub mod wire;
 pub use fault::{FaultPlan, FaultStats, FaultyTransport, PartitionHandle};
 pub use pool::{BufferPool, PoolStats};
 pub use profile::LinkProfile;
+pub use reactor::{
+    current_stats, raise_nofile_limit, Backend, Reactor, ReactorStats, TimerKey, TimerWheel,
+};
 pub use simnet::SimLink;
 pub use tcp::{TcpNetListener, TcpTransport};
 pub use transport::{
-    ChannelTransport, CloseReason, InMemoryNetwork, Listener, PeerAddr, Transport, TransportError,
+    ChannelTransport, CloseReason, FrameSink, InMemoryNetwork, Listener, PeerAddr, Transport,
+    TransportError,
 };
 pub use wire::{ByteReader, ByteWriter, WireError};

@@ -119,6 +119,31 @@ enum Packet {
     Fin,
 }
 
+/// A push-mode consumer of inbound frames, installed with
+/// [`Transport::set_sink`].
+///
+/// Reactor-backed transports deliver frames by *calling* the sink from an
+/// I/O thread instead of queueing them for a blocking `recv()` — this is
+/// what lets one I/O thread serve thousands of connections without a
+/// reader thread per peer. Implementations must uphold:
+///
+/// * `on_frame` is called once per frame, in arrival order, from one
+///   thread at a time (calls are serialized, though not necessarily from
+///   the same OS thread over the connection's lifetime).
+/// * `on_close` is called exactly once, after the final `on_frame`, no
+///   matter how the connection ends (peer EOF, I/O error, corrupt stream,
+///   or local `close()`).
+/// * Callbacks run on a shared I/O thread: they may send on any transport
+///   and may take locks, but must never block waiting for *another* frame
+///   to arrive (that frame could only be delivered by the thread that is
+///   blocked).
+pub trait FrameSink: Send {
+    /// One inbound frame, in order.
+    fn on_frame(&mut self, frame: Vec<u8>);
+    /// The connection is finished; no more frames will be delivered.
+    fn on_close(&mut self);
+}
+
 /// A reliable, ordered, frame-based connection endpoint.
 ///
 /// All methods are usable from multiple threads through a shared reference;
@@ -175,6 +200,19 @@ pub trait Transport: Send + Sync {
 
     /// The address of the local endpoint.
     fn local_addr(&self) -> &PeerAddr;
+
+    /// Switches the transport from pull mode (`recv*`) to push mode: all
+    /// frames not yet consumed, and every future frame, are delivered to
+    /// `sink` in order, and `sink.on_close` fires exactly once when the
+    /// connection ends.
+    ///
+    /// Returns `false` (the default) when the transport has no readiness
+    /// machinery to drive a sink — the caller should keep a reader thread.
+    /// After a `true` return the `recv*` methods must no longer be used.
+    fn set_sink(&self, sink: Box<dyn FrameSink>) -> bool {
+        drop(sink);
+        false
+    }
 }
 
 /// One half of an in-memory connection.

@@ -10,9 +10,21 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use alfredo_sync::Mutex;
+
+/// The process-wide metrics registry.
+///
+/// Per-session instruments live in each session's own [`MetricsHandle`]
+/// (see [`crate::Obs`]); infrastructure that is genuinely process-global —
+/// the I/O reactor's connection/thread/timer gauges, for example — records
+/// here so every `/metrics` export sees it regardless of which session
+/// served the request.
+pub fn global_metrics() -> &'static MetricsHandle {
+    static GLOBAL: OnceLock<MetricsHandle> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsHandle::new)
+}
 
 /// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i`
 /// (1 ≤ i < `BUCKETS - 1`) holds values in `[2^(i-1), 2^i)`, and the last

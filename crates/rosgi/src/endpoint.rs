@@ -3,18 +3,26 @@
 //! A [`RemoteEndpoint`] wraps one transport connection between two
 //! frameworks. Both sides run the identical state machine (R-OSGi is
 //! peer-to-peer): they exchange `Hello` + `Lease` + `EventInterest` on
-//! connect, then a reader thread serves the peer's requests (invocations,
-//! fetches, events, streams) while local calls go out through the same
-//! transport.
+//! connect, then serve the peer's requests (invocations, fetches,
+//! events, streams) while local calls go out through the same transport.
+//! Frame delivery takes one of two forms: reactor-backed transports
+//! (TCP) push frames as poller callbacks — **sink mode**, no
+//! per-connection thread — while channel transports keep a dedicated
+//! reader thread. Sink-mode heartbeats tick on the reactor's shared
+//! timer wheel instead of a thread of their own, so an idle endpoint
+//! costs two file descriptors and some bookkeeping, not two parked
+//! threads.
 //!
 //! Disconnection — orderly (`Bye`) or abrupt — triggers the cleanup path:
 //! every proxy bundle installed for the peer is uninstalled, so local
 //! consumers observe plain OSGi service-unregistration events, "which the
 //! software can handle gracefully" (paper §2.1).
 //!
-//! Invocations arriving from the peer are served on the connection's
-//! reader thread (R-OSGi's invocations are synchronous and blocking, §2.1
-//! of the AlfredO paper). Consequently a service handler must not invoke
+//! Invocations arriving from the peer are served on the delivery thread
+//! — the reader thread, or the reactor poller in sink mode (configure a
+//! [`ServeQueue`] to hop heavy handlers off the poller) — because
+//! R-OSGi's invocations are synchronous and blocking, §2.1 of the
+//! AlfredO paper. Consequently a service handler must not invoke
 //! *back* over the same connection — that call's response could never be
 //! read and both sides would stall until the invocation timeout. Use
 //! remote events for device→phone signalling instead, as the prototype
@@ -23,15 +31,17 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
-use alfredo_sync::{Mutex, RwLock};
+use alfredo_sync::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use alfredo_sync::{Condvar, Mutex, RwLock};
 
 use alfredo_journal::Journal;
-use alfredo_net::{BufferPool, ByteWriter, CloseReason, Transport, TransportError};
+use alfredo_net::{
+    BufferPool, ByteWriter, CloseReason, FrameSink, Reactor, TimerWheel, Transport, TransportError,
+};
 use alfredo_obs::{Counter, Histogram, MetricsHandle, Obs, Span, SpanCtx};
 use alfredo_osgi::events::topic_matches;
 use alfredo_osgi::{
@@ -145,6 +155,12 @@ pub struct EndpointConfig {
     /// recover which peers held which services (see
     /// [`crate::lease::recover_lease_grants`]).
     pub journal: Option<Journal>,
+    /// Timer wheel for heartbeat ticks. Endpoints whose transport is
+    /// driven by the reactor (sink mode) tick on the global reactor's
+    /// wheel automatically; setting this forces wheel-driven heartbeats
+    /// (no dedicated thread) on any endpoint, or redirects sink-mode
+    /// endpoints to a private wheel.
+    pub timer: Option<TimerWheel>,
 }
 
 /// Dials a replacement transport for a reconnecting endpoint.
@@ -212,6 +228,7 @@ impl Default for EndpointConfig {
             obs: Obs::disabled(),
             serve_queue: None,
             journal: None,
+            timer: None,
         }
     }
 }
@@ -287,6 +304,13 @@ impl EndpointConfig {
     /// goodbyes) into `journal` for crash recovery.
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Builder-style: ticks the heartbeat on `wheel` instead of a
+    /// dedicated thread (see [`EndpointConfig::timer`]).
+    pub fn with_timer_wheel(mut self, wheel: TimerWheel) -> Self {
+        self.timer = Some(wheel);
         self
     }
 }
@@ -368,6 +392,15 @@ pub struct EndpointStats {
     /// `Busy` retries whose backoff honored the peer's retry-after hint
     /// instead of the fixed schedule.
     pub busy_hint_retries: u64,
+    /// Connections currently registered with the reactor. Process-wide
+    /// (all endpoints share the reactor), read from the `net.*` gauges.
+    pub open_connections: u64,
+    /// Reactor poller threads serving the whole process — the fixed I/O
+    /// core budget every connection multiplexes onto.
+    pub io_threads: u64,
+    /// Pending timer-wheel entries (heartbeats, lease TTLs),
+    /// process-wide.
+    pub timer_entries: u64,
     /// Why the wire last went down ([`DisconnectReason::None`] if never).
     pub last_disconnect: DisconnectReason,
 }
@@ -515,6 +548,9 @@ struct Inner {
     disconnect_reason: Mutex<DisconnectReason>,
     /// Wakes/stops the heartbeat thread.
     hb_stop: (Sender<()>, Receiver<()>),
+    /// Signalled once `cleanup` finishes. In sink mode there is no reader
+    /// thread to join, so [`RemoteEndpoint::join`] waits here instead.
+    done: (Mutex<bool>, Condvar),
     counters: Counters,
     /// Per-endpoint metrics + the (possibly shared) tracer.
     obs: Obs,
@@ -589,6 +625,7 @@ impl RemoteEndpoint {
             health: HealthMonitor::new(),
             disconnect_reason: Mutex::new(DisconnectReason::None),
             hb_stop: channel::bounded(4),
+            done: (Mutex::new(false), Condvar::new()),
             counters,
             obs,
             conn_ctx,
@@ -661,26 +698,63 @@ impl RemoteEndpoint {
             });
         }
 
-        // --- reader thread ---
-        let reader_inner = Arc::clone(&inner);
-        let reader = std::thread::Builder::new()
-            .name(format!("rosgi-{}", inner.config.peer_name))
-            .spawn(move || reader_loop(reader_inner))
-            .expect("spawn reader thread");
+        // --- frame delivery ---
+        // Sink mode: a reactor-backed transport delivers frames as poller
+        // callbacks and the endpoint keeps *no* per-connection thread —
+        // the fixed I/O core budget serves every connection. Frames that
+        // arrived since the handshake are drained into the sink in order.
+        // Transports without a reactor keep the dedicated reader thread.
+        // Heavy service handlers in sink mode should be paired with a
+        // [`ServeQueue`], which hops invocations off the poller thread.
+        let delivery_wire = inner.wire();
+        let sink_mode = delivery_wire.set_sink(Box::new(EndpointSink {
+            inner: Arc::downgrade(&inner),
+            wire: Arc::clone(&delivery_wire),
+        }));
+        drop(delivery_wire);
+        let reader = if sink_mode {
+            None
+        } else {
+            let reader_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("rosgi-{}", inner.config.peer_name))
+                    .spawn(move || reader_loop(reader_inner))
+                    .expect("spawn reader thread"),
+            )
+        };
 
-        // --- heartbeat thread (opt-in) ---
-        let heartbeat = inner.config.heartbeat.map(|hb| {
-            let hb_inner = Arc::clone(&inner);
-            let stop = inner.hb_stop.1.clone();
-            std::thread::Builder::new()
-                .name(format!("rosgi-hb-{}", inner.config.peer_name))
-                .spawn(move || heartbeat_loop(hb_inner, hb, stop))
-                .expect("spawn heartbeat thread")
-        });
+        // --- heartbeat (opt-in) ---
+        // Sink-mode endpoints (and any endpoint configured with a wheel)
+        // tick on a shared timer wheel: one thread drives every heartbeat
+        // and lease TTL in the process. Otherwise a dedicated thread
+        // keeps the original blocking probe loop.
+        let heartbeat = match inner.config.heartbeat {
+            Some(hb) if sink_mode || inner.config.timer.is_some() => {
+                let wheel = inner
+                    .config
+                    .timer
+                    .clone()
+                    .unwrap_or_else(|| Reactor::global().timer().clone());
+                start_wheel_heartbeat(&inner, hb, wheel);
+                None
+            }
+            Some(hb) => {
+                let hb_inner = Arc::clone(&inner);
+                let stop = inner.hb_stop.1.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("rosgi-hb-{}", inner.config.peer_name))
+                        .spawn(move || heartbeat_loop(hb_inner, hb, stop))
+                        .expect("spawn heartbeat thread"),
+                )
+            }
+            None => None,
+        };
 
         Ok(RemoteEndpoint {
             inner,
-            reader: Mutex::new(Some(reader)),
+            reader: Mutex::new(reader),
             heartbeat: Mutex::new(heartbeat),
         })
     }
@@ -715,6 +789,7 @@ impl RemoteEndpoint {
     pub fn stats(&self) -> EndpointStats {
         let c = &self.inner.counters;
         let pool = self.inner.pool.stats();
+        let net = alfredo_net::current_stats();
         EndpointStats {
             calls_sent: c.calls_sent.get(),
             calls_served: c.calls_served.get(),
@@ -737,6 +812,9 @@ impl RemoteEndpoint {
             busy_sent: c.busy_sent.get(),
             busy_received: c.busy_received.get(),
             busy_hint_retries: c.busy_hint_retries.get(),
+            open_connections: net.open_connections,
+            io_threads: net.io_threads,
+            timer_entries: net.timer_entries,
             last_disconnect: *self.inner.disconnect_reason.lock(),
         }
     }
@@ -1129,6 +1207,14 @@ impl RemoteEndpoint {
     pub fn join(&self) {
         if let Some(handle) = self.reader.lock().take() {
             let _ = handle.join();
+            return;
+        }
+        // Sink mode (no reader thread), or a repeat join: wait for
+        // cleanup to signal completion.
+        let (flag, cv) = &self.inner.done;
+        let mut done = flag.lock();
+        while !*done {
+            done = cv.wait(done);
         }
     }
 }
@@ -1947,6 +2033,35 @@ impl Inner {
             let _ = self.framework.uninstall(b);
         }
         self.leases.lock().reset(Vec::new());
+        let (flag, cv) = &self.done;
+        *flag.lock() = true;
+        cv.notify_all();
+    }
+
+    /// Purges lease entries whose TTL elapsed and uninstalls their
+    /// proxies. Runs on every heartbeat tick, thread- or wheel-driven.
+    fn purge_expired_leases(&self) {
+        let expired = self.leases.lock().purge_expired(Instant::now());
+        for entry in expired {
+            self.counters.lease_expiries.inc();
+            alfredo_obs::event("rosgi.endpoint", "lease_expired", || {
+                vec![(
+                    "interfaces".to_string(),
+                    entry
+                        .interfaces
+                        .iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )]
+            });
+            for iface in entry.interfaces.iter() {
+                let bundle = self.proxy_bundles.lock().remove(iface);
+                if let Some(b) = bundle {
+                    let _ = self.framework.uninstall(b);
+                }
+            }
+        }
     }
 }
 
@@ -2068,27 +2183,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
         // Lease housekeeping runs every tick, probe or not: entries the
         // peer stopped renewing are purged and their proxies uninstalled,
         // so "an AlfredO client does not store outdated data over time".
-        let expired = inner.leases.lock().purge_expired(Instant::now());
-        for entry in expired {
-            inner.counters.lease_expiries.inc();
-            alfredo_obs::event("rosgi.endpoint", "lease_expired", || {
-                vec![(
-                    "interfaces".to_string(),
-                    entry
-                        .interfaces
-                        .iter()
-                        .cloned()
-                        .collect::<Vec<_>>()
-                        .join(","),
-                )]
-            });
-            for iface in entry.interfaces.iter() {
-                let bundle = inner.proxy_bundles.lock().remove(iface);
-                if let Some(b) = bundle {
-                    let _ = inner.framework.uninstall(b);
-                }
-            }
-        }
+        inner.purge_expired_leases();
         if inner.health.state() == HealthState::Disconnected {
             // The reader owns reconnection; probing a dead wire is noise.
             continue;
@@ -2122,6 +2217,107 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
                 // handling it; nothing for the heartbeat to declare.
             }
         }
+    }
+}
+
+/// The wheel-driven heartbeat: the same state machine as
+/// [`heartbeat_loop`], unrolled into non-blocking ticks so one shared
+/// timer thread can drive every endpoint in the process. Instead of
+/// blocking `hb.timeout` on each probe, a tick launches the probe and a
+/// later tick harvests it — miss detection is quantized to the tick
+/// interval, which is exactly the resolution the thread loop had (one
+/// probe per interval).
+struct HbTick {
+    inner: Weak<Inner>,
+    wheel: TimerWheel,
+    hb: HeartbeatConfig,
+    misses: u32,
+    /// Outstanding probe: nonce, pong waiter, send time.
+    pending: Option<(u64, Receiver<()>, Instant)>,
+}
+
+fn start_wheel_heartbeat(inner: &Arc<Inner>, hb: HeartbeatConfig, wheel: TimerWheel) {
+    let tick = HbTick {
+        inner: Arc::downgrade(inner),
+        wheel: wheel.clone(),
+        hb,
+        misses: 0,
+        pending: None,
+    };
+    wheel.schedule(hb.interval, Box::new(move || tick.run()));
+}
+
+impl HbTick {
+    /// One heartbeat tick. Runs on the wheel thread (a reactor thread —
+    /// sends never block), then re-arms itself unless the endpoint is
+    /// gone. Holding only a `Weak` means a dropped endpoint stops
+    /// ticking within one interval.
+    fn run(mut self) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        if inner.closed.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            if let Some((nonce, _, _)) = self.pending.take() {
+                inner.pending_pings.lock().remove(&nonce);
+            }
+            return;
+        }
+        inner.purge_expired_leases();
+
+        // Harvest the outstanding probe, if any.
+        if let Some((nonce, rx, sent_at)) = self.pending.take() {
+            match rx.try_recv() {
+                Ok(()) => {
+                    self.misses = 0;
+                    inner.leases.lock().renew_all(Instant::now());
+                    inner
+                        .health
+                        .transition_from(HealthState::Degraded, HealthState::Healthy);
+                }
+                Err(TryRecvError::Empty) if sent_at.elapsed() < self.hb.timeout => {
+                    // Still in flight; check again next tick.
+                    self.pending = Some((nonce, rx, sent_at));
+                }
+                Err(_) => {
+                    // Timed out — or teardown dropped the waiter, in
+                    // which case the reconnect path already owns the
+                    // outage and the miss count is moot.
+                    inner.pending_pings.lock().remove(&nonce);
+                    self.misses += 1;
+                    inner.counters.heartbeats_missed.inc();
+                    if self.misses >= self.hb.disconnected_after {
+                        inner.record_disconnect(DisconnectReason::HeartbeatTimeout);
+                        // Closing the wire triggers the sink's close path,
+                        // which runs disconnect + reconnect.
+                        inner.wire().close();
+                        self.misses = 0;
+                    } else if self.misses >= self.hb.degraded_after {
+                        inner
+                            .health
+                            .transition_from(HealthState::Healthy, HealthState::Degraded);
+                    }
+                }
+            }
+        }
+
+        // Launch a fresh probe when none is in flight and the wire is up
+        // (reconnection owns a Disconnected wire; probing it is noise).
+        if self.pending.is_none() && inner.health.state() != HealthState::Disconnected {
+            let nonce = inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = channel::bounded(1);
+            inner.pending_pings.lock().insert(nonce, tx);
+            inner.counters.heartbeats_sent.inc();
+            if inner.send(&Message::Ping { nonce }).is_ok() {
+                self.pending = Some((nonce, rx, Instant::now()));
+            } else {
+                inner.pending_pings.lock().remove(&nonce);
+            }
+        }
+
+        let wheel = self.wheel.clone();
+        let interval = self.hb.interval;
+        drop(inner);
+        wheel.schedule(interval, Box::new(move || self.run()));
     }
 }
 
@@ -2167,6 +2363,169 @@ fn try_reconnect(inner: &Arc<Inner>, rc: &ReconnectConfig) -> bool {
     false
 }
 
+/// Handles one received frame: counters, the borrowed-invoke fast path,
+/// owned decode + dispatch for everything else. Shared by the reader
+/// thread and the reactor sink. On an undecodable frame it closes `wire`
+/// and returns why.
+fn process_frame(
+    inner: &Arc<Inner>,
+    wire: &Arc<dyn Transport>,
+    frame: Vec<u8>,
+) -> Result<(), DisconnectReason> {
+    inner.counters.frames_received.inc();
+    inner.counters.bytes_received.add(frame.len() as u64);
+    // Invocations — the hot frame type — are served straight off
+    // the frame bytes: interface and method stay borrowed, no
+    // `Message` is materialized. Everything else takes the owned
+    // decode below.
+    if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
+        match Message::decode_invoke_borrowed(&frame) {
+            Ok(mut inv) => {
+                if inner.config.serve_queue.is_some() {
+                    // Queued serving needs owned strings — the job
+                    // outlives the frame the names are borrowed
+                    // from. Only this (opted-in) path pays the copy;
+                    // the args are already owned and move for free.
+                    let (call_id, trace) = (inv.call_id, inv.trace);
+                    let interface = inv.interface.to_owned();
+                    let method = inv.method.to_owned();
+                    let args = std::mem::take(&mut inv.args);
+                    drop(inv);
+                    inner.dispatch_invoke(call_id, interface, method, args, trace);
+                } else {
+                    inner.serve_and_respond(
+                        inv.call_id,
+                        inv.interface,
+                        inv.method,
+                        &inv.args,
+                        inv.trace,
+                    );
+                    drop(inv);
+                }
+                inner.pool.give(frame);
+                return Ok(());
+            }
+            Err(e) => {
+                inner
+                    .framework
+                    .emit_framework(alfredo_osgi::FrameworkEvent::Error {
+                        bundle: None,
+                        message: format!("undecodable frame from peer: {e}"),
+                    });
+                wire.close();
+                return Err(DisconnectReason::CorruptFrame);
+            }
+        }
+    }
+    let decoded = Message::decode(&frame);
+    // Decoding produced an owned message, so the frame's
+    // allocation can immediately back a future outgoing frame.
+    // Under steady request/response traffic this is what makes
+    // the send path allocation-free: each side recycles what it
+    // receives.
+    if !inner.config.legacy_invoke_path {
+        inner.pool.give(frame);
+    }
+    match decoded {
+        Ok(msg) => {
+            inner.handle_message(msg);
+            Ok(())
+        }
+        Err(e) => {
+            // Protocol corruption: fail fast, close the link.
+            inner
+                .framework
+                .emit_framework(alfredo_osgi::FrameworkEvent::Error {
+                    bundle: None,
+                    message: format!("undecodable frame from peer: {e}"),
+                });
+            wire.close();
+            Err(DisconnectReason::CorruptFrame)
+        }
+    }
+}
+
+/// Reactor-driven frame delivery: poller callbacks replace the
+/// per-connection reader thread. Everything here must stay non-blocking
+/// (it runs on a poller thread serving many connections), so teardown
+/// and reconnection hop to a short-lived thread.
+struct EndpointSink {
+    inner: Weak<Inner>,
+    wire: Arc<dyn Transport>,
+}
+
+impl FrameSink for EndpointSink {
+    fn on_frame(&mut self, frame: Vec<u8>) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        if let Err(why) = process_frame(&inner, &self.wire, frame) {
+            // `process_frame` closed the wire; `on_close` follows and
+            // owns the teardown/reconnect decision. Record the precise
+            // cause now — first-cause-wins keeps it over the generic
+            // transport-closed reason.
+            inner.record_disconnect(why);
+        }
+    }
+
+    fn on_close(&mut self) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        inner.record_disconnect(match self.wire.close_reason() {
+            CloseReason::CorruptStream => DisconnectReason::CorruptStream,
+            // `Local` closes record their own (more precise) reason at
+            // the closing site: Bye, close(), or the heartbeat;
+            // first-cause-wins keeps it.
+            _ => DisconnectReason::TransportClosed,
+        });
+        std::thread::Builder::new()
+            .name(format!("rosgi-down-{}", inner.config.peer_name))
+            .spawn(move || wire_down_sink(inner))
+            .expect("spawn endpoint teardown thread");
+    }
+}
+
+/// Sink-mode continuation of a dead wire, off the poller thread:
+/// reconnect if configured, full teardown otherwise. The thread lives
+/// only for the outage — sink mode keeps nothing parked per connection.
+fn wire_down_sink(inner: Arc<Inner>) {
+    inner.on_wire_down();
+    if !inner.shutdown.load(Ordering::SeqCst) && !inner.closed.load(Ordering::SeqCst) {
+        if let Some(rc) = inner.config.reconnect.clone() {
+            if try_reconnect(&inner, &rc) && install_delivery(&inner) {
+                return;
+            }
+        }
+    }
+    inner.cleanup();
+}
+
+/// Arms frame delivery on the endpoint's current wire: a reactor sink if
+/// the transport supports one, else a detached reader thread (`join`
+/// waits on `done`, not the thread). Returns `false` if delivery could
+/// not be armed.
+fn install_delivery(inner: &Arc<Inner>) -> bool {
+    if inner.closed.load(Ordering::SeqCst) {
+        return false;
+    }
+    let wire = inner.wire();
+    let sink = EndpointSink {
+        inner: Arc::downgrade(inner),
+        wire: Arc::clone(&wire),
+    };
+    if !wire.set_sink(Box::new(sink)) {
+        let reader_inner = Arc::clone(inner);
+        let spawned = std::thread::Builder::new()
+            .name(format!("rosgi-{}", inner.config.peer_name))
+            .spawn(move || reader_loop(reader_inner));
+        if spawned.is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 fn reader_loop(inner: Arc<Inner>) {
     // Outer loop: one iteration per wire. The inner loop pumps frames
     // until recv fails, yielding why the wire died; with reconnection
@@ -2175,11 +2534,11 @@ fn reader_loop(inner: Arc<Inner>) {
     // survive and are re-bound to the new wire in place.
     'connection: loop {
         let wire = inner.wire();
-        let why = 'wire: loop {
+        let why = loop {
             let frame = match wire.recv() {
                 Ok(f) => f,
                 Err(_) => {
-                    break 'wire match wire.close_reason() {
+                    break match wire.close_reason() {
                         CloseReason::CorruptStream => DisconnectReason::CorruptStream,
                         // `Local` closes record their own (more precise)
                         // reason at the closing site: Bye, close(), or the
@@ -2188,73 +2547,8 @@ fn reader_loop(inner: Arc<Inner>) {
                     };
                 }
             };
-            inner.counters.frames_received.inc();
-            inner.counters.bytes_received.add(frame.len() as u64);
-            // Invocations — the hot frame type — are served straight off
-            // the frame bytes: interface and method stay borrowed, no
-            // `Message` is materialized. Everything else takes the owned
-            // decode below.
-            if !inner.config.legacy_invoke_path && Message::is_invoke(&frame) {
-                match Message::decode_invoke_borrowed(&frame) {
-                    Ok(mut inv) => {
-                        if inner.config.serve_queue.is_some() {
-                            // Queued serving needs owned strings — the job
-                            // outlives the frame the names are borrowed
-                            // from. Only this (opted-in) path pays the copy;
-                            // the args are already owned and move for free.
-                            let (call_id, trace) = (inv.call_id, inv.trace);
-                            let interface = inv.interface.to_owned();
-                            let method = inv.method.to_owned();
-                            let args = std::mem::take(&mut inv.args);
-                            drop(inv);
-                            inner.dispatch_invoke(call_id, interface, method, args, trace);
-                        } else {
-                            inner.serve_and_respond(
-                                inv.call_id,
-                                inv.interface,
-                                inv.method,
-                                &inv.args,
-                                inv.trace,
-                            );
-                            drop(inv);
-                        }
-                        inner.pool.give(frame);
-                        continue 'wire;
-                    }
-                    Err(e) => {
-                        inner
-                            .framework
-                            .emit_framework(alfredo_osgi::FrameworkEvent::Error {
-                                bundle: None,
-                                message: format!("undecodable frame from peer: {e}"),
-                            });
-                        wire.close();
-                        break 'wire DisconnectReason::CorruptFrame;
-                    }
-                }
-            }
-            let decoded = Message::decode(&frame);
-            // Decoding produced an owned message, so the frame's
-            // allocation can immediately back a future outgoing frame.
-            // Under steady request/response traffic this is what makes
-            // the send path allocation-free: each side recycles what it
-            // receives.
-            if !inner.config.legacy_invoke_path {
-                inner.pool.give(frame);
-            }
-            match decoded {
-                Ok(msg) => inner.handle_message(msg),
-                Err(e) => {
-                    // Protocol corruption: fail fast, close the link.
-                    inner
-                        .framework
-                        .emit_framework(alfredo_osgi::FrameworkEvent::Error {
-                            bundle: None,
-                            message: format!("undecodable frame from peer: {e}"),
-                        });
-                    wire.close();
-                    break 'wire DisconnectReason::CorruptFrame;
-                }
+            if let Err(why) = process_frame(&inner, &wire, frame) {
+                break why;
             }
         };
         inner.record_disconnect(why);

@@ -199,6 +199,13 @@ impl fmt::Debug for HealthMonitor {
 /// `disconnected_after` it declares the wire dead (which triggers
 /// reconnection when configured). A successful ping clears the miss count,
 /// renews the lease table, and restores [`HealthState::Healthy`].
+///
+/// Two drivers implement this contract: a dedicated thread per endpoint
+/// (channel transports), or non-blocking ticks on a shared timer wheel
+/// (reactor-backed transports, or any endpoint configured with
+/// `EndpointConfig::with_timer_wheel`). On the wheel, miss detection is
+/// quantized to `interval` — each tick launches or harvests one probe —
+/// which matches the thread driver's one-probe-per-interval cadence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeartbeatConfig {
     /// Time between probes.

@@ -28,11 +28,14 @@ const KEYS: u64 = 512;
 
 fn resilience() -> ResilienceConfig {
     ResilienceConfig {
+        // Generous timeout: this test is about crash recovery, not
+        // heartbeat sharpness — a scheduler stall on a loaded single-core
+        // runner must not declare the wire dead mid-mutation-loop.
         heartbeat: HeartbeatConfig {
-            interval: Duration::from_millis(25),
-            timeout: Duration::from_millis(40),
-            degraded_after: 1,
-            disconnected_after: 3,
+            interval: Duration::from_millis(40),
+            timeout: Duration::from_millis(250),
+            degraded_after: 2,
+            disconnected_after: 4,
         },
         lease_ttl: Some(Duration::from_secs(30)),
         retry: RetryPolicy {

@@ -1,39 +1,34 @@
 //! The full AlfredO stack over a *real* TCP connection (loopback): the
 //! same protocol the in-memory tests exercise, but with genuine sockets —
 //! demonstrating that nothing in the stack depends on the in-memory
-//! fabric.
+//! fabric. TCP transports ride the reactor: frames arrive as poller
+//! callbacks (sink mode), heartbeats tick on the shared timer wheel, and
+//! no per-connection reader threads exist anywhere in these tests.
 
+use std::io::{Read, Write};
+use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use alfredo_apps::{register_shop, sample_catalog, SHOP_INTERFACE};
-use alfredo_core::{AlfredOEngine, EngineConfig};
-use alfredo_net::{TcpNetListener, TcpTransport};
+use alfredo_core::{serve_device_tcp, AlfredOEngine, EngineConfig};
+use alfredo_net::{TcpNetListener, TcpTransport, Transport};
+use alfredo_obs::Obs;
 use alfredo_osgi::Framework;
-use alfredo_rosgi::{DiscoveryDirectory, EndpointConfig, RemoteEndpoint};
+use alfredo_rosgi::{
+    DiscoveryDirectory, EndpointConfig, RemoteEndpoint, ServeQueue, ServeQueueConfig,
+};
 use alfredo_ui::{DeviceCapabilities, UiEvent};
 
 #[test]
 fn shop_session_over_real_tcp() {
-    // --- device: TCP listener + accept loop -----------------------------
+    // --- device: the engine's TCP host (accept loop + reactor sinks) ----
     let device_fw = Framework::new();
     register_shop(&device_fw, sample_catalog()).unwrap();
     let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr();
-    let fw2 = device_fw.clone();
-    std::thread::spawn(move || {
-        while let Ok(conn) = listener.accept() {
-            let fw3 = fw2.clone();
-            std::thread::spawn(move || {
-                if let Ok(ep) = RemoteEndpoint::establish(
-                    Box::new(conn),
-                    fw3,
-                    EndpointConfig::named("tcp-screen"),
-                ) {
-                    ep.join();
-                }
-            });
-        }
-    });
+    let queue = ServeQueue::new(ServeQueueConfig::workers(2));
+    let device = serve_device_tcp(listener, device_fw, Obs::disabled(), Some(queue));
 
     // --- phone: engine over a TCP transport ------------------------------
     let engine = AlfredOEngine::new(
@@ -74,15 +69,22 @@ fn shop_session_over_real_tcp() {
     let detail = session.with_state(|s| s.get("detail").cloned()).unwrap();
     assert!(detail.field("price_cents").is_some());
 
+    // The /metrics dump (what the web gateway serves) includes the
+    // process-wide reactor gauges alongside the endpoint counters.
+    let metrics = session.metrics_text();
+    assert!(metrics.contains("rosgi.calls_sent"), "{metrics}");
+    assert!(metrics.contains("net.io_threads"), "{metrics}");
+    assert!(metrics.contains("net.open_connections"), "{metrics}");
+
+    assert_eq!(device.connections(), 1);
     session.close();
     conn.close();
+    device.stop();
 }
 
 #[test]
 fn raw_endpoint_over_tcp_with_events() {
     use alfredo_osgi::{Event, Properties};
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
 
     let device_fw = Framework::new();
     let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
@@ -98,11 +100,10 @@ fn raw_endpoint_over_tcp_with_events() {
     });
 
     let phone_fw = Framework::new();
-    let hits = Arc::new(AtomicUsize::new(0));
-    let h = Arc::clone(&hits);
+    let (hit_tx, hit_rx) = mpsc::channel();
     phone_fw.event_admin().subscribe("tcp/topic", move |e| {
         assert_eq!(e.properties.get_i64("n"), Some(7));
-        h.fetch_add(1, Ordering::SeqCst);
+        let _ = hit_tx.send(());
     });
     let transport = TcpTransport::connect(addr).unwrap();
     let ep = RemoteEndpoint::establish(
@@ -112,17 +113,167 @@ fn raw_endpoint_over_tcp_with_events() {
     )
     .unwrap();
 
-    // Let the interest update reach the device, then post on its bus.
-    std::thread::sleep(Duration::from_millis(50));
+    // A ping round-trip proves the device has processed every frame sent
+    // before it (TCP is FIFO) — including our event-interest update.
+    ep.ping(Duration::from_secs(5)).unwrap();
     device_fw
         .event_admin()
         .post(&Event::new("tcp/topic", Properties::new().with("n", 7i64)));
-    for _ in 0..200 {
-        if hits.load(Ordering::SeqCst) == 1 {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(5));
+    hit_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("event crossed real TCP");
+    ep.close();
+}
+
+/// A peer that trickles bytes one write(2) at a time — every frame header
+/// and body split across many reads — must still produce intact frames:
+/// the reactor's per-connection reassembly state machine handles
+/// arbitrary fragmentation.
+#[test]
+fn one_byte_dribble_reassembles_frames() {
+    let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let t = listener.accept().unwrap();
+        let a = t.recv_timeout(Duration::from_secs(10)).unwrap();
+        let b = t.recv_timeout(Duration::from_secs(10)).unwrap();
+        (a, b)
+    });
+
+    let frames: [&[u8]; 2] = [b"hello reactor", &[0u8, 1, 2, 3, 255]];
+    let mut wire = Vec::new();
+    for f in frames {
+        wire.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        wire.extend_from_slice(f);
     }
-    assert_eq!(hits.load(Ordering::SeqCst), 1, "event crossed real TCP");
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_nodelay(true).unwrap();
+    for byte in wire {
+        raw.write_all(&[byte]).unwrap();
+    }
+    let (a, b) = server.join().unwrap();
+    assert_eq!(a, frames[0]);
+    assert_eq!(b, frames[1]);
+}
+
+/// A sender outrunning a slow reader fills the socket and then the
+/// 1 MiB outbox; `send` blocks (bounded memory) instead of failing, and
+/// everything drains once the reader catches up.
+#[test]
+fn slow_reader_write_backpressure_drains() {
+    const FRAMES: usize = 48;
+    const SIZE: usize = 128 * 1024; // 6 MiB total, far over the outbox cap
+
+    let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let sender = std::thread::spawn(move || {
+        let t = listener.accept().unwrap();
+        for i in 0..FRAMES {
+            t.send(vec![i as u8; SIZE]).unwrap();
+        }
+        t // keep the connection open until the reader drains it
+    });
+
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    // Give the sender time to hit the outbox cap and block.
+    std::thread::sleep(Duration::from_millis(200));
+    let expected = FRAMES * (4 + SIZE);
+    let mut total = 0usize;
+    let mut last = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    while total < expected {
+        let n = raw.read(&mut buf).unwrap();
+        assert!(n > 0, "peer hung up after {total}/{expected} bytes");
+        total += n;
+        last = buf[..n].to_vec();
+    }
+    assert_eq!(total, expected);
+    // The tail of the stream is the last frame's fill byte.
+    assert_eq!(*last.last().unwrap(), (FRAMES - 1) as u8);
+    let t = sender.join().unwrap();
+    drop(t);
+}
+
+/// Chaos composition over real sockets: a `FaultyTransport` wrapping a
+/// reactor-backed TCP transport still delivers through the sink path, the
+/// timer-wheel heartbeat detects a partition (no reader thread, no
+/// heartbeat thread), and reconnection dials a fresh wire through the
+/// reactor.
+#[test]
+fn faulty_tcp_endpoint_reconnects_with_wheel_heartbeat() {
+    use alfredo_net::{FaultPlan, FaultyTransport, Transport, TransportError};
+    use alfredo_rosgi::{HealthState, HeartbeatConfig, ReconnectConfig, ReconnectFn};
+
+    // Device: accept forever; hand each established endpoint to the test.
+    let device_fw = Framework::new();
+    let listener = TcpNetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let fw2 = device_fw.clone();
+    let (ep_tx, ep_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        while let Ok(conn) = listener.accept() {
+            if let Ok(ep) =
+                RemoteEndpoint::establish(Box::new(conn), fw2.clone(), EndpointConfig::named("dev"))
+            {
+                let _ = ep_tx.send(ep);
+            }
+        }
+    });
+
+    // Phone: faulty wrapper over TCP, wheel heartbeat, reconnect by
+    // dialing a fresh (un-wrapped) TCP transport.
+    let wire = FaultyTransport::new(
+        Box::new(TcpTransport::connect(addr).unwrap()),
+        FaultPlan::none(),
+    );
+    let partition = wire.partition_handle();
+    let dial: ReconnectFn = Arc::new(move || {
+        TcpTransport::connect(addr)
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .map_err(|_| TransportError::Timeout)
+    });
+    let hb = HeartbeatConfig {
+        interval: Duration::from_millis(25),
+        timeout: Duration::from_millis(50),
+        degraded_after: 1,
+        disconnected_after: 2,
+    };
+    let ep = RemoteEndpoint::establish(
+        Box::new(wire),
+        Framework::new(),
+        EndpointConfig::named("phone")
+            .with_heartbeat(hb)
+            .with_reconnect(ReconnectConfig::new(dial)),
+    )
+    .unwrap();
+    let _dev_ep = ep_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // The connection is reactor-served: the stats snapshot shows the
+    // fixed I/O budget and at least this one registered connection.
+    let stats = ep.stats();
+    assert!(stats.io_threads >= 1, "{stats:?}");
+    assert!(stats.open_connections >= 1, "{stats:?}");
+
+    let (health_tx, health_rx) = mpsc::channel();
+    ep.on_health(move |ev| {
+        let _ = health_tx.send(ev.to);
+    });
+
+    // Sever the link. Pongs black-hole, the wheel heartbeat misses twice,
+    // declares the wire dead, and reconnection dials around the fault.
+    partition.partition();
+    let mut saw_disconnect = false;
+    loop {
+        match health_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(HealthState::Disconnected) => saw_disconnect = true,
+            Ok(HealthState::Healthy) if saw_disconnect => break,
+            Ok(_) => {}
+            Err(e) => panic!("no recovery after partition: {e} (saw_disconnect={saw_disconnect})"),
+        }
+    }
+    ep.ping(Duration::from_secs(5)).unwrap();
+    let stats = ep.stats();
+    assert_eq!(stats.reconnects, 1, "{stats:?}");
+    assert!(stats.heartbeats_missed >= 2, "{stats:?}");
     ep.close();
 }
