@@ -22,9 +22,10 @@ use alfredo_rosgi::endpoint::{
     PROP_SMART_PROXY_METHODS,
 };
 use alfredo_rosgi::{
-    DiscoveryDirectory, EndpointConfig, FetchedService, HeartbeatConfig, ReconnectConfig,
-    ReconnectFn, RemoteEndpoint, RemoteServiceInfo, RetryPolicy, RosgiError, ServeQueue,
-    ServiceParts, ServiceUrl, SmartProxySpec, PROP_TIER_DIGEST,
+    BreakerConfig, DiscoveryDirectory, EndpointConfig, FetchedService, HeartbeatConfig,
+    ReconnectConfig, ReconnectFn, RemoteEndpoint, RemoteServiceInfo, RetryBudgetConfig,
+    RetryPolicy, RosgiError, ServeQueue, ServiceParts, ServiceUrl, SmartProxySpec,
+    PROP_TIER_DIGEST,
 };
 use alfredo_ui::render::select_renderer;
 use alfredo_ui::{DeviceCapabilities, UiError, UiState};
@@ -146,6 +147,19 @@ pub struct ResilienceConfig {
     pub reconnect_backoff: Duration,
     /// What sessions do with remote-bound UI events during an outage.
     pub outage_policy: OutagePolicy,
+    /// Circuit breaker on the invoke path: after the configured number of
+    /// consecutive wire-level failures the endpoint fast-fails locally
+    /// until a heartbeat probe succeeds. The default (threshold 0)
+    /// disables it.
+    pub breaker: BreakerConfig,
+    /// Token bucket bounding total retry volume across all calls. The
+    /// default (0 tokens) disables it — retries are then limited only by
+    /// the per-call [`RetryPolicy`].
+    pub retry_budget: RetryBudgetConfig,
+    /// Stamp each invocation's remaining time budget on the wire so the
+    /// device sheds calls whose deadline expired before execution. Off by
+    /// default (the wire format stays byte-identical).
+    pub propagate_deadline: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -157,6 +171,9 @@ impl Default for ResilienceConfig {
             reconnect_attempts: 8,
             reconnect_backoff: Duration::from_millis(50),
             outage_policy: OutagePolicy::Replay,
+            breaker: BreakerConfig::default(),
+            retry_budget: RetryBudgetConfig::default(),
+            propagate_deadline: false,
         }
     }
 }
@@ -528,7 +545,12 @@ impl AlfredOEngine {
         if let Some(res) = &self.config.resilience {
             ep_config = ep_config
                 .with_heartbeat(res.heartbeat)
-                .with_retry(res.retry);
+                .with_retry(res.retry)
+                .with_breaker(res.breaker)
+                .with_retry_budget(res.retry_budget);
+            if res.propagate_deadline {
+                ep_config = ep_config.with_deadline_propagation();
+            }
             if let Some(ttl) = res.lease_ttl {
                 ep_config = ep_config.with_lease_ttl(ttl);
             }
@@ -1041,6 +1063,59 @@ pub fn serve_device_durable(
     serve_device_inner(network, framework, addr, obs, queue, Some(lease_journal))
 }
 
+/// Most handshake threads a device runs at once. Handshakes finish in a
+/// round-trip, so a small pool absorbs any realistic arrival burst; when
+/// every permit is taken the accept loop parks and newly arriving
+/// connections wait in the listener's accept queue instead of each
+/// costing a thread.
+const HANDSHAKE_THREAD_CAP: usize = 8;
+
+/// How long an accepted TCP connection may sit without completing its
+/// handshake before the device reaps it (closes the socket). Bounds the
+/// damage of slowloris-style clients that connect and then stall: each
+/// holds a handshake permit for at most this long.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A counting semaphore bounding concurrent handshake threads. Plain
+/// mutex + condvar: handshakes are rare and millisecond-scale, so permit
+/// churn is nowhere near a contention concern.
+struct HandshakeGate {
+    in_flight: alfredo_sync::Mutex<usize>,
+    cv: alfredo_sync::Condvar,
+    cap: usize,
+}
+
+impl HandshakeGate {
+    fn new(cap: usize) -> Arc<HandshakeGate> {
+        Arc::new(HandshakeGate {
+            in_flight: alfredo_sync::Mutex::new(0),
+            cv: alfredo_sync::Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    /// Blocks until a permit is free; returns `false` if `abort` was set
+    /// while waiting (device shutdown) so the accept loop can exit even
+    /// when every permit is pinned by a stalled handshake.
+    fn acquire(&self, abort: &std::sync::atomic::AtomicBool) -> bool {
+        let mut held = self.in_flight.lock();
+        while *held >= self.cap {
+            if abort.load(std::sync::atomic::Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self.cv.wait_timeout(held, Duration::from_millis(50));
+            held = guard;
+        }
+        *held += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.in_flight.lock() -= 1;
+        self.cv.notify_one();
+    }
+}
+
 fn serve_device_inner(
     network: &InMemoryNetwork,
     framework: Framework,
@@ -1054,12 +1129,16 @@ fn serve_device_inner(
     let flag = Arc::clone(&shutdown);
     let name = addr.as_str().to_owned();
     let accept_queue = queue.clone();
+    let gate = HandshakeGate::new(HANDSHAKE_THREAD_CAP);
     let handle = std::thread::Builder::new()
         .name(format!("alfredo-device-{name}"))
         .spawn(move || {
             while !flag.load(std::sync::atomic::Ordering::SeqCst) {
                 match listener.accept_timeout(Duration::from_millis(50)) {
                     Ok(conn) => {
+                        if !gate.acquire(&flag) {
+                            break;
+                        }
                         let fw = framework.clone();
                         let mut cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
                         if let Some(q) = &accept_queue {
@@ -1068,8 +1147,11 @@ fn serve_device_inner(
                         if let Some(j) = &journal {
                             cfg = cfg.with_journal(j.clone());
                         }
+                        let gate = Arc::clone(&gate);
                         std::thread::spawn(move || {
-                            if let Ok(ep) = RemoteEndpoint::establish(Box::new(conn), fw, cfg) {
+                            let ep = RemoteEndpoint::establish(Box::new(conn), fw, cfg);
+                            gate.release();
+                            if let Ok(ep) = ep {
                                 ep.join();
                             }
                         });
@@ -1166,9 +1248,14 @@ impl fmt::Debug for ServedTcpDevice {
 /// Handshakes run on a short-lived thread per accepted connection (as
 /// [`serve_device`] does), so concurrently arriving phones do not
 /// serialize behind each other's handshake round-trips and a stalled
-/// client never delays the accept loop. Established endpoints are
-/// sink-mode: once the handshake thread exits, the connection costs no
-/// thread at all.
+/// client never delays the accept loop. The handshake pool is bounded:
+/// at most 8 handshakes run at once (excess arrivals wait in the
+/// kernel accept queue), and a connection that stalls mid-handshake
+/// for five seconds is reaped by the
+/// shared timer wheel (counted as `net.handshake_reaped`), so slowloris
+/// clients cannot pin the pool. Established endpoints are sink-mode:
+/// once the handshake thread exits, the connection costs no thread at
+/// all.
 pub fn serve_device_tcp(
     listener: alfredo_net::TcpNetListener,
     framework: Framework,
@@ -1183,6 +1270,9 @@ pub fn serve_device_tcp(
     let eps = Arc::clone(&endpoints);
     let accept_queue = queue.clone();
     let name = format!("tcp://{addr}");
+    let gate = HandshakeGate::new(HANDSHAKE_THREAD_CAP);
+    let wheel = alfredo_net::Reactor::global().timer().clone();
+    let reaped = alfredo_obs::global_metrics().counter("net.handshake_reaped");
     let handle = std::thread::Builder::new()
         .name(format!("alfredo-device-{addr}"))
         .spawn(move || {
@@ -1193,9 +1283,34 @@ pub fn serve_device_tcp(
                 if flag.load(std::sync::atomic::Ordering::SeqCst) {
                     break; // the stop() wake-up connection
                 }
+                if !gate.acquire(&flag) {
+                    break;
+                }
+                // A raw clone of the socket stays behind for the reaper:
+                // if the handshake has not finished when the timer fires,
+                // shutting the socket down unblocks the handshake thread
+                // with an error and frees its permit.
+                let raw = stream.try_clone().ok();
                 let Ok(transport) = alfredo_net::TcpTransport::from_stream(stream) else {
+                    gate.release();
                     continue;
                 };
+                // Exactly one side claims the connection: the reaper (on
+                // timeout) or the handshake thread (on completion).
+                let claimed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let reap_key = raw.map(|raw| {
+                    let claimed = Arc::clone(&claimed);
+                    let reaped = reaped.clone();
+                    wheel.schedule(
+                        HANDSHAKE_TIMEOUT,
+                        Box::new(move || {
+                            if !claimed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                                let _ = raw.shutdown(std::net::Shutdown::Both);
+                                reaped.inc();
+                            }
+                        }),
+                    )
+                });
                 let mut cfg = EndpointConfig::named(name.clone()).with_obs(obs.clone());
                 if let Some(q) = &accept_queue {
                     cfg = cfg.with_serve_queue(q.clone());
@@ -1203,8 +1318,23 @@ pub fn serve_device_tcp(
                 let fw = framework.clone();
                 let eps = Arc::clone(&eps);
                 let flag = Arc::clone(&flag);
+                let gate = Arc::clone(&gate);
+                let wheel = wheel.clone();
                 std::thread::spawn(move || {
-                    if let Ok(ep) = RemoteEndpoint::establish(Box::new(transport), fw, cfg) {
+                    let established = RemoteEndpoint::establish(Box::new(transport), fw, cfg);
+                    let lost_to_reaper = claimed.swap(true, std::sync::atomic::Ordering::SeqCst);
+                    if let Some(key) = reap_key {
+                        wheel.cancel(key);
+                    }
+                    gate.release();
+                    if let Ok(ep) = established {
+                        if lost_to_reaper {
+                            // The reaper shut the socket down just as the
+                            // handshake finished; the endpoint is on a dead
+                            // wire, so tear it down rather than roster it.
+                            ep.close();
+                            return;
+                        }
                         let mut eps = eps.lock();
                         // Checked under the roster lock: stop() sets the flag
                         // *before* taking this lock to drain, so either the

@@ -21,7 +21,7 @@ use alfredo_sync::Mutex;
 
 use alfredo_osgi::events::SubscriptionId;
 use alfredo_osgi::{Event, Framework, Json, Properties, ServiceCallError, ToJson as _, Value};
-use alfredo_rosgi::{HealthEvent, HealthState, RemoteEndpoint};
+use alfredo_rosgi::{HealthEvent, HealthState, RemoteEndpoint, ERR_CIRCUIT_OPEN};
 use alfredo_ui::render::{select_renderer, RenderedUi};
 use alfredo_ui::{DeviceCapabilities, UiEvent, UiState};
 
@@ -31,6 +31,19 @@ use crate::engine::{EngineError, OutagePolicy};
 use crate::optimizer::{LatencyMonitor, RuntimeOptimizer};
 use crate::policy::ClientContext;
 use crate::tier::{Placement, TierAssignment};
+
+/// Whether a call failure is an overload signal rather than a genuine
+/// fault: the endpoint's circuit breaker fast-failed the call locally,
+/// or a deadline expired before the call executed (sent by the device's
+/// shed path or stamped client-side). Both are rejected-not-executed, so
+/// the event they carried is safe to queue for replay.
+fn is_overload(err: &EngineError) -> bool {
+    match err {
+        EngineError::Call(ServiceCallError::DeadlineExceeded) => true,
+        EngineError::Call(ServiceCallError::Remote(msg)) => msg == ERR_CIRCUIT_OPEN,
+        _ => false,
+    }
+}
 
 /// What a controller action did (returned for observability and tests).
 #[derive(Debug, Clone, PartialEq)]
@@ -309,18 +322,7 @@ impl AlfredOSession {
             && !self.endpoint.is_closed()
             && self.is_remote_bound(event.control())
         {
-            let control = event.control().to_owned();
-            let outcome = match self.outage_policy {
-                OutagePolicy::Replay => {
-                    self.pending.lock().push(event.clone());
-                    ActionOutcome::Queued { control }
-                }
-                OutagePolicy::Discard => ActionOutcome::Discarded { control },
-            };
-            // Journaled, but marked non-executed: replay skips it — the
-            // re-handling after the link heals journals the real run.
-            self.journal_ui_event(event, std::slice::from_ref(&outcome));
-            return Ok(vec![outcome]);
+            return Ok(vec![self.degrade(event)]);
         }
         self.state.lock().apply(event);
         let (kind, value): (UiTriggerKind, Value) = match event {
@@ -345,10 +347,38 @@ impl AlfredOSession {
             .collect();
         let mut outcomes = Vec::new();
         for rule in rules {
-            outcomes.extend(self.run_actions(&rule.actions, &value, dx, dy)?);
+            match self.run_actions(&rule.actions, &value, dx, dy) {
+                Ok(o) => outcomes.extend(o),
+                // Overload signals (circuit open, deadline shed) mean the
+                // call was rejected without executing — degrade exactly as
+                // an unhealthy link does instead of failing the
+                // interaction. The event re-enters `handle_event` whole on
+                // replay; re-applying its UI state is idempotent.
+                Err(e) if is_overload(&e) && self.is_remote_bound(event.control()) => {
+                    return Ok(vec![self.degrade(event)]);
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.journal_ui_event(event, &outcomes);
         Ok(outcomes)
+    }
+
+    /// Applies the session's [`OutagePolicy`] to a remote-bound event the
+    /// link cannot serve right now: queued for replay or discarded.
+    fn degrade(&self, event: &UiEvent) -> ActionOutcome {
+        let control = event.control().to_owned();
+        let outcome = match self.outage_policy {
+            OutagePolicy::Replay => {
+                self.pending.lock().push(event.clone());
+                ActionOutcome::Queued { control }
+            }
+            OutagePolicy::Discard => ActionOutcome::Discarded { control },
+        };
+        // Journaled, but marked non-executed: replay skips it — the
+        // re-handling after the link heals journals the real run.
+        self.journal_ui_event(event, std::slice::from_ref(&outcome));
+        outcome
     }
 
     fn journal_ui_event(&self, event: &UiEvent, outcomes: &[ActionOutcome]) {

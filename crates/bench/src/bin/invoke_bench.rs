@@ -340,7 +340,7 @@ fn wire_encode(target_ms: u64) -> (Measurement, Measurement, f64) {
     let mut frame_bytes = 0.0;
     let fast = timing::bench_batched("wire-encode fast", batch, target_ms, || {
         let mut w = ByteWriter::with_pool(&pool);
-        Message::encode_invoke(&mut w, 7, INTERFACE, "echo", &args, None);
+        Message::encode_invoke(&mut w, 7, INTERFACE, "echo", &args, None, None);
         let frame = w.into_bytes();
         frame_bytes = frame.len() as f64;
         pool.give(frame);

@@ -38,7 +38,8 @@ pub use fault::{FaultPlan, FaultStats, FaultyTransport, PartitionHandle};
 pub use pool::{BufferPool, PoolStats};
 pub use profile::LinkProfile;
 pub use reactor::{
-    current_stats, raise_nofile_limit, Backend, Reactor, ReactorStats, TimerKey, TimerWheel,
+    current_stats, raise_nofile_limit, Backend, FrameReassembler, FramingError, Reactor,
+    ReactorStats, TimerKey, TimerWheel,
 };
 pub use simnet::SimLink;
 pub use tcp::{TcpNetListener, TcpTransport};

@@ -390,6 +390,83 @@ impl ReadState {
     }
 }
 
+/// The byte stream violated the framing protocol: a length prefix
+/// exceeded [`MAX_LENGTH`]. The stream cannot be
+/// resynchronized — drop the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramingError;
+
+impl std::fmt::Display for FramingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("frame length prefix exceeds the maximum frame size")
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+/// Incremental frame reassembly over the reactor's wire format: a 4-byte
+/// little-endian length prefix followed by the body.
+///
+/// This wraps the exact state machine the reactor feeds socket reads
+/// through, exposed so tests and alternative transports can drive it with
+/// arbitrary byte streams. Torn input accumulates across `feed` calls;
+/// completed frames pop out in order; an impossible length prefix
+/// (> [`MAX_LENGTH`]) is a permanent
+/// [`FramingError`] — the reassembler rejects all further input rather
+/// than allocating an attacker-controlled buffer.
+#[derive(Default)]
+pub struct FrameReassembler {
+    state: Option<ReadState>,
+    poisoned: bool,
+}
+
+impl FrameReassembler {
+    /// An empty reassembler awaiting the first header byte.
+    pub fn new() -> FrameReassembler {
+        FrameReassembler::default()
+    }
+
+    /// Feeds raw bytes in, returning the frames they completed (possibly
+    /// none — the input may end mid-header or mid-body).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FramingError`] when a length prefix exceeds the maximum
+    /// frame size; the reassembler stays poisoned and every later `feed`
+    /// fails too.
+    pub fn feed(&mut self, buf: &[u8]) -> Result<Vec<Vec<u8>>, FramingError> {
+        if self.poisoned {
+            return Err(FramingError);
+        }
+        let state = self.state.get_or_insert_with(ReadState::new);
+        let mut frames = Vec::new();
+        if state.feed(buf, &mut frames) {
+            Ok(frames)
+        } else {
+            self.poisoned = true;
+            self.state = None;
+            Err(FramingError)
+        }
+    }
+
+    /// Bytes of partial-frame state currently buffered (header bytes plus
+    /// body bytes received so far). Bounded by 4 +
+    /// [`MAX_LENGTH`] by construction.
+    pub fn buffered(&self) -> usize {
+        self.state
+            .as_ref()
+            .map(|s| s.hdr_len + s.body.len())
+            .unwrap_or(0)
+    }
+
+    /// Capacity of the in-progress body buffer — what `feed` has actually
+    /// allocated. Never exceeds [`MAX_LENGTH`]:
+    /// the length prefix is validated *before* the allocation.
+    pub fn buffered_capacity(&self) -> usize {
+        self.state.as_ref().map(|s| s.body.capacity()).unwrap_or(0)
+    }
+}
+
 struct OutFrame {
     prefix: [u8; 4],
     body: Vec<u8>,

@@ -1,0 +1,113 @@
+//! Fuzz-style properties of the reactor's frame reassembly state machine:
+//! arbitrary byte streams never panic it or make it allocate beyond
+//! [`MAX_LENGTH`], torn-but-valid streams reassemble exactly, and an
+//! impossible length prefix is a clean, permanent framing error. Driven
+//! by the deterministic [`SimRng`] so failures reproduce from the seed.
+
+use alfredo_net::wire::MAX_LENGTH;
+use alfredo_net::{FrameReassembler, FramingError};
+use alfredo_sim::SimRng;
+
+const SEED: u64 = 0x00f7_a3e5_5eed;
+
+fn rand_bytes(rng: &mut SimRng, max: usize) -> Vec<u8> {
+    let len = rng.next_below(max as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Splits `stream` into chunks at random boundaries (including empty
+/// chunks, which a socket read never produces but the API tolerates).
+fn random_chunks(rng: &mut SimRng, stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut rest = stream;
+    while !rest.is_empty() {
+        let take = rng.next_below(rest.len() as u64 + 1) as usize;
+        chunks.push(rest[..take].to_vec());
+        rest = &rest[take..];
+    }
+    chunks
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn arbitrary_streams_never_panic_or_overallocate() {
+    let mut rng = SimRng::seed_from(SEED);
+    for _ in 0..500 {
+        let mut asm = FrameReassembler::new();
+        let mut poisoned = false;
+        for _ in 0..8 {
+            let chunk = rand_bytes(&mut rng, 64);
+            let out = asm.feed(&chunk);
+            // Random length prefixes are usually impossible (> 16 MiB);
+            // the reassembler must reject them *before* allocating.
+            assert!(
+                asm.buffered_capacity() as u64 <= MAX_LENGTH,
+                "allocated {} for arbitrary input",
+                asm.buffered_capacity()
+            );
+            assert!(asm.buffered() as u64 <= 4 + MAX_LENGTH);
+            if poisoned {
+                assert_eq!(out, Err(FramingError), "poisoning must be permanent");
+            }
+            poisoned = out.is_err();
+        }
+    }
+}
+
+#[test]
+fn torn_valid_streams_reassemble_exactly() {
+    let mut rng = SimRng::seed_from(SEED ^ 1);
+    for _ in 0..250 {
+        let bodies: Vec<Vec<u8>> = (0..1 + rng.next_below(5))
+            .map(|_| rand_bytes(&mut rng, 48))
+            .collect();
+        let stream: Vec<u8> = bodies.iter().flat_map(|b| frame(b)).collect();
+        let mut asm = FrameReassembler::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for chunk in random_chunks(&mut rng, &stream) {
+            got.extend(asm.feed(&chunk).expect("valid stream must not error"));
+        }
+        assert_eq!(got, bodies, "chunking must not alter frame contents");
+        assert_eq!(asm.buffered(), 0, "a complete stream leaves nothing torn");
+    }
+}
+
+#[test]
+fn mid_frame_truncation_is_buffered_not_an_error() {
+    let full = frame(&[7u8; 32]);
+    for cut in 0..full.len() {
+        let mut asm = FrameReassembler::new();
+        let frames = asm
+            .feed(&full[..cut])
+            .expect("torn prefix is not a protocol violation");
+        assert!(frames.is_empty(), "cut at {cut} produced a frame");
+        assert_eq!(asm.buffered(), cut, "cut at {cut}");
+        // The tail still completes the frame.
+        let frames = asm.feed(&full[cut..]).expect("tail completes cleanly");
+        assert_eq!(frames, vec![vec![7u8; 32]]);
+    }
+}
+
+#[test]
+fn oversize_prefix_is_a_clean_permanent_error() {
+    let mut asm = FrameReassembler::new();
+    let bad = ((MAX_LENGTH + 1) as u32).to_le_bytes();
+    assert_eq!(asm.feed(&bad), Err(FramingError));
+    assert_eq!(
+        asm.buffered_capacity(),
+        0,
+        "no allocation for a rejected prefix"
+    );
+    // Even a well-formed follow-up cannot resynchronize the stream.
+    assert_eq!(asm.feed(&frame(b"ok")), Err(FramingError));
+    assert_eq!(
+        FramingError.to_string(),
+        "frame length prefix exceeds the maximum frame size"
+    );
+}

@@ -96,6 +96,11 @@ pub enum ServiceCallError {
         /// Suggested minimum delay before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The caller's deadline expired before the serving side executed the
+    /// call, so it was dropped without running. Because the call never
+    /// ran, retrying is always safe — but the caller's budget is gone, so
+    /// the useful reaction is usually to give up or degrade.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServiceCallError {
@@ -108,6 +113,9 @@ impl fmt::Display for ServiceCallError {
             ServiceCallError::Remote(msg) => write!(f, "remote invocation failed: {msg}"),
             ServiceCallError::Busy { retry_after_ms } => {
                 write!(f, "service busy, retry after {retry_after_ms} ms")
+            }
+            ServiceCallError::DeadlineExceeded => {
+                write!(f, "deadline expired before the call executed")
             }
         }
     }

@@ -32,6 +32,18 @@ use alfredo_sync::{Condvar, Mutex};
 /// caller pool rarely collides, small enough to keep the table compact.
 pub(crate) const SHARDS: usize = 16;
 
+/// Milliseconds of budget left until `deadline` — the per-attempt wire
+/// stamp for deadline propagation. Each attempt re-stamps its *remaining*
+/// time, so a retry after backoff ships a smaller budget than the first
+/// attempt. Returns `None` once the deadline has passed (the attempt is
+/// pointless and must not be sent); never returns `Some(0)`, which a
+/// receiver could not distinguish from already-expired.
+pub(crate) fn remaining_budget_ms(deadline: std::time::Instant) -> Option<u64> {
+    let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+    let ms = remaining.as_millis().min(u128::from(u64::MAX)) as u64;
+    Some(ms.max(1))
+}
+
 /// One-shot rendezvous cell for a single outstanding call.
 ///
 /// The lifecycle is `Waiting` → `Done(outcome)`; [`CallTable::register`]
@@ -213,6 +225,20 @@ impl<T> CallTable<T> {
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn remaining_budget_stamps_positive_or_nothing() {
+        let future = std::time::Instant::now() + Duration::from_millis(250);
+        let ms = remaining_budget_ms(future).expect("future deadline has budget");
+        assert!((1..=250).contains(&ms), "{ms}");
+        let past = std::time::Instant::now() - Duration::from_millis(1);
+        assert_eq!(remaining_budget_ms(past), None);
+        // A deadline a hair away stamps at least 1 ms, never 0.
+        let hair = std::time::Instant::now() + Duration::from_micros(10);
+        if let Some(ms) = remaining_budget_ms(hair) {
+            assert!(ms >= 1);
+        }
+    }
 
     #[test]
     fn complete_routes_to_waiter() {

@@ -42,7 +42,7 @@ use alfredo_journal::Journal;
 use alfredo_net::{
     BufferPool, ByteWriter, CloseReason, FrameSink, Reactor, TimerWheel, Transport, TransportError,
 };
-use alfredo_obs::{Counter, Histogram, MetricsHandle, Obs, Span, SpanCtx};
+use alfredo_obs::{Counter, Gauge, Histogram, MetricsHandle, Obs, Span, SpanCtx};
 use alfredo_osgi::events::topic_matches;
 use alfredo_osgi::{
     BundleActivator, BundleArtifact, BundleContext, BundleId, CodeRegistry, Event, Framework, Json,
@@ -50,15 +50,16 @@ use alfredo_osgi::{
     ServiceInterfaceDesc, Value,
 };
 
-use crate::calls::{CallSlot, CallTable};
+use crate::calls::{remaining_budget_ms, CallSlot, CallTable};
 use crate::error::RosgiError;
 use crate::health::{
-    DisconnectReason, HealthEvent, HealthMonitor, HealthState, HeartbeatConfig, RetryPolicy,
+    BreakerConfig, CircuitBreaker, DisconnectReason, HealthEvent, HealthMonitor, HealthState,
+    HeartbeatConfig, RetryBudget, RetryBudgetConfig, RetryPolicy,
 };
 use crate::lease::{LeaseTable, RemoteServiceInfo};
 use crate::message::{Message, PROTOCOL_VERSION};
 use crate::proxy::{Invoker, RemoteServiceProxy, SmartProxySpec};
-use crate::serve::ServeQueue;
+use crate::serve::{ServeQueue, SubmitOutcome};
 use crate::stream::{
     chunks_of, CreditGate, StreamData, StreamId, StreamReceiver, DEFAULT_CHUNK_SIZE,
     DEFAULT_INITIAL_CREDITS,
@@ -92,6 +93,12 @@ pub const PROP_EVENT_REMOTE: &str = "event.remote";
 /// invocation under a [`RetryPolicy`]. Unlisted methods are never retried
 /// — at-least-once delivery is only safe when re-execution is harmless.
 pub const PROP_IDEMPOTENT_METHODS: &str = "rosgi.idempotent.methods";
+
+/// The [`ServiceCallError::Remote`] message used when the circuit breaker
+/// fast-fails an invocation locally, without touching the wire. Callers
+/// (AlfredO's session layer) match on it to route breaker-open failures
+/// into the same degradation path as a detected outage.
+pub const ERR_CIRCUIT_OPEN: &str = "circuit open";
 
 /// Endpoint configuration.
 #[derive(Clone)]
@@ -161,6 +168,25 @@ pub struct EndpointConfig {
     /// (no dedicated thread) on any endpoint, or redirects sink-mode
     /// endpoints to a private wheel.
     pub timer: Option<TimerWheel>,
+    /// Circuit breaker guarding the invoke path. The default (threshold
+    /// 0) disables it — one dead branch on the fast path. With a
+    /// threshold, consecutive wire-level invoke failures trip the circuit
+    /// Open and every further invoke fast-fails locally with
+    /// [`ERR_CIRCUIT_OPEN`] until a heartbeat-driven half-open probe
+    /// succeeds.
+    pub breaker: BreakerConfig,
+    /// Retry budget (token bucket) bounding the endpoint's total retry
+    /// volume across *all* calls. The default (0 tokens) disables it;
+    /// with a capacity, each retry withdraws a token and each success
+    /// deposits a fraction of one, so a sustained outage caps retry
+    /// amplification instead of multiplying it per call.
+    pub retry_budget: RetryBudgetConfig,
+    /// Stamp the caller's remaining time budget on every outgoing
+    /// `Invoke` as an optional trailing wire field, letting the serving
+    /// side shed calls whose deadline already expired *before* executing
+    /// them. Off by default: an undeadlined frame stays byte-identical
+    /// to the previous wire format.
+    pub propagate_deadline: bool,
 }
 
 /// Dials a replacement transport for a reconnecting endpoint.
@@ -229,6 +255,9 @@ impl Default for EndpointConfig {
             serve_queue: None,
             journal: None,
             timer: None,
+            breaker: BreakerConfig::default(),
+            retry_budget: RetryBudgetConfig::default(),
+            propagate_deadline: false,
         }
     }
 }
@@ -313,6 +342,25 @@ impl EndpointConfig {
         self.timer = Some(wheel);
         self
     }
+
+    /// Builder-style: guards the invoke path with a circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Builder-style: bounds total retry volume with a token bucket.
+    pub fn with_retry_budget(mut self, budget: RetryBudgetConfig) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Builder-style: stamps the remaining time budget on outgoing
+    /// invocations (see [`EndpointConfig::propagate_deadline`]).
+    pub fn with_deadline_propagation(mut self) -> Self {
+        self.propagate_deadline = true;
+        self
+    }
 }
 
 impl fmt::Debug for EndpointConfig {
@@ -392,6 +440,19 @@ pub struct EndpointStats {
     /// `Busy` retries whose backoff honored the peer's retry-after hint
     /// instead of the fixed schedule.
     pub busy_hint_retries: u64,
+    /// Incoming invocations dropped because the caller's propagated
+    /// deadline expired before execution (answered with
+    /// `DeadlineExceeded`, never run).
+    pub shed_expired: u64,
+    /// Incoming invocations shed at enqueue because the estimated queue
+    /// wait already exceeded the remaining deadline budget.
+    pub shed_predicted: u64,
+    /// Retries suppressed because the endpoint's retry budget was empty.
+    pub retry_budget_exhausted: u64,
+    /// Invocations fast-failed locally while the circuit was open.
+    pub breaker_fast_fails: u64,
+    /// Circuit breaker state: 0 = closed, 1 = open, 2 = half-open.
+    pub breaker_state: i64,
     /// Connections currently registered with the reactor. Process-wide
     /// (all endpoints share the reactor), read from the `net.*` gauges.
     pub open_connections: u64,
@@ -478,6 +539,13 @@ struct Counters {
     busy_sent: Counter,
     busy_received: Counter,
     busy_hint_retries: Counter,
+    shed_expired: Counter,
+    shed_predicted: Counter,
+    retry_budget_exhausted: Counter,
+    breaker_fast_fails: Counter,
+    /// Mirrors [`CircuitBreaker::state_code`] so the breaker's state is
+    /// visible in the `/metrics` dump alongside the counters it explains.
+    breaker_state: Gauge,
     /// Caller-observed invoke round-trip, microseconds. Only recorded
     /// when tracing is enabled (it needs clock reads the disabled fast
     /// path must not pay).
@@ -505,6 +573,11 @@ impl Counters {
             busy_sent: metrics.counter("rosgi.busy_sent"),
             busy_received: metrics.counter("rosgi.busy_received"),
             busy_hint_retries: metrics.counter("rosgi.busy_hint_retries"),
+            shed_expired: metrics.counter("rosgi.shed_expired"),
+            shed_predicted: metrics.counter("rosgi.shed_predicted"),
+            retry_budget_exhausted: metrics.counter("rosgi.retry_budget_exhausted"),
+            breaker_fast_fails: metrics.counter("rosgi.breaker_fast_fails"),
+            breaker_state: metrics.gauge("rosgi.breaker_state"),
             invoke_rtt_us: metrics.histogram("rosgi.invoke_rtt_us"),
             serve_us: metrics.histogram("rosgi.serve_us"),
         }
@@ -545,6 +618,10 @@ struct Inner {
     /// reader must not attempt reconnection even if one is configured.
     shutdown: AtomicBool,
     health: HealthMonitor,
+    /// Circuit breaker guarding the invoke path (a no-op when disabled).
+    breaker: CircuitBreaker,
+    /// Token bucket bounding total retry volume (a no-op when disabled).
+    retry_budget: RetryBudget,
     disconnect_reason: Mutex<DisconnectReason>,
     /// Wakes/stops the heartbeat thread.
     hb_stop: (Sender<()>, Receiver<()>),
@@ -599,6 +676,8 @@ impl RemoteEndpoint {
         let obs = config.obs.with_fresh_metrics();
         let counters = Counters::register(obs.metrics());
         let conn_ctx = obs.current();
+        let breaker = CircuitBreaker::new(config.breaker);
+        let retry_budget = RetryBudget::new(config.retry_budget);
         let inner = Arc::new(Inner {
             transport: RwLock::new(transport),
             framework,
@@ -623,6 +702,8 @@ impl RemoteEndpoint {
             closed: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             health: HealthMonitor::new(),
+            breaker,
+            retry_budget,
             disconnect_reason: Mutex::new(DisconnectReason::None),
             hb_stop: channel::bounded(4),
             done: (Mutex::new(false), Condvar::new()),
@@ -812,6 +893,11 @@ impl RemoteEndpoint {
             busy_sent: c.busy_sent.get(),
             busy_received: c.busy_received.get(),
             busy_hint_retries: c.busy_hint_retries.get(),
+            shed_expired: c.shed_expired.get(),
+            shed_predicted: c.shed_predicted.get(),
+            retry_budget_exhausted: c.retry_budget_exhausted.get(),
+            breaker_fast_fails: c.breaker_fast_fails.get(),
+            breaker_state: self.inner.breaker.state_code(),
             open_connections: net.open_connections,
             io_threads: net.io_threads,
             timer_entries: net.timer_entries,
@@ -1104,8 +1190,13 @@ impl RemoteEndpoint {
         method: &str,
         args: &[Value],
     ) -> Result<CallHandle, RosgiError> {
+        let deadline = self
+            .inner
+            .config
+            .propagate_deadline
+            .then(|| Instant::now() + self.inner.config.invoke_timeout);
         self.inner
-            .invoke_async_inner(interface, method, args)
+            .invoke_async_inner(interface, method, args, deadline)
             .map_err(|e| match e {
                 ServiceCallError::ServiceGone => RosgiError::Closed,
                 other => RosgiError::Call(other),
@@ -1300,6 +1391,7 @@ impl CallHandle {
                 Err(ServiceCallError::Remote("timeout".into()))
             }
         };
+        inner.record_invoke_outcome(&outcome);
         if let Some(t0) = started {
             inner.counters.invoke_rtt_us.record_duration(t0.elapsed());
         }
@@ -1440,6 +1532,54 @@ impl Inner {
         }
     }
 
+    /// Pushes the breaker's current state into the `rosgi.breaker_state`
+    /// gauge (one relaxed store). Called after any operation that may
+    /// have moved the state machine.
+    fn sync_breaker_gauge(&self) {
+        self.counters.breaker_state.set(self.breaker.state_code());
+    }
+
+    /// Feeds one completed invoke outcome to the breaker and the retry
+    /// budget. Wire-level failures (send failure, response timeout —
+    /// exactly the [`is_retryable`] set) count against the breaker; any
+    /// *answered* call — success, `Busy`, `DeadlineExceeded`, or an
+    /// application error — proves the peer alive. Only genuine successes
+    /// refill the retry budget.
+    fn record_invoke_outcome(&self, outcome: &Result<Value, ServiceCallError>) {
+        match outcome {
+            Ok(_) => {
+                self.retry_budget.deposit();
+                self.breaker.record_success();
+            }
+            Err(e) if is_retryable(e) => {
+                self.breaker.record_failure();
+            }
+            Err(_) => self.breaker.record_success(),
+        }
+        self.sync_breaker_gauge();
+    }
+
+    /// Answers `call_id` with `DeadlineExceeded` *without executing it*:
+    /// the caller's budget ran out before the call reached a worker.
+    /// `predicted` distinguishes enqueue-time shedding (the estimated
+    /// queue wait already exceeded the budget) from a deadline that
+    /// actually expired before execution.
+    fn shed_deadline(&self, call_id: u64, predicted: bool) {
+        if predicted {
+            self.counters.shed_predicted.inc();
+        } else {
+            self.counters.shed_expired.inc();
+        }
+        let result: CallResult = Err(ServiceCallError::DeadlineExceeded);
+        if self.config.legacy_invoke_path {
+            let _ = self.send(&Message::Response { call_id, result });
+        } else {
+            let mut w = ByteWriter::with_pool(&self.pool);
+            Message::encode_response(&mut w, call_id, &result);
+            let _ = self.send_frame(w.into_bytes());
+        }
+    }
+
     /// Records why the wire went down. The first cause per outage wins
     /// (a peer `Bye` beats the transport-closed error it provokes); a
     /// successful reconnect clears the slot for the next outage.
@@ -1513,6 +1653,10 @@ impl Inner {
         }
         self.leases.lock().reset(fresh);
         self.counters.reconnects.inc();
+        // A fresh wire voids the old circuit's evidence: the breaker
+        // re-closes and failures are counted from scratch.
+        self.breaker.reset();
+        self.sync_breaker_gauge();
         *self.disconnect_reason.lock() = DisconnectReason::None;
         self.health.transition(HealthState::Healthy);
     }
@@ -1537,14 +1681,23 @@ impl Inner {
     ) -> Result<Value, ServiceCallError> {
         let retry = self.config.retry;
         if retry.max_retries == 0 {
-            // Hot path: no deadline arithmetic, no lease lookup.
-            return self.invoke_async_inner(interface, method, args)?.wait();
+            // Hot path: no deadline arithmetic, no lease lookup. With
+            // deadline propagation on, the wire budget is the invoke
+            // timeout — there is no retry schedule to carve it from.
+            let deadline = self
+                .config
+                .propagate_deadline
+                .then(|| Instant::now() + self.config.invoke_timeout);
+            return self
+                .invoke_async_inner(interface, method, args, deadline)?
+                .wait();
         }
         let deadline = Instant::now() + retry.deadline;
+        let wire_deadline = self.config.propagate_deadline.then_some(deadline);
         let mut attempt = 0u32;
         loop {
             let outcome = self
-                .invoke_async_inner(interface, method, args)
+                .invoke_async_inner(interface, method, args, wire_deadline)
                 .and_then(CallHandle::wait);
             match outcome {
                 Err(ref e)
@@ -1559,6 +1712,15 @@ impl Inner {
                             _ => is_retryable(e) && self.is_idempotent(interface, method),
                         } =>
                 {
+                    // Every retry — Busy included — spends one token from
+                    // the endpoint-wide budget. An empty bucket means the
+                    // link is already saturated with re-sent traffic;
+                    // failing fast here is what caps a synchronized
+                    // retry storm's amplification.
+                    if !self.retry_budget.try_withdraw() {
+                        self.counters.retry_budget_exhausted.inc();
+                        return outcome;
+                    }
                     self.counters.retries.inc();
                     // A Busy rejection carries the server's own estimate of
                     // when queue space frees up; that hint *replaces* the
@@ -1593,10 +1755,29 @@ impl Inner {
         interface: &str,
         method: &str,
         args: &[Value],
+        deadline: Option<Instant>,
     ) -> Result<CallHandle, ServiceCallError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(ServiceCallError::ServiceGone);
         }
+        // An Open circuit fast-fails before any wire work: no frame, no
+        // call slot, no retry fuel burned against a peer known to be
+        // failing. One branch when the breaker is disabled.
+        if !self.breaker.allow() {
+            self.counters.breaker_fast_fails.inc();
+            return Err(ServiceCallError::Remote(ERR_CIRCUIT_OPEN.into()));
+        }
+        // Per-attempt deadline stamp: each attempt ships its *remaining*
+        // budget, so a retry after backoff advertises less time than the
+        // first attempt did. A deadline that already passed fails here —
+        // the frame could only be shed on arrival anyway.
+        let deadline_ms = match deadline {
+            Some(d) => match remaining_budget_ms(d) {
+                Some(ms) => Some(ms),
+                None => return Err(ServiceCallError::DeadlineExceeded),
+            },
+            None => None,
+        };
         // Validate injected struct types client-side before paying for the
         // round trip (the server validates again on its side). Skipped
         // while no types have been injected — empty registries accept
@@ -1628,12 +1809,15 @@ impl Inner {
             })
         } else {
             let mut w = ByteWriter::with_pool(&self.pool);
-            Message::encode_invoke(&mut w, call_id, interface, method, args, trace);
+            Message::encode_invoke(&mut w, call_id, interface, method, args, trace, deadline_ms);
             self.send_frame(w.into_bytes())
         };
         if sent.is_err() {
             self.calls.cancel(call_id);
             self.calls.recycle(call_id, slot);
+            // A failed send is wire-level evidence, same as a timeout.
+            self.breaker.record_failure();
+            self.sync_breaker_gauge();
             span.set("outcome", "send-failed");
             return Err(ServiceCallError::ServiceGone);
         }
@@ -1773,7 +1957,7 @@ impl Inner {
                 interface,
                 method,
                 args,
-            } => self.dispatch_invoke(call_id, interface, method, args, None),
+            } => self.dispatch_invoke(call_id, interface, method, args, None, None),
             Message::Response { call_id, result } => {
                 if matches!(result, Err(ServiceCallError::Busy { .. })) {
                     self.counters.busy_received.inc();
@@ -1844,7 +2028,9 @@ impl Inner {
     /// configured — the endpoint's historical behaviour) or through the
     /// bounded [`ServeQueue`]. A queue rejection answers the caller with
     /// [`ServiceCallError::Busy`] *without executing the call*, which is
-    /// what makes the caller's unconditional retry of `Busy` safe.
+    /// what makes the caller's unconditional retry of `Busy` safe; an
+    /// expired or unmeetable propagated deadline is answered with
+    /// `DeadlineExceeded` under the same never-executed guarantee.
     fn dispatch_invoke(
         self: &Arc<Self>,
         call_id: u64,
@@ -1852,30 +2038,49 @@ impl Inner {
         method: String,
         args: Vec<Value>,
         trace: Option<SpanCtx>,
+        deadline: Option<Instant>,
     ) {
         let Some(queue) = &self.config.serve_queue else {
+            // Inline serving still honors the caller's deadline: an
+            // expired call is answered, never executed.
+            if deadline.is_some_and(|d| remaining_budget_ms(d).is_none()) {
+                self.shed_deadline(call_id, false);
+                return;
+            }
             self.serve_and_respond(call_id, &interface, &method, &args, trace);
             return;
         };
         let peer = self.remote_peer.lock().clone();
         let this = Arc::clone(self);
-        let accepted = queue.submit(
-            &peer,
-            Box::new(move || {
-                this.serve_and_respond(call_id, &interface, &method, &args, trace);
-            }),
-        );
-        if !accepted {
-            self.counters.busy_sent.inc();
-            let result: Result<Value, ServiceCallError> = Err(ServiceCallError::Busy {
-                retry_after_ms: queue.retry_after_ms(),
-            });
-            if self.config.legacy_invoke_path {
-                let _ = self.send(&Message::Response { call_id, result });
-            } else {
-                let mut w = ByteWriter::with_pool(&self.pool);
-                Message::encode_response(&mut w, call_id, &result);
-                let _ = self.send_frame(w.into_bytes());
+        let job = Box::new(move || {
+            this.serve_and_respond(call_id, &interface, &method, &args, trace);
+        });
+        // The expiry responder runs on a worker thread if the deadline
+        // lapses while the entry is queued — the job itself never runs.
+        let on_expired = deadline.map(|_| {
+            let this = Arc::clone(self);
+            Box::new(move || this.shed_deadline(call_id, false)) as Box<dyn FnOnce() + Send>
+        });
+        match queue.submit_with_deadline(&peer, job, deadline, on_expired) {
+            SubmitOutcome::Accepted => {}
+            SubmitOutcome::Shed => {
+                // Shed at enqueue: either the deadline already lapsed in
+                // flight, or the predicted queue wait exceeds what's left.
+                let predicted = deadline.is_some_and(|d| remaining_budget_ms(d).is_some());
+                self.shed_deadline(call_id, predicted);
+            }
+            SubmitOutcome::Busy => {
+                self.counters.busy_sent.inc();
+                let result: CallResult = Err(ServiceCallError::Busy {
+                    retry_after_ms: queue.retry_after_ms(),
+                });
+                if self.config.legacy_invoke_path {
+                    let _ = self.send(&Message::Response { call_id, result });
+                } else {
+                    let mut w = ByteWriter::with_pool(&self.pool);
+                    Message::encode_response(&mut w, call_id, &result);
+                    let _ = self.send_frame(w.into_bytes());
+                }
             }
         }
     }
@@ -2189,8 +2394,13 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
             continue;
         }
         inner.counters.heartbeats_sent.inc();
+        // An Open circuit whose cooldown elapsed admits one half-open
+        // probe; the regular heartbeat ping doubles as that probe, so
+        // recovery costs no extra wire traffic.
+        inner.breaker.try_probe();
         match inner.ping_inner(hb.timeout) {
             Ok(_) => {
+                inner.breaker.probe_succeeded();
                 misses = 0;
                 inner.leases.lock().renew_all(Instant::now());
                 inner
@@ -2198,6 +2408,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
                     .transition_from(HealthState::Degraded, HealthState::Healthy);
             }
             Err(RosgiError::Transport(TransportError::Timeout)) => {
+                inner.breaker.probe_failed();
                 misses += 1;
                 inner.counters.heartbeats_missed.inc();
                 if misses >= hb.disconnected_after {
@@ -2217,6 +2428,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: HeartbeatConfig, stop: Receiver<()>) {
                 // handling it; nothing for the heartbeat to declare.
             }
         }
+        inner.sync_breaker_gauge();
     }
 }
 
@@ -2268,6 +2480,9 @@ impl HbTick {
         if let Some((nonce, rx, sent_at)) = self.pending.take() {
             match rx.try_recv() {
                 Ok(()) => {
+                    // A pong launched while the circuit was half-open is
+                    // the probe outcome that re-closes it.
+                    inner.breaker.probe_succeeded();
                     self.misses = 0;
                     inner.leases.lock().renew_all(Instant::now());
                     inner
@@ -2282,6 +2497,7 @@ impl HbTick {
                     // Timed out — or teardown dropped the waiter, in
                     // which case the reconnect path already owns the
                     // outage and the miss count is moot.
+                    inner.breaker.probe_failed();
                     inner.pending_pings.lock().remove(&nonce);
                     self.misses += 1;
                     inner.counters.heartbeats_missed.inc();
@@ -2303,6 +2519,9 @@ impl HbTick {
         // Launch a fresh probe when none is in flight and the wire is up
         // (reconnection owns a Disconnected wire; probing it is noise).
         if self.pending.is_none() && inner.health.state() != HealthState::Disconnected {
+            // If the circuit is Open and cooled down, this ping *is* the
+            // half-open probe; its harvest above decides the next state.
+            inner.breaker.try_probe();
             let nonce = inner.next_id.fetch_add(1, Ordering::Relaxed);
             let (tx, rx) = channel::bounded(1);
             inner.pending_pings.lock().insert(nonce, tx);
@@ -2314,6 +2533,7 @@ impl HbTick {
             }
         }
 
+        inner.sync_breaker_gauge();
         let wheel = self.wheel.clone();
         let interval = self.hb.interval;
         drop(inner);
@@ -2387,11 +2607,16 @@ fn process_frame(
                     // from. Only this (opted-in) path pays the copy;
                     // the args are already owned and move for free.
                     let (call_id, trace) = (inv.call_id, inv.trace);
+                    // Rebase the caller's relative budget onto the local
+                    // clock at arrival: from here on the queue ages it.
+                    let deadline = inv
+                        .deadline_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
                     let interface = inv.interface.to_owned();
                     let method = inv.method.to_owned();
                     let args = std::mem::take(&mut inv.args);
                     drop(inv);
-                    inner.dispatch_invoke(call_id, interface, method, args, trace);
+                    inner.dispatch_invoke(call_id, interface, method, args, trace, deadline);
                 } else {
                     inner.serve_and_respond(
                         inv.call_id,

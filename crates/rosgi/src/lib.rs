@@ -110,15 +110,16 @@ pub mod types;
 pub use discovery::{DiscoveryDirectory, ServiceUrl};
 pub use endpoint::{
     CallHandle, EndpointConfig, EndpointStats, FetchedService, ReconnectConfig, ReconnectFn,
-    RemoteEndpoint, ServiceParts, PROP_IDEMPOTENT_METHODS, PROP_TIER_DIGEST,
+    RemoteEndpoint, ServiceParts, ERR_CIRCUIT_OPEN, PROP_IDEMPOTENT_METHODS, PROP_TIER_DIGEST,
 };
 pub use error::RosgiError;
 pub use health::{
-    DisconnectReason, HealthEvent, HealthMonitor, HealthState, HeartbeatConfig, RetryPolicy,
+    BreakerConfig, BreakerState, CircuitBreaker, DisconnectReason, HealthEvent, HealthMonitor,
+    HealthState, HeartbeatConfig, RetryBudget, RetryBudgetConfig, RetryPolicy,
 };
 pub use lease::{recover_lease_grants, LeaseGrant, RemoteServiceInfo};
 pub use message::{BorrowedInvoke, Message};
 pub use proxy::{RemoteServiceProxy, SmartProxySpec};
-pub use serve::{ServeQueue, ServeQueueConfig, ServeQueueStats};
+pub use serve::{ServeQueue, ServeQueueConfig, ServeQueueStats, SubmitOutcome};
 pub use stream::{StreamId, StreamReceiver};
 pub use types::{TypeDescriptor, TypeRegistry};

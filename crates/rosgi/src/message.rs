@@ -151,6 +151,10 @@ pub struct BorrowedInvoke<'a> {
     pub args: Vec<Value>,
     /// Caller-side trace context, when the caller traced this call.
     pub trace: Option<SpanCtx>,
+    /// The caller's remaining deadline in milliseconds at send time, when
+    /// the caller propagates one. The serving side sheds the call (without
+    /// executing it) once this budget has elapsed.
+    pub deadline_ms: Option<u64>,
 }
 
 const TAG_HELLO: u8 = 1;
@@ -174,23 +178,53 @@ const TAG_BYE: u8 = 16;
 /// an `Invoke` frame.
 const TRACE_CONTEXT_MARKER: u8 = 1;
 
-/// Reads the optional trailing trace-context field of an `Invoke` frame:
-/// absent (reader already empty) means an untraced call.
-fn decode_trace_context(r: &mut ByteReader<'_>) -> Result<Option<SpanCtx>, WireError> {
-    if r.is_empty() {
-        return Ok(None);
+/// Marker byte introducing the optional trailing deadline field on an
+/// `Invoke` frame: the caller's remaining budget in milliseconds.
+const DEADLINE_MARKER: u8 = 2;
+
+/// The decoded optional trailing fields of an `Invoke` frame.
+struct InvokeTrailer {
+    trace: Option<SpanCtx>,
+    deadline_ms: Option<u64>,
+}
+
+/// Reads the optional trailing fields of an `Invoke` frame. Each field is
+/// a marker byte plus its payload; markers appear in strictly increasing
+/// order (trace context, then deadline), and any subset — including none —
+/// is valid. An empty trailer costs zero bytes, which keeps plain invokes
+/// byte-identical to the pre-trailer wire format.
+fn decode_invoke_trailer(r: &mut ByteReader<'_>) -> Result<InvokeTrailer, WireError> {
+    let mut trailer = InvokeTrailer {
+        trace: None,
+        deadline_ms: None,
+    };
+    let mut last = 0u8;
+    while !r.is_empty() {
+        let marker = r.u8()?;
+        if marker <= last {
+            return Err(WireError::InvalidTag {
+                context: "Invoke trailer (marker order)",
+                tag: marker,
+            });
+        }
+        last = marker;
+        match marker {
+            TRACE_CONTEXT_MARKER => {
+                trailer.trace = Some(SpanCtx {
+                    trace_id: r.varint()?,
+                    span_id: r.varint()?,
+                });
+            }
+            DEADLINE_MARKER => trailer.deadline_ms = Some(r.varint()?),
+            other => {
+                return Err(WireError::InvalidTag {
+                    context: "Invoke trailer",
+                    tag: other,
+                });
+            }
+        }
     }
-    let marker = r.u8()?;
-    if marker != TRACE_CONTEXT_MARKER {
-        return Err(WireError::InvalidTag {
-            context: "Invoke trace context",
-            tag: marker,
-        });
-    }
-    Ok(Some(SpanCtx {
-        trace_id: r.varint()?,
-        span_id: r.varint()?,
-    }))
+    Ok(trailer)
 }
 
 const ERR_NO_SUCH_METHOD: u8 = 0;
@@ -199,6 +233,7 @@ const ERR_FAILED: u8 = 2;
 const ERR_SERVICE_GONE: u8 = 3;
 const ERR_REMOTE: u8 = 4;
 const ERR_BUSY: u8 = 5;
+const ERR_DEADLINE: u8 = 6;
 
 impl Message {
     /// Encodes the message into a frame.
@@ -284,7 +319,7 @@ impl Message {
                 interface,
                 method,
                 args,
-            } => Message::encode_invoke(w, *call_id, interface, method, args, None),
+            } => Message::encode_invoke(w, *call_id, interface, method, args, None, None),
             Message::Response { call_id, result } => Message::encode_response(w, *call_id, result),
             Message::RemoteEvent { topic, properties } => {
                 w.put_u8(TAG_REMOTE_EVENT);
@@ -324,12 +359,15 @@ impl Message {
     /// would require. Wire-identical to encoding the owned message when
     /// `trace` is `None`.
     ///
-    /// The trace context is an **optional trailing field**: with tracing
-    /// disabled nothing is appended, so untraced frames are byte-for-byte
-    /// what PR 2 shipped (the wire-budget test pins this). With tracing
-    /// enabled a marker byte plus two varints carry the caller's
-    /// `trace_id`/`span_id` so the device side can parent its serve span
-    /// under the caller's rpc span.
+    /// The trace context and deadline are **optional trailing fields**:
+    /// with both disabled nothing is appended, so plain frames are
+    /// byte-for-byte what PR 2 shipped (the wire-budget test pins this).
+    /// With tracing enabled a marker byte plus two varints carry the
+    /// caller's `trace_id`/`span_id` so the device side can parent its
+    /// serve span under the caller's rpc span; with deadline propagation
+    /// enabled a marker byte plus one varint carries the caller's
+    /// remaining budget in milliseconds so the serving side can shed the
+    /// call instead of executing already-expired work.
     pub fn encode_invoke(
         w: &mut ByteWriter,
         call_id: u64,
@@ -337,6 +375,7 @@ impl Message {
         method: &str,
         args: &[Value],
         trace: Option<SpanCtx>,
+        deadline_ms: Option<u64>,
     ) {
         w.put_u8(TAG_INVOKE);
         w.put_varint(call_id);
@@ -350,6 +389,10 @@ impl Message {
             w.put_u8(TRACE_CONTEXT_MARKER);
             w.put_varint(ctx.trace_id);
             w.put_varint(ctx.span_id);
+        }
+        if let Some(ms) = deadline_ms {
+            w.put_u8(DEADLINE_MARKER);
+            w.put_varint(ms);
         }
     }
 
@@ -419,19 +462,16 @@ impl Message {
         for _ in 0..n {
             args.push(decode_value(&mut r)?);
         }
-        let trace = decode_trace_context(&mut r)?;
-        if !r.is_empty() {
-            return Err(WireError::InvalidTag {
-                context: "BorrowedInvoke (trailing bytes)",
-                tag: 0,
-            });
-        }
+        // The trailer decoder consumes the rest of the frame, rejecting
+        // unknown markers — so trailing garbage still fails cleanly.
+        let trailer = decode_invoke_trailer(&mut r)?;
         Ok(BorrowedInvoke {
             call_id,
             interface,
             method,
             args,
-            trace,
+            trace: trailer.trace,
+            deadline_ms: trailer.deadline_ms,
         })
     }
 
@@ -529,10 +569,10 @@ impl Message {
                 for _ in 0..n {
                     args.push(decode_value(r)?);
                 }
-                // The owned variant carries no trace context; consume and
-                // drop the optional trailing field so traced frames still
-                // decode (the borrowed path is the one that uses it).
-                decode_trace_context(r)?;
+                // The owned variant carries no trailer; consume and drop
+                // the optional trailing fields so traced or deadlined
+                // frames still decode (the borrowed path uses them).
+                decode_invoke_trailer(r)?;
                 Message::Invoke {
                     call_id,
                     interface,
@@ -609,6 +649,7 @@ fn encode_call_error(w: &mut ByteWriter, e: &ServiceCallError) {
             w.put_u8(ERR_BUSY);
             w.put_varint(*retry_after_ms);
         }
+        ServiceCallError::DeadlineExceeded => w.put_u8(ERR_DEADLINE),
     }
 }
 
@@ -623,6 +664,7 @@ fn decode_call_error(r: &mut ByteReader<'_>) -> Result<ServiceCallError, WireErr
         ERR_BUSY => ServiceCallError::Busy {
             retry_after_ms: r.varint()?,
         },
+        ERR_DEADLINE => ServiceCallError::DeadlineExceeded,
         other => {
             return Err(WireError::InvalidTag {
                 context: "ServiceCallError",
@@ -707,6 +749,10 @@ mod tests {
                 call_id: 80,
                 result: Err(ServiceCallError::Busy { retry_after_ms: 7 }),
             },
+            Message::Response {
+                call_id: 81,
+                result: Err(ServiceCallError::DeadlineExceeded),
+            },
             Message::RemoteEvent {
                 topic: "mouse/snapshot".into(),
                 properties: Properties::new().with("seq", 5i64),
@@ -764,6 +810,61 @@ mod tests {
                 let _ = Message::decode(&frame[..cut]);
             }
         }
+    }
+
+    #[test]
+    fn invoke_trailer_roundtrips_every_subset() {
+        let trace = Some(SpanCtx {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 42,
+        });
+        for (t, d) in [
+            (None, None),
+            (trace, None),
+            (None, Some(250u64)),
+            (trace, Some(250u64)),
+        ] {
+            let mut w = ByteWriter::new();
+            Message::encode_invoke(&mut w, 9, "a.B", "m", &[Value::I64(1)], t, d);
+            let frame = w.into_bytes();
+            let inv = Message::decode_invoke_borrowed(&frame).unwrap();
+            assert_eq!(inv.trace, t);
+            assert_eq!(inv.deadline_ms, d);
+            // The owned decoder drops the trailer but must accept it.
+            assert!(matches!(
+                Message::decode(&frame).unwrap(),
+                Message::Invoke { call_id: 9, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn invoke_trailer_rejects_bad_markers() {
+        let mut w = ByteWriter::new();
+        Message::encode_invoke(&mut w, 9, "a.B", "m", &[], None, None);
+        let plain = w.into_bytes();
+
+        // Unknown marker byte.
+        let mut bad = plain.clone();
+        bad.extend_from_slice(&[9, 0]);
+        assert!(Message::decode_invoke_borrowed(&bad).is_err());
+        assert!(Message::decode(&bad).is_err());
+
+        // Deadline before trace violates the canonical marker order.
+        let mut w = ByteWriter::new();
+        w.put_raw(&plain);
+        w.put_u8(2);
+        w.put_varint(10);
+        w.put_u8(1);
+        w.put_varint(1);
+        w.put_varint(2);
+        let out_of_order = w.into_bytes();
+        assert!(Message::decode_invoke_borrowed(&out_of_order).is_err());
+
+        // A duplicated marker is caught by the same ordering rule.
+        let mut dup = plain.clone();
+        dup.extend_from_slice(&[2, 10, 2, 10]);
+        assert!(Message::decode_invoke_borrowed(&dup).is_err());
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! * **Per-peer fairness** — workers drain peers round-robin, one job
 //!   per turn, so a chatty phone flooding its queue cannot starve the
 //!   others; it only ever consumes its own per-peer depth.
+//! * **Deadline-aware shedding** — when the caller propagates its
+//!   remaining deadline, an entry whose budget has elapsed is dropped
+//!   *before execution* (the worker runs its `on_expired` responder —
+//!   [`alfredo_osgi::ServiceCallError::DeadlineExceeded`] — instead of
+//!   the job), and a call predicted to miss its deadline while queued
+//!   (estimated wait from an EWMA of observed service times × depth) is
+//!   shed at enqueue. Both sheds mean the call never ran, so they compose
+//!   with non-idempotent methods.
 //!
 //! One queue is shared by every endpoint of a device (pass the same
 //! handle to each [`crate::EndpointConfig::with_serve_queue`]). The
@@ -27,12 +35,39 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use alfredo_sync::{Condvar, Mutex};
 
 /// A queued unit of serving work (decode → invoke → respond).
 type ServeJob = Box<dyn FnOnce() + Send>;
+
+/// One queued entry: the job, the caller's absolute deadline (when
+/// propagated), and the responder to run instead of the job if the
+/// deadline expires while queued.
+struct Entry {
+    job: ServeJob,
+    deadline: Option<Instant>,
+    on_expired: Option<ServeJob>,
+}
+
+/// How [`ServeQueue::submit_with_deadline`] disposed of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued; the job (or its expiry responder) will run on a worker.
+    Accepted,
+    /// Rejected by backpressure (peer/total depth, or shutdown): answer
+    /// `Busy` with the retry-after hint.
+    Busy,
+    /// Rejected because the caller's deadline has already elapsed or is
+    /// predicted to elapse before a worker reaches the entry: answer
+    /// `DeadlineExceeded`. The call never ran.
+    Shed,
+}
+
+/// EWMA weight: new sample counts 1/8, history 7/8 — smooth enough to
+/// ignore one outlier, fresh enough to track a load shift in ~10 calls.
+const EWMA_SHIFT: u32 = 3;
 
 /// Sizing and backpressure knobs for a [`ServeQueue`].
 #[derive(Debug, Clone)]
@@ -82,13 +117,19 @@ pub struct ServeQueueStats {
     pub rejected: u64,
     /// Jobs executed by a worker.
     pub served: u64,
+    /// Entries dropped by a worker because the caller's deadline expired
+    /// while queued — the job never executed.
+    pub shed_expired: u64,
+    /// Submissions rejected at enqueue because the estimated queue wait
+    /// exceeded the caller's remaining budget.
+    pub shed_predicted: u64,
     /// Jobs currently queued.
     pub depth: usize,
 }
 
 struct QueueState {
     /// Pending jobs per peer.
-    queues: HashMap<String, VecDeque<ServeJob>>,
+    queues: HashMap<String, VecDeque<Entry>>,
     /// Round-robin ring of peers with at least one pending job. A peer
     /// appears at most once; workers pop from the front and re-append
     /// the peer only if it still has work — one job per peer per turn.
@@ -104,6 +145,12 @@ struct QueueInner {
     submitted: AtomicU64,
     rejected: AtomicU64,
     served: AtomicU64,
+    shed_expired: AtomicU64,
+    shed_predicted: AtomicU64,
+    /// EWMA of observed job service time in nanoseconds (0 = no sample
+    /// yet). Workers update it after every executed job; submissions use
+    /// it to predict the queue wait for deadline shedding.
+    ewma_service_nanos: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -129,6 +176,9 @@ impl ServeQueue {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            shed_predicted: AtomicU64::new(0),
+            ewma_service_nanos: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         });
         let mut workers = inner.workers.lock();
@@ -154,25 +204,72 @@ impl ServeQueue {
     /// `Busy` — when the peer's queue or the whole queue is full, or the
     /// queue is shut down.
     pub fn submit(&self, peer: &str, job: ServeJob) -> bool {
+        self.submit_with_deadline(peer, job, None, None) == SubmitOutcome::Accepted
+    }
+
+    /// Enqueues `job` for `peer` with the caller's absolute `deadline`.
+    ///
+    /// Deadline handling, when `deadline` is `Some`:
+    ///
+    /// * **Already expired** → [`SubmitOutcome::Shed`], nothing queued.
+    /// * **Predicted to expire while queued** (estimated wait — the EWMA
+    ///   of observed service times × queued entries per worker — exceeds
+    ///   the remaining budget) → [`SubmitOutcome::Shed`], nothing queued.
+    /// * **Expires before a worker reaches the entry** → the worker runs
+    ///   `on_expired` instead of the job (counted in
+    ///   [`ServeQueueStats::shed_expired`]).
+    ///
+    /// In every shed case the job itself never executes, so shedding is
+    /// safe for non-idempotent calls.
+    pub fn submit_with_deadline(
+        &self,
+        peer: &str,
+        job: ServeJob,
+        deadline: Option<Instant>,
+        on_expired: Option<ServeJob>,
+    ) -> SubmitOutcome {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::SeqCst) {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return SubmitOutcome::Busy;
+        }
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                inner.shed_predicted.fetch_add(1, Ordering::Relaxed);
+                return SubmitOutcome::Shed;
+            }
+            let ewma = inner.ewma_service_nanos.load(Ordering::Relaxed);
+            if ewma > 0 {
+                // Entries ahead of this one, spread across the workers,
+                // each costing about one EWMA service time.
+                let queued_ahead = inner.state.lock().total as u64;
+                let per_worker = queued_ahead / inner.config.workers.max(1) as u64 + 1;
+                let estimated_wait = Duration::from_nanos(ewma.saturating_mul(per_worker));
+                if estimated_wait > remaining {
+                    inner.shed_predicted.fetch_add(1, Ordering::Relaxed);
+                    return SubmitOutcome::Shed;
+                }
+            }
         }
         let mut state = inner.state.lock();
         if state.total >= inner.config.total_depth {
             drop(state);
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return SubmitOutcome::Busy;
         }
         let queue = state.queues.entry(peer.to_owned()).or_default();
         if queue.len() >= inner.config.per_peer_depth {
             drop(state);
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return SubmitOutcome::Busy;
         }
         let was_empty = queue.is_empty();
-        queue.push_back(job);
+        queue.push_back(Entry {
+            job,
+            deadline,
+            on_expired,
+        });
         state.total += 1;
         if was_empty {
             state.ring.push_back(peer.to_owned());
@@ -180,7 +277,7 @@ impl ServeQueue {
         drop(state);
         inner.submitted.fetch_add(1, Ordering::Relaxed);
         inner.ready.notify_one();
-        true
+        SubmitOutcome::Accepted
     }
 
     /// Lifetime counters and current depth.
@@ -189,6 +286,8 @@ impl ServeQueue {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             served: self.inner.served.load(Ordering::Relaxed),
+            shed_expired: self.inner.shed_expired.load(Ordering::Relaxed),
+            shed_predicted: self.inner.shed_predicted.load(Ordering::Relaxed),
             depth: self.inner.state.lock().total,
         }
     }
@@ -216,12 +315,12 @@ impl std::fmt::Debug for ServeQueue {
 
 fn worker_loop(inner: &Arc<QueueInner>) {
     loop {
-        let job = {
+        let entry = {
             let mut state = inner.state.lock();
             loop {
                 if let Some(peer) = state.ring.pop_front() {
                     let queue = state.queues.get_mut(&peer).expect("ring peer has a queue");
-                    let job = queue.pop_front().expect("ring peer has a job");
+                    let entry = queue.pop_front().expect("ring peer has a job");
                     if queue.is_empty() {
                         state.queues.remove(&peer);
                     } else {
@@ -231,7 +330,7 @@ fn worker_loop(inner: &Arc<QueueInner>) {
                         state.ring.push_back(peer);
                     }
                     state.total -= 1;
-                    break job;
+                    break entry;
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -240,7 +339,32 @@ fn worker_loop(inner: &Arc<QueueInner>) {
                 state = guard;
             }
         };
-        job();
+        // The deadline gate sits immediately before execution: expired
+        // work is answered (not run), so a caller that already gave up
+        // never consumes device time.
+        if let Some(deadline) = entry.deadline {
+            if Instant::now() >= deadline {
+                inner.shed_expired.fetch_add(1, Ordering::Relaxed);
+                if let Some(respond) = entry.on_expired {
+                    respond();
+                }
+                continue;
+            }
+        }
+        let started = Instant::now();
+        (entry.job)();
+        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Lossy EWMA update: racing workers may drop each other's sample,
+        // which is fine for a load estimate.
+        let old = inner.ewma_service_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            nanos
+        } else {
+            old - (old >> EWMA_SHIFT) + (nanos >> EWMA_SHIFT)
+        };
+        inner
+            .ewma_service_nanos
+            .store(new.max(1), Ordering::Relaxed);
         inner.served.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -375,5 +499,121 @@ mod tests {
         q.shutdown();
         assert!(!q.submit("p", Box::new(|| {})));
         q.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn already_expired_submission_is_shed_not_busy() {
+        let q = ServeQueue::new(ServeQueueConfig::workers(1));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let outcome = q.submit_with_deadline(
+            "p",
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+            Some(std::time::Instant::now() - Duration::from_millis(1)),
+            None,
+        );
+        assert_eq!(outcome, SubmitOutcome::Shed);
+        q.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "shed call never ran");
+        let stats = q.stats();
+        assert_eq!(stats.shed_predicted, 1);
+        assert_eq!(stats.rejected, 0, "a shed is not a Busy rejection");
+    }
+
+    #[test]
+    fn queued_entry_expiring_runs_responder_not_job() {
+        let q = ServeQueue::new(ServeQueueConfig::workers(1));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        assert!(q.submit(
+            "blocker",
+            Box::new(move || {
+                let mut open = g.0.lock();
+                while !*open {
+                    let (guard, _) = g.1.wait_timeout(open, Duration::from_secs(5));
+                    open = guard;
+                }
+            })
+        ));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while q.stats().depth > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let ran = Arc::new(AtomicUsize::new(0));
+        let expired = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let e = Arc::clone(&expired);
+        assert_eq!(
+            q.submit_with_deadline(
+                "p",
+                Box::new(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+                Some(std::time::Instant::now() + Duration::from_millis(20)),
+                Some(Box::new(move || {
+                    e.fetch_add(1, Ordering::SeqCst);
+                })),
+            ),
+            SubmitOutcome::Accepted
+        );
+        // Hold the worker well past the entry's deadline, then release.
+        std::thread::sleep(Duration::from_millis(50));
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        q.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "expired job must not run");
+        assert_eq!(expired.load(Ordering::SeqCst), 1, "responder ran instead");
+        assert_eq!(q.stats().shed_expired, 1);
+    }
+
+    #[test]
+    fn predicted_wait_beyond_budget_sheds_at_enqueue() {
+        let q = ServeQueue::new(ServeQueueConfig::workers(1));
+        // Seed the EWMA with a slow job.
+        assert!(q.submit(
+            "p",
+            Box::new(|| std::thread::sleep(Duration::from_millis(40)))
+        ));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while q.stats().served < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        // Park the worker so queued depth is stable.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        assert!(q.submit(
+            "blocker",
+            Box::new(move || {
+                let mut open = g.0.lock();
+                while !*open {
+                    let (guard, _) = g.1.wait_timeout(open, Duration::from_secs(5));
+                    open = guard;
+                }
+            })
+        ));
+        // A 1 ms budget cannot survive an ~40 ms EWMA estimated wait.
+        let outcome = q.submit_with_deadline(
+            "p",
+            Box::new(|| {}),
+            Some(std::time::Instant::now() + Duration::from_millis(1)),
+            None,
+        );
+        assert_eq!(outcome, SubmitOutcome::Shed);
+        assert_eq!(q.stats().shed_predicted, 1);
+        // A roomy budget still gets in.
+        assert_eq!(
+            q.submit_with_deadline(
+                "p",
+                Box::new(|| {}),
+                Some(std::time::Instant::now() + Duration::from_secs(60)),
+                None,
+            ),
+            SubmitOutcome::Accepted
+        );
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        q.shutdown();
     }
 }

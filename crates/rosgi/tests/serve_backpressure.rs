@@ -11,7 +11,9 @@ use alfredo_net::{InMemoryNetwork, PeerAddr};
 use alfredo_osgi::{
     FnService, Framework, MethodSpec, ParamSpec, Properties, ServiceInterfaceDesc, TypeHint, Value,
 };
-use alfredo_rosgi::{EndpointConfig, RemoteEndpoint, RetryPolicy, ServeQueue, ServeQueueConfig};
+use alfredo_rosgi::{
+    EndpointConfig, RemoteEndpoint, RetryBudgetConfig, RetryPolicy, ServeQueue, ServeQueueConfig,
+};
 
 fn echo_interface() -> ServiceInterfaceDesc {
     ServiceInterfaceDesc::new(
@@ -230,6 +232,97 @@ fn busy_retries_honor_the_servers_hint() {
         elapsed < Duration::from_secs(5),
         "hinted backoff must beat the fixed schedule (took {elapsed:?})"
     );
+    ep.close();
+    queue.shutdown();
+}
+
+/// The retry-after hint and the endpoint-wide retry budget compose: while
+/// tokens remain, `Busy` retries follow the server's hint; once the
+/// bucket is empty the call fast-fails with the `Busy` it got, instead of
+/// blindly re-offering load to a saturated peer.
+#[test]
+fn retry_budget_bounds_busy_retries() {
+    let net = InMemoryNetwork::new();
+    // One worker, per-peer depth 1, slow service: with the worker pinned
+    // on a long call and the queue slot filled, every further call from
+    // this peer is answered `Busy { retry_after_ms: 1 }`.
+    let queue = ServeQueue::new(ServeQueueConfig {
+        workers: 1,
+        per_peer_depth: 1,
+        total_depth: 64,
+        retry_after: Duration::from_millis(1),
+    });
+    spawn_device(
+        &net,
+        "dev-budget",
+        Duration::from_millis(300),
+        queue.clone(),
+    );
+    let retry = RetryPolicy {
+        max_retries: 100,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(1),
+        deadline: Duration::from_secs(30),
+    };
+    let ep = connect(
+        &net,
+        "phone",
+        "dev-budget",
+        EndpointConfig::named("phone")
+            .with_retry(retry)
+            .with_retry_budget(RetryBudgetConfig::tokens(2)),
+    );
+
+    // Pin the worker and fill the single queue slot for ~300 ms each.
+    // Each submission is confirmed against the queue's depth before the
+    // next fires, so the Busy answers land deterministically on call 3.
+    let wait_depth = |queue: &ServeQueue, submitted: u64, depth: usize| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = queue.stats();
+            if s.submitted == submitted && s.depth == depth {
+                return;
+            }
+            assert!(std::time::Instant::now() < deadline, "queue stuck: {s:?}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+    let a = ep
+        .invoke_async("demo.SlowEcho", "echo", &[Value::I64(1)])
+        .unwrap();
+    wait_depth(&queue, 1, 0); // worker picked call 1 up
+    let b = ep
+        .invoke_async("demo.SlowEcho", "echo", &[Value::I64(2)])
+        .unwrap();
+    wait_depth(&queue, 2, 1); // call 2 holds the only queue slot
+
+    // The sync call is rejected, retries on the 1 ms hint twice (spending
+    // both budget tokens), and then fast-fails with the rejection.
+    let out = ep.invoke("demo.SlowEcho", "echo", &[Value::I64(3)]);
+    assert!(
+        matches!(
+            out,
+            Err(alfredo_rosgi::RosgiError::Call(
+                alfredo_osgi::ServiceCallError::Busy { .. }
+            ))
+        ),
+        "exhausted budget must surface the Busy rejection: {out:?}"
+    );
+    let stats = ep.stats();
+    assert_eq!(stats.retries, 2, "one retry per budget token: {stats:?}");
+    assert!(
+        stats.busy_hint_retries >= 1,
+        "retries that did run honored the hint: {stats:?}"
+    );
+    assert_eq!(
+        stats.retry_budget_exhausted, 1,
+        "the third retry attempt found the bucket empty: {stats:?}"
+    );
+
+    // The pinned calls still complete; their deposits (0.1 token each)
+    // are not enough to re-arm a whole retry token.
+    assert_eq!(a.wait().unwrap(), Value::I64(1));
+    assert_eq!(b.wait().unwrap(), Value::I64(2));
     ep.close();
     queue.shutdown();
 }

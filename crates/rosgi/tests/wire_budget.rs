@@ -19,6 +19,10 @@ const RESPONSE_FRAME_BUDGET: usize = 23;
 /// at most a marker byte plus two varint ids.
 const TRACE_CONTEXT_MAX_OVERHEAD: usize = 1 + 10 + 10;
 
+/// The deadline stamp is the second optional trailing field: a marker
+/// byte plus one varint of remaining milliseconds.
+const DEADLINE_MAX_OVERHEAD: usize = 1 + 10;
+
 fn canonical_args() -> Vec<Value> {
     vec![Value::I64(42), Value::Str("ping-pong payload".into())]
 }
@@ -31,6 +35,7 @@ fn canonical_invoke_frame() -> Vec<u8> {
         "alfredo.shop.CartService",
         "addItem",
         &canonical_args(),
+        None,
         None,
     );
     w.into_bytes()
@@ -72,6 +77,7 @@ fn traced_invoke_frame_roundtrips_and_stays_small() {
         "addItem",
         &canonical_args(),
         Some(ctx),
+        None,
     );
     let frame = w.into_bytes();
     let untraced = canonical_invoke_frame();
@@ -92,6 +98,71 @@ fn traced_invoke_frame_roundtrips_and_stays_small() {
     ));
     // A truncated trace context is rejected, not silently ignored.
     assert!(Message::decode_invoke_borrowed(&frame[..frame.len() - 1]).is_err());
+}
+
+/// The deadline stamp follows the same trailing-field contract the trace
+/// context established: absent → byte-identical frame, present → bounded
+/// overhead, truncated → clean rejection.
+#[test]
+fn deadlined_invoke_frame_roundtrips_and_stays_small() {
+    let mut w = ByteWriter::new();
+    Message::encode_invoke(
+        &mut w,
+        1000,
+        "alfredo.shop.CartService",
+        "addItem",
+        &canonical_args(),
+        None,
+        Some(u64::MAX),
+    );
+    let frame = w.into_bytes();
+    let undeadlined = canonical_invoke_frame();
+    assert!(
+        frame.len() <= undeadlined.len() + DEADLINE_MAX_OVERHEAD,
+        "deadline stamp added {} bytes (cap {DEADLINE_MAX_OVERHEAD})",
+        frame.len() - undeadlined.len()
+    );
+    // The deadlined frame is the plain frame plus a trailing field.
+    assert_eq!(&frame[..undeadlined.len()], undeadlined.as_slice());
+
+    let borrowed = Message::decode_invoke_borrowed(&frame).expect("borrowed decode");
+    assert_eq!(borrowed.deadline_ms, Some(u64::MAX));
+    assert_eq!(borrowed.trace, None);
+    // The owned decoder tolerates (and drops) the trailing field.
+    assert!(matches!(
+        Message::decode(&frame),
+        Ok(Message::Invoke { call_id: 1000, .. })
+    ));
+    // A truncated deadline is rejected, not silently ignored.
+    assert!(Message::decode_invoke_borrowed(&frame[..frame.len() - 1]).is_err());
+}
+
+/// Both trailing fields together: overhead is the sum of the two caps and
+/// the shared prefix is still byte-identical to the bare frame.
+#[test]
+fn traced_and_deadlined_frame_stacks_both_trailers() {
+    let ctx = SpanCtx {
+        trace_id: 7,
+        span_id: 9,
+    };
+    let mut w = ByteWriter::new();
+    Message::encode_invoke(
+        &mut w,
+        1000,
+        "alfredo.shop.CartService",
+        "addItem",
+        &canonical_args(),
+        Some(ctx),
+        Some(250),
+    );
+    let frame = w.into_bytes();
+    let bare = canonical_invoke_frame();
+    assert!(frame.len() <= bare.len() + TRACE_CONTEXT_MAX_OVERHEAD + DEADLINE_MAX_OVERHEAD);
+    assert_eq!(&frame[..bare.len()], bare.as_slice());
+
+    let borrowed = Message::decode_invoke_borrowed(&frame).expect("borrowed decode");
+    assert_eq!(borrowed.trace, Some(ctx));
+    assert_eq!(borrowed.deadline_ms, Some(250));
 }
 
 #[test]

@@ -23,15 +23,18 @@ use alfredo_apps::{register_mouse_controller, MOUSE_INTERFACE};
 use alfredo_core::session::ActionOutcome;
 use alfredo_core::{
     decode_ui_event, record_executed, serve_device_with_obs, AlfredOEngine, EngineConfig,
-    OutagePolicy, ResilienceConfig,
+    EngineError, OutagePolicy, ResilienceConfig,
 };
 use alfredo_journal::{recover, JournalConfig};
 use alfredo_net::{
     FaultPlan, FaultyTransport, InMemoryNetwork, PeerAddr, Transport, TransportError,
 };
 use alfredo_obs::{Obs, RingSink, SpanRecord};
-use alfredo_osgi::{Framework, FromJson, Json, Value};
-use alfredo_rosgi::{DiscoveryDirectory, HealthState, HeartbeatConfig, ReconnectFn, RetryPolicy};
+use alfredo_osgi::{Framework, FromJson, Json, ServiceCallError, Value};
+use alfredo_rosgi::{
+    BreakerConfig, DiscoveryDirectory, HealthState, HeartbeatConfig, ReconnectFn, RetryPolicy,
+    ERR_CIRCUIT_OPEN,
+};
 use alfredo_ui::{DeviceCapabilities, UiEvent};
 
 /// What the interaction must deterministically produce, faults or not.
@@ -61,6 +64,7 @@ fn resilience() -> ResilienceConfig {
         reconnect_attempts: 40,
         reconnect_backoff: Duration::from_millis(15),
         outage_policy: OutagePolicy::Replay,
+        ..ResilienceConfig::default()
     }
 }
 
@@ -433,6 +437,182 @@ fn chaos_seed_1984_converges() {
 #[test]
 fn chaos_seed_cafe_converges() {
     chaos_matches_baseline(0xCAFE);
+}
+
+/// Breaker seed: under a partition the circuit opens after consecutive
+/// invoke timeouts and fast-fails further calls locally; after the heal a
+/// heartbeat-piggybacked half-open probe re-closes it. The heartbeat is
+/// tuned to degrade but never declare the wire dead, so recovery comes
+/// from the probe path, not a redial — and the session still converges to
+/// the fault-free final state.
+#[test]
+fn chaos_breaker_trips_and_recovers() {
+    fn run(partitioned: bool) -> FinalState {
+        let net = InMemoryNetwork::new();
+        let device_fw = Framework::new();
+        let (service, _reg) = register_mouse_controller(&device_fw, 1280, 800).unwrap();
+        let device =
+            serve_device_with_obs(&net, device_fw, PeerAddr::new("laptop"), Obs::disabled())
+                .unwrap();
+
+        let resilience = ResilienceConfig {
+            heartbeat: HeartbeatConfig {
+                interval: Duration::from_millis(25),
+                timeout: Duration::from_millis(40),
+                degraded_after: 1,
+                // Never Disconnected: the wire must stay adopted so the
+                // breaker's own probe — not a reconnect — is what heals.
+                disconnected_after: u32::MAX,
+            },
+            lease_ttl: None,
+            retry: RetryPolicy {
+                max_retries: 4,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                deadline: Duration::from_secs(5),
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(50),
+            },
+            outage_policy: OutagePolicy::Replay,
+            ..ResilienceConfig::default()
+        };
+        let mut config = EngineConfig::phone("phone", DeviceCapabilities::nokia_9300i())
+            .with_resilience(resilience);
+        config.invoke_timeout = Duration::from_millis(100);
+        let engine = AlfredOEngine::new(
+            Framework::new(),
+            net.clone(),
+            DiscoveryDirectory::new(),
+            config,
+        );
+
+        let raw = net
+            .connect(PeerAddr::new("phone"), PeerAddr::new("laptop"))
+            .unwrap();
+        let faulty = FaultyTransport::new(Box::new(raw), FaultPlan::none());
+        let partition = faulty.partition_handle();
+        let dial: ReconnectFn = Arc::new(|| Err(TransportError::Timeout));
+        let conn = engine
+            .connect_transport_with_redial(Box::new(faulty), dial)
+            .unwrap();
+        let session = conn.acquire(MOUSE_INTERFACE).unwrap();
+
+        // Phase A — healthy: a burst of absolute warps.
+        for i in 0..20i64 {
+            let (x, y) = ((i * 37) % 1280, (i * 17) % 800);
+            session
+                .invoke(MOUSE_INTERFACE, "move_to", &[Value::I64(x), Value::I64(y)])
+                .unwrap();
+        }
+
+        if partitioned {
+            partition.partition();
+            wait_until(
+                "heartbeat to degrade the wire",
+                Duration::from_secs(5),
+                || session.health() == HealthState::Degraded,
+            );
+
+            // Doomed call #1: two timed-out attempts trip the breaker
+            // (threshold 2); the third attempt fast-fails on the open
+            // circuit and that rejection is what the caller sees. The
+            // black-holed frames never reach the device, so the warp
+            // never executes and the baseline stays comparable.
+            let out = session.invoke(MOUSE_INTERFACE, "move_to", &[Value::I64(1), Value::I64(1)]);
+            assert!(
+                matches!(
+                    &out,
+                    Err(EngineError::Call(ServiceCallError::Remote(m))) if m == ERR_CIRCUIT_OPEN
+                ),
+                "tripped breaker must fast-fail the call: {out:?}"
+            );
+            let stats = conn.endpoint().stats();
+            assert_eq!(stats.breaker_state, 1, "circuit open: {stats:?}");
+            assert!(stats.breaker_fast_fails >= 1, "{stats:?}");
+
+            // Doomed call #2 burns no retries at all — the breaker answers
+            // locally before any frame is sent.
+            let retries_before = conn.endpoint().stats().retries;
+            let out = session.invoke(MOUSE_INTERFACE, "move_to", &[Value::I64(2), Value::I64(2)]);
+            assert!(
+                matches!(
+                    &out,
+                    Err(EngineError::Call(ServiceCallError::Remote(m))) if m == ERR_CIRCUIT_OPEN
+                ),
+                "open circuit keeps fast-failing: {out:?}"
+            );
+            assert_eq!(conn.endpoint().stats().retries, retries_before);
+        }
+
+        // Taps: executed live in the baseline, queued behind the degraded
+        // link in the chaotic run.
+        let taps = [
+            UiEvent::Click {
+                control: "right".into(),
+            },
+            UiEvent::Click {
+                control: "click".into(),
+            },
+            UiEvent::Click {
+                control: "up".into(),
+            },
+        ];
+        for tap in &taps {
+            let outcomes = session.handle_event(tap).unwrap();
+            if partitioned {
+                assert!(
+                    matches!(outcomes.as_slice(), [ActionOutcome::Queued { .. }]),
+                    "taps during the open-circuit outage must queue: {outcomes:?}"
+                );
+            }
+        }
+
+        if partitioned {
+            partition.heal();
+            // The next heartbeat tick after the cooldown turns the circuit
+            // half-open and doubles as the probe; its pong closes it.
+            wait_until(
+                "half-open probe to re-close the circuit",
+                Duration::from_secs(5),
+                || conn.endpoint().stats().breaker_state == 0,
+            );
+            wait_until("health to recover", Duration::from_secs(5), || {
+                session.health() == HealthState::Healthy
+            });
+            let stats = conn.endpoint().stats();
+            assert_eq!(
+                stats.reconnects, 0,
+                "recovery must come from the probe, not a redial: {stats:?}"
+            );
+            let replayed = session.pump_events().unwrap();
+            let invoked = replayed
+                .iter()
+                .filter(|o| matches!(o, ActionOutcome::Invoked { .. }))
+                .count();
+            assert_eq!(invoked, taps.len(), "queued taps replay: {replayed:?}");
+            assert_eq!(session.pending_events(), 0);
+        }
+
+        let final_state = FinalState {
+            position: service.position(),
+            clicks: service.clicks(),
+            moves: service.moves(),
+        };
+        session.close();
+        conn.close();
+        device.stop();
+        final_state
+    }
+
+    let baseline = run(false);
+    assert_eq!(baseline.clicks, 1);
+    let chaotic = run(true);
+    assert_eq!(
+        chaotic, baseline,
+        "breaker trip + probe recovery must converge to the fault-free state"
+    );
 }
 
 /// The deterministic-replay contract, end to end: the same seed writes

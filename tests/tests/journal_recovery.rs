@@ -47,6 +47,7 @@ fn resilience() -> ResilienceConfig {
         reconnect_attempts: 100,
         reconnect_backoff: Duration::from_millis(15),
         outage_policy: OutagePolicy::Replay,
+        ..ResilienceConfig::default()
     }
 }
 

@@ -30,6 +30,7 @@ fn resilience() -> ResilienceConfig {
         reconnect_attempts: 8,
         reconnect_backoff: Duration::from_millis(20),
         outage_policy: OutagePolicy::Replay,
+        ..ResilienceConfig::default()
     }
 }
 
