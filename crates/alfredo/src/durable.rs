@@ -1,7 +1,7 @@
 //! Device-side durability: crash recovery for the data tier and leases.
 //!
-//! A target device serving long-lived sessions keeps two journals under
-//! one directory (see `alfredo-journal` for the log format):
+//! A target device serving long-lived sessions keeps three journals
+//! under one directory (see `alfredo-journal` for the log format):
 //!
 //! * `<dir>/data` — every [`DataStore`] mutation, snapshotted and
 //!   truncated on a mutation-count cadence so the log stays bounded.
@@ -9,6 +9,11 @@
 //!   orderly goodbyes, appended by the R-OSGi endpoint
 //!   ([`EndpointConfig::with_journal`](alfredo_rosgi::EndpointConfig::with_journal)).
 //!   It is small (a few records per phone per session) and append-only.
+//! * `<dir>/room` — every sequenced [`Room`] delta,
+//!   snapshotted and truncated on the same mutation-count cadence, so a
+//!   shared session's gap-free event log survives a device crash and
+//!   resumes at the correct next seq
+//!   ([`DeviceJournal::register_room`]).
 //!
 //! Keeping the streams in separate journals keeps the snapshot/truncate
 //! invariant single-stream: a data snapshot never has to reason about
@@ -58,10 +63,11 @@ use alfredo_journal::{
     recover, FsyncPolicy, Journal, JournalClock, JournalConfig, JournalError, JournalRecord,
 };
 use alfredo_osgi::{Framework, FromJson, Json, Properties, Service, ServiceRegistration, Value};
-use alfredo_rosgi::{recover_lease_grants, LeaseGrant};
+use alfredo_rosgi::{recover_lease_grants, LeaseGrant, ServeQueue};
 use alfredo_sync::Mutex;
 
 use crate::data::{DataStore, StoreJournal};
+use crate::room::{Room, RoomConfig, RoomJournalHook};
 
 /// Configuration for a device's durability directory.
 #[derive(Debug, Clone)]
@@ -130,11 +136,36 @@ pub struct RecoveredStore {
     pub replayed: u64,
 }
 
+/// A room's event log as reconstructed from snapshot + log replay.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredRoom {
+    /// The room's converged state at the end of the log.
+    pub state: BTreeMap<String, Value>,
+    /// The room's sequence counter at the end of the log — a recovered
+    /// room resumes publishing at `seq + 1`.
+    pub seq: u64,
+    /// How many log records (beyond the snapshot) applied to this room.
+    pub replayed: u64,
+}
+
+impl RecoveredRoom {
+    /// Member names derived from the recovered presence keys, sorted.
+    pub fn members(&self) -> Vec<String> {
+        self.state
+            .keys()
+            .filter_map(|k| k.strip_prefix(crate::room::PRESENCE_PREFIX))
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
 /// Everything [`DeviceJournal::open`] reconstructed from disk.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceRecovery {
     /// Per-store recovered state, keyed by store name.
     pub stores: BTreeMap<String, RecoveredStore>,
+    /// Per-room recovered event logs, keyed by room name.
+    pub rooms: BTreeMap<String, RecoveredRoom>,
     /// Which peers held which service grants when the device went down
     /// (orderly `bye`s are folded out).
     pub lease_grants: Vec<LeaseGrant>,
@@ -152,8 +183,10 @@ pub struct DeviceRecovery {
 pub struct DeviceJournal {
     data: Journal,
     lease: Journal,
+    room: Journal,
     recovery: DeviceRecovery,
     stores: Mutex<Vec<Arc<DataStore>>>,
+    rooms: Mutex<Vec<Arc<Room>>>,
     snapshot_every: u64,
     since_snapshot: AtomicU64,
     snapshotting: AtomicBool,
@@ -170,11 +203,13 @@ impl DeviceJournal {
     pub fn open(cfg: DeviceJournalConfig) -> Result<Arc<DeviceJournal>, JournalError> {
         let data_dir = cfg.dir.join("data");
         let lease_dir = cfg.dir.join("lease");
+        let room_dir = cfg.dir.join("room");
 
         let data_rec = recover(&data_dir)?;
         let lease_rec = recover(&lease_dir)?;
+        let room_rec = recover(&room_dir)?;
         let mut recovery = DeviceRecovery {
-            torn_tail: data_rec.torn_tail || lease_rec.torn_tail,
+            torn_tail: data_rec.torn_tail || lease_rec.torn_tail || room_rec.torn_tail,
             ..DeviceRecovery::default()
         };
         if let Some(snapshot) = &data_rec.snapshot {
@@ -183,6 +218,12 @@ impl DeviceJournal {
         for record in &data_rec.records {
             apply_data_record(&mut recovery.stores, record)?;
             recovery.data_records += 1;
+        }
+        if let Some(snapshot) = &room_rec.snapshot {
+            recovery.rooms = parse_room_snapshot_state(&snapshot.state)?;
+        }
+        for record in &room_rec.records {
+            apply_room_record(&mut recovery.rooms, record)?;
         }
         recovery.lease_grants = recover_lease_grants(&lease_rec.records);
 
@@ -198,11 +239,14 @@ impl DeviceJournal {
         };
         let data = Journal::open(journal_cfg(data_dir))?;
         let lease = Journal::open(journal_cfg(lease_dir))?;
+        let room = Journal::open(journal_cfg(room_dir))?;
         Ok(Arc::new(DeviceJournal {
             data,
             lease,
+            room,
             recovery,
             stores: Mutex::new(Vec::new()),
+            rooms: Mutex::new(Vec::new()),
             snapshot_every: cfg.snapshot_every,
             since_snapshot: AtomicU64::new(0),
             snapshotting: AtomicBool::new(false),
@@ -224,6 +268,11 @@ impl DeviceJournal {
     /// The data journal (mutation log + snapshots).
     pub fn data_journal(&self) -> &Journal {
         &self.data
+    }
+
+    /// The room journal (sequenced room deltas + snapshots).
+    pub fn room_journal(&self) -> &Journal {
+        &self.room
     }
 
     /// Registers a journaled [`DataStore`] named `name` on `framework`,
@@ -261,6 +310,38 @@ impl DeviceJournal {
             Properties::new().with("alfredo.data.store", store.name()),
         )?;
         Ok((store, registration))
+    }
+
+    /// Builds a journaled [`Room`] named `config.name`, pre-seeded with
+    /// any event log recovery reconstructed for that name: state and seq
+    /// resume exactly where the log ended, and every member recovered
+    /// from presence keys gets its seat re-armed with a fresh lease at
+    /// `now_ms` (no sink — the phone must rejoin within the TTL or the
+    /// next [`Room::tick`](crate::Room::tick) evicts it). Subsequent
+    /// deltas are journaled before fan-out and count toward the snapshot
+    /// cadence.
+    pub fn register_room(
+        self: &Arc<Self>,
+        config: RoomConfig,
+        queue: Option<ServeQueue>,
+        now_ms: u64,
+    ) -> Arc<Room> {
+        let owner = Arc::downgrade(self);
+        let hook = RoomJournalHook {
+            journal: self.room.clone(),
+            on_mutation: Arc::new(move || {
+                if let Some(dj) = owner.upgrade() {
+                    dj.count_mutation();
+                }
+            }),
+        };
+        let (state, seq, members) = match self.recovery.rooms.get(&config.name) {
+            Some(rec) => (rec.state.clone(), rec.seq, rec.members()),
+            None => (BTreeMap::new(), 0, Vec::new()),
+        };
+        let room = Room::build(config, queue, Some(hook), state, seq, &members, now_ms);
+        self.rooms.lock().push(Arc::clone(&room));
+        room
     }
 
     fn count_mutation(&self) {
@@ -309,7 +390,40 @@ impl DeviceJournal {
         }
         state.push_str("}}");
         drop(stores);
-        self.data.snapshot_at(watermark, &state)
+        self.data.snapshot_at(watermark, &state)?;
+        self.snapshot_rooms_now()
+    }
+
+    /// Captures a snapshot of every registered room's event log and
+    /// truncates the room log to records newer than the watermark. Called
+    /// by [`DeviceJournal::snapshot_now`]; the same
+    /// watermark-before-state ordering applies (room replay is
+    /// seq-guarded, so over-capture is harmless).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`JournalError::CommitterFailed`] if the committer
+    /// thread died.
+    pub fn snapshot_rooms_now(&self) -> Result<(), JournalError> {
+        let watermark = self.room.last_seq();
+        let rooms = self.rooms.lock();
+        if rooms.is_empty() {
+            return Ok(());
+        }
+        let mut state = String::with_capacity(256);
+        state.push_str("{\"rooms\":{");
+        for (i, room) in rooms.iter().enumerate() {
+            if i > 0 {
+                state.push(',');
+            }
+            state.push_str(&Json::str(room.name()).to_json_string());
+            state.push(':');
+            // `{"seq":N,"state":{...}}` — the canonical room rendering.
+            state.push_str(&room.state_json());
+        }
+        state.push_str("}}");
+        drop(rooms);
+        self.room.snapshot_at(watermark, &state)
     }
 
     /// Waits until everything appended so far (both journals) is on disk.
@@ -319,8 +433,9 @@ impl DeviceJournal {
     /// [`JournalError::CommitterFailed`] if a committer thread died.
     pub fn barrier(&self) -> Result<u64, JournalError> {
         let lease_seq = self.lease.barrier()?;
+        let room_seq = self.room.barrier()?;
         let data_seq = self.data.barrier()?;
-        Ok(data_seq.max(lease_seq))
+        Ok(data_seq.max(lease_seq).max(room_seq))
     }
 
     /// Flushes and closes both journals. Further appends are dropped.
@@ -331,7 +446,8 @@ impl DeviceJournal {
     pub fn close(&self) -> Result<(), JournalError> {
         let data = self.data.close();
         let lease = self.lease.close();
-        data.and(lease)
+        let room = self.room.close();
+        data.and(lease).and(room)
     }
 }
 
@@ -340,8 +456,10 @@ impl fmt::Debug for DeviceJournal {
         f.debug_struct("DeviceJournal")
             .field("dir", &self.data.dir().parent())
             .field("stores", &self.stores.lock().len())
+            .field("rooms", &self.rooms.lock().len())
             .field("data_seq", &self.data.last_seq())
             .field("lease_seq", &self.lease.last_seq())
+            .field("room_seq", &self.room.last_seq())
             .finish()
     }
 }
@@ -453,6 +571,100 @@ fn apply_data_record(
     Ok(())
 }
 
+/// Parses the aggregated room snapshot written by
+/// [`DeviceJournal::snapshot_rooms_now`]:
+/// `{"rooms":{<name>:{"seq":N,"state":{<key>:V}}}}`.
+fn parse_room_snapshot_state(state: &str) -> Result<BTreeMap<String, RecoveredRoom>, JournalError> {
+    let json = Json::parse(state).map_err(|e| corrupt(format!("room snapshot state: {e}")))?;
+    let rooms = json
+        .get("rooms")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| corrupt("room snapshot state missing \"rooms\" object"))?;
+    let mut out = BTreeMap::new();
+    for (name, room_json) in rooms {
+        let seq = room_json
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt(format!("room {name:?}: missing seq")))?;
+        let snap_state = room_json
+            .get("state")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| corrupt(format!("room {name:?}: missing state")))?;
+        let mut room_state = BTreeMap::new();
+        for (key, value) in snap_state {
+            let value = Value::from_json(value)
+                .map_err(|e| corrupt(format!("room {name:?} key {key:?}: {e}")))?;
+            room_state.insert(key.clone(), value);
+        }
+        out.insert(
+            name.clone(),
+            RecoveredRoom {
+                state: room_state,
+                seq,
+                replayed: 0,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Applies one room-log record on top of the recovered state.
+///
+/// Deltas are journaled under the room lock, so log order equals seq
+/// order; the guard `seq > room.seq` makes replay idempotent over records
+/// the snapshot already absorbed.
+fn apply_room_record(
+    rooms: &mut BTreeMap<String, RecoveredRoom>,
+    record: &JournalRecord,
+) -> Result<(), JournalError> {
+    if record.stream != "room" {
+        return Ok(());
+    }
+    let payload = Json::parse(&record.payload)
+        .map_err(|e| corrupt(format!("room record seq {}: {e}", record.seq)))?;
+    let name = payload
+        .get("room")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("room record seq {}: missing room", record.seq)))?;
+    let key = payload
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("room record seq {}: missing key", record.seq)))?;
+    let seq = payload
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(format!("room record seq {}: missing seq", record.seq)))?;
+    let room = rooms.entry(name.to_owned()).or_default();
+    room.replayed += 1;
+    if seq <= room.seq {
+        return Ok(()); // already absorbed by the snapshot
+    }
+    room.seq = seq;
+    match record.event.as_str() {
+        "put" => {
+            let value = payload
+                .get("value")
+                .map(Value::from_json)
+                .transpose()
+                .map_err(|e| corrupt(format!("room record seq {}: {e}", record.seq)))?
+                .ok_or_else(|| {
+                    corrupt(format!("room put record seq {}: missing value", record.seq))
+                })?;
+            room.state.insert(key.to_owned(), value);
+        }
+        "remove" => {
+            room.state.remove(key);
+        }
+        other => {
+            return Err(corrupt(format!(
+                "room record seq {}: unknown event {other:?}",
+                record.seq
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +759,75 @@ mod tests {
         let (store, _reg) = dj.register_store(&fw, "kv").unwrap();
         assert_eq!(store.len(), 200);
         assert_eq!(store.version(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn room_log_survives_reopen_and_resumes_seq() {
+        let dir = temp_dir("room");
+        {
+            let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+            let room = dj.register_room(RoomConfig::new("board"), None, 0);
+            room.join(
+                "a",
+                Arc::new(crate::room::ReplicaSink(crate::room::RoomReplica::new(
+                    "board",
+                ))),
+                0,
+            );
+            room.publish("a", "k", Value::I64(1)).unwrap();
+            room.publish("a", "k", Value::I64(2)).unwrap();
+            room.retract("a", "k").unwrap();
+            room.publish("a", "z", Value::from("end")).unwrap();
+            assert_eq!(room.seq(), 5); // presence + 4 deltas
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        let rec = dj.recovery().rooms.get("board").expect("room recovered");
+        assert_eq!(rec.seq, 5);
+        assert_eq!(rec.members(), vec!["a".to_string()]);
+        assert_eq!(rec.replayed, 5);
+        let room = dj.register_room(RoomConfig::new("board"), None, 100);
+        assert_eq!(room.seq(), 5);
+        // The recovered seat holds until its fresh lease expires.
+        assert!(room.is_member("a"));
+        assert_eq!(room.tick(50 + room.config().lease_ttl_ms), 0);
+        // Publishing resumes at seq 6 through the re-armed seat.
+        assert_eq!(room.publish("a", "post", Value::I64(9)).unwrap(), 6);
+        let (_, state) = room.snapshot();
+        assert_eq!(state.get("k"), None, "retraction replayed");
+        assert_eq!(state.get("z"), Some(&Value::from("end")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn room_snapshot_truncates_log_and_recovery_matches() {
+        let dir = temp_dir("room-snap");
+        {
+            let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+            let room = dj.register_room(RoomConfig::new("board"), None, 0);
+            room.join(
+                "a",
+                Arc::new(crate::room::ReplicaSink(crate::room::RoomReplica::new(
+                    "board",
+                ))),
+                0,
+            );
+            for i in 0..50i64 {
+                room.publish("a", format!("k{}", i % 5), Value::I64(i))
+                    .unwrap();
+            }
+            dj.snapshot_now().unwrap();
+            room.publish("a", "tail", Value::I64(-1)).unwrap();
+            dj.barrier().unwrap();
+            dj.close().unwrap();
+        }
+        let dj = DeviceJournal::open(DeviceJournalConfig::new(&dir)).unwrap();
+        let rec = dj.recovery().rooms.get("board").unwrap();
+        assert_eq!(rec.replayed, 1, "snapshot truncated the room log");
+        assert_eq!(rec.seq, 52); // presence + 50 + tail
+        assert_eq!(rec.state.get("tail"), Some(&Value::I64(-1)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

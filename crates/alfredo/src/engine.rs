@@ -33,6 +33,7 @@ use alfredo_ui::{DeviceCapabilities, UiError, UiState};
 use crate::cache::{TierCache, DEFAULT_TIER_CACHE_BYTES};
 use crate::descriptor::{DescriptorError, ServiceDescriptor};
 use crate::policy::{ClientContext, DistributionPolicy, ThinClientPolicy};
+use crate::room::{room_clock_ms, RoomHub};
 use crate::security::{SecurityError, SecurityPolicy};
 use crate::session::AlfredOSession;
 use crate::tier::Placement;
@@ -947,6 +948,9 @@ pub struct ServedDevice {
     /// The serve queue shared by this device's endpoints, when serving
     /// queued ([`serve_device_queued`]); shut down with the device.
     queue: Option<ServeQueue>,
+    /// The room hub driven by this device's accept loop, when serving
+    /// rooms ([`serve_device_rooms`]).
+    hub: Option<Arc<RoomHub>>,
 }
 
 impl ServedDevice {
@@ -958,6 +962,11 @@ impl ServedDevice {
     /// The device's serve queue, when serving queued.
     pub fn queue(&self) -> Option<&ServeQueue> {
         self.queue.as_ref()
+    }
+
+    /// The device's room hub, when serving rooms.
+    pub fn rooms(&self) -> Option<&Arc<RoomHub>> {
+        self.hub.as_ref()
     }
 
     /// Stops accepting, joins the accept loop, and shuts down the serve
@@ -1018,7 +1027,7 @@ pub fn serve_device_with_obs(
     addr: PeerAddr,
     obs: Obs,
 ) -> Result<ServedDevice, EngineError> {
-    serve_device_inner(network, framework, addr, obs, None, None)
+    serve_device_inner(network, framework, addr, obs, None, None, None)
 }
 
 /// Like [`serve_device_with_obs`], but every accepted endpoint serves its
@@ -1037,7 +1046,7 @@ pub fn serve_device_queued(
     obs: Obs,
     queue: ServeQueue,
 ) -> Result<ServedDevice, EngineError> {
-    serve_device_inner(network, framework, addr, obs, Some(queue), None)
+    serve_device_inner(network, framework, addr, obs, Some(queue), None, None)
 }
 
 /// Like [`serve_device_queued`] (pass `None` for an unqueued device), but
@@ -1060,7 +1069,58 @@ pub fn serve_device_durable(
     queue: Option<ServeQueue>,
     lease_journal: Journal,
 ) -> Result<ServedDevice, EngineError> {
-    serve_device_inner(network, framework, addr, obs, queue, Some(lease_journal))
+    serve_device_inner(
+        network,
+        framework,
+        addr,
+        obs,
+        queue,
+        Some(lease_journal),
+        None,
+    )
+}
+
+/// Like [`serve_device_durable`] (pass `None` for an unjournaled device),
+/// but the device hosts shared [`Room`](crate::Room) sessions through
+/// `hub`:
+///
+/// * every accepted endpoint is rostered into the hub under its peer
+///   name, so a phone's `join` through the [`crate::ROOMS_INTERFACE`]
+///   service resolves to an event sink on its own wire;
+/// * every accepted endpoint runs the `heartbeat` health machine, and the
+///   accept loop drives [`RoomHub::tick`] on its idle cadence (~50 ms):
+///   members whose heartbeats keep their endpoint `Healthy` have their
+///   room leases renewed continuously, while a partitioned phone's
+///   renewals stop the moment its health machine trips — lease-TTL
+///   eviction reusing the heartbeat machinery instead of a second
+///   failure detector.
+///
+/// Register the hub's service with [`crate::register_room_hub`] on the
+/// same framework before serving.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Rosgi`] if the address is already bound.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_device_rooms(
+    network: &InMemoryNetwork,
+    framework: Framework,
+    addr: PeerAddr,
+    obs: Obs,
+    hub: Arc<RoomHub>,
+    heartbeat: HeartbeatConfig,
+    queue: Option<ServeQueue>,
+    lease_journal: Option<Journal>,
+) -> Result<ServedDevice, EngineError> {
+    serve_device_inner(
+        network,
+        framework,
+        addr,
+        obs,
+        queue,
+        lease_journal,
+        Some((hub, heartbeat)),
+    )
 }
 
 /// Most handshake threads a device runs at once. Handshakes finish in a
@@ -1123,17 +1183,24 @@ fn serve_device_inner(
     obs: Obs,
     queue: Option<ServeQueue>,
     journal: Option<Journal>,
+    rooms: Option<(Arc<RoomHub>, HeartbeatConfig)>,
 ) -> Result<ServedDevice, EngineError> {
     let listener = network.bind(addr.clone()).map_err(RosgiError::Transport)?;
     let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let name = addr.as_str().to_owned();
     let accept_queue = queue.clone();
+    let hub = rooms.as_ref().map(|(hub, _)| Arc::clone(hub));
     let gate = HandshakeGate::new(HANDSHAKE_THREAD_CAP);
     let handle = std::thread::Builder::new()
         .name(format!("alfredo-device-{name}"))
         .spawn(move || {
             while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+                // The accept timeout doubles as the room lease cadence:
+                // renew healthy members, evict expired ones.
+                if let Some((hub, _)) = &rooms {
+                    hub.tick(room_clock_ms());
+                }
                 match listener.accept_timeout(Duration::from_millis(50)) {
                     Ok(conn) => {
                         if !gate.acquire(&flag) {
@@ -1147,11 +1214,19 @@ fn serve_device_inner(
                         if let Some(j) = &journal {
                             cfg = cfg.with_journal(j.clone());
                         }
+                        if let Some((_, heartbeat)) = &rooms {
+                            cfg = cfg.with_heartbeat(*heartbeat);
+                        }
                         let gate = Arc::clone(&gate);
+                        let hub = rooms.as_ref().map(|(hub, _)| Arc::clone(hub));
                         std::thread::spawn(move || {
                             let ep = RemoteEndpoint::establish(Box::new(conn), fw, cfg);
                             gate.release();
                             if let Ok(ep) = ep {
+                                let ep = Arc::new(ep);
+                                if let Some(hub) = hub {
+                                    hub.register_endpoint(Arc::clone(&ep));
+                                }
                                 ep.join();
                             }
                         });
@@ -1167,6 +1242,7 @@ fn serve_device_inner(
         handle: Some(handle),
         addr,
         queue,
+        hub,
     })
 }
 

@@ -53,6 +53,7 @@ pub mod footprint;
 pub mod optimizer;
 pub mod policy;
 pub mod replay;
+pub mod room;
 pub mod security;
 pub mod session;
 pub mod tier;
@@ -62,11 +63,13 @@ pub use cache::{TierCache, TierCacheStats, DEFAULT_TIER_CACHE_BYTES};
 pub use controller::{Action, ArgSource, Binding, ControllerProgram, MethodCall, Rule, Trigger};
 pub use data::{register_data_store, DataReplica, DataStore, DATA_CHANGED_TOPIC_PREFIX};
 pub use descriptor::{DependencySpec, DescriptorError, ResourceRequirements, ServiceDescriptor};
-pub use durable::{DeviceJournal, DeviceJournalConfig, DeviceRecovery, RecoveredStore};
+pub use durable::{
+    DeviceJournal, DeviceJournalConfig, DeviceRecovery, RecoveredRoom, RecoveredStore,
+};
 pub use engine::{
-    host_service, serve_device, serve_device_durable, serve_device_queued, serve_device_tcp,
-    serve_device_with_obs, AlfredOConnection, AlfredOEngine, EngineConfig, EngineError,
-    OutagePolicy, ResilienceConfig, ServedDevice, ServedTcpDevice,
+    host_service, serve_device, serve_device_durable, serve_device_queued, serve_device_rooms,
+    serve_device_tcp, serve_device_with_obs, AlfredOConnection, AlfredOEngine, EngineConfig,
+    EngineError, OutagePolicy, ResilienceConfig, ServedDevice, ServedTcpDevice,
 };
 pub use federation::{project_ui, register_screen, Projection, ScreenService, SCREEN_INTERFACE};
 pub use footprint::{FootprintItem, FootprintReport};
@@ -75,6 +78,11 @@ pub use policy::{
     AdaptivePolicy, ClientContext, DistributionPolicy, LogicOffloadPolicy, ThinClientPolicy,
 };
 pub use replay::{decode_ui_event, outcome_kind, record_executed};
+pub use room::{
+    presence_key, register_room_hub, room_clock_ms, room_update_topic, EndpointRoomSink,
+    ReplicaSink, Room, RoomConfig, RoomDelta, RoomError, RoomHub, RoomHubService, RoomOp,
+    RoomReplica, RoomSink, RoomStats, RoomUpdate, PRESENCE_PREFIX, ROOMS_INTERFACE,
+};
 pub use security::{SecurityError, SecurityPolicy, TrustLevel};
 pub use session::AlfredOSession;
 pub use tier::{Placement, Tier, TierAssignment};

@@ -22,6 +22,10 @@
 //!   its strength *knob* is an abstract slider each phone implements with
 //!   its own pointing hardware, and brew progress flows back through poll
 //!   rules and a completion event.
+//! * [`rooms`] — the multi-user variants: **MultiCursorBoard** (every
+//!   member drives its own cursor on a shared screen) and **SharedCart**
+//!   (one cart per room, increments composed atomically), both hosted in
+//!   a shared sequenced `Room`.
 //!
 //! Each module provides the target-device side (`register_*` — service
 //! implementation + descriptor) and helpers the examples and benchmarks
@@ -29,10 +33,15 @@
 
 pub mod coffee;
 pub mod mouse;
+pub mod rooms;
 pub mod shop;
 
 pub use coffee::{register_coffee_machine, CoffeeMachineService, COFFEE_INTERFACE};
 pub use mouse::{register_mouse_controller, MouseControllerService, MOUSE_INTERFACE};
+pub use rooms::{
+    register_multi_cursor, register_shared_cart, MultiCursorService, SharedCartService,
+    MULTI_CURSOR_INTERFACE, SHARED_CART_INTERFACE,
+};
 pub use shop::{
     register_shop, sample_catalog, ComparisonLogic, ProductCatalog, ShopService, COMPARE_INTERFACE,
     SHOP_INTERFACE,

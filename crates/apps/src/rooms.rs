@@ -1,0 +1,628 @@
+//! Room-backed multi-user variants of the paper's prototype apps.
+//!
+//! The paper's MouseController and AlfredOShop are strictly one phone ↔
+//! one device. These services re-host their state inside a shared
+//! [`Room`], turning them into N-phone collaborative sessions:
+//!
+//! * [`MultiCursorService`] — every member drives its *own* cursor on
+//!   the shared screen (key `cursor/<member>`); each phone's replica
+//!   renders every cursor, so a lecture hall of phones sees everyone's
+//!   pointer move in the same sequenced order.
+//! * [`SharedCartService`] — the AlfredOShop cart becomes one cart per
+//!   *room* instead of per phone (key `cart/<product>`); quantity
+//!   changes compose through [`Room::update`]'s read-modify-write, so
+//!   two members pressing "add" concurrently never lose an increment.
+//!
+//! Both services mutate only through the room, which means every change
+//! is sequenced, journaled (on a durable room), and fanned out to every
+//! member with coalescing backpressure — the apps inherit the whole
+//! room test battery's guarantees for free.
+
+use std::sync::Arc;
+
+use alfredo_core::{
+    host_service, room_update_topic, Action, ArgSource, Binding, ControllerProgram, MethodCall,
+    Room, RoomError, Rule, ServiceDescriptor, Trigger,
+};
+use alfredo_osgi::{
+    MethodSpec, ParamSpec, Properties, Service, ServiceCallError, ServiceInterfaceDesc,
+    ServiceRegistration, TypeHint, Value,
+};
+use alfredo_rosgi::PROP_IDEMPOTENT_METHODS;
+use alfredo_ui::control::RelationKind;
+use alfredo_ui::{Control, Relation, UiDescription};
+
+use crate::shop::ProductCatalog;
+
+/// The multi-cursor board's service interface name.
+pub const MULTI_CURSOR_INTERFACE: &str = "apps.MultiCursorBoard";
+
+/// The shared cart's service interface name.
+pub const SHARED_CART_INTERFACE: &str = "apps.SharedCart";
+
+/// Room state key holding `member`'s cursor.
+pub fn cursor_key(member: &str) -> String {
+    format!("cursor/{member}")
+}
+
+/// Room state key holding `product`'s cart quantity.
+pub fn cart_key(product: &str) -> String {
+    format!("cart/{product}")
+}
+
+fn str_arg(args: &[Value], i: usize, what: &str) -> Result<String, ServiceCallError> {
+    args.get(i)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ServiceCallError::BadArguments(format!("{what} must be a string")))
+}
+
+fn i64_arg(args: &[Value], i: usize, what: &str) -> Result<i64, ServiceCallError> {
+    args.get(i)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| ServiceCallError::BadArguments(format!("{what} must be an integer")))
+}
+
+/// The MouseController generalized to N members: each member's cursor is
+/// one sequenced room key, so every phone converges on every cursor in
+/// the same order.
+pub struct MultiCursorService {
+    room: Arc<Room>,
+    screen_w: i64,
+    screen_h: i64,
+}
+
+impl MultiCursorService {
+    /// Creates the service over `room` for a screen of the given size.
+    pub fn new(room: Arc<Room>, screen_w: i64, screen_h: i64) -> Self {
+        MultiCursorService {
+            room,
+            screen_w: screen_w.max(1),
+            screen_h: screen_h.max(1),
+        }
+    }
+
+    /// The room backing the board.
+    pub fn room(&self) -> &Arc<Room> {
+        &self.room
+    }
+
+    /// Moves `member`'s cursor by a relative offset, clamped to the
+    /// screen; a first move spawns the cursor at the screen centre.
+    /// Returns the delta's seq.
+    ///
+    /// # Errors
+    ///
+    /// [`RoomError::NotAMember`] if `member` has no seat.
+    pub fn move_cursor(&self, member: &str, dx: i64, dy: i64) -> Result<u64, RoomError> {
+        let (w, h) = (self.screen_w, self.screen_h);
+        self.room.update(member, &cursor_key(member), |old| {
+            let (x, y) = match old {
+                Some(v) => (
+                    v.field("x").and_then(Value::as_i64).unwrap_or(w / 2),
+                    v.field("y").and_then(Value::as_i64).unwrap_or(h / 2),
+                ),
+                None => (w / 2, h / 2),
+            };
+            cursor_value((x + dx).clamp(0, w - 1), (y + dy).clamp(0, h - 1))
+        })
+    }
+
+    /// Warps `member`'s cursor to an absolute position (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`RoomError::NotAMember`] if `member` has no seat.
+    pub fn set_cursor(&self, member: &str, x: i64, y: i64) -> Result<u64, RoomError> {
+        self.room.publish(
+            member,
+            cursor_key(member),
+            cursor_value(x.clamp(0, self.screen_w - 1), y.clamp(0, self.screen_h - 1)),
+        )
+    }
+
+    /// Every member's cursor position, sorted by member name.
+    pub fn cursors(&self) -> Vec<(String, i64, i64)> {
+        let (_, state) = self.room.snapshot();
+        state
+            .iter()
+            .filter_map(|(key, v)| {
+                let member = key.strip_prefix("cursor/")?;
+                Some((
+                    member.to_owned(),
+                    v.field("x").and_then(Value::as_i64)?,
+                    v.field("y").and_then(Value::as_i64)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        ServiceInterfaceDesc::new(
+            MULTI_CURSOR_INTERFACE,
+            vec![
+                MethodSpec::new(
+                    "move",
+                    vec![
+                        ParamSpec::new("member", TypeHint::Str),
+                        ParamSpec::new("dx", TypeHint::I64),
+                        ParamSpec::new("dy", TypeHint::I64),
+                    ],
+                    TypeHint::I64,
+                    "Move the member's cursor by a relative offset; returns the seq.",
+                ),
+                MethodSpec::new(
+                    "move_to",
+                    vec![
+                        ParamSpec::new("member", TypeHint::Str),
+                        ParamSpec::new("x", TypeHint::I64),
+                        ParamSpec::new("y", TypeHint::I64),
+                    ],
+                    TypeHint::I64,
+                    "Warp the member's cursor to an absolute position (idempotent).",
+                ),
+                MethodSpec::new(
+                    "cursors",
+                    vec![],
+                    TypeHint::Map,
+                    "Every member's cursor position.",
+                ),
+            ],
+        )
+    }
+
+    /// The AlfredO descriptor: the MouseController pad, plus a rule that
+    /// refreshes the board on every sequenced room update instead of on a
+    /// private snapshot topic — the multi-user twist.
+    pub fn descriptor(room_name: &str) -> ServiceDescriptor {
+        let topic = room_update_topic(room_name);
+        let ui = UiDescription::new("MultiCursorBoard")
+            .with_control(Control::label("title", "Shared cursor board"))
+            .with_control(Control::label("board", "· · ·"))
+            .with_control(Control::text_input("member", "your member name"))
+            .with_control(Control::panel(
+                "pad",
+                true,
+                vec![
+                    Control::button("up", "▲"),
+                    Control::panel(
+                        "mid",
+                        false,
+                        vec![Control::button("left", "◀"), Control::button("right", "▶")],
+                    ),
+                    Control::button("down", "▼"),
+                ],
+            ))
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "board"))
+            .with_relation(Relation::new("pad", RelationKind::Triggers, "board"));
+
+        let step = 10i64;
+        let move_rule = |control: &str, dx: i64, dy: i64| {
+            Rule::on_click(
+                control,
+                MethodCall::new(
+                    MULTI_CURSOR_INTERFACE,
+                    "move",
+                    vec![
+                        ArgSource::State {
+                            control: "member".into(),
+                        },
+                        ArgSource::Const(Value::I64(dx)),
+                        ArgSource::Const(Value::I64(dy)),
+                    ],
+                ),
+                None,
+            )
+        };
+        let controller = ControllerProgram::new(vec![
+            move_rule("up", 0, -step),
+            move_rule("down", 0, step),
+            move_rule("left", -step, 0),
+            move_rule("right", step, 0),
+            // Every sequenced room update refreshes the shared board.
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: topic,
+                },
+                vec![Action::Update {
+                    bind: Binding::to_slot("board", "text"),
+                    value: ArgSource::EventValue,
+                }],
+            ),
+        ]);
+        ServiceDescriptor::new(MULTI_CURSOR_INTERFACE, ui).with_controller(controller)
+    }
+}
+
+fn cursor_value(x: i64, y: i64) -> Value {
+    Value::structure("apps.Cursor", [("x", Value::I64(x)), ("y", Value::I64(y))])
+}
+
+impl Service for MultiCursorService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "move" => {
+                let member = str_arg(args, 0, "member")?;
+                let dx = i64_arg(args, 1, "dx")?;
+                let dy = i64_arg(args, 2, "dy")?;
+                let seq = self
+                    .move_cursor(&member, dx, dy)
+                    .map_err(|e| ServiceCallError::Failed(e.to_string()))?;
+                Ok(Value::I64(seq as i64))
+            }
+            "move_to" => {
+                let member = str_arg(args, 0, "member")?;
+                let x = i64_arg(args, 1, "x")?;
+                let y = i64_arg(args, 2, "y")?;
+                let seq = self
+                    .set_cursor(&member, x, y)
+                    .map_err(|e| ServiceCallError::Failed(e.to_string()))?;
+                Ok(Value::I64(seq as i64))
+            }
+            "cursors" => {
+                let map = self
+                    .cursors()
+                    .into_iter()
+                    .map(|(member, x, y)| (member, cursor_value(x, y)))
+                    .collect();
+                Ok(Value::Map(map))
+            }
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(MultiCursorService::interface())
+    }
+}
+
+/// Registers a [`MultiCursorService`] over `room` on `framework`.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_multi_cursor(
+    framework: &alfredo_osgi::Framework,
+    room: Arc<Room>,
+    screen_w: i64,
+    screen_h: i64,
+) -> Result<(Arc<MultiCursorService>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let descriptor = MultiCursorService::descriptor(room.name());
+    let service = Arc::new(MultiCursorService::new(room, screen_w, screen_h));
+    let registration = host_service(
+        framework,
+        MULTI_CURSOR_INTERFACE,
+        Arc::clone(&service) as Arc<dyn Service>,
+        &descriptor,
+        None,
+        Properties::new().with(
+            PROP_IDEMPOTENT_METHODS,
+            Value::List(vec![Value::from("move_to"), Value::from("cursors")]),
+        ),
+    )?;
+    Ok((service, registration))
+}
+
+/// The AlfredOShop cart lifted into a room: one cart shared by every
+/// member, with increments composed atomically under the room lock.
+pub struct SharedCartService {
+    room: Arc<Room>,
+    catalog: Arc<ProductCatalog>,
+}
+
+impl SharedCartService {
+    /// Creates the service over `room`, validating products against
+    /// `catalog`.
+    pub fn new(room: Arc<Room>, catalog: Arc<ProductCatalog>) -> Self {
+        SharedCartService { room, catalog }
+    }
+
+    /// The room backing the cart.
+    pub fn room(&self) -> &Arc<Room> {
+        &self.room
+    }
+
+    /// Adds one unit of `product` on behalf of `member`; returns the
+    /// delta's seq.
+    ///
+    /// # Errors
+    ///
+    /// `Failed` for unknown products; `Failed` (not-a-member) if `member`
+    /// has no seat.
+    pub fn add(&self, member: &str, product: &str) -> Result<u64, ServiceCallError> {
+        if self.catalog.get(product).is_none() {
+            return Err(ServiceCallError::Failed(format!(
+                "unknown product: {product}"
+            )));
+        }
+        self.room
+            .update(member, &cart_key(product), |old| {
+                Value::I64(old.and_then(Value::as_i64).unwrap_or(0) + 1)
+            })
+            .map_err(ServiceCallError::from)
+    }
+
+    /// Removes one unit of `product` on behalf of `member` (retracting
+    /// the key when the quantity reaches zero); returns the delta's seq.
+    ///
+    /// # Errors
+    ///
+    /// `Failed` (not-a-member) if `member` has no seat.
+    pub fn remove(&self, member: &str, product: &str) -> Result<u64, ServiceCallError> {
+        let key = cart_key(product);
+        let (_, state) = self.room.snapshot();
+        let qty = state.get(&key).and_then(Value::as_i64).unwrap_or(0);
+        if qty <= 1 {
+            // Retraction is sequenced like any delta, so concurrent adds
+            // order cleanly before or after it.
+            self.room
+                .retract(member, &key)
+                .map_err(ServiceCallError::from)
+        } else {
+            self.room
+                .update(member, &key, |old| {
+                    Value::I64((old.and_then(Value::as_i64).unwrap_or(1) - 1).max(0))
+                })
+                .map_err(ServiceCallError::from)
+        }
+    }
+
+    /// The cart contents: product name → quantity, sorted.
+    pub fn cart(&self) -> Vec<(String, i64)> {
+        let (_, state) = self.room.snapshot();
+        state
+            .iter()
+            .filter_map(|(key, v)| Some((key.strip_prefix("cart/")?.to_owned(), v.as_i64()?)))
+            .collect()
+    }
+
+    /// The cart total in cents, priced from the catalogue.
+    pub fn total_cents(&self) -> i64 {
+        self.cart()
+            .into_iter()
+            .filter_map(|(product, qty)| Some(self.catalog.get(&product)?.price_cents * qty))
+            .sum()
+    }
+
+    /// The shippable interface description.
+    pub fn interface() -> ServiceInterfaceDesc {
+        let member = || ParamSpec::new("member", TypeHint::Str);
+        let product = || ParamSpec::new("product", TypeHint::Str);
+        ServiceInterfaceDesc::new(
+            SHARED_CART_INTERFACE,
+            vec![
+                MethodSpec::new(
+                    "add",
+                    vec![member(), product()],
+                    TypeHint::I64,
+                    "Add one unit to the shared cart; returns the seq.",
+                ),
+                MethodSpec::new(
+                    "remove",
+                    vec![member(), product()],
+                    TypeHint::I64,
+                    "Remove one unit from the shared cart; returns the seq.",
+                ),
+                MethodSpec::new("cart", vec![], TypeHint::Map, "Product → quantity."),
+                MethodSpec::new(
+                    "total",
+                    vec![],
+                    TypeHint::I64,
+                    "Cart total in cents, priced from the catalogue.",
+                ),
+            ],
+        )
+    }
+
+    /// The AlfredO descriptor: cart summary refreshed on every sequenced
+    /// room update, add/remove buttons bound to the selected product.
+    pub fn descriptor(room_name: &str) -> ServiceDescriptor {
+        let topic = room_update_topic(room_name);
+        let ui = UiDescription::new("SharedCart")
+            .with_control(Control::label("title", "Shared cart"))
+            .with_control(Control::label("summary", "(empty)"))
+            .with_control(Control::text_input("member", "your member name"))
+            .with_control(Control::text_input("product", "product name"))
+            .with_control(Control::panel(
+                "actions",
+                false,
+                vec![
+                    Control::button("add", "Add"),
+                    Control::button("remove", "Remove"),
+                ],
+            ))
+            .with_relation(Relation::new("title", RelationKind::LabelFor, "summary"))
+            .with_relation(Relation::new("actions", RelationKind::Triggers, "summary"));
+        let controller = ControllerProgram::new(vec![
+            Rule::on_click(
+                "add",
+                MethodCall::new(
+                    SHARED_CART_INTERFACE,
+                    "add",
+                    vec![
+                        ArgSource::State {
+                            control: "member".into(),
+                        },
+                        ArgSource::State {
+                            control: "product".into(),
+                        },
+                    ],
+                ),
+                None,
+            ),
+            Rule::on_click(
+                "remove",
+                MethodCall::new(
+                    SHARED_CART_INTERFACE,
+                    "remove",
+                    vec![
+                        ArgSource::State {
+                            control: "member".into(),
+                        },
+                        ArgSource::State {
+                            control: "product".into(),
+                        },
+                    ],
+                ),
+                None,
+            ),
+            Rule::new(
+                Trigger::RemoteEvent {
+                    topic_pattern: topic,
+                },
+                vec![Action::Update {
+                    bind: Binding::to_slot("summary", "text"),
+                    value: ArgSource::EventValue,
+                }],
+            ),
+        ]);
+        ServiceDescriptor::new(SHARED_CART_INTERFACE, ui).with_controller(controller)
+    }
+}
+
+impl Service for SharedCartService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ServiceCallError> {
+        match method {
+            "add" => {
+                let member = str_arg(args, 0, "member")?;
+                let product = str_arg(args, 1, "product")?;
+                Ok(Value::I64(self.add(&member, &product)? as i64))
+            }
+            "remove" => {
+                let member = str_arg(args, 0, "member")?;
+                let product = str_arg(args, 1, "product")?;
+                Ok(Value::I64(self.remove(&member, &product)? as i64))
+            }
+            "cart" => Ok(Value::Map(
+                self.cart()
+                    .into_iter()
+                    .map(|(product, qty)| (product, Value::I64(qty)))
+                    .collect(),
+            )),
+            "total" => Ok(Value::I64(self.total_cents())),
+            other => Err(ServiceCallError::NoSuchMethod(other.to_owned())),
+        }
+    }
+
+    fn describe(&self) -> Option<ServiceInterfaceDesc> {
+        Some(SharedCartService::interface())
+    }
+}
+
+/// Registers a [`SharedCartService`] over `room` on `framework`.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register_shared_cart(
+    framework: &alfredo_osgi::Framework,
+    room: Arc<Room>,
+    catalog: Arc<ProductCatalog>,
+) -> Result<(Arc<SharedCartService>, ServiceRegistration), alfredo_osgi::OsgiError> {
+    let descriptor = SharedCartService::descriptor(room.name());
+    let service = Arc::new(SharedCartService::new(room, catalog));
+    let registration = host_service(
+        framework,
+        SHARED_CART_INTERFACE,
+        Arc::clone(&service) as Arc<dyn Service>,
+        &descriptor,
+        None,
+        Properties::new().with(
+            PROP_IDEMPOTENT_METHODS,
+            Value::List(vec![Value::from("cart"), Value::from("total")]),
+        ),
+    )?;
+    Ok((service, registration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shop::sample_catalog;
+    use alfredo_core::{ReplicaSink, RoomConfig, RoomReplica};
+
+    fn board() -> (Arc<Room>, Arc<RoomReplica>) {
+        let room = Room::new(RoomConfig::new("board"));
+        let replica = RoomReplica::new("board");
+        room.join("a", Arc::new(ReplicaSink(Arc::clone(&replica))), 0);
+        room.join("b", Arc::new(ReplicaSink(RoomReplica::new("board"))), 0);
+        (room, replica)
+    }
+
+    #[test]
+    fn cursors_are_per_member_and_clamped() {
+        let (room, replica) = board();
+        let svc = MultiCursorService::new(Arc::clone(&room), 100, 100);
+        svc.move_cursor("a", 10, 0).unwrap();
+        svc.move_cursor("b", 0, -500).unwrap();
+        let cursors = svc.cursors();
+        assert_eq!(cursors.len(), 2);
+        assert_eq!(cursors[0], ("a".to_string(), 60, 50));
+        assert_eq!(cursors[1], ("b".to_string(), 50, 0), "clamped to screen");
+        // The replica sees the same cursors through sequenced deltas.
+        assert_eq!(
+            replica.get(&cursor_key("a")).unwrap().field("x"),
+            Some(&Value::I64(60))
+        );
+        assert_eq!(replica.gaps(), 0);
+    }
+
+    #[test]
+    fn multi_cursor_invoke_surface() {
+        let (room, _) = board();
+        let svc = MultiCursorService::new(room, 100, 100);
+        svc.invoke("move_to", &[Value::from("a"), Value::I64(7), Value::I64(8)])
+            .unwrap();
+        let cursors = svc.invoke("cursors", &[]).unwrap();
+        assert_eq!(
+            cursors.as_map().unwrap().get("a").unwrap().field("y"),
+            Some(&Value::I64(8))
+        );
+        assert!(matches!(
+            svc.invoke(
+                "move",
+                &[Value::from("ghost"), Value::I64(1), Value::I64(1)]
+            ),
+            Err(ServiceCallError::Failed(_))
+        ));
+        assert!(matches!(
+            svc.invoke("bogus", &[]),
+            Err(ServiceCallError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn shared_cart_composes_increments_and_prices() {
+        let (room, replica) = board();
+        let catalog = sample_catalog();
+        let product = catalog.products_in(&catalog.categories()[0])[0].clone();
+        let price = catalog.get(&product).unwrap().price_cents;
+        let svc = SharedCartService::new(Arc::clone(&room), catalog);
+        svc.add("a", &product).unwrap();
+        svc.add("b", &product).unwrap();
+        assert_eq!(svc.cart(), vec![(product.clone(), 2)]);
+        assert_eq!(svc.total_cents(), 2 * price);
+        svc.remove("a", &product).unwrap();
+        assert_eq!(svc.total_cents(), price);
+        // Removing the last unit retracts the key entirely.
+        svc.remove("b", &product).unwrap();
+        assert_eq!(svc.cart(), vec![]);
+        assert!(replica.get(&cart_key(&product)).is_none());
+        assert_eq!(replica.gaps(), 0);
+        // Unknown products are rejected before touching the room.
+        assert!(svc.add("a", "no-such-product").is_err());
+    }
+
+    #[test]
+    fn descriptors_validate() {
+        MultiCursorService::descriptor("board")
+            .ui
+            .validate()
+            .unwrap();
+        SharedCartService::descriptor("board")
+            .ui
+            .validate()
+            .unwrap();
+    }
+}

@@ -280,6 +280,17 @@ impl ServeQueue {
         SubmitOutcome::Accepted
     }
 
+    /// Jobs currently queued for `peer` alone (the fairness lane the
+    /// room fan-out shares with the peer's RPCs). Zero for unknown peers.
+    pub fn peer_depth(&self, peer: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .queues
+            .get(peer)
+            .map_or(0, VecDeque::len)
+    }
+
     /// Lifetime counters and current depth.
     pub fn stats(&self) -> ServeQueueStats {
         ServeQueueStats {

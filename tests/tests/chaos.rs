@@ -615,6 +615,266 @@ fn chaos_breaker_trips_and_recovers() {
     );
 }
 
+/// Room chaos: a member partitions mid-session, the room evicts it when
+/// the heartbeat health machine expires its lease, the surviving members
+/// keep publishing, and the partitioned member rejoins through the PR 3
+/// redial path — converging from a fresh snapshot, never from replayed
+/// backlog. The device journals every room delta; after the run, a cold
+/// reopen of the journal must reconstruct the room's exact final bytes,
+/// making the artifact (left under `target/chaos-journal/` for CI) the
+/// run's reproduction recipe.
+///
+/// The wire is seeded-lossy (2% frame drop) on top of the partition:
+/// `join`/`renew`/`seq` retry on the idempotent budget, while dropped
+/// `publish` calls are retried by the caller — safe here because every
+/// write is an absolute `Put`, so a duplicated retry is a no-op on state.
+fn room_chaos_run(seed: u64) {
+    use alfredo_core::{
+        register_room_hub, room_clock_ms, serve_device_rooms, DeviceJournal, DeviceJournalConfig,
+        RoomConfig, RoomHub, RoomReplica, PRESENCE_PREFIX, ROOMS_INTERFACE,
+    };
+
+    let dir = journal_dir(seed, "room-device");
+    std::fs::remove_dir_all(&dir).ok();
+    let net = InMemoryNetwork::new();
+
+    // ---- Device: journaled room behind the heartbeat-driven hub.
+    let journal = DeviceJournal::open(
+        DeviceJournalConfig::new(&dir)
+            .logical_clock()
+            .without_fsync(),
+    )
+    .unwrap();
+    let room = journal.register_room(
+        RoomConfig::new("board").with_lease_ttl_ms(300),
+        None,
+        room_clock_ms(),
+    );
+    let hub = RoomHub::new(RoomConfig::new("board"));
+    hub.adopt(Arc::clone(&room));
+    let device_fw = Framework::new();
+    let _reg = register_room_hub(&device_fw, Arc::clone(&hub)).unwrap();
+    let device = serve_device_rooms(
+        &net,
+        device_fw,
+        PeerAddr::new("screen"),
+        Obs::disabled(),
+        Arc::clone(&hub),
+        HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            timeout: Duration::from_millis(40),
+            degraded_after: 1,
+            disconnected_after: 3,
+        },
+        None,
+        Some(journal.lease_journal().clone()),
+    )
+    .unwrap();
+
+    // ---- Two phones; Alice's wire is the seeded-lossy, partitionable one.
+    let phone = |name: &str, plan: FaultPlan| {
+        let fw = Framework::new();
+        let replica = RoomReplica::new("board");
+        replica.attach(fw.event_admin());
+        // The outage spans the eviction plus the survivor's publishing
+        // spree — give the redial loop a far longer budget than the
+        // scripted interaction needs.
+        let mut resilience = resilience();
+        resilience.reconnect_attempts = 400;
+        let mut config = EngineConfig::phone(name, DeviceCapabilities::nokia_9300i())
+            .with_resilience(resilience);
+        config.invoke_timeout = Duration::from_millis(200);
+        let engine = AlfredOEngine::new(fw, net.clone(), DiscoveryDirectory::new(), config);
+        let raw = net
+            .connect(PeerAddr::new(name), PeerAddr::new("screen"))
+            .unwrap();
+        let faulty = FaultyTransport::new(Box::new(raw), plan);
+        let partition = faulty.partition_handle();
+        let dial: ReconnectFn = {
+            let net = net.clone();
+            let partition = partition.clone();
+            let name = name.to_owned();
+            Arc::new(move || {
+                if partition.is_partitioned() {
+                    return Err(TransportError::Timeout);
+                }
+                net.connect(PeerAddr::new(&name), PeerAddr::new("screen"))
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+            })
+        };
+        let conn = engine
+            .connect_transport_with_redial(Box::new(faulty), dial)
+            .unwrap();
+        (engine, conn, replica, partition)
+    };
+    let (_alice_engine, alice, alice_rep, alice_partition) =
+        phone("alice", FaultPlan::seeded(seed).with_send_drop(0.02));
+    let (_bob_engine, bob, bob_rep, _bob_partition) = phone("bob", FaultPlan::none());
+
+    // Joins are idempotent server-side (a rejoin just refreshes the seat
+    // and re-snapshots), so the caller retries them through drop-induced
+    // timeouts like any at-least-once client would.
+    let join = |conn: &alfredo_core::AlfredOConnection, member: &str| {
+        for _ in 0..20 {
+            if conn
+                .endpoint()
+                .invoke(
+                    ROOMS_INTERFACE,
+                    "join",
+                    &[Value::Str("board".into()), Value::Str(member.into())],
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+        panic!("join as {member} never landed");
+    };
+    // Publishes survive the lossy wire by caller-side retry (absolute
+    // Puts: a duplicate is harmless).
+    let publish = |conn: &alfredo_core::AlfredOConnection, member: &str, key: &str, v: i64| {
+        for _ in 0..20 {
+            if conn
+                .endpoint()
+                .invoke(
+                    ROOMS_INTERFACE,
+                    "publish",
+                    &[
+                        Value::Str("board".into()),
+                        Value::Str(member.into()),
+                        Value::Str(key.into()),
+                        Value::I64(v),
+                    ],
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+        panic!("publish {key}={v} as {member} never landed");
+    };
+
+    // ---- Phase A: both members in, both publishing over the lossy wire.
+    join(&alice, "alice");
+    join(&bob, "bob");
+    for i in 0..25i64 {
+        publish(&alice, "alice", "cursor/alice", i);
+        publish(&bob, "bob", "cursor/bob", i * 2);
+    }
+    wait_until(
+        "both replicas to converge on phase A",
+        Duration::from_secs(10),
+        || {
+            let expected = room.state_json();
+            alice_rep.state_json() == expected && bob_rep.state_json() == expected
+        },
+    );
+
+    // ---- Phase B: Alice partitions; the heartbeat health machine stops
+    // her lease renewals and the hub evicts her seat on expiry.
+    alice_partition.partition();
+    wait_until(
+        "the room to evict the partitioned member",
+        Duration::from_secs(10),
+        || !room.is_member("alice"),
+    );
+    assert!(room.stats().evicted >= 1, "{:?}", room.stats());
+    // Presence is sequenced state: Bob *observes* the eviction.
+    wait_until(
+        "the survivor to observe the presence removal",
+        Duration::from_secs(10),
+        || bob_rep.get(&format!("{PRESENCE_PREFIX}alice")).is_none(),
+    );
+    // The room keeps moving without her.
+    for i in 0..15i64 {
+        publish(&bob, "bob", "cursor/bob", 100 + i);
+        publish(&bob, "bob", &format!("trail/{i}"), i);
+    }
+    let seq_during_outage = room.seq();
+
+    // ---- Phase C: heal; Alice redials, rejoins, and converges from the
+    // join snapshot plus subsequent deltas — she must never see a gap.
+    alice_partition.heal();
+    wait_until(
+        "alice to redial into the device",
+        Duration::from_secs(10),
+        || alice.endpoint().health() == HealthState::Healthy,
+    );
+    assert!(alice.endpoint().stats().reconnects >= 1);
+    join(&alice, "alice");
+    assert!(room.is_member("alice"), "rejoin restores the seat");
+    publish(&alice, "alice", "cursor/alice", 999);
+    wait_until(
+        "everyone to converge after the rejoin",
+        Duration::from_secs(10),
+        || {
+            let expected = room.state_json();
+            alice_rep.state_json() == expected && bob_rep.state_json() == expected
+        },
+    );
+    assert!(
+        alice_rep.last_seq() > seq_during_outage,
+        "alice's replica caught up past the outage window"
+    );
+    assert_eq!(
+        alice_rep.gaps(),
+        0,
+        "the rejoin snapshot covers the missed deltas — no gap ever surfaces"
+    );
+    assert!(
+        alice_rep.snapshots_applied() >= 2,
+        "alice converged via snapshots (join + rejoin), not replayed backlog"
+    );
+    assert_eq!(bob_rep.gaps(), 0, "the survivor's stream stayed gap-free");
+    assert_eq!(bob_rep.duplicates(), 0);
+    let members = bob_rep.members();
+    assert_eq!(members, vec!["alice", "bob"], "presence reconverged");
+
+    // ---- Replay: a cold reopen of the journal reconstructs the exact
+    // final bytes — the artifact under target/chaos-journal is the run's
+    // reproduction recipe.
+    let final_state = room.state_json();
+    let final_seq = room.seq();
+    journal.barrier().unwrap();
+    alice.close();
+    bob.close();
+    device.stop();
+    drop(journal); // crash-style: no clean close, the barrier is all we rely on
+
+    let reopened = DeviceJournal::open(
+        DeviceJournalConfig::new(&dir)
+            .logical_clock()
+            .without_fsync(),
+    )
+    .unwrap();
+    let recovered = reopened
+        .recovery()
+        .rooms
+        .get("board")
+        .expect("room recovered from the chaos journal");
+    assert_eq!(recovered.seq, final_seq, "seed {seed}: seq replays exactly");
+    let rebuilt = reopened.register_room(RoomConfig::new("board"), None, room_clock_ms());
+    assert_eq!(
+        rebuilt.state_json(),
+        final_state,
+        "seed {seed}: journal replay reconstructs the room byte for byte"
+    );
+    let mut roster = recovered.members();
+    roster.sort();
+    assert_eq!(roster, vec!["alice", "bob"], "seed {seed}: seats re-armed");
+    reopened.close().unwrap();
+}
+
+#[test]
+fn chaos_room_partition_evicts_then_rejoin_converges_seed_7() {
+    room_chaos_run(7);
+}
+
+#[test]
+fn chaos_room_partition_evicts_then_rejoin_converges_seed_cafe() {
+    room_chaos_run(0xCAFE);
+}
+
 /// The deterministic-replay contract, end to end: the same seed writes
 /// the same artifact byte for byte, and re-driving the artifact's
 /// executed events on a fault-free stack lands on the same final device
