@@ -55,6 +55,10 @@ pub enum EngineError {
     Call(ServiceCallError),
     /// The session journal could not be opened.
     Journal(String),
+    /// A live tier migration could not run to completion; the message
+    /// says which phase refused (see
+    /// [`AlfredOSession::migrate_component`]).
+    Migration(String),
 }
 
 impl fmt::Display for EngineError {
@@ -69,6 +73,7 @@ impl fmt::Display for EngineError {
             EngineError::Security(e) => write!(f, "security policy violation: {e}"),
             EngineError::Call(e) => write!(f, "service call failed: {e}"),
             EngineError::Journal(e) => write!(f, "session journal error: {e}"),
+            EngineError::Migration(e) => write!(f, "tier migration failed: {e}"),
         }
     }
 }
@@ -785,6 +790,7 @@ impl AlfredOConnection {
             obs.clone(),
             root_ctx,
             self.journal.clone(),
+            self.tier_cache.clone(),
         ))
     }
 

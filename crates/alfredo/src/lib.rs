@@ -53,6 +53,7 @@ pub mod footprint;
 pub mod optimizer;
 pub mod policy;
 pub mod replay;
+pub mod retier;
 pub mod room;
 pub mod security;
 pub mod session;
@@ -77,13 +78,16 @@ pub use optimizer::{LatencyMonitor, RuntimeOptimizer};
 pub use policy::{
     AdaptivePolicy, ClientContext, DistributionPolicy, LogicOffloadPolicy, ThinClientPolicy,
 };
-pub use replay::{decode_ui_event, outcome_kind, record_executed};
+pub use replay::{decode_migration, decode_ui_event, outcome_kind, record_executed};
+pub use retier::{
+    PlacementController, PlacementControllerConfig, PlacementSignals, RetierHandle, SignalSampler,
+};
 pub use room::{
     presence_key, register_room_hub, room_clock_ms, room_update_topic, EndpointRoomSink,
     ReplicaSink, Room, RoomConfig, RoomDelta, RoomError, RoomHub, RoomHubService, RoomOp,
     RoomReplica, RoomSink, RoomStats, RoomUpdate, PRESENCE_PREFIX, ROOMS_INTERFACE,
 };
 pub use security::{SecurityError, SecurityPolicy, TrustLevel};
-pub use session::AlfredOSession;
+pub use session::{AlfredOSession, MigrationReport, EXPORT_STATE_METHOD, IMPORT_STATE_METHOD};
 pub use tier::{Placement, Tier, TierAssignment};
 pub use web::HttpGateway;

@@ -22,6 +22,7 @@ use alfredo_osgi::Json;
 use alfredo_ui::UiEvent;
 
 use crate::session::ActionOutcome;
+use crate::tier::Placement;
 
 /// The stable name a journaled outcome is recorded under.
 pub fn outcome_kind(outcome: &ActionOutcome) -> &'static str {
@@ -104,6 +105,53 @@ pub fn decode_ui_event(payload: &Json) -> Option<UiEvent> {
     })
 }
 
+/// Appends the JSON payload of a `migrate` record to `out`. Like
+/// `ui_event` payloads, field order is fixed — the bytes are part of the
+/// replay artifact contract. The record is sequenced *after* the events
+/// the migration's pause queued (journaled non-executed) and *before*
+/// their post-commit replays, so re-driving the journal in order lands
+/// every replayed event on the post-migration placement.
+pub(crate) fn encode_migration(
+    interface: &str,
+    from: Placement,
+    to: Placement,
+    state_transferred: bool,
+    out: &mut String,
+) {
+    out.push_str("{\"interface\":");
+    Json::write_str_to(interface, out);
+    let _ = write!(out, ",\"from\":\"{from}\",\"to\":\"{to}\"");
+    let _ = write!(out, ",\"state\":{state_transferred}}}");
+}
+
+/// Reconstructs the migrated interface and its destination placement
+/// from a `migrate` record, so crash recovery can re-apply the move and
+/// land on the post-migration placement.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_core::{decode_migration, Placement};
+/// use alfredo_osgi::Json;
+///
+/// let payload = Json::parse(
+///     r#"{"interface":"shop.Compare","from":"target","to":"client","state":false}"#,
+/// )
+/// .unwrap();
+/// let (interface, to) = decode_migration(&payload).unwrap();
+/// assert_eq!(interface, "shop.Compare");
+/// assert_eq!(to, Placement::Client);
+/// ```
+pub fn decode_migration(payload: &Json) -> Option<(String, Placement)> {
+    let interface = payload.get("interface")?.as_str()?.to_owned();
+    let to = match payload.get("to")?.as_str()? {
+        "client" => Placement::Client,
+        "target" => Placement::Target,
+        _ => return None,
+    };
+    Some((interface, to))
+}
+
 /// Whether a `ui_event` record's handling actually executed — i.e. its
 /// outcomes were not *all* `queued`/`discarded`. Only executed records
 /// are re-driven on replay (see the module docs for why).
@@ -153,6 +201,29 @@ mod tests {
             control: "q".into(),
             ch: 'ß',
         });
+    }
+
+    #[test]
+    fn migration_record_round_trips() {
+        let mut payload = String::new();
+        encode_migration(
+            "x.Logic",
+            Placement::Target,
+            Placement::Client,
+            true,
+            &mut payload,
+        );
+        assert_eq!(
+            payload,
+            r#"{"interface":"x.Logic","from":"target","to":"client","state":true}"#
+        );
+        let json = Json::parse(&payload).unwrap();
+        assert_eq!(
+            decode_migration(&json),
+            Some(("x.Logic".to_owned(), Placement::Client))
+        );
+        let bad = Json::parse(r#"{"interface":"x","to":"elsewhere"}"#).unwrap();
+        assert_eq!(decode_migration(&bad), None);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Live re-tiering: the measurement-driven placement control loop.
+//!
+//! [`crate::optimizer`] decides placement once, from latencies the
+//! session happens to have observed. This module closes the loop
+//! (DESIGN.md §16): a [`PlacementController`] samples the observability
+//! layer on a timer-wheel cadence — invocation RTT p95 from the
+//! endpoint's `rosgi.invoke_rtt_us` histogram (windowed, so each tick
+//! sees only the latest regime), device serve p95 and queue depth when
+//! the caller wires them, device CPU from a shared
+//! [`alfredo_sim::CpuGauge`] — scores the current placement of every
+//! offloadable logic component against the alternative, and executes
+//! [`AlfredOSession::migrate_component`] when a move wins decisively.
+//!
+//! Hysteresis keeps it from flapping: a move must win by a configured
+//! improvement factor, on several *consecutive* ticks, and never within
+//! the min-dwell period after the component last moved. The controller
+//! reads the RTT histogram, which only records while tracing is enabled
+//! — drive it from a session whose engine was built
+//! [`with_obs`](crate::EngineConfig::with_obs) (e.g. `Obs::ring`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alfredo_net::TimerWheel;
+use alfredo_obs::{Histogram, HistogramWindow};
+use alfredo_sim::CpuGauge;
+use alfredo_sync::Mutex;
+
+use crate::engine::EngineError;
+use crate::policy::ClientContext;
+use crate::security::TrustLevel;
+use crate::session::{AlfredOSession, MigrationReport};
+use crate::tier::{Placement, Tier};
+
+/// Tuning for the [`PlacementController`]'s scoring and hysteresis.
+///
+/// The defaults are deliberately conservative: two consecutive winning
+/// ticks and a 50% improvement margin before any move, and a five-second
+/// dwell after one — a control loop that migrates rarely and never
+/// flaps beats one that chases every latency spike.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use alfredo_core::PlacementControllerConfig;
+///
+/// // A bench-speed loop: tick fast, keep the flap protection.
+/// let config = PlacementControllerConfig {
+///     interval: Duration::from_millis(50),
+///     min_dwell: Duration::from_millis(500),
+///     ..PlacementControllerConfig::default()
+/// };
+/// assert!(config.confirm_ticks >= 2, "never migrate on one noisy tick");
+/// assert!(config.improvement > 0.0, "equal placements must not move");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementControllerConfig {
+    /// Control-loop cadence: how often signals are sampled and scored.
+    pub interval: Duration,
+    /// Minimum samples (windowed RTT observations, or latency-monitor
+    /// entries) before a score counts as evidence.
+    pub min_samples: usize,
+    /// The candidate placement must beat the current one by this factor
+    /// — `0.5` means the current score must exceed 1.5× the candidate's.
+    pub improvement: f64,
+    /// Consecutive winning ticks required before a migration runs.
+    pub confirm_ticks: u32,
+    /// No component migrates twice within this window, regardless of
+    /// what the scores say.
+    pub min_dwell: Duration,
+    /// Assumed cost (µs) of a phone-local invocation. Used whenever the
+    /// component has not actually run on the phone yet: while it is
+    /// remote the latency monitor holds only remote-era samples, so
+    /// phone-bound scoring always compares against this prior.
+    pub local_cost_us: u64,
+    /// Assumed per-queued-call serve cost (µs) when no serve histogram
+    /// is wired into the sampler.
+    pub queue_penalty_us: u64,
+    /// Device CPU utilization above which the remote score doubles (a
+    /// saturated device serves everything late).
+    pub cpu_headroom: f64,
+    /// Budget handed to [`AlfredOSession::migrate_component`] for the
+    /// quiesce drain.
+    pub migration_deadline: Duration,
+}
+
+impl Default for PlacementControllerConfig {
+    fn default() -> Self {
+        PlacementControllerConfig {
+            interval: Duration::from_millis(250),
+            min_samples: 8,
+            improvement: 0.5,
+            confirm_ticks: 2,
+            min_dwell: Duration::from_secs(5),
+            local_cost_us: 300,
+            queue_penalty_us: 500,
+            cpu_headroom: 0.85,
+            migration_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One tick's worth of placement evidence, as sampled by a
+/// [`SignalSampler`] (or synthesized directly in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlacementSignals {
+    /// Windowed p95 of `rosgi.invoke_rtt_us` — what a remote invocation
+    /// costs *right now*.
+    pub rtt_p95_us: u64,
+    /// Observations inside the RTT window; below
+    /// [`PlacementControllerConfig::min_samples`] the remote score is
+    /// not evidence.
+    pub rtt_samples: u64,
+    /// Windowed p95 of the device's serve histogram; 0 when unknown.
+    pub serve_p95_us: u64,
+    /// Device serve-queue depth (0 when not wired).
+    pub queue_depth: usize,
+    /// Device CPU utilization in `[0, 1+]` (0.0 when not wired).
+    pub device_cpu: f64,
+}
+
+/// Samples the observability layer into [`PlacementSignals`].
+///
+/// The RTT source is mandatory (it comes from the session's endpoint);
+/// the device-side signals — serve histogram, queue depth, CPU gauge —
+/// are optional wiring for deployments that export them.
+pub struct SignalSampler {
+    rtt: HistogramWindow,
+    serve: Option<HistogramWindow>,
+    queue_depth: Option<Box<dyn Fn() -> usize + Send>>,
+    cpu: Option<CpuGauge>,
+}
+
+impl SignalSampler {
+    /// A sampler over `session`'s endpoint RTT histogram, anchored now.
+    ///
+    /// The histogram only records while the endpoint's obs handle is
+    /// tracing, so the session must come from an engine configured
+    /// [`with_obs`](crate::EngineConfig::with_obs).
+    pub fn for_session(session: &AlfredOSession) -> Self {
+        SignalSampler::from_rtt_histogram(
+            session
+                .endpoint()
+                .obs()
+                .metrics()
+                .histogram("rosgi.invoke_rtt_us"),
+        )
+    }
+
+    /// A sampler over an explicit RTT histogram (tests, custom wiring).
+    pub fn from_rtt_histogram(rtt: Histogram) -> Self {
+        SignalSampler {
+            rtt: HistogramWindow::new(rtt),
+            serve: None,
+            queue_depth: None,
+            cpu: None,
+        }
+    }
+
+    /// Wires the device's serve-time histogram (`rosgi.serve_us`).
+    #[must_use]
+    pub fn with_serve_histogram(mut self, serve: Histogram) -> Self {
+        self.serve = Some(HistogramWindow::new(serve));
+        self
+    }
+
+    /// Wires a live queue-depth reading (e.g. a [`alfredo_rosgi::ServeQueue`]
+    /// stats closure).
+    #[must_use]
+    pub fn with_queue_depth(mut self, f: impl Fn() -> usize + Send + 'static) -> Self {
+        self.queue_depth = Some(Box::new(f));
+        self
+    }
+
+    /// Wires the device's published CPU utilization.
+    #[must_use]
+    pub fn with_cpu_gauge(mut self, gauge: CpuGauge) -> Self {
+        self.cpu = Some(gauge);
+        self
+    }
+
+    /// Closes the current windows and returns this tick's signals.
+    pub fn sample(&mut self) -> PlacementSignals {
+        let rtt = self.rtt.sample();
+        let serve_p95_us = self.serve.as_mut().map(|s| s.sample().p95).unwrap_or(0);
+        PlacementSignals {
+            rtt_p95_us: rtt.p95,
+            rtt_samples: rtt.count,
+            serve_p95_us,
+            queue_depth: self.queue_depth.as_ref().map(|f| f()).unwrap_or(0),
+            device_cpu: self.cpu.as_ref().map(CpuGauge::get).unwrap_or(0.0),
+        }
+    }
+
+    /// Discards the windows' unsampled tails — called after a migration
+    /// so the next tick scores only the new placement's regime.
+    pub fn reset(&mut self) {
+        self.rtt.reset();
+        if let Some(s) = &mut self.serve {
+            s.reset();
+        }
+    }
+}
+
+#[derive(Default)]
+struct IfaceState {
+    /// Consecutive ticks the alternative placement has won.
+    wins: u32,
+    /// When this component last migrated (or last *attempted* to — a
+    /// failed attempt also backs off for the dwell period).
+    last_migration: Option<Instant>,
+}
+
+/// The control loop: scores placements each tick and executes winning
+/// migrations through [`AlfredOSession::migrate_component`].
+///
+/// Use [`PlacementController::drive`] to run it on a [`TimerWheel`], or
+/// call [`PlacementController::tick`] manually (benches, tests).
+pub struct PlacementController {
+    config: PlacementControllerConfig,
+    ctx: ClientContext,
+    state: Mutex<HashMap<String, IfaceState>>,
+}
+
+impl PlacementController {
+    /// A controller scoring for the phone described by `ctx` (its trust
+    /// level and resources gate phone-bound moves exactly as the static
+    /// policy layer does at acquisition).
+    pub fn new(config: PlacementControllerConfig, ctx: ClientContext) -> Self {
+        PlacementController {
+            config,
+            ctx,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &PlacementControllerConfig {
+        &self.config
+    }
+
+    /// Cost of serving one interaction remotely, given this tick's
+    /// signals: the windowed RTT p95 plus the queueing the device would
+    /// add, doubled when the device CPU is past its headroom.
+    fn remote_score(&self, s: &PlacementSignals) -> f64 {
+        let per_queued = if s.serve_p95_us > 0 {
+            s.serve_p95_us
+        } else {
+            self.config.queue_penalty_us
+        };
+        let mut score = s.rtt_p95_us as f64 + s.queue_depth as f64 * per_queued as f64;
+        if s.device_cpu > self.config.cpu_headroom {
+            score *= 2.0;
+        }
+        score
+    }
+
+    /// Scores every offloadable logic component and returns the moves
+    /// that are *due* — they won by the improvement margin for
+    /// `confirm_ticks` consecutive calls and are outside their dwell
+    /// window. Pure decision logic: nothing migrates until the caller
+    /// acts (see [`PlacementController::tick`]).
+    pub fn evaluate(
+        &self,
+        session: &AlfredOSession,
+        signals: &PlacementSignals,
+    ) -> Vec<(String, Placement)> {
+        let assignment = session.assignment();
+        let mut state = self.state.lock();
+        let mut due = Vec::new();
+        for dep in &session.descriptor().dependencies {
+            if dep.tier != Tier::Logic {
+                continue;
+            }
+            let current = assignment.logic_placement(&dep.interface);
+            let candidate = match current {
+                Placement::Target => Placement::Client,
+                Placement::Client => Placement::Target,
+            };
+            let entry = state.entry(dep.interface.clone()).or_default();
+
+            // Phone-bound moves pass the same gates as the static
+            // policy: the device must offer the component, the peer must
+            // be trusted with code, and the phone must meet its bounds.
+            if candidate == Placement::Client
+                && (!dep.offloadable
+                    || self.ctx.trust != TrustLevel::Trusted
+                    || !dep
+                        .requirements
+                        .satisfied_by(self.ctx.free_memory_bytes, self.ctx.cpu_mhz))
+            {
+                entry.wins = 0;
+                continue;
+            }
+            // Dwell: freshly migrated components sit out, whatever the
+            // scores say — the single strongest anti-flap measure.
+            if entry
+                .last_migration
+                .is_some_and(|at| at.elapsed() < self.config.min_dwell)
+            {
+                entry.wins = 0;
+                continue;
+            }
+
+            let remote = self.remote_score(signals);
+            let (local_count, local_mean_ms) = session.latency_stats(&dep.interface);
+            let (current_score, candidate_score, evidence) = match current {
+                // Moving to the phone needs fresh remote evidence. While
+                // the component is remote the latency monitor holds only
+                // remote-era samples (it resets on migration), so the
+                // local estimate must stay the configured prior — feeding
+                // the monitor mean back in would let the "local" score
+                // chase the remote score and the margin could never hold.
+                Placement::Target => (
+                    remote,
+                    self.config.local_cost_us as f64,
+                    signals.rtt_samples >= self.config.min_samples as u64,
+                ),
+                // Moving back needs local evidence; the remote estimate
+                // falls back to the context's nominal link RTT when the
+                // window is empty (nothing invokes remotely while the
+                // component runs locally).
+                Placement::Client => {
+                    let local = if local_count >= self.config.min_samples {
+                        local_mean_ms.unwrap_or(0.0) * 1e3
+                    } else {
+                        self.config.local_cost_us as f64
+                    };
+                    let est = if signals.rtt_samples > 0 {
+                        remote
+                    } else {
+                        self.ctx.link_rtt_ms * 1e3
+                    };
+                    (local, est, local_count >= self.config.min_samples)
+                }
+            };
+
+            if evidence && current_score > candidate_score * (1.0 + self.config.improvement) {
+                entry.wins += 1;
+            } else {
+                entry.wins = 0;
+            }
+            if entry.wins >= self.config.confirm_ticks {
+                entry.wins = 0;
+                due.push((dep.interface.clone(), candidate));
+            }
+        }
+        due
+    }
+
+    /// Stamps a migration attempt (successful or not) so the dwell
+    /// window starts counting.
+    fn note_migrated(&self, interface: &str) {
+        let mut state = self.state.lock();
+        let entry = state.entry(interface.to_owned()).or_default();
+        entry.wins = 0;
+        entry.last_migration = Some(Instant::now());
+    }
+
+    /// One full control-loop iteration: sample, score, and execute every
+    /// due migration. Returns what each attempted move did — a failed
+    /// migration (e.g. the device crashed mid-transfer) is reported, and
+    /// its component backs off for the dwell period before retrying.
+    pub fn tick(
+        &self,
+        session: &AlfredOSession,
+        sampler: &mut SignalSampler,
+    ) -> Vec<(String, Result<MigrationReport, EngineError>)> {
+        let signals = sampler.sample();
+        let due = self.evaluate(session, &signals);
+        let mut results = Vec::with_capacity(due.len());
+        for (interface, to) in due {
+            let outcome = session.migrate_component(&interface, to, self.config.migration_deadline);
+            self.note_migrated(&interface);
+            if outcome.is_ok() {
+                // The old regime's tail must not poison the next score.
+                sampler.reset();
+            }
+            alfredo_obs::event("alfredo.retier", "migration", || {
+                vec![
+                    ("interface".to_owned(), interface.clone()),
+                    ("to".to_owned(), to.to_string()),
+                    (
+                        "outcome".to_owned(),
+                        match &outcome {
+                            Ok(r) => format!("ok pause_us={}", r.pause.as_micros()),
+                            Err(e) => format!("failed: {e}"),
+                        },
+                    ),
+                ]
+            });
+            results.push((interface, outcome));
+        }
+        results
+    }
+
+    /// Runs the loop on `wheel` at the configured interval until the
+    /// returned handle is stopped or the session closes.
+    ///
+    /// Sampling and scoring run on the wheel's tick thread (cheap:
+    /// bucket diffs and a score per component); *migrations* run on a
+    /// spawned thread, because a quiesce drain can legitimately block
+    /// for the migration deadline and the wheel also drives heartbeats —
+    /// a blocked wheel would flap every session's health state.
+    pub fn drive(
+        self: &Arc<Self>,
+        session: &Arc<AlfredOSession>,
+        sampler: SignalSampler,
+        wheel: &TimerWheel,
+    ) -> RetierHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        schedule_tick(
+            Arc::clone(self),
+            Arc::clone(session),
+            Arc::new(Mutex::new(sampler)),
+            wheel.clone(),
+            Arc::clone(&stop),
+        );
+        RetierHandle { stop }
+    }
+}
+
+/// Stops a [`PlacementController::drive`] loop. Dropping the handle
+/// without calling [`RetierHandle::stop`] leaves the loop running for
+/// the session's lifetime (it also stops itself when the session
+/// closes).
+pub struct RetierHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl RetierHandle {
+    /// Stops the control loop after at most one more tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn schedule_tick(
+    controller: Arc<PlacementController>,
+    session: Arc<AlfredOSession>,
+    sampler: Arc<Mutex<SignalSampler>>,
+    wheel: TimerWheel,
+    stop: Arc<AtomicBool>,
+) {
+    let interval = controller.config.interval;
+    let wheel2 = wheel.clone();
+    wheel.schedule(
+        interval,
+        Box::new(move || {
+            if stop.load(Ordering::SeqCst) || session.is_closed() {
+                return;
+            }
+            let due = {
+                let mut sampler = sampler.lock();
+                let signals = sampler.sample();
+                controller.evaluate(&session, &signals)
+            };
+            if due.is_empty() {
+                schedule_tick(controller, session, sampler, wheel2, stop);
+                return;
+            }
+            // Off the wheel thread: the drain may block up to the
+            // migration deadline.
+            std::thread::spawn(move || {
+                for (interface, to) in due {
+                    let outcome = session.migrate_component(
+                        &interface,
+                        to,
+                        controller.config.migration_deadline,
+                    );
+                    controller.note_migrated(&interface);
+                    if outcome.is_ok() {
+                        sampler.lock().reset();
+                    }
+                    alfredo_obs::event("alfredo.retier", "migration", || {
+                        vec![
+                            ("interface".to_owned(), interface.clone()),
+                            ("to".to_owned(), to.to_string()),
+                            (
+                                "outcome".to_owned(),
+                                match &outcome {
+                                    Ok(r) => format!("ok pause_us={}", r.pause.as_micros()),
+                                    Err(e) => format!("failed: {e}"),
+                                },
+                            ),
+                        ]
+                    });
+                }
+                schedule_tick(controller, session, sampler, wheel2, stop);
+            });
+        }),
+    );
+}

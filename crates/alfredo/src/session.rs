@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use alfredo_journal::Journal;
 use alfredo_obs::{Obs, SpanCtx};
@@ -21,16 +22,36 @@ use alfredo_sync::Mutex;
 
 use alfredo_osgi::events::SubscriptionId;
 use alfredo_osgi::{Event, Framework, Json, Properties, ServiceCallError, ToJson as _, Value};
-use alfredo_rosgi::{HealthEvent, HealthState, RemoteEndpoint, ERR_CIRCUIT_OPEN};
+use alfredo_rosgi::{
+    FetchedService, HealthEvent, HealthState, RemoteEndpoint, RosgiError, ERR_CIRCUIT_OPEN,
+    PROP_TIER_DIGEST,
+};
 use alfredo_ui::render::{select_renderer, RenderedUi};
 use alfredo_ui::{DeviceCapabilities, UiEvent, UiState};
 
+use crate::cache::TierCache;
 use crate::controller::{Action, ArgSource, Binding, MethodCall, Rule, Trigger, UiTriggerKind};
 use crate::descriptor::ServiceDescriptor;
 use crate::engine::{EngineError, OutagePolicy};
 use crate::optimizer::{LatencyMonitor, RuntimeOptimizer};
 use crate::policy::ClientContext;
 use crate::tier::{Placement, TierAssignment};
+
+/// Optional method a stateful logic component implements so live
+/// migration can carry its state across placements: takes no arguments
+/// and returns the component's state as a single [`Value`]. Components
+/// without it are treated as stateless (the
+/// [`ServiceCallError::NoSuchMethod`] reply is the "nothing to move"
+/// signal, not an error).
+///
+/// A component offloaded as a smart proxy must list both state methods
+/// in its proxy's local methods, so they execute on whichever side owns
+/// the live instance.
+pub const EXPORT_STATE_METHOD: &str = "export_state";
+
+/// Counterpart of [`EXPORT_STATE_METHOD`]: takes the exported [`Value`]
+/// and installs it as the component's state on the new placement.
+pub const IMPORT_STATE_METHOD: &str = "import_state";
 
 /// Whether a call failure is an overload signal rather than a genuine
 /// fault: the endpoint's circuit breaker fast-failed the call locally,
@@ -123,6 +144,47 @@ pub struct AlfredOSession {
     /// outcomes) and imperative invoke is appended to the `session`
     /// stream — the timeline [`crate::replay`] re-drives.
     journal: Option<Journal>,
+    /// The engine's content-addressed tier cache, shared so a migration
+    /// back to the phone re-installs a previously fetched artifact
+    /// without re-shipping it.
+    tier_cache: TierCache,
+    /// Raised for the duration of [`Self::migrate_component`]'s pause:
+    /// while up, remote-bound UI events queue under the outage policy
+    /// exactly as during a link outage.
+    migrating: AtomicBool,
+}
+
+/// What one completed [`AlfredOSession::migrate_component`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated logic component.
+    pub interface: String,
+    /// Where it ran before.
+    pub from: Placement,
+    /// Where it runs now.
+    pub to: Placement,
+    /// Wall time from quiesce start to placement commit — the window in
+    /// which new UI events queued instead of executing.
+    pub pause: Duration,
+    /// Whether the component exported state that was carried over.
+    pub state_transferred: bool,
+    /// Whether a phone-bound move installed the artifact from the tier
+    /// cache instead of re-fetching it over the wire (always `false`
+    /// for device-bound moves).
+    pub cache_hit: bool,
+    /// UI events that had queued during the pause and were replayed
+    /// after the commit.
+    pub replayed: usize,
+}
+
+/// Clears the session's `migrating` flag when dropped, so every abort
+/// path out of `migrate_component` restores normal event flow.
+struct MigrationGuard<'a>(&'a AtomicBool);
+
+impl Drop for MigrationGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
 }
 
 impl AlfredOSession {
@@ -142,6 +204,7 @@ impl AlfredOSession {
         obs: Obs,
         trace_root: Option<SpanCtx>,
         journal: Option<Journal>,
+        tier_cache: TierCache,
     ) -> Self {
         let (tx, rx) = channel::unbounded();
         // Queue every bus event whose topic any RemoteEvent rule matches.
@@ -213,7 +276,15 @@ impl AlfredOSession {
             obs,
             trace_root,
             journal,
+            tier_cache,
+            migrating: AtomicBool::new(false),
         }
+    }
+
+    /// The endpoint this session leases through — the re-tiering control
+    /// loop samples its `rosgi.invoke_rtt_us` histogram.
+    pub(crate) fn endpoint(&self) -> &Arc<RemoteEndpoint> {
+        &self.endpoint
     }
 
     /// The session's observability handle (tracer + phone-side metrics).
@@ -312,13 +383,14 @@ impl AlfredOSession {
     /// Returns the first action error; earlier outcomes are lost (the
     /// interaction is expected to be retried at UI level).
     pub fn handle_event(&self, event: &UiEvent) -> Result<Vec<ActionOutcome>, EngineError> {
-        // Graceful degradation: while the link is not healthy, events
-        // aimed at remote-bound controls are queued or dropped per policy
-        // instead of failing deep inside an invocation. Local state is
+        // Graceful degradation: while the link is not healthy — or a
+        // tier migration has the session quiesced — events aimed at
+        // remote-bound controls are queued or dropped per policy instead
+        // of failing deep inside an invocation. Local state is
         // deliberately left untouched — a queued event re-enters here in
         // full on replay. A deliberately closed endpoint is not an
         // outage — nothing will ever replay, so the action must fail.
-        if self.endpoint.health() != HealthState::Healthy
+        if (self.endpoint.health() != HealthState::Healthy || self.is_migrating())
             && !self.endpoint.is_closed()
             && self.is_remote_bound(event.control())
         {
@@ -467,14 +539,20 @@ impl AlfredOSession {
     }
 
     /// The controls currently unavailable: remote-bound controls while
-    /// the link is degraded or down; none when healthy. Renderers grey
-    /// these out.
+    /// the link is degraded or down, or while a tier migration is
+    /// pausing the session; none when healthy. Renderers grey these out.
     pub fn unavailable_controls(&self) -> Vec<String> {
-        if self.endpoint.health() == HealthState::Healthy {
+        if self.endpoint.health() == HealthState::Healthy && !self.is_migrating() {
             Vec::new()
         } else {
             self.remote_bound.clone()
         }
+    }
+
+    /// Whether a [`Self::migrate_component`] is currently holding the
+    /// session quiesced (remote-bound events queue until it finishes).
+    pub fn is_migrating(&self) -> bool {
+        self.migrating.load(Ordering::SeqCst)
     }
 
     /// Number of events queued for replay.
@@ -491,7 +569,7 @@ impl AlfredOSession {
     ///
     /// Returns the first action error; unreplayed events stay queued.
     pub fn replay_pending(&self) -> Result<Vec<ActionOutcome>, EngineError> {
-        if self.endpoint.health() != HealthState::Healthy {
+        if self.endpoint.health() != HealthState::Healthy || self.is_migrating() {
             return Ok(Vec::new());
         }
         let queued: Vec<UiEvent> = std::mem::take(&mut *self.pending.lock());
@@ -526,11 +604,6 @@ impl AlfredOSession {
         method: &str,
         args: &[Value],
     ) -> Result<Value, EngineError> {
-        let svc = self
-            .framework
-            .registry()
-            .get_service(service)
-            .ok_or(ServiceCallError::ServiceGone)?;
         // Entering the invoke span makes the endpoint's per-attempt
         // `rpc:*` spans (retries included) its children.
         let mut span = self
@@ -538,8 +611,8 @@ impl AlfredOSession {
             .child_dyn(self.trace_root, || format!("invoke:{method}"));
         let _in_invoke = span.enter();
         span.set_with("service", || service.to_owned());
-        let start = std::time::Instant::now();
-        let out = svc.invoke(method, args)?;
+        let start = Instant::now();
+        let out = self.invoke_placed(service, method, args)?;
         self.monitor
             .lock()
             .record(service, start.elapsed().as_secs_f64() * 1e3);
@@ -565,6 +638,13 @@ impl AlfredOSession {
     /// Mean observed invocation latency for `service` in this session.
     pub fn observed_latency_ms(&self, service: &str) -> Option<f64> {
         self.monitor.lock().mean(service)
+    }
+
+    /// Sample count and mean of the latency window for `service` — the
+    /// local-cost evidence the placement controller scores against.
+    pub(crate) fn latency_stats(&self, service: &str) -> (usize, Option<f64>) {
+        let monitor = self.monitor.lock();
+        (monitor.count(service), monitor.mean(service))
     }
 
     /// Records an externally measured latency observation (for callers
@@ -603,6 +683,208 @@ impl AlfredOSession {
             self.monitor.lock().reset(interface);
         }
         Ok(recommendations)
+    }
+
+    /// Hot-migrates one logic component to the other side of the wire
+    /// without dropping the session: quiesce → snapshot → transfer →
+    /// re-bind → replay (DESIGN.md §16).
+    ///
+    /// 1. **Quiesce** — the session's `migrating` flag goes up, so new
+    ///    UI events aimed at remote-bound controls queue under the
+    ///    [`OutagePolicy`] replay path, then every in-flight call drains
+    ///    through the endpoint's call table (nothing is cancelled).
+    /// 2. **Snapshot** — the component's state is exported from its
+    ///    current placement via [`EXPORT_STATE_METHOD`]; a component
+    ///    without that method is stateless and skips the transfer.
+    /// 3. **Transfer + re-bind** — a phone-bound move installs the smart
+    ///    proxy through the content-addressed tier cache (a repeat
+    ///    migration re-installs with zero bytes shipped) and imports the
+    ///    state into the fresh local instance; a device-bound move
+    ///    imports the state into the device's instance first, then
+    ///    uninstalls the local proxy, so invocation routing falls back
+    ///    to proxy-less remote calls.
+    /// 4. **Commit** — the assignment flips, the latency monitor's
+    ///    window for the interface resets (post-migration samples must
+    ///    not inherit the old placement's history, or the controller
+    ///    immediately re-flaps), and the move is journaled as a
+    ///    sequenced `migrate` event — crash recovery replays to the
+    ///    *post-migration* placement.
+    /// 5. **Replay** — the flag drops and events queued during the
+    ///    pause replay in order.
+    ///
+    /// Every phase before the re-bind aborts cleanly: the flag clears,
+    /// the assignment is untouched, and queued events replay on the old
+    /// placement — a crash or partition mid-migration degrades to an
+    /// ordinary outage.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Migration`] when the component is unknown, already
+    /// on `to`, another migration is running, the quiesce misses
+    /// `deadline`, or a phone-bound move cannot obtain executable code
+    /// (untrusted peer); transfer-phase failures surface as their
+    /// underlying [`EngineError`].
+    pub fn migrate_component(
+        &self,
+        interface: &str,
+        to: Placement,
+        deadline: Duration,
+    ) -> Result<MigrationReport, EngineError> {
+        if !self
+            .descriptor
+            .dependencies
+            .iter()
+            .any(|d| d.interface == interface)
+        {
+            return Err(EngineError::Migration(format!(
+                "{interface} is not a declared logic dependency"
+            )));
+        }
+        let from = self.assignment.lock().logic_placement(interface);
+        if from == to {
+            return Err(EngineError::Migration(format!(
+                "{interface} already placed on {to}"
+            )));
+        }
+        if self
+            .migrating
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(EngineError::Migration(
+                "another migration is in progress".to_owned(),
+            ));
+        }
+        let guard = MigrationGuard(&self.migrating);
+        let started = Instant::now();
+        let mut span = self
+            .obs
+            .child_dyn(self.trace_root, || format!("migrate:{interface}"));
+        let _in_migrate = span.enter();
+        span.set_with("from", || from.to_string());
+        span.set_with("to", || to.to_string());
+
+        // Quiesce: the flag already diverts new remote-bound events into
+        // the pending queue; now let what is on the wire finish.
+        if !self.endpoint.drain_in_flight(deadline) {
+            return Err(EngineError::Migration(format!(
+                "quiesce missed its {deadline:?} deadline with {} calls in flight",
+                self.endpoint.in_flight_calls()
+            )));
+        }
+
+        // Snapshot from the old placement.
+        let state = match self.invoke_placed(interface, EXPORT_STATE_METHOD, &[]) {
+            Ok(v) => Some(v),
+            Err(EngineError::Call(ServiceCallError::NoSuchMethod(_))) => None,
+            Err(e) => return Err(e),
+        };
+
+        // Transfer + re-bind.
+        let mut cache_hit = false;
+        match to {
+            Placement::Client => {
+                let (fetched, hit) = self.fetch_for_migration(interface)?;
+                cache_hit = hit;
+                if !fetched.smart {
+                    // The peer shipped no code or the endpoint refuses
+                    // smart proxies (untrusted): a plain proxy would
+                    // still call the device, so the "migration" would be
+                    // a lie. Undo the install and refuse.
+                    let _ = self.endpoint.release_service(interface);
+                    return Err(EngineError::Migration(format!(
+                        "{interface} cannot move to the phone: no executable artifact \
+                         admitted (untrusted peer or no smart proxy offered)"
+                    )));
+                }
+                if let Some(s) = &state {
+                    // Resolves to the just-installed smart proxy, whose
+                    // local methods must include the state pair.
+                    self.invoke_placed(interface, IMPORT_STATE_METHOD, std::slice::from_ref(s))?;
+                }
+                let mut fetched_list = self.fetched_interfaces.lock();
+                if !fetched_list.iter().any(|i| i == interface) {
+                    fetched_list.push(interface.to_owned());
+                }
+            }
+            Placement::Target => {
+                // Import into the device instance *before* tearing down
+                // the local one: if the wire dies here, the local copy —
+                // and the session — are intact.
+                if let Some(s) = &state {
+                    self.endpoint
+                        .invoke(interface, IMPORT_STATE_METHOD, std::slice::from_ref(s))
+                        .map_err(|e| match e {
+                            RosgiError::Call(c) => EngineError::Call(c),
+                            other => EngineError::Rosgi(other),
+                        })?;
+                }
+                self.endpoint.release_service(interface)?;
+                self.fetched_interfaces.lock().retain(|i| i != interface);
+            }
+        }
+
+        // Commit: assignment, fresh latency window, sequenced journal
+        // record. From here on the migration is observable to recovery.
+        self.assignment.lock().set_logic_placement(interface, to);
+        self.monitor.lock().reset(interface);
+        let state_transferred = state.is_some();
+        if let Some(journal) = &self.journal {
+            journal.append_with("session", "migrate", |out| {
+                crate::replay::encode_migration(interface, from, to, state_transferred, out);
+            });
+        }
+        let pause = started.elapsed();
+        span.set_with("pause_us", || pause.as_micros().to_string());
+        span.set("state", if state_transferred { "moved" } else { "none" });
+
+        // Resume: clear the flag, then replay what queued during the
+        // pause — on the *new* placement.
+        drop(guard);
+        let replayed = self
+            .replay_pending()?
+            .iter()
+            .filter(|o| matches!(o, ActionOutcome::Invoked { .. }))
+            .count();
+        Ok(MigrationReport {
+            interface: interface.to_owned(),
+            from,
+            to,
+            pause,
+            state_transferred,
+            cache_hit,
+            replayed,
+        })
+    }
+
+    /// The tier-cache-aware artifact fetch for a phone-bound migration:
+    /// returns the installed service and whether the cache served it.
+    fn fetch_for_migration(&self, interface: &str) -> Result<(FetchedService, bool), EngineError> {
+        if let Some(digest) = self.advertised_digest(interface) {
+            if let Some(parts) = self.tier_cache.get(digest) {
+                return Ok((self.endpoint.install_cached_service(&parts)?, true));
+            }
+        } else {
+            self.tier_cache.note_miss();
+        }
+        let (fetched, parts) = self.endpoint.fetch_service_with_parts(interface)?;
+        self.tier_cache.insert(parts);
+        Ok((fetched, false))
+    }
+
+    /// The content digest the device's live lease advertises for
+    /// `interface`, if any.
+    fn advertised_digest(&self, interface: &str) -> Option<u64> {
+        self.endpoint
+            .remote_services()
+            .iter()
+            .find(|s| s.offers(interface))
+            .and_then(|s| {
+                s.properties
+                    .get(PROP_TIER_DIGEST)
+                    .and_then(Value::as_str)
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            })
     }
 
     /// Ends the interaction: releases every leased service (proxy bundles
@@ -690,17 +972,54 @@ impl AlfredOSession {
             .iter()
             .map(|a| self.resolve_arg(a, event_value, dx, dy))
             .collect();
-        let svc = self
-            .framework
-            .registry()
-            .get_service(&call.service)
-            .ok_or(ServiceCallError::ServiceGone)?;
         let mut span = self
             .obs
             .child_dyn(self.trace_root, || format!("invoke:{}", call.method));
         let _in_invoke = span.enter();
         span.set_with("service", || call.service.clone());
-        Ok(svc.invoke(&call.method, &args)?)
+        self.invoke_placed(&call.service, &call.method, &args)
+    }
+
+    /// Placement-aware invocation routing. The local registry resolves
+    /// first — it holds the proxy (plain or smart) for every fetched
+    /// interface plus anything genuinely local. An interface with no
+    /// local provider that the descriptor *declares* (the main service
+    /// or a listed dependency) is target-placed, so the call goes out as
+    /// a proxy-less remote invocation — this is what lets a logic tier
+    /// run on either side of the wire and move between them mid-session
+    /// without the controller program knowing.
+    fn invoke_placed(
+        &self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, EngineError> {
+        if let Some(svc) = self.framework.registry().get_service(service) {
+            return Ok(svc.invoke(method, args)?);
+        }
+        if !self.declares_interface(service) {
+            return Err(EngineError::Call(ServiceCallError::ServiceGone));
+        }
+        self.endpoint
+            .invoke(service, method, args)
+            .map_err(|e| match e {
+                // Keep call-level failures as `Call` so the overload
+                // degrade path in `handle_event` sees them.
+                RosgiError::Call(c) => EngineError::Call(c),
+                other => EngineError::Rosgi(other),
+            })
+    }
+
+    /// Whether the descriptor names `interface` (main service or a
+    /// declared dependency) — the set of interfaces remote routing may
+    /// fall back to.
+    fn declares_interface(&self, interface: &str) -> bool {
+        interface == self.descriptor.service
+            || self
+                .descriptor
+                .dependencies
+                .iter()
+                .any(|d| d.interface == interface)
     }
 
     fn resolve_arg(&self, source: &ArgSource, event_value: &Value, dx: i64, dy: i64) -> Value {

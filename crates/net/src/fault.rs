@@ -170,6 +170,57 @@ impl fmt::Debug for PartitionHandle {
     }
 }
 
+/// A shared knob that adds a fixed send delay to a [`FaultyTransport`]
+/// at runtime — the link-degradation counterpart of [`PartitionHandle`].
+///
+/// A [`FaultPlan`] is immutable once the transport is built, which keeps
+/// chaos runs reproducible but means a test cannot *change* link quality
+/// mid-session. `DelayHandle` covers that: cloneable, all clones control
+/// the same delay, and setting it to a non-zero duration makes every
+/// subsequent send sleep that long before transmission (the frame still
+/// arrives — this models a slow link, not a lossy one). Applies to the
+/// send side only; wrap each half of a connection to delay both ways.
+#[derive(Clone, Default)]
+pub struct DelayHandle {
+    micros: Arc<AtomicU64>,
+}
+
+impl DelayHandle {
+    /// Creates a handle with no delay.
+    pub fn new() -> Self {
+        DelayHandle::default()
+    }
+
+    /// Degrades the link: every send now sleeps `delay` first.
+    pub fn set_delay(&self, delay: Duration) {
+        self.micros.store(
+            delay.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Restores the link to full speed.
+    pub fn clear(&self) {
+        self.micros.store(0, Ordering::SeqCst);
+    }
+
+    /// The currently configured delay, if any.
+    pub fn delay(&self) -> Option<Duration> {
+        match self.micros.load(Ordering::SeqCst) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+}
+
+impl fmt::Debug for DelayHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DelayHandle")
+            .field("delay", &self.delay())
+            .finish()
+    }
+}
+
 #[derive(Debug, Default)]
 struct FaultCounters {
     dropped: AtomicU64,
@@ -201,6 +252,7 @@ struct RecvCore {
     plan: FaultPlan,
     recv_rng: Mutex<SimRng>,
     partition: PartitionHandle,
+    delay: DelayHandle,
     counters: FaultCounters,
     peer: PeerAddr,
 }
@@ -295,6 +347,7 @@ impl FaultyTransport {
                 plan,
                 recv_rng: Mutex::new(recv_rng),
                 partition,
+                delay: DelayHandle::new(),
                 counters: FaultCounters::default(),
                 peer,
             }),
@@ -304,6 +357,11 @@ impl FaultyTransport {
     /// A handle controlling this transport's partition state.
     pub fn partition_handle(&self) -> PartitionHandle {
         self.recv.partition.clone()
+    }
+
+    /// A handle controlling this transport's runtime send delay.
+    pub fn delay_handle(&self) -> DelayHandle {
+        self.recv.delay.clone()
     }
 
     /// The plan this transport injects.
@@ -352,6 +410,13 @@ impl Transport for FaultyTransport {
             // from a slow network, so the send itself succeeds.
             self.note_fault("blackhole", &self.recv.counters.blackholed);
             return Ok(());
+        }
+        // The runtime delay knob sits outside the seeded plan (and its
+        // noop shortcut): it models link *quality* changing mid-run, not
+        // a reproducible fault draw.
+        if let Some(d) = self.recv.delay.delay() {
+            self.note_fault("delay", &self.recv.counters.delayed);
+            std::thread::sleep(d);
         }
         if self.recv.plan.is_noop() {
             return self.inner.send(frame);
@@ -610,6 +675,45 @@ mod tests {
             client.recv_timeout(Duration::from_secs(1)).unwrap(),
             vec![8]
         );
+    }
+
+    #[test]
+    fn delay_handle_degrades_and_restores_mid_run() {
+        let (client, server) = faulty_pair(FaultPlan::none());
+        let delay = client.delay_handle();
+
+        // Healthy phase: passthrough, no fault counted.
+        client.send(vec![1]).unwrap();
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(1)).unwrap(),
+            vec![1]
+        );
+        assert_eq!(client.stats().delayed, 0);
+
+        // Degraded phase: every send sleeps the configured delay first.
+        delay.set_delay(Duration::from_millis(25));
+        let start = Instant::now();
+        client.send(vec![2]).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "send must stall for the configured delay"
+        );
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(1)).unwrap(),
+            vec![2]
+        );
+        assert_eq!(client.stats().delayed, 1);
+
+        // Restored: back to passthrough.
+        delay.clear();
+        let start = Instant::now();
+        client.send(vec![3]).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(20));
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(1)).unwrap(),
+            vec![3]
+        );
+        assert_eq!(client.stats().delayed, 1);
     }
 
     #[test]

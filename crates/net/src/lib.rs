@@ -34,7 +34,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use fault::{FaultPlan, FaultStats, FaultyTransport, PartitionHandle};
+pub use fault::{DelayHandle, FaultPlan, FaultStats, FaultyTransport, PartitionHandle};
 pub use pool::{BufferPool, PoolStats};
 pub use profile::LinkProfile;
 pub use reactor::{

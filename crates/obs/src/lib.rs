@@ -32,6 +32,9 @@ pub mod sink;
 pub mod trace;
 
 pub use events::{event, events_enabled, subscribe, EventRecord, EventSubscription};
-pub use metrics::{global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsHandle};
+pub use metrics::{
+    global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, HistogramWindow, MetricsHandle,
+    WindowSnapshot,
+};
 pub use sink::{RingSink, SpanRecord, TraceSink};
 pub use trace::{Obs, Span, SpanCtx, SpanGuard};

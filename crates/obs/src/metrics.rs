@@ -236,6 +236,131 @@ impl Histogram {
     }
 }
 
+/// Windowed view over the values recorded since the previous sample.
+///
+/// [`Histogram`] is cumulative — `quantile` answers "over the whole
+/// run". A control loop needs "over the last tick": after a placement
+/// migration the old latency regime must stop influencing decisions
+/// immediately, not fade out over thousands of samples. A
+/// `HistogramWindow` holds a clone of the histogram plus the bucket
+/// counts it saw at the previous [`sample`](HistogramWindow::sample)
+/// call, and estimates quantiles over only the delta.
+///
+/// Quantile estimates carry the same power-of-two bucket error as the
+/// underlying histogram and are clamped to the *all-time* max (the
+/// per-window max is not tracked), so a window's p95 can only
+/// over-estimate, never invent values larger than anything recorded.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_obs::{Histogram, HistogramWindow};
+///
+/// let h = Histogram::new();
+/// let mut w = HistogramWindow::new(h.clone());
+/// h.record(100);
+/// h.record(120);
+/// let first = w.sample();
+/// assert_eq!(first.count, 2);
+///
+/// // The next window only sees what was recorded after the last sample.
+/// h.record(8_000);
+/// let second = w.sample();
+/// assert_eq!(second.count, 1);
+/// assert!(second.p95 >= 4_096, "window p95 reflects the new regime");
+/// ```
+pub struct HistogramWindow {
+    source: Histogram,
+    prev: Vec<u64>,
+    prev_sum: u64,
+}
+
+/// Quantile estimates over one [`HistogramWindow`] sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// Values recorded inside the window.
+    pub count: u64,
+    /// Mean of the window's values (0.0 when empty).
+    pub mean: f64,
+    /// Estimated 50th percentile of the window.
+    pub p50: u64,
+    /// Estimated 95th percentile of the window.
+    pub p95: u64,
+    /// Estimated 99th percentile of the window.
+    pub p99: u64,
+}
+
+impl HistogramWindow {
+    /// Starts a window over `source`, anchored at its current contents —
+    /// the first [`sample`](HistogramWindow::sample) covers everything
+    /// recorded from this point on.
+    pub fn new(source: Histogram) -> Self {
+        let prev = source.bucket_counts();
+        let prev_sum = source.0.sum.load(Ordering::Relaxed);
+        HistogramWindow {
+            source,
+            prev,
+            prev_sum,
+        }
+    }
+
+    /// Closes the current window and opens the next: returns quantile
+    /// estimates over the values recorded since the previous `sample`
+    /// (or since construction, for the first call).
+    pub fn sample(&mut self) -> WindowSnapshot {
+        let now = self.source.bucket_counts();
+        let sum_now = self.source.0.sum.load(Ordering::Relaxed);
+        // Count from the bucket deltas themselves, so the rank walk below
+        // is internally consistent even if a concurrent `record` has
+        // bumped the shared `count` but not yet its bucket.
+        let delta: Vec<u64> = now
+            .iter()
+            .zip(self.prev.iter())
+            .map(|(n, p)| n.saturating_sub(*p))
+            .collect();
+        let count: u64 = delta.iter().sum();
+        let sum = sum_now.saturating_sub(self.prev_sum);
+        let max = self.source.0.max.load(Ordering::Relaxed);
+        let q = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, b) in delta.iter().enumerate() {
+                seen += b;
+                if seen >= rank {
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        let snap = WindowSnapshot {
+            count,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        };
+        self.prev = now;
+        self.prev_sum = sum_now;
+        snap
+    }
+
+    /// Discards anything recorded so far without producing a snapshot:
+    /// the next `sample` starts fresh from this instant. Used after a
+    /// migration so the new placement's window never mixes with the old
+    /// regime's tail.
+    pub fn reset(&mut self) {
+        self.prev = self.source.bucket_counts();
+        self.prev_sum = self.source.0.sum.load(Ordering::Relaxed);
+    }
+}
+
 #[derive(Default)]
 struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -362,6 +487,42 @@ mod tests {
         // Clamped to max, so a single sample is exact at every quantile.
         assert_eq!(s.p50, 100);
         assert_eq!(s.p99, 100);
+    }
+
+    #[test]
+    fn window_tracks_regime_changes() {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new(h.clone());
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let fast = w.sample();
+        assert_eq!(fast.count, 100);
+        assert!(fast.p95 <= 128, "fast regime p95: {}", fast.p95);
+        for _ in 0..100 {
+            h.record(50_000);
+        }
+        let slow = w.sample();
+        assert_eq!(slow.count, 100);
+        assert!(
+            slow.p95 >= 32_768,
+            "window p95 must see only the slow regime, got {}",
+            slow.p95
+        );
+        // Cumulative p95 would still be dragged down by the fast half.
+        assert!(h.quantile(0.95) >= 32_768);
+        w.reset();
+        assert_eq!(w.sample().count, 0, "reset discards unsampled values");
+    }
+
+    #[test]
+    fn empty_window_is_zeroed() {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new(h);
+        let s = w.sample();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0);
     }
 
     #[test]

@@ -866,6 +866,28 @@ impl RemoteEndpoint {
         self.inner.calls.outstanding()
     }
 
+    /// Blocks until no invocation is awaiting a response, or `timeout`
+    /// elapses. Returns `true` when the endpoint drained.
+    ///
+    /// This is the quiesce step of a live migration: the caller first
+    /// diverts *new* work (the session queues UI events while its
+    /// `migrating` flag is up), then drains what is already on the wire
+    /// so the old placement finishes every call it accepted before the
+    /// proxy is torn down. Outstanding calls complete or time out on
+    /// their own deadlines — draining never cancels them.
+    pub fn drain_in_flight(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.inner.calls.outstanding() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.inner.calls.outstanding() == 0;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     /// Snapshot of traffic counters.
     pub fn stats(&self) -> EndpointStats {
         let c = &self.inner.counters;
@@ -1115,7 +1137,18 @@ impl RemoteEndpoint {
             entries,
         );
         inner.framework.start_bundle(bundle)?;
-        inner.proxy_bundles.lock().insert(interface.clone(), bundle);
+        let replaced = inner.proxy_bundles.lock().insert(interface.clone(), bundle);
+        // Re-fetching an interface (a live re-bind: reconnect, migration
+        // back to a smart proxy) must retire the previous proxy bundle.
+        // The registry's best-pick tie-break prefers the *lowest* bundle
+        // id, so leaving the old bundle installed would keep the stale
+        // proxy winning every resolution. Install-new-then-uninstall-old
+        // ordering means there is never a gap with no provider.
+        if let Some(old) = replaced {
+            if old != bundle {
+                inner.framework.uninstall(old)?;
+            }
+        }
 
         Ok(FetchedService {
             interface: iface,

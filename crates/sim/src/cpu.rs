@@ -121,6 +121,65 @@ impl CpuModel {
             .map(|(i, _)| i)
             .expect("cores is nonzero")
     }
+
+    /// Publishes the current utilization into `gauge`, so threads that
+    /// cannot hold `&mut CpuModel` (it is single-owner) can still read
+    /// the device's load — the placement control loop samples the gauge
+    /// on its own cadence.
+    pub fn publish(&self, now: SimTime, gauge: &CpuGauge) {
+        gauge.set(self.utilization(now));
+    }
+}
+
+/// A thread-shareable snapshot of a [`CpuModel`]'s utilization.
+///
+/// `CpuModel` is a single-owner queueing model (`submit` needs `&mut`),
+/// but the placement control loop runs on other threads and only needs
+/// the latest utilization figure. The model's owner calls
+/// [`CpuModel::publish`] (or [`CpuGauge::set`] directly) whenever it
+/// advances; readers call [`CpuGauge::get`] lock-free. Cloneable — all
+/// clones share the same cell.
+///
+/// # Example
+///
+/// ```
+/// use alfredo_sim::{CpuGauge, CpuModel, SimTime};
+///
+/// let mut cpu = CpuModel::new(1_000_000.0, 1);
+/// let gauge = CpuGauge::new();
+/// cpu.submit(SimTime::ZERO, 500_000); // 0.5 s of work
+/// cpu.publish(SimTime::from_nanos(1_000_000_000), &gauge);
+/// assert!((gauge.get() - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct CpuGauge {
+    // Utilization in parts-per-million: an AtomicU64 keeps the cell
+    // lock-free without needing atomic f64 support.
+    ppm: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl CpuGauge {
+    /// Creates a gauge reading 0.0 (idle).
+    pub fn new() -> Self {
+        CpuGauge::default()
+    }
+
+    /// Stores a utilization value; negatives and NaN clamp to 0.0.
+    pub fn set(&self, utilization: f64) {
+        let clamped = if utilization.is_finite() && utilization > 0.0 {
+            utilization
+        } else {
+            0.0
+        };
+        self.ppm
+            .store((clamped * 1e6) as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The last published utilization (`[0, 1+]`; can exceed 1 when work
+    /// is queued beyond the publish instant).
+    pub fn get(&self) -> f64 {
+        self.ppm.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e6
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +231,21 @@ mod tests {
         let at_1s = SimTime::from_nanos(1_000_000_000);
         assert!((cpu.utilization(at_1s) - 0.5).abs() < 1e-9);
         assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn gauge_clamps_and_shares() {
+        let gauge = CpuGauge::new();
+        assert_eq!(gauge.get(), 0.0);
+        let reader = gauge.clone();
+        gauge.set(0.75);
+        assert!((reader.get() - 0.75).abs() < 1e-6);
+        gauge.set(-1.0);
+        assert_eq!(reader.get(), 0.0);
+        gauge.set(f64::NAN);
+        assert_eq!(reader.get(), 0.0);
+        gauge.set(1.25); // transient overload publishes as-is
+        assert!((reader.get() - 1.25).abs() < 1e-6);
     }
 
     #[test]

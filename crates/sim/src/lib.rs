@@ -41,7 +41,7 @@ mod sim;
 mod stats;
 mod time;
 
-pub use cpu::CpuModel;
+pub use cpu::{CpuGauge, CpuModel};
 pub use device::DeviceProfile;
 pub use rng::SimRng;
 pub use sim::{Ctx, Simulation};

@@ -43,12 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conn = engine.connect(&PeerAddr::new("screen"))?;
     let session = conn.acquire(SHOP_INTERFACE)?;
     println!("[untrusted]  tiers: {}", session.assignment());
-    // The comparison component never reached the phone: direct calls to
-    // it fail locally, and the phone must go through the remote facade.
-    let direct = session.invoke(COMPARE_INTERFACE, "compare", &[a.clone(), b.clone()]);
+    // The comparison component never reached the phone, but a direct
+    // call on its declared interface still works: the session routes it
+    // over the wire to wherever the tier currently lives. Callers never
+    // need to know the placement — the transparency the live re-tiering
+    // loop (DESIGN.md §16) relies on when it moves tiers mid-session.
+    let calls0 = conn.endpoint().stats().calls_sent;
+    let direct = session.invoke(COMPARE_INTERFACE, "compare", &[a.clone(), b.clone()])?;
     println!(
-        "[untrusted]  direct compare on phone -> {}",
-        direct.err().map(|e| e.to_string()).unwrap_or_default()
+        "[untrusted]  direct compare -> {:?} ({} network call — routed to target)",
+        direct.as_str().unwrap_or("?"),
+        conn.endpoint().stats().calls_sent - calls0
     );
     let calls0 = conn.endpoint().stats().calls_sent;
     let verdict = session.invoke(
